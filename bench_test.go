@@ -1,0 +1,330 @@
+// Package repro's root benchmark suite regenerates every quantitative
+// artifact of the paper's evaluation (§6), one benchmark family per
+// experiment in DESIGN.md's index:
+//
+//	E1  BenchmarkFigure6            speedup curves (simulated Sequent S81)
+//	E2  BenchmarkBusTraffic         mm bus MB/s at 16 procs
+//	E3  BenchmarkFigure6NoGC        speedup with GC excluded
+//	E4  BenchmarkSimpleDiagnostics  idle and lock fractions for simple
+//	E6  BenchmarkLockLatency        46µs Sequent vs 6µs SGI lock pairs
+//	E7  BenchmarkFigure6SGI         the SGI, where the bus swamps all
+//	A1  BenchmarkSpinAblation       TAS/TTAS/backoff/ticket/anderson
+//	A2  BenchmarkRunQueueAblation   central vs distributed ready queues
+//	A3  BenchmarkHeapAblation       allocation-region chunk sizing
+//
+// plus native microbenchmarks of the platform primitives (callcc/throw,
+// fork/yield, channel send/receive, CML choose) and the native workloads.
+// Custom metrics carry the paper's numbers: speedup, MB/s, idle%, µs.
+package repro
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/cml"
+	"repro/internal/machine"
+	"repro/internal/mlheap"
+	"repro/internal/proc"
+	"repro/internal/sel"
+	"repro/internal/simwork"
+	"repro/internal/spinlock"
+	"repro/internal/threads"
+	"repro/internal/workloads"
+)
+
+// runSim executes one simulated program at the machine's full proc count
+// and reports the paper's metrics.
+func runSim(b *testing.B, prName, cfgName string, nogc bool) {
+	b.Helper()
+	pr, ok := simwork.ByName(prName)
+	if !ok {
+		b.Fatalf("unknown program %s", prName)
+	}
+	cfg := machine.Configs[cfgName]()
+	base := simwork.Run(pr, cfg, 1, 1)
+	var r simwork.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r = simwork.Run(pr, cfg, cfg.Procs, 1)
+	}
+	b.StopTimer()
+	t1, tp := base.Makespan, r.Makespan
+	if nogc {
+		t1 -= base.GCNS
+		tp -= r.GCNS
+	}
+	speedup := float64(t1) / float64(tp)
+	if pr.Independent {
+		speedup *= float64(cfg.Procs)
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(r.BusMBps(), "busMB/s")
+	b.ReportMetric(r.IdleFrac()*100, "idle%")
+	b.ReportMetric(float64(r.GCs), "gcs")
+}
+
+// E1 / Figure 6: the six curves on the simulated Sequent Symmetry S81.
+func BenchmarkFigure6(b *testing.B) {
+	for _, pr := range simwork.Programs() {
+		b.Run(pr.Name, func(b *testing.B) { runSim(b, pr.Name, "sequent", false) })
+	}
+}
+
+// E3: Figure 6 with garbage-collection time excluded — abisort and
+// allpairs climb considerably.
+func BenchmarkFigure6NoGC(b *testing.B) {
+	for _, name := range []string{"allpairs", "abisort", "mm"} {
+		b.Run(name, func(b *testing.B) { runSim(b, name, "sequent", true) })
+	}
+}
+
+// E7: the SGI 4D/380S, whose fast processors saturate a barely faster
+// bus: memory contention swamps every other effect.
+func BenchmarkFigure6SGI(b *testing.B) {
+	for _, pr := range simwork.Programs() {
+		b.Run(pr.Name, func(b *testing.B) { runSim(b, pr.Name, "sgi", false) })
+	}
+}
+
+// E2: mm's allocation traffic against the Sequent's 25 MB/s bus.
+func BenchmarkBusTraffic(b *testing.B) {
+	cfg := machine.SequentS81()
+	var r simwork.Result
+	for i := 0; i < b.N; i++ {
+		r = simwork.Run(simwork.MM(), cfg, 16, 1)
+	}
+	b.ReportMetric(r.BusMBps(), "busMB/s")
+	b.ReportMetric(cfg.BusBytesPerSec/1e6, "busmaxMB/s")
+}
+
+// E4: simple's idle and contention profile at 10 procs.
+func BenchmarkSimpleDiagnostics(b *testing.B) {
+	cfg := machine.SequentS81()
+	var r simwork.Result
+	for i := 0; i < b.N; i++ {
+		r = simwork.Run(simwork.Simple(), cfg, 10, 1)
+	}
+	b.ReportMetric(r.IdleFrac()*100, "idle%")
+	b.ReportMetric(r.LockFrac()*100, "lockwait%")
+}
+
+// E6: the lock-latency footnote, on every machine model.
+func BenchmarkLockLatency(b *testing.B) {
+	for name, mk := range machine.Configs {
+		b.Run(name, func(b *testing.B) {
+			var lat int64
+			for i := 0; i < b.N; i++ {
+				lat = machine.New(mk(), 1, 0).LockLatency()
+			}
+			b.ReportMetric(float64(lat)/1e3, "µs/lockpair")
+		})
+	}
+}
+
+// A1: spin-lock strategy ablation under real contention on the host.
+func BenchmarkSpinAblation(b *testing.B) {
+	for _, v := range spinlock.Variants {
+		b.Run(v.Name, func(b *testing.B) {
+			l := v.New()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					l.Lock()
+					l.Unlock()
+				}
+			})
+		})
+	}
+}
+
+// A2: central versus distributed run queues under a fork/yield storm,
+// the evaluation package's scheduler change.
+func BenchmarkRunQueueAblation(b *testing.B) {
+	for _, mode := range []struct {
+		name        string
+		distributed bool
+	}{{"central", false}, {"distributed", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := threads.New(proc.New(runtime.GOMAXPROCS(0)),
+					threads.Options{Distributed: mode.distributed})
+				sys.Run(func() {
+					for j := 0; j < 200; j++ {
+						sys.Fork(func() {
+							sys.Yield()
+							sys.Yield()
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
+// A3: allocation-region chunk sizing for the mlheap allocator — the
+// trade-off behind §5's per-proc allocation regions.
+func BenchmarkHeapAblation(b *testing.B) {
+	for _, chunk := range []int{16, 64, 256, 1024} {
+		b.Run(map[int]string{16: "chunk16", 64: "chunk64", 256: "chunk256", 1024: "chunk1024"}[chunk],
+			func(b *testing.B) {
+				h := mlheap.New(mlheap.Config{
+					NurseryWords: 1 << 16, SemiWords: 1 << 18, ChunkWords: chunk, Procs: 1,
+				})
+				pa := h.NewProcAlloc()
+				var root mlheap.Value = mlheap.Nil
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v, err := pa.AllocRecord(mlheap.Int(int64(i)), root)
+					if err != nil {
+						h.Collect([]*mlheap.Value{&root})
+						continue
+					}
+					switch {
+					case i%4096 == 0:
+						root = mlheap.Nil // bound retention: measure allocation, not leak growth
+					case i%64 == 0:
+						root = v
+					}
+				}
+			})
+	}
+}
+
+// Platform microbenchmarks: the §2 claim that continuation-based thread
+// operations are cheap.
+
+func BenchmarkYieldRoundTrip(b *testing.B) {
+	sys := threads.New(proc.New(1), threads.Options{})
+	b.ResetTimer()
+	sys.Run(func() {
+		for i := 0; i < b.N; i++ {
+			sys.Yield() // capture + enqueue + dispatch + throw
+		}
+	})
+}
+
+func BenchmarkForkJoin(b *testing.B) {
+	sys := threads.New(proc.New(runtime.GOMAXPROCS(0)), threads.Options{})
+	b.ResetTimer()
+	sys.Run(func() {
+		for i := 0; i < b.N; i++ {
+			sys.Fork(func() {})
+		}
+	})
+}
+
+func BenchmarkSelChannel(b *testing.B) {
+	sys := threads.New(proc.New(2), threads.Options{})
+	b.ResetTimer()
+	sys.Run(func() {
+		ch := sel.NewChan[int](sys)
+		sys.Fork(func() {
+			for i := 0; i < b.N; i++ {
+				ch.Send(i)
+			}
+		})
+		for i := 0; i < b.N; i++ {
+			ch.Receive()
+		}
+	})
+}
+
+func BenchmarkCMLChoose(b *testing.B) {
+	sys := threads.New(proc.New(2), threads.Options{})
+	b.ResetTimer()
+	sys.Run(func() {
+		a, c := cml.NewChan[int](), cml.NewChan[int]()
+		sys.Fork(func() {
+			for i := 0; i < b.N; i++ {
+				cml.Sync(sys, a.SendEvt(i))
+			}
+		})
+		for i := 0; i < b.N; i++ {
+			cml.Select(sys, a.RecvEvt(), c.RecvEvt())
+		}
+	})
+}
+
+// Native workloads at the host's proc count (paper problem sizes).
+func BenchmarkNativeWorkloads(b *testing.B) {
+	for _, spec := range workloads.Specs() {
+		spec := spec
+		b.Run(spec.Name, func(b *testing.B) {
+			w := runtime.GOMAXPROCS(0)
+			for i := 0; i < b.N; i++ {
+				sys := threads.New(proc.New(w), threads.Options{})
+				sys.Run(func() { spec.Run(sys, w, 1) })
+			}
+		})
+	}
+}
+
+// F1: the paper's §7 future-work proposals (cache-resident nursery,
+// concurrent GC) evaluated on the Sequent model.
+func BenchmarkFutureWork(b *testing.B) {
+	for _, variant := range []struct {
+		name  string
+		tweak func(*machine.Config)
+	}{
+		{"baseline", func(*machine.Config) {}},
+		{"cacheNursery", func(c *machine.Config) { c.CacheResidentNursery = true }},
+		{"concGC", func(c *machine.Config) { c.ConcurrentGC = true }},
+		{"both", func(c *machine.Config) { c.CacheResidentNursery = true; c.ConcurrentGC = true }},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			cfg := machine.SequentS81()
+			variant.tweak(&cfg)
+			pr := simwork.MM()
+			base := simwork.Run(pr, cfg, 1, 1)
+			var r simwork.Result
+			for i := 0; i < b.N; i++ {
+				r = simwork.Run(pr, cfg, cfg.Procs, 1)
+			}
+			b.ReportMetric(float64(base.Makespan)/float64(r.Makespan), "speedup")
+			b.ReportMetric(r.BusMBps(), "busMB/s")
+		})
+	}
+}
+
+// A4: GC survival-rate sensitivity — how the sequential collector's
+// Amdahl share moves the allpairs curve.
+func BenchmarkGCSurvivalAblation(b *testing.B) {
+	for _, surv := range []struct {
+		name string
+		v    float64
+	}{{"s01", 0.01}, {"s03", 0.03}, {"s10", 0.10}, {"s25", 0.25}} {
+		b.Run(surv.name, func(b *testing.B) {
+			cfg := machine.SequentS81()
+			pr := simwork.Allpairs()
+			pr.Survival = surv.v
+			base := simwork.Run(pr, cfg, 1, 1)
+			var r simwork.Result
+			for i := 0; i < b.N; i++ {
+				r = simwork.Run(pr, cfg, cfg.Procs, 1)
+			}
+			b.ReportMetric(float64(base.Makespan)/float64(r.Makespan), "speedup")
+			b.ReportMetric(float64(r.GCs), "gcs")
+		})
+	}
+}
+
+// A5: allocation-region (nursery) sizing — frequency vs length of the
+// stop-the-world pauses.
+func BenchmarkNurserySizeAblation(b *testing.B) {
+	for _, n := range []struct {
+		name  string
+		words int64
+	}{{"64k", 64 << 10}, {"256k", 256 << 10}, {"1M", 1 << 20}} {
+		b.Run(n.name, func(b *testing.B) {
+			cfg := machine.SequentS81()
+			cfg.NurseryWords = n.words
+			pr := simwork.Abisort()
+			base := simwork.Run(pr, cfg, 1, 1)
+			var r simwork.Result
+			for i := 0; i < b.N; i++ {
+				r = simwork.Run(pr, cfg, cfg.Procs, 1)
+			}
+			b.ReportMetric(float64(base.Makespan)/float64(r.Makespan), "speedup")
+			b.ReportMetric(float64(r.GCs), "gcs")
+		})
+	}
+}

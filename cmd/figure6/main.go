@@ -1,0 +1,94 @@
+// Command figure6 regenerates the paper's Figure 6 (self-relative speedup
+// for the five benchmarks and the seq control) on a simulated machine
+// model, plus the §6 diagnostics: per-benchmark idle, lock-contention,
+// bus-traffic and GC breakdowns (experiments E1-E4 and E7 in DESIGN.md).
+//
+// Usage:
+//
+//	figure6 [-machine sequent|sgi|luna|uni] [-maxp N] [-nogc] [-chart]
+//	        [-csv file] [-detail program] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	machineName := flag.String("machine", "sequent", "machine model: sequent, sgi, luna, uni")
+	maxP := flag.Int("maxp", 0, "largest proc count (default: all the machine has)")
+	noGC := flag.Bool("nogc", false, "also print speedups with GC time excluded (E3)")
+	chart := flag.Bool("chart", false, "render an ASCII chart of the curves")
+	csvPath := flag.String("csv", "", "write the full series as CSV to this file")
+	detail := flag.String("detail", "", "print the diagnostic breakdown for one program")
+	future := flag.Bool("future", false, "also evaluate the paper's §7 future-work proposals")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	series, err := experiments.Figure6(*machineName, *maxP, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Print(experiments.SpeedupTable(series, false))
+	if *noGC {
+		fmt.Println()
+		fmt.Print(experiments.SpeedupTable(series, true))
+	}
+	if *chart {
+		fmt.Println()
+		fmt.Print(experiments.AsciiChart(series, 64, 20))
+	}
+
+	sum := experiments.Summarize(series)
+	fmt.Println()
+	fmt.Printf("headline checks (paper §6):\n")
+	fmt.Printf("  order best->worst:            %v\n", sum.Order)
+	fmt.Printf("  seq final speedup:            %.2f (paper: near linear)\n", sum.SeqFinalSpeedup)
+	fmt.Printf("  mm final speedup:             %.2f (paper: excellent, almost seq)\n", sum.MMFinalSpeedup)
+	fmt.Printf("  mm bus traffic at max procs:  %.1f MB/s (paper: ~20 of 25 MB/s max)\n", sum.MMBusMBpsAt16)
+	fmt.Printf("  simple idle at 10 procs:      %.0f%% (paper: >50%%)\n", sum.SimpleIdleAt10*100)
+	fmt.Printf("  nogc gain allpairs/abisort:   %.2fx / %.2fx (paper: considerably higher)\n",
+		sum.NoGCGainAllpairs, sum.NoGCGainAbisort)
+
+	if *future {
+		rows, err := experiments.FutureWork(*machineName, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(experiments.FutureWorkTable(rows, *machineName))
+	}
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(experiments.CSV(series)), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+
+	if *detail != "" {
+		p := *maxP
+		if p == 0 {
+			p = 16
+		}
+		r, err := experiments.Detail(*detail, *machineName, p, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ndetail: %s on %s with %d procs\n", r.Program, r.Machine, r.Procs)
+		fmt.Printf("  makespan:   %.1f ms (virtual)\n", float64(r.Makespan)/1e6)
+		fmt.Printf("  idle:       %.1f%%\n", r.IdleFrac()*100)
+		fmt.Printf("  lock wait:  %.2f%%\n", r.LockFrac()*100)
+		fmt.Printf("  bus:        %.1f MB/s (%d bytes total)\n", r.BusMBps(), r.BusBytes)
+		fmt.Printf("  GCs:        %d, %.1f ms sequential collection\n", r.GCs, float64(r.GCNS)/1e6)
+		fmt.Printf("  lock ops:   %d\n", r.Totals.LockOps)
+	}
+}

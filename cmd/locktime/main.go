@@ -1,0 +1,52 @@
+// Command locktime regenerates the paper's §6 footnote 4 comparison:
+// "locking and unlocking an MP mutex takes only 6µsec on the SGI versus
+// 46µsec on the Sequent" — on the simulated machine models, plus measured
+// costs for every native spin-lock flavor on the host machine (experiment
+// E6 and ablation A1 in DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/platform/registry"
+	"repro/internal/spinlock"
+)
+
+func main() {
+	iters := flag.Int("iters", 1_000_000, "iterations for native measurements")
+	flag.Parse()
+
+	fmt.Println("Simulated machine models (paper §6 footnote 4):")
+	for _, name := range []string{"sequent", "sgi", "luna", "uni"} {
+		cfg := machine.Configs[name]()
+		lat := machine.New(cfg, 1, 0).LockLatency()
+		fmt.Printf("  %-12s lock+unlock: %5.1f µs\n", cfg.Name, float64(lat)/1e3)
+	}
+
+	fmt.Println("\nNative spin-lock flavors on this host (uncontended):")
+	for _, v := range spinlock.Variants {
+		l := v.New()
+		start := time.Now()
+		for i := 0; i < *iters; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+		per := time.Since(start) / time.Duration(*iters)
+		fmt.Printf("  %-12s lock+unlock: %7.1f ns\n", v.Name, float64(per.Nanoseconds()))
+	}
+
+	fmt.Println("\nPort lock primitives on this host (uncontended):")
+	for _, b := range registry.All() {
+		l := b.NewLock()
+		start := time.Now()
+		for i := 0; i < *iters; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+		per := time.Since(start) / time.Duration(*iters)
+		fmt.Printf("  %-12s lock+unlock: %7.1f ns  (%s)\n", b.Name, float64(per.Nanoseconds()), b.Description)
+	}
+}

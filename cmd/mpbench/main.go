@@ -1,0 +1,72 @@
+// Command mpbench runs the paper's benchmarks natively: real parallel
+// implementations over the MP platform (continuation threads, spin locks,
+// barriers) on the host machine, sweeping proc counts and printing
+// self-relative speedups — the native counterpart of cmd/figure6.
+//
+// Usage:
+//
+//	mpbench [-bench all|allpairs|mst|abisort|simple|mm|seq]
+//	        [-maxp N] [-reps N] [-seed N] [-distributed] [-quantum d]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/stats"
+	"repro/internal/threads"
+	"repro/internal/workloads"
+)
+
+func main() {
+	bench := flag.String("bench", "all", "benchmark name or 'all'")
+	maxP := flag.Int("maxp", runtime.GOMAXPROCS(0), "largest proc count")
+	reps := flag.Int("reps", 3, "repetitions per point (min is reported)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	distributed := flag.Bool("distributed", false, "use distributed run queues")
+	quantum := flag.Duration("quantum", 0, "preemption quantum (0 = none)")
+	flag.Parse()
+
+	var specs []workloads.Spec
+	for _, s := range workloads.Specs() {
+		if *bench == "all" || s.Name == *bench {
+			specs = append(specs, s)
+		}
+	}
+	if len(specs) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(1)
+	}
+
+	fmt.Printf("native MP benchmarks on %d-CPU host (GOMAXPROCS=%d)\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	fmt.Printf("%-10s %6s %12s %9s\n", "bench", "procs", "time", "speedup")
+	for _, spec := range specs {
+		var times []time.Duration
+		for p := 1; p <= *maxP; p++ {
+			best := time.Duration(0)
+			var sum int64
+			for r := 0; r < *reps; r++ {
+				sys := threads.New(proc.New(p), threads.Options{
+					Distributed: *distributed,
+					Quantum:     *quantum,
+				})
+				start := time.Now()
+				sys.Run(func() { sum = spec.Run(sys, p, *seed) })
+				el := time.Since(start)
+				if best == 0 || el < best {
+					best = el
+				}
+			}
+			times = append(times, best)
+			sp := stats.SelfRelative(times)
+			fmt.Printf("%-10s %6d %12s %9.2f   (checksum %d)\n",
+				spec.Name, p, best.Round(time.Microsecond), sp[p-1], sum)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,109 @@
+// Bank: concurrent accounts with reader/writer locks and semaphores
+// synthesized from MP mutex locks and continuations (paper §3.3) — a nod
+// to the transaction system the paper reports being built on ML Threads.
+// Auditor threads take consistent read snapshots while teller threads
+// transfer money under write locks; the invariant is that the total
+// balance never changes.
+//
+//	go run ./examples/bank [-accounts 8] [-transfers 2000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"runtime"
+
+	"repro/internal/proc"
+	"repro/internal/syncx"
+	"repro/internal/threads"
+)
+
+func main() {
+	nAccounts := flag.Int("accounts", 8, "number of accounts")
+	nTransfers := flag.Int("transfers", 2000, "transfers per teller")
+	flag.Parse()
+
+	sys := threads.New(proc.New(runtime.GOMAXPROCS(0)), threads.Options{})
+
+	const initial = 1000
+	balance := make([]int, *nAccounts)
+	for i := range balance {
+		balance[i] = initial
+	}
+	want := initial * *nAccounts
+
+	audits, violations := 0, 0
+
+	sys.Run(func() {
+		lock := syncx.NewRWLock(sys)
+		tellersDone := syncx.NewWaitGroup(sys, 4)
+		stop := false
+
+		// Tellers move money between random accounts under the write lock.
+		for t := 0; t < 4; t++ {
+			t := t
+			sys.Fork(func() {
+				rng := rand.New(rand.NewSource(int64(t)))
+				for i := 0; i < *nTransfers; i++ {
+					from, to := rng.Intn(*nAccounts), rng.Intn(*nAccounts)
+					amount := rng.Intn(50)
+					lock.Lock()
+					if balance[from] >= amount {
+						balance[from] -= amount
+						balance[to] += amount
+					}
+					lock.Unlock()
+					if i%64 == 0 {
+						sys.Yield()
+					}
+				}
+				tellersDone.Done()
+			})
+		}
+
+		// Auditors snapshot the books under the read lock; several may
+		// audit at once, but never concurrently with a transfer.
+		auditorsDone := syncx.NewWaitGroup(sys, 2)
+		for a := 0; a < 2; a++ {
+			sys.Fork(func() {
+				for {
+					lock.RLock()
+					total := 0
+					for _, b := range balance {
+						total += b
+					}
+					done := stop
+					lock.RUnlock()
+					audits++
+					if total != want {
+						violations++
+					}
+					if done {
+						break
+					}
+					sys.Yield()
+				}
+				auditorsDone.Done()
+			})
+		}
+
+		tellersDone.Wait()
+		lock.Lock()
+		stop = true
+		lock.Unlock()
+		auditorsDone.Wait()
+	})
+
+	total := 0
+	for _, b := range balance {
+		total += b
+	}
+	fmt.Printf("bank: %d accounts, %d transfers by 4 tellers, %d audits\n",
+		*nAccounts, 4**nTransfers, audits)
+	fmt.Printf("final total %d (want %d), %d consistency violations\n",
+		total, want, violations)
+	if total != want || violations > 0 {
+		panic("invariant violated")
+	}
+}

@@ -1,0 +1,66 @@
+// Sieve: the classic CSP prime sieve over the paper's selective
+// communication channels (Figs. 4 and 5) — a pipeline of filter threads,
+// each holding one prime, connected by synchronous channels.
+//
+//	go run ./examples/sieve [-n 50]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+
+	"repro/internal/proc"
+	"repro/internal/sel"
+	"repro/internal/threads"
+)
+
+func main() {
+	n := flag.Int("n", 50, "how many primes to produce")
+	flag.Parse()
+
+	sys := threads.New(proc.New(runtime.GOMAXPROCS(0)), threads.Options{})
+
+	var primes []int
+	sys.Run(func() {
+		// generate feeds 2, 3, 4, ... into the head of the pipeline.
+		head := sel.NewChan[int](sys)
+		sys.Fork(func() {
+			for i := 2; ; i++ {
+				head.Send(i)
+			}
+		})
+
+		// Each round: receive a prime from the pipeline head, then splice
+		// in a filter thread that removes its multiples.
+		in := head
+		for len(primes) < *n {
+			p := in.Receive()
+			primes = append(primes, p)
+			out := sel.NewChan[int](sys)
+			in2 := in
+			sys.Fork(func() {
+				for {
+					v := in2.Receive()
+					if v%p != 0 {
+						out.Send(v)
+					}
+				}
+			})
+			in = out
+		}
+		// The generator and filters are still blocked on their channels;
+		// the program simply stops using them (in SML/NJ, unreachable
+		// threads are garbage collected — see DESIGN.md on the Go
+		// substitution).
+	})
+
+	fmt.Printf("first %d primes:\n", *n)
+	for i, p := range primes {
+		fmt.Printf("%6d", p)
+		if (i+1)%10 == 0 {
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+}

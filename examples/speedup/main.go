@@ -1,0 +1,42 @@
+// Speedup: measure native self-relative speedup of the mm benchmark on
+// this host, a miniature of Figure 6 run on real hardware instead of the
+// simulated Sequent.  On a multi-core machine the curve should climb; on
+// a single-core machine it demonstrates that the thread package
+// multiplexes correctly with no speedup.
+//
+//	go run ./examples/speedup [-maxp N] [-n 100]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/stats"
+	"repro/internal/threads"
+	"repro/internal/workloads"
+)
+
+func main() {
+	maxP := flag.Int("maxp", runtime.GOMAXPROCS(0), "largest proc count")
+	n := flag.Int("n", 100, "matrix size")
+	flag.Parse()
+
+	fmt.Printf("mm (%dx%d int matmul) on %d-CPU host\n", *n, *n, runtime.NumCPU())
+	var times []time.Duration
+	var check int64
+	for p := 1; p <= *maxP; p++ {
+		sys := threads.New(proc.New(p), threads.Options{})
+		start := time.Now()
+		sys.Run(func() { check = workloads.MM(sys, p, *n, 1) })
+		times = append(times, time.Since(start))
+	}
+	sp := stats.SelfRelative(times)
+	fmt.Printf("%6s %12s %9s\n", "procs", "time", "speedup")
+	for i, t := range times {
+		fmt.Printf("%6d %12s %9.2f\n", i+1, t.Round(time.Microsecond), sp[i])
+	}
+	fmt.Printf("checksum %d (identical across proc counts)\n", check)
+}

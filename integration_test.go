@@ -1,0 +1,245 @@
+package repro
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cml"
+	"repro/internal/core"
+	"repro/internal/gcsync"
+	"repro/internal/m3"
+	"repro/internal/mlheap"
+	"repro/internal/proc"
+	"repro/internal/sel"
+	"repro/internal/signals"
+	"repro/internal/syncx"
+	"repro/internal/threads"
+	"repro/internal/workloads"
+)
+
+// Full-stack integration tests: every client layer composed in one
+// program, the way the paper's systems actually ran (ML Threads + CML +
+// locks + signals over one MP platform).
+
+func TestIntegrationPipelineAcrossLayers(t *testing.T) {
+	// sel channels feed a CML dispatcher which resolves m3 futures, all
+	// under one scheduler, with syncx coordinating shutdown.
+	s := threads.New(proc.New(4), threads.Options{})
+	msys := m3.New(s)
+	const n = 40
+	var delivered atomic.Int64
+
+	s.Run(func() {
+		raw := sel.NewChan[int](s) // Fig. 5 channel
+		evts := cml.NewChan[int]() // CML channel
+		done := syncx.NewWaitGroup(s, 1)
+
+		// Stage 1: producers on the sel channel.
+		for i := 1; i <= n; i++ {
+			i := i
+			s.Fork(func() { raw.Send(i) })
+		}
+
+		// Stage 2: bridge thread moves values from sel to CML.
+		s.Fork(func() {
+			for i := 0; i < n; i++ {
+				v := raw.Receive()
+				cml.Sync(s, evts.SendEvt(v))
+			}
+		})
+
+		// Stage 3: an m3 thread consumes CML events and sums.
+		summer := m3.Fork(msys, func() int64 {
+			var sum int64
+			for i := 0; i < n; i++ {
+				sum += int64(cml.Sync(s, evts.RecvEvt()))
+			}
+			return sum
+		})
+
+		s.Fork(func() {
+			v, err := summer.Join()
+			if err != nil {
+				t.Errorf("join: %v", err)
+			}
+			delivered.Store(v)
+			done.Done()
+		})
+		done.Wait()
+	})
+
+	if want := int64(n * (n + 1) / 2); delivered.Load() != want {
+		t.Fatalf("sum = %d, want %d", delivered.Load(), want)
+	}
+}
+
+func TestIntegrationWorkloadWithPreemption(t *testing.T) {
+	// A real benchmark on the enhanced evaluation scheduler: distributed
+	// run queues + preemption checks, verifying the checksum still
+	// matches the sequential reference.
+	s := threads.New(proc.New(4), threads.Options{Distributed: true})
+	var got int64
+	s.Run(func() { got = workloads.MM(s, 4, 50, 3) })
+	if want := workloads.MMReference(50, 3); got != want {
+		t.Fatalf("mm = %d, want %d", got, want)
+	}
+}
+
+func TestIntegrationSignalDrivenYield(t *testing.T) {
+	// §3.4 preemption as the paper did it: a signal handler that yields.
+	// The "alarm" is delivered by another thread; compute threads poll at
+	// safe points and the handler hands the proc over.
+	pl := proc.New(2)
+	s := threads.New(pl, threads.Options{})
+	tab := signals.New(pl.MaxProcs())
+	var yieldsFromHandler atomic.Int64
+	tab.Install(signals.SigAlarm, func(sig signals.Sig, procID int) {
+		yieldsFromHandler.Add(1)
+		s.Yield()
+	})
+
+	var order []int
+	orderLock := core.NewMutexLock()
+	s.Run(func() {
+		wg := syncx.NewWaitGroup(s, 2)
+		for id := 0; id < 2; id++ {
+			id := id
+			s.Fork(func() {
+				for i := 0; i < 30; i++ {
+					tab.Deliver(signals.SigAlarm) // alarm tick
+					tab.Poll()                    // safe point: handler may yield
+					orderLock.Lock()
+					order = append(order, id)
+					orderLock.Unlock()
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+	})
+
+	if yieldsFromHandler.Load() == 0 {
+		t.Fatal("signal handler never ran")
+	}
+	// With handler-driven yields on one lock-stepped pair, the two
+	// threads must interleave rather than run back-to-back.
+	switches := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1] {
+			switches++
+		}
+	}
+	if switches == 0 {
+		t.Fatalf("no interleaving despite %d handler yields", yieldsFromHandler.Load())
+	}
+}
+
+func TestIntegrationHeapUnderThreads(t *testing.T) {
+	// One worker thread per proc, each with its own per-proc allocation
+	// handle, building ML lists through real collections while the
+	// scheduler runs — mlheap + gcsync + threads together.
+	const procs = 3
+	world := gcsync.NewWorld(mlheap.Config{
+		NurseryWords: 4096, SemiWords: 1 << 18, ChunkWords: 128, Procs: procs,
+	})
+	heads := make([]mlheap.Value, procs)
+	for i := range heads {
+		world.AddRoot(&heads[i])
+	}
+
+	s := threads.New(proc.New(procs), threads.Options{})
+	s.Run(func() {
+		wg := syncx.NewWaitGroup(s, procs)
+		for w := 0; w < procs; w++ {
+			w := w
+			s.Fork(func() {
+				a := world.Attach()
+				defer a.Detach()
+				for i := 0; i < 3000; i++ {
+					heads[w] = a.Record(mlheap.Int(int64(w*10000+i)), heads[w])
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+	})
+
+	if world.GCs() == 0 {
+		t.Fatal("no collections exercised")
+	}
+	h := world.Heap()
+	for w := 0; w < procs; w++ {
+		v := heads[w]
+		for i := 2999; i >= 0; i-- {
+			if h.Get(v, 0).Int() != int64(w*10000+i) {
+				t.Fatalf("worker %d cell %d corrupted", w, i)
+			}
+			v = h.Get(v, 1)
+		}
+	}
+}
+
+func TestIntegrationDatumIsolation(t *testing.T) {
+	// Thread ids (stored in per-proc datum, §3.2) must stay coherent even
+	// while sel communication migrates threads between procs.
+	s := threads.New(proc.New(4), threads.Options{})
+	bad := atomic.Bool{}
+	s.Run(func() {
+		ch := sel.NewChan[int](s)
+		for i := 0; i < 20; i++ {
+			s.Fork(func() {
+				me := s.ID()
+				ch.Send(me)
+				if s.ID() != me {
+					bad.Store(true)
+				}
+			})
+			s.Fork(func() {
+				me := s.ID()
+				_ = ch.Receive()
+				if s.ID() != me {
+					bad.Store(true)
+				}
+			})
+		}
+	})
+	if bad.Load() {
+		t.Fatal("thread id changed across a channel rendezvous")
+	}
+}
+
+func TestIntegrationCoreFacade(t *testing.T) {
+	// The public core surface (paper §3) used directly, without any
+	// client package: callcc + acquire/release + locks.
+	pl := core.NewPlatform(2)
+	l := core.NewMutexLock()
+	shared := 0
+	pl.Run(func() {
+		core.SetDatum("root")
+		done := make(chan struct{})
+		core.Callcc(func(k *core.UnitCont) core.Unit {
+			if err := pl.Acquire(core.PS{K: k, Datum: "second"}); err != nil {
+				t.Errorf("acquire: %v", err)
+				core.Throw(k, core.Unit{})
+			}
+			// Body continues on the root proc.
+			l.Lock()
+			shared++
+			l.Unlock()
+			close(done)
+			pl.Release()
+			return core.Unit{}
+		})
+		// Resumed on the second proc.
+		if core.GetDatum() != "second" {
+			t.Errorf("datum = %v, want second", core.GetDatum())
+		}
+		<-done
+		l.Lock()
+		shared++
+		l.Unlock()
+	}, nil)
+	if shared != 2 {
+		t.Fatalf("shared = %d, want 2", shared)
+	}
+}

@@ -1,0 +1,159 @@
+package cml
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// These tests target the commit-protocol corner cases: stale entries,
+// already-committed branches, and choices racing across cell kinds.
+
+func TestChooseIVarLoserEntriesAreStale(t *testing.T) {
+	// A chooser parked on two IVars commits via the first Put; the second
+	// IVar's Put must skip the stale entry without resuming anyone twice.
+	s := newSys(2)
+	var resumed atomic.Int32
+	s.Run(func() {
+		a, b := NewIVar[int](), NewIVar[int]()
+		s.Fork(func() {
+			Select(s, a.ReadEvt(), b.ReadEvt())
+			resumed.Add(1)
+		})
+		s.Yield() // park the chooser on both
+		a.Put(s, 1)
+		b.Put(s, 2) // must find a stale waiter and drop it
+		// A fresh reader of b still sees the value.
+		if b.Read(s) != 2 {
+			t.Error("b lost its value")
+		}
+	})
+	if resumed.Load() != 1 {
+		t.Fatalf("chooser resumed %d times", resumed.Load())
+	}
+}
+
+func TestMVarStaleTakerSkipped(t *testing.T) {
+	// A chooser parked on an MVar and a channel commits via the channel;
+	// a later Put must skip the stale taker and keep the value for the
+	// next real taker.
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		mv := NewMVar[int]()
+		ch := NewChan[int]()
+		s.Fork(func() {
+			Select(s, mv.TakeEvt(), ch.RecvEvt())
+		})
+		s.Yield()
+		ch.Send(s, 5) // chooser commits via the channel
+		mv.Put(s, 9)  // stale taker skipped; value stored
+		got = mv.Take(s)
+	})
+	if got != 9 {
+		t.Fatalf("got %d, want 9 (value lost to a stale taker)", got)
+	}
+}
+
+func TestMailboxStaleWaiterSkipped(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		mb := NewMailbox[int]()
+		ch := NewChan[int]()
+		s.Fork(func() {
+			Select(s, mb.RecvEvt(), ch.RecvEvt())
+		})
+		s.Yield()
+		ch.Send(s, 1) // chooser commits via the channel
+		mb.Send(s, 7) // stale waiter skipped; buffered instead
+		got = mb.Recv(s)
+	})
+	if got != 7 {
+		t.Fatalf("got %d, want 7", got)
+	}
+}
+
+func TestIVarManyChoosersAllResumeOnPut(t *testing.T) {
+	// IVar reads are non-destructive: every parked chooser whose choice
+	// has not committed elsewhere gets the value from one Put.
+	s := newSys(4)
+	var sum atomic.Int64
+	s.Run(func() {
+		iv := NewIVar[int]()
+		dead := NewChan[int]() // never-ready alternative
+		for i := 0; i < 8; i++ {
+			s.Fork(func() {
+				sum.Add(int64(Select(s, iv.ReadEvt(), dead.RecvEvt())))
+			})
+		}
+		s.Yield()
+		iv.Put(s, 3)
+	})
+	if sum.Load() != 24 {
+		t.Fatalf("sum = %d, want 24", sum.Load())
+	}
+}
+
+func TestNeverAloneDeadlocksQuietly(t *testing.T) {
+	// Sync(Never) parks forever; the program quiesces with the thread
+	// still parked — the documented Go-level behaviour for abandoned
+	// threads.
+	s := newSys(2)
+	reached := false
+	s.Run(func() {
+		s.Fork(func() {
+			Sync(s, Never[int]())
+			t.Error("Never synchronized")
+		})
+		reached = true
+	})
+	if !reached {
+		t.Fatal("root did not complete")
+	}
+}
+
+func TestWrapPollFalsePath(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		ch := NewChan[int]()
+		ev := Wrap(ch.RecvEvt(), func(v int) int { return v * 2 })
+		// Nothing ready: Sync must take the block path, then commit when
+		// the sender arrives.
+		s.Fork(func() { got = Sync(s, ev) })
+		s.Yield()
+		ch.Send(s, 21)
+	})
+	if got != 42 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestGuardSelectable(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		ch := NewChan[int]()
+		ev := Guard(func() Event[int] { return ch.RecvEvt() })
+		s.Fork(func() { got = Select(s, ev, Never[int]()) })
+		s.Yield()
+		ch.Send(s, 11)
+	})
+	if got != 11 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestAlwaysUnderChooseWhileBlocked(t *testing.T) {
+	// Choose(never-ready channel, Always) must commit to Always even in
+	// the block phase walk order; run many times to cover both orders.
+	for i := 0; i < 10; i++ {
+		s := newSys(1)
+		s.Run(func() {
+			ch := NewChan[int]()
+			if v := Select(s, ch.RecvEvt(), Always(9)); v != 9 {
+				t.Fatalf("got %d", v)
+			}
+		})
+	}
+}

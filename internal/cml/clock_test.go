@@ -1,0 +1,128 @@
+package cml
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestClockAdvancesAndFires(t *testing.T) {
+	s := newSys(2)
+	var firedAt int64
+	s.Run(func() {
+		c := NewClock()
+		s.Fork(func() { firedAt = Sync(s, c.AtEvt(10)) })
+		s.Yield() // park the waiter
+		c.Advance(s, 4)
+		if firedAt != 0 {
+			t.Error("fired early")
+		}
+		c.Advance(s, 6) // reaches 10
+		s.Yield()
+	})
+	if firedAt != 10 {
+		t.Fatalf("fired at %d, want 10", firedAt)
+	}
+}
+
+func TestClockPastDeadlinePollsImmediately(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		c := NewClock()
+		c.Advance(s, 100)
+		if v := Sync(s, c.AtEvt(50)); v != 100 {
+			t.Errorf("got %d, want 100 (current time at commit)", v)
+		}
+	})
+}
+
+func TestTimeoutInChoiceFiresWhenChannelSilent(t *testing.T) {
+	s := newSys(2)
+	var got string
+	s.Run(func() {
+		c := NewClock()
+		ch := NewChan[string]()
+		s.Fork(func() {
+			got = Select(s,
+				ch.RecvEvt(),
+				Wrap(c.AfterEvt(5), func(int64) string { return "timeout" }))
+		})
+		s.Yield()
+		c.Advance(s, 5)
+	})
+	if got != "timeout" {
+		t.Fatalf("got %q, want timeout", got)
+	}
+}
+
+func TestTimeoutInChoiceLosesToData(t *testing.T) {
+	s := newSys(2)
+	var got string
+	s.Run(func() {
+		c := NewClock()
+		ch := NewChan[string]()
+		s.Fork(func() {
+			got = Select(s,
+				ch.RecvEvt(),
+				Wrap(c.AfterEvt(5), func(int64) string { return "timeout" }))
+		})
+		s.Yield()
+		ch.Send(s, "data")
+		c.Advance(s, 100) // late ticks must not double-resume the chooser
+	})
+	if got != "data" {
+		t.Fatalf("got %q, want data", got)
+	}
+}
+
+func TestManyTimersFireInOneAdvance(t *testing.T) {
+	s := newSys(4)
+	var fired atomic.Int32
+	s.Run(func() {
+		c := NewClock()
+		for i := 1; i <= 10; i++ {
+			i := i
+			s.Fork(func() {
+				Sync(s, c.AtEvt(int64(i)))
+				fired.Add(1)
+			})
+		}
+		s.Yield()
+		c.Advance(s, 10) // all deadlines due at once
+	})
+	if fired.Load() != 10 {
+		t.Fatalf("fired = %d, want 10", fired.Load())
+	}
+}
+
+func TestAfterEvtDeadlineFixedAtSync(t *testing.T) {
+	s := newSys(2)
+	var a, b int64
+	s.Run(func() {
+		c := NewClock()
+		ev := c.AfterEvt(3) // guard: deadline = now+3 at each Sync
+		s.Fork(func() { a = Sync(s, ev) })
+		s.Yield()
+		c.Advance(s, 3) // fires at 3
+		s.Yield()
+		s.Fork(func() { b = Sync(s, ev) })
+		s.Yield()
+		c.Advance(s, 3) // second sync fixed deadline 3+3=6
+		s.Yield()
+	})
+	if a != 3 || b != 6 {
+		t.Fatalf("a=%d b=%d, want 3 and 6", a, b)
+	}
+}
+
+func TestClockBackwardsPanics(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		c := NewClock()
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Advance did not panic")
+			}
+		}()
+		c.Advance(s, -1)
+	})
+}

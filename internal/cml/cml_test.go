@@ -1,0 +1,337 @@
+package cml
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/threads"
+)
+
+func newSys(procs int) *threads.System {
+	return threads.New(proc.New(procs), threads.Options{})
+}
+
+func TestSendRecv(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		ch := NewChan[int]()
+		s.Fork(func() { ch.Send(s, 5) })
+		got = ch.Recv(s)
+	})
+	if got != 5 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		ch := NewChan[int]()
+		s.Fork(func() { got = ch.Recv(s) })
+		s.Yield()
+		ch.Send(s, 9)
+	})
+	if got != 9 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestAlways(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		if v := Sync(s, Always(3)); v != 3 {
+			t.Errorf("Always = %d", v)
+		}
+	})
+}
+
+func TestWrap(t *testing.T) {
+	s := newSys(2)
+	var got string
+	s.Run(func() {
+		ch := NewChan[int]()
+		s.Fork(func() { ch.Send(s, 4) })
+		got = Sync(s, Wrap(ch.RecvEvt(), func(v int) string {
+			if v == 4 {
+				return "four"
+			}
+			return "other"
+		}))
+	})
+	if got != "four" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestGuardEvaluatedPerSync(t *testing.T) {
+	s := newSys(1)
+	var evals atomic.Int32
+	s.Run(func() {
+		ev := Guard(func() Event[int] {
+			evals.Add(1)
+			return Always(int(evals.Load()))
+		})
+		if v := Sync(s, ev); v != 1 {
+			t.Errorf("first sync = %d", v)
+		}
+		if v := Sync(s, ev); v != 2 {
+			t.Errorf("second sync = %d (guard not re-evaluated)", v)
+		}
+	})
+}
+
+func TestChooseTakesReadyBranch(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		a, b := NewChan[int](), NewChan[int]()
+		s.Fork(func() { a.Send(s, 1) })
+		s.Yield() // let the sender park on a
+		got = Select(s, a.RecvEvt(), b.RecvEvt())
+	})
+	if got != 1 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestChooseBlocksThenCommitsOnce(t *testing.T) {
+	// A chooser parked on two channels is resumed exactly once even when
+	// senders arrive on both; the losing send must be received later.
+	for round := 0; round < 20; round++ {
+		s := newSys(4)
+		var first, second int
+		s.Run(func() {
+			a, b := NewChan[int](), NewChan[int]()
+			s.Fork(func() { a.Send(s, 1) })
+			s.Fork(func() { b.Send(s, 2) })
+			first = Select(s, a.RecvEvt(), b.RecvEvt())
+			second = Select(s, a.RecvEvt(), b.RecvEvt())
+		})
+		if first+second != 3 {
+			t.Fatalf("round %d: got %d then %d", round, first, second)
+		}
+	}
+}
+
+func TestChooseWithNeverIgnoresNever(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		ch := NewChan[int]()
+		s.Fork(func() { ch.Send(s, 8) })
+		got = Select(s, Never[int](), ch.RecvEvt(), Never[int]())
+	})
+	if got != 8 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestChooseWithAlwaysNeverBlocks(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		ch := NewChan[int]()
+		if v := Select(s, ch.RecvEvt(), Always(42)); v != 42 {
+			t.Errorf("got %d", v)
+		}
+	})
+}
+
+func TestSendEvtUnderChoosePanics(t *testing.T) {
+	s := newSys(2)
+	s.Run(func() {
+		ch := NewChan[int]()
+		defer func() {
+			if recover() == nil {
+				t.Error("Choose over SendEvt did not panic")
+			}
+		}()
+		// No receiver exists, so the choice must reach the block phase,
+		// where the restriction is enforced.
+		Select(s, ch.SendEvt(1), Wrap(ch.SendEvt(2), func(core.Unit) core.Unit { return core.Unit{} }))
+	})
+}
+
+func TestManyToOneChannel(t *testing.T) {
+	const n = 100
+	s := newSys(4)
+	var sum atomic.Int64
+	s.Run(func() {
+		ch := NewChan[int]()
+		for i := 1; i <= n; i++ {
+			i := i
+			s.Fork(func() { ch.Send(s, i) })
+		}
+		for i := 0; i < n; i++ {
+			sum.Add(int64(ch.Recv(s)))
+		}
+	})
+	if want := int64(n * (n + 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestExactlyOnceUnderContention(t *testing.T) {
+	const n = 150
+	s := newSys(4)
+	var delivered atomic.Int64
+	s.Run(func() {
+		a, b := NewChan[int](), NewChan[int]()
+		for i := 0; i < n; i++ {
+			i := i
+			if i%2 == 0 {
+				s.Fork(func() { a.Send(s, i) })
+			} else {
+				s.Fork(func() { b.Send(s, i) })
+			}
+		}
+		for i := 0; i < n; i++ {
+			s.Fork(func() {
+				Select(s, a.RecvEvt(), b.RecvEvt())
+				delivered.Add(1)
+			})
+		}
+	})
+	if delivered.Load() != n {
+		t.Fatalf("delivered = %d, want %d", delivered.Load(), n)
+	}
+}
+
+func TestIVar(t *testing.T) {
+	s := newSys(4)
+	var sum atomic.Int64
+	s.Run(func() {
+		iv := NewIVar[int]()
+		for i := 0; i < 10; i++ {
+			s.Fork(func() { sum.Add(int64(iv.Read(s))) })
+		}
+		s.Yield()
+		iv.Put(s, 7)
+		// Late reader sees the value immediately.
+		sum.Add(int64(iv.Read(s)))
+	})
+	if sum.Load() != 77 {
+		t.Fatalf("sum = %d, want 77", sum.Load())
+	}
+}
+
+func TestIVarDoublePutPanics(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		iv := NewIVar[int]()
+		iv.Put(s, 1)
+		defer func() {
+			if recover() == nil {
+				t.Error("second Put did not panic")
+			}
+		}()
+		iv.Put(s, 2)
+	})
+}
+
+func TestMVarHandoff(t *testing.T) {
+	s := newSys(4)
+	var taken atomic.Int64
+	s.Run(func() {
+		mv := NewMVar[int]()
+		for i := 0; i < 10; i++ {
+			s.Fork(func() {
+				taken.Add(int64(mv.Take(s)))
+			})
+		}
+		for i := 0; i < 10; i++ {
+			mv.Put(s, 1)
+			s.Yield()
+		}
+	})
+	if taken.Load() != 10 {
+		t.Fatalf("taken = %d, want 10 (each Put consumed exactly once)", taken.Load())
+	}
+}
+
+func TestMVarPutFullPanics(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		mv := NewMVar[int]()
+		mv.Put(s, 1)
+		defer func() {
+			if recover() == nil {
+				t.Error("Put on full MVar did not panic")
+			}
+		}()
+		mv.Put(s, 2)
+	})
+}
+
+func TestMailboxBuffersWithoutBlocking(t *testing.T) {
+	s := newSys(1)
+	var got []int
+	s.Run(func() {
+		mb := NewMailbox[int]()
+		for i := 0; i < 5; i++ {
+			mb.Send(s, i) // must not block even with no receiver
+		}
+		for i := 0; i < 5; i++ {
+			got = append(got, mb.Recv(s))
+		}
+	})
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got = %v", got)
+		}
+	}
+}
+
+func TestMailboxSelectable(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		mb := NewMailbox[int]()
+		ch := NewChan[int]()
+		s.Fork(func() { mb.Send(s, 3) })
+		got = Select(s, ch.RecvEvt(), mb.RecvEvt())
+	})
+	if got != 3 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestChooseOverCellKinds(t *testing.T) {
+	// Mixed choice across an ivar, an mvar, a mailbox and a channel.
+	s := newSys(2)
+	var got string
+	s.Run(func() {
+		iv := NewIVar[string]()
+		mv := NewMVar[string]()
+		mb := NewMailbox[string]()
+		ch := NewChan[string]()
+		s.Fork(func() { mv.Put(s, "mvar") })
+		s.Yield()
+		got = Select(s,
+			iv.ReadEvt(), mv.TakeEvt(), mb.RecvEvt(), ch.RecvEvt())
+	})
+	if got != "mvar" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSwapViaWrapGuard(t *testing.T) {
+	// The classic CML swap-channel built from guard+wrap+choose on two
+	// plain channels... simplified to a guarded wrapped receive.
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		ch := NewChan[int]()
+		ev := Guard(func() Event[int] {
+			return Wrap(ch.RecvEvt(), func(v int) int { return v * 10 })
+		})
+		s.Fork(func() { ch.Send(s, 7) })
+		got = Sync(s, ev)
+	})
+	if got != 70 {
+		t.Fatalf("got %d, want 70", got)
+	}
+}

@@ -1,0 +1,55 @@
+package cml_test
+
+import (
+	"fmt"
+
+	"repro/internal/cml"
+	"repro/internal/proc"
+	"repro/internal/threads"
+)
+
+// Events are first-class: compose a receive with Wrap and commit it with
+// Sync.
+func ExampleSync() {
+	s := threads.New(proc.New(2), threads.Options{})
+	s.Run(func() {
+		ch := cml.NewChan[int]()
+		s.Fork(func() { ch.Send(s, 21) })
+		doubled := cml.Sync(s, cml.Wrap(ch.RecvEvt(), func(v int) int {
+			return v * 2
+		}))
+		fmt.Println(doubled)
+	})
+	// Output:
+	// 42
+}
+
+// Choose commits to exactly one of several receive events.
+func ExampleChoose() {
+	s := threads.New(proc.New(2), threads.Options{})
+	s.Run(func() {
+		fast := cml.NewChan[string]()
+		slow := cml.NewChan[string]()
+		s.Fork(func() { fast.Send(s, "fast wins") })
+		s.Yield() // let the sender park on fast
+		fmt.Println(cml.Select(s, fast.RecvEvt(), slow.RecvEvt()))
+	})
+	// Output:
+	// fast wins
+}
+
+// An IVar delivers one write-once value to any number of readers.
+func ExampleIVar() {
+	s := threads.New(proc.New(2), threads.Options{})
+	s.Run(func() {
+		iv := cml.NewIVar[string]()
+		s.Fork(func() { fmt.Println("reader 1:", iv.Read(s)) })
+		s.Fork(func() { fmt.Println("reader 2:", iv.Read(s)) })
+		s.Yield()
+		iv.Put(s, "ready")
+		s.Yield()
+	})
+	// Unordered output:
+	// reader 1: ready
+	// reader 2: ready
+}

@@ -1,0 +1,136 @@
+package cml
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSwapExchangesValues(t *testing.T) {
+	s := newSys(2)
+	var a, b int
+	s.Run(func() {
+		sc := NewSwapChan[int]()
+		s.Fork(func() { a = sc.Swap(s, 1) })
+		b = sc.Swap(s, 2)
+	})
+	if a != 2 || b != 1 {
+		t.Fatalf("swap results a=%d b=%d, want 2 and 1", a, b)
+	}
+}
+
+func TestSwapManyPairs(t *testing.T) {
+	const pairs = 40
+	s := newSys(4)
+	var sum atomic.Int64
+	s.Run(func() {
+		sc := NewSwapChan[int]()
+		for i := 0; i < 2*pairs; i++ {
+			i := i
+			s.Fork(func() {
+				got := sc.Swap(s, i)
+				sum.Add(int64(got))
+			})
+		}
+	})
+	// Every offered value is received by exactly one partner.
+	want := int64(2*pairs-1) * int64(2*pairs) / 2
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestSwapPairsDisjoint(t *testing.T) {
+	// With two swappers, each must get the other's value — never its own.
+	for round := 0; round < 20; round++ {
+		s := newSys(2)
+		results := make(map[int]int)
+		s.Run(func() {
+			sc := NewSwapChan[int]()
+			done := NewChan[struct{ who, got int }]()
+			s.Fork(func() { done.Send(s, struct{ who, got int }{1, sc.Swap(s, 1)}) })
+			s.Fork(func() { done.Send(s, struct{ who, got int }{2, sc.Swap(s, 2)}) })
+			for i := 0; i < 2; i++ {
+				r := done.Recv(s)
+				results[r.who] = r.got
+			}
+		})
+		if results[1] != 2 || results[2] != 1 {
+			t.Fatalf("round %d: results = %v", round, results)
+		}
+	}
+}
+
+func TestMulticastEveryPortSeesEveryMessage(t *testing.T) {
+	s := newSys(4)
+	const ports, msgs = 4, 10
+	sums := make([]int, ports)
+	s.Run(func() {
+		mc := NewMulticast[int]()
+		var boxes []*Mailbox[int]
+		for i := 0; i < ports; i++ {
+			boxes = append(boxes, mc.Port())
+		}
+		for m := 1; m <= msgs; m++ {
+			mc.Send(s, m)
+		}
+		for i, p := range boxes {
+			for m := 0; m < msgs; m++ {
+				sums[i] += p.Recv(s)
+			}
+		}
+	})
+	want := msgs * (msgs + 1) / 2
+	for i, got := range sums {
+		if got != want {
+			t.Fatalf("port %d sum = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMulticastLateBindingPort(t *testing.T) {
+	s := newSys(2)
+	var early, late int
+	s.Run(func() {
+		mc := NewMulticast[int]()
+		p1 := mc.Port()
+		mc.Send(s, 1)
+		p2 := mc.Port() // attached after the first send: must not see it
+		mc.Send(s, 2)
+		early = p1.Recv(s) + p1.Recv(s)
+		late = p2.Recv(s)
+	})
+	if early != 3 {
+		t.Fatalf("early port got %d, want 3", early)
+	}
+	if late != 2 {
+		t.Fatalf("late port got %d, want 2", late)
+	}
+}
+
+func TestMulticastPortsAreSelectable(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		mc := NewMulticast[int]()
+		p := mc.Port()
+		dead := NewChan[int]()
+		s.Fork(func() { mc.Send(s, 6) })
+		got = Select(s, p.RecvEvt(), dead.RecvEvt())
+	})
+	if got != 6 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestSwapUnderChoosePanics(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		sc := NewSwapChan[int]()
+		defer func() {
+			if recover() == nil {
+				t.Error("swap under Choose did not panic")
+			}
+		}()
+		Select(s, swapEvt[int]{sc: sc, v: 1}, Never[int]())
+	})
+}

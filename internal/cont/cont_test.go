@@ -1,0 +1,231 @@
+package cont
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/gls"
+)
+
+// withBaton runs f on a goroutine carrying a dummy baton, simulating code
+// running on a proc, and waits for the whole continuation web to settle.
+func withBaton(t *testing.T, f func()) {
+	t.Helper()
+	done := make(chan any, 1)
+	go func() {
+		gls.Set("test-baton")
+		defer func() {
+			gls.Del()
+			done <- recover()
+		}()
+		f()
+	}()
+	if r := <-done; r != nil && !IsExit(r) {
+		t.Fatalf("panic: %v", r)
+	}
+}
+
+func TestCallccImplicitReturn(t *testing.T) {
+	withBaton(t, func() {
+		v := Callcc(func(k *Cont[int]) int { return 41 + 1 })
+		if v != 42 {
+			t.Errorf("Callcc = %d, want 42", v)
+		}
+	})
+}
+
+func TestCallccThrowFromBody(t *testing.T) {
+	withBaton(t, func() {
+		v := Callcc(func(k *Cont[string]) string {
+			Throw(k, "thrown")
+			return "unreachable" // Throw never returns
+		})
+		if v != "thrown" {
+			t.Errorf("Callcc = %q, want thrown", v)
+		}
+	})
+}
+
+func TestThrowAcrossCaptures(t *testing.T) {
+	// Capture a continuation and throw to it from a nested continuation
+	// body — the cross-context control transfer at the heart of Fig. 3's
+	// dispatch.  The nested body's own continuation is deliberately
+	// abandoned, as dispatch abandons the proc's previous thread.
+	withBaton(t, func() {
+		got := Callcc(func(k *Cont[int]) int {
+			Callcc(func(j *Cont[Unit]) Unit {
+				Throw(k, 10)
+				return Unit{}
+			})
+			return -1 // parked forever on j; never runs
+		})
+		if got != 10 {
+			t.Errorf("Callcc = %d, want 10", got)
+		}
+	})
+}
+
+func TestOneShotEnforced(t *testing.T) {
+	withBaton(t, func() {
+		var saved *Cont[int]
+		v := Callcc(func(k *Cont[int]) int {
+			saved = k
+			Throw(k, 1)
+			return 0
+		})
+		if v != 1 {
+			t.Fatalf("first throw delivered %d, want 1", v)
+		}
+		caught := make(chan any, 1)
+		Callcc(func(j *Cont[Unit]) Unit {
+			func() {
+				defer func() { caught <- recover() }()
+				Throw(saved, 2)
+			}()
+			return Unit{}
+		})
+		r := <-caught
+		if r == nil {
+			t.Error("second throw did not panic")
+		} else if IsExit(r) {
+			t.Error("second throw unwound instead of reporting reuse")
+		}
+	})
+}
+
+func TestUsedFlag(t *testing.T) {
+	withBaton(t, func() {
+		var saved *Cont[int]
+		Callcc(func(k *Cont[int]) int { saved = k; return 0 })
+		if !saved.Used() {
+			t.Error("implicitly returned continuation not marked used")
+		}
+	})
+}
+
+func TestBatonTravelsWithThrow(t *testing.T) {
+	// A continuation captured under baton A and thrown under baton B must
+	// resume observing baton B: "the datum follows control".
+	resumed := make(chan any, 1)
+	ready := make(chan *Cont[Unit], 1)
+	go func() {
+		gls.Set("proc-A")
+		defer func() { recover(); gls.Del() }()
+		Callcc(func(k *Cont[Unit]) Unit {
+			ready <- k
+			Exit() // abandon this body; k stays parked
+			return Unit{}
+		})
+		b, _ := gls.Get()
+		resumed <- b
+	}()
+	k := <-ready
+	go func() {
+		gls.Set("proc-B")
+		defer func() { recover(); gls.Del() }()
+		Throw(k, Unit{})
+	}()
+	if b := <-resumed; b != "proc-B" {
+		t.Fatalf("resumed baton = %v, want proc-B", b)
+	}
+}
+
+func TestCallccOutsidePlatformPanics(t *testing.T) {
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		Callcc(func(k *Cont[int]) int { return 0 })
+	}()
+	if r := <-done; r == nil {
+		t.Fatal("Callcc without a baton did not panic")
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	withBaton(t, func() {
+		// A chain of nested callccs, each incrementing; exercises goroutine
+		// hand-off depth.
+		sum := 0
+		for i := 0; i < 100; i++ {
+			sum += Callcc(func(k *Cont[int]) int { Throw(k, 1); return 0 })
+		}
+		if sum != 100 {
+			t.Errorf("sum = %d, want 100", sum)
+		}
+	})
+}
+
+func BenchmarkCallccThrow(b *testing.B) {
+	done := make(chan struct{})
+	go func() {
+		gls.Set("bench")
+		defer gls.Del()
+		for i := 0; i < b.N; i++ {
+			Callcc(func(k *Cont[int]) int { Throw(k, i); return 0 })
+		}
+		close(done)
+	}()
+	<-done
+}
+
+func BenchmarkCallccReturn(b *testing.B) {
+	done := make(chan struct{})
+	go func() {
+		gls.Set("bench")
+		defer gls.Del()
+		for i := 0; i < b.N; i++ {
+			Callcc(func(k *Cont[int]) int { return i })
+		}
+		close(done)
+	}()
+	<-done
+}
+
+func TestManyConcurrentContinuationWebs(t *testing.T) {
+	// Many independent goroutine "procs", each running deep chains of
+	// callcc/throw concurrently: exercises the handoff protocol and gls
+	// hygiene under parallelism.
+	const webs = 16
+	done := make(chan int, webs)
+	for w := 0; w < webs; w++ {
+		w := w
+		go func() {
+			gls.Set(w)
+			defer gls.Del()
+			sum := 0
+			for i := 0; i < 200; i++ {
+				sum += Callcc(func(k *Cont[int]) int { Throw(k, 1); return 0 })
+			}
+			done <- sum
+		}()
+	}
+	for w := 0; w < webs; w++ {
+		if got := <-done; got != 200 {
+			t.Fatalf("web summed %d, want 200", got)
+		}
+	}
+}
+
+func TestBatonNotLeakedAfterWebs(t *testing.T) {
+	before := gls.Len()
+	doneCh := make(chan struct{})
+	go func() {
+		gls.Set("w")
+		defer gls.Del()
+		for i := 0; i < 50; i++ {
+			Callcc(func(k *Cont[int]) int { Throw(k, i); return 0 })
+		}
+		close(doneCh)
+	}()
+	<-doneCh
+	// Body goroutines clean their entries as they exit; allow a moment
+	// for the last few deferred Dels.
+	deadline := time.Now().Add(2 * time.Second)
+	for gls.Len() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+	if gls.Len() > before {
+		t.Fatalf("gls entries leaked: %d -> %d", before, gls.Len())
+	}
+}

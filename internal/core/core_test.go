@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestPlatformSurface(t *testing.T) {
+	pl := NewPlatform(2)
+	if pl.MaxProcs() != 2 {
+		t.Fatalf("MaxProcs = %d", pl.MaxProcs())
+	}
+	got := 0
+	pl.Run(func() {
+		SetDatum(5)
+		if GetDatum() != 5 {
+			t.Error("datum round trip failed")
+		}
+		if Self() != 0 {
+			t.Errorf("root proc id = %d", Self())
+		}
+		got = Callcc(func(k *Cont[int]) int {
+			Throw(k, 7)
+			return 0
+		})
+	}, nil)
+	if got != 7 {
+		t.Fatalf("callcc/throw through facade = %d", got)
+	}
+}
+
+func TestMutexLockSurface(t *testing.T) {
+	l := NewMutexLock()
+	if !l.TryLock() {
+		t.Fatal("fresh lock not acquirable")
+	}
+	if l.TryLock() {
+		t.Fatal("double acquire")
+	}
+	l.Unlock()
+	l.Lock()
+	l.Unlock()
+}
+
+func TestAcquireReleaseSurface(t *testing.T) {
+	pl := NewPlatform(2)
+	ran := false
+	pl.Run(func() {
+		Callcc(func(k *UnitCont) Unit {
+			if err := pl.Acquire(PS{K: k, Datum: "x"}); err != nil {
+				t.Errorf("acquire: %v", err)
+				Throw(k, Unit{})
+			}
+			ran = true
+			pl.Release()
+			return Unit{}
+		})
+		if GetDatum() != "x" {
+			t.Errorf("datum on acquired proc = %v", GetDatum())
+		}
+	}, nil)
+	if !ran {
+		t.Fatal("acquired-proc body did not run")
+	}
+}
+
+func TestNoMoreProcsSurface(t *testing.T) {
+	pl := NewPlatform(1)
+	pl.Run(func() {
+		err := Callcc(func(k *Cont[error]) error {
+			e := pl.Acquire(PS{K: nil2unit(), Datum: nil})
+			Throw(k, e)
+			return nil
+		})
+		if err != ErrNoMoreProcs {
+			t.Errorf("err = %v, want ErrNoMoreProcs", err)
+		}
+	}, nil)
+}
+
+// nil2unit builds a throwaway parked continuation for failure-path tests.
+func nil2unit() *UnitCont {
+	ch := make(chan *UnitCont, 1)
+	pl := NewPlatform(1)
+	go pl.Run(func() {
+		Callcc(func(k *UnitCont) Unit {
+			ch <- k
+			pl.Release()
+			return Unit{}
+		})
+	}, nil)
+	return <-ch
+}

@@ -1,0 +1,178 @@
+// Package desim is a deterministic discrete-event simulation engine, the
+// substrate under the machine models that stand in for the paper's 1993
+// hardware (16-processor Sequent Symmetry S81, 8-processor SGI 4D/380S).
+//
+// The engine advances a virtual clock over a totally ordered event heap.
+// Simulated activities are *processes*: goroutines that run strictly one
+// at a time, hand-shaking with the engine at every timing operation, so a
+// simulation is sequential and fully deterministic — the same seed yields
+// the same event trace, clock, and statistics, which the repository's
+// property tests verify.
+//
+// Process API (valid only inside a process function):
+//
+//   - Advance(d): let d nanoseconds of virtual time pass.
+//   - AdvanceTo(t): advance to absolute time t (no-op if in the past).
+//   - Park(): block until another process calls Unpark.
+//   - Unpark(q): make q runnable now (q must be parked).
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is virtual time in nanoseconds.
+type Time = int64
+
+type event struct {
+	t   Time
+	seq uint64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine runs a deterministic discrete-event simulation.
+type Engine struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	yield  chan struct{}
+	rng    *rand.Rand
+	parked int
+	nprocs int
+}
+
+// New returns an engine with a seeded random source for deterministic
+// tie-breaking decisions in client models.
+func New(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Proc is a simulated process.
+type Proc struct {
+	e      *Engine
+	name   string
+	resume chan struct{}
+	parked bool
+	done   bool
+}
+
+// Name returns the process's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine the process belongs to.
+func (p *Proc) Engine() *Engine { return p.e }
+
+// Spawn creates a process running fn, scheduled to start at the current
+// virtual time.  It may be called before Run or from inside a running
+// process.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{e: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	go func() {
+		<-p.resume // wait for the engine to start us
+		fn(p)
+		p.done = true
+		e.yield <- struct{}{} // return control; the goroutine is finished
+	}()
+	e.schedule(p, e.now)
+	return p
+}
+
+func (e *Engine) schedule(p *Proc, t Time) {
+	e.seq++
+	heap.Push(&e.events, event{t: t, seq: e.seq, p: p})
+}
+
+// Run drives the simulation until no scheduled events remain and returns
+// the final virtual time.  Processes still parked at that point are
+// deadlocked; Run panics to surface the modeling bug.
+func (e *Engine) Run() Time {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.t
+		ev.p.resume <- struct{}{}
+		<-e.yield
+	}
+	if e.parked > 0 {
+		panic(fmt.Sprintf("desim: %d process(es) parked forever at t=%d", e.parked, e.now))
+	}
+	return e.now
+}
+
+// Parked reports how many processes are currently parked.
+func (e *Engine) Parked() int { return e.parked }
+
+// yieldToEngine hands control back and blocks until rescheduled.
+func (p *Proc) yieldToEngine() {
+	p.e.yield <- struct{}{}
+	<-p.resume
+}
+
+// Advance lets d nanoseconds of virtual time pass for this process.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic("desim: negative Advance")
+	}
+	p.e.schedule(p, p.e.now+d)
+	p.yieldToEngine()
+}
+
+// AdvanceTo advances to absolute time t; a no-op if t is in the past.
+func (p *Proc) AdvanceTo(t Time) {
+	if t <= p.e.now {
+		return
+	}
+	p.e.schedule(p, t)
+	p.yieldToEngine()
+}
+
+// Park blocks the process until some other process calls Unpark on it.
+func (p *Proc) Park() {
+	if p.parked {
+		panic("desim: Park on already parked process")
+	}
+	p.parked = true
+	p.e.parked++
+	p.yieldToEngine()
+}
+
+// Unpark makes a parked process runnable at the current virtual time.  It
+// must be called from the currently running process (or before Run).
+func (p *Proc) Unpark(q *Proc) {
+	if !q.parked {
+		panic(fmt.Sprintf("desim: Unpark of non-parked process %q", q.name))
+	}
+	q.parked = false
+	p.e.parked--
+	p.e.schedule(q, p.e.now)
+}

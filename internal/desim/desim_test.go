@@ -1,0 +1,185 @@
+package desim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleProcessAdvances(t *testing.T) {
+	e := New(1)
+	var at []Time
+	e.Spawn("p", func(p *Proc) {
+		p.Advance(10)
+		at = append(at, e.Now())
+		p.Advance(5)
+		at = append(at, e.Now())
+	})
+	end := e.Run()
+	if end != 15 {
+		t.Fatalf("end = %d, want 15", end)
+	}
+	if at[0] != 10 || at[1] != 15 {
+		t.Fatalf("at = %v", at)
+	}
+}
+
+func TestProcessesInterleaveByTime(t *testing.T) {
+	e := New(1)
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		p.Advance(10)
+		trace = append(trace, "a10")
+		p.Advance(20) // to 30
+		trace = append(trace, "a30")
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Advance(15)
+		trace = append(trace, "b15")
+		p.Advance(20) // to 35
+		trace = append(trace, "b35")
+	})
+	e.Run()
+	want := []string{"a10", "b15", "a30", "b35"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestFIFOTieBreakAtSameTime(t *testing.T) {
+	e := New(1)
+	var trace []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Advance(100) // all wake at t=100
+			trace = append(trace, i)
+		})
+	}
+	e.Run()
+	for i, v := range trace {
+		if v != i {
+			t.Fatalf("same-time events out of spawn order: %v", trace)
+		}
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	e := New(1)
+	var consumer *Proc
+	var got Time
+	ready := false
+	consumer = e.Spawn("consumer", func(p *Proc) {
+		if !ready {
+			p.Park()
+		}
+		got = e.Now()
+	})
+	e.Spawn("producer", func(p *Proc) {
+		p.Advance(42)
+		ready = true
+		p.Unpark(consumer)
+	})
+	e.Run()
+	if got != 42 {
+		t.Fatalf("consumer resumed at %d, want 42", got)
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	e := New(1)
+	e.Spawn("p", func(p *Proc) {
+		p.AdvanceTo(50)
+		if e.Now() != 50 {
+			t.Errorf("now = %d", e.Now())
+		}
+		p.AdvanceTo(10) // in the past: no-op
+		if e.Now() != 50 {
+			t.Errorf("AdvanceTo went backwards: %d", e.Now())
+		}
+	})
+	e.Run()
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := New(1)
+	e.Spawn("stuck", func(p *Proc) { p.Park() })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadlocked run did not panic")
+		}
+	}()
+	e.Run()
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	e := New(1)
+	var childAt Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Advance(7)
+		e.Spawn("child", func(q *Proc) {
+			q.Advance(3)
+			childAt = e.Now()
+		})
+		p.Advance(100)
+	})
+	e.Run()
+	if childAt != 10 {
+		t.Fatalf("child finished at %d, want 10", childAt)
+	}
+}
+
+// TestQuickDeterminism: any program of random advances over several
+// processes produces an identical final clock on every run with the same
+// seed.
+func TestQuickDeterminism(t *testing.T) {
+	prop := func(delays []uint16, seed int64) bool {
+		run := func() Time {
+			e := New(seed)
+			for pi := 0; pi < 3; pi++ {
+				pi := pi
+				e.Spawn("p", func(p *Proc) {
+					for i, d := range delays {
+						if i%3 == pi {
+							p.Advance(Time(d))
+						}
+					}
+				})
+			}
+			return e.Run()
+		}
+		return run() == run()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickClockMonotone: the engine clock never runs backwards.
+func TestQuickClockMonotone(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := New(1)
+		ok := true
+		var last Time
+		for pi := 0; pi < 4; pi++ {
+			pi := pi
+			e.Spawn("p", func(p *Proc) {
+				for i, d := range delays {
+					if i%4 == pi {
+						p.Advance(Time(d))
+						if e.Now() < last {
+							ok = false
+						}
+						last = e.Now()
+					}
+				}
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package experiments is the evaluation harness: it runs the simulated
+// workloads across proc counts and machine models, computes the paper's
+// metrics (self-relative speedup with and without GC time, bus traffic,
+// idle and lock-contention fractions), and formats the rows and series the
+// paper reports.  DESIGN.md's experiment index (E1–E7) maps each public
+// entry point here to a table or figure in §6.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/simwork"
+)
+
+// Point is one (program, machine, procs) measurement.
+type Point struct {
+	Procs       int
+	MakespanNS  int64
+	Speedup     float64 // self-relative, GC time included (Fig. 6)
+	NoGCSpeedup float64 // GC time excluded (§6 ¶5)
+	IdleFrac    float64
+	LockFrac    float64
+	BusMBps     float64
+	GCs         int
+	GCFrac      float64 // GC wall time / makespan
+}
+
+// Series is one curve of Figure 6.
+type Series struct {
+	Program string
+	Machine string
+	Points  []Point
+}
+
+// Figure6 reproduces the paper's Figure 6 on the named machine model:
+// self-relative speedup for allpairs, mst, abisort, simple, mm and seq at
+// p = 1..maxP.  Self-relative means T(1)/T(p) for the real benchmarks; for
+// the seq control (p independent copies) it is p*T(1)/T(p), so a machine
+// with no coupling at all would plot the identity line.
+func Figure6(cfgName string, maxP int, seed int64) ([]Series, error) {
+	mk, ok := machine.Configs[cfgName]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown machine %q", cfgName)
+	}
+	cfg := mk()
+	if maxP <= 0 || maxP > cfg.Procs {
+		maxP = cfg.Procs
+	}
+	var out []Series
+	for _, pr := range simwork.Programs() {
+		s := Series{Program: pr.Name, Machine: cfg.Name}
+		base := simwork.Run(pr, cfg, 1, seed)
+		baseNoGC := base.Makespan - base.GCNS
+		for p := 1; p <= maxP; p++ {
+			r := simwork.Run(pr, cfg, p, seed)
+			pt := Point{
+				Procs:      p,
+				MakespanNS: r.Makespan,
+				IdleFrac:   r.IdleFrac(),
+				LockFrac:   r.LockFrac(),
+				BusMBps:    r.BusMBps(),
+				GCs:        r.GCs,
+			}
+			if r.Makespan > 0 {
+				pt.Speedup = float64(base.Makespan) / float64(r.Makespan)
+				pt.GCFrac = float64(r.GCNS) / float64(r.Makespan)
+			}
+			if noGC := r.Makespan - r.GCNS; noGC > 0 {
+				pt.NoGCSpeedup = float64(baseNoGC) / float64(noGC)
+			}
+			if pr.Independent {
+				// p copies of the whole application: perfect scaling keeps
+				// T(p) = T(1), i.e. speedup p.
+				pt.Speedup *= float64(p)
+				pt.NoGCSpeedup *= float64(p)
+			}
+			s.Points = append(s.Points, pt)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Detail runs one program at one proc count and returns the §6 diagnostic
+// row: idle fraction, lock fraction, bus traffic, GC share.
+func Detail(program, cfgName string, procs int, seed int64) (simwork.Result, error) {
+	mk, ok := machine.Configs[cfgName]
+	if !ok {
+		return simwork.Result{}, fmt.Errorf("experiments: unknown machine %q", cfgName)
+	}
+	pr, ok := simwork.ByName(program)
+	if !ok {
+		return simwork.Result{}, fmt.Errorf("experiments: unknown program %q", program)
+	}
+	cfg := mk()
+	if procs <= 0 || procs > cfg.Procs {
+		procs = cfg.Procs
+	}
+	return simwork.Run(pr, cfg, procs, seed), nil
+}
+
+// SpeedupTable renders series as the Figure 6 data table.
+func SpeedupTable(series []Series, noGC bool) string {
+	if len(series) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	metric := "speedup (GC included)"
+	if noGC {
+		metric = "speedup (GC excluded)"
+	}
+	fmt.Fprintf(&b, "Self-relative %s on %s\n", metric, series[0].Machine)
+	fmt.Fprintf(&b, "%-6s", "procs")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%10s", s.Program)
+	}
+	b.WriteByte('\n')
+	for i := range series[0].Points {
+		fmt.Fprintf(&b, "%-6d", series[0].Points[i].Procs)
+		for _, s := range series {
+			v := s.Points[i].Speedup
+			if noGC {
+				v = s.Points[i].NoGCSpeedup
+			}
+			fmt.Fprintf(&b, "%10.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders series as comma-separated values for plotting.
+func CSV(series []Series) string {
+	var b strings.Builder
+	b.WriteString("machine,program,procs,makespan_ns,speedup,nogc_speedup,idle_frac,lock_frac,bus_mbps,gcs,gc_frac\n")
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%s,%d,%d,%.4f,%.4f,%.4f,%.4f,%.3f,%d,%.4f\n",
+				s.Machine, s.Program, p.Procs, p.MakespanNS, p.Speedup,
+				p.NoGCSpeedup, p.IdleFrac, p.LockFrac, p.BusMBps, p.GCs, p.GCFrac)
+		}
+	}
+	return b.String()
+}
+
+// AsciiChart renders the speedup curves as a rough terminal plot, enough
+// to eyeball the Figure 6 shape.
+func AsciiChart(series []Series, width, height int) string {
+	if len(series) == 0 {
+		return ""
+	}
+	maxP := 0
+	maxS := 1.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.Procs > maxP {
+				maxP = p.Procs
+			}
+			if p.Speedup > maxS {
+				maxS = p.Speedup
+			}
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'a', 'm', 'b', 's', 'M', 'q'} // allpairs mst abisort simple mm seq
+	for si, s := range series {
+		mark := byte('0' + si)
+		if si < len(marks) {
+			mark = marks[si]
+		}
+		for _, p := range s.Points {
+			x := (p.Procs - 1) * (width - 1) / max(maxP-1, 1)
+			y := height - 1 - int(p.Speedup/maxS*float64(height-1))
+			if y >= 0 && y < height && x >= 0 && x < width {
+				grid[y][x] = mark
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "speedup (max %.1f) vs procs (1..%d) on %s\n", maxS, maxP, series[0].Machine)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n   legend: ")
+	for si, s := range series {
+		mark := byte('0' + si)
+		if si < len(marks) {
+			mark = marks[si]
+		}
+		fmt.Fprintf(&b, "%c=%s ", mark, s.Program)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Summary extracts the headline claims checked in EXPERIMENTS.md.
+type Summary struct {
+	MMFinalSpeedup     float64
+	SeqFinalSpeedup    float64
+	SimpleFinalSpeedup float64
+	SimpleIdleAt10     float64
+	MMBusMBpsAt16      float64
+	Order              []string // programs sorted by final speedup, best first
+	NoGCGainAllpairs   float64  // nogc/gc speedup ratio at max procs
+	NoGCGainAbisort    float64
+}
+
+// Summarize computes the Summary from Figure 6 series (Sequent layout).
+func Summarize(series []Series) Summary {
+	var sum Summary
+	last := func(s Series) Point { return s.Points[len(s.Points)-1] }
+	at := func(s Series, p int) (Point, bool) {
+		for _, pt := range s.Points {
+			if pt.Procs == p {
+				return pt, true
+			}
+		}
+		return Point{}, false
+	}
+	type fin struct {
+		name string
+		s    float64
+	}
+	var fins []fin
+	for _, s := range series {
+		pt := last(s)
+		fins = append(fins, fin{s.Program, pt.Speedup})
+		switch s.Program {
+		case "mm":
+			sum.MMFinalSpeedup = pt.Speedup
+			if p16, ok := at(s, 16); ok {
+				sum.MMBusMBpsAt16 = p16.BusMBps
+			} else {
+				sum.MMBusMBpsAt16 = pt.BusMBps
+			}
+		case "seq":
+			sum.SeqFinalSpeedup = pt.Speedup
+		case "simple":
+			sum.SimpleFinalSpeedup = pt.Speedup
+			if p10, ok := at(s, 10); ok {
+				sum.SimpleIdleAt10 = p10.IdleFrac
+			}
+		case "allpairs":
+			if pt.Speedup > 0 {
+				sum.NoGCGainAllpairs = pt.NoGCSpeedup / pt.Speedup
+			}
+		case "abisort":
+			if pt.Speedup > 0 {
+				sum.NoGCGainAbisort = pt.NoGCSpeedup / pt.Speedup
+			}
+		}
+	}
+	sort.Slice(fins, func(i, j int) bool { return fins[i].s > fins[j].s })
+	for _, f := range fins {
+		sum.Order = append(sum.Order, f.name)
+	}
+	return sum
+}

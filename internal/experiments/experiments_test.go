@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/simwork"
+)
+
+// The tests in this file are the acceptance criteria for the reproduction:
+// each corresponds to a quantitative or qualitative claim in the paper's
+// §6 and is indexed in DESIGN.md (E1-E7).
+
+var (
+	f6Once sync.Once
+	f6     []Series
+	f6Err  error
+)
+
+func figure6(t *testing.T) []Series {
+	t.Helper()
+	f6Once.Do(func() { f6, f6Err = Figure6("sequent", 16, 1) })
+	if f6Err != nil {
+		t.Fatal(f6Err)
+	}
+	return f6
+}
+
+func bySeries(series []Series, name string) Series {
+	for _, s := range series {
+		if s.Program == name {
+			return s
+		}
+	}
+	panic("missing series " + name)
+}
+
+func last(s Series) Point { return s.Points[len(s.Points)-1] }
+
+// E1: the Figure 6 curve family — seq best and near linear, mm close
+// behind, allpairs mid, abisort/mst lower, simple worst.
+func TestE1Figure6Ordering(t *testing.T) {
+	sum := Summarize(figure6(t))
+	want := []string{"seq", "mm", "allpairs"}
+	for i, w := range want {
+		if sum.Order[i] != w {
+			t.Fatalf("speedup order = %v, want prefix %v", sum.Order, want)
+		}
+	}
+	if sum.Order[len(sum.Order)-1] != "simple" {
+		t.Fatalf("worst case = %s, want simple (order %v)",
+			sum.Order[len(sum.Order)-1], sum.Order)
+	}
+}
+
+func TestE1SeqNearLinear(t *testing.T) {
+	seq := bySeries(figure6(t), "seq")
+	pt := last(seq)
+	if pt.Speedup < 14.0 {
+		t.Fatalf("seq speedup at 16 = %.2f, want near-linear (>= 14)", pt.Speedup)
+	}
+	// And monotone nondecreasing within 2%.
+	prev := 0.0
+	for _, p := range seq.Points {
+		if p.Speedup < prev*0.98 {
+			t.Fatalf("seq speedup not monotone: %.2f after %.2f", p.Speedup, prev)
+		}
+		prev = p.Speedup
+	}
+}
+
+func TestE1MMExcellentAlmostSeq(t *testing.T) {
+	series := figure6(t)
+	mm := last(bySeries(series, "mm"))
+	others := []string{"allpairs", "mst", "abisort", "simple"}
+	for _, o := range others {
+		if mm.Speedup <= last(bySeries(series, o)).Speedup {
+			t.Fatalf("mm (%.2f) should beat %s (%.2f)", mm.Speedup, o,
+				last(bySeries(series, o)).Speedup)
+		}
+	}
+	if mm.Speedup < 9 {
+		t.Fatalf("mm speedup at 16 = %.2f, want 'excellent' (>= 9)", mm.Speedup)
+	}
+}
+
+// E2: mm generates about 20 MB/s of bus traffic at 16 procs against a
+// 25 MB/s bus.
+func TestE2MMBusTraffic(t *testing.T) {
+	mm := last(bySeries(figure6(t), "mm"))
+	if mm.BusMBps < 15 || mm.BusMBps > 25 {
+		t.Fatalf("mm bus traffic at 16 procs = %.1f MB/s, want ~20 (15..25)", mm.BusMBps)
+	}
+}
+
+// E3: with GC time excluded, abisort and allpairs speed up considerably
+// more, with the same rough shape.
+func TestE3NoGCConsiderablyHigher(t *testing.T) {
+	series := figure6(t)
+	for _, name := range []string{"allpairs", "abisort"} {
+		pt := last(bySeries(series, name))
+		gain := pt.NoGCSpeedup / pt.Speedup
+		if gain < 1.2 {
+			t.Fatalf("%s: nogc/gc speedup gain = %.2f, want considerable (>= 1.2)", name, gain)
+		}
+	}
+	// mm and seq should barely change: their GC share is small.
+	for _, name := range []string{"seq"} {
+		pt := last(bySeries(series, name))
+		if gain := pt.NoGCSpeedup / pt.Speedup; gain > 1.15 {
+			t.Fatalf("%s: nogc gain = %.2f, want ~1", name, gain)
+		}
+	}
+}
+
+// E4: simple has average processor idle rates above 50% for 10 or more
+// procs, and shows moderate (but nonzero) lock contention; the other
+// applications show no significant lock contention.
+func TestE4SimpleIdleAndContention(t *testing.T) {
+	series := figure6(t)
+	simple := bySeries(series, "simple")
+	for _, p := range simple.Points {
+		if p.Procs >= 10 && p.IdleFrac <= 0.5 {
+			t.Fatalf("simple idle at p=%d is %.0f%%, want > 50%%", p.Procs, p.IdleFrac*100)
+		}
+	}
+	pt := last(simple)
+	if pt.LockFrac <= 0 {
+		t.Fatal("simple shows no lock contention; paper reports moderate contention")
+	}
+	for _, name := range []string{"mm", "seq"} {
+		if lf := last(bySeries(series, name)).LockFrac; lf > 0.02 {
+			t.Fatalf("%s lock contention = %.1f%%, want insignificant", name, lf*100)
+		}
+	}
+	if mmLock := last(bySeries(series, "mm")).LockFrac; pt.LockFrac <= mmLock {
+		t.Fatal("simple should show more lock contention than mm")
+	}
+}
+
+// E6: lock latency 46 µs on the Sequent versus 6 µs on the SGI.
+func TestE6LockLatency(t *testing.T) {
+	seq := machine.New(machine.SequentS81(), 1, 0).LockLatency()
+	sgi := machine.New(machine.SGI4D380S(), 1, 0).LockLatency()
+	if seq != 46_000 {
+		t.Fatalf("sequent lock pair = %d ns, want 46µs", seq)
+	}
+	if sgi != 6_000 {
+		t.Fatalf("sgi lock pair = %d ns, want 6µs", sgi)
+	}
+	if float64(seq)/float64(sgi) < 7 {
+		t.Fatalf("latency ratio %.1f, want ~7.7x", float64(seq)/float64(sgi))
+	}
+}
+
+// E7: on the SGI, memory contention swamps all other effects — GC, idle
+// time and lock contention are not significant factors, and every curve
+// is compressed toward the bus ceiling.
+func TestE7SGIBusBound(t *testing.T) {
+	series, err := Figure6("sgi", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		pt := last(s)
+		if s.Program == "simple" || s.Program == "mst" {
+			continue // parallelism-starved regardless of machine
+		}
+		// Bus utilization should be high: fast processors against a
+		// marginally faster bus.
+		if pt.BusMBps < 10 {
+			t.Errorf("%s on sgi: bus only %.1f MB/s; expected bus-bound behaviour",
+				s.Program, pt.BusMBps)
+		}
+	}
+	// The allocation-heavy programs should be further from linear on the
+	// SGI (bus-swamped) than on the Sequent at the same proc count.
+	seq16, _ := Figure6("sequent", 8, 1)
+	for _, name := range []string{"allpairs", "abisort"} {
+		sgiS := last(bySeries(series, name)).Speedup
+		seqS := last(bySeries(seq16, name)).Speedup
+		if sgiS > seqS {
+			t.Errorf("%s: sgi speedup %.2f exceeds sequent %.2f at p=8; "+
+				"memory contention should dominate on the sgi", name, sgiS, seqS)
+		}
+	}
+}
+
+func TestSpeedupTableFormat(t *testing.T) {
+	series := figure6(t)
+	tbl := SpeedupTable(series, false)
+	for _, want := range []string{"allpairs", "mst", "abisort", "simple", "mm", "seq", "procs"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if lines := strings.Count(tbl, "\n"); lines != 18 { // header*2 + 16 rows
+		t.Fatalf("table has %d lines, want 18", lines)
+	}
+}
+
+func TestCSVWellFormed(t *testing.T) {
+	series := figure6(t)
+	csv := CSV(series)
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+6*16 {
+		t.Fatalf("csv rows = %d, want 97", len(lines))
+	}
+	cols := strings.Count(lines[0], ",") + 1
+	for i, l := range lines {
+		if strings.Count(l, ",")+1 != cols {
+			t.Fatalf("row %d has wrong arity: %s", i, l)
+		}
+	}
+}
+
+func TestAsciiChartRenders(t *testing.T) {
+	chart := AsciiChart(figure6(t), 60, 20)
+	if !strings.Contains(chart, "legend") || len(chart) < 400 {
+		t.Fatalf("chart too small:\n%s", chart)
+	}
+}
+
+func TestDetail(t *testing.T) {
+	r, err := Detail("simple", "sequent", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Procs != 10 || r.Program != "simple" {
+		t.Fatalf("detail = %+v", r)
+	}
+	if r.IdleFrac() <= 0.5 {
+		t.Fatalf("simple idle at 10 procs = %.2f, want > 0.5", r.IdleFrac())
+	}
+}
+
+func TestUnknownInputs(t *testing.T) {
+	if _, err := Figure6("pdp11", 4, 1); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if _, err := Detail("quicksort", "sequent", 4, 1); err == nil {
+		t.Fatal("unknown program accepted")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	a, _ := Figure6("sequent", 4, 7)
+	b, _ := Figure6("sequent", 4, 7)
+	for i := range a {
+		for j := range a[i].Points {
+			if a[i].Points[j] != b[i].Points[j] {
+				t.Fatalf("nondeterministic result at %s p=%d", a[i].Program, j+1)
+			}
+		}
+	}
+}
+
+func TestTotalWorkAccounting(t *testing.T) {
+	for _, pr := range simwork.Programs() {
+		instr, words := pr.TotalWork()
+		if instr <= 0 {
+			t.Fatalf("%s: nonpositive work", pr.Name)
+		}
+		if words < 0 {
+			t.Fatalf("%s: negative allocation", pr.Name)
+		}
+		r := simwork.Run(pr, machine.SequentS81(), 1, 1)
+		wantWords := words
+		if pr.Independent {
+			// one copy per proc; p=1 means one copy
+		}
+		if r.Totals.AllocWords != wantWords {
+			t.Fatalf("%s: simulated alloc %d words, program defines %d",
+				pr.Name, r.Totals.AllocWords, wantWords)
+		}
+	}
+}
+
+// F1: the §7 future-work proposals must actually help where the paper
+// predicts — the cache-resident nursery lifts allocation-heavy programs,
+// and combining both proposals beats either alone for mm.
+func TestF1FutureWork(t *testing.T) {
+	rows, err := FutureWork("sequent", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]FutureWorkRow{}
+	for _, r := range rows {
+		byName[r.Program] = r
+	}
+	for _, name := range []string{"abisort", "allpairs", "mm"} {
+		r := byName[name]
+		if r.CacheNursery <= r.Baseline {
+			t.Errorf("%s: cache-resident nursery did not help (%.2f <= %.2f)",
+				name, r.CacheNursery, r.Baseline)
+		}
+	}
+	mm := byName["mm"]
+	if mm.Both <= mm.CacheNursery || mm.Both <= mm.ConcGC {
+		t.Errorf("mm: proposals do not compose: both=%.2f cache=%.2f concgc=%.2f",
+			mm.Both, mm.CacheNursery, mm.ConcGC)
+	}
+	tbl := FutureWorkTable(rows, "sequent")
+	if !strings.Contains(tbl, "cache-nursery") {
+		t.Error("table missing header")
+	}
+}
+
+func TestF1UnknownMachine(t *testing.T) {
+	if _, err := FutureWork("cray", 1); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+}

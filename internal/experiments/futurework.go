@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/simwork"
+)
+
+// FutureWorkRow is one program's speedups under the §7 proposals.
+type FutureWorkRow struct {
+	Program      string
+	Baseline     float64 // 1993 design: bus-crossing allocation, STW GC
+	CacheNursery float64 // cache-resident young generation
+	ConcGC       float64 // concurrent collection
+	Both         float64
+}
+
+// FutureWork measures the paper's §7 predictions on the Sequent model at
+// full procs: "Potentially better strategies include using a
+// multi-generational collector with very small young generations that can
+// fit in the cache" (CacheNursery) and "concurrent garbage collection"
+// (ConcGC).  The returned rows show self-relative speedup at p = procs
+// for each variant.
+func FutureWork(cfgName string, seed int64) ([]FutureWorkRow, error) {
+	mk, ok := machine.Configs[cfgName]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown machine %q", cfgName)
+	}
+	variants := []struct {
+		name  string
+		tweak func(*machine.Config)
+	}{
+		{"baseline", func(*machine.Config) {}},
+		{"cache", func(c *machine.Config) { c.CacheResidentNursery = true }},
+		{"concgc", func(c *machine.Config) { c.ConcurrentGC = true }},
+		{"both", func(c *machine.Config) { c.CacheResidentNursery = true; c.ConcurrentGC = true }},
+	}
+	var rows []FutureWorkRow
+	for _, pr := range simwork.Programs() {
+		row := FutureWorkRow{Program: pr.Name}
+		for _, v := range variants {
+			cfg := mk()
+			v.tweak(&cfg)
+			base := simwork.Run(pr, cfg, 1, seed)
+			r := simwork.Run(pr, cfg, cfg.Procs, seed)
+			s := float64(base.Makespan) / float64(r.Makespan)
+			if pr.Independent {
+				s *= float64(cfg.Procs)
+			}
+			switch v.name {
+			case "baseline":
+				row.Baseline = s
+			case "cache":
+				row.CacheNursery = s
+			case "concgc":
+				row.ConcGC = s
+			case "both":
+				row.Both = s
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FutureWorkTable formats the rows.
+func FutureWorkTable(rows []FutureWorkRow, cfgName string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Speedup at full procs on %s under the paper's §7 proposals\n", cfgName)
+	fmt.Fprintf(&b, "%-10s %10s %12s %10s %10s\n",
+		"program", "baseline", "cache-nursery", "conc-GC", "both")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10.2f %12.2f %10.2f %10.2f\n",
+			r.Program, r.Baseline, r.CacheNursery, r.ConcGC, r.Both)
+	}
+	return b.String()
+}

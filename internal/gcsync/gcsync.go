@@ -1,0 +1,248 @@
+// Package gcsync implements the paper's multiprocessor collection
+// protocol (§5) for real: "When the allocation region is completely
+// filled and a garbage collection (GC) is required, the procs are
+// synchronized at clean points, the collection is performed by one of
+// them, and the allocation region is redivided."
+//
+// A World couples an mlheap.Heap with the set of procs currently
+// allocating from it.  Each proc holds an Alloc handle; Record is the
+// allocation fast path (a bump in the proc's private region).  When the
+// region is exhausted, the allocating proc raises a collection request;
+// every registered proc stops at its next clean point (Record or
+// CleanPoint call); the last to arrive performs the sequential collection
+// over all registered roots — including the in-flight slot values of
+// every blocked Record, which the collector must treat as roots and
+// forward — and then releases the world.
+//
+// Constraints inherited from the paper's design: a proc must not spin on
+// a mutex held by a proc that is blocked in a collection (keep critical
+// sections allocation-free), and a proc that stops allocating for a long
+// stretch should call CleanPoint periodically or Detach so it cannot
+// stall a collection.
+package gcsync
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mlheap"
+)
+
+// World is a shared heap plus its clean-point protocol state.
+type World struct {
+	heap *mlheap.Heap
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	procs      []*Alloc
+	global     []*mlheap.Value // world-wide roots, independent of any proc
+	gcNeeded   bool
+	gcFlag     atomic.Bool // lock-free mirror of gcNeeded for hot clean points
+	arrived    int
+	generation uint64
+	gcs        int
+}
+
+// NewWorld wraps a heap.  The heap's configured proc count bounds how
+// many Allocs may be attached at once.
+func NewWorld(cfg mlheap.Config) *World {
+	w := &World{heap: mlheap.New(cfg)}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Heap exposes the underlying heap for reads (Get/Set/Len).
+func (w *World) Heap() *mlheap.Heap { return w.heap }
+
+// AddRoot registers a world-wide root cell: its Value survives
+// collections and is forwarded in place regardless of which procs are
+// attached.  Use it for structures that outlive the proc that built
+// them; per-proc roots belong on the Alloc instead.
+func (w *World) AddRoot(r *mlheap.Value) {
+	w.mu.Lock()
+	w.global = append(w.global, r)
+	w.mu.Unlock()
+}
+
+// RemoveRoot unregisters a world-wide root cell.
+func (w *World) RemoveRoot(r *mlheap.Value) {
+	w.mu.Lock()
+	for i, x := range w.global {
+		if x == r {
+			w.global = append(w.global[:i], w.global[i+1:]...)
+			break
+		}
+	}
+	w.mu.Unlock()
+}
+
+// GCs reports how many collections the world has performed.
+func (w *World) GCs() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.gcs
+}
+
+// Alloc is one proc's allocation handle: a private bump region plus the
+// proc's registered roots.
+type Alloc struct {
+	w       *World
+	pa      *mlheap.ProcAlloc
+	roots   []*mlheap.Value
+	pending []*mlheap.Value // in-flight Record slots, roots during a GC
+}
+
+// Attach registers a new allocating proc with the world.
+func (w *World) Attach() *Alloc {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	a := &Alloc{w: w, pa: w.heap.NewProcAlloc()}
+	w.procs = append(w.procs, a)
+	return a
+}
+
+// Detach removes the proc from the world; a detached proc can no longer
+// stall collections.  Its registered roots remain live until the Alloc
+// is garbage (the collector keeps scanning them), so Detach first hands
+// them to the world.
+func (a *Alloc) Detach() {
+	w := a.w
+	w.mu.Lock()
+	for i, p := range w.procs {
+		if p == a {
+			w.procs = append(w.procs[:i], w.procs[i+1:]...)
+			break
+		}
+	}
+	// A pending collection may now have everyone it is waiting for.
+	if w.gcNeeded && w.arrived == len(w.procs) {
+		w.collectLocked(nil)
+	}
+	w.mu.Unlock()
+}
+
+// AddRoot registers a cell whose Value must survive collections and be
+// forwarded in place; the typical pattern is one root per long-lived
+// data structure the proc owns.
+func (a *Alloc) AddRoot(r *mlheap.Value) {
+	a.w.mu.Lock()
+	a.roots = append(a.roots, r)
+	a.w.mu.Unlock()
+}
+
+// RemoveRoot unregisters a previously added root cell.
+func (a *Alloc) RemoveRoot(r *mlheap.Value) {
+	a.w.mu.Lock()
+	for i, x := range a.roots {
+		if x == r {
+			a.roots = append(a.roots[:i], a.roots[i+1:]...)
+			break
+		}
+	}
+	a.w.mu.Unlock()
+}
+
+// Record allocates a record, synchronizing with collections as needed.
+// The slot values are protected across any collection that happens
+// inside the call — whether raised by this proc or joined at the clean
+// point on behalf of another — by registering them as roots, so callers
+// may freely pass heap pointers.
+func (a *Alloc) Record(slots ...mlheap.Value) mlheap.Value {
+	refs := make([]*mlheap.Value, len(slots))
+	for i := range slots {
+		refs[i] = &slots[i]
+	}
+	for {
+		a.cleanPoint(refs)
+		v, err := a.pa.AllocRecord(slots...)
+		if err == nil {
+			return v
+		}
+		// Region exhausted: raise a collection.
+		a.requestGC(refs)
+	}
+}
+
+// CleanPoint is the paper's clean point: if a collection has been
+// requested, the calling proc stops here until it completes.  Procs that
+// compute for long stretches without allocating should call it
+// periodically.
+func (a *Alloc) CleanPoint() { a.cleanPoint(nil) }
+
+// cleanPoint joins any pending collection, registering the caller's
+// in-flight values as roots for the duration.  The fast path is a single
+// atomic load, so instruction-level callers (the vm package polls every
+// few dozen instructions) pay almost nothing when no collection is
+// pending.
+func (a *Alloc) cleanPoint(inflight []*mlheap.Value) {
+	w := a.w
+	if !w.gcFlag.Load() {
+		return
+	}
+	w.mu.Lock()
+	if w.gcNeeded {
+		a.waitForGCLocked(inflight)
+	}
+	w.mu.Unlock()
+}
+
+// requestGC raises (or joins) a collection request with extra in-flight
+// roots.
+func (a *Alloc) requestGC(extra []*mlheap.Value) {
+	w := a.w
+	w.mu.Lock()
+	w.gcNeeded = true
+	w.gcFlag.Store(true)
+	a.waitForGCLocked(extra)
+	w.mu.Unlock()
+}
+
+// waitForGCLocked joins the clean-point barrier; the last proc to arrive
+// collects.  Called with w.mu held; returns with w.mu held, after the
+// collection.
+func (a *Alloc) waitForGCLocked(extra []*mlheap.Value) {
+	w := a.w
+	a.pending = extra
+	w.arrived++
+	if w.arrived == len(w.procs) {
+		w.collectLocked(a)
+		a.pending = nil
+		return
+	}
+	gen := w.generation
+	for w.generation == gen {
+		w.cond.Wait()
+	}
+	a.pending = nil
+}
+
+// collectLocked performs the sequential collection over every registered
+// root and releases the barrier.  Called with w.mu held.
+func (w *World) collectLocked(collector *Alloc) {
+	roots := append([]*mlheap.Value(nil), w.global...)
+	for _, p := range w.procs {
+		roots = append(roots, p.roots...)
+		roots = append(roots, p.pending...)
+	}
+	w.heap.Collect(roots)
+	w.gcs++
+	w.gcNeeded = false
+	w.gcFlag.Store(false)
+	w.arrived = 0
+	w.generation++
+	w.cond.Broadcast()
+	_ = collector
+}
+
+// Bytes allocates a byte object (an ML string), synchronizing with
+// collections as needed.
+func (a *Alloc) Bytes(data []byte) mlheap.Value {
+	for {
+		a.cleanPoint(nil)
+		v, err := a.pa.AllocBytes(data)
+		if err == nil {
+			return v
+		}
+		a.requestGC(nil)
+	}
+}

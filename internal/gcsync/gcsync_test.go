@@ -1,0 +1,248 @@
+package gcsync
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mlheap"
+)
+
+func smallWorld(procs int) *World {
+	return NewWorld(mlheap.Config{
+		NurseryWords: 2048,
+		SemiWords:    1 << 16,
+		ChunkWords:   64,
+		Procs:        procs,
+	})
+}
+
+func TestSingleProcAllocatesThroughGCs(t *testing.T) {
+	w := smallWorld(1)
+	a := w.Attach()
+	var list mlheap.Value = mlheap.Nil
+	a.AddRoot(&list)
+	for i := 0; i < 5000; i++ {
+		list = a.Record(mlheap.Int(int64(i)), list)
+	}
+	if w.GCs() == 0 {
+		t.Fatal("no collections for 5000 records in a 2048-word nursery")
+	}
+	// Walk: 4999..0.
+	h := w.Heap()
+	v := list
+	for i := 4999; i >= 0; i-- {
+		if h.Get(v, 0).Int() != int64(i) {
+			t.Fatalf("element %d corrupted", i)
+		}
+		v = h.Get(v, 1)
+	}
+	if v != mlheap.Nil {
+		t.Fatal("list tail corrupted")
+	}
+}
+
+func TestInFlightSlotsSurviveGC(t *testing.T) {
+	// Record's slot values must be forwarded if a collection happens
+	// inside the call: allocate pairs whose car is a fresh cell made just
+	// before the Record that may trigger GC.
+	w := smallWorld(1)
+	a := w.Attach()
+	var keep mlheap.Value = mlheap.Nil
+	a.AddRoot(&keep)
+	h := w.Heap()
+	for i := 0; i < 3000; i++ {
+		inner := a.Record(mlheap.Int(int64(i)))
+		outer := a.Record(inner, keep) // inner is in-flight if GC strikes here
+		if h.Get(h.Get(outer, 0), 0).Int() != int64(i) {
+			t.Fatalf("in-flight slot lost at %d (GCs=%d)", i, w.GCs())
+		}
+		keep = outer
+	}
+	if w.GCs() == 0 {
+		t.Fatal("test never exercised a collection")
+	}
+}
+
+func TestParallelProcsCollectTogether(t *testing.T) {
+	const procs = 4
+	w := smallWorld(procs)
+	var wg sync.WaitGroup
+	heads := make([]mlheap.Value, procs)
+	allocs := make([]*Alloc, procs)
+	for p := 0; p < procs; p++ {
+		allocs[p] = w.Attach()
+		heads[p] = mlheap.Nil
+		// World-level roots: the lists outlive their building procs.
+		w.AddRoot(&heads[p])
+	}
+	const per = 4000
+	for p := 0; p < procs; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := allocs[p]
+			// A proc that stops allocating must detach so it cannot
+			// stall later collections (see package doc).
+			defer a.Detach()
+			for i := 0; i < per; i++ {
+				heads[p] = a.Record(mlheap.Int(int64(p*1_000_000+i)), heads[p])
+			}
+		}()
+	}
+	wg.Wait()
+	if w.GCs() == 0 {
+		t.Fatal("no collections despite heavy allocation")
+	}
+	h := w.Heap()
+	for p := 0; p < procs; p++ {
+		v := heads[p]
+		for i := per - 1; i >= 0; i-- {
+			want := int64(p*1_000_000 + i)
+			if got := h.Get(v, 0).Int(); got != want {
+				t.Fatalf("proc %d element %d = %d, want %d", p, i, got, want)
+			}
+			v = h.Get(v, 1)
+		}
+		if v != mlheap.Nil {
+			t.Fatalf("proc %d list tail corrupted", p)
+		}
+	}
+}
+
+func TestDetachUnblocksPendingGC(t *testing.T) {
+	w := smallWorld(2)
+	a := w.Attach()
+	b := w.Attach()
+
+	var list mlheap.Value = mlheap.Nil
+	a.AddRoot(&list)
+
+	done := make(chan struct{})
+	go func() {
+		// Fill the nursery: proc a will raise a GC and wait for b.
+		for i := 0; i < 3000; i++ {
+			list = a.Record(mlheap.Int(int64(i)), list)
+		}
+		close(done)
+	}()
+
+	// Proc b never allocates; detaching it must let a's collection run.
+	b.Detach()
+	<-done
+	if w.GCs() == 0 {
+		t.Fatal("no collection happened")
+	}
+}
+
+func TestCleanPointJoinsPendingGC(t *testing.T) {
+	w := smallWorld(2)
+	a := w.Attach()
+	b := w.Attach()
+	var list mlheap.Value = mlheap.Nil
+	a.AddRoot(&list)
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 3000; i++ {
+			list = a.Record(mlheap.Int(int64(i)), list)
+		}
+		close(done)
+	}()
+
+	// Proc b computes without allocating but visits clean points, as §5
+	// requires; that must be enough for a's collections to proceed.
+	for {
+		select {
+		case <-done:
+			if w.GCs() == 0 {
+				t.Fatal("no collection happened")
+			}
+			b.Detach()
+			return
+		default:
+			b.CleanPoint()
+		}
+	}
+}
+
+func TestSharedStructureAcrossProcs(t *testing.T) {
+	// Proc a builds a structure; proc b links to it; collections must
+	// preserve the sharing (heap memory is implicitly shared among all
+	// procs, §3.3).
+	w := smallWorld(2)
+	a := w.Attach()
+	b := w.Attach()
+	h := w.Heap()
+
+	shared := a.Record(mlheap.Int(777))
+	var fromA, fromB mlheap.Value = mlheap.Nil, mlheap.Nil
+	w.AddRoot(&fromA)
+	w.AddRoot(&fromB)
+	fromA = a.Record(shared)
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer a.Detach()
+		for i := 0; i < 2000; i++ {
+			fromA = a.Record(h.Get(fromA, 0), fromA)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		defer b.Detach()
+		for i := 0; i < 2000; i++ {
+			fromB = b.Record(mlheap.Int(int64(i)), fromB)
+		}
+	}()
+	wg.Wait()
+
+	if h.Get(h.Get(fromA, 0), 0).Int() != 777 {
+		t.Fatal("shared structure corrupted")
+	}
+	if w.GCs() == 0 {
+		t.Fatal("no collections exercised")
+	}
+}
+
+func TestRemoveRootDropsLiveness(t *testing.T) {
+	w := smallWorld(1)
+	a := w.Attach()
+	var temp mlheap.Value = mlheap.Nil
+	a.AddRoot(&temp)
+	temp = a.Record(mlheap.Int(1))
+	a.RemoveRoot(&temp)
+	// Force collections; the removed root must not be forwarded (its
+	// Value will dangle, which is fine — it is dead by contract).
+	var keep mlheap.Value = mlheap.Nil
+	a.AddRoot(&keep)
+	for i := 0; i < 3000; i++ {
+		keep = a.Record(mlheap.Int(int64(i)), keep)
+	}
+	st := w.Heap().Stats()
+	if st.MinorGCs == 0 {
+		t.Fatal("no GC exercised")
+	}
+}
+
+func TestBytesThroughGC(t *testing.T) {
+	w := smallWorld(1)
+	a := w.Attach()
+	var rec mlheap.Value
+	w.AddRoot(&rec)
+	s := a.Bytes([]byte("persistent string"))
+	rec = a.Record(s)
+	var churn mlheap.Value = mlheap.Nil
+	a.AddRoot(&churn)
+	for i := 0; i < 4000; i++ {
+		churn = a.Record(mlheap.Int(int64(i)), churn)
+	}
+	if w.GCs() == 0 {
+		t.Fatal("no GC exercised")
+	}
+	if got := string(w.Heap().Bytes(w.Heap().Get(rec, 0))); got != "persistent string" {
+		t.Fatalf("string corrupted: %q", got)
+	}
+}

@@ -1,0 +1,102 @@
+// Package gls provides goroutine-local storage for the MP platform.
+//
+// SML/NJ stores the per-proc datum in a dedicated virtual register of its
+// abstract machine (paper §5).  Go exposes no such register and no
+// goroutine-local variables, so the platform keeps a single "baton" slot per
+// goroutine in a sharded table keyed by goroutine id.  The baton is the
+// *proc.Proc currently held by the goroutine; every continuation throw and
+// proc acquire/release updates it, so a read always observes the proc that
+// is executing the reading code — exactly the invariant the hardware
+// register gave SML/NJ.
+//
+// The goroutine id is recovered by parsing the header line of
+// runtime.Stack, a well-known (if unlovely) technique.  It costs on the
+// order of a microsecond, comparable to the cost the 1993 platform paid for
+// its slowest per-proc-datum path (indirect access through the stack
+// pointer on register-poor machines).
+package gls
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+const shardCount = 64
+
+type shard struct {
+	mu sync.Mutex
+	m  map[uint64]any
+}
+
+var table [shardCount]shard
+
+func init() {
+	for i := range table {
+		table[i].m = make(map[uint64]any, 16)
+	}
+}
+
+// ID returns the current goroutine's id.
+func ID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	// The header looks like "goroutine 123 [running]:".
+	const prefix = len("goroutine ")
+	if n <= prefix {
+		panic(fmt.Sprintf("gls: malformed stack header %q", buf[:n]))
+	}
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	if id == 0 {
+		panic(fmt.Sprintf("gls: malformed stack header %q", buf[:n]))
+	}
+	return id
+}
+
+// Get returns the current goroutine's baton, if one is set.
+func Get() (any, bool) {
+	id := ID()
+	s := &table[id%shardCount]
+	s.mu.Lock()
+	v, ok := s.m[id]
+	s.mu.Unlock()
+	return v, ok
+}
+
+// Set installs v as the current goroutine's baton.
+func Set(v any) {
+	id := ID()
+	s := &table[id%shardCount]
+	s.mu.Lock()
+	s.m[id] = v
+	s.mu.Unlock()
+}
+
+// Del removes the current goroutine's baton.  Every goroutine that Sets a
+// baton must Del it before exiting so the table does not grow without
+// bound.
+func Del() {
+	id := ID()
+	s := &table[id%shardCount]
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// Len reports the number of live baton entries; used by tests to check for
+// leaks.
+func Len() int {
+	n := 0
+	for i := range table {
+		table[i].mu.Lock()
+		n += len(table[i].m)
+		table[i].mu.Unlock()
+	}
+	return n
+}

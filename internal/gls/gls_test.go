@@ -1,0 +1,105 @@
+package gls
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestIDStable(t *testing.T) {
+	a, b := ID(), ID()
+	if a != b {
+		t.Fatalf("ID not stable within a goroutine: %d vs %d", a, b)
+	}
+}
+
+func TestIDDistinctAcrossGoroutines(t *testing.T) {
+	self := ID()
+	ch := make(chan uint64)
+	go func() { ch <- ID() }()
+	other := <-ch
+	if self == other {
+		t.Fatalf("two goroutines share id %d", self)
+	}
+}
+
+func TestSetGetDel(t *testing.T) {
+	if _, ok := Get(); ok {
+		t.Fatal("fresh goroutine has a baton")
+	}
+	Set("hello")
+	v, ok := Get()
+	if !ok || v != "hello" {
+		t.Fatalf("Get = %v, %v; want hello, true", v, ok)
+	}
+	Set(42)
+	if v, _ := Get(); v != 42 {
+		t.Fatalf("overwrite failed: got %v", v)
+	}
+	Del()
+	if _, ok := Get(); ok {
+		t.Fatal("baton survives Del")
+	}
+}
+
+func TestIsolationAcrossGoroutines(t *testing.T) {
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make(chan string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			Set(i)
+			defer Del()
+			for j := 0; j < 100; j++ {
+				v, ok := Get()
+				if !ok || v != i {
+					errs <- "cross-goroutine contamination"
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestLenCountsLeaks(t *testing.T) {
+	before := Len()
+	done := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		Set("leak")
+		done <- struct{}{}
+		<-release
+		Del()
+		done <- struct{}{}
+	}()
+	<-done
+	if Len() != before+1 {
+		t.Fatalf("Len = %d, want %d", Len(), before+1)
+	}
+	close(release)
+	<-done
+	if Len() != before {
+		t.Fatalf("after Del, Len = %d, want %d", Len(), before)
+	}
+}
+
+func BenchmarkID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ID()
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	Set("bench")
+	defer Del()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Get()
+	}
+}

@@ -1,0 +1,45 @@
+package m3_test
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/m3"
+	"repro/internal/proc"
+	"repro/internal/threads"
+)
+
+// Modula-3 style fork/join: threads are handles carrying result values.
+func ExampleFork() {
+	sys := m3.New(threads.New(proc.New(2), threads.Options{}))
+	sys.Threads().Run(func() {
+		th := m3.Fork(sys, func() int { return 6 * 7 })
+		v, err := th.Join()
+		fmt.Println(v, err)
+	})
+	// Output:
+	// 42 <nil>
+}
+
+// Alerts are delivered by polling, the §3.4 discipline for inter-proc
+// signalling.
+func ExampleT_Alert() {
+	sys := m3.New(threads.New(proc.New(2), threads.Options{}))
+	sys.Threads().Run(func() {
+		hch := make(chan *m3.T[string], 1)
+		th := m3.Fork(sys, func() string {
+			self := <-hch
+			for !self.TestAlert() {
+				sys.Pause()
+			}
+			return "stopped politely"
+		})
+		hch <- th
+		sys.Pause()
+		th.Alert()
+		v, err := th.Join()
+		fmt.Println(v, errors.Is(err, m3.ErrAlerted))
+	})
+	// Output:
+	// stopped politely false
+}

@@ -1,0 +1,166 @@
+// Package m3 is a Modula-3 style thread package, the client the paper
+// reports first building on MP ("an enhanced and portable version of ML
+// Threads, a Modula-3 style thread package", which in turn carried the
+// concurrent-debugging and transaction work).  It layers the Modula-3
+// threads interface — fork/join with result values, mutexes, condition
+// variables, and alerts — over the Fig. 3 scheduler and the syncx
+// constructs, which are themselves pure MP clients.
+//
+// Alerts: the paper provides no facility for procs to alert one another
+// and suggests simulating such operations by polling in the target
+// (§3.4).  Accordingly Alert sets a flag on the target thread, and the
+// alertable operations (TestAlert, AlertWait, AlertJoin) observe it at
+// their own synchronization points, raising ErrAlerted exactly as
+// Modula-3's Alerted exception would.
+package m3
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/syncx"
+	"repro/internal/threads"
+)
+
+// ErrAlerted reports that an alertable wait observed an alert, the
+// analogue of Modula-3's Alerted exception.
+var ErrAlerted = errors.New("m3: thread alerted")
+
+// Mutex and Cond re-export the syncx constructs under their Modula-3
+// names.
+type (
+	// Mutex is Modula-3's MUTEX.
+	Mutex = syncx.Mutex
+	// Cond is Modula-3's Thread.Condition.
+	Cond = syncx.Cond
+)
+
+// T is a thread handle: forked threads can be joined for their result
+// and alerted.
+type T[R any] struct {
+	sys     *threads.System
+	result  R
+	err     error
+	done    bool
+	alerted atomic.Bool
+	mu      *syncx.Mutex
+	cv      *syncx.Cond
+	id      int
+}
+
+// System wraps a threads.System with the Modula-3 surface.
+type System struct {
+	s *threads.System
+}
+
+// New wraps a thread scheduler.
+func New(s *threads.System) *System { return &System{s: s} }
+
+// Threads returns the underlying scheduler.
+func (m *System) Threads() *threads.System { return m.s }
+
+// NewMutex returns an unheld mutex.
+func (m *System) NewMutex() *Mutex { return syncx.NewMutex(m.s) }
+
+// NewCond returns a condition variable tied to mu.
+func (m *System) NewCond(mu *Mutex) *Cond { return syncx.NewCond(m.s, mu) }
+
+// Fork starts a thread computing f and returns its handle
+// (Thread.Fork).  A panic in f is captured and re-delivered to Join.
+func Fork[R any](m *System, f func() R) *T[R] {
+	t := &T[R]{sys: m.s}
+	t.mu = syncx.NewMutex(m.s)
+	t.cv = syncx.NewCond(m.s, t.mu)
+	m.s.Fork(func() {
+		t.id = m.s.ID()
+		res, err := runCaptured(f)
+		t.mu.Lock()
+		t.result, t.err = res, err
+		t.done = true
+		t.cv.Broadcast()
+		t.mu.Unlock()
+	})
+	return t
+}
+
+func runCaptured[R any](f func() R) (res R, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("m3: thread panicked: %v", r)
+		}
+	}()
+	res = f()
+	return
+}
+
+// Join waits for the thread to finish and returns its result
+// (Thread.Join).  If the thread panicked, Join returns the captured
+// error.
+func (t *T[R]) Join() (R, error) {
+	t.mu.Lock()
+	for !t.done {
+		t.cv.Wait()
+	}
+	res, err := t.result, t.err
+	t.mu.Unlock()
+	return res, err
+}
+
+// AlertJoin is the alertable form of Join: it returns ErrAlerted early
+// if the handle is alerted before the thread finishes (alerts attach to
+// handles in this package, since Go code cannot ask "which thread am
+// I?" without being handed its own handle).
+func (t *T[R]) AlertJoin() (R, error) {
+	t.mu.Lock()
+	for !t.done {
+		if t.alerted.Load() {
+			t.mu.Unlock()
+			var zero R
+			return zero, ErrAlerted
+		}
+		t.cv.Wait()
+	}
+	res, err := t.result, t.err
+	t.mu.Unlock()
+	return res, err
+}
+
+// Alert requests that the thread stop what it is doing (Thread.Alert).
+// Delivery is by polling: the target observes the alert at its next
+// TestAlert or alertable wait, as §3.4 prescribes for inter-proc
+// signalling.  Alert also wakes alertable waiters on the handle.
+func (t *T[R]) Alert() {
+	t.alerted.Store(true)
+	t.mu.Lock()
+	t.cv.Broadcast()
+	t.mu.Unlock()
+}
+
+// TestAlert reports and consumes a pending alert on the handle
+// (Thread.TestAlert); the running thread polls it at convenient points.
+func (t *T[R]) TestAlert() bool {
+	return t.alerted.Swap(false)
+}
+
+// Alerted reports a pending alert without consuming it.
+func (t *T[R]) Alerted() bool { return t.alerted.Load() }
+
+// AlertWait is Thread.AlertWait: wait on a condition, but raise
+// ErrAlerted (re-acquiring the mutex first, per Modula-3 semantics) if
+// the handle is alerted.  The caller passes its own handle, since the
+// package cannot see which thread is running.
+func AlertWait[R any](t *T[R], mu *Mutex, cv *Cond) error {
+	if t.TestAlert() {
+		return ErrAlerted
+	}
+	cv.Wait()
+	if t.TestAlert() {
+		return ErrAlerted
+	}
+	return nil
+}
+
+// Pause yields the processor, a convenient poll point (Thread.Pause with
+// zero duration; MP has no timers).
+func (m *System) Pause() { m.s.Yield() }

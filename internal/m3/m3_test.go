@@ -1,0 +1,201 @@
+package m3
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/threads"
+)
+
+func runM3(procs int, f func(m *System)) {
+	s := threads.New(proc.New(procs), threads.Options{})
+	s.Run(func() { f(New(s)) })
+}
+
+func TestForkJoinResult(t *testing.T) {
+	runM3(2, func(m *System) {
+		th := Fork(m, func() int { return 6 * 7 })
+		v, err := th.Join()
+		if err != nil || v != 42 {
+			t.Errorf("Join = %d, %v", v, err)
+		}
+	})
+}
+
+func TestJoinAfterCompletion(t *testing.T) {
+	runM3(2, func(m *System) {
+		th := Fork(m, func() string { return "done" })
+		m.Pause()
+		m.Pause() // thread very likely finished by now
+		v, err := th.Join()
+		if err != nil || v != "done" {
+			t.Errorf("Join = %q, %v", v, err)
+		}
+		// Join is idempotent.
+		v2, err2 := th.Join()
+		if err2 != nil || v2 != "done" {
+			t.Errorf("second Join = %q, %v", v2, err2)
+		}
+	})
+}
+
+func TestManyForkJoin(t *testing.T) {
+	runM3(4, func(m *System) {
+		var hs []*T[int]
+		for i := 0; i < 50; i++ {
+			i := i
+			hs = append(hs, Fork(m, func() int {
+				m.Pause()
+				return i * i
+			}))
+		}
+		sum := 0
+		for _, h := range hs {
+			v, err := h.Join()
+			if err != nil {
+				t.Errorf("join: %v", err)
+			}
+			sum += v
+		}
+		want := 0
+		for i := 0; i < 50; i++ {
+			want += i * i
+		}
+		if sum != want {
+			t.Errorf("sum = %d, want %d", sum, want)
+		}
+	})
+}
+
+func TestPanicCapturedAsError(t *testing.T) {
+	runM3(2, func(m *System) {
+		th := Fork(m, func() int { panic("boom") })
+		_, err := th.Join()
+		if err == nil {
+			t.Error("panic not delivered to Join")
+		}
+	})
+}
+
+func TestAlertPolling(t *testing.T) {
+	runM3(2, func(m *System) {
+		var polls atomic.Int32
+		// The child starts before Fork returns the handle to the parent
+		// (Fig. 3 semantics: the child takes the current proc), so hand
+		// the thread its own handle through a buffered channel.
+		hch := make(chan *T[string], 1)
+		th := Fork(m, func() string {
+			self := <-hch
+			for {
+				polls.Add(1)
+				if self.TestAlert() {
+					return "alerted"
+				}
+				m.Pause()
+			}
+		})
+		hch <- th
+		m.Pause()
+		th.Alert()
+		v, err := th.Join()
+		if err != nil || v != "alerted" {
+			t.Errorf("Join = %q, %v", v, err)
+		}
+		if polls.Load() == 0 {
+			t.Error("thread never polled")
+		}
+	})
+}
+
+func TestTestAlertConsumes(t *testing.T) {
+	runM3(1, func(m *System) {
+		th := Fork(m, func() int { return 0 })
+		th.Alert()
+		if !th.Alerted() {
+			t.Error("Alerted = false after Alert")
+		}
+		if !th.TestAlert() {
+			t.Error("TestAlert = false after Alert")
+		}
+		if th.TestAlert() {
+			t.Error("TestAlert did not consume the alert")
+		}
+	})
+}
+
+func TestAlertJoinReturnsEarly(t *testing.T) {
+	runM3(2, func(m *System) {
+		release := false
+		mu := m.NewMutex()
+		cv := m.NewCond(mu)
+		th := Fork(m, func() int {
+			mu.Lock()
+			for !release {
+				cv.Wait()
+			}
+			mu.Unlock()
+			return 1
+		})
+		th.Alert()
+		_, err := th.AlertJoin()
+		if !errors.Is(err, ErrAlerted) {
+			t.Errorf("AlertJoin err = %v, want ErrAlerted", err)
+		}
+		// Release the worker so the system quiesces.
+		mu.Lock()
+		release = true
+		cv.Broadcast()
+		mu.Unlock()
+		if v, err := th.Join(); err != nil || v != 1 {
+			t.Errorf("final Join = %d, %v", v, err)
+		}
+	})
+}
+
+func TestMutexCondProducerConsumer(t *testing.T) {
+	runM3(2, func(m *System) {
+		mu := m.NewMutex()
+		cv := m.NewCond(mu)
+		queue := 0
+		consumed := 0
+		cons := Fork(m, func() int {
+			mu.Lock()
+			for consumed < 20 {
+				for queue == 0 {
+					cv.Wait()
+				}
+				queue--
+				consumed++
+			}
+			mu.Unlock()
+			return consumed
+		})
+		for i := 0; i < 20; i++ {
+			mu.Lock()
+			queue++
+			cv.Signal()
+			mu.Unlock()
+			m.Pause()
+		}
+		v, err := cons.Join()
+		if err != nil || v != 20 {
+			t.Errorf("consumer = %d, %v", v, err)
+		}
+	})
+}
+
+func TestNestedFork(t *testing.T) {
+	runM3(4, func(m *System) {
+		outer := Fork(m, func() int {
+			inner := Fork(m, func() int { return 10 })
+			v, _ := inner.Join()
+			return v + 1
+		})
+		v, err := outer.Join()
+		if err != nil || v != 11 {
+			t.Errorf("nested = %d, %v", v, err)
+		}
+	})
+}

@@ -1,0 +1,389 @@
+// Package machine models the shared-memory multiprocessors of the paper's
+// evaluation (§6) on top of the desim engine.  The original hardware is
+// unobtainable, so the models capture exactly the five effects the paper's
+// analysis attributes its results to:
+//
+//  1. a shared memory bus of finite bandwidth with FCFS queueing, which
+//     every heap allocation crosses — SML/NJ's heap allocation re-uses
+//     memory only after collections, so "this strategy insures a
+//     cache-miss on almost every allocation" (§7);
+//  2. sequential stop-the-world garbage collection at clean points, with
+//     per-proc allocation regions (§5), which serializes a fraction of the
+//     computation;
+//  3. application parallelism profiles — procs with no ready task idle;
+//  4. mutex contention on run queues and data locks;
+//  5. machine lock latency (§6 fn. 4: 46 µs on the Sequent, 6 µs on the
+//     SGI).
+//
+// Times are virtual nanoseconds.  A Machine is single-client: build,
+// Spawn workload procs, Run, read stats.
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/desim"
+)
+
+// Config describes a machine model.
+//
+// The last two fields implement the paper's §7 future-work proposals as
+// switchable model features, so their predicted effect can be measured:
+//
+//   - CacheResidentNursery: "using a multi-generational collector with
+//     very small young generations that can fit in the cache" — when
+//     set, allocation stores hit the cache instead of crossing the bus;
+//     only collection survivors generate bus traffic.
+//   - ConcurrentGC: "other important areas to address include concurrent
+//     garbage collection" — when set, collections do not stop the world;
+//     the collecting proc and the bus are occupied but other procs keep
+//     running.
+type Config struct {
+	Name           string
+	Procs          int     // physical processors
+	MIPS           float64 // useful instructions per second per processor
+	BusBytesPerSec float64 // shared-bus bandwidth
+	WordBytes      int64   // heap word size
+	LockPairNS     int64   // uncontended lock+unlock round trip
+	NurseryWords   int64   // shared allocation region (divided among procs)
+	GCWordsPerSec  float64 // sequential copying-collector speed
+
+	CacheResidentNursery bool // §7: allocation hits the cache, not the bus
+	ConcurrentGC         bool // §7: collection overlaps the mutators
+}
+
+// SequentS81 models the evaluation machine: a 16-processor Sequent
+// Symmetry S81 with 16 MHz Intel 80386 CPUs (~4 MIPS each), a ~25 MB/s
+// shared bus, 46 µs mutex lock round trips, and 100 MB of memory.
+func SequentS81() Config {
+	return Config{
+		Name:           "sequent-s81",
+		Procs:          16,
+		MIPS:           4e6,
+		BusBytesPerSec: 25e6,
+		WordBytes:      4,
+		LockPairNS:     46_000,
+		NurseryWords:   256 * 1024,
+		GCWordsPerSec:  4e5, // ~a word per 10 instructions of collector work
+	}
+}
+
+// SGI4D380S models the 8-processor SGI 4D/380S: ~33 MHz R3000 CPUs
+// (~25 MIPS), "much faster processors but only slightly larger bus
+// bandwidth" (~30 MB/s), and 6 µs mutex locks.
+func SGI4D380S() Config {
+	return Config{
+		Name:           "sgi-4d380s",
+		Procs:          8,
+		MIPS:           25e6,
+		BusBytesPerSec: 30e6,
+		WordBytes:      4,
+		LockPairNS:     6_000,
+		NurseryWords:   256 * 1024,
+		GCWordsPerSec:  2.5e6,
+	}
+}
+
+// Luna88k models the 4-processor Omron Luna88k (25 MHz MC88100, ~17 MIPS)
+// running Mach, with an atomic-exchange lock primitive.
+func Luna88k() Config {
+	return Config{
+		Name:           "luna88k",
+		Procs:          4,
+		MIPS:           17e6,
+		BusBytesPerSec: 35e6,
+		WordBytes:      4,
+		LockPairNS:     8_000,
+		NurseryWords:   256 * 1024,
+		GCWordsPerSec:  1.7e6,
+	}
+}
+
+// Uniprocessor models the trivial single-proc implementation that "works
+// on all processors that run SML/NJ".
+func Uniprocessor() Config {
+	return Config{
+		Name:           "uniprocessor",
+		Procs:          1,
+		MIPS:           10e6,
+		BusBytesPerSec: 40e6,
+		WordBytes:      4,
+		NurseryWords:   256 * 1024,
+		LockPairNS:     1_000,
+		GCWordsPerSec:  1e6,
+	}
+}
+
+// Configs names every machine model for sweeps.
+var Configs = map[string]func() Config{
+	"sequent": SequentS81,
+	"sgi":     SGI4D380S,
+	"luna":    Luna88k,
+	"uni":     Uniprocessor,
+}
+
+// ProcStats is the per-processor time and traffic breakdown.  BusyNS +
+// BusWaitNS + LockWaitNS + GCWorkNS + GCStallNS + IdleNS accounts for a
+// proc's entire active lifetime.
+type ProcStats struct {
+	BusyNS     int64 // computing and transferring (useful work)
+	BusWaitNS  int64 // queueing for the shared bus
+	LockWaitNS int64 // blocked on simulated mutex locks
+	GCWorkNS   int64 // performing collections
+	GCStallNS  int64 // stopped at a clean point while another proc collects
+	IdleNS     int64 // parked with no ready task
+	AllocWords int64
+	LockOps    int64
+	StartNS    int64 // virtual time the proc started
+	EndNS      int64 // virtual time the proc finished
+}
+
+// Machine is one simulated run: a config, an engine, a bus, a GC state,
+// and a set of workload processors.
+type Machine struct {
+	cfg Config
+	eng *desim.Engine
+
+	busBusyUntil desim.Time
+	busBytes     int64
+
+	pauseUntil   desim.Time // global GC stop-the-world horizon
+	allocSinceGC int64
+	survival     float64 // fraction of nursery live at collection time
+	gcCount      int
+	gcNS         int64
+
+	stats []ProcStats
+	next  int
+}
+
+// New builds a machine with a deterministic seed and a workload survival
+// rate (the fraction of allocated words still live at each collection,
+// which fixes the sequential GC cost).
+func New(cfg Config, seed int64, survival float64) *Machine {
+	if survival < 0 || survival > 1 {
+		panic("machine: survival must be in [0,1]")
+	}
+	return &Machine{
+		cfg:      cfg,
+		eng:      desim.New(seed),
+		survival: survival,
+	}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Engine exposes the underlying simulation engine.
+func (m *Machine) Engine() *desim.Engine { return m.eng }
+
+// P is a simulated processor executing workload code.
+type P struct {
+	m  *Machine
+	id int
+	dp *desim.Proc
+}
+
+// ID returns the processor's index.
+func (p *P) ID() int { return p.id }
+
+// Machine returns the machine the processor belongs to.
+func (p *P) Machine() *Machine { return p.m }
+
+// Now returns the current virtual time.
+func (p *P) Now() desim.Time { return p.m.eng.Now() }
+
+// Spawn adds a workload processor running body.  At most Config.Procs
+// processors may be spawned.
+func (m *Machine) Spawn(body func(p *P)) *P {
+	if m.next >= m.cfg.Procs {
+		panic(fmt.Sprintf("machine %s: more workload procs than processors (%d)",
+			m.cfg.Name, m.cfg.Procs))
+	}
+	id := m.next
+	m.next++
+	m.stats = append(m.stats, ProcStats{})
+	p := &P{m: m, id: id}
+	p.dp = m.eng.Spawn(fmt.Sprintf("cpu%d", id), func(dp *desim.Proc) {
+		m.stats[id].StartNS = m.eng.Now()
+		body(p)
+		m.stats[id].EndNS = m.eng.Now()
+	})
+	return p
+}
+
+// Run drives the simulation to completion and returns the makespan.
+func (m *Machine) Run() desim.Time { return m.eng.Run() }
+
+// Stats returns the per-proc breakdown.
+func (m *Machine) Stats() []ProcStats { return m.stats }
+
+// Totals sums the per-proc breakdown.
+func (m *Machine) Totals() ProcStats {
+	var t ProcStats
+	for _, s := range m.stats {
+		t.BusyNS += s.BusyNS
+		t.BusWaitNS += s.BusWaitNS
+		t.LockWaitNS += s.LockWaitNS
+		t.GCWorkNS += s.GCWorkNS
+		t.GCStallNS += s.GCStallNS
+		t.IdleNS += s.IdleNS
+		t.AllocWords += s.AllocWords
+		t.LockOps += s.LockOps
+	}
+	return t
+}
+
+// GCs returns the number of collections and the total sequential GC time.
+func (m *Machine) GCs() (int, int64) { return m.gcCount, m.gcNS }
+
+// BusBytes returns the total bytes moved across the shared bus.
+func (m *Machine) BusBytes() int64 { return m.busBytes }
+
+// stall synchronizes the proc with any stop-the-world collection in
+// progress: procs reach clean points between operations, and a proc
+// arriving at one during a collection waits for the collector.
+func (p *P) stall() {
+	st := &p.m.stats[p.id]
+	if now := p.m.eng.Now(); now < p.m.pauseUntil {
+		st.GCStallNS += p.m.pauseUntil - now
+		p.dp.AdvanceTo(p.m.pauseUntil)
+	}
+}
+
+// Compute executes instrs instructions of pure computation.
+func (p *P) Compute(instrs int64) {
+	p.stall()
+	if instrs <= 0 {
+		return
+	}
+	ns := int64(float64(instrs) / p.m.cfg.MIPS * 1e9)
+	p.m.stats[p.id].BusyNS += ns
+	p.dp.Advance(ns)
+}
+
+// Alloc allocates words of heap, moving them across the shared bus (every
+// allocation is a cache miss in SML/NJ's re-use-after-GC regime) and
+// triggering a collection when the allocation region is exhausted.
+func (p *P) Alloc(words int64) {
+	p.stall()
+	if words <= 0 {
+		return
+	}
+	st := &p.m.stats[p.id]
+	st.AllocWords += words
+
+	if p.m.cfg.CacheResidentNursery {
+		// §7 future work: the young generation fits in the cache, so
+		// allocation is a cache-speed store (one cycle per word); only
+		// survivors cross the bus, at collection time.
+		ns := int64(float64(words) / p.m.cfg.MIPS * 1e9)
+		st.BusyNS += ns
+		p.dp.Advance(ns)
+	} else {
+		bytes := words * p.m.cfg.WordBytes
+		dur := int64(float64(bytes) / p.m.cfg.BusBytesPerSec * 1e9)
+		now := p.m.eng.Now()
+		start := now
+		if p.m.busBusyUntil > start {
+			start = p.m.busBusyUntil
+		}
+		p.m.busBusyUntil = start + dur
+		p.m.busBytes += bytes
+		st.BusWaitNS += start - now
+		st.BusyNS += dur
+		p.dp.AdvanceTo(start + dur)
+	}
+
+	p.m.allocSinceGC += words
+	if p.m.allocSinceGC >= p.m.cfg.NurseryWords {
+		p.collect()
+	}
+}
+
+// workQuantumWords bounds how much allocation a single Work slice batches:
+// real allocation is spread through the computation a word at a time, so
+// large tasks are sliced to keep the bus model smooth instead of issuing
+// one bulk transfer at task end.
+const workQuantumWords = 1024
+
+// Work interleaves instrs instructions of computation with allocWords of
+// heap allocation, in slices of at most workQuantumWords allocation each.
+func (p *P) Work(instrs, allocWords int64) {
+	if allocWords <= workQuantumWords {
+		p.Compute(instrs)
+		p.Alloc(allocWords)
+		return
+	}
+	slices := (allocWords + workQuantumWords - 1) / workQuantumWords
+	instrSlice := instrs / slices
+	allocSlice := allocWords / slices
+	for i := int64(0); i < slices-1; i++ {
+		p.Compute(instrSlice)
+		p.Alloc(allocSlice)
+	}
+	p.Compute(instrs - instrSlice*(slices-1))
+	p.Alloc(allocWords - allocSlice*(slices-1))
+}
+
+// collect performs a sequential stop-the-world collection on this proc:
+// the world pauses until it finishes, and the copying traffic occupies the
+// bus.
+func (p *P) collect() {
+	m := p.m
+	live := float64(m.allocSinceGC) * m.survival
+	dur := int64(live / m.cfg.GCWordsPerSec * 1e9)
+	m.allocSinceGC = 0
+	m.gcCount++
+	m.gcNS += dur
+	now := m.eng.Now()
+	end := now + dur
+	liveBytes := int64(live) * m.cfg.WordBytes
+	m.busBytes += liveBytes
+	if m.cfg.ConcurrentGC {
+		// §7 future work: the collector runs beside the mutators.  Its
+		// copying traffic is an ordinary queued bus transfer rather than
+		// a bus monopoly, and the world is not paused; the collecting
+		// proc is occupied for the scan plus its share of the bus.
+		xfer := int64(float64(liveBytes) / m.cfg.BusBytesPerSec * 1e9)
+		start := now
+		if m.busBusyUntil > start {
+			start = m.busBusyUntil
+		}
+		m.busBusyUntil = start + xfer
+		if end < start+xfer {
+			end = start + xfer
+		}
+		m.stats[p.id].GCWorkNS += end - now
+		p.dp.AdvanceTo(end)
+		return
+	}
+	// Sequential stop-the-world collection (§5): every proc stalls at its
+	// next clean point until the collector finishes, and the copying
+	// traffic owns the bus.
+	if m.pauseUntil < end {
+		m.pauseUntil = end
+	}
+	if m.busBusyUntil < end {
+		m.busBusyUntil = end
+	}
+	m.stats[p.id].GCWorkNS += dur
+	p.dp.AdvanceTo(end)
+}
+
+// Park blocks the proc until another proc calls UnparkInto(p); the time
+// parked is accounted as idle.
+func (p *P) Park() {
+	start := p.m.eng.Now()
+	p.dp.Park()
+	p.m.stats[p.id].IdleNS += p.m.eng.Now() - start
+}
+
+// Unpark makes a parked proc q runnable now.
+func (p *P) Unpark(q *P) { p.dp.Unpark(q.dp) }
+
+// AdvanceIdle lets d nanoseconds pass as idle time (spin-waiting for work).
+func (p *P) AdvanceIdle(d int64) {
+	p.m.stats[p.id].IdleNS += d
+	p.dp.Advance(d)
+}

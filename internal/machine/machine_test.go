@@ -1,0 +1,309 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small(procs int) Config {
+	return Config{
+		Name:           "test",
+		Procs:          procs,
+		MIPS:           1e6, // 1 instr = 1 µs: easy arithmetic
+		BusBytesPerSec: 4e6, // 1 word (4B) = 1 µs
+		WordBytes:      4,
+		LockPairNS:     2_000,
+		NurseryWords:   1 << 40, // effectively no GC unless shrunk
+		GCWordsPerSec:  1e6,
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m := New(small(1), 1, 0)
+	m.Spawn(func(p *P) { p.Compute(1000) })
+	if end := m.Run(); end != 1_000_000 {
+		t.Fatalf("end = %d ns, want 1ms", end)
+	}
+	if m.Stats()[0].BusyNS != 1_000_000 {
+		t.Fatalf("busy = %d", m.Stats()[0].BusyNS)
+	}
+}
+
+func TestAllocUncontendedBus(t *testing.T) {
+	m := New(small(1), 1, 0)
+	m.Spawn(func(p *P) { p.Alloc(1000) })
+	if end := m.Run(); end != 1_000_000 {
+		t.Fatalf("end = %d, want 1ms (1000 words at 1µs/word)", end)
+	}
+	if m.BusBytes() != 4000 {
+		t.Fatalf("bus bytes = %d", m.BusBytes())
+	}
+}
+
+func TestBusContentionSerializes(t *testing.T) {
+	// Two procs allocating simultaneously share the bus: makespan is the
+	// sum of transfers, and the later proc records bus wait.
+	m := New(small(2), 1, 0)
+	for i := 0; i < 2; i++ {
+		m.Spawn(func(p *P) { p.Alloc(1000) })
+	}
+	if end := m.Run(); end != 2_000_000 {
+		t.Fatalf("end = %d, want 2ms (serialized bus)", end)
+	}
+	tot := m.Totals()
+	if tot.BusWaitNS != 1_000_000 {
+		t.Fatalf("bus wait = %d, want 1ms", tot.BusWaitNS)
+	}
+}
+
+func TestComputeOverlapsAcrossProcs(t *testing.T) {
+	m := New(small(4), 1, 0)
+	for i := 0; i < 4; i++ {
+		m.Spawn(func(p *P) { p.Compute(1000) })
+	}
+	if end := m.Run(); end != 1_000_000 {
+		t.Fatalf("end = %d, want 1ms (perfect overlap)", end)
+	}
+}
+
+func TestGCTriggersAndPausesWorld(t *testing.T) {
+	cfg := small(2)
+	cfg.NurseryWords = 1000
+	m := New(cfg, 1, 0.5) // 500 live words -> 500µs sequential GC
+	m.Spawn(func(p *P) {
+		p.Alloc(1000) // fills the nursery: GC at t=1ms, until 1.5ms
+		p.Compute(100)
+	})
+	m.Spawn(func(p *P) {
+		p.Compute(500)  // ends at 0.5ms
+		p.Compute(2000) // straddles the GC; next op stalls
+		p.Compute(100)
+	})
+	m.Run()
+	gcs, gcNS := m.GCs()
+	if gcs != 1 {
+		t.Fatalf("gcs = %d, want 1", gcs)
+	}
+	if gcNS != 500_000 {
+		t.Fatalf("gc time = %d, want 500µs", gcNS)
+	}
+	tot := m.Totals()
+	if tot.GCWorkNS != 500_000 {
+		t.Fatalf("gc work = %d", tot.GCWorkNS)
+	}
+}
+
+func TestLockMutualExclusionAndHandoff(t *testing.T) {
+	m := New(small(2), 1, 0)
+	l := m.NewLock()
+	var order []int
+	for i := 0; i < 2; i++ {
+		i := i
+		m.Spawn(func(p *P) {
+			p.Lock(l)
+			order = append(order, i)
+			p.Compute(1000)
+			p.Unlock(l)
+		})
+	}
+	m.Run()
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	tot := m.Totals()
+	if tot.LockWaitNS == 0 {
+		t.Fatal("no lock contention recorded for overlapping critical sections")
+	}
+	if tot.LockOps != 2 {
+		t.Fatalf("lock ops = %d", tot.LockOps)
+	}
+}
+
+func TestTryLock(t *testing.T) {
+	m := New(small(1), 1, 0)
+	m.Spawn(func(p *P) {
+		l := m.NewLock()
+		if !p.TryLock(l) {
+			t.Error("TryLock on free lock failed")
+		}
+		if p.TryLock(l) {
+			t.Error("TryLock on held lock succeeded")
+		}
+		p.Unlock(l)
+	})
+	m.Run()
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	m := New(small(4), 1, 0)
+	b := m.NewBarrier(4)
+	var releaseTimes []int64
+	for i := 0; i < 4; i++ {
+		i := i
+		m.Spawn(func(p *P) {
+			p.Compute(int64(1000 * (i + 1))) // staggered arrivals
+			p.Await(b)
+			releaseTimes = append(releaseTimes, p.Now())
+		})
+	}
+	m.Run()
+	for _, ts := range releaseTimes {
+		if ts != 4_000_000 {
+			t.Fatalf("release times = %v, want all 4ms", releaseTimes)
+		}
+	}
+	// Stragglers' waits are idle time.
+	if m.Totals().IdleNS != (3+2+1)*1_000_000 {
+		t.Fatalf("idle = %d, want 6ms", m.Totals().IdleNS)
+	}
+}
+
+func TestLockLatencyMatchesConfig(t *testing.T) {
+	for name, mk := range Configs {
+		cfg := mk()
+		m := New(cfg, 1, 0)
+		got := m.LockLatency()
+		if got != cfg.LockPairNS {
+			t.Errorf("%s: lock latency = %d ns, want %d", name, got, cfg.LockPairNS)
+		}
+	}
+}
+
+func TestSequentVsSGILockLatency(t *testing.T) {
+	// The §6 footnote: 46 µs on the Sequent versus 6 µs on the SGI.
+	seq := New(SequentS81(), 1, 0).LockLatency()
+	sgi := New(SGI4D380S(), 1, 0).LockLatency()
+	if seq != 46_000 || sgi != 6_000 {
+		t.Fatalf("lock latency sequent=%dns sgi=%dns, want 46µs and 6µs", seq, sgi)
+	}
+}
+
+func TestSpawnBeyondProcsPanics(t *testing.T) {
+	m := New(small(1), 1, 0)
+	m.Spawn(func(p *P) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-spawn did not panic")
+		}
+	}()
+	m.Spawn(func(p *P) {})
+}
+
+// TestQuickTimeAccounting: for random programs, every proc's accounted
+// time categories sum to its active lifetime.
+func TestQuickTimeAccounting(t *testing.T) {
+	prop := func(work []uint16, allocs []uint16, seed int64) bool {
+		cfg := small(4)
+		cfg.NurseryWords = 5000
+		m := New(cfg, seed, 0.3)
+		for i := 0; i < 4; i++ {
+			i := i
+			m.Spawn(func(p *P) {
+				for j := range work {
+					if j%4 == i {
+						w := int64(work[j])
+						var a int64
+						if j < len(allocs) {
+							a = int64(allocs[j])
+						}
+						p.Work(w, a)
+					}
+				}
+			})
+		}
+		m.Run()
+		for _, s := range m.Stats() {
+			lifetime := s.EndNS - s.StartNS
+			sum := s.BusyNS + s.BusWaitNS + s.LockWaitNS + s.GCWorkNS + s.GCStallNS + s.IdleNS
+			if sum != lifetime {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeterminism: identical seeds and programs give identical
+// makespans and stats.
+func TestQuickDeterminism(t *testing.T) {
+	prop := func(work []uint16, seed int64) bool {
+		run := func() (int64, int64) {
+			cfg := small(3)
+			cfg.NurseryWords = 2000
+			m := New(cfg, seed, 0.25)
+			for i := 0; i < 3; i++ {
+				i := i
+				m.Spawn(func(p *P) {
+					for j := range work {
+						if j%3 == i {
+							p.Work(int64(work[j]), int64(work[j]/2))
+						}
+					}
+				})
+			}
+			end := m.Run()
+			return end, m.Totals().BusyNS
+		}
+		e1, b1 := run()
+		e2, b2 := run()
+		return e1 == e2 && b1 == b2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheResidentNurseryAvoidsBus(t *testing.T) {
+	cfg := small(1)
+	cfg.CacheResidentNursery = true
+	m := New(cfg, 1, 0)
+	m.Spawn(func(p *P) { p.Alloc(1000) })
+	m.Run()
+	if m.BusBytes() != 0 {
+		t.Fatalf("cache-resident allocation moved %d bus bytes", m.BusBytes())
+	}
+	// Allocation still costs cache-store time: 1000 words at 1 MIPS = 1ms.
+	if m.Stats()[0].BusyNS != 1_000_000 {
+		t.Fatalf("busy = %d", m.Stats()[0].BusyNS)
+	}
+}
+
+func TestCacheResidentSurvivorsStillCrossBus(t *testing.T) {
+	cfg := small(1)
+	cfg.CacheResidentNursery = true
+	cfg.NurseryWords = 1000
+	m := New(cfg, 1, 0.5)
+	m.Spawn(func(p *P) { p.Alloc(1000) })
+	m.Run()
+	if m.BusBytes() != 500*4 {
+		t.Fatalf("survivor traffic = %d bytes, want 2000", m.BusBytes())
+	}
+}
+
+func TestConcurrentGCDoesNotPauseWorld(t *testing.T) {
+	mk := func(conc bool) int64 {
+		cfg := small(2)
+		cfg.NurseryWords = 1000
+		cfg.ConcurrentGC = conc
+		m := New(cfg, 1, 0.5)
+		m.Spawn(func(p *P) {
+			p.Alloc(1000) // triggers GC
+		})
+		m.Spawn(func(p *P) {
+			p.Compute(100)
+			p.Compute(1200) // ends mid-collection under STW
+			p.Compute(100)  // stalls at this clean point under STW
+		})
+		m.Run()
+		return m.Totals().GCStallNS
+	}
+	if stw := mk(false); stw == 0 {
+		t.Fatal("stop-the-world GC stalled nobody")
+	}
+	if conc := mk(true); conc != 0 {
+		t.Fatalf("concurrent GC stalled procs for %d ns", conc)
+	}
+}

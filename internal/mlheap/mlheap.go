@@ -1,0 +1,442 @@
+// Package mlheap is an SML/NJ-style heap: a word-addressed, two-generation
+// copying memory manager reproducing the design the paper adapts for
+// multiprocessing (§5):
+//
+//   - allocation is performed by in-line bump allocation ("approximately
+//     one word per every 3-7 instructions"), so it must be synchronization
+//     free: each proc allocates into a separate chunk of the shared
+//     allocation region (the nursery);
+//   - when one proc fills its share of the allocation region, it "steals"
+//     spare memory from other procs — here, chunks beyond its initial
+//     share of the common pool;
+//   - when the region is completely filled, procs synchronize at clean
+//     points and the collection is performed by one of them, sequentially;
+//     afterwards the allocation region is redivided;
+//   - a store list (SML/NJ's write barrier for ref assignment) records
+//     old-to-young pointers so minor collections need not scan the old
+//     generation.
+//
+// The object model is ML-like: a Value is either a tagged immediate
+// integer or a pointer to a heap record of Values.  Records are mutable
+// through Set, which applies the store-list barrier.
+package mlheap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Value is a tagged word: immediates carry the low bit set, pointers are
+// word indices shifted left.
+type Value uint64
+
+// Nil is the null pointer value (index 0 is never allocated).
+const Nil Value = 0
+
+// Int makes an immediate integer value.
+func Int(i int64) Value { return Value(uint64(i)<<1 | 1) }
+
+// IsInt reports whether v is an immediate integer.
+func (v Value) IsInt() bool { return v&1 == 1 }
+
+// Int returns the immediate integer in v.
+func (v Value) Int() int64 {
+	if !v.IsInt() {
+		panic("mlheap: Int on pointer value")
+	}
+	return int64(v) >> 1
+}
+
+// IsPtr reports whether v is a non-nil heap pointer.
+func (v Value) IsPtr() bool { return v != Nil && v&1 == 0 }
+
+func ptrTo(idx uint64) Value { return Value(idx << 1) }
+func (v Value) addr() uint64 { return uint64(v) >> 1 }
+
+// header encoding: length<<2 | tag, where tag 0 is a scanned record, 2 is
+// an unscanned byte object (SML/NJ strings — the paper notes string
+// allocation is one of the runtime's assembly helpers), and bit 0 set
+// marks a forwarded object whose new address is header>>2.
+const (
+	hdrForward = 1
+	hdrBytes   = 2
+)
+
+// ErrNeedGC reports that the allocation region is exhausted (even after
+// stealing): the client must synchronize procs at clean points and call
+// Collect.
+var ErrNeedGC = errors.New("mlheap: allocation region exhausted; collection required")
+
+// Config sizes the heap.
+type Config struct {
+	NurseryWords int // the shared allocation region
+	SemiWords    int // each old-generation semispace
+	ChunkWords   int // per-refill chunk carved from the nursery
+	Procs        int // number of allocating procs
+}
+
+// Stats counts heap activity.
+type Stats struct {
+	AllocatedWords int64 // total words ever allocated
+	MinorGCs       int
+	MajorGCs       int
+	CopiedWords    int64 // words copied by collections
+	Steals         int64 // chunk refills beyond a proc's initial share
+	LiveWords      int64 // live words in the old generation after last GC
+}
+
+// Heap is a two-generation copying heap shared by several procs.
+type Heap struct {
+	cfg Config
+
+	words []uint64
+
+	// Layout: [nursery | semiA | semiB]; index 0 is reserved so that a
+	// pointer value of 0 can mean nil.
+	nurLo, nurHi   uint64
+	semiA, semiB   uint64
+	fromLo, fromHi uint64 // current old semispace bounds
+	toLo           uint64
+	oldTop         uint64 // allocation point in the old generation
+
+	mu        sync.Mutex
+	nextChunk uint64 // next unissued nursery chunk
+	allocs    []*ProcAlloc
+	stores    []store // store list: old-object slots assigned since last GC
+	stats     Stats
+}
+
+type store struct {
+	obj  uint64 // header index of the old object
+	slot int
+}
+
+// New builds a heap.
+func New(cfg Config) *Heap {
+	if cfg.ChunkWords <= 0 || cfg.NurseryWords < cfg.ChunkWords || cfg.SemiWords <= 0 || cfg.Procs < 1 {
+		panic("mlheap: bad config")
+	}
+	total := 1 + cfg.NurseryWords + 2*cfg.SemiWords
+	h := &Heap{
+		cfg:   cfg,
+		words: make([]uint64, total),
+	}
+	h.nurLo = 1
+	h.nurHi = h.nurLo + uint64(cfg.NurseryWords)
+	h.semiA = h.nurHi
+	h.semiB = h.semiA + uint64(cfg.SemiWords)
+	h.fromLo, h.fromHi = h.semiA, h.semiB
+	h.toLo = h.semiB
+	h.oldTop = h.fromLo
+	h.nextChunk = h.nurLo
+	return h
+}
+
+// Stats returns a snapshot of heap counters.
+func (h *Heap) Stats() Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// ProcAlloc is one proc's bump allocator over its current nursery chunk.
+type ProcAlloc struct {
+	h          *Heap
+	cur, limit uint64
+	share      int // chunks this proc may take before refills count as steals
+	taken      int
+}
+
+// NewProcAlloc registers a per-proc allocator; call once per proc.
+func (h *Heap) NewProcAlloc() *ProcAlloc {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.allocs) >= h.cfg.Procs {
+		panic("mlheap: more proc allocators than configured procs")
+	}
+	pa := &ProcAlloc{
+		h:     h,
+		share: h.cfg.NurseryWords / h.cfg.ChunkWords / h.cfg.Procs,
+	}
+	h.allocs = append(h.allocs, pa)
+	return pa
+}
+
+// refill takes the next chunk from the shared region; refills past the
+// proc's initial share are accounted as steals of other procs' spare
+// memory.
+func (pa *ProcAlloc) refill(need int) bool {
+	h := pa.h
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	chunk := uint64(h.cfg.ChunkWords)
+	if uint64(need) > chunk {
+		chunk = uint64(need)
+	}
+	if h.nextChunk+chunk > h.nurHi {
+		return false
+	}
+	pa.cur = h.nextChunk
+	pa.limit = h.nextChunk + chunk
+	h.nextChunk += chunk
+	pa.taken++
+	if pa.taken > pa.share {
+		h.stats.Steals++
+	}
+	return true
+}
+
+// AllocRecord allocates a record with the given slots in the calling
+// proc's nursery chunk.  It returns ErrNeedGC when the whole allocation
+// region is exhausted; the client must then reach a clean point on every
+// proc and call Collect.
+func (pa *ProcAlloc) AllocRecord(slots ...Value) (Value, error) {
+	need := len(slots) + 1
+	if pa.cur+uint64(need) > pa.limit {
+		if !pa.refill(need) {
+			return Nil, ErrNeedGC
+		}
+	}
+	h := pa.h
+	idx := pa.cur
+	pa.cur += uint64(need)
+	h.words[idx] = uint64(len(slots)) << 2
+	for i, s := range slots {
+		h.words[idx+1+uint64(i)] = uint64(s)
+	}
+	h.mu.Lock()
+	h.stats.AllocatedWords += int64(need)
+	h.mu.Unlock()
+	return ptrTo(idx), nil
+}
+
+// AllocBytes allocates an unscanned byte object (an ML string) in the
+// calling proc's nursery chunk, returning ErrNeedGC when the region is
+// exhausted.  Layout: header (tagged hdrBytes), one word holding the
+// byte length, then the packed data words — self-describing, so the
+// copying collector moves it without a side table and the scan loops
+// skip its payload.
+func (pa *ProcAlloc) AllocBytes(data []byte) (Value, error) {
+	dataWords := (len(data) + 7) / 8
+	need := dataWords + 2 // header + length word + data
+	if pa.cur+uint64(need) > pa.limit {
+		if !pa.refill(need) {
+			return Nil, ErrNeedGC
+		}
+	}
+	h := pa.h
+	idx := pa.cur
+	pa.cur += uint64(need)
+	h.words[idx] = uint64(dataWords+1)<<2 | hdrBytes
+	h.words[idx+1] = uint64(len(data))
+	for i := 0; i < dataWords; i++ {
+		var w uint64
+		for j := 0; j < 8; j++ {
+			if k := i*8 + j; k < len(data) {
+				w |= uint64(data[k]) << (8 * uint(j))
+			}
+		}
+		h.words[idx+2+uint64(i)] = w
+	}
+	h.mu.Lock()
+	h.stats.AllocatedWords += int64(need)
+	h.mu.Unlock()
+	return ptrTo(idx), nil
+}
+
+// Bytes returns a copy of a byte object's contents.
+func (h *Heap) Bytes(v Value) []byte {
+	a := v.addr()
+	hdr := h.words[a]
+	if hdr&hdrBytes == 0 {
+		panic("mlheap: Bytes of non-byte object")
+	}
+	n := h.words[a+1]
+	out := make([]byte, n)
+	for k := range out {
+		w := h.words[a+2+uint64(k/8)]
+		out[k] = byte(w >> (8 * uint(k%8)))
+	}
+	return out
+}
+
+// IsBytes reports whether v is a byte object.
+func (h *Heap) IsBytes(v Value) bool {
+	return v.IsPtr() && h.words[v.addr()]&hdrBytes != 0
+}
+
+// Len returns the number of slots in the record v.
+func (h *Heap) Len(v Value) int {
+	if !v.IsPtr() {
+		panic("mlheap: Len of non-pointer")
+	}
+	return int(h.words[v.addr()] >> 2)
+}
+
+// Get reads slot i of record v.
+func (h *Heap) Get(v Value, i int) Value {
+	a := v.addr()
+	if h.words[a]&hdrBytes != 0 {
+		panic("mlheap: Get on byte object")
+	}
+	n := int(h.words[a] >> 2)
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("mlheap: Get slot %d of %d-slot record", i, n))
+	}
+	return Value(h.words[a+1+uint64(i)])
+}
+
+// Set writes slot i of record v, applying the store-list write barrier
+// when an old-generation object is made to point into the nursery.
+func (h *Heap) Set(v Value, i int, x Value) {
+	a := v.addr()
+	if h.words[a]&hdrBytes != 0 {
+		panic("mlheap: Set on byte object")
+	}
+	n := int(h.words[a] >> 2)
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("mlheap: Set slot %d of %d-slot record", i, n))
+	}
+	h.words[a+1+uint64(i)] = uint64(x)
+	if h.isOld(a) && x.IsPtr() && h.inNursery(x.addr()) {
+		h.mu.Lock()
+		h.stores = append(h.stores, store{obj: a, slot: i})
+		h.mu.Unlock()
+	}
+}
+
+func (h *Heap) inNursery(a uint64) bool { return a >= h.nurLo && a < h.nurHi }
+func (h *Heap) isOld(a uint64) bool     { return a >= h.semiA }
+
+// NurseryFree reports the unissued words remaining in the allocation
+// region (chunks already issued to procs are not counted).
+func (h *Heap) NurseryFree() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int(h.nurHi - h.nextChunk)
+}
+
+// Collect performs a stop-the-world collection.  The caller is
+// responsible for the clean-point protocol: no proc may allocate or touch
+// the heap during the call.  Roots are updated in place.  A minor
+// collection copies live nursery data into the old generation; if the old
+// generation then exceeds half its semispace, a major collection copies
+// it to the other semispace.
+func (h *Heap) Collect(roots []*Value) {
+	h.minor(roots)
+	if h.oldTop-h.fromLo > uint64(h.cfg.SemiWords)/2 {
+		h.major(roots)
+	}
+	h.mu.Lock()
+	h.stats.LiveWords = int64(h.oldTop - h.fromLo)
+	h.mu.Unlock()
+}
+
+// minor copies live nursery objects into the old generation (Cheney scan)
+// and resets the allocation region.
+func (h *Heap) minor(roots []*Value) {
+	scan := h.oldTop
+	// Roots: client roots plus store-list entries.
+	for _, r := range roots {
+		*r = h.forwardMinor(*r)
+	}
+	for _, s := range h.stores {
+		slot := s.obj + 1 + uint64(s.slot)
+		h.words[slot] = uint64(h.forwardMinor(Value(h.words[slot])))
+	}
+	h.stores = h.stores[:0]
+	// Cheney: scan newly copied objects for further nursery pointers;
+	// byte objects carry no pointers and are skipped.
+	for scan < h.oldTop {
+		hdr := h.words[scan]
+		n := hdr >> 2
+		if hdr&hdrBytes == 0 {
+			for i := uint64(0); i < n; i++ {
+				h.words[scan+1+i] = uint64(h.forwardMinor(Value(h.words[scan+1+i])))
+			}
+		}
+		scan += 1 + n
+	}
+	// Redivide the allocation region.
+	h.nextChunk = h.nurLo
+	for _, pa := range h.allocs {
+		pa.cur, pa.limit, pa.taken = 0, 0, 0
+	}
+	h.stats.MinorGCs++
+}
+
+// forwardMinor copies a nursery object to the old generation, leaving a
+// forwarding header; old-generation and immediate values pass through.
+func (h *Heap) forwardMinor(v Value) Value {
+	if !v.IsPtr() || !h.inNursery(v.addr()) {
+		return v
+	}
+	a := v.addr()
+	hdr := h.words[a]
+	if hdr&hdrForward != 0 {
+		return ptrTo(hdr >> 2)
+	}
+	n := hdr >> 2
+	if h.oldTop+1+n > h.fromHi {
+		panic("mlheap: old generation overflow during minor collection")
+	}
+	dst := h.oldTop
+	h.words[dst] = hdr
+	copy(h.words[dst+1:dst+1+n], h.words[a+1:a+1+n])
+	h.oldTop = dst + 1 + n
+	h.words[a] = dst<<2 | hdrForward
+	h.stats.CopiedWords += int64(1 + n)
+	return ptrTo(dst)
+}
+
+// major copies the live old generation into the other semispace and swaps
+// spaces.
+func (h *Heap) major(roots []*Value) {
+	dstLo := h.toLo
+	top := dstLo
+	var forward func(v Value) Value
+	forward = func(v Value) Value {
+		if !v.IsPtr() || !h.isOldFrom(v.addr()) {
+			return v
+		}
+		a := v.addr()
+		hdr := h.words[a]
+		if hdr&hdrForward != 0 {
+			return ptrTo(hdr >> 2)
+		}
+		n := hdr >> 2
+		dst := top
+		h.words[dst] = hdr
+		copy(h.words[dst+1:dst+1+n], h.words[a+1:a+1+n])
+		top = dst + 1 + n
+		h.words[a] = dst<<2 | hdrForward
+		h.stats.CopiedWords += int64(1 + n)
+		return ptrTo(dst)
+	}
+	scan := dstLo
+	for _, r := range roots {
+		*r = forward(*r)
+	}
+	for scan < top {
+		hdr := h.words[scan]
+		n := hdr >> 2
+		if hdr&hdrBytes == 0 {
+			for i := uint64(0); i < n; i++ {
+				h.words[scan+1+i] = uint64(forward(Value(h.words[scan+1+i])))
+			}
+		}
+		scan += 1 + n
+	}
+	// Swap semispaces.
+	h.fromLo, h.toLo = dstLo, h.fromLo
+	h.fromHi = h.fromLo + uint64(h.cfg.SemiWords)
+	h.oldTop = top
+	h.stats.MajorGCs++
+}
+
+// isOldFrom reports whether a lies in the current old from-space region
+// holding live data (below oldTop when called during major).
+func (h *Heap) isOldFrom(a uint64) bool {
+	return a >= h.fromLo && a < h.fromHi
+}

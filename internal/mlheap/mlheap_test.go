@@ -1,0 +1,424 @@
+package mlheap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallHeap(procs int) *Heap {
+	return New(Config{NurseryWords: 1024, SemiWords: 4096, ChunkWords: 64, Procs: procs})
+}
+
+func TestIntValues(t *testing.T) {
+	for _, i := range []int64{0, 1, -1, 42, -12345, 1 << 40, -(1 << 40)} {
+		v := Int(i)
+		if !v.IsInt() || v.Int() != i {
+			t.Fatalf("Int(%d) round trip = %d", i, v.Int())
+		}
+		if v.IsPtr() {
+			t.Fatalf("Int(%d) claims to be a pointer", i)
+		}
+	}
+}
+
+func TestAllocAndAccess(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	r, err := pa.AllocRecord(Int(1), Int(2), Int(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len(r) != 3 {
+		t.Fatalf("Len = %d", h.Len(r))
+	}
+	for i := 0; i < 3; i++ {
+		if h.Get(r, i).Int() != int64(i+1) {
+			t.Fatalf("slot %d = %d", i, h.Get(r, i).Int())
+		}
+	}
+	h.Set(r, 1, Int(99))
+	if h.Get(r, 1).Int() != 99 {
+		t.Fatal("Set did not stick")
+	}
+}
+
+func TestNestedRecords(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	inner, _ := pa.AllocRecord(Int(7))
+	outer, _ := pa.AllocRecord(inner, Int(8))
+	if h.Get(h.Get(outer, 0), 0).Int() != 7 {
+		t.Fatal("nested access failed")
+	}
+}
+
+func TestExhaustionSignalsGC(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	var err error
+	for i := 0; i < 10000; i++ {
+		if _, err = pa.AllocRecord(Int(int64(i))); err != nil {
+			break
+		}
+	}
+	if err != ErrNeedGC {
+		t.Fatalf("err = %v, want ErrNeedGC", err)
+	}
+}
+
+func TestCollectPreservesReachableGraph(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	// list of (i, prev) cells
+	var list Value = Nil
+	for i := 0; i < 20; i++ {
+		cell, err := pa.AllocRecord(Int(int64(i)), list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		list = cell
+	}
+	h.Collect([]*Value{&list})
+	// Walk the list: 19, 18, ..., 0.
+	v := list
+	for i := 19; i >= 0; i-- {
+		if !v.IsPtr() {
+			t.Fatalf("list truncated at %d", i)
+		}
+		if h.Get(v, 0).Int() != int64(i) {
+			t.Fatalf("element = %d, want %d", h.Get(v, 0).Int(), i)
+		}
+		v = h.Get(v, 1)
+	}
+	if v != Nil {
+		t.Fatal("list does not end in Nil")
+	}
+}
+
+func TestSharingPreserved(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	shared, _ := pa.AllocRecord(Int(5))
+	a, _ := pa.AllocRecord(shared)
+	b, _ := pa.AllocRecord(shared)
+	h.Collect([]*Value{&a, &b})
+	if h.Get(a, 0) != h.Get(b, 0) {
+		t.Fatal("shared object duplicated by collection")
+	}
+	h.Set(h.Get(a, 0), 0, Int(6))
+	if h.Get(h.Get(b, 0), 0).Int() != 6 {
+		t.Fatal("sharing broken: write through a not visible through b")
+	}
+}
+
+func TestCyclePreserved(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	a, _ := pa.AllocRecord(Int(1), Nil)
+	b, _ := pa.AllocRecord(Int(2), a)
+	h.Set(a, 1, b) // a -> b -> a
+	h.Collect([]*Value{&a})
+	if h.Get(a, 0).Int() != 1 {
+		t.Fatal("a corrupted")
+	}
+	b2 := h.Get(a, 1)
+	if h.Get(b2, 0).Int() != 2 {
+		t.Fatal("b corrupted")
+	}
+	if h.Get(b2, 1) != a {
+		t.Fatal("cycle broken")
+	}
+}
+
+func TestGarbageReclaimed(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	var keep Value = Nil
+	// Allocate far more than the nursery, keeping only a little, with
+	// collections whenever the region fills.
+	allocated := 0
+	for i := 0; i < 50; i++ {
+		for {
+			cell, err := pa.AllocRecord(Int(int64(i)), keep)
+			if err == ErrNeedGC {
+				h.Collect([]*Value{&keep})
+				continue
+			}
+			allocated++
+			if i%10 == 0 {
+				keep = cell
+			}
+			break
+		}
+	}
+	st := h.Stats()
+	if st.MinorGCs == 0 {
+		t.Skip("workload too small to force a GC")
+	}
+	if st.LiveWords >= st.AllocatedWords {
+		t.Fatalf("no garbage reclaimed: live %d of %d", st.LiveWords, st.AllocatedWords)
+	}
+}
+
+func TestStoreListCatchesOldToYoung(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	old, _ := pa.AllocRecord(Nil)
+	h.Collect([]*Value{&old}) // old is now in the old generation
+	young, _ := pa.AllocRecord(Int(77))
+	h.Set(old, 0, young) // old -> young: must hit the store list
+	// Collect with only old as a root: young must survive via the barrier.
+	h.Collect([]*Value{&old})
+	if h.Get(h.Get(old, 0), 0).Int() != 77 {
+		t.Fatal("old-to-young pointer lost: store list broken")
+	}
+}
+
+func TestMajorCollection(t *testing.T) {
+	cfg := Config{NurseryWords: 256, SemiWords: 800, ChunkWords: 32, Procs: 1}
+	h := New(cfg)
+	pa := h.NewProcAlloc()
+	var keep Value = Nil
+	for i := 0; i < 500; i++ {
+		for {
+			cell, err := pa.AllocRecord(Int(int64(i)), keep)
+			if err == ErrNeedGC {
+				h.Collect([]*Value{&keep})
+				continue
+			}
+			if i%3 == 0 {
+				keep = cell
+			}
+			break
+		}
+	}
+	st := h.Stats()
+	if st.MajorGCs == 0 {
+		t.Fatalf("no major collection after %d minors", st.MinorGCs)
+	}
+	// The kept chain must still be intact.
+	n := 0
+	for v := keep; v != Nil; v = h.Get(v, 1) {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("kept chain lost")
+	}
+}
+
+func TestPerProcChunksAndStealing(t *testing.T) {
+	h := New(Config{NurseryWords: 640, SemiWords: 4096, ChunkWords: 64, Procs: 2})
+	a := h.NewProcAlloc()
+	b := h.NewProcAlloc()
+	_ = b
+	// Proc a allocates greedily: its share is 640/64/2 = 5 chunks; beyond
+	// that it steals from the common pool.
+	for {
+		if _, err := a.AllocRecord(Int(1), Int(2), Int(3)); err != nil {
+			break
+		}
+	}
+	st := h.Stats()
+	if st.Steals == 0 {
+		t.Fatal("greedy proc never stole spare memory")
+	}
+}
+
+func TestParallelAllocationSafe(t *testing.T) {
+	h := New(Config{NurseryWords: 1 << 16, SemiWords: 1 << 16, ChunkWords: 256, Procs: 4})
+	done := make(chan int, 4)
+	for p := 0; p < 4; p++ {
+		pa := h.NewProcAlloc()
+		go func() {
+			n := 0
+			for {
+				if _, err := pa.AllocRecord(Int(int64(n))); err != nil {
+					break
+				}
+				n++
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for p := 0; p < 4; p++ {
+		total += <-done
+	}
+	st := h.Stats()
+	if st.AllocatedWords != int64(total*2) { // 1 header + 1 slot each
+		t.Fatalf("allocated %d words for %d records", st.AllocatedWords, total)
+	}
+}
+
+// TestQuickGraphIsomorphism builds a random object graph both in the heap
+// and as a Go mirror, forces collections, and verifies the heap graph
+// stays isomorphic to the mirror.
+func TestQuickGraphIsomorphism(t *testing.T) {
+	type node struct {
+		val  int64
+		kids []*node
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New(Config{NurseryWords: 512, SemiWords: 8192, ChunkWords: 64, Procs: 1})
+		pa := h.NewProcAlloc()
+
+		var mirror []*node
+		var heapv []Value
+		alloc := func(val int64, kids []int) Value {
+			slots := make([]Value, 0, len(kids)+1)
+			slots = append(slots, Int(val))
+			n := &node{val: val}
+			for _, k := range kids {
+				slots = append(slots, heapv[k])
+				n.kids = append(n.kids, mirror[k])
+			}
+			for {
+				v, err := pa.AllocRecord(slots...)
+				if err == ErrNeedGC {
+					h.Collect(ptrs(heapv))
+					continue
+				}
+				mirror = append(mirror, n)
+				heapv = append(heapv, v)
+				return v
+			}
+		}
+		for i := 0; i < 100; i++ {
+			var kids []int
+			for k := 0; k < rng.Intn(3) && len(heapv) > 0; k++ {
+				kids = append(kids, rng.Intn(len(heapv)))
+			}
+			alloc(rng.Int63n(1000), kids)
+		}
+		h.Collect(ptrs(heapv))
+		// Verify isomorphism with cycle-safe comparison.
+		seen := map[[2]any]bool{}
+		var eq func(v Value, n *node) bool
+		eq = func(v Value, n *node) bool {
+			key := [2]any{v, n}
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			if h.Len(v) != len(n.kids)+1 {
+				return false
+			}
+			if h.Get(v, 0).Int() != n.val {
+				return false
+			}
+			for i, kid := range n.kids {
+				if !eq(h.Get(v, i+1), kid) {
+					return false
+				}
+			}
+			return true
+		}
+		for i := range heapv {
+			if !eq(heapv[i], mirror[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func ptrs(vs []Value) []*Value {
+	out := make([]*Value, len(vs))
+	for i := range vs {
+		out[i] = &vs[i]
+	}
+	return out
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	for _, s := range []string{"", "a", "hello", "exactly8", "longer than eight bytes"} {
+		v, err := pa.AllocBytes([]byte(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.IsBytes(v) {
+			t.Fatalf("%q: not recognized as bytes", s)
+		}
+		if got := string(h.Bytes(v)); got != s {
+			t.Fatalf("round trip %q = %q", s, got)
+		}
+	}
+}
+
+func TestBytesSurviveCollection(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	str, _ := pa.AllocBytes([]byte("the quick brown fox"))
+	rec, _ := pa.AllocRecord(str, Int(5))
+	// Churn until collections happen.
+	var keep Value = rec
+	for i := 0; i < 2000; i++ {
+		c, err := pa.AllocRecord(Int(int64(i)), keep)
+		if err == ErrNeedGC {
+			h.Collect([]*Value{&keep})
+			continue
+		}
+		if i%50 == 0 {
+			keep = c
+		}
+	}
+	h.Collect([]*Value{&keep})
+	if h.Stats().MinorGCs == 0 {
+		t.Skip("no GC exercised")
+	}
+	// Walk down to the original record and check the string.
+	v := keep
+	for h.Len(v) == 2 && !h.Get(v, 0).IsPtr() {
+		v = h.Get(v, 1)
+	}
+	for {
+		if h.Len(v) == 2 {
+			if first := h.Get(v, 0); first.IsPtr() && h.IsBytes(first) {
+				if got := string(h.Bytes(first)); got != "the quick brown fox" {
+					t.Fatalf("string corrupted: %q", got)
+				}
+				return
+			}
+		}
+		v = h.Get(v, 1)
+		if v == Nil {
+			t.Fatal("original record lost")
+		}
+	}
+}
+
+func TestBytesMixedGraphScanSkipsPayload(t *testing.T) {
+	// A byte payload that looks like a plausible pointer must NOT be
+	// chased by the collector.
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	evil := make([]byte, 16)
+	for i := range evil {
+		evil[i] = 0x02 // even word: looks like a pointer value
+	}
+	str, _ := pa.AllocBytes(evil)
+	root, _ := pa.AllocRecord(str)
+	h.Collect([]*Value{&root})
+	if got := h.Bytes(h.Get(root, 0)); len(got) != 16 || got[3] != 0x02 {
+		t.Fatalf("payload corrupted: %v", got)
+	}
+}
+
+func TestGetOnBytesPanics(t *testing.T) {
+	h := smallHeap(1)
+	pa := h.NewProcAlloc()
+	v, _ := pa.AllocBytes([]byte("x"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get on bytes did not panic")
+		}
+	}()
+	h.Get(v, 0)
+}

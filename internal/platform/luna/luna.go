@@ -1,0 +1,21 @@
+// Package luna is the Omron Luna88k port: Mach provides kernel threads
+// directly, and the MC88100 has an atomic exchange instruction on any
+// word of memory, so mutex locks are boolean refs swapped atomically.
+package luna
+
+import (
+	"repro/internal/machine"
+	"repro/internal/platform"
+	"repro/internal/spinlock"
+)
+
+// Backend returns the Luna88k port.
+func Backend() platform.Backend {
+	return platform.Backend{
+		Name:        "luna",
+		Description: "Omron Luna88k, 4x MC88100/25MHz, Mach; xmem exchange locks",
+		NewLock:     spinlock.NewTAS,
+		MaxProcs:    4,
+		Machine:     machine.Luna88k,
+	}
+}

@@ -1,0 +1,24 @@
+// Package native is the port to the host machine this repository actually
+// runs on: procs are backed by goroutines scheduled over GOMAXPROCS OS
+// threads, and the lock primitive is test-and-test-and-set with
+// exponential backoff, the strategy the paper cites Anderson for on
+// modern cache-coherent hardware.
+package native
+
+import (
+	"runtime"
+
+	"repro/internal/platform"
+	"repro/internal/spinlock"
+)
+
+// Backend returns the host-machine port.
+func Backend() platform.Backend {
+	return platform.Backend{
+		Name:        "native",
+		Description: "host machine; goroutine-backed procs, TTAS+backoff locks",
+		NewLock:     spinlock.NewBackoff,
+		MaxProcs:    runtime.GOMAXPROCS(0),
+		Machine:     nil,
+	}
+}

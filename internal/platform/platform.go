@@ -1,0 +1,33 @@
+// Package platform defines the system-dependent layer boundary.  The
+// paper's portability claim (§5, §6) is that MP splits into a large
+// generic layer and a small system-dependent layer — 144 lines of C for
+// the SGI, 267 for the Sequent, 630 for the Luna, against a ~6,750-line
+// runtime.  This repository mirrors the split: everything outside
+// internal/platform is generic; each subpackage here is one port,
+// supplying only what the paper's ports supplied — the mutex-lock
+// primitive appropriate to the machine's hardware (atomic exchange on the
+// Sequent and Luna, a hardware lock bank on the MIPS-based SGI, which has
+// no test-and-set instruction), the proc limit, and the simulated machine
+// model.  cmd/portability counts these packages' lines to regenerate the
+// paper's portability table.
+package platform
+
+import (
+	"repro/internal/machine"
+	"repro/internal/spinlock"
+)
+
+// Backend is one port of the platform.
+type Backend struct {
+	// Name identifies the port (sequent, sgi, luna, uni, native).
+	Name string
+	// Description summarizes the machine and its lock primitive.
+	Description string
+	// NewLock is the port's mutex-lock primitive.
+	NewLock spinlock.Factory
+	// MaxProcs is the port's compile-time proc limit.
+	MaxProcs int
+	// Machine builds the simulated machine model; nil for the native
+	// port, which runs on the host.
+	Machine func() machine.Config
+}

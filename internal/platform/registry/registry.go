@@ -1,0 +1,33 @@
+// Package registry aggregates every port of the platform, the analogue of
+// the runtime's per-machine build configuration.
+package registry
+
+import (
+	"repro/internal/platform"
+	"repro/internal/platform/luna"
+	"repro/internal/platform/native"
+	"repro/internal/platform/sequent"
+	"repro/internal/platform/sgi"
+	"repro/internal/platform/uni"
+)
+
+// All returns every port.
+func All() []platform.Backend {
+	return []platform.Backend{
+		sequent.Backend(),
+		sgi.Backend(),
+		luna.Backend(),
+		uni.Backend(),
+		native.Backend(),
+	}
+}
+
+// ByName returns the named port.
+func ByName(name string) (platform.Backend, bool) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return platform.Backend{}, false
+}

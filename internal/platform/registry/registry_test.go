@@ -1,0 +1,113 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/threads"
+)
+
+func TestAllPortsPresent(t *testing.T) {
+	want := map[string]bool{"sequent": true, "sgi": true, "luna": true, "uni": true, "native": true}
+	for _, b := range All() {
+		if !want[b.Name] {
+			t.Fatalf("unexpected port %q", b.Name)
+		}
+		delete(want, b.Name)
+		if b.NewLock == nil || b.MaxProcs < 1 || b.Description == "" {
+			t.Fatalf("port %q incomplete: %+v", b.Name, b)
+		}
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing ports: %v", want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if b, ok := ByName("sgi"); !ok || b.Name != "sgi" {
+		t.Fatal("ByName(sgi) failed")
+	}
+	if _, ok := ByName("vax"); ok {
+		t.Fatal("ByName(vax) succeeded (the VAX port is uniprocessor-only!)")
+	}
+}
+
+func TestEveryPortLockIsAMutex(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			l := b.NewLock()
+			if !l.TryLock() {
+				t.Fatal("fresh lock not acquirable")
+			}
+			if l.TryLock() {
+				t.Fatal("double TryLock succeeded")
+			}
+			l.Unlock()
+
+			// Mutual exclusion under contention.
+			counter := 0
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 1000; i++ {
+						l.Lock()
+						counter++
+						l.Unlock()
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != 8000 {
+				t.Fatalf("counter = %d, want 8000", counter)
+			}
+		})
+	}
+}
+
+func TestSimMachinesMatchPortLimits(t *testing.T) {
+	for _, b := range All() {
+		if b.Machine == nil {
+			continue
+		}
+		cfg := b.Machine()
+		if cfg.Procs != b.MaxProcs {
+			t.Errorf("%s: machine model has %d procs, port limit %d",
+				b.Name, cfg.Procs, b.MaxProcs)
+		}
+	}
+}
+
+// TestThreadPackageRunsOnEveryPort is the portability claim in action: the
+// same generic client (the Fig. 3 thread package) runs unchanged over each
+// port's lock primitive.
+func TestThreadPackageRunsOnEveryPort(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			procs := b.MaxProcs
+			if procs > 4 {
+				procs = 4
+			}
+			s := threads.New(proc.New(procs), threads.Options{NewLock: b.NewLock})
+			total := 0
+			mu := b.NewLock()
+			s.Run(func() {
+				for i := 0; i < 30; i++ {
+					s.Fork(func() {
+						s.Yield()
+						mu.Lock()
+						total++
+						mu.Unlock()
+					})
+				}
+			})
+			if total != 30 {
+				t.Fatalf("port %s: total = %d, want 30", b.Name, total)
+			}
+		})
+	}
+}

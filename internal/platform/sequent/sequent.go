@@ -1,0 +1,22 @@
+// Package sequent is the Sequent Symmetry port: Dynix has no kernel
+// threads, so procs map onto processes sharing an address space, and the
+// hardware provides an atomic-exchange facility, so mutex locks are plain
+// test-and-set words.
+package sequent
+
+import (
+	"repro/internal/machine"
+	"repro/internal/platform"
+	"repro/internal/spinlock"
+)
+
+// Backend returns the Sequent Symmetry S81 port.
+func Backend() platform.Backend {
+	return platform.Backend{
+		Name:        "sequent",
+		Description: "Sequent Symmetry S81, 16x i386/16MHz, Dynix; atomic-exchange locks",
+		NewLock:     spinlock.NewTAS,
+		MaxProcs:    16,
+		Machine:     machine.SequentS81,
+	}
+}

@@ -1,0 +1,77 @@
+// Package sgi is the SGI 4D/380S port.  The MIPS R3000 has no test-and-
+// set instruction; the machine instead provides a limited number of
+// hardware locks implemented by a separate lock memory and bus.  As in
+// the paper's port, the runtime uses the hardware lock bank to control an
+// extensible set of software locks: each software mutex hashes onto one
+// hardware lock, which is held only for the instant needed to test and
+// set the software lock word.
+package sgi
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/machine"
+	"repro/internal/platform"
+	"repro/internal/spinlock"
+)
+
+// bankSize is the number of hardware locks; the 4D/380S lock memory is
+// small, which is why software locks must be multiplexed over it.
+const bankSize = 64
+
+// bank is the machine-wide hardware lock memory.
+var bank [bankSize]spinlock.TAS
+
+var nextLock atomic.Uint64
+
+// swLock is a software mutex: a plain word whose test-and-set is made
+// atomic by briefly holding one hardware lock from the bank.
+type swLock struct {
+	hw   *spinlock.TAS
+	held atomic.Bool // plain word in the ML heap; hw serializes access
+}
+
+// NewLock returns a software mutex multiplexed over the hardware bank.
+func NewLock() spinlock.Lock {
+	i := nextLock.Add(1)
+	return &swLock{hw: &bank[i%bankSize]}
+}
+
+func (l *swLock) TryLock() bool {
+	l.hw.Lock()
+	ok := !l.held.Load()
+	if ok {
+		l.held.Store(true)
+	}
+	l.hw.Unlock()
+	return ok
+}
+
+func (l *swLock) Lock() {
+	for i := 1; !l.TryLock(); i++ {
+		if i%64 == 0 {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (l *swLock) Unlock() {
+	l.hw.Lock()
+	if !l.held.Swap(false) {
+		l.hw.Unlock()
+		panic("sgi: unlock of unlocked software lock")
+	}
+	l.hw.Unlock()
+}
+
+// Backend returns the SGI 4D/380S port.
+func Backend() platform.Backend {
+	return platform.Backend{
+		Name:        "sgi",
+		Description: "SGI 4D/380S, 8x R3000/33MHz, Irix; hardware lock bank over software locks",
+		NewLock:     NewLock,
+		MaxProcs:    8,
+		Machine:     machine.SGI4D380S,
+	}
+}

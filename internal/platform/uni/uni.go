@@ -1,0 +1,21 @@
+// Package uni is the trivial uniprocessor port that "works on all
+// processors that run SML/NJ": one proc, so locks never spin and the
+// cheapest available primitive suffices.
+package uni
+
+import (
+	"repro/internal/machine"
+	"repro/internal/platform"
+	"repro/internal/spinlock"
+)
+
+// Backend returns the uniprocessor port.
+func Backend() platform.Backend {
+	return platform.Backend{
+		Name:        "uni",
+		Description: "uniprocessor fallback; single proc, uncontended locks",
+		NewLock:     spinlock.NewTAS,
+		MaxProcs:    1,
+		Machine:     machine.Uniprocessor,
+	}
+}

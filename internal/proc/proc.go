@@ -1,0 +1,281 @@
+// Package proc implements the Proc half of the MP platform (paper §3.1,
+// §3.2): a language-level view of a kernel thread executing on a physical
+// processor.
+//
+// A proc here is a *token* drawn from a bounded pool.  At any instant
+// exactly one goroutine holds each live token; holding the token is what
+// it means to "be" that proc, and the Go scheduler supplies the actual
+// parallelism (up to GOMAXPROCS) just as Irix/Dynix/Mach supplied it to
+// SML/NJ.  The pool reproduces the paper's semantics precisely:
+//
+//   - a compile-time-style constant (MaxProcs) bounds the procs the
+//     runtime will provide; Acquire past the limit returns ErrNoMoreProcs
+//     (the exception No_More_Procs);
+//   - Release returns the token and may later be re-used by a subsequent
+//     Acquire, mirroring "the runtime system may choose to re-use a
+//     previously released kernel thread";
+//   - each proc carries a single client-defined datum, read and written by
+//     GetDatum/SetDatum; the datum follows the proc, not the thread, and
+//     is conveyed across continuation throws by the baton protocol in
+//     package cont.
+//
+// Initially a single root proc executes the client's root function; the
+// platform's Run returns when every proc has been released (quiescence),
+// which is how client programs join.
+package proc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cont"
+	"repro/internal/gls"
+)
+
+// ErrNoMoreProcs is the paper's exception No_More_Procs: the proc limit
+// has been reached and no released proc is available for re-use.
+var ErrNoMoreProcs = errors.New("mp: no more procs")
+
+// Proc is a processor token.  Its fields are accessed only by the single
+// goroutine currently holding it; hand-off between goroutines happens via
+// channel sends, which establish the necessary happens-before edges.
+type Proc struct {
+	id       int
+	datum    any
+	released atomic.Bool
+	pl       *Platform
+}
+
+// ID returns the proc's small dense identifier (0 is the root proc).
+func (p *Proc) ID() int { return p.id }
+
+// PS is the paper's proc_state: the continuation a newly acquired proc
+// starts executing, plus the initial per-proc datum.
+type PS struct {
+	K     *cont.Cont[cont.Unit]
+	Datum any
+}
+
+// Stats counts platform activity; useful for tests and the evaluation
+// harness.
+type Stats struct {
+	Created  int // distinct proc tokens ever created
+	Acquired int // successful Acquire calls (including re-use)
+	Reused   int // Acquires satisfied from the free list
+	Refused  int // Acquires that returned ErrNoMoreProcs
+	Released int // Release calls
+}
+
+// Platform is the MP processor manager.
+type Platform struct {
+	max     int
+	mu      sync.Mutex
+	free    []*Proc
+	created int
+	limit   int // current physical-processor allowance (≤ max)
+	stats   Stats
+	live    sync.WaitGroup
+	running atomic.Bool
+}
+
+// New returns a platform that will provide at most maxProcs procs, the
+// analogue of the runtime's compile-time proc limit.  Typical clients set
+// maxProcs to the number of physical processors (runtime.GOMAXPROCS(0)).
+func New(maxProcs int) *Platform {
+	if maxProcs < 1 {
+		panic("proc: platform needs at least one proc")
+	}
+	return &Platform{max: maxProcs, limit: maxProcs}
+}
+
+// MaxProcs reports the platform's proc limit.
+func (pl *Platform) MaxProcs() int { return pl.max }
+
+// SetLimit changes the number of physical processors the platform may
+// use, clamped to [1, MaxProcs].  The paper's §3.1: "the number of
+// physical processors available to an SML/NJ image can change without
+// warning during a computation, as a result of activity by other users
+// and by the operating system itself."  Shrinking the limit does not
+// preempt anyone — procs discover the revocation at their next safe
+// point via Revoked and release themselves, the cooperative model the
+// paper's clients use for everything.
+func (pl *Platform) SetLimit(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > pl.max {
+		n = pl.max
+	}
+	pl.mu.Lock()
+	pl.limit = n
+	pl.mu.Unlock()
+}
+
+// Limit reports the current physical-processor allowance.
+func (pl *Platform) Limit() int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.limit
+}
+
+// Live reports how many procs are currently held by clients.
+func (pl *Platform) Live() int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.created - len(pl.free)
+}
+
+// Revoked reports whether more procs are live than the current limit
+// allows, i.e. whether the calling proc should save its state and
+// Release at its next safe point.  Any proc may answer the revocation;
+// the signal clears as soon as enough have.
+func (pl *Platform) Revoked() bool {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.created-len(pl.free) > pl.limit
+}
+
+// Stats returns a snapshot of platform counters.
+func (pl *Platform) Stats() Stats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.stats
+}
+
+// Acquire starts a new proc executing the continuation in ps, with ps.Datum
+// as its per-proc datum (paper: acquire_proc).  It returns ErrNoMoreProcs
+// when the proc limit is reached, which clients typically handle by
+// enqueueing the continuation on a ready queue instead (Fig. 3).
+func (pl *Platform) Acquire(ps PS) error {
+	if ps.K == nil {
+		panic("proc: Acquire with nil continuation")
+	}
+	pl.mu.Lock()
+	if pl.created-len(pl.free) >= pl.limit {
+		// Within capacity but beyond the OS's current allowance.
+		pl.stats.Refused++
+		pl.mu.Unlock()
+		return ErrNoMoreProcs
+	}
+	var p *Proc
+	switch {
+	case len(pl.free) > 0:
+		p = pl.free[len(pl.free)-1]
+		pl.free = pl.free[:len(pl.free)-1]
+		pl.stats.Reused++
+	case pl.created < pl.max:
+		p = &Proc{id: pl.created, pl: pl}
+		pl.created++
+		pl.stats.Created++
+	default:
+		pl.stats.Refused++
+		pl.mu.Unlock()
+		return ErrNoMoreProcs
+	}
+	pl.stats.Acquired++
+	// Safe: Acquire is only callable from code running on a live proc, so
+	// the live counter is nonzero here.
+	pl.live.Add(1)
+	pl.mu.Unlock()
+
+	p.released.Store(false)
+	p.datum = ps.Datum
+	cont.Start(ps.K, cont.Unit{}, p)
+	return nil
+}
+
+// Release stops the calling proc and returns it to the pool (paper:
+// release_proc, of ML type unit -> 'a).  It never returns; the calling
+// goroutine is unwound.  Clients wishing to save their execution state
+// first capture a continuation with Callcc.
+func (pl *Platform) Release() {
+	p := Current()
+	pl.release(p)
+	cont.Exit()
+}
+
+// release is idempotent so that the root wrapper's deferred release cannot
+// double-free a proc the root function already released.
+func (pl *Platform) release(p *Proc) {
+	if !p.released.CompareAndSwap(false, true) {
+		return
+	}
+	p.datum = nil
+	pl.mu.Lock()
+	pl.free = append(pl.free, p)
+	pl.stats.Released++
+	pl.mu.Unlock()
+	pl.live.Done()
+}
+
+// Current returns the proc held by the calling goroutine.
+func Current() *Proc {
+	v, ok := gls.Get()
+	if !ok {
+		panic("mp: operation outside Platform.Run")
+	}
+	p, ok := v.(*Proc)
+	if !ok {
+		panic(fmt.Sprintf("mp: foreign baton %T on this goroutine", v))
+	}
+	return p
+}
+
+// GetDatum returns the calling proc's private datum (paper: get_datum).
+func GetDatum() any { return Current().datum }
+
+// SetDatum overwrites the calling proc's private datum (paper: set_datum).
+func SetDatum(d any) { Current().datum = d }
+
+// Self returns the calling proc's id; a convenience beyond the paper's
+// interface, used by the evaluation harness and the distributed scheduler.
+func Self() int { return Current().id }
+
+// Run bootstraps the root proc executing root with the given initial
+// datum (paper: initial_datum) and blocks until the platform quiesces —
+// i.e. until every proc, including the root, has been released.  If root
+// returns normally, the proc it is then holding is released implicitly.
+func (pl *Platform) Run(root func(), initialDatum any) {
+	if !pl.running.CompareAndSwap(false, true) {
+		panic("proc: Platform.Run is not reentrant")
+	}
+	defer pl.running.Store(false)
+
+	pl.mu.Lock()
+	if pl.created != 0 || len(pl.free) != 0 {
+		// Allow repeated Run calls on a quiesced platform by recycling.
+		pl.free = pl.free[:0]
+		pl.created = 0
+	}
+	p := &Proc{id: 0, pl: pl}
+	pl.created = 1
+	pl.stats.Created++
+	pl.stats.Acquired++
+	pl.live.Add(1)
+	pl.mu.Unlock()
+	p.datum = initialDatum
+
+	go func() {
+		gls.Set(p)
+		defer func() {
+			r := recover()
+			// Release the proc currently held at return time: the root
+			// goroutine may have migrated to a different token by the
+			// time the root function returns.
+			if r == nil {
+				if v, ok := gls.Get(); ok {
+					pl.release(v.(*Proc))
+				}
+			}
+			gls.Del()
+			if r != nil && !cont.IsExit(r) {
+				panic(r)
+			}
+		}()
+		root()
+	}()
+
+	pl.live.Wait()
+}

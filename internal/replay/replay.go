@@ -1,0 +1,125 @@
+// Package replay provides deterministic record/replay of thread
+// schedules, the foundation of the concurrent-debugging work the paper
+// reports being built on MP (Tolmach & Appel, "Debuggable concurrency
+// extensions for Standard ML").  Their debugger reproduced concurrent
+// executions by logging scheduling decisions and replaying them under a
+// deterministic uniprocessor scheduler; this package does the same thing
+// using nothing but the thread functor's queue parameter:
+//
+//   - Record wraps any queue discipline (including the randomized one)
+//     and logs the thread id of every dispatch;
+//   - Replay is a queue discipline that serves ready threads in exactly
+//     the order of a previous run's log.
+//
+// Because scheduling policy is just the functor's queue argument (the
+// paper's central design point), the debugger needs no hooks inside the
+// scheduler at all.  Replay requires a single proc, as the original
+// debugger did: on one processor the dispatch order fully determines the
+// interleaving.
+package replay
+
+import (
+	"fmt"
+
+	"repro/internal/queue"
+	"repro/internal/threads"
+)
+
+// Log is a recorded schedule: thread ids in dispatch order.  After a
+// replay, Divergence is non-empty if the replayed program stopped
+// matching the recording (the replayer degrades to FIFO from that point,
+// so the run still completes and the debugger can report the mismatch).
+type Log struct {
+	Order      []int
+	Divergence string
+}
+
+// recordingQueue wraps an inner discipline and logs every Deq.
+type recordingQueue struct {
+	inner queue.Queue[threads.Entry]
+	log   *Log
+}
+
+func (q *recordingQueue) Enq(e threads.Entry) { q.inner.Enq(e) }
+
+func (q *recordingQueue) Deq() (threads.Entry, error) {
+	e, err := q.inner.Deq()
+	if err == nil {
+		q.log.Order = append(q.log.Order, e.ID)
+	}
+	return e, err
+}
+
+func (q *recordingQueue) Len() int { return q.inner.Len() }
+
+// Record returns a log and a queue factory that journals the dispatch
+// order of the wrapped discipline (FIFO if inner is nil).  Use the
+// factory as the thread functor's queue argument on a 1-proc platform.
+func Record(inner queue.Factory[threads.Entry]) (*Log, queue.Factory[threads.Entry]) {
+	if inner == nil {
+		inner = queue.NewFifo[threads.Entry]
+	}
+	log := &Log{}
+	return log, func() queue.Queue[threads.Entry] {
+		return &recordingQueue{inner: inner(), log: log}
+	}
+}
+
+// replayQueue serves pending entries in the order of a recorded log.
+type replayQueue struct {
+	pending []threads.Entry
+	log     *Log
+	pos     int
+}
+
+func (q *replayQueue) Enq(e threads.Entry) { q.pending = append(q.pending, e) }
+
+func (q *replayQueue) Deq() (threads.Entry, error) {
+	if len(q.pending) == 0 {
+		return threads.Entry{}, queue.ErrEmpty
+	}
+	if q.log.Divergence == "" {
+		if q.pos >= len(q.log.Order) {
+			q.log.Divergence = fmt.Sprintf(
+				"schedule exhausted after %d dispatches but %d thread(s) still ready",
+				q.pos, len(q.pending))
+		} else {
+			want := q.log.Order[q.pos]
+			for i, e := range q.pending {
+				if e.ID == want {
+					q.pos++
+					q.pending = append(q.pending[:i], q.pending[i+1:]...)
+					return e, nil
+				}
+			}
+			q.log.Divergence = fmt.Sprintf(
+				"dispatch %d expects thread %d, but only %v are ready",
+				q.pos, want, readyIDs(q.pending))
+		}
+	}
+	// Diverged: degrade to FIFO so the run completes.
+	e := q.pending[0]
+	q.pending = q.pending[1:]
+	return e, nil
+}
+
+func readyIDs(es []threads.Entry) []int {
+	ids := make([]int, len(es))
+	for i, e := range es {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+func (q *replayQueue) Len() int { return len(q.pending) }
+
+// Replay returns a queue factory that reproduces the dispatch order in
+// log.  The replayed program must create the same threads and block in
+// the same places as the recorded run (true for deterministic program
+// logic, since on one proc the schedule fully determines execution); a
+// divergence panics with a diagnostic.
+func Replay(log *Log) queue.Factory[threads.Entry] {
+	return func() queue.Queue[threads.Entry] {
+		return &replayQueue{log: log}
+	}
+}

@@ -1,0 +1,136 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/queue"
+	"repro/internal/threads"
+)
+
+// chaoticProgram forks several threads that interleave appends to a
+// trace; the resulting trace depends entirely on the schedule.
+func chaoticProgram(s *threads.System, trace *[]int) func() {
+	return func() {
+		for i := 0; i < 5; i++ {
+			i := i
+			s.Fork(func() {
+				for j := 0; j < 4; j++ {
+					*trace = append(*trace, i*10+j)
+					s.Yield()
+				}
+			})
+		}
+	}
+}
+
+func runWith(mk queue.Factory[threads.Entry]) []int {
+	s := threads.New(proc.New(1), threads.Options{NewQueue: mk})
+	var trace []int
+	s.Run(chaoticProgram(s, &trace))
+	return trace
+}
+
+func equal(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecordThenReplayReproducesRandomSchedule(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		// Record under a randomized discipline.
+		log, recFactory := Record(func() queue.Queue[threads.Entry] {
+			return queue.NewRandomSeeded[threads.Entry](seed)
+		})
+		recorded := runWith(recFactory)
+		if len(log.Order) == 0 {
+			t.Fatal("nothing recorded")
+		}
+		// Replay must reproduce the exact interleaving.
+		replayed := runWith(Replay(log))
+		if !equal(recorded, replayed) {
+			t.Fatalf("seed %d: replay diverged:\nrecorded %v\nreplayed %v",
+				seed, recorded, replayed)
+		}
+	}
+}
+
+func TestDifferentSeedsGiveDifferentSchedules(t *testing.T) {
+	_, f1 := Record(func() queue.Queue[threads.Entry] {
+		return queue.NewRandomSeeded[threads.Entry](1)
+	})
+	_, f2 := Record(func() queue.Queue[threads.Entry] {
+		return queue.NewRandomSeeded[threads.Entry](2)
+	})
+	a := runWith(f1)
+	b := runWith(f2)
+	if equal(a, b) {
+		t.Skip("two seeds coincidentally produced identical schedules")
+	}
+}
+
+func TestRecordDefaultsToFIFO(t *testing.T) {
+	log, rec := Record(nil)
+	a := runWith(rec)
+	b := runWith(Replay(log))
+	if !equal(a, b) {
+		t.Fatal("FIFO record/replay diverged")
+	}
+}
+
+func TestReplayIsDeterministicItself(t *testing.T) {
+	log, rec := Record(func() queue.Queue[threads.Entry] {
+		return queue.NewRandomSeeded[threads.Entry](7)
+	})
+	runWith(rec)
+	a := runWith(Replay(log))
+	b := runWith(Replay(log))
+	if !equal(a, b) {
+		t.Fatal("two replays of one log differ")
+	}
+}
+
+func TestDivergenceDetectedAndRunCompletes(t *testing.T) {
+	// Record one program, replay a different one: the replayer must
+	// flag the divergence (and degrade to FIFO) rather than silently
+	// misschedule or wedge.
+	log, rec := Record(nil)
+	runWith(rec)
+
+	s := threads.New(proc.New(1), threads.Options{NewQueue: Replay(log)})
+	var trace []int
+	ran := false
+	s.Run(func() {
+		// Twice as many threads as the recording.
+		for k := 0; k < 2; k++ {
+			chaoticProgram(s, &trace)()
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("divergent replay did not complete")
+	}
+	if log.Divergence == "" {
+		t.Fatal("divergence not detected")
+	}
+	if len(trace) != 2*5*4 {
+		t.Fatalf("divergent run incomplete: %d of 40 events", len(trace))
+	}
+}
+
+func TestFaithfulReplayHasNoDivergence(t *testing.T) {
+	log, rec := Record(nil)
+	runWith(rec)
+	runWith(Replay(log))
+	if log.Divergence != "" {
+		t.Fatalf("faithful replay flagged divergence: %s", log.Divergence)
+	}
+}

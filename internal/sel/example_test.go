@@ -1,0 +1,37 @@
+package sel_test
+
+import (
+	"fmt"
+
+	"repro/internal/proc"
+	"repro/internal/sel"
+	"repro/internal/threads"
+)
+
+// Synchronous channels with CSP-style send and multi-channel receive
+// (paper Figs. 4 and 5).
+func Example() {
+	s := threads.New(proc.New(2), threads.Options{})
+	s.Run(func() {
+		ch := sel.NewChan[string](s)
+		s.Fork(func() { ch.Send("hello from a thread") })
+		fmt.Println(ch.Receive())
+	})
+	// Output:
+	// hello from a thread
+}
+
+// Receive takes from whichever channel has a sender, committing exactly
+// once.
+func ExampleReceive() {
+	s := threads.New(proc.New(2), threads.Options{})
+	s.Run(func() {
+		a := sel.NewChan[int](s)
+		b := sel.NewChan[int](s)
+		s.Fork(func() { b.Send(7) })
+		s.Yield()
+		fmt.Println(sel.Receive(a, b))
+	})
+	// Output:
+	// 7
+}

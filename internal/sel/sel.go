@@ -1,0 +1,158 @@
+// Package sel implements the paper's CSP-style selective communication
+// facility (Figs. 4 and 5): dynamically created polymorphic channels, a
+// blocking Send, and a Receive that nondeterministically takes a value
+// from one of a list of channels.  The protocol is the one underlying the
+// authors' multiprocessor Concurrent ML prototype.
+//
+// A channel holds a queue of blocked sender states and a queue of blocked
+// receiver states, jointly protected by a mutex lock.  A receiver state
+// carries a `committed` mutex lock used as a flag: the first party to
+// try-lock it wins the right to resume that receiver, which is what makes
+// multi-channel receive safe — a receiver parked on several channels is
+// resumed exactly once even if senders arrive on all of them at once.
+//
+// One deliberate repair to Fig. 5: when a receiver dequeues a blocked
+// sender but then fails to acquire its own committed lock (some other
+// sender already resumed it), the figure drops the dequeued sender on the
+// floor; we re-queue it so no send is ever lost.
+package sel
+
+import (
+	"math/rand"
+
+	"repro/internal/cont"
+	"repro/internal/core"
+	"repro/internal/queue"
+)
+
+// Scheduler is the slice of the thread package that the protocol needs:
+// Fig. 5 calls reschedule, dispatch and Proc.get_datum, nothing more.
+// threads.System implements it.
+type Scheduler interface {
+	// Reschedule makes a ready continuation thunk runnable under a thread
+	// id; the thunk never returns.
+	Reschedule(run func(), id int)
+	// Dispatch transfers control to another ready thread; never returns.
+	Dispatch()
+	// ID returns the current thread's identifier.
+	ID() int
+}
+
+// sndr is a blocked sender's state: its continuation, thread id, and the
+// value it is sending.
+type sndr[T any] struct {
+	kont *core.UnitCont
+	id   int
+	val  T
+}
+
+// rcvr is a blocked receiver's state: its value continuation, thread id,
+// and the committed lock that flags whether a sender has been determined.
+type rcvr[T any] struct {
+	kont      *cont.Cont[T]
+	id        int
+	committed core.Lock
+}
+
+// Chan is the paper's 'a chan.
+type Chan[T any] struct {
+	sched  Scheduler
+	chLock core.Lock
+	sndrs  queue.Queue[sndr[T]]
+	rcvrs  queue.Queue[rcvr[T]]
+}
+
+// NewChan creates a channel (Fig. 4: chan).
+func NewChan[T any](s Scheduler) *Chan[T] {
+	return &Chan[T]{
+		sched:  s,
+		chLock: core.NewMutexLock(),
+		sndrs:  queue.NewFifo[sndr[T]](),
+		rcvrs:  queue.NewFifo[rcvr[T]](),
+	}
+}
+
+// Send sends v to the channel, blocking until a receiver takes it
+// (Fig. 4/5: send).
+func (c *Chan[T]) Send(v T) {
+	c.chLock.Lock()
+	for {
+		r, err := c.rcvrs.Deq()
+		if err != nil {
+			// No receiver available: park this sender on the channel and
+			// give the proc to another thread.
+			cont.Callcc(func(k *core.UnitCont) core.Unit {
+				c.sndrs.Enq(sndr[T]{kont: k, id: c.sched.ID(), val: v})
+				c.chLock.Unlock()
+				c.sched.Dispatch()
+				return core.Unit{} // unreachable
+			})
+			return // resumed: some receiver took the value
+		}
+		if r.committed.TryLock() {
+			c.chLock.Unlock()
+			// Effect the communication: reschedule the receiver's
+			// continuation with the value bound in (the paper's
+			// reschedule_thread converts the 'a cont plus value to a
+			// reschedulable unit cont).
+			kont, id := r.kont, r.id
+			c.sched.Reschedule(func() { cont.Throw(kont, v) }, id)
+			return
+		}
+		// This receiver was already resumed by another sender; discard its
+		// stale entry and look for another.
+	}
+}
+
+// Receive takes a value from exactly one of the given channels,
+// nondeterministically (Fig. 4/5: receive).  All channels must share a
+// scheduler.  The calling thread blocks until some sender commits to it.
+func Receive[T any](chans ...*Chan[T]) T {
+	if len(chans) == 0 {
+		panic("sel: Receive with no channels")
+	}
+	sched := chans[0].sched
+	return cont.Callcc(func(k *cont.Cont[T]) T {
+		r := rcvr[T]{kont: k, id: sched.ID(), committed: core.NewMutexLock()}
+		for _, c := range randomize(chans) {
+			c.chLock.Lock()
+			s, err := c.sndrs.Deq()
+			if err != nil {
+				// No sender here: leave our state on this channel's
+				// receiver queue and try the next channel.
+				c.rcvrs.Enq(r)
+				c.chLock.Unlock()
+				continue
+			}
+			if r.committed.TryLock() {
+				c.chLock.Unlock()
+				sched.Reschedule(func() { cont.Throw(s.kont, core.Unit{}) }, s.id)
+				return s.val // implicit throw to k: the receive completes
+			}
+			// Some sender already committed to us via another channel;
+			// restore the dequeued sender (repairing Fig. 5) and abandon
+			// this invocation — our continuation is already scheduled.
+			c.sndrs.Enq(s)
+			c.chLock.Unlock()
+			sched.Dispatch()
+		}
+		// Parked on every channel; wait for a sender to resume us.
+		sched.Dispatch()
+		panic("sel: Dispatch returned")
+	})
+}
+
+// Receive is the single-channel convenience form.
+func (c *Chan[T]) Receive() T { return Receive(c) }
+
+// randomize returns the channels in pseudo-random order, as Fig. 5's
+// receive loop does, so no channel in a multi-way receive is starved.
+func randomize[T any](chans []*Chan[T]) []*Chan[T] {
+	if len(chans) == 1 {
+		return chans
+	}
+	out := make([]*Chan[T], len(chans))
+	copy(out, chans)
+	rand.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,221 @@
+package sel
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/threads"
+)
+
+func newSys(procs int) *threads.System {
+	return threads.New(proc.New(procs), threads.Options{})
+}
+
+func TestSendThenReceive(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		ch := NewChan[int](s)
+		s.Fork(func() { ch.Send(42) })
+		got = ch.Receive()
+	})
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+}
+
+func TestReceiveThenSend(t *testing.T) {
+	s := newSys(2)
+	var got int
+	s.Run(func() {
+		ch := NewChan[int](s)
+		s.Fork(func() { got = ch.Receive() })
+		s.Yield() // let the receiver park first
+		ch.Send(7)
+	})
+	if got != 7 {
+		t.Fatalf("got %d, want 7", got)
+	}
+}
+
+func TestManyMessagesInOrderOneProc(t *testing.T) {
+	// With one proc and FIFO scheduling, a single sender/receiver pair
+	// sees values in order.
+	s := newSys(1)
+	var got []int
+	s.Run(func() {
+		ch := NewChan[int](s)
+		s.Fork(func() {
+			for i := 0; i < 100; i++ {
+				ch.Send(i)
+			}
+		})
+		for i := 0; i < 100; i++ {
+			got = append(got, ch.Receive())
+		}
+	})
+	if len(got) != 100 {
+		t.Fatalf("received %d values", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEachValueDeliveredExactlyOnce(t *testing.T) {
+	// n senders, n receivers, one channel, several procs: every value must
+	// arrive exactly once — the committed-lock protocol's core guarantee.
+	const n = 200
+	s := newSys(4)
+	var sum atomic.Int64
+	var count atomic.Int64
+	s.Run(func() {
+		ch := NewChan[int](s)
+		for i := 0; i < n; i++ {
+			i := i
+			s.Fork(func() { ch.Send(i) })
+		}
+		for i := 0; i < n; i++ {
+			s.Fork(func() {
+				v := ch.Receive()
+				sum.Add(int64(v))
+				count.Add(1)
+			})
+		}
+	})
+	if count.Load() != n {
+		t.Fatalf("delivered %d values, want %d", count.Load(), n)
+	}
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d (lost or duplicated values)", sum.Load(), want)
+	}
+}
+
+func TestMultiChannelReceive(t *testing.T) {
+	// A receiver parked on three channels must take from whichever channel
+	// a sender arrives on, exactly once.
+	s := newSys(4)
+	counts := make([]atomic.Int64, 3)
+	var received atomic.Int64
+	s.Run(func() {
+		chans := []*Chan[int]{NewChan[int](s), NewChan[int](s), NewChan[int](s)}
+		const rounds = 90
+		for i := 0; i < rounds; i++ {
+			i := i
+			s.Fork(func() { chans[i%3].Send(i % 3) })
+		}
+		for i := 0; i < rounds; i++ {
+			s.Fork(func() {
+				v := Receive(chans[0], chans[1], chans[2])
+				counts[v].Add(1)
+				received.Add(1)
+			})
+		}
+	})
+	if received.Load() != 90 {
+		t.Fatalf("received %d, want 90", received.Load())
+	}
+	for i := range counts {
+		if counts[i].Load() != 30 {
+			t.Fatalf("channel %d delivered %d, want 30", i, counts[i].Load())
+		}
+	}
+}
+
+func TestCompetingSendersOnMultiReceive(t *testing.T) {
+	// Two senders racing on different channels toward one multi-channel
+	// receiver: exactly one wins immediately; the other must be received
+	// by a subsequent receive, not lost (the Fig. 5 repair).
+	for round := 0; round < 20; round++ {
+		s := newSys(4)
+		var first, second int
+		s.Run(func() {
+			a, b := NewChan[int](s), NewChan[int](s)
+			s.Fork(func() { a.Send(1) })
+			s.Fork(func() { b.Send(2) })
+			first = Receive(a, b)
+			second = Receive(a, b)
+		})
+		if first+second != 3 {
+			t.Fatalf("round %d: received %d then %d; a send was lost or duplicated",
+				round, first, second)
+		}
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	s := newSys(2)
+	var transcript []int
+	s.Run(func() {
+		ping, pong := NewChan[int](s), NewChan[int](s)
+		s.Fork(func() {
+			for i := 0; i < 10; i++ {
+				v := ping.Receive()
+				pong.Send(v + 1)
+			}
+		})
+		for i := 0; i < 10; i++ {
+			ping.Send(i * 100)
+			transcript = append(transcript, pong.Receive())
+		}
+	})
+	if len(transcript) != 10 {
+		t.Fatalf("transcript = %v", transcript)
+	}
+	for i, v := range transcript {
+		if v != i*100+1 {
+			t.Fatalf("transcript[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestFanInFanOut(t *testing.T) {
+	// Workers receive jobs from a shared channel and send results to a
+	// shared channel; the collector must see every result.
+	s := newSys(4)
+	var total int
+	s.Run(func() {
+		jobs, results := NewChan[int](s), NewChan[int](s)
+		for w := 0; w < 5; w++ {
+			s.Fork(func() {
+				for {
+					j := jobs.Receive()
+					if j < 0 {
+						return
+					}
+					results.Send(j * j)
+				}
+			})
+		}
+		s.Fork(func() {
+			for i := 1; i <= 30; i++ {
+				jobs.Send(i)
+			}
+			for w := 0; w < 5; w++ {
+				jobs.Send(-1)
+			}
+		})
+		for i := 0; i < 30; i++ {
+			total += results.Receive()
+		}
+	})
+	want := 0
+	for i := 1; i <= 30; i++ {
+		want += i * i
+	}
+	if total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestReceiveNoChannelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Receive() did not panic")
+		}
+	}()
+	Receive[int]()
+}

@@ -1,0 +1,145 @@
+// Package signals implements the paper's multiprocessor signal conventions
+// (§3.4): "Signal handlers are installed on a global basis, i.e., all procs
+// share the same signal-handling functions, and all procs receive each
+// delivered signal.  However, masking and unmasking of signals is
+// controlled on a per-proc basis."
+//
+// Go cannot interrupt a goroutine asynchronously, so delivery is by the
+// timer-driven polling the paper itself recommends for inter-proc alerts:
+// Deliver marks a signal pending on every proc, and procs invoke their
+// handlers at Poll points (the thread package's safe points call Poll).
+// This mirrors how SML/NJ itself delivers signals only at clean points
+// (heap-limit checks), so the substitution is behaviorally close.
+package signals
+
+import (
+	"sync"
+
+	"repro/internal/proc"
+)
+
+// Sig identifies a signal.
+type Sig int
+
+// Signals understood by the platform; the set mirrors what the 1993
+// runtime used (alarm for preemption, int for user interrupt, usr1/usr2
+// for client protocols).
+const (
+	SigAlarm Sig = iota
+	SigInt
+	SigUsr1
+	SigUsr2
+	numSigs
+)
+
+// Handler is a signal-handling function; it receives the signal and the
+// proc id it is running on.
+type Handler func(sig Sig, procID int)
+
+// Table is a per-platform signal state: a global handler table plus
+// per-proc pending and mask bits.
+type Table struct {
+	mu       sync.Mutex
+	handlers [numSigs]Handler
+	pending  []uint32 // bitmask per proc
+	masked   []uint32 // bitmask per proc
+}
+
+// New returns a signal table for a platform with maxProcs procs.
+func New(maxProcs int) *Table {
+	return &Table{
+		pending: make([]uint32, maxProcs),
+		masked:  make([]uint32, maxProcs),
+	}
+}
+
+// Install sets the global handler for sig, shared by all procs, and
+// returns the previous handler (nil if none).
+func (t *Table) Install(sig Sig, h Handler) Handler {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.handlers[sig]
+	t.handlers[sig] = h
+	return old
+}
+
+// Deliver marks sig pending on every proc: "all procs receive each
+// delivered signal".
+func (t *Table) Deliver(sig Sig) {
+	t.mu.Lock()
+	for i := range t.pending {
+		t.pending[i] |= 1 << uint(sig)
+	}
+	t.mu.Unlock()
+}
+
+// DeliverTo marks sig pending on a single proc; this is the primitive the
+// paper suggests for simulating proc-to-proc alerts by polling.
+func (t *Table) DeliverTo(sig Sig, procID int) {
+	t.mu.Lock()
+	if procID >= 0 && procID < len(t.pending) {
+		t.pending[procID] |= 1 << uint(sig)
+	}
+	t.mu.Unlock()
+}
+
+// Mask blocks delivery of sig on the calling proc.
+func (t *Table) Mask(sig Sig) {
+	id := proc.Self()
+	t.mu.Lock()
+	t.masked[id] |= 1 << uint(sig)
+	t.mu.Unlock()
+}
+
+// Unmask re-enables delivery of sig on the calling proc.
+func (t *Table) Unmask(sig Sig) {
+	id := proc.Self()
+	t.mu.Lock()
+	t.masked[id] &^= 1 << uint(sig)
+	t.mu.Unlock()
+}
+
+// Masked reports whether sig is masked on the calling proc.
+func (t *Table) Masked(sig Sig) bool {
+	id := proc.Self()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.masked[id]&(1<<uint(sig)) != 0
+}
+
+// Poll runs the handlers for every pending unmasked signal on the calling
+// proc, in signal order, and reports how many handlers ran.  Handlers run
+// with their signal masked, as the SML/NJ signal interface arranges.
+func (t *Table) Poll() int {
+	id := proc.Self()
+	ran := 0
+	for s := Sig(0); s < numSigs; s++ {
+		bit := uint32(1) << uint(s)
+		t.mu.Lock()
+		deliverable := t.pending[id]&bit != 0 && t.masked[id]&bit == 0 && t.handlers[s] != nil
+		var h Handler
+		if deliverable {
+			t.pending[id] &^= bit
+			t.masked[id] |= bit
+			h = t.handlers[s]
+		}
+		t.mu.Unlock()
+		if deliverable {
+			h(s, id)
+			t.mu.Lock()
+			t.masked[id] &^= bit
+			t.mu.Unlock()
+			ran++
+		}
+	}
+	return ran
+}
+
+// Pending reports whether any unmasked signal is pending on the calling
+// proc — a cheap check for hot loops before paying for Poll.
+func (t *Table) Pending() bool {
+	id := proc.Self()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.pending[id]&^t.masked[id] != 0
+}

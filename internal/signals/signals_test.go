@@ -1,0 +1,177 @@
+package signals
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cont"
+	"repro/internal/proc"
+)
+
+func run1(f func()) {
+	pl := proc.New(1)
+	pl.Run(f, nil)
+}
+
+func TestInstallAndPoll(t *testing.T) {
+	run1(func() {
+		tab := New(1)
+		var got []Sig
+		tab.Install(SigInt, func(s Sig, p int) { got = append(got, s) })
+		tab.Deliver(SigInt)
+		if n := tab.Poll(); n != 1 {
+			t.Fatalf("Poll ran %d handlers, want 1", n)
+		}
+		if len(got) != 1 || got[0] != SigInt {
+			t.Fatalf("got = %v", got)
+		}
+		// Pending bit consumed.
+		if n := tab.Poll(); n != 0 {
+			t.Fatalf("second Poll ran %d handlers, want 0", n)
+		}
+	})
+}
+
+func TestMaskBlocksDelivery(t *testing.T) {
+	run1(func() {
+		tab := New(1)
+		ran := 0
+		tab.Install(SigUsr1, func(Sig, int) { ran++ })
+		tab.Mask(SigUsr1)
+		if !tab.Masked(SigUsr1) {
+			t.Fatal("Masked = false after Mask")
+		}
+		tab.Deliver(SigUsr1)
+		if tab.Poll() != 0 {
+			t.Fatal("masked signal was delivered")
+		}
+		tab.Unmask(SigUsr1)
+		if tab.Poll() != 1 || ran != 1 {
+			t.Fatal("pending signal not delivered after Unmask")
+		}
+	})
+}
+
+func TestMaskingIsPerProc(t *testing.T) {
+	// Two procs: proc A masks; a broadcast signal must still reach proc B.
+	pl := proc.New(2)
+	tab := New(2)
+	var delivered atomic.Int32
+	tab.Install(SigUsr2, func(Sig, int) { delivered.Add(1) })
+	pl.Run(func() {
+		tab.Mask(SigUsr2) // mask on the root proc only
+		tab.Deliver(SigUsr2)
+		if tab.Poll() != 0 {
+			panic("masked proc ran handler")
+		}
+		// The other proc polls via a fresh acquire.
+		done := make(chan struct{})
+		acquireAndPoll(pl, tab, done)
+		<-done
+	}, nil)
+	if delivered.Load() != 1 {
+		t.Fatalf("delivered = %d, want 1 (only the unmasked proc)", delivered.Load())
+	}
+}
+
+// acquireAndPoll runs tab.Poll on a newly acquired proc of pl.
+func acquireAndPoll(pl *proc.Platform, tab *Table, done chan struct{}) {
+	boot := proc.New(1)
+	kch := make(chan *cont.Cont[cont.Unit], 1)
+	go boot.Run(func() {
+		cont.Callcc(func(k *cont.Cont[cont.Unit]) cont.Unit {
+			kch <- k
+			boot.Release()
+			return cont.Unit{}
+		})
+		// Resumed on a proc of pl.
+		tab.Poll()
+		close(done)
+		pl.Release()
+	}, nil)
+	k := <-kch
+	if err := pl.Acquire(proc.PS{K: k, Datum: nil}); err != nil {
+		panic(err)
+	}
+}
+
+func TestHandlersAreGlobal(t *testing.T) {
+	run1(func() {
+		tab := New(1)
+		old := tab.Install(SigAlarm, func(Sig, int) {})
+		if old != nil {
+			t.Fatal("fresh table had a handler")
+		}
+		prev := tab.Install(SigAlarm, func(Sig, int) {})
+		if prev == nil {
+			t.Fatal("Install did not return previous handler")
+		}
+	})
+}
+
+func TestPendingFastPath(t *testing.T) {
+	run1(func() {
+		tab := New(1)
+		tab.Install(SigInt, func(Sig, int) {})
+		if tab.Pending() {
+			t.Fatal("Pending on fresh table")
+		}
+		tab.Deliver(SigInt)
+		if !tab.Pending() {
+			t.Fatal("not Pending after Deliver")
+		}
+		tab.Poll()
+		if tab.Pending() {
+			t.Fatal("Pending after Poll consumed the signal")
+		}
+	})
+}
+
+func TestHandlerRunsWithSignalMasked(t *testing.T) {
+	run1(func() {
+		tab := New(1)
+		depth, runs := 0, 0
+		tab.Install(SigInt, func(Sig, int) {
+			depth++
+			runs++
+			if depth > 1 {
+				t.Error("handler re-entered")
+			}
+			// Delivering while handling must not recurse.
+			tab.Deliver(SigInt)
+			tab.Poll()
+			depth--
+		})
+		tab.Deliver(SigInt)
+		tab.Poll()
+		if runs != 1 {
+			t.Fatalf("handler ran %d times, want 1", runs)
+		}
+		// The re-delivered signal is still pending for the next poll.
+		if tab.Poll() != 1 {
+			t.Fatal("re-delivered signal lost")
+		}
+	})
+}
+
+func TestBroadcastReachesAllProcs(t *testing.T) {
+	tab := New(4)
+	tab.Deliver(SigUsr1)
+	// Inspect pending bits directly: all four procs flagged.
+	for i := 0; i < 4; i++ {
+		if tab.pending[i]&(1<<uint(SigUsr1)) == 0 {
+			t.Fatalf("proc %d did not receive broadcast", i)
+		}
+	}
+}
+
+func TestDeliverTo(t *testing.T) {
+	tab := New(3)
+	tab.DeliverTo(SigUsr1, 1)
+	for i := 0; i < 3; i++ {
+		got := tab.pending[i] != 0
+		if got != (i == 1) {
+			t.Fatalf("proc %d pending = %v", i, got)
+		}
+	}
+}

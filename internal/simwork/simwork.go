@@ -1,0 +1,318 @@
+// Package simwork expresses the paper's five evaluation benchmarks (§6)
+// plus the `seq` baseline as simulated task programs for the machine
+// models.  Each program is a sequence of stages; a stage is a bag of
+// equal-sized tasks drawn from a central run queue protected by a mutex
+// (the shape of the MPThread scheduler the evaluation ran on), ended by a
+// barrier.  Task work, allocation rate (SML/NJ allocates roughly one word
+// per 3-7 instructions for symbolic code, much less for tight integer
+// loops), data-lock usage, stage widths and survival rates are the
+// calibration knobs; the chosen values are physically motivated and
+// recorded in EXPERIMENTS.md along with the resulting curves.
+//
+// What each program models:
+//
+//   - allpairs: Floyd's all-shortest-paths on a 75-node graph [Mohr]: 75
+//     dependent phases (one per intermediate vertex k), each a bag of 75
+//     row tasks, moderately allocation-heavy.
+//   - mst: Prim's minimum spanning tree on 200 points [Mohr]: 200 phases,
+//     each a small parallel min-reduction followed by a sequential update
+//     — very fine-grained synchronization.
+//   - abisort: adaptive bitonic sort of 2^12 integers [Bilardi & Nicolau;
+//     Mohr]: a log-depth network of compare/merge phases over tree
+//     structures, the most allocation-intensive program.
+//   - simple: the SIMPLE hydrodynamics code [Crowley et al.], one
+//     timestep on a 100x100 grid: alternating narrow (sequential
+//     reductions, boundary sweeps) and limited-width stages — the paper's
+//     worst case, idle more than half the time at p >= 10, with moderate
+//     run-queue and data-lock contention.
+//   - mm: 100x100 integer matrix multiply: 100 independent coarse row
+//     tasks, a tight loop with a low allocation rate whose speedup is
+//     limited mainly by bus traffic.
+//   - seq: p independent copies of a small SML/NJ application, the
+//     paper's control for lock/parallelism effects: only the shared bus
+//     couples the copies.
+package simwork
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+)
+
+// Stage is one phase of a program: Tasks equal tasks, each WorkInstr
+// instructions computing and AllocWords words of heap allocation, with
+// DataLockOps short critical sections on a shared data lock.
+type Stage struct {
+	Name        string
+	Tasks       int
+	WorkInstr   int64
+	AllocWords  int64
+	DataLockOps int
+}
+
+// Program is a benchmark: named stages run in order by all procs, with a
+// barrier after each stage.  Independent programs (seq) instead run one
+// full private copy of the stage list per proc, with no shared queue or
+// barriers.
+type Program struct {
+	Name        string
+	Survival    float64 // fraction of allocation live at GC time
+	Independent bool
+	Stages      []Stage
+}
+
+// TotalWork sums the program's instructions and allocation (one copy).
+func (pr Program) TotalWork() (instr, words int64) {
+	for _, st := range pr.Stages {
+		instr += int64(st.Tasks) * st.WorkInstr
+		words += int64(st.Tasks) * st.AllocWords
+	}
+	return
+}
+
+// Allpairs is Floyd's algorithm on a 75-node graph.
+func Allpairs() Program {
+	const n = 75
+	stages := make([]Stage, n)
+	for k := range stages {
+		stages[k] = Stage{
+			Name:       fmt.Sprintf("k%d", k),
+			Tasks:      n,
+			WorkInstr:  n * 12,     // relax one row: n compare/update steps
+			AllocWords: n * 12 / 6, // symbolic: ~1 word per 6 instructions
+		}
+	}
+	return Program{Name: "allpairs", Survival: 0.03, Stages: stages}
+}
+
+// MST is Prim's algorithm on 200 random points.
+func MST() Program {
+	const n = 200
+	var stages []Stage
+	for round := 0; round < n-1; round++ {
+		remaining := int64(n - round)
+		stages = append(stages,
+			Stage{
+				Name:       fmt.Sprintf("min%d", round),
+				Tasks:      12, // chunked parallel min-reduction
+				WorkInstr:  remaining * 60 / 12,
+				AllocWords: remaining * 60 / 12 / 8,
+			},
+			Stage{
+				Name:       fmt.Sprintf("upd%d", round),
+				Tasks:      1, // sequential tree extension
+				WorkInstr:  200,
+				AllocWords: 30,
+			},
+		)
+	}
+	return Program{Name: "mst", Survival: 0.04, Stages: stages}
+}
+
+// Abisort is adaptive bitonic sorting of 2^12 integers.
+func Abisort() Program {
+	const lg = 12 // 4096 elements
+	var stages []Stage
+	for i := 1; i <= lg; i++ {
+		for j := i; j >= 1; j-- {
+			stages = append(stages, Stage{
+				Name:       fmt.Sprintf("s%d.%d", i, j),
+				Tasks:      16,
+				WorkInstr:  (1 << (lg - 1)) * 14 / 16,     // 2048 compare/swap tree ops
+				AllocWords: (1 << (lg - 1)) * 14 / 16 / 5, // tree rebuilding: allocation heavy
+			})
+		}
+	}
+	return Program{Name: "abisort", Survival: 0.10, Stages: stages}
+}
+
+// Simple is one timestep of the SIMPLE hydrodynamics benchmark on a
+// 100x100 grid.
+func Simple() Program {
+	var stages []Stage
+	for sweep := 0; sweep < 10; sweep++ {
+		stages = append(stages,
+			Stage{
+				Name:      fmt.Sprintf("dt%d", sweep),
+				Tasks:     1, // global timestep reduction: sequential
+				WorkInstr: 30_000,
+			},
+			Stage{
+				Name:        fmt.Sprintf("sweep%d", sweep),
+				Tasks:       5, // coarse band decomposition: limited width
+				WorkInstr:   60_000,
+				AllocWords:  60_000 / 10,
+				DataLockOps: 24, // shared boundary cells
+			},
+			Stage{
+				Name:       fmt.Sprintf("point%d", sweep),
+				Tasks:      12, // pointwise state update: wider but small
+				WorkInstr:  9_000,
+				AllocWords: 9_000 / 10,
+			},
+		)
+	}
+	return Program{Name: "simple", Survival: 0.04, Stages: stages}
+}
+
+// MM is a 100x100 integer matrix multiply.
+func MM() Program {
+	const n = 100
+	return Program{
+		Name:     "mm",
+		Survival: 0.02,
+		Stages: []Stage{{
+			Name:       "rows",
+			Tasks:      n,
+			WorkInstr:  n * n * 8,     // one output row: n*n multiply-adds
+			AllocWords: n * n * 8 / 8, // ~20 MB/s aggregate at 16 procs
+		}},
+	}
+}
+
+// Seq is the paper's control: p independent copies of a simple SML/NJ
+// application (one per proc), sharing nothing but the bus.
+func Seq() Program {
+	return Program{
+		Name:        "seq",
+		Survival:    0.10,
+		Independent: true,
+		Stages: []Stage{{
+			Name:       "app",
+			Tasks:      1,
+			WorkInstr:  4_000_000,
+			AllocWords: 4_000_000 / 24,
+		}},
+	}
+}
+
+// Programs lists the Figure 6 curves in the paper's legend order.
+func Programs() []Program {
+	return []Program{Allpairs(), MST(), Abisort(), Simple(), MM(), Seq()}
+}
+
+// ByName returns the named program.
+func ByName(name string) (Program, bool) {
+	for _, p := range Programs() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Program{}, false
+}
+
+// Result is one simulated run.
+type Result struct {
+	Program  string
+	Machine  string
+	Procs    int
+	Makespan int64 // virtual ns
+	GCs      int
+	GCNS     int64
+	BusBytes int64
+	Totals   machine.ProcStats
+	PerProc  []machine.ProcStats
+}
+
+// BusMBps is the average bus traffic over the run in MB/s.
+func (r Result) BusMBps() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.BusBytes) / (float64(r.Makespan) / 1e9) / 1e6
+}
+
+// IdleFrac is the fraction of total proc time spent idle (no ready task).
+func (r Result) IdleFrac() float64 {
+	total := int64(r.Procs) * r.Makespan
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Totals.IdleNS+r.Totals.GCStallNS) / float64(total)
+}
+
+// LockFrac is the fraction of total proc time spent waiting on locks.
+func (r Result) LockFrac() float64 {
+	total := int64(r.Procs) * r.Makespan
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Totals.LockWaitNS) / float64(total)
+}
+
+// Run executes a program on procs processors of the given machine model.
+func Run(pr Program, cfg machine.Config, procs int, seed int64) Result {
+	if procs < 1 || procs > cfg.Procs {
+		panic(fmt.Sprintf("simwork: %d procs on a %d-proc %s", procs, cfg.Procs, cfg.Name))
+	}
+	if pr.Independent {
+		// Independent copies are separate SML/NJ images, each with its own
+		// heap: the shared bus is the only coupling, so the allocation
+		// region scales with the number of copies.
+		cfg.NurseryWords *= int64(procs)
+	}
+	m := machine.New(cfg, seed, pr.Survival)
+
+	if pr.Independent {
+		for i := 0; i < procs; i++ {
+			m.Spawn(func(p *machine.P) {
+				for _, st := range pr.Stages {
+					for t := 0; t < st.Tasks; t++ {
+						p.Work(st.WorkInstr, st.AllocWords)
+					}
+				}
+			})
+		}
+	} else {
+		queueLock := m.NewLock()
+		dataLock := m.NewLock()
+		barrier := m.NewBarrier(procs)
+		next := make([]int, len(pr.Stages))
+		for i := 0; i < procs; i++ {
+			m.Spawn(func(p *machine.P) {
+				for si, st := range pr.Stages {
+					for {
+						// Draw a task from the stage's central queue, the
+						// MPThread dispatch pattern.
+						p.Lock(queueLock)
+						t := next[si]
+						next[si]++
+						p.Unlock(queueLock)
+						if t >= st.Tasks {
+							break
+						}
+						if st.DataLockOps > 0 {
+							slice := st.WorkInstr / int64(st.DataLockOps+1)
+							alloc := st.AllocWords / int64(st.DataLockOps+1)
+							for l := 0; l < st.DataLockOps; l++ {
+								p.Work(slice, alloc)
+								p.Lock(dataLock)
+								p.Compute(40) // short shared-data update
+								p.Unlock(dataLock)
+							}
+							p.Work(st.WorkInstr-slice*int64(st.DataLockOps),
+								st.AllocWords-alloc*int64(st.DataLockOps))
+						} else {
+							p.Work(st.WorkInstr, st.AllocWords)
+						}
+					}
+					p.Await(barrier)
+				}
+			})
+		}
+	}
+
+	makespan := m.Run()
+	gcs, gcNS := m.GCs()
+	return Result{
+		Program:  pr.Name,
+		Machine:  cfg.Name,
+		Procs:    procs,
+		Makespan: makespan,
+		GCs:      gcs,
+		GCNS:     gcNS,
+		BusBytes: m.BusBytes(),
+		Totals:   m.Totals(),
+		PerProc:  m.Stats(),
+	}
+}

@@ -1,0 +1,115 @@
+package simwork
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func TestProgramsComplete(t *testing.T) {
+	want := map[string]bool{
+		"allpairs": true, "mst": true, "abisort": true,
+		"simple": true, "mm": true, "seq": true,
+	}
+	for _, p := range Programs() {
+		if !want[p.Name] {
+			t.Fatalf("unexpected program %q", p.Name)
+		}
+		delete(want, p.Name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing programs: %v", want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if p, ok := ByName("mm"); !ok || p.Name != "mm" {
+		t.Fatal("ByName(mm) failed")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName(nope) succeeded")
+	}
+}
+
+func TestRunCompletesOnAllMachines(t *testing.T) {
+	for name, mk := range machine.Configs {
+		cfg := mk()
+		r := Run(MM(), cfg, cfg.Procs, 1)
+		if r.Makespan <= 0 {
+			t.Fatalf("%s: nonpositive makespan", name)
+		}
+	}
+}
+
+func TestMoreProcsNeverSlowerMuch(t *testing.T) {
+	// Sanity: for mm (coarse independent tasks) makespan at p procs is
+	// never more than 5% above makespan at p-1.
+	cfg := machine.SequentS81()
+	prev := int64(0)
+	for p := 1; p <= 16; p++ {
+		r := Run(MM(), cfg, p, 1)
+		if prev > 0 && float64(r.Makespan) > float64(prev)*1.05 {
+			t.Fatalf("mm slowdown from p=%d to p=%d: %d -> %d", p-1, p, prev, r.Makespan)
+		}
+		prev = r.Makespan
+	}
+}
+
+func TestIndependentScalesNursery(t *testing.T) {
+	// seq copies have private heaps: the GC count must not explode with p.
+	cfg := machine.SequentS81()
+	r1 := Run(Seq(), cfg, 1, 1)
+	r16 := Run(Seq(), cfg, 16, 1)
+	if r16.GCs > r1.GCs*2+1 {
+		t.Fatalf("seq GCs grew from %d to %d; copies should have private heaps",
+			r1.GCs, r16.GCs)
+	}
+}
+
+func TestTaskConservation(t *testing.T) {
+	// Every stage's tasks are executed exactly once regardless of procs:
+	// total busy work must not depend on the proc count beyond lock costs.
+	cfg := machine.SequentS81()
+	instr, _ := Allpairs().TotalWork()
+	for _, p := range []int{1, 7, 16} {
+		r := Run(Allpairs(), cfg, p, 1)
+		minBusy := int64(float64(instr) / cfg.MIPS * 1e9)
+		if r.Totals.BusyNS < minBusy {
+			t.Fatalf("p=%d: busy %d ns < work %d ns: tasks lost", p, r.Totals.BusyNS, minBusy)
+		}
+	}
+}
+
+func TestAllocConservation(t *testing.T) {
+	cfg := machine.SequentS81()
+	_, words := Abisort().TotalWork()
+	for _, p := range []int{1, 5, 16} {
+		r := Run(Abisort(), cfg, p, 1)
+		if r.Totals.AllocWords != words {
+			t.Fatalf("p=%d: allocated %d words, program defines %d",
+				p, r.Totals.AllocWords, words)
+		}
+	}
+}
+
+func TestBadProcCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 17 procs on a 16-proc machine")
+		}
+	}()
+	Run(MM(), machine.SequentS81(), 17, 1)
+}
+
+func TestMetricsRanges(t *testing.T) {
+	r := Run(Simple(), machine.SequentS81(), 10, 1)
+	if f := r.IdleFrac(); f < 0 || f > 1 {
+		t.Fatalf("idle frac %f out of range", f)
+	}
+	if f := r.LockFrac(); f < 0 || f > 1 {
+		t.Fatalf("lock frac %f out of range", f)
+	}
+	if r.BusMBps() < 0 {
+		t.Fatal("negative bus traffic")
+	}
+}

@@ -1,0 +1,169 @@
+package spinlock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func forEachVariant(t *testing.T, f func(t *testing.T, name string, mk Factory)) {
+	for _, v := range Variants {
+		v := v
+		t.Run(v.Name, func(t *testing.T) { f(t, v.Name, v.New) })
+	}
+}
+
+func TestTryLockOnFresh(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, name string, mk Factory) {
+		l := mk()
+		if !l.TryLock() {
+			t.Fatal("TryLock on fresh lock failed")
+		}
+		if l.TryLock() {
+			t.Fatal("TryLock on held lock succeeded")
+		}
+		l.Unlock()
+		if !l.TryLock() {
+			t.Fatal("TryLock after Unlock failed")
+		}
+		l.Unlock()
+	})
+}
+
+func TestLockUnlockCycle(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, name string, mk Factory) {
+		l := mk()
+		for i := 0; i < 100; i++ {
+			l.Lock()
+			l.Unlock()
+		}
+	})
+}
+
+func TestUnlockByOtherGoroutine(t *testing.T) {
+	// Paper §3.3: unlock "may be called by any proc (not necessarily the
+	// one that set the lock)".
+	forEachVariant(t, func(t *testing.T, name string, mk Factory) {
+		l := mk()
+		l.Lock()
+		done := make(chan struct{})
+		go func() {
+			l.Unlock()
+			close(done)
+		}()
+		<-done
+		if !l.TryLock() {
+			t.Fatal("lock still held after foreign unlock")
+		}
+		l.Unlock()
+	})
+}
+
+func TestMutualExclusion(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, name string, mk Factory) {
+		l := mk()
+		const (
+			goroutines = 8
+			iters      = 2000
+		)
+		counter := 0
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					l.Lock()
+					counter++
+					l.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != goroutines*iters {
+			t.Fatalf("counter = %d, want %d (mutual exclusion violated)",
+				counter, goroutines*iters)
+		}
+	})
+}
+
+func TestMutualExclusionViaTryLock(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, name string, mk Factory) {
+		l := mk()
+		const goroutines = 8
+		counter := 0
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					for !l.TryLock() {
+					}
+					counter++
+					l.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		if counter != goroutines*500 {
+			t.Fatalf("counter = %d, want %d", counter, goroutines*500)
+		}
+	})
+}
+
+// TestQuickLockSequences drives each lock through random serialized
+// TryLock/Unlock scripts and checks it behaves as a one-bit state machine.
+func TestQuickLockSequences(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, name string, mk Factory) {
+		prop := func(script []bool) bool {
+			l := mk()
+			held := false
+			for _, tryLock := range script {
+				if tryLock {
+					got := l.TryLock()
+					if got == held {
+						return false // acquired while held, or failed while free
+					}
+					if got {
+						held = true
+					}
+				} else if held {
+					l.Unlock()
+					held = false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func BenchmarkUncontended(b *testing.B) {
+	for _, v := range Variants {
+		b.Run(v.Name, func(b *testing.B) {
+			l := v.New()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l.Lock()
+				l.Unlock()
+			}
+		})
+	}
+}
+
+func BenchmarkContended(b *testing.B) {
+	for _, v := range Variants {
+		b.Run(v.Name, func(b *testing.B) {
+			l := v.New()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					l.Lock()
+					l.Unlock()
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,136 @@
+// Package stats provides the small numeric and census helpers shared by
+// the benchmark harnesses: summary statistics, self-relative speedup
+// series, and the line-of-code census behind the portability table.
+package stats
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Min returns the minimum of xs (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// SelfRelative converts a series of times indexed by proc count (times[0]
+// is one proc) into self-relative speedups: speedup[i] = times[0] /
+// times[i].
+func SelfRelative(times []time.Duration) []float64 {
+	out := make([]float64, len(times))
+	if len(times) == 0 || times[0] <= 0 {
+		return out
+	}
+	for i, t := range times {
+		if t > 0 {
+			out[i] = float64(times[0]) / float64(t)
+		}
+	}
+	return out
+}
+
+// LoC is a line census of one directory.
+type LoC struct {
+	Dir   string
+	Files int
+	Lines int // all lines, including comments and whitespace, as the paper counts
+}
+
+// CountGo counts the lines of non-test Go source directly in dir (no
+// recursion), the unit of the portability table.
+func CountGo(dir string) (LoC, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return LoC{}, err
+	}
+	out := LoC{Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return LoC{}, err
+		}
+		out.Files++
+		out.Lines += strings.Count(string(data), "\n")
+	}
+	return out, nil
+}
+
+// CountGoTree counts non-test Go lines under root, recursively.
+func CountGoTree(root string) (LoC, error) {
+	out := LoC{Dir: root}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out.Files++
+		out.Lines += strings.Count(string(data), "\n")
+		return nil
+	})
+	return out, err
+}

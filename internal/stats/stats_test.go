@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Mean(xs) != 2.8 {
+		t.Fatalf("mean = %f", Mean(xs))
+	}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Fatalf("min/max = %f/%f", Min(xs), Max(xs))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty inputs should yield 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if math.Abs(StdDev(xs)-2.0) > 1e-9 {
+		t.Fatalf("stddev = %f, want 2", StdDev(xs))
+	}
+}
+
+func TestSelfRelative(t *testing.T) {
+	times := []time.Duration{100, 50, 25}
+	s := SelfRelative(times)
+	if s[0] != 1 || s[1] != 2 || s[2] != 4 {
+		t.Fatalf("speedups = %v", s)
+	}
+}
+
+func TestQuickMinLeMeanLeMax(t *testing.T) {
+	prop := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		m := Mean(clean)
+		return Min(clean) <= m+1e-6 && m <= Max(clean)+1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountGo(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package x\n\n// two\n")
+	write("a_test.go", "package x\n")
+	write("note.txt", "hello\n")
+	loc, err := CountGo(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Files != 1 || loc.Lines != 3 {
+		t.Fatalf("loc = %+v, want 1 file / 3 lines", loc)
+	}
+}
+
+func TestCountGoTree(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "sub")
+	if err := os.Mkdir(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "a.go"), []byte("package x\n"), 0o644)
+	os.WriteFile(filepath.Join(sub, "b.go"), []byte("package y\nvar Z int\n"), 0o644)
+	loc, err := CountGoTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Files != 2 || loc.Lines != 3 {
+		t.Fatalf("loc = %+v, want 2 files / 3 lines", loc)
+	}
+}

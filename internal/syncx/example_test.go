@@ -1,0 +1,52 @@
+package syncx_test
+
+import (
+	"fmt"
+
+	"repro/internal/proc"
+	"repro/internal/syncx"
+	"repro/internal/threads"
+)
+
+// Synchronization synthesized from locks and continuations (§3.3): a
+// barrier coordinating phased workers.
+func ExampleBarrier() {
+	s := threads.New(proc.New(1), threads.Options{})
+	s.Run(func() {
+		b := syncx.NewBarrier(s, 3)
+		wg := syncx.NewWaitGroup(s, 3)
+		for w := 0; w < 3; w++ {
+			w := w
+			s.Fork(func() {
+				fmt.Printf("worker %d phase 1\n", w)
+				b.Await()
+				fmt.Printf("worker %d phase 2\n", w)
+				wg.Done()
+			})
+		}
+		wg.Wait()
+	})
+	// Unordered output:
+	// worker 0 phase 1
+	// worker 1 phase 1
+	// worker 2 phase 1
+	// worker 0 phase 2
+	// worker 1 phase 2
+	// worker 2 phase 2
+}
+
+// A counting semaphore bounding concurrent holders.
+func ExampleSemaphore() {
+	s := threads.New(proc.New(1), threads.Options{})
+	s.Run(func() {
+		sem := syncx.NewSemaphore(s, 2)
+		sem.Acquire()
+		sem.Acquire()
+		fmt.Println("two permits held; third available:", sem.TryAcquire())
+		sem.Release()
+		fmt.Println("after release:", sem.TryAcquire())
+	})
+	// Output:
+	// two permits held; third available: false
+	// after release: true
+}

@@ -1,0 +1,320 @@
+package syncx
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/threads"
+)
+
+func newSys(procs int) *threads.System {
+	return threads.New(proc.New(procs), threads.Options{})
+}
+
+func TestSemaphoreAsMutex(t *testing.T) {
+	s := newSys(4)
+	sem := NewSemaphore(s, 1)
+	counter := 0
+	s.Run(func() {
+		wg := NewWaitGroup(s, 50)
+		for i := 0; i < 50; i++ {
+			s.Fork(func() {
+				for j := 0; j < 20; j++ {
+					sem.Acquire()
+					counter++
+					sem.Release()
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+	})
+	if counter != 1000 {
+		t.Fatalf("counter = %d, want 1000", counter)
+	}
+}
+
+func TestSemaphoreBoundsConcurrency(t *testing.T) {
+	s := newSys(4)
+	sem := NewSemaphore(s, 3)
+	var cur, peak atomic.Int32
+	s.Run(func() {
+		for i := 0; i < 30; i++ {
+			s.Fork(func() {
+				sem.Acquire()
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				s.Yield()
+				cur.Add(-1)
+				sem.Release()
+			})
+		}
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds semaphore bound 3", p)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		sem := NewSemaphore(s, 1)
+		if !sem.TryAcquire() {
+			t.Error("TryAcquire on count 1 failed")
+		}
+		if sem.TryAcquire() {
+			t.Error("TryAcquire on count 0 succeeded")
+		}
+		sem.Release()
+		if !sem.TryAcquire() {
+			t.Error("TryAcquire after Release failed")
+		}
+	})
+}
+
+func TestMutexExclusion(t *testing.T) {
+	s := newSys(4)
+	mu := NewMutex(s)
+	counter := 0
+	s.Run(func() {
+		for i := 0; i < 40; i++ {
+			s.Fork(func() {
+				for j := 0; j < 25; j++ {
+					mu.Lock()
+					counter++
+					mu.Unlock()
+				}
+			})
+		}
+	})
+	if counter != 1000 {
+		t.Fatalf("counter = %d, want 1000", counter)
+	}
+}
+
+func TestMutexUnlockUnheldPanics(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		mu := NewMutex(s)
+		defer func() {
+			if recover() == nil {
+				t.Error("Unlock of unheld mutex did not panic")
+			}
+		}()
+		mu.Unlock()
+	})
+}
+
+func TestRWLockReadersShareWritersExclude(t *testing.T) {
+	s := newSys(4)
+	l := NewRWLock(s)
+	var readers, writers, peakR atomic.Int32
+	bad := false
+	s.Run(func() {
+		for i := 0; i < 20; i++ {
+			s.Fork(func() {
+				for j := 0; j < 10; j++ {
+					l.RLock()
+					r := readers.Add(1)
+					for {
+						p := peakR.Load()
+						if r <= p || peakR.CompareAndSwap(p, r) {
+							break
+						}
+					}
+					if writers.Load() != 0 {
+						bad = true
+					}
+					s.Yield()
+					readers.Add(-1)
+					l.RUnlock()
+				}
+			})
+		}
+		for i := 0; i < 4; i++ {
+			s.Fork(func() {
+				for j := 0; j < 10; j++ {
+					l.Lock()
+					if writers.Add(1) != 1 || readers.Load() != 0 {
+						bad = true
+					}
+					s.Yield()
+					writers.Add(-1)
+					l.Unlock()
+				}
+			})
+		}
+	})
+	if bad {
+		t.Fatal("reader/writer exclusion violated")
+	}
+	if peakR.Load() < 2 {
+		t.Logf("note: peak concurrent readers = %d (no sharing observed)", peakR.Load())
+	}
+}
+
+func TestCondSignal(t *testing.T) {
+	s := newSys(2)
+	var got []int
+	s.Run(func() {
+		mu := NewMutex(s)
+		c := NewCond(s, mu)
+		queueLen := 0
+		wg := NewWaitGroup(s, 2)
+		s.Fork(func() { // consumer
+			mu.Lock()
+			for i := 0; i < 10; i++ {
+				for queueLen == 0 {
+					c.Wait()
+				}
+				queueLen--
+				got = append(got, i)
+			}
+			mu.Unlock()
+			wg.Done()
+		})
+		s.Fork(func() { // producer
+			for i := 0; i < 10; i++ {
+				mu.Lock()
+				queueLen++
+				c.Signal()
+				mu.Unlock()
+				s.Yield()
+			}
+			wg.Done()
+		})
+		wg.Wait()
+	})
+	if len(got) != 10 {
+		t.Fatalf("consumed %d items, want 10", len(got))
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	s := newSys(4)
+	var woke atomic.Int32
+	s.Run(func() {
+		mu := NewMutex(s)
+		c := NewCond(s, mu)
+		ready := false
+		wg := NewWaitGroup(s, 10)
+		for i := 0; i < 10; i++ {
+			s.Fork(func() {
+				mu.Lock()
+				for !ready {
+					c.Wait()
+				}
+				mu.Unlock()
+				woke.Add(1)
+				wg.Done()
+			})
+		}
+		for i := 0; i < 5; i++ {
+			s.Yield() // let waiters park
+		}
+		mu.Lock()
+		ready = true
+		c.Broadcast()
+		mu.Unlock()
+		wg.Wait()
+	})
+	if woke.Load() != 10 {
+		t.Fatalf("woke = %d, want 10", woke.Load())
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	s := newSys(4)
+	const parties, phases = 6, 8
+	var phase [parties]int
+	bad := atomic.Bool{}
+	s.Run(func() {
+		b := NewBarrier(s, parties)
+		wg := NewWaitGroup(s, parties)
+		for i := 0; i < parties; i++ {
+			i := i
+			s.Fork(func() {
+				for p := 0; p < phases; p++ {
+					phase[i] = p
+					b.Await()
+					// After the barrier, every party must have reached
+					// phase p.
+					for j := 0; j < parties; j++ {
+						if phase[j] < p {
+							bad.Store(true)
+						}
+					}
+					b.Await()
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+	})
+	if bad.Load() {
+		t.Fatal("barrier released a party before all arrived")
+	}
+}
+
+func TestOnceRunsExactlyOnce(t *testing.T) {
+	s := newSys(4)
+	var runs atomic.Int32
+	var after atomic.Int32
+	s.Run(func() {
+		o := NewOnce(s)
+		for i := 0; i < 20; i++ {
+			s.Fork(func() {
+				o.Do(func() {
+					s.Yield() // widen the window
+					runs.Add(1)
+				})
+				after.Add(1)
+			})
+		}
+	})
+	if runs.Load() != 1 {
+		t.Fatalf("Once ran %d times", runs.Load())
+	}
+	if after.Load() != 20 {
+		t.Fatalf("only %d callers returned from Do", after.Load())
+	}
+}
+
+func TestWaitGroupJoin(t *testing.T) {
+	s := newSys(4)
+	var done atomic.Int32
+	joined := false
+	s.Run(func() {
+		wg := NewWaitGroup(s, 0)
+		for i := 0; i < 25; i++ {
+			wg.Add(1)
+			s.Fork(func() {
+				s.Yield()
+				done.Add(1)
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		if done.Load() != 25 {
+			t.Errorf("Wait returned with %d of 25 done", done.Load())
+		}
+		joined = true
+	})
+	if !joined {
+		t.Fatal("Wait never returned")
+	}
+}
+
+func TestWaitGroupZeroFastPath(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		wg := NewWaitGroup(s, 0)
+		wg.Wait() // must not block
+	})
+}

@@ -1,0 +1,62 @@
+package threads_test
+
+import (
+	"fmt"
+
+	"repro/internal/proc"
+	"repro/internal/queue"
+	"repro/internal/threads"
+)
+
+// The Fig. 3 thread package in miniature: fork threads over a proc
+// platform, coordinate with yields, and rely on quiescence for the join.
+func Example() {
+	pl := proc.New(1) // one proc: cooperative multiplexing, no data races
+	sys := threads.New(pl, threads.Options{})
+	sum := 0
+	sys.Run(func() {
+		for i := 1; i <= 4; i++ {
+			i := i
+			sys.Fork(func() { sum += i })
+		}
+	})
+	fmt.Println("sum:", sum)
+	// Output:
+	// sum: 10
+}
+
+// Scheduling policy is the functor's queue argument: a LIFO ready queue
+// turns the same program into depth-first execution.
+func Example_schedulingPolicy() {
+	sys := threads.New(proc.New(1), threads.Options{
+		NewQueue: queue.NewLifo[threads.Entry],
+	})
+	var order []int
+	sys.Run(func() {
+		var chain func(int)
+		chain = func(i int) {
+			if i < 3 {
+				sys.Fork(func() { chain(i + 1) })
+			}
+			order = append(order, i)
+		}
+		chain(0)
+	})
+	fmt.Println(order)
+	// Output:
+	// [3 2 1 0]
+}
+
+// The uniprocessor package of Fig. 1.
+func ExampleUni() {
+	u := threads.NewUni(nil)
+	u.Run(func() {
+		u.Fork(func() {
+			fmt.Println("child runs first (Fig. 1 fork semantics)")
+		})
+		fmt.Println("parent resumes from the ready queue")
+	})
+	// Output:
+	// child runs first (Fig. 1 fork semantics)
+	// parent resumes from the ready queue
+}

@@ -1,0 +1,117 @@
+package threads
+
+import (
+	"repro/internal/cont"
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/queue"
+)
+
+// PrioEntry is a ready thread with a scheduling priority — the paper's
+// footnote 1: "Many useful scheduling policies would require minor
+// changes to the signature; for example, priority queues would need a
+// priority to be passed to the enqueue operation."  This type and the
+// PrioSystem below are exactly that minor signature change.
+type PrioEntry struct {
+	Entry
+	Prio int // smaller runs first
+}
+
+// PrioSystem is the Fig. 3 thread package with the priority-scheduling
+// signature: fork, yield and reschedule carry a priority, and the ready
+// queue is a priority queue.  Scheduling remains strictly a property of
+// the queue discipline, as the paper's design intends.
+type PrioSystem struct {
+	pl        *proc.Platform
+	readyLock core.Lock
+	ready     queue.Queue[PrioEntry]
+
+	nextIDLock core.Lock
+	nextID     int
+}
+
+// NewPrio applies the priority-thread functor to a platform.
+func NewPrio(pl *proc.Platform) *PrioSystem {
+	return &PrioSystem{
+		pl:        pl,
+		readyLock: core.NewMutexLock(),
+		ready: queue.NewPriority(func(a, b PrioEntry) bool {
+			return a.Prio < b.Prio
+		}),
+		nextIDLock: core.NewMutexLock(),
+	}
+}
+
+// Run bootstraps the platform with root as thread 0 and blocks until
+// quiescence.
+func (s *PrioSystem) Run(root func()) {
+	s.nextID = 1
+	s.pl.Run(func() {
+		root()
+		s.Dispatch()
+	}, 0)
+}
+
+// ID returns the current thread's identifier.
+func (s *PrioSystem) ID() int { return proc.GetDatum().(int) }
+
+func (s *PrioSystem) newID() int {
+	s.nextIDLock.Lock()
+	id := s.nextID
+	s.nextID++
+	s.nextIDLock.Unlock()
+	return id
+}
+
+// Reschedule makes a ready thread runnable at the given priority — the
+// footnote's changed enqueue signature.
+func (s *PrioSystem) Reschedule(run func(), id, prio int) {
+	s.readyLock.Lock()
+	s.ready.Enq(PrioEntry{Entry: Entry{Run: run, ID: id}, Prio: prio})
+	s.readyLock.Unlock()
+}
+
+// Dispatch transfers control to the highest-priority ready thread, or
+// releases the proc; it never returns.
+func (s *PrioSystem) Dispatch() {
+	s.readyLock.Lock()
+	e, err := s.ready.Deq()
+	s.readyLock.Unlock()
+	if err != nil {
+		s.pl.Release()
+		panic("threads: Release returned")
+	}
+	proc.SetDatum(e.ID)
+	e.Run()
+	panic("threads: Entry.Run returned")
+}
+
+// Fork starts a new thread executing child at the given priority.  As in
+// Fig. 3 the parent moves to a fresh proc if one is available and is
+// otherwise queued — at its own priority, passed here because the queue
+// now demands one.
+func (s *PrioSystem) Fork(child func(), childPrio, parentPrio int) {
+	cont.Callcc(func(parent *core.UnitCont) core.Unit {
+		parentID := s.ID()
+		if err := s.pl.Acquire(proc.PS{K: parent, Datum: parentID}); err != nil {
+			if err != proc.ErrNoMoreProcs {
+				panic(err)
+			}
+			s.Reschedule(func() { cont.Throw(parent, core.Unit{}) }, parentID, parentPrio)
+		}
+		proc.SetDatum(s.newID())
+		_ = childPrio // the child holds the proc; its priority matters at its next yield
+		child()
+		s.Dispatch()
+		return core.Unit{} // unreachable
+	})
+}
+
+// Yield gives up the processor, re-queueing the caller at prio.
+func (s *PrioSystem) Yield(prio int) {
+	cont.Callcc(func(k *core.UnitCont) core.Unit {
+		s.Reschedule(func() { cont.Throw(k, core.Unit{}) }, s.ID(), prio)
+		s.Dispatch()
+		return core.Unit{} // unreachable
+	})
+}

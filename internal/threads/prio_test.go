@@ -1,0 +1,74 @@
+package threads
+
+import (
+	"testing"
+
+	"repro/internal/proc"
+)
+
+func TestPrioHigherRunsFirst(t *testing.T) {
+	s := NewPrio(proc.New(1))
+	var order []int
+	s.Run(func() {
+		// Park several threads at distinct priorities, then let the
+		// dispatcher drain them: it must run them in priority order, not
+		// creation order.
+		for _, prio := range []int{5, 1, 9, 3, 7} {
+			prio := prio
+			s.Fork(func() {
+				s.Yield(prio) // park self at the assigned priority
+				order = append(order, prio)
+			}, prio, 0) // root re-queues at highest priority to keep forking
+		}
+	})
+	want := []int{1, 3, 5, 7, 9}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPrioStarvationByDesign(t *testing.T) {
+	// Strict priority scheduling means a low-priority thread runs only
+	// when nothing higher is ready — the policy really is the queue.
+	s := NewPrio(proc.New(1))
+	var order []string
+	s.Run(func() {
+		s.Fork(func() {
+			s.Yield(10)
+			order = append(order, "low")
+		}, 10, 0)
+		s.Fork(func() {
+			s.Yield(1)
+			order = append(order, "high")
+			s.Yield(1)
+			order = append(order, "high2")
+		}, 1, 0)
+	})
+	if len(order) != 3 || order[0] != "high" || order[1] != "high2" || order[2] != "low" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestPrioIDsStillUnique(t *testing.T) {
+	s := NewPrio(proc.New(1))
+	seen := map[int]bool{}
+	var ids []int
+	s.Run(func() {
+		for i := 0; i < 10; i++ {
+			s.Fork(func() {
+				ids = append(ids, s.ID())
+			}, 5, 0)
+		}
+	})
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate thread id %d", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,303 @@
+// Package threads implements the paper's thread packages: the uniprocessor
+// functor of Fig. 1 (Uni), the multiprocessor functor of Fig. 3 (System
+// with a central run queue), and the enhanced package used in the
+// evaluation (§6): Fig. 3 plus a distributed run queue and a preemption
+// mechanism.
+//
+// The key representation decision is the paper's: waiting threads are a
+// queue of first-class continuations, so scheduling policy is changed
+// simply by varying the queue discipline the functor is applied to, and
+// synchronization constructs (packages sel, cml, syncx) are built by
+// capturing continuations and parking them on their own wait queues.
+//
+// A queued thread is an Entry: a thunk that, when run, throws the thread's
+// continuation (the paper's `unit cont`, generalized so that clients such
+// as Fig. 5's reschedule_thread can bind a value into the continuation
+// before queueing it), paired with the thread's integer id, which dispatch
+// installs in the per-proc datum before transferring control.
+package threads
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cont"
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/queue"
+	"repro/internal/spinlock"
+)
+
+// Entry is a ready thread: Run throws the thread's continuation and never
+// returns; ID is the thread identifier dispatch installs as the proc datum.
+type Entry struct {
+	Run func()
+	ID  int
+}
+
+// Options parameterize the functor, exactly as MPThread is parameterized
+// by QUEUE and LOCK structures.
+type Options struct {
+	// NewQueue supplies the ready-queue discipline; nil means FIFO.
+	NewQueue queue.Factory[Entry]
+	// NewLock supplies the mutex flavor; nil means the platform default.
+	NewLock spinlock.Factory
+	// Distributed selects per-proc run queues with stealing, the
+	// evaluation package's "distributed run queue".
+	Distributed bool
+	// Quantum, if nonzero, enables the preemption mechanism: a timer
+	// periodically requests that each proc yield; threads honor the
+	// request at safe points (Yield, CheckPreempt).  The paper used alarm
+	// signals; Go cannot interrupt a goroutine, so this is the
+	// timer-driven-polling simulation the paper itself suggests (§3.4).
+	Quantum time.Duration
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	Forks      int64
+	Yields     int64
+	Dispatches int64
+	Steals     int64
+	Preempts   int64
+}
+
+type runQueue struct {
+	lock spinlock.Lock
+	q    queue.Queue[Entry]
+	_    [32]byte // keep per-proc queues off each other's cache lines
+}
+
+// System is a multiprocessor thread package over the MP platform (Fig. 3).
+type System struct {
+	pl          *proc.Platform
+	distributed bool
+	queues      []runQueue // one entry in central mode, MaxProcs in distributed
+
+	nextIDLock spinlock.Lock
+	nextID     int
+
+	quantum time.Duration
+	preempt []atomic.Bool
+
+	stats struct {
+		forks, yields, dispatches, steals, preempts atomic.Int64
+	}
+}
+
+// New applies the thread functor to a platform and options.
+func New(pl *proc.Platform, opts Options) *System {
+	if opts.NewQueue == nil {
+		opts.NewQueue = queue.NewFifo[Entry]
+	}
+	if opts.NewLock == nil {
+		opts.NewLock = core.NewMutexLock
+	}
+	n := 1
+	if opts.Distributed {
+		n = pl.MaxProcs()
+	}
+	s := &System{
+		pl:          pl,
+		distributed: opts.Distributed,
+		queues:      make([]runQueue, n),
+		nextIDLock:  opts.NewLock(),
+		quantum:     opts.Quantum,
+		preempt:     make([]atomic.Bool, pl.MaxProcs()),
+	}
+	for i := range s.queues {
+		s.queues[i].lock = opts.NewLock()
+		s.queues[i].q = opts.NewQueue()
+	}
+	return s
+}
+
+// Platform returns the underlying MP platform.
+func (s *System) Platform() *proc.Platform { return s.pl }
+
+// Stats returns a snapshot of scheduler counters.
+func (s *System) Stats() Stats {
+	return Stats{
+		Forks:      s.stats.forks.Load(),
+		Yields:     s.stats.yields.Load(),
+		Dispatches: s.stats.dispatches.Load(),
+		Steals:     s.stats.steals.Load(),
+		Preempts:   s.stats.preempts.Load(),
+	}
+}
+
+// Run bootstraps the platform with root as thread 0 and blocks until the
+// computation quiesces (every proc released).  This is how client programs
+// join: when the last thread finishes, the last dispatch finds the run
+// queues empty and releases its proc.
+func (s *System) Run(root func()) {
+	var stop chan struct{}
+	if s.quantum > 0 {
+		stop = make(chan struct{})
+		go s.ticker(stop)
+	}
+	s.nextID = 1
+	s.pl.Run(func() {
+		root()
+		s.Dispatch()
+	}, 0)
+	if stop != nil {
+		close(stop)
+	}
+}
+
+func (s *System) ticker(stop chan struct{}) {
+	t := time.NewTicker(s.quantum)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			for i := range s.preempt {
+				s.preempt[i].Store(true)
+			}
+		}
+	}
+}
+
+// ID returns the identifier of the thread executing on the calling proc
+// (Fig. 1/3: id).  Thread ids live in the per-proc datum, as §3.2
+// prescribes.
+func (s *System) ID() int {
+	d := proc.GetDatum()
+	id, ok := d.(int)
+	if !ok {
+		panic(fmt.Sprintf("threads: proc datum is %T, not a thread id", d))
+	}
+	return id
+}
+
+func (s *System) newID() int {
+	s.nextIDLock.Lock()
+	id := s.nextID
+	s.nextID++
+	s.nextIDLock.Unlock()
+	return id
+}
+
+// Reschedule makes a ready thread runnable (Fig. 3: reschedule).  In
+// distributed mode the entry is pushed on the calling proc's own queue.
+func (s *System) Reschedule(run func(), id int) {
+	qi := 0
+	if s.distributed {
+		qi = proc.Self() % len(s.queues)
+	}
+	rq := &s.queues[qi]
+	rq.lock.Lock()
+	rq.q.Enq(Entry{Run: run, ID: id})
+	rq.lock.Unlock()
+}
+
+// RescheduleCont queues a plain unit continuation, the common case.
+func (s *System) RescheduleCont(k *core.UnitCont, id int) {
+	s.Reschedule(func() { cont.Throw(k, core.Unit{}) }, id)
+}
+
+// Dispatch transfers control to some ready thread, or releases the calling
+// proc if none is available (Fig. 3: dispatch).  It never returns.
+// Dispatch is also a revocation safe point: if the OS has reduced the
+// physical-processor allowance (§3.1), the proc is released here and the
+// queued work is left for the survivors.
+func (s *System) Dispatch() {
+	s.stats.dispatches.Add(1)
+	if s.pl.Revoked() {
+		s.pl.Release()
+		panic("threads: Release returned")
+	}
+	if e, ok := s.pop(); ok {
+		proc.SetDatum(e.ID)
+		e.Run()
+		panic("threads: Entry.Run returned")
+	}
+	s.pl.Release()
+	panic("threads: Release returned")
+}
+
+// pop takes the next ready entry: the local queue first, then — in
+// distributed mode — a sweep of the other procs' queues (work stealing).
+func (s *System) pop() (Entry, bool) {
+	self := 0
+	if s.distributed {
+		self = proc.Self() % len(s.queues)
+	}
+	n := len(s.queues)
+	for i := 0; i < n; i++ {
+		rq := &s.queues[(self+i)%n]
+		rq.lock.Lock()
+		e, err := rq.q.Deq()
+		rq.lock.Unlock()
+		if err == nil {
+			if i != 0 {
+				s.stats.steals.Add(1)
+			}
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Fork starts a new thread executing child (Fig. 3: fork).  The kernel
+// first attempts to allocate a new proc on which to continue running the
+// parent; only if this fails is the parent blocked on the ready queue.
+// The child runs on the current proc under a fresh thread id.
+func (s *System) Fork(child func()) {
+	s.stats.forks.Add(1)
+	cont.Callcc(func(parent *core.UnitCont) core.Unit {
+		parentID := s.ID()
+		if err := s.pl.Acquire(proc.PS{K: parent, Datum: parentID}); err != nil {
+			if err != proc.ErrNoMoreProcs {
+				panic(err)
+			}
+			s.RescheduleCont(parent, parentID)
+		}
+		proc.SetDatum(s.newID())
+		child()
+		s.Dispatch()
+		return core.Unit{} // unreachable
+	})
+}
+
+// Yield temporarily gives up the processor to another ready thread
+// (Fig. 3: yield).
+func (s *System) Yield() {
+	s.stats.yields.Add(1)
+	cont.Callcc(func(k *core.UnitCont) core.Unit {
+		s.RescheduleCont(k, s.ID())
+		s.Dispatch()
+		return core.Unit{} // unreachable
+	})
+}
+
+// Exit terminates the calling thread and dispatches another; it never
+// returns.  (Threads forked with Fork also exit implicitly when child
+// returns.)
+func (s *System) Exit() {
+	s.Dispatch()
+}
+
+// CheckPreempt is the safe point of the preemption mechanism: if the
+// quantum has expired on this proc, the calling thread yields.  Compute
+// loops call it periodically, standing in for the paper's signal-driven
+// preemption.  It also answers processor revocation (§3.1): a yield from
+// a revoked proc parks the thread and releases the proc in Dispatch.
+func (s *System) CheckPreempt() {
+	if s.pl.Revoked() {
+		s.Yield()
+		return
+	}
+	if s.quantum == 0 {
+		return
+	}
+	i := proc.Self()
+	if i < len(s.preempt) && s.preempt[i].CompareAndSwap(true, false) {
+		s.stats.preempts.Add(1)
+		s.Yield()
+	}
+}

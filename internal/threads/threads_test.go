@@ -1,0 +1,347 @@
+package threads
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/queue"
+	"repro/internal/spinlock"
+)
+
+func newSys(maxProcs int, opts Options) *System {
+	return New(proc.New(maxProcs), opts)
+}
+
+func TestForkRunsChildExactlyOnce(t *testing.T) {
+	for _, dist := range []bool{false, true} {
+		s := newSys(4, Options{Distributed: dist})
+		var ran atomic.Int32
+		s.Run(func() {
+			for i := 0; i < 50; i++ {
+				s.Fork(func() { ran.Add(1) })
+			}
+		})
+		if ran.Load() != 50 {
+			t.Fatalf("distributed=%v: ran = %d, want 50", dist, ran.Load())
+		}
+	}
+}
+
+func TestThreadIDsUnique(t *testing.T) {
+	s := newSys(4, Options{})
+	var mu spinlock.Lock = spinlock.NewTTAS()
+	seen := map[int]int{}
+	s.Run(func() {
+		for i := 0; i < 40; i++ {
+			s.Fork(func() {
+				id := s.ID()
+				mu.Lock()
+				seen[id]++
+				mu.Unlock()
+			})
+		}
+	})
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("thread id %d observed %d times", id, n)
+		}
+	}
+	if len(seen) != 40 {
+		t.Fatalf("saw %d distinct ids, want 40", len(seen))
+	}
+}
+
+func TestYieldInterleaves(t *testing.T) {
+	// On a single proc, two threads alternating yields must interleave.
+	s := newSys(1, Options{})
+	var trace []int
+	s.Run(func() {
+		s.Fork(func() {
+			for i := 0; i < 3; i++ {
+				trace = append(trace, 1)
+				s.Yield()
+			}
+		})
+		// Fork with a full platform (1 proc) queues the parent, so the
+		// child runs first; when the child yields, the parent resumes.
+		for i := 0; i < 3; i++ {
+			trace = append(trace, 2)
+			s.Yield()
+		}
+	})
+	ones, twos := 0, 0
+	for _, v := range trace {
+		if v == 1 {
+			ones++
+		} else {
+			twos++
+		}
+	}
+	if ones != 3 || twos != 3 {
+		t.Fatalf("trace = %v", trace)
+	}
+	// Strict alternation is not required by the spec, but FIFO scheduling
+	// on one proc gives it; check no thread ran twice in a row.
+	for i := 1; i < len(trace); i++ {
+		if trace[i] == trace[i-1] {
+			t.Fatalf("no interleaving: trace = %v", trace)
+		}
+	}
+}
+
+func TestManyThreadsFewProcs(t *testing.T) {
+	// Hundreds of threads on a handful of procs — the paper's
+	// "hundreds or even thousands of continuation-based threads".
+	s := newSys(4, Options{})
+	const n = 500
+	var sum atomic.Int64
+	s.Run(func() {
+		for i := 0; i < n; i++ {
+			i := i
+			s.Fork(func() {
+				s.Yield()
+				sum.Add(int64(i))
+			})
+		}
+	})
+	want := int64(n * (n - 1) / 2)
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestForkUsesIdleProcs(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 CPUs")
+	}
+	s := newSys(2, Options{})
+	var peak atomic.Int32
+	var cur atomic.Int32
+	s.Run(func() {
+		done := make(chan struct{})
+		s.Fork(func() {
+			n := cur.Add(1)
+			for peak.Load() < n {
+				peak.Store(n)
+			}
+			<-done
+			cur.Add(-1)
+		})
+		n := cur.Add(1)
+		for peak.Load() < n {
+			peak.Store(n)
+		}
+		close(done)
+		cur.Add(-1)
+	})
+	if peak.Load() != 2 {
+		t.Fatalf("peak concurrency = %d, want 2 (fork should acquire the idle proc)", peak.Load())
+	}
+}
+
+func TestSchedulingPolicyIsPluggable(t *testing.T) {
+	// A chain of nested forks parks each ancestor on the ready queue; the
+	// order ancestors resume in is exactly the queue discipline, so FIFO
+	// and LIFO must produce different, fully deterministic traces.
+	order := func(mk queue.Factory[Entry]) []int {
+		s := New(proc.New(1), Options{NewQueue: mk})
+		var got []int
+		var chain func(i int)
+		chain = func(i int) {
+			if i < 3 {
+				s.Fork(func() { chain(i + 1) })
+			}
+			got = append(got, i)
+		}
+		s.Run(func() { chain(0) })
+		return got
+	}
+	fifo := order(queue.NewFifo[Entry])
+	lifo := order(queue.NewLifo[Entry])
+	wantFifo := []int{3, 0, 1, 2}
+	wantLifo := []int{3, 2, 1, 0}
+	for i := range wantFifo {
+		if fifo[i] != wantFifo[i] {
+			t.Fatalf("fifo trace = %v, want %v", fifo, wantFifo)
+		}
+		if lifo[i] != wantLifo[i] {
+			t.Fatalf("lifo trace = %v, want %v", lifo, wantLifo)
+		}
+	}
+}
+
+func TestDistributedStealing(t *testing.T) {
+	s := newSys(4, Options{Distributed: true})
+	var ran atomic.Int32
+	s.Run(func() {
+		for i := 0; i < 200; i++ {
+			s.Fork(func() {
+				s.Yield()
+				ran.Add(1)
+			})
+		}
+	})
+	if ran.Load() != 200 {
+		t.Fatalf("ran = %d, want 200", ran.Load())
+	}
+}
+
+func TestPreemption(t *testing.T) {
+	s := newSys(2, Options{Quantum: time.Millisecond})
+	var spun atomic.Int64
+	s.Run(func() {
+		for i := 0; i < 4; i++ {
+			s.Fork(func() {
+				deadline := time.Now().Add(50 * time.Millisecond)
+				for time.Now().Before(deadline) {
+					spun.Add(1)
+					s.CheckPreempt()
+				}
+			})
+		}
+	})
+	if got := s.Stats().Preempts; got == 0 {
+		t.Fatalf("no preemptions after %d iterations", spun.Load())
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	s := newSys(2, Options{})
+	s.Run(func() {
+		for i := 0; i < 10; i++ {
+			s.Fork(func() { s.Yield() })
+		}
+	})
+	st := s.Stats()
+	if st.Forks != 10 {
+		t.Errorf("forks = %d, want 10", st.Forks)
+	}
+	if st.Yields < 10 {
+		t.Errorf("yields = %d, want >= 10", st.Yields)
+	}
+	if st.Dispatches == 0 {
+		t.Error("no dispatches recorded")
+	}
+}
+
+func TestUniFidelity(t *testing.T) {
+	u := NewUni(nil)
+	var trace []string
+	u.Run(func() {
+		if u.ID() != 0 {
+			t.Errorf("root id = %d, want 0", u.ID())
+		}
+		u.Fork(func() {
+			trace = append(trace, "child")
+			if u.ID() != 1 {
+				t.Errorf("child id = %d, want 1", u.ID())
+			}
+			u.Yield()
+			trace = append(trace, "child2")
+		})
+		trace = append(trace, "parent")
+		u.Yield()
+		trace = append(trace, "parent2")
+	})
+	// Fig. 1 semantics: fork queues the parent and runs the child now.
+	want := []string{"child", "parent", "child2", "parent2"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+func TestUniManyThreads(t *testing.T) {
+	u := NewUni(nil)
+	count := 0
+	u.Run(func() {
+		for i := 0; i < 1000; i++ {
+			u.Fork(func() { count++ })
+		}
+	})
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+}
+
+func TestUniRandomPolicy(t *testing.T) {
+	u := NewUni(queue.NewRandom[Entry])
+	var ids []int
+	u.Run(func() {
+		for i := 0; i < 20; i++ {
+			u.Fork(func() {
+				u.Yield()
+				ids = append(ids, u.ID())
+			})
+		}
+	})
+	if len(ids) != 20 {
+		t.Fatalf("got %d completions, want 20", len(ids))
+	}
+}
+
+func TestRevocationShrinksRunningProcs(t *testing.T) {
+	// §3.1: the OS withdraws processors mid-computation; threads keep
+	// making progress on the survivors and every thread still completes.
+	pl := proc.New(4)
+	s := New(pl, Options{})
+	var completed atomic.Int32
+	s.Run(func() {
+		for i := 0; i < 40; i++ {
+			s.Fork(func() {
+				for j := 0; j < 20; j++ {
+					s.CheckPreempt() // safe point: honors revocation
+					s.Yield()
+				}
+				completed.Add(1)
+			})
+		}
+		// Withdraw processors while the storm is in flight.
+		pl.SetLimit(1)
+	})
+	if completed.Load() != 40 {
+		t.Fatalf("completed = %d, want 40 despite revocation", completed.Load())
+	}
+	if live := pl.Live(); live != 0 {
+		t.Fatalf("live procs after quiescence = %d", live)
+	}
+}
+
+func TestRevocationThenRegrow(t *testing.T) {
+	pl := proc.New(4)
+	s := New(pl, Options{})
+	var peakAfterRegrow atomic.Int32
+	s.Run(func() {
+		pl.SetLimit(1)
+		for i := 0; i < 10; i++ {
+			s.Fork(func() { s.Yield() })
+		}
+		pl.SetLimit(4) // processors come back
+		var cur atomic.Int32
+		for i := 0; i < 10; i++ {
+			s.Fork(func() {
+				n := cur.Add(1)
+				for {
+					p := peakAfterRegrow.Load()
+					if n <= p || peakAfterRegrow.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				s.Yield()
+				cur.Add(-1)
+			})
+		}
+	})
+	// With the limit restored, forks should have spread across procs
+	// again (at least able to: on a 1-CPU host concurrency may be 1).
+	if pl.Stats().Refused == 0 {
+		t.Log("note: no refusals observed; limit mechanics exercised via SetLimit")
+	}
+}

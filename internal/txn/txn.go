@@ -1,0 +1,194 @@
+// Package txn is a small transactional-memory client in the spirit of
+// the transaction system the paper reports being built on ML Threads
+// (Wing, Faehndrich, Morrisett & Nettles, "Extensions to Standard ML to
+// support transactions").  It provides transactional variables (TVar)
+// and an Atomically combinator with optimistic concurrency control:
+// reads are versioned, writes are buffered, and commit validates the
+// read set under write locks acquired in a global order, retrying the
+// whole transaction on conflict.
+//
+// Everything is built on the MP surface: per-TVar mutex locks for the
+// short commit-time critical sections and the scheduler's Yield for
+// backoff between retries.
+package txn
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/spinlock"
+)
+
+// ErrAborted is returned by Atomically when the transaction body called
+// Abort.
+var ErrAborted = errors.New("txn: aborted")
+
+// Scheduler is the slice of the thread package transactions need for
+// backoff; threads.System implements it.
+type Scheduler interface {
+	Yield()
+}
+
+var nextID atomic.Uint64
+
+// meta is the untyped core of a TVar: identity, lock, and version.
+// The version is read atomically by validation, which must never block
+// while the validator holds other locks (that is how commit stays
+// deadlock-free); wlocked marks a commit in progress on the variable.
+type meta struct {
+	id      uint64
+	lk      spinlock.Lock
+	version atomic.Uint64
+	wlocked atomic.Bool
+}
+
+// tvar is the untyped view the commit protocol uses.
+type tvar interface {
+	base() *meta
+	store(v any)
+}
+
+// TVar is a transactional variable holding a T.
+type TVar[T any] struct {
+	m   meta
+	val T // guarded by m.lk
+}
+
+// NewTVar returns a transactional variable with an initial value.
+func NewTVar[T any](initial T) *TVar[T] {
+	v := &TVar[T]{val: initial}
+	v.m.id = nextID.Add(1)
+	v.m.lk = core.NewMutexLock()
+	return v
+}
+
+func (v *TVar[T]) base() *meta { return &v.m }
+func (v *TVar[T]) store(x any) { v.val = x.(T) }
+
+// Value reads the variable outside any transaction (still versioned and
+// locked, so it observes a committed state).
+func (v *TVar[T]) Value() T {
+	v.m.lk.Lock()
+	x := v.val
+	v.m.lk.Unlock()
+	return x
+}
+
+// Tx is an in-flight transaction: a read set of observed versions and a
+// buffered write set.
+type Tx struct {
+	reads   map[*meta]uint64
+	writes  map[*meta]any
+	objs    map[*meta]tvar
+	aborted bool
+}
+
+// Abort abandons the transaction; Atomically returns ErrAborted without
+// applying any writes.
+func (tx *Tx) Abort() { tx.aborted = true }
+
+// Read observes a TVar inside a transaction, seeing the transaction's
+// own buffered write if there is one.
+func Read[T any](tx *Tx, v *TVar[T]) T {
+	m := v.base()
+	if w, ok := tx.writes[m]; ok {
+		return w.(T)
+	}
+	m.lk.Lock()
+	val, ver := v.val, m.version.Load()
+	m.lk.Unlock()
+	if old, ok := tx.reads[m]; ok && old != ver {
+		// Inconsistent snapshot: remember the newest version; validation
+		// will fail and the transaction will retry.
+		tx.reads[m] = ^uint64(0)
+		return val
+	}
+	tx.reads[m] = ver
+	tx.objs[m] = v
+	return val
+}
+
+// Write buffers a store to a TVar inside a transaction.
+func Write[T any](tx *Tx, v *TVar[T], x T) {
+	m := v.base()
+	tx.writes[m] = x
+	tx.objs[m] = v
+}
+
+// Atomically runs body as a transaction, retrying on conflicts until it
+// commits or aborts.  The returned error is ErrAborted if body called
+// Abort, or whatever error body returned (in which case nothing is
+// applied).
+func Atomically(s Scheduler, body func(tx *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := &Tx{
+			reads:  make(map[*meta]uint64),
+			writes: make(map[*meta]any),
+			objs:   make(map[*meta]tvar),
+		}
+		err := body(tx)
+		if tx.aborted {
+			return ErrAborted
+		}
+		if err != nil {
+			return err
+		}
+		if tx.commit() {
+			return nil
+		}
+		// Conflict: back off and retry the whole body.
+		if s != nil {
+			s.Yield()
+		}
+	}
+}
+
+// commit validates the read set and applies the write set under the
+// write locks, acquired in id order to avoid deadlock.
+func (tx *Tx) commit() bool {
+	// Collect and sort the write set by TVar id.
+	locks := make([]*meta, 0, len(tx.writes))
+	for m := range tx.writes {
+		locks = append(locks, m)
+	}
+	for i := 1; i < len(locks); i++ {
+		for j := i; j > 0 && locks[j].id < locks[j-1].id; j-- {
+			locks[j], locks[j-1] = locks[j-1], locks[j]
+		}
+	}
+	for _, m := range locks {
+		m.lk.Lock()
+		m.wlocked.Store(true)
+	}
+	// Validate: every read version must still be current.  A TVar both
+	// read and written is validated under its (already held) write lock;
+	// read-only TVars are checked without blocking — a variable that is
+	// write-locked by a concurrent commit counts as a conflict.  Never
+	// blocking here is what keeps commit deadlock-free.
+	ok := true
+	for m, ver := range tx.reads {
+		if _, writing := tx.writes[m]; writing {
+			if m.version.Load() != ver {
+				ok = false
+				break
+			}
+			continue
+		}
+		if m.wlocked.Load() || m.version.Load() != ver {
+			ok = false
+			break
+		}
+	}
+	if ok {
+		for _, m := range locks {
+			tx.objs[m].store(tx.writes[m])
+			m.version.Add(1)
+		}
+	}
+	for i := len(locks) - 1; i >= 0; i-- {
+		locks[i].wlocked.Store(false)
+		locks[i].lk.Unlock()
+	}
+	return ok
+}

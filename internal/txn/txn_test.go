@@ -1,0 +1,217 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/syncx"
+	"repro/internal/threads"
+)
+
+func runSys(procs int, f func(s *threads.System)) {
+	s := threads.New(proc.New(procs), threads.Options{})
+	s.Run(func() { f(s) })
+}
+
+func TestReadWriteCommit(t *testing.T) {
+	runSys(1, func(s *threads.System) {
+		v := NewTVar(10)
+		err := Atomically(s, func(tx *Tx) error {
+			x := Read(tx, v)
+			Write(tx, v, x+5)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Value() != 15 {
+			t.Fatalf("value = %d, want 15", v.Value())
+		}
+	})
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	runSys(1, func(s *threads.System) {
+		v := NewTVar(1)
+		Atomically(s, func(tx *Tx) error {
+			Write(tx, v, 2)
+			if Read(tx, v) != 2 {
+				t.Error("transaction does not see its own write")
+			}
+			return nil
+		})
+	})
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	runSys(1, func(s *threads.System) {
+		v := NewTVar(1)
+		err := Atomically(s, func(tx *Tx) error {
+			Write(tx, v, 99)
+			tx.Abort()
+			return nil
+		})
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("err = %v, want ErrAborted", err)
+		}
+		if v.Value() != 1 {
+			t.Fatalf("aborted write applied: %d", v.Value())
+		}
+	})
+}
+
+func TestBodyErrorDiscardsWrites(t *testing.T) {
+	runSys(1, func(s *threads.System) {
+		v := NewTVar(1)
+		boom := errors.New("boom")
+		err := Atomically(s, func(tx *Tx) error {
+			Write(tx, v, 99)
+			return boom
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("err = %v", err)
+		}
+		if v.Value() != 1 {
+			t.Fatalf("failed transaction applied: %d", v.Value())
+		}
+	})
+}
+
+func TestCountersUnderContention(t *testing.T) {
+	runSys(4, func(s *threads.System) {
+		counter := NewTVar(0)
+		const threadsN, incs = 20, 50
+		wg := syncx.NewWaitGroup(s, threadsN)
+		for i := 0; i < threadsN; i++ {
+			s.Fork(func() {
+				for j := 0; j < incs; j++ {
+					Atomically(s, func(tx *Tx) error {
+						Write(tx, counter, Read(tx, counter)+1)
+						return nil
+					})
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		if counter.Value() != threadsN*incs {
+			t.Fatalf("counter = %d, want %d (lost updates)", counter.Value(), threadsN*incs)
+		}
+	})
+}
+
+func TestTransfersPreserveTotal(t *testing.T) {
+	runSys(4, func(s *threads.System) {
+		const accounts = 6
+		vars := make([]*TVar[int], accounts)
+		for i := range vars {
+			vars[i] = NewTVar(100)
+		}
+		wg := syncx.NewWaitGroup(s, 8)
+		for w := 0; w < 8; w++ {
+			w := w
+			s.Fork(func() {
+				for i := 0; i < 100; i++ {
+					from := (w + i) % accounts
+					to := (w + i + 1 + i%3) % accounts
+					if from == to {
+						continue
+					}
+					Atomically(s, func(tx *Tx) error {
+						f := Read(tx, vars[from])
+						if f < 10 {
+							tx.Abort()
+							return nil
+						}
+						Write(tx, vars[from], f-10)
+						Write(tx, vars[to], Read(tx, vars[to])+10)
+						return nil
+					})
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		total := 0
+		for _, v := range vars {
+			total += v.Value()
+		}
+		if total != accounts*100 {
+			t.Fatalf("total = %d, want %d (atomicity violated)", total, accounts*100)
+		}
+	})
+}
+
+func TestWriteSkewPrevented(t *testing.T) {
+	// The classic anomaly: two transactions each read both vars and
+	// write one; serializability demands the invariant x+y >= 1 is never
+	// violated by a concurrent pair both seeing (1,1).
+	for round := 0; round < 30; round++ {
+		runSys(2, func(s *threads.System) {
+			x, y := NewTVar(1), NewTVar(1)
+			wg := syncx.NewWaitGroup(s, 2)
+			dec := func(a, b *TVar[int]) {
+				Atomically(s, func(tx *Tx) error {
+					if Read(tx, a)+Read(tx, b) >= 2 {
+						Write(tx, a, Read(tx, a)-1)
+					}
+					return nil
+				})
+				wg.Done()
+			}
+			s.Fork(func() { dec(x, y) })
+			s.Fork(func() { dec(y, x) })
+			wg.Wait()
+			if x.Value()+y.Value() < 1 {
+				t.Fatalf("write skew: x=%d y=%d", x.Value(), y.Value())
+			}
+		})
+	}
+}
+
+func TestSnapshotConsistencyRetries(t *testing.T) {
+	// A transaction that observes two variables must observe a consistent
+	// pair even while a writer keeps them equal.
+	runSys(4, func(s *threads.System) {
+		a, b := NewTVar(0), NewTVar(0)
+		stopped := NewTVar(false)
+		wg := syncx.NewWaitGroup(s, 2)
+		s.Fork(func() { // writer keeps a == b
+			for i := 1; i <= 200; i++ {
+				Atomically(s, func(tx *Tx) error {
+					Write(tx, a, i)
+					Write(tx, b, i)
+					return nil
+				})
+			}
+			Atomically(s, func(tx *Tx) error {
+				Write(tx, stopped, true)
+				return nil
+			})
+			wg.Done()
+		})
+		s.Fork(func() { // reader demands consistent pairs
+			for {
+				var av, bv int
+				var done bool
+				Atomically(s, func(tx *Tx) error {
+					av = Read(tx, a)
+					bv = Read(tx, b)
+					done = Read(tx, stopped)
+					return nil
+				})
+				if av != bv {
+					t.Errorf("inconsistent snapshot: a=%d b=%d", av, bv)
+					break
+				}
+				if done {
+					break
+				}
+				s.Yield()
+			}
+			wg.Done()
+		})
+		wg.Wait()
+	})
+}

@@ -1,0 +1,146 @@
+package vm
+
+import "fmt"
+
+// Builder assembles generic-machine programs with symbolic labels; it
+// plays the role of the SML/NJ code generator, which "generates generic
+// machine code, which is then translated into machine-specific
+// instruction sequences" (§5).
+type Builder struct {
+	code   []Instr
+	labels map[string]int
+	fixups []fixup
+}
+
+type fixup struct {
+	idx   int
+	label string
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder {
+	return &Builder{labels: make(map[string]int)}
+}
+
+// Label defines a jump target at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("vm: duplicate label %q", name))
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+func (b *Builder) emit(i Instr) *Builder {
+	b.code = append(b.code, i)
+	return b
+}
+
+func (b *Builder) emitLabeled(i Instr, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{len(b.code), label})
+	return b.emit(i)
+}
+
+// LoadInt sets register d to an immediate integer.
+func (b *Builder) LoadInt(d int, v int64) *Builder {
+	return b.emit(Instr{Op: OpLoadInt, A: d, Imm: v})
+}
+
+// Move copies register s to register d.
+func (b *Builder) Move(d, s int) *Builder { return b.emit(Instr{Op: OpMove, A: d, B: s}) }
+
+// Add sets d = x + y.
+func (b *Builder) Add(d, x, y int) *Builder { return b.emit(Instr{Op: OpAdd, A: d, B: x, C: y}) }
+
+// Sub sets d = x - y.
+func (b *Builder) Sub(d, x, y int) *Builder { return b.emit(Instr{Op: OpSub, A: d, B: x, C: y}) }
+
+// Mul sets d = x * y.
+func (b *Builder) Mul(d, x, y int) *Builder { return b.emit(Instr{Op: OpMul, A: d, B: x, C: y}) }
+
+// Less sets d = 1 if x < y else 0.
+func (b *Builder) Less(d, x, y int) *Builder { return b.emit(Instr{Op: OpLess, A: d, B: x, C: y}) }
+
+// Eq sets d = 1 if x == y else 0.
+func (b *Builder) Eq(d, x, y int) *Builder { return b.emit(Instr{Op: OpEq, A: d, B: x, C: y}) }
+
+// Jump transfers control to label.
+func (b *Builder) Jump(label string) *Builder {
+	return b.emitLabeled(Instr{Op: OpJump}, label)
+}
+
+// BranchIf jumps to label when register r holds a nonzero integer.
+func (b *Builder) BranchIf(r int, label string) *Builder {
+	return b.emitLabeled(Instr{Op: OpBranchIf, A: r}, label)
+}
+
+// Record sets d to a fresh record of registers base..base+n-1.
+func (b *Builder) Record(d, base, n int) *Builder {
+	return b.emit(Instr{Op: OpRecord, A: d, B: base, C: n})
+}
+
+// Select sets d to field of record s.
+func (b *Builder) Select(d, s, field int) *Builder {
+	return b.emit(Instr{Op: OpSelect, A: d, B: s, Imm: int64(field)})
+}
+
+// Update stores register src into field of record rec.
+func (b *Builder) Update(rec, field, src int) *Builder {
+	return b.emit(Instr{Op: OpUpdate, A: rec, B: src, Imm: int64(field)})
+}
+
+// Capture sets d to a continuation; throwing it resumes at label with
+// the thrown value in d (callcc).
+func (b *Builder) Capture(d int, label string) *Builder {
+	return b.emitLabeled(Instr{Op: OpCapture, A: d}, label)
+}
+
+// Throw invokes continuation k with value v; control never falls through.
+func (b *Builder) Throw(k, v int) *Builder { return b.emit(Instr{Op: OpThrow, A: k, B: v}) }
+
+// GetDatum reads the dedicated proc-datum register into d.
+func (b *Builder) GetDatum(d int) *Builder { return b.emit(Instr{Op: OpGetDatum, A: d}) }
+
+// SetDatum writes register s to the proc-datum register.
+func (b *Builder) SetDatum(s int) *Builder { return b.emit(Instr{Op: OpSetDatum, A: s}) }
+
+// TryLock sets d = 1 if lock-vector slot (register slotReg) was acquired.
+func (b *Builder) TryLock(d, slotReg int) *Builder {
+	return b.emit(Instr{Op: OpTryLock, A: d, B: slotReg})
+}
+
+// Unlock releases lock-vector slot (register slotReg).
+func (b *Builder) Unlock(slotReg int) *Builder {
+	return b.emit(Instr{Op: OpUnlock, A: slotReg})
+}
+
+// Halt stops execution with register r as the proc's result.
+func (b *Builder) Halt(r int) *Builder { return b.emit(Instr{Op: OpHalt, A: r}) }
+
+// Build resolves labels and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	code := append([]Instr(nil), b.code...)
+	for _, f := range b.fixups {
+		target, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("vm: undefined label %q", f.label)
+		}
+		code[f.idx].Imm = int64(target)
+	}
+	return &Program{Code: code}, nil
+}
+
+// MustBuild is Build, panicking on error; for tests and examples.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AcquireProc sets d = 1 if continuation k now runs on a newly acquired
+// proc (acquire_proc), 0 on No_More_Procs.
+func (b *Builder) AcquireProc(d, k int) *Builder {
+	return b.emit(Instr{Op: OpAcquireProc, A: d, B: k})
+}

@@ -1,0 +1,102 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// opNames maps opcodes to their assembly mnemonics.
+var opNames = map[Op]string{
+	OpNop:         "nop",
+	OpLoadInt:     "loadi",
+	OpMove:        "move",
+	OpAdd:         "add",
+	OpSub:         "sub",
+	OpMul:         "mul",
+	OpLess:        "less",
+	OpEq:          "eq",
+	OpJump:        "jump",
+	OpBranchIf:    "brnz",
+	OpRecord:      "record",
+	OpSelect:      "select",
+	OpUpdate:      "update",
+	OpCapture:     "callcc",
+	OpThrow:       "throw",
+	OpGetDatum:    "getdatum",
+	OpSetDatum:    "setdatum",
+	OpTryLock:     "trylock",
+	OpUnlock:      "unlock",
+	OpAcquireProc: "acquire",
+	OpHalt:        "halt",
+}
+
+// String returns the opcode's mnemonic.
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpNop:
+		return "nop"
+	case OpLoadInt:
+		return fmt.Sprintf("loadi   r%d, %d", in.A, in.Imm)
+	case OpMove:
+		return fmt.Sprintf("move    r%d, r%d", in.A, in.B)
+	case OpAdd, OpSub, OpMul, OpLess, OpEq:
+		return fmt.Sprintf("%-7s r%d, r%d, r%d", in.Op, in.A, in.B, in.C)
+	case OpJump:
+		return fmt.Sprintf("jump    @%d", in.Imm)
+	case OpBranchIf:
+		return fmt.Sprintf("brnz    r%d, @%d", in.A, in.Imm)
+	case OpRecord:
+		return fmt.Sprintf("record  r%d, r%d..r%d", in.A, in.B, in.B+in.C-1)
+	case OpSelect:
+		return fmt.Sprintf("select  r%d, r%d[%d]", in.A, in.B, in.Imm)
+	case OpUpdate:
+		return fmt.Sprintf("update  r%d[%d], r%d", in.A, in.Imm, in.B)
+	case OpCapture:
+		return fmt.Sprintf("callcc  r%d, @%d", in.A, in.Imm)
+	case OpThrow:
+		return fmt.Sprintf("throw   r%d, r%d", in.A, in.B)
+	case OpGetDatum:
+		return fmt.Sprintf("getdatum r%d", in.A)
+	case OpSetDatum:
+		return fmt.Sprintf("setdatum r%d", in.A)
+	case OpTryLock:
+		return fmt.Sprintf("trylock r%d, [r%d]", in.A, in.B)
+	case OpUnlock:
+		return fmt.Sprintf("unlock  [r%d]", in.A)
+	case OpAcquireProc:
+		return fmt.Sprintf("acquire r%d, r%d", in.A, in.B)
+	case OpHalt:
+		return fmt.Sprintf("halt    r%d", in.A)
+	default:
+		return fmt.Sprintf("%s a=%d b=%d c=%d imm=%d", in.Op, in.A, in.B, in.C, in.Imm)
+	}
+}
+
+// Disassemble renders the whole program with addresses, marking jump
+// targets.
+func (p *Program) Disassemble() string {
+	targets := map[int64]bool{}
+	for _, in := range p.Code {
+		switch in.Op {
+		case OpJump, OpBranchIf, OpCapture:
+			targets[in.Imm] = true
+		}
+	}
+	var b strings.Builder
+	for i, in := range p.Code {
+		mark := "  "
+		if targets[int64(i)] {
+			mark = "L:"
+		}
+		fmt.Fprintf(&b, "%s %4d  %s\n", mark, i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFigure1ThreadPackageAsVMCode runs the paper's Figure 1 — the
+// uniprocessor thread package built from callcc and a ready queue — as
+// generic-machine code on the VM, the layer where SML/NJ actually
+// executed it.  A parent thread forks a child; both interleave via
+// yield; the ready queue holds first-class heap-allocated continuations.
+//
+// Figure 1 keeps current_id and next_id in ref cells, and the VM shows
+// why that is forced: throwing a continuation restores every register,
+// so only heap state can carry information across a dispatch.  The ids
+// here live in an id box ([current, next]) and the observable is an
+// accumulator box: each thread appends id*10+step as two decimal digits.
+// Figure 1 semantics (fork queues the parent and runs the child, FIFO
+// ready queue) force the interleaving
+//
+//	child step 0 (10), parent step 0 (00), child step 1 (11),
+//	parent step 1 (01)  =>  acc = 10001101
+func TestFigure1ThreadPackageAsVMCode(t *testing.T) {
+	const (
+		rQ   = 0 // ready queue record: [slot0, slot1, count]
+		rAcc = 1 // accumulator box: [int]
+		rIDs = 2 // id box: [current_id, next_id]  (Fig. 1's ref cells)
+		rK   = 4
+		rE   = 5 // entry record base (rE, rE+1)
+		rT1  = 7
+		rT2  = 8
+		rT3  = 9
+		rOne = 10
+		rTen = 11
+	)
+	b := NewBuilder()
+	labelN := 0
+	fresh := func(prefix string) string {
+		labelN++
+		return fmt.Sprintf("%s_%d", prefix, labelN)
+	}
+
+	// enq(entry in rE): bounded 2-slot FIFO inside the rQ record.
+	enq := func() {
+		slot1 := fresh("enq_slot1")
+		done := fresh("enq_done")
+		b.Select(rT1, rQ, 2) // count
+		b.BranchIf(rT1, slot1)
+		b.Update(rQ, 0, rE)
+		b.Jump(done)
+		b.Label(slot1)
+		b.Update(rQ, 1, rE)
+		b.Label(done)
+		b.Add(rT1, rT1, rOne)
+		b.Update(rQ, 2, rT1)
+	}
+
+	// appendStep(step): acc = acc*100 + current_id*10 + step.
+	appendStep := func(step int64) {
+		b.Select(rT3, rIDs, 0) // current_id
+		b.Mul(rT3, rT3, rTen)
+		if step != 0 {
+			b.LoadInt(rT2, step)
+			b.Add(rT3, rT3, rT2)
+		}
+		b.Select(rT1, rAcc, 0)
+		b.LoadInt(rT2, 100)
+		b.Mul(rT1, rT1, rT2)
+		b.Add(rT1, rT1, rT3)
+		b.Update(rAcc, 0, rT1)
+	}
+
+	// reschedule: build entry (k in rK, current_id) and enqueue it.
+	reschedule := func() {
+		b.Move(rE, rK)
+		b.Select(rE+1, rIDs, 0)
+		b.Record(rE, rE, 2)
+		enq()
+	}
+
+	// yield: capture, reschedule, dispatch (Fig. 1: yield).
+	yield := func() {
+		resume := fresh("yield_resume")
+		b.Capture(rK, resume)
+		reschedule()
+		b.Jump("dispatch")
+		b.Label(resume)
+	}
+
+	// --- program start ---
+	b.LoadInt(rOne, 1)
+	b.LoadInt(rTen, 10)
+	// ready queue = (0, 0, 0)
+	b.LoadInt(rT1, 0)
+	b.LoadInt(rT2, 0)
+	b.LoadInt(rT3, 0)
+	b.Record(rQ, rT1, 3)
+	// acc box = (0)
+	b.LoadInt(rT1, 0)
+	b.Record(rAcc, rT1, 1)
+	// id box = (current 0, next 1)
+	b.LoadInt(rT1, 0)
+	b.LoadInt(rT2, 1)
+	b.Record(rIDs, rT1, 2)
+
+	// fork(child): capture parent, reschedule it, current_id = next_id++,
+	// fall into the child's body (Fig. 1: fork).
+	b.Capture(rK, "parent_body")
+	reschedule()
+	b.Select(rT1, rIDs, 1)
+	b.Update(rIDs, 0, rT1) // current_id := next_id
+	b.Add(rT1, rT1, rOne)
+	b.Update(rIDs, 1, rT1) // next_id++
+
+	// child body: two appends with a yield between, then dispatch (thread
+	// exit in Fig. 1's fork is falling into dispatch).
+	appendStep(0)
+	yield()
+	appendStep(1)
+	b.Jump("dispatch")
+
+	// parent body (resumed from the fork's capture with a dummy value).
+	b.Label("parent_body")
+	appendStep(0)
+	yield()
+	appendStep(1)
+	b.Jump("dispatch")
+
+	// dispatch (Fig. 1): dequeue (cont, id); current_id := id; throw cont.
+	// Empty queue = computation finished: halt with the accumulator.
+	b.Label("dispatch")
+	b.Select(rT1, rQ, 2) // count
+	b.BranchIf(rT1, "dispatch_pop")
+	b.Select(rT1, rAcc, 0)
+	b.Halt(rT1)
+	b.Label("dispatch_pop")
+	b.Select(rE, rQ, 0)  // entry = slot0
+	b.Select(rT2, rQ, 1) // shift slot1 down
+	b.Update(rQ, 0, rT2)
+	b.Sub(rT1, rT1, rOne)
+	b.Update(rQ, 2, rT1)
+	b.Select(rT2, rE, 1)
+	b.Update(rIDs, 0, rT2) // current_id := id   (heap write survives the throw)
+	b.Select(rK, rE, 0)
+	b.LoadInt(rT1, 0)
+	b.Throw(rK, rT1)
+
+	m := testMachine(1 << 14)
+	v := run1(t, m, b.MustBuild())
+	if v.Int() != 10001101 {
+		t.Fatalf("interleaving accumulator = %d, want 10001101"+
+			" (child0, parent0, child1, parent1)", v.Int())
+	}
+}

@@ -1,0 +1,325 @@
+// Package vm implements the paper's §5 substrate: SML/NJ's *generic
+// machine model*, the abstract register machine the compiler targets and
+// the layer the MP work actually modified.  "The generic machine model
+// includes general-purpose registers and transfer operations, and a set
+// of primitive operators (primops) for arithmetic and logic functions and
+// specialized tasks such as callcc...  To implement the proc_datum, we
+// modified the SML/NJ generic machine model to include a new dedicated
+// virtual register.  Two primops corresponding to get_datum and set_datum
+// were added to read and write the register."
+//
+// The machine here has:
+//
+//   - general-purpose registers holding mlheap Values;
+//   - the dedicated proc-datum register with GetDatum/SetDatum primops;
+//   - record allocation and field selection/update primops over the real
+//     copying heap (package mlheap via gcsync), with the heap-limit check
+//     at allocation being the clean point, exactly as in SML/NJ;
+//   - Capture/Throw primops building first-class, heap-allocated,
+//     **multi-shot** continuations — a continuation is just a record of
+//     the saved registers, so re-throwing it restores the machine state
+//     again, recovering the full SML/NJ semantics that the Go-level
+//     cont package (necessarily one-shot) cannot express;
+//   - TryLock/Unlock primops over a machine-wide lock vector, the
+//     hardware mutex facility of §3.3.
+//
+// Programs are built with the Builder (there is no parser — the SML/NJ
+// compiler is out of scope; the builder plays the role of its code
+// generator).  Multiple VM procs share one heap and lock vector and run
+// on real MP procs.
+package vm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gcsync"
+	"repro/internal/mlheap"
+	"repro/internal/spinlock"
+)
+
+// NumRegs is the number of general-purpose registers, matching the
+// register-rich RISC targets the paper discusses.
+const NumRegs = 16
+
+// Op is a generic-machine instruction opcode.
+type Op int
+
+// The instruction set: transfer operations, arithmetic/logic primops,
+// control, heap primops, continuation primops, the proc-datum primops,
+// and the lock primops.
+const (
+	OpNop         Op = iota
+	OpLoadInt        // R[A] = Imm
+	OpMove           // R[A] = R[B]
+	OpAdd            // R[A] = R[B] + R[C]
+	OpSub            // R[A] = R[B] - R[C]
+	OpMul            // R[A] = R[B] * R[C]
+	OpLess           // R[A] = R[B] < R[C] (1/0)
+	OpEq             // R[A] = R[B] == R[C] (1/0)
+	OpJump           // pc = Imm
+	OpBranchIf       // if R[A] != 0 { pc = Imm }
+	OpRecord         // R[A] = new record of R[B..B+C-1]  (heap-limit clean point)
+	OpSelect         // R[A] = field Imm of R[B]
+	OpUpdate         // field Imm of R[A] = R[B]
+	OpCapture        // R[A] = continuation resuming at Imm with result in R[A]
+	OpThrow          // throw continuation R[A] the value R[B]; never falls through
+	OpGetDatum       // R[A] = proc-datum register
+	OpSetDatum       // proc-datum register = R[A]
+	OpTryLock        // R[A] = TryLock(lock vector slot R[B]) (1/0)
+	OpUnlock         // Unlock(lock vector slot R[A])
+	OpAcquireProc    // R[A] = 1 if continuation R[B] now runs on a new proc, 0 if No_More_Procs
+	OpHalt           // stop (release_proc); R[A] is the proc's result
+)
+
+// Instr is one generic-machine instruction.
+type Instr struct {
+	Op      Op
+	A, B, C int
+	Imm     int64
+}
+
+// Program is straight-line generic-machine code with absolute jump
+// targets (the Builder resolves labels).
+type Program struct {
+	Code []Instr
+}
+
+// Machine is the shared multiprocessing state: the heap world, the lock
+// vector, and the proc pool for OpAcquireProc (bounded like the paper's
+// compile-time proc limit; the heap config's Procs field is the bound).
+type Machine struct {
+	world *gcsync.World
+	locks []spinlock.Lock
+
+	mu       sync.Mutex
+	maxProcs int
+	running  int
+	spawned  sync.WaitGroup
+	spawnErr error
+}
+
+// NewMachine builds a machine with the given heap configuration and lock
+// vector size.  heap.Procs bounds the simultaneously executing VM procs.
+func NewMachine(heap mlheap.Config, numLocks int) *Machine {
+	m := &Machine{world: gcsync.NewWorld(heap), maxProcs: heap.Procs}
+	for i := 0; i < numLocks; i++ {
+		m.locks = append(m.locks, spinlock.NewBackoff())
+	}
+	return m
+}
+
+// Wait blocks until every proc started by OpAcquireProc has halted, and
+// returns the first error any of them hit.
+func (m *Machine) Wait() error {
+	m.spawned.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.spawnErr
+}
+
+// tryAcquire starts a new VM proc resuming continuation k, mirroring
+// acquire_proc: the continuation gets the new proc; the caller keeps the
+// current one.  Returns false when the proc limit is reached
+// (No_More_Procs).  The new proc's registers are restored and rooted on
+// the caller's goroutine, before any collection can move k.
+func (p *Proc) tryAcquire(k mlheap.Value) bool {
+	m := p.m
+	m.mu.Lock()
+	// The calling proc counts against the limit too; `running` tracks
+	// spawned procs only, so allow maxProcs-1 of them.
+	if m.running >= m.maxProcs-1 {
+		m.mu.Unlock()
+		return false
+	}
+	m.running++
+	m.mu.Unlock()
+
+	np := m.NewProc(p.prog)
+	np.Quantum, np.Preempt = p.Quantum, p.Preempt
+	h := m.world.Heap()
+	for i := 0; i < NumRegs; i++ {
+		np.regs[i] = h.Get(k, kRegs+i)
+	}
+	np.datum = h.Get(k, kDatum)
+	dst := int(h.Get(k, kDst).Int())
+	np.regs[dst] = mlheap.Int(0) // continuation resumed with unit
+	np.pc = int(h.Get(k, kResume).Int())
+
+	m.spawned.Add(1)
+	go func() {
+		defer m.spawned.Done()
+		defer func() {
+			m.mu.Lock()
+			m.running--
+			m.mu.Unlock()
+		}()
+		if _, err := np.run(); err != nil {
+			m.mu.Lock()
+			if m.spawnErr == nil {
+				m.spawnErr = err
+			}
+			m.mu.Unlock()
+		}
+	}()
+	return true
+}
+
+// World exposes the heap world (for roots and stats).
+func (m *Machine) World() *gcsync.World { return m.world }
+
+// Proc is one executing generic machine: registers, the dedicated datum
+// register, a program counter, and its per-proc allocation handle.
+type Proc struct {
+	m     *Machine
+	prog  *Program
+	regs  [NumRegs]mlheap.Value
+	datum mlheap.Value
+	pc    int
+	alloc *gcsync.Alloc
+	steps int64
+	// Quantum, if nonzero, calls Preempt every Quantum instructions — the
+	// signal-driven preemption hook (§3.4).
+	Quantum int64
+	Preempt func()
+}
+
+// NewProc attaches an executing machine to the shared state.  Callers
+// running several procs concurrently must run each on its own
+// goroutine/MP proc and Detach (via Halt return) when done.
+func (m *Machine) NewProc(prog *Program) *Proc {
+	p := &Proc{m: m, prog: prog, alloc: m.world.Attach()}
+	for i := range p.regs {
+		p.alloc.AddRoot(&p.regs[i])
+	}
+	p.alloc.AddRoot(&p.datum)
+	return p
+}
+
+// SetReg initializes a register before Run.
+func (p *Proc) SetReg(i int, v mlheap.Value) { p.regs[i] = v }
+
+// SetDatum initializes the datum register before Run.
+func (p *Proc) SetDatum(v mlheap.Value) { p.datum = v }
+
+// Steps reports the number of instructions executed.
+func (p *Proc) Steps() int64 { return p.steps }
+
+// continuation record layout: [resumePC, dstReg, datum, regs...].
+const (
+	kResume = iota
+	kDst
+	kDatum
+	kRegs
+)
+
+// Run executes the program from entry until Halt and returns the halt
+// value.  The proc's allocation handle is detached on return.
+func (p *Proc) Run(entry int) (mlheap.Value, error) {
+	p.pc = entry
+	return p.run()
+}
+
+// run executes from the current pc until Halt.
+func (p *Proc) run() (mlheap.Value, error) {
+	defer p.alloc.Detach()
+	h := p.m.world.Heap()
+	for {
+		if p.pc < 0 || p.pc >= len(p.prog.Code) {
+			return mlheap.Nil, fmt.Errorf("vm: pc %d out of range", p.pc)
+		}
+		in := p.prog.Code[p.pc]
+		p.steps++
+		if p.steps%64 == 0 {
+			// Periodic clean point, the analogue of SML/NJ's heap-limit
+			// check: a proc stuck in a non-allocating loop (e.g. spinning
+			// on TryLock) must still let collections proceed.
+			p.alloc.CleanPoint()
+		}
+		if p.Quantum > 0 && p.steps%p.Quantum == 0 && p.Preempt != nil {
+			p.alloc.CleanPoint() // preemption points are clean points too
+			p.Preempt()
+		}
+		switch in.Op {
+		case OpNop:
+		case OpLoadInt:
+			p.regs[in.A] = mlheap.Int(in.Imm)
+		case OpMove:
+			p.regs[in.A] = p.regs[in.B]
+		case OpAdd:
+			p.regs[in.A] = mlheap.Int(p.regs[in.B].Int() + p.regs[in.C].Int())
+		case OpSub:
+			p.regs[in.A] = mlheap.Int(p.regs[in.B].Int() - p.regs[in.C].Int())
+		case OpMul:
+			p.regs[in.A] = mlheap.Int(p.regs[in.B].Int() * p.regs[in.C].Int())
+		case OpLess:
+			p.regs[in.A] = boolVal(p.regs[in.B].Int() < p.regs[in.C].Int())
+		case OpEq:
+			p.regs[in.A] = boolVal(p.regs[in.B] == p.regs[in.C])
+		case OpJump:
+			p.pc = int(in.Imm)
+			continue
+		case OpBranchIf:
+			if p.regs[in.A].Int() != 0 {
+				p.pc = int(in.Imm)
+				continue
+			}
+		case OpRecord:
+			slots := make([]mlheap.Value, in.C)
+			copy(slots, p.regs[in.B:in.B+in.C])
+			p.regs[in.A] = p.alloc.Record(slots...)
+		case OpSelect:
+			p.regs[in.A] = h.Get(p.regs[in.B], int(in.Imm))
+		case OpUpdate:
+			h.Set(p.regs[in.A], int(in.Imm), p.regs[in.B])
+		case OpCapture:
+			// callcc: allocate a closure holding the machine state.  "callcc
+			// simply allocates and initializes a new closure without having
+			// to copy anything [but the registers]" (§2).
+			slots := make([]mlheap.Value, kRegs+NumRegs)
+			slots[kResume] = mlheap.Int(in.Imm)
+			slots[kDst] = mlheap.Int(int64(in.A))
+			slots[kDatum] = p.datum
+			copy(slots[kRegs:], p.regs[:])
+			p.regs[in.A] = p.alloc.Record(slots...)
+		case OpThrow:
+			k := p.regs[in.A]
+			v := p.regs[in.B]
+			if !k.IsPtr() {
+				return mlheap.Nil, fmt.Errorf("vm: throw to non-continuation at pc %d", p.pc)
+			}
+			// Restore the captured state; multi-shot by construction.
+			for i := 0; i < NumRegs; i++ {
+				p.regs[i] = h.Get(k, kRegs+i)
+			}
+			p.datum = h.Get(k, kDatum)
+			dst := int(h.Get(k, kDst).Int())
+			p.regs[dst] = v
+			p.pc = int(h.Get(k, kResume).Int())
+			continue
+		case OpGetDatum:
+			p.regs[in.A] = p.datum
+		case OpSetDatum:
+			p.datum = p.regs[in.A]
+		case OpTryLock:
+			slot := p.regs[in.B].Int()
+			p.regs[in.A] = boolVal(p.m.locks[slot].TryLock())
+		case OpUnlock:
+			p.m.locks[p.regs[in.A].Int()].Unlock()
+		case OpAcquireProc:
+			p.regs[in.A] = boolVal(p.tryAcquire(p.regs[in.B]))
+		case OpHalt:
+			return p.regs[in.A], nil
+		default:
+			return mlheap.Nil, fmt.Errorf("vm: bad opcode %d at pc %d", in.Op, p.pc)
+		}
+		p.pc++
+	}
+}
+
+func boolVal(b bool) mlheap.Value {
+	if b {
+		return mlheap.Int(1)
+	}
+	return mlheap.Int(0)
+}

@@ -1,0 +1,414 @@
+package vm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/mlheap"
+)
+
+func testMachine(nurseryWords int) *Machine {
+	return NewMachine(mlheap.Config{
+		NurseryWords: nurseryWords,
+		SemiWords:    1 << 18,
+		ChunkWords:   64,
+		Procs:        8,
+	}, 8)
+}
+
+func run1(t *testing.T, m *Machine, prog *Program) mlheap.Value {
+	t.Helper()
+	p := m.NewProc(prog)
+	v, err := p.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestArithmeticLoop(t *testing.T) {
+	// sum = 0; for i = 1..100 { sum += i }; halt sum
+	b := NewBuilder()
+	const (
+		rSum = 0
+		rI   = 1
+		rN   = 2
+		rOne = 3
+		rCmp = 4
+	)
+	b.LoadInt(rSum, 0).LoadInt(rI, 1).LoadInt(rN, 101).LoadInt(rOne, 1)
+	b.Label("loop")
+	b.Less(rCmp, rI, rN)
+	b.BranchIf(rCmp, "body")
+	b.Halt(rSum)
+	b.Label("body")
+	b.Add(rSum, rSum, rI)
+	b.Add(rI, rI, rOne)
+	b.Jump("loop")
+	v := run1(t, testMachine(1<<16), b.MustBuild())
+	if v.Int() != 5050 {
+		t.Fatalf("sum = %d, want 5050", v.Int())
+	}
+}
+
+func TestRecordsAndFields(t *testing.T) {
+	b := NewBuilder()
+	b.LoadInt(0, 7).LoadInt(1, 8)
+	b.Record(2, 0, 2) // r2 = (7, 8)
+	b.Select(3, 2, 1) // r3 = 8
+	b.LoadInt(4, 99)
+	b.Update(2, 0, 4) // r2.0 = 99
+	b.Select(5, 2, 0) // r5 = 99
+	b.Add(6, 3, 5)    // 8 + 99
+	b.Halt(6)
+	v := run1(t, testMachine(1<<16), b.MustBuild())
+	if v.Int() != 107 {
+		t.Fatalf("got %d, want 107", v.Int())
+	}
+}
+
+func TestListBuildingThroughGC(t *testing.T) {
+	// Build a 3000-cell list (i, prev) in a small nursery, then walk it
+	// summing the heads: collections must preserve the structure with
+	// the registers as roots.
+	b := NewBuilder()
+	const (
+		rList = 0
+		rI    = 1
+		rN    = 2
+		rOne  = 3
+		rCmp  = 4
+		rHead = 5 // record base: head, then tail
+		rTail = 6
+		rSum  = 7
+	)
+	// The list terminates in a sentinel cell whose head is -1.
+	b.LoadInt(rHead, -1).LoadInt(rTail, 0).Record(rList, rHead, 2)
+	b.LoadInt(rI, 1).LoadInt(rN, 3001).LoadInt(rOne, 1)
+	b.Label("build")
+	b.Less(rCmp, rI, rN)
+	b.BranchIf(rCmp, "cons")
+	b.Jump("walk")
+	b.Label("cons")
+	b.Move(rHead, rI)
+	b.Move(rTail, rList)
+	b.Record(rList, rHead, 2)
+	b.Add(rI, rI, rOne)
+	b.Jump("build")
+	b.Label("walk")
+	b.LoadInt(rSum, 0)
+	b.Label("walkloop")
+	b.Select(rHead, rList, 0)
+	b.LoadInt(rCmp, -1)
+	b.Eq(rCmp, rHead, rCmp)
+	b.BranchIf(rCmp, "done")
+	b.Add(rSum, rSum, rHead)
+	b.Select(rList, rList, 1)
+	b.Jump("walkloop")
+	b.Label("done")
+	b.Halt(rSum)
+
+	m := testMachine(2048) // tiny nursery: forces many collections
+	v := run1(t, m, b.MustBuild())
+	if v.Int() != 3000*3001/2 {
+		t.Fatalf("sum = %d, want %d", v.Int(), 3000*3001/2)
+	}
+	if m.World().GCs() == 0 {
+		t.Fatal("no collections exercised")
+	}
+}
+
+func TestCallccEscape(t *testing.T) {
+	// callcc-as-escape: capture k, then throw 42 to it; "resume" is only
+	// reached by the throw, with 42 in the destination register.
+	b := NewBuilder()
+	b.Capture(0, "resume") // fallthrough path: r0 = k
+	b.Move(1, 0)           // r1 = k
+	b.LoadInt(2, 42)
+	b.Throw(1, 2) // escape
+	b.Label("resume")
+	b.Halt(0) // throw path: r0 = 42
+	v := run1(t, testMachine(1<<16), b.MustBuild())
+	if v.Int() != 42 {
+		t.Fatalf("got %v, want 42", v)
+	}
+}
+
+func TestMultiShotViaHeapCell(t *testing.T) {
+	// k is kept in a heap cell; the resumption path bumps a heap counter
+	// and re-throws the SAME continuation until the counter reaches 5.
+	// Each throw restores the captured registers — only heap state
+	// persists — so reaching 5 proves the continuation fired 5 times.
+	b := NewBuilder()
+	const (
+		rBox = 0 // heap cell: [k, count]; filled in after the capture
+		rK   = 1
+		rTmp = 2
+		rCnt = 3
+		rLim = 4
+		rCmp = 5
+		rV   = 6
+	)
+	// box = (0, 0)
+	b.LoadInt(rTmp, 0).Move(rCnt, rTmp).Record(rBox, rTmp, 2)
+	b.Capture(rK, "back")
+	// box.k = k; rBox itself was captured by k, so every restore sees the
+	// same box pointer while the box *contents* persist across throws.
+	b.Update(rBox, 0, rK)
+	b.LoadInt(rV, 100)
+	b.Throw(rK, rV)
+	b.Label("back")
+	// rK = thrown value; box register was restored to the same cell.
+	b.Select(rCnt, rBox, 1)
+	b.LoadInt(rTmp, 1)
+	b.Add(rCnt, rCnt, rTmp)
+	b.Update(rBox, 1, rCnt)
+	b.LoadInt(rLim, 5)
+	b.Less(rCmp, rCnt, rLim)
+	b.BranchIf(rCmp, "again")
+	b.Halt(rCnt)
+	b.Label("again")
+	b.Select(rTmp, rBox, 0) // reload k from the heap
+	b.LoadInt(rV, 100)
+	b.Throw(rTmp, rV)
+	v := run1(t, testMachine(1<<16), b.MustBuild())
+	if v.Int() != 5 {
+		t.Fatalf("resumption count = %v, want 5 (multi-shot broken)", v)
+	}
+}
+
+func TestDatumRegister(t *testing.T) {
+	b := NewBuilder()
+	b.GetDatum(0)
+	b.LoadInt(1, 1)
+	b.Add(0, 0, 1)
+	b.SetDatum(0)
+	b.GetDatum(2)
+	b.Halt(2)
+	m := testMachine(1 << 16)
+	p := m.NewProc(b.MustBuild())
+	p.SetDatum(mlheap.Int(41))
+	v, err := p.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 42 {
+		t.Fatalf("datum = %v, want 42", v)
+	}
+}
+
+func TestLockPrimops(t *testing.T) {
+	b := NewBuilder()
+	b.LoadInt(0, 3) // slot 3
+	b.TryLock(1, 0) // should succeed -> 1
+	b.TryLock(2, 0) // should fail -> 0
+	b.Unlock(0)
+	b.TryLock(3, 0) // succeeds again -> 1
+	b.Unlock(0)
+	b.Mul(4, 1, 3)
+	b.Add(4, 4, 2) // 1*1 + 0 = 1
+	b.Halt(4)
+	v := run1(t, testMachine(1<<16), b.MustBuild())
+	if v.Int() != 1 {
+		t.Fatalf("lock primops = %v, want 1", v)
+	}
+}
+
+// TestParallelProcsSharedCounter is Fig. 3's shared-memory story at the
+// VM level: several generic machines on real parallelism, incrementing a
+// shared heap counter under a lock-vector mutex, while allocating enough
+// to force collections.
+func TestParallelProcsSharedCounter(t *testing.T) {
+	const procs, incs = 4, 300
+	m := testMachine(4096)
+
+	// Shared counter cell, built by a setup proc.
+	var counter mlheap.Value
+	m.World().AddRoot(&counter)
+	setup := NewBuilder()
+	setup.LoadInt(0, 0).Record(1, 0, 1).Halt(1)
+	p0 := m.NewProc(setup.MustBuild())
+	c, err := p0.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter = c
+
+	// Worker: for incs times { spin on lock 0; counter.0++; unlock;
+	// allocate garbage }.
+	b := NewBuilder()
+	const (
+		rCtr  = 0 // shared counter (initial register)
+		rI    = 1
+		rN    = 2
+		rOne  = 3
+		rCmp  = 4
+		rSlot = 5
+		rGot  = 6
+		rVal  = 7
+		rJunk = 8
+	)
+	b.LoadInt(rI, 0).LoadInt(rN, incs).LoadInt(rOne, 1).LoadInt(rSlot, 0)
+	b.Label("loop")
+	b.Less(rCmp, rI, rN)
+	b.BranchIf(rCmp, "body")
+	b.Halt(rI)
+	b.Label("body")
+	b.Label("spin")
+	b.TryLock(rGot, rSlot)
+	b.BranchIf(rGot, "locked")
+	b.Jump("spin")
+	b.Label("locked")
+	b.Select(rVal, rCtr, 0)
+	b.Add(rVal, rVal, rOne)
+	b.Update(rCtr, 0, rVal)
+	b.Unlock(rSlot)
+	b.Record(rJunk, rI, 3) // garbage: forces collections eventually
+	b.Add(rI, rI, rOne)
+	b.Jump("loop")
+	prog := b.MustBuild()
+
+	var wg sync.WaitGroup
+	for w := 0; w < procs; w++ {
+		p := m.NewProc(prog)
+		p.SetReg(rCtr, counter)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Run(0); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	got := m.World().Heap().Get(counter, 0).Int()
+	if got != procs*incs {
+		t.Fatalf("counter = %d, want %d", got, procs*incs)
+	}
+	if m.World().GCs() == 0 {
+		t.Fatal("no collections exercised")
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := NewBuilder()
+	b.Jump("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("undefined label accepted")
+	}
+}
+
+func TestPreemptionHook(t *testing.T) {
+	b := NewBuilder()
+	b.LoadInt(0, 0).LoadInt(1, 1).LoadInt(2, 100000)
+	b.Label("loop")
+	b.Add(0, 0, 1)
+	b.Less(3, 0, 2)
+	b.BranchIf(3, "loop")
+	b.Halt(0)
+	m := testMachine(1 << 16)
+	p := m.NewProc(b.MustBuild())
+	ticks := 0
+	p.Quantum = 1000
+	p.Preempt = func() { ticks++ }
+	if _, err := p.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if ticks < 100 {
+		t.Fatalf("preemption hook ran %d times, want ~%d", ticks, p.Steps()/1000)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b := NewBuilder()
+	b.LoadInt(0, 5)
+	b.Label("top")
+	b.Capture(1, "top")
+	b.Record(2, 0, 2)
+	b.Select(3, 2, 1)
+	b.Update(2, 0, 3)
+	b.TryLock(4, 0)
+	b.Unlock(0)
+	b.AcquireProc(5, 1)
+	b.GetDatum(6)
+	b.SetDatum(6)
+	b.Throw(1, 0)
+	b.BranchIf(4, "top")
+	b.Jump("top")
+	b.Halt(0)
+	asm := b.MustBuild().Disassemble()
+	for _, want := range []string{"loadi", "callcc", "record", "select",
+		"update", "trylock", "unlock", "acquire", "getdatum", "setdatum",
+		"throw", "brnz", "jump", "halt", "L:"} {
+		if !strings.Contains(asm, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+// BenchmarkVMInstructionThroughput measures raw generic-machine speed on
+// an arithmetic loop.
+func BenchmarkVMInstructionThroughput(b *testing.B) {
+	bd := NewBuilder()
+	bd.LoadInt(0, 0).LoadInt(1, 1).LoadInt(2, int64(b.N))
+	bd.Label("loop")
+	bd.Add(0, 0, 1)
+	bd.Less(3, 0, 2)
+	bd.BranchIf(3, "loop")
+	bd.Halt(0)
+	m := testMachine(1 << 16)
+	p := m.NewProc(bd.MustBuild())
+	b.ResetTimer()
+	if _, err := p.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(p.Steps())/float64(b.N), "instr/op")
+}
+
+// BenchmarkVMCallccThrow measures the §2 claim at the machine level:
+// capturing and throwing a continuation is one heap record plus a
+// register reload.
+func BenchmarkVMCallccThrow(b *testing.B) {
+	bd := NewBuilder()
+	const (
+		rI, rN, rOne, rK, rV, rCmp = 0, 1, 2, 3, 4, 5
+	)
+	bd.LoadInt(rI, 0).LoadInt(rN, int64(b.N)).LoadInt(rOne, 1)
+	bd.Label("loop")
+	bd.Capture(rK, "resume")
+	bd.Move(rV, rI)
+	bd.Throw(rK, rV) // capture + throw per iteration
+	bd.Label("resume")
+	bd.Move(rI, rK) // thrown value = old i
+	bd.Add(rI, rI, rOne)
+	bd.Less(rCmp, rI, rN)
+	bd.BranchIf(rCmp, "loop")
+	bd.Halt(rI)
+	m := testMachine(1 << 20)
+	p := m.NewProc(bd.MustBuild())
+	b.ResetTimer()
+	if _, err := p.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkVMAllocation measures bump allocation through the clean-point
+// protocol.
+func BenchmarkVMAllocation(b *testing.B) {
+	bd := NewBuilder()
+	bd.LoadInt(0, 0).LoadInt(1, 1).LoadInt(2, int64(b.N))
+	bd.Label("loop")
+	bd.Record(3, 0, 2) // 3-word record per iteration
+	bd.Add(0, 0, 1)
+	bd.Less(4, 0, 2)
+	bd.BranchIf(4, "loop")
+	bd.Halt(0)
+	m := testMachine(1 << 18)
+	p := m.NewProc(bd.MustBuild())
+	b.ResetTimer()
+	if _, err := p.Run(0); err != nil {
+		b.Fatal(err)
+	}
+}

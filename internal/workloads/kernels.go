@@ -1,0 +1,277 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/syncx"
+	"repro/internal/threads"
+)
+
+// Abisort sorts 2^k random integers with the classic bitonic sorting
+// network, parallelized per phase (the documented substitution for
+// adaptive bitonic sort: same log^2 n phase structure).  It returns a
+// positional checksum of the sorted array.
+func Abisort(s *threads.System, workers, n int, seed int64) int64 {
+	if n&(n-1) != 0 {
+		panic("workloads: abisort size must be a power of two")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(rng.Intn(1 << 20))
+	}
+
+	// Enumerate the (k, j) phases of the bitonic network.
+	type phase struct{ k, j int }
+	var phases []phase
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			phases = append(phases, phase{k, j})
+		}
+	}
+
+	parallelPhases(s, workers, len(phases), func(w, ph int) {
+		k, j := phases[ph].k, phases[ph].j
+		lo, hi := chunk(n, workers, w)
+		for i := lo; i < hi; i++ {
+			ixj := i ^ j
+			if ixj <= i {
+				continue
+			}
+			asc := i&k == 0
+			if (asc && a[i] > a[ixj]) || (!asc && a[i] < a[ixj]) {
+				a[i], a[ixj] = a[ixj], a[i]
+			}
+		}
+	})
+
+	var sum int64
+	for i, v := range a {
+		sum += int64(i+1) * v
+	}
+	return sum
+}
+
+// IsSortedCheck re-runs the bitonic sort and reports whether the output
+// is sorted; used by tests.
+func IsSortedCheck(s *threads.System, workers, n int, seed int64) bool {
+	// Reproduce the input and sort it sequentially for comparison.
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int64, n)
+	for i := range a {
+		a[i] = int64(rng.Intn(1 << 20))
+	}
+	// Sequential bitonic (same network).
+	for k := 2; k <= n; k *= 2 {
+		for j := k / 2; j > 0; j /= 2 {
+			for i := 0; i < n; i++ {
+				ixj := i ^ j
+				if ixj <= i {
+					continue
+				}
+				asc := i&k == 0
+				if (asc && a[i] > a[ixj]) || (!asc && a[i] < a[ixj]) {
+					a[i], a[ixj] = a[ixj], a[i]
+				}
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		if a[i-1] > a[i] {
+			return false
+		}
+	}
+	var want int64
+	for i, v := range a {
+		want += int64(i+1) * v
+	}
+	return Abisort(s, workers, n, seed) == want
+}
+
+// Simple runs `steps` timesteps of a hydrodynamics-flavoured kernel on an
+// n x n grid: a sequential global timestep reduction followed by parallel
+// stencil sweeps over pressure, velocity and energy fields (the
+// documented simplification of the Livermore SIMPLE code, preserving its
+// narrow-reduction / wide-sweep alternation).  Fixed-point integer
+// arithmetic keeps the checksum exact.
+func Simple(s *threads.System, workers, n, steps int, seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	alloc := func() [][]int64 {
+		g := make([][]int64, n)
+		for i := range g {
+			g[i] = make([]int64, n)
+			for j := range g[i] {
+				g[i][j] = int64(rng.Intn(1000) + 1)
+			}
+		}
+		return g
+	}
+	p := alloc() // pressure
+	v := alloc() // velocity
+	e := alloc() // energy
+
+	partial := make([]int64, workers)
+	var dt int64
+
+	// Per step: phase 0 = parallel partial min; phase 1 = sequential
+	// reduce; phase 2 = velocity sweep; phase 3 = energy sweep.
+	parallelPhases(s, workers, 4*steps, func(w, ph int) {
+		switch ph % 4 {
+		case 0: // courant condition: min over the grid
+			lo, hi := chunk(n, workers, w)
+			min := int64(1) << 62
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					c := p[i][j] + v[i][j]
+					if c < min {
+						min = c
+					}
+				}
+			}
+			partial[w] = min
+		case 1:
+			if w == 0 {
+				dt = int64(1) << 62
+				for _, m := range partial {
+					if m < dt {
+						dt = m
+					}
+				}
+				dt = dt%97 + 1 // keep magnitudes bounded
+			}
+		case 2: // velocity from pressure gradient
+			lo, hi := chunk(n, workers, w)
+			for i := max(lo, 1); i < min(hi, n-1); i++ {
+				for j := 1; j < n-1; j++ {
+					grad := p[i+1][j] - p[i-1][j] + p[i][j+1] - p[i][j-1]
+					v[i][j] = (v[i][j] + dt*grad/4) % 1_000_003
+				}
+			}
+		case 3: // energy from velocity divergence
+			lo, hi := chunk(n, workers, w)
+			for i := max(lo, 1); i < min(hi, n-1); i++ {
+				for j := 1; j < n-1; j++ {
+					div := v[i+1][j] - v[i-1][j] + v[i][j+1] - v[i][j-1]
+					e[i][j] = (e[i][j] + dt*div/4) % 1_000_003
+					p[i][j] = (p[i][j] + e[i][j]/8) % 1_000_003
+				}
+			}
+		}
+	})
+
+	var sum int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum += p[i][j] + v[i][j] + 2*e[i][j]
+		}
+	}
+	return sum
+}
+
+// MM multiplies two random n x n integer matrices with one thread per row
+// band and returns a checksum of the product.
+func MM(s *threads.System, workers, n int, seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([][]int64, n)
+	b := make([][]int64, n)
+	c := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int64, n)
+		b[i] = make([]int64, n)
+		c[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = int64(rng.Intn(100))
+			b[i][j] = int64(rng.Intn(100))
+		}
+	}
+
+	wg := syncx.NewWaitGroup(s, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		s.Fork(func() {
+			lo, hi := chunk(n, workers, w)
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					var acc int64
+					for k := 0; k < n; k++ {
+						acc += a[i][k] * b[k][j]
+					}
+					c[i][j] = acc
+				}
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+
+	var sum int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum += int64(i+j+1) * c[i][j]
+		}
+	}
+	return sum
+}
+
+// MMReference is the sequential reference for MM, used by tests.
+func MMReference(n int, seed int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([][]int64, n)
+	b := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]int64, n)
+		b[i] = make([]int64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = int64(rng.Intn(100))
+			b[i][j] = int64(rng.Intn(100))
+		}
+	}
+	var sum int64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var acc int64
+			for k := 0; k < n; k++ {
+				acc += a[i][k] * b[k][j]
+			}
+			sum += int64(i+j+1) * acc
+		}
+	}
+	return sum
+}
+
+// SeqCopies runs `workers` independent allocation-heavy list-building
+// computations, one per thread — the paper's seq control.  The checksum
+// combines every copy's result.
+func SeqCopies(s *threads.System, workers int, seed int64) int64 {
+	type cell struct {
+		v    int64
+		next *cell
+	}
+	results := make([]int64, workers)
+	wg := syncx.NewWaitGroup(s, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		s.Fork(func() {
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var head *cell
+			for i := 0; i < 20000; i++ {
+				head = &cell{v: int64(rng.Intn(1000)), next: head}
+				if i%100 == 99 {
+					head = head.next // drop a cell: garbage
+				}
+			}
+			var sum int64
+			for c := head; c != nil; c = c.next {
+				sum += c.v
+			}
+			results[w] = sum
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	var sum int64
+	for _, r := range results {
+		sum += r
+	}
+	return sum
+}

@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/proc"
+	"repro/internal/threads"
+)
+
+// run executes f as the root thread of a fresh w-proc thread system and
+// returns its result.
+func run(w int, f func(s *threads.System) int64) int64 {
+	s := threads.New(proc.New(w), threads.Options{})
+	var out int64
+	s.Run(func() { out = f(s) })
+	return out
+}
+
+func TestAllpairsMatchesReference(t *testing.T) {
+	want := FloydReference(40, 7)
+	for _, w := range []int{1, 2, 4} {
+		got := run(w, func(s *threads.System) int64 { return Allpairs(s, w, 40, 7) })
+		if got != want {
+			t.Fatalf("workers=%d: allpairs = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestAllpairsDeterministicAcrossWorkerCounts(t *testing.T) {
+	a := run(1, func(s *threads.System) int64 { return Allpairs(s, 1, 75, 1) })
+	b := run(4, func(s *threads.System) int64 { return Allpairs(s, 4, 75, 1) })
+	if a != b {
+		t.Fatalf("allpairs differs: %d vs %d", a, b)
+	}
+}
+
+func TestMSTMatchesReference(t *testing.T) {
+	want := MSTReference(120, 3)
+	for _, w := range []int{1, 2, 4} {
+		got := run(w, func(s *threads.System) int64 { return MST(s, w, 120, 3) })
+		if got != want {
+			t.Fatalf("workers=%d: mst = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestAbisortSorts(t *testing.T) {
+	for _, w := range []int{1, 2, 4} {
+		ok := false
+		run(w, func(s *threads.System) int64 {
+			ok = IsSortedCheck(s, w, 1<<10, 11)
+			return 0
+		})
+		if !ok {
+			t.Fatalf("workers=%d: abisort output mismatch", w)
+		}
+	}
+}
+
+func TestSimpleDeterministicAcrossWorkerCounts(t *testing.T) {
+	a := run(1, func(s *threads.System) int64 { return Simple(s, 1, 64, 2, 5) })
+	b := run(3, func(s *threads.System) int64 { return Simple(s, 3, 64, 2, 5) })
+	c := run(4, func(s *threads.System) int64 { return Simple(s, 4, 64, 2, 5) })
+	if a != b || b != c {
+		t.Fatalf("simple checksums differ: %d %d %d", a, b, c)
+	}
+}
+
+func TestMMMatchesReference(t *testing.T) {
+	want := MMReference(60, 9)
+	for _, w := range []int{1, 3, 4} {
+		got := run(w, func(s *threads.System) int64 { return MM(s, w, 60, 9) })
+		if got != want {
+			t.Fatalf("workers=%d: mm = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestSeqCopiesDeterministic(t *testing.T) {
+	a := run(2, func(s *threads.System) int64 { return SeqCopies(s, 2, 1) })
+	b := run(2, func(s *threads.System) int64 { return SeqCopies(s, 2, 1) })
+	if a != b {
+		t.Fatalf("seq not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestSpecsRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size workloads")
+	}
+	for _, spec := range Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			got := run(2, func(s *threads.System) int64 { return spec.Run(s, 2, 1) })
+			// Checksums are workload-defined; just require a stable value.
+			again := run(2, func(s *threads.System) int64 { return spec.Run(s, 2, 1) })
+			if got != again {
+				t.Fatalf("%s unstable: %d vs %d", spec.Name, got, again)
+			}
+		})
+	}
+}
+
+func TestChunkPartition(t *testing.T) {
+	for _, n := range []int{1, 7, 75, 100} {
+		for _, workers := range []int{1, 2, 3, 8, 16} {
+			covered := 0
+			prevHi := 0
+			for w := 0; w < workers; w++ {
+				lo, hi := chunk(n, workers, w)
+				if lo != prevHi {
+					t.Fatalf("gap at n=%d workers=%d w=%d", n, workers, w)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n || prevHi != n {
+				t.Fatalf("partition covers %d of %d", covered, n)
+			}
+		}
+	}
+}
