@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -90,5 +91,16 @@ func main() {
 		fmt.Printf("  bus:        %.1f MB/s (%d bytes total)\n", r.BusMBps(), r.BusBytes)
 		fmt.Printf("  GCs:        %d, %.1f ms sequential collection\n", r.GCs, float64(r.GCNS)/1e6)
 		fmt.Printf("  lock ops:   %d\n", r.Totals.LockOps)
+		fmt.Printf("  unified counters (machine registry, per-proc sharded):\n")
+		fmt.Print(indent(r.Metrics.Format(), "  "))
 	}
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }

@@ -7,6 +7,7 @@
 //
 //	mpbench [-bench all|allpairs|mst|abisort|simple|mm|seq]
 //	        [-maxp N] [-reps N] [-seed N] [-distributed] [-quantum d]
+//	        [-metrics] [-trace out.json]
 package main
 
 import (
@@ -16,9 +17,12 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/proc"
+	"repro/internal/spinlock"
 	"repro/internal/stats"
 	"repro/internal/threads"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -29,7 +33,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	distributed := flag.Bool("distributed", false, "use distributed run queues")
 	quantum := flag.Duration("quantum", 0, "preemption quantum (0 = none)")
+	showMetrics := flag.Bool("metrics", false, "print unified metrics snapshots per point")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the last run to this file")
 	flag.Parse()
+
+	if *showMetrics {
+		// Route spin-lock contention into the default registry; the hook
+		// has no cheap proc id, so the counter is unsharded.
+		spins := metrics.Default.Counter("spinlock.contended_spins")
+		spinlock.OnContention = func(n int64) { spins.Add(0, n) }
+	}
 
 	var specs []workloads.Spec
 	for _, s := range workloads.Specs() {
@@ -45,15 +58,25 @@ func main() {
 	fmt.Printf("native MP benchmarks on %d-CPU host (GOMAXPROCS=%d)\n",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0))
 	fmt.Printf("%-10s %6s %12s %9s\n", "bench", "procs", "time", "speedup")
+	var lastTracer *trace.Tracer
 	for _, spec := range specs {
 		var times []time.Duration
 		for p := 1; p <= *maxP; p++ {
 			best := time.Duration(0)
 			var sum int64
+			var lastSys *threads.System
+			defBase := metrics.Default.Snapshot()
 			for r := 0; r < *reps; r++ {
+				var tr *trace.Tracer
+				if *tracePath != "" {
+					tr = trace.New(p, 1<<14)
+					tr.Enable()
+					lastTracer = tr
+				}
 				sys := threads.New(proc.New(p), threads.Options{
 					Distributed: *distributed,
 					Quantum:     *quantum,
+					Tracer:      tr,
 				})
 				start := time.Now()
 				sys.Run(func() { sum = spec.Run(sys, p, *seed) })
@@ -61,12 +84,39 @@ func main() {
 				if best == 0 || el < best {
 					best = el
 				}
+				lastSys = sys
 			}
 			times = append(times, best)
 			sp := stats.SelfRelative(times)
 			fmt.Printf("%-10s %6d %12s %9.2f   (checksum %d)\n",
 				spec.Name, p, best.Round(time.Microsecond), sp[p-1], sum)
+			if *showMetrics {
+				fmt.Printf("  platform registry (last rep):\n")
+				fmt.Print(lastSys.Metrics().Snapshot().Format())
+				if d := metrics.Default.Snapshot().Diff(defBase); len(d.Counters) > 0 {
+					fmt.Printf("  default registry diff (sel/cml/spinlock, all reps):\n")
+					fmt.Print(d.Format())
+				}
+			}
 		}
 		fmt.Println()
+	}
+
+	if *tracePath != "" && lastTracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := lastTracer.WriteChromeJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d events (%d dropped), load via chrome://tracing or ui.perfetto.dev\n",
+			*tracePath, len(lastTracer.Events()), lastTracer.Dropped())
 	}
 }

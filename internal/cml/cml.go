@@ -29,7 +29,20 @@ import (
 
 	"repro/internal/cont"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/queue"
+)
+
+// Protocol counters on the default registry, sharded by the syncing
+// thread's id.  sends/receives count channel poll attempts (one per
+// Sync per channel branch reached); commits count Syncs that completed;
+// aborted_polls count committed-lock races lost against another branch.
+var (
+	mSyncs   = metrics.Default.Counter("cml.syncs")
+	mSends   = metrics.Default.Counter("cml.sends")
+	mRecvs   = metrics.Default.Counter("cml.receives")
+	mCommits = metrics.Default.Counter("cml.commits")
+	mAborts  = metrics.Default.Counter("cml.aborted_polls")
 )
 
 // Scheduler is the slice of the thread package the protocol needs;
@@ -75,24 +88,39 @@ type Event[T any] interface {
 	selectable() bool
 }
 
+// cachedID wraps a Scheduler so the repeated ID lookups inside one Sync
+// (metric shards, wait-queue entries) resolve to a single goroutine-local
+// read done at Sync entry.
+type cachedID struct {
+	Scheduler
+	id int
+}
+
+func (c cachedID) ID() int { return c.id }
+
 // Sync synchronizes on an event, blocking the calling thread until the
 // event commits, and returns the event's result (CML: sync).
 func Sync[T any](s Scheduler, ev Event[T]) T {
-	ev = ev.force(s)
-	if v, ok := ev.poll(s); ok {
+	self := s.ID()
+	mSyncs.Inc(self)
+	cs := cachedID{Scheduler: s, id: self}
+	ev = ev.force(cs)
+	if v, ok := ev.poll(cs); ok {
+		mCommits.Inc(self)
 		return v
 	}
 	return cont.Callcc(func(k *cont.Cont[T]) T {
-		w := commitRef[T]{id: s.ID()}
+		w := commitRef[T]{id: self}
 		if ev.selectable() {
 			w.committed = core.NewMutexLock()
 		}
 		w.resume = func(v T) {
 			s.Reschedule(func() { cont.Throw(k, v) }, w.id)
 		}
-		r := ev.block(s, w)
+		r := ev.block(cs, w)
 		switch r.kind {
 		case committedNow:
+			mCommits.Inc(self)
 			return r.val // implicit throw to k
 		default:
 			// Parked, or already committed by a partner: either way the
@@ -291,6 +319,7 @@ func (e recvEvt[T]) force(Scheduler) Event[T] { return e }
 func (e recvEvt[T]) selectable() bool         { return true }
 
 func (e recvEvt[T]) poll(s Scheduler) (T, bool) {
+	mRecvs.Inc(s.ID())
 	ch := e.ch
 	ch.lk.Lock()
 	snd, err := ch.sndrs.Deq()
@@ -315,6 +344,7 @@ func (e recvEvt[T]) block(s Scheduler, w commitRef[T]) blockRes[T] {
 			return blockRes[T]{kind: committedNow, val: snd.val}
 		}
 		// Some other branch already committed us; put the sender back.
+		mAborts.Inc(w.id)
 		ch.sndrs.Enq(snd)
 		ch.lk.Unlock()
 		return blockRes[T]{kind: already}
@@ -337,6 +367,8 @@ func (e sendEvt[T]) force(Scheduler) Event[core.Unit] { return e }
 func (e sendEvt[T]) selectable() bool                 { return false }
 
 func (e sendEvt[T]) poll(s Scheduler) (core.Unit, bool) {
+	self := s.ID()
+	mSends.Inc(self)
 	ch := e.ch
 	ch.lk.Lock()
 	for {
@@ -351,6 +383,7 @@ func (e sendEvt[T]) poll(s Scheduler) (core.Unit, bool) {
 			return core.Unit{}, true
 		}
 		// Stale receiver entry (committed via another channel): discard.
+		mAborts.Inc(self)
 	}
 }
 
@@ -367,6 +400,7 @@ func (e sendEvt[T]) block(s Scheduler, w commitRef[core.Unit]) blockRes[core.Uni
 			r.resume(e.v)
 			return blockRes[core.Unit]{kind: committedNow, val: core.Unit{}}
 		}
+		mAborts.Inc(w.id)
 	}
 	resume := w.resume
 	ch.sndrs.Enq(csndr[T]{val: e.v, resume: func() { resume(core.Unit{}) }, id: w.id})

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mlheap"
+	"repro/internal/trace"
 )
 
 // World is a shared heap plus its clean-point protocol state.
@@ -41,6 +42,9 @@ type World struct {
 	arrived    int
 	generation uint64
 	gcs        int
+
+	tracer *trace.Tracer
+	evGC   trace.EventID
 }
 
 // NewWorld wraps a heap.  The heap's configured proc count bounds how
@@ -53,6 +57,16 @@ func NewWorld(cfg mlheap.Config) *World {
 
 // Heap exposes the underlying heap for reads (Get/Set/Len).
 func (w *World) Heap() *mlheap.Heap { return w.heap }
+
+// SetTracer attaches an event tracer; each collection appears as a
+// "gc.collect" span on the collecting proc's ring.  Call before the
+// first allocation.
+func (w *World) SetTracer(t *trace.Tracer) {
+	w.tracer = t
+	if t != nil {
+		w.evGC = t.Define("gc.collect")
+	}
+}
 
 // AddRoot registers a world-wide root cell: its Value survives
 // collections and is forwarded in place regardless of which procs are
@@ -88,6 +102,7 @@ func (w *World) GCs() int {
 type Alloc struct {
 	w       *World
 	pa      *mlheap.ProcAlloc
+	idx     int // attach order: the proc's trace ring
 	roots   []*mlheap.Value
 	pending []*mlheap.Value // in-flight Record slots, roots during a GC
 }
@@ -96,7 +111,7 @@ type Alloc struct {
 func (w *World) Attach() *Alloc {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	a := &Alloc{w: w, pa: w.heap.NewProcAlloc()}
+	a := &Alloc{w: w, pa: w.heap.NewProcAlloc(), idx: len(w.procs)}
 	w.procs = append(w.procs, a)
 	return a
 }
@@ -219,19 +234,24 @@ func (a *Alloc) waitForGCLocked(extra []*mlheap.Value) {
 // collectLocked performs the sequential collection over every registered
 // root and releases the barrier.  Called with w.mu held.
 func (w *World) collectLocked(collector *Alloc) {
+	shard := 0
+	if collector != nil {
+		shard = collector.idx
+	}
+	w.tracer.Begin(shard, w.evGC)
 	roots := append([]*mlheap.Value(nil), w.global...)
 	for _, p := range w.procs {
 		roots = append(roots, p.roots...)
 		roots = append(roots, p.pending...)
 	}
 	w.heap.Collect(roots)
+	w.tracer.End(shard, w.evGC)
 	w.gcs++
 	w.gcNeeded = false
 	w.gcFlag.Store(false)
 	w.arrived = 0
 	w.generation++
 	w.cond.Broadcast()
-	_ = collector
 }
 
 // Bytes allocates a byte object (an ML string), synchronizing with

@@ -23,6 +23,8 @@ import (
 	"fmt"
 
 	"repro/internal/desim"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Config describes a machine model.
@@ -124,7 +126,8 @@ var Configs = map[string]func() Config{
 
 // ProcStats is the per-processor time and traffic breakdown.  BusyNS +
 // BusWaitNS + LockWaitNS + GCWorkNS + GCStallNS + IdleNS accounts for a
-// proc's entire active lifetime.
+// proc's entire active lifetime.  It is a merged view over the machine's
+// metrics registry; Metrics exposes the registry itself.
 type ProcStats struct {
 	BusyNS     int64 // computing and transferring (useful work)
 	BusWaitNS  int64 // queueing for the shared bus
@@ -136,6 +139,25 @@ type ProcStats struct {
 	LockOps    int64
 	StartNS    int64 // virtual time the proc started
 	EndNS      int64 // virtual time the proc finished
+}
+
+// machMetrics caches the machine's counter handles; every accounting
+// line in the model body is a sharded counter add on these.
+type machMetrics struct {
+	busy       *metrics.Counter
+	busWait    *metrics.Counter
+	lockWait   *metrics.Counter
+	gcWork     *metrics.Counter
+	gcStall    *metrics.Counter
+	idle       *metrics.Counter
+	allocWords *metrics.Counter
+	lockOps    *metrics.Counter
+}
+
+// procSpan records a proc's simulated lifetime; spans are not counters,
+// so they live beside the registry.
+type procSpan struct {
+	start, end int64
 }
 
 // Machine is one simulated run: a config, an engine, a bus, a GC state,
@@ -153,8 +175,14 @@ type Machine struct {
 	gcCount      int
 	gcNS         int64
 
-	stats []ProcStats
+	reg   *metrics.Registry
+	mm    machMetrics
+	spans []procSpan
 	next  int
+
+	tracer     *trace.Tracer
+	evGC       trace.EventID
+	evLockWait trace.EventID
 }
 
 // New builds a machine with a deterministic seed and a workload survival
@@ -164,11 +192,42 @@ func New(cfg Config, seed int64, survival float64) *Machine {
 	if survival < 0 || survival > 1 {
 		panic("machine: survival must be in [0,1]")
 	}
-	return &Machine{
+	m := &Machine{
 		cfg:      cfg,
 		eng:      desim.New(seed),
 		survival: survival,
+		reg:      metrics.NewRegistry(cfg.Procs),
 	}
+	m.mm = machMetrics{
+		busy:       m.reg.Counter("machine.busy_ns"),
+		busWait:    m.reg.Counter("machine.buswait_ns"),
+		lockWait:   m.reg.Counter("machine.lockwait_ns"),
+		gcWork:     m.reg.Counter("machine.gcwork_ns"),
+		gcStall:    m.reg.Counter("machine.gcstall_ns"),
+		idle:       m.reg.Counter("machine.idle_ns"),
+		allocWords: m.reg.Counter("machine.alloc_words"),
+		lockOps:    m.reg.Counter("machine.lock_ops"),
+	}
+	return m
+}
+
+// Metrics exposes the machine's registry for unified snapshots.
+func (m *Machine) Metrics() *metrics.Registry { return m.reg }
+
+// EnableTracing attaches an event tracer driven by the engine's virtual
+// clock: collections appear as spans on the collecting proc's timeline
+// and contended lock acquisitions as instants carrying the wait in
+// nanoseconds.  ringSize is events retained per proc (rounded up to a
+// power of two).  The returned tracer is ready for WriteChromeJSON
+// after Run.
+func (m *Machine) EnableTracing(ringSize int) *trace.Tracer {
+	t := trace.New(m.cfg.Procs, ringSize)
+	t.SetClock(func() int64 { return int64(m.eng.Now()) })
+	t.Enable()
+	m.tracer = t
+	m.evGC = t.Define("machine.gc")
+	m.evLockWait = t.Define("machine.lock_wait")
+	return t
 }
 
 // Config returns the machine's configuration.
@@ -202,12 +261,12 @@ func (m *Machine) Spawn(body func(p *P)) *P {
 	}
 	id := m.next
 	m.next++
-	m.stats = append(m.stats, ProcStats{})
+	m.spans = append(m.spans, procSpan{})
 	p := &P{m: m, id: id}
 	p.dp = m.eng.Spawn(fmt.Sprintf("cpu%d", id), func(dp *desim.Proc) {
-		m.stats[id].StartNS = m.eng.Now()
+		m.spans[id].start = m.eng.Now()
 		body(p)
-		m.stats[id].EndNS = m.eng.Now()
+		m.spans[id].end = m.eng.Now()
 	})
 	return p
 }
@@ -215,13 +274,39 @@ func (m *Machine) Spawn(body func(p *P)) *P {
 // Run drives the simulation to completion and returns the makespan.
 func (m *Machine) Run() desim.Time { return m.eng.Run() }
 
-// Stats returns the per-proc breakdown.
-func (m *Machine) Stats() []ProcStats { return m.stats }
+// Stats returns the per-proc breakdown, reconstructed from the metrics
+// registry's per-shard values.
+func (m *Machine) Stats() []ProcStats {
+	busy := m.mm.busy.PerShard()
+	busWait := m.mm.busWait.PerShard()
+	lockWait := m.mm.lockWait.PerShard()
+	gcWork := m.mm.gcWork.PerShard()
+	gcStall := m.mm.gcStall.PerShard()
+	idle := m.mm.idle.PerShard()
+	alloc := m.mm.allocWords.PerShard()
+	lockOps := m.mm.lockOps.PerShard()
+	out := make([]ProcStats, len(m.spans))
+	for i := range out {
+		out[i] = ProcStats{
+			BusyNS:     busy[i],
+			BusWaitNS:  busWait[i],
+			LockWaitNS: lockWait[i],
+			GCWorkNS:   gcWork[i],
+			GCStallNS:  gcStall[i],
+			IdleNS:     idle[i],
+			AllocWords: alloc[i],
+			LockOps:    lockOps[i],
+			StartNS:    m.spans[i].start,
+			EndNS:      m.spans[i].end,
+		}
+	}
+	return out
+}
 
 // Totals sums the per-proc breakdown.
 func (m *Machine) Totals() ProcStats {
 	var t ProcStats
-	for _, s := range m.stats {
+	for _, s := range m.Stats() {
 		t.BusyNS += s.BusyNS
 		t.BusWaitNS += s.BusWaitNS
 		t.LockWaitNS += s.LockWaitNS
@@ -244,9 +329,8 @@ func (m *Machine) BusBytes() int64 { return m.busBytes }
 // progress: procs reach clean points between operations, and a proc
 // arriving at one during a collection waits for the collector.
 func (p *P) stall() {
-	st := &p.m.stats[p.id]
 	if now := p.m.eng.Now(); now < p.m.pauseUntil {
-		st.GCStallNS += p.m.pauseUntil - now
+		p.m.mm.gcStall.Add(p.id, p.m.pauseUntil-now)
 		p.dp.AdvanceTo(p.m.pauseUntil)
 	}
 }
@@ -258,7 +342,7 @@ func (p *P) Compute(instrs int64) {
 		return
 	}
 	ns := int64(float64(instrs) / p.m.cfg.MIPS * 1e9)
-	p.m.stats[p.id].BusyNS += ns
+	p.m.mm.busy.Add(p.id, ns)
 	p.dp.Advance(ns)
 }
 
@@ -270,15 +354,14 @@ func (p *P) Alloc(words int64) {
 	if words <= 0 {
 		return
 	}
-	st := &p.m.stats[p.id]
-	st.AllocWords += words
+	p.m.mm.allocWords.Add(p.id, words)
 
 	if p.m.cfg.CacheResidentNursery {
 		// §7 future work: the young generation fits in the cache, so
 		// allocation is a cache-speed store (one cycle per word); only
 		// survivors cross the bus, at collection time.
 		ns := int64(float64(words) / p.m.cfg.MIPS * 1e9)
-		st.BusyNS += ns
+		p.m.mm.busy.Add(p.id, ns)
 		p.dp.Advance(ns)
 	} else {
 		bytes := words * p.m.cfg.WordBytes
@@ -290,8 +373,8 @@ func (p *P) Alloc(words int64) {
 		}
 		p.m.busBusyUntil = start + dur
 		p.m.busBytes += bytes
-		st.BusWaitNS += start - now
-		st.BusyNS += dur
+		p.m.mm.busWait.Add(p.id, start-now)
+		p.m.mm.busy.Add(p.id, dur)
 		p.dp.AdvanceTo(start + dur)
 	}
 
@@ -340,6 +423,7 @@ func (p *P) collect() {
 	end := now + dur
 	liveBytes := int64(live) * m.cfg.WordBytes
 	m.busBytes += liveBytes
+	m.tracer.Begin(p.id, m.evGC)
 	if m.cfg.ConcurrentGC {
 		// §7 future work: the collector runs beside the mutators.  Its
 		// copying traffic is an ordinary queued bus transfer rather than
@@ -354,8 +438,9 @@ func (p *P) collect() {
 		if end < start+xfer {
 			end = start + xfer
 		}
-		m.stats[p.id].GCWorkNS += end - now
+		m.mm.gcWork.Add(p.id, end-now)
 		p.dp.AdvanceTo(end)
+		m.tracer.End(p.id, m.evGC)
 		return
 	}
 	// Sequential stop-the-world collection (§5): every proc stalls at its
@@ -367,8 +452,9 @@ func (p *P) collect() {
 	if m.busBusyUntil < end {
 		m.busBusyUntil = end
 	}
-	m.stats[p.id].GCWorkNS += dur
+	m.mm.gcWork.Add(p.id, dur)
 	p.dp.AdvanceTo(end)
+	m.tracer.End(p.id, m.evGC)
 }
 
 // Park blocks the proc until another proc calls UnparkInto(p); the time
@@ -376,7 +462,7 @@ func (p *P) collect() {
 func (p *P) Park() {
 	start := p.m.eng.Now()
 	p.dp.Park()
-	p.m.stats[p.id].IdleNS += p.m.eng.Now() - start
+	p.m.mm.idle.Add(p.id, p.m.eng.Now()-start)
 }
 
 // Unpark makes a parked proc q runnable now.
@@ -384,6 +470,6 @@ func (p *P) Unpark(q *P) { p.dp.Unpark(q.dp) }
 
 // AdvanceIdle lets d nanoseconds pass as idle time (spin-waiting for work).
 func (p *P) AdvanceIdle(d int64) {
-	p.m.stats[p.id].IdleNS += d
+	p.m.mm.idle.Add(p.id, d)
 	p.dp.Advance(d)
 }

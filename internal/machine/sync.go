@@ -35,37 +35,39 @@ func lockSplit(pair int64) (acq, hold, rel int64) {
 // behind the current holder if contended.
 func (p *P) Lock(l *SimLock) {
 	p.stall()
-	st := &p.m.stats[p.id]
-	st.LockOps++
+	mm := &p.m.mm
+	mm.lockOps.Inc(p.id)
 	acq, hold, _ := lockSplit(p.m.cfg.LockPairNS)
-	st.BusyNS += acq
+	mm.busy.Add(p.id, acq)
 	p.dp.Advance(acq)
 	if l.held {
 		l.waiters = append(l.waiters, p)
 		start := p.m.eng.Now()
 		p.dp.Park()
 		// Resumed holding the lock (direct hand-off from the releaser).
-		st.LockWaitNS += p.m.eng.Now() - start
+		waited := p.m.eng.Now() - start
+		mm.lockWait.Add(p.id, waited)
+		p.m.tracer.Emit(p.id, p.m.evLockWait, waited)
 	} else {
 		l.held = true
 	}
-	st.BusyNS += hold
+	mm.busy.Add(p.id, hold)
 	p.dp.Advance(hold)
 }
 
 // TryLock attempts to acquire l without waiting.
 func (p *P) TryLock(l *SimLock) bool {
 	p.stall()
-	st := &p.m.stats[p.id]
-	st.LockOps++
+	mm := &p.m.mm
+	mm.lockOps.Inc(p.id)
 	acq, hold, _ := lockSplit(p.m.cfg.LockPairNS)
-	st.BusyNS += acq
+	mm.busy.Add(p.id, acq)
 	p.dp.Advance(acq)
 	if l.held {
 		return false
 	}
 	l.held = true
-	st.BusyNS += hold
+	mm.busy.Add(p.id, hold)
 	p.dp.Advance(hold)
 	return true
 }
@@ -86,7 +88,7 @@ func (p *P) Unlock(l *SimLock) {
 	} else {
 		l.held = false
 	}
-	p.m.stats[p.id].BusyNS += rel
+	p.m.mm.busy.Add(p.id, rel)
 	p.dp.Advance(rel)
 }
 
@@ -124,7 +126,7 @@ func (p *P) Await(b *SimBarrier) {
 	b.waiting = append(b.waiting, p)
 	start := p.m.eng.Now()
 	p.dp.Park()
-	p.m.stats[p.id].IdleNS += p.m.eng.Now() - start
+	p.m.mm.idle.Add(p.id, p.m.eng.Now()-start)
 }
 
 // LockLatency measures one uncontended lock+unlock round trip on the

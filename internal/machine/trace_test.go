@@ -1,0 +1,49 @@
+package machine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// DESIGN.md invariant: the simulation is deterministic — the same seed
+// must produce the identical virtual-time event trace, with tracing
+// enabled.  Guards against nondeterminism leaking into the desim engine
+// or the tracer's clock plumbing.
+func TestTraceDeterministic(t *testing.T) {
+	run := func() []trace.Event {
+		m := New(SequentS81(), 42, 0.05)
+		tr := m.EnableTracing(1 << 12)
+		lock := m.NewLock()
+		for i := 0; i < 4; i++ {
+			m.Spawn(func(p *P) {
+				for j := 0; j < 50; j++ {
+					p.Work(10_000, 2_000)
+					p.Lock(lock)
+					p.Compute(40)
+					p.Unlock(lock)
+				}
+			})
+		}
+		m.Run()
+		return tr.Events()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("trace is empty; workload produced no GC or lock-wait events")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different traces: %d vs %d events", len(a), len(b))
+	}
+	// The counters the trace summarizes must be deterministic too.
+	s1 := New(SequentS81(), 7, 0.05)
+	s2 := New(SequentS81(), 7, 0.05)
+	for _, m := range []*Machine{s1, s2} {
+		m.Spawn(func(p *P) { p.Work(100_000, 30_000) })
+		m.Run()
+	}
+	if !reflect.DeepEqual(s1.Totals(), s2.Totals()) {
+		t.Fatalf("same seed produced different totals:\n%+v\n%+v", s1.Totals(), s2.Totals())
+	}
+}

@@ -1,0 +1,338 @@
+// Package metrics is the repository's unified observability spine: a
+// registry of named, per-proc-sharded counters and fixed-bucket
+// histograms replacing the bespoke Stats structs that used to live in
+// proc, threads, mlheap and machine.
+//
+// The design follows the paper's own discipline for the allocation fast
+// path (§5): anything a proc does on every operation must cost nothing
+// and touch no shared cache line.  Counter.Inc and Histogram.Observe
+// are therefore zero-allocation single atomic adds on a shard private
+// to the calling proc, with every shard padded to its own cache line —
+// the per-participant counters the contention literature (Chalmers &
+// Pedersen) prescribes, instead of the shared atomics that bounce lines
+// at 16 procs.  All merging work (summing shards, diffing runs) happens
+// on the cold read side via Snapshot and Diff.
+//
+// Shard indices are masked to the registry's power-of-two shard count,
+// so any non-negative id (proc id, thread id) is a safe shard key.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// CacheLineBytes is the padding unit for per-proc shards.  128 covers
+// both 64-byte x86 lines (including adjacent-line prefetching, which
+// pairs them) and 128-byte lines on newer ARM parts.
+const CacheLineBytes = 128
+
+// padded is one shard: a counter cell alone on its cache line.
+type padded struct {
+	v atomic.Int64
+	_ [CacheLineBytes - 8]byte
+}
+
+// Counter is a monotone (or at least sum-meaningful) counter sharded
+// per proc.  Inc/Add are the zero-allocation hot path; Value and
+// PerShard merge on read.
+type Counter struct {
+	name   string
+	mask   uint32
+	shards []padded
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds 1 to the calling proc's shard.
+func (c *Counter) Inc(shard int) { c.shards[uint32(shard)&c.mask].v.Add(1) }
+
+// Add adds delta to the calling proc's shard.
+func (c *Counter) Add(shard int, delta int64) { c.shards[uint32(shard)&c.mask].v.Add(delta) }
+
+// Value sums all shards.
+func (c *Counter) Value() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+// PerShard returns a copy of the per-shard values.
+func (c *Counter) PerShard() []int64 {
+	out := make([]int64, len(c.shards))
+	for i := range c.shards {
+		out[i] = c.shards[i].v.Load()
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket histogram sharded per proc.  A value v
+// falls in bucket i when v <= Bounds[i]; the last bucket is overflow.
+// Observe is the zero-allocation hot path.
+type Histogram struct {
+	name   string
+	bounds []int64
+	mask   uint32
+	shards []histShard
+}
+
+type histShard struct {
+	counts []atomic.Int64 // len(bounds)+1, separately allocated per shard
+	sum    atomic.Int64
+	_      [CacheLineBytes - 8 - 24]byte
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Bounds returns the histogram's upper bucket bounds.
+func (h *Histogram) Bounds() []int64 { return append([]int64(nil), h.bounds...) }
+
+// Observe records v on the calling proc's shard.
+func (h *Histogram) Observe(shard int, v int64) {
+	s := &h.shards[uint32(shard)&h.mask]
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	s.counts[i].Add(1)
+	s.sum.Add(v)
+}
+
+// HistogramSnapshot is a histogram merged across shards.
+type HistogramSnapshot struct {
+	Bounds []int64
+	Counts []int64 // len(Bounds)+1; the last bucket is overflow
+	Count  int64
+	Sum    int64
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: make([]int64, len(h.bounds)+1),
+	}
+	for i := range h.shards {
+		for b := range h.shards[i].counts {
+			n := h.shards[i].counts[b].Load()
+			s.Counts[b] += n
+			s.Count += n
+		}
+		s.Sum += h.shards[i].sum.Load()
+	}
+	return s
+}
+
+// Registry holds named counters and histograms sharing one shard
+// geometry.  Counter/Histogram are get-or-create and safe for
+// concurrent use; the returned handles are cached by callers so the
+// registry lock never appears on a hot path.
+type Registry struct {
+	mu       sync.Mutex
+	shards   int
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns a registry whose counters carry one shard per
+// proc, rounded up to a power of two so shard keys can be masked.
+func NewRegistry(procs int) *Registry {
+	if procs < 1 {
+		procs = 1
+	}
+	n := 1
+	for n < procs {
+		n <<= 1
+	}
+	return &Registry{
+		shards:   n,
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Shards reports the registry's (power-of-two) shard count.
+func (r *Registry) Shards() int { return r.shards }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, mask: uint32(r.shards - 1), shards: make([]padded, r.shards)}
+	r.counters[name] = c
+	return c
+}
+
+// Histogram returns the named histogram with the given bucket bounds
+// (ascending), creating it on first use.  Bounds on an existing
+// histogram must match its registration.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]int64(nil), bounds...),
+		mask:   uint32(r.shards - 1),
+		shards: make([]histShard, r.shards),
+	}
+	for i := range h.shards {
+		h.shards[i].counts = make([]atomic.Int64, len(bounds)+1)
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry.
+type Snapshot struct {
+	Counters   map[string]int64
+	PerShard   map[string][]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures all instruments without blocking writers: reads are
+// per-shard atomic loads, so a snapshot taken mid-benchmark cannot
+// perturb Inc/Observe timing.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		PerShard:   make(map[string][]int64, len(counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for _, c := range counters {
+		per := c.PerShard()
+		var t int64
+		for _, v := range per {
+			t += v
+		}
+		s.Counters[c.name] = t
+		s.PerShard[c.name] = per
+	}
+	for _, h := range hists {
+		s.Histograms[h.name] = h.snapshot()
+	}
+	return s
+}
+
+// Get returns a counter total by name (0 when absent).
+func (s Snapshot) Get(name string) int64 { return s.Counters[name] }
+
+// Diff returns s - prev, the activity between two snapshots.
+// Instruments absent from prev are treated as zero, so a snapshot pair
+// straddling a run isolates that run even on a long-lived registry.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		PerShard:   make(map[string][]int64, len(s.PerShard)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, per := range s.PerShard {
+		d := append([]int64(nil), per...)
+		for i, pv := range prev.PerShard[name] {
+			if i < len(d) {
+				d[i] -= pv
+			}
+		}
+		out.PerShard[name] = d
+	}
+	for name, h := range s.Histograms {
+		d := HistogramSnapshot{
+			Bounds: append([]int64(nil), h.Bounds...),
+			Counts: append([]int64(nil), h.Counts...),
+			Count:  h.Count,
+			Sum:    h.Sum,
+		}
+		if p, ok := prev.Histograms[name]; ok && len(p.Counts) == len(d.Counts) {
+			for i := range d.Counts {
+				d.Counts[i] -= p.Counts[i]
+			}
+			d.Count -= p.Count
+			d.Sum -= p.Sum
+		}
+		out.Histograms[name] = d
+	}
+	return out
+}
+
+// Names returns the snapshot's counter names, sorted.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Format renders the snapshot as an aligned name/total table (counters
+// first, then histograms), in sorted order for stable output.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	width := 0
+	for name := range s.Counters {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for name := range s.Histograms {
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for _, name := range s.Names() {
+		fmt.Fprintf(&b, "  %-*s %12d\n", width, name, s.Counters[name])
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		hnames = append(hnames, name)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "  %-*s %12d", width, name, h.Count)
+		if h.Count > 0 {
+			fmt.Fprintf(&b, "  mean %.1f", float64(h.Sum)/float64(h.Count))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// defaultShards sizes the process-wide Default registry: generous
+// enough that distinct procs/threads rarely collide under the mask.
+const defaultShards = 64
+
+// Default is the process-wide registry used by packages that have no
+// natural owner instance to hang a registry on (sel, cml, the spinlock
+// contention hook).  Callers isolate a run with Snapshot/Diff pairs.
+var Default = NewRegistry(defaultShards)

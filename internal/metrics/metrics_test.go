@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterShardingAndMerge(t *testing.T) {
+	r := NewRegistry(4)
+	c := r.Counter("x")
+	c.Inc(0)
+	c.Inc(1)
+	c.Inc(1)
+	c.Add(3, 5)
+	if got := c.Value(); got != 8 {
+		t.Fatalf("Value = %d, want 8", got)
+	}
+	per := c.PerShard()
+	if per[0] != 1 || per[1] != 2 || per[3] != 5 {
+		t.Fatalf("PerShard = %v", per)
+	}
+	// Shard keys beyond the shard count mask down instead of panicking.
+	c.Inc(4 + 1)
+	if per := c.PerShard(); per[1] != 3 {
+		t.Fatalf("masked shard: PerShard = %v", per)
+	}
+}
+
+func TestCounterGetOrCreate(t *testing.T) {
+	r := NewRegistry(2)
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name returned distinct counters")
+	}
+	if r.Shards() != 2 {
+		t.Fatalf("Shards = %d, want 2", r.Shards())
+	}
+	if NewRegistry(5).Shards() != 8 {
+		t.Fatal("shard count not rounded to power of two")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry(2)
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(0, v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	want := []int64{2, 2, 0, 1} // <=10: {5,10}; <=100: {11,100}; overflow: {5000}
+	for i, n := range want {
+		if s.Counts[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], n, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 5+10+11+100+5000 {
+		t.Fatalf("count/sum = %d/%d", s.Count, s.Sum)
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry(2)
+	c := r.Counter("ops")
+	h := r.Histogram("sz", []int64{8})
+	c.Add(0, 10)
+	h.Observe(0, 4)
+	before := r.Snapshot()
+	c.Add(1, 7)
+	h.Observe(1, 16)
+	d := r.Snapshot().Diff(before)
+	if d.Get("ops") != 7 {
+		t.Fatalf("diff ops = %d, want 7", d.Get("ops"))
+	}
+	if d.PerShard["ops"][0] != 0 || d.PerShard["ops"][1] != 7 {
+		t.Fatalf("diff per-shard = %v", d.PerShard["ops"])
+	}
+	hs := d.Histograms["sz"]
+	if hs.Count != 1 || hs.Sum != 16 || hs.Counts[1] != 1 {
+		t.Fatalf("diff hist = %+v", hs)
+	}
+	// Diff against an empty snapshot is the snapshot itself.
+	if d2 := r.Snapshot().Diff(Snapshot{}); d2.Get("ops") != 17 {
+		t.Fatalf("diff vs empty = %d, want 17", d2.Get("ops"))
+	}
+}
+
+func TestFormatStable(t *testing.T) {
+	r := NewRegistry(1)
+	r.Counter("b.two").Inc(0)
+	r.Counter("a.one").Add(0, 3)
+	out := r.Snapshot().Format()
+	if strings.Index(out, "a.one") > strings.Index(out, "b.two") {
+		t.Fatalf("names not sorted:\n%s", out)
+	}
+}
+
+// The acceptance criterion for the observability spine: the hot path
+// allocates nothing.
+func TestIncObserveZeroAlloc(t *testing.T) {
+	r := NewRegistry(8)
+	c := r.Counter("hot")
+	h := r.Histogram("hist", []int64{1, 10, 100})
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(3) }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(5, 42) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(2, 37) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per op, want 0", n)
+	}
+}
+
+// Concurrent increments from many goroutines on distinct shards must
+// not lose counts (exercised under -race in CI).
+func TestConcurrentShards(t *testing.T) {
+	workers := runtime.GOMAXPROCS(0)
+	r := NewRegistry(workers)
+	c := r.Counter("par")
+	const per = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != int64(workers*per) {
+		t.Fatalf("Value = %d, want %d", got, workers*per)
+	}
+}

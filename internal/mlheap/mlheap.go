@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"repro/internal/metrics"
 )
 
 // Value is a tagged word: immediates carry the low bit set, pointers are
@@ -76,7 +78,8 @@ type Config struct {
 	Procs        int // number of allocating procs
 }
 
-// Stats counts heap activity.
+// Stats counts heap activity.  It is a merged view of the heap's
+// metrics registry (plus the LiveWords gauge).
 type Stats struct {
 	AllocatedWords int64 // total words ever allocated
 	MinorGCs       int
@@ -84,6 +87,20 @@ type Stats struct {
 	CopiedWords    int64 // words copied by collections
 	Steals         int64 // chunk refills beyond a proc's initial share
 	LiveWords      int64 // live words in the old generation after last GC
+}
+
+// heapMetrics caches the heap's counter handles.  allocWords is sharded
+// by proc-allocator index, which makes the bump-allocation fast path
+// accounting a private-line atomic add — the mutex the old Stats struct
+// took on *every* AllocRecord/AllocBytes serialized exactly the path §5
+// demands be synchronization free.
+type heapMetrics struct {
+	allocWords  *metrics.Counter
+	steals      *metrics.Counter
+	minorGCs    *metrics.Counter
+	majorGCs    *metrics.Counter
+	copiedWords *metrics.Counter
+	recordSlots *metrics.Histogram
 }
 
 // Heap is a two-generation copying heap shared by several procs.
@@ -104,7 +121,10 @@ type Heap struct {
 	nextChunk uint64 // next unissued nursery chunk
 	allocs    []*ProcAlloc
 	stores    []store // store list: old-object slots assigned since last GC
-	stats     Stats
+
+	reg       *metrics.Registry
+	m         heapMetrics
+	liveWords int64 // gauge, written only by the (single-threaded) collector
 }
 
 type store struct {
@@ -121,6 +141,15 @@ func New(cfg Config) *Heap {
 	h := &Heap{
 		cfg:   cfg,
 		words: make([]uint64, total),
+		reg:   metrics.NewRegistry(cfg.Procs),
+	}
+	h.m = heapMetrics{
+		allocWords:  h.reg.Counter("mlheap.alloc_words"),
+		steals:      h.reg.Counter("mlheap.steals"),
+		minorGCs:    h.reg.Counter("mlheap.minor_gcs"),
+		majorGCs:    h.reg.Counter("mlheap.major_gcs"),
+		copiedWords: h.reg.Counter("mlheap.copied_words"),
+		recordSlots: h.reg.Histogram("mlheap.record_slots", []int64{2, 4, 8, 16, 64, 256}),
 	}
 	h.nurLo = 1
 	h.nurHi = h.nurLo + uint64(cfg.NurseryWords)
@@ -133,16 +162,29 @@ func New(cfg Config) *Heap {
 	return h
 }
 
-// Stats returns a snapshot of heap counters.
+// Stats returns a merged snapshot of heap counters.  The counter reads
+// are lock-free; only the LiveWords gauge takes the heap mutex.
 func (h *Heap) Stats() Stats {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.stats
+	live := h.liveWords
+	h.mu.Unlock()
+	return Stats{
+		AllocatedWords: h.m.allocWords.Value(),
+		MinorGCs:       int(h.m.minorGCs.Value()),
+		MajorGCs:       int(h.m.majorGCs.Value()),
+		CopiedWords:    h.m.copiedWords.Value(),
+		Steals:         h.m.steals.Value(),
+		LiveWords:      live,
+	}
 }
+
+// Metrics exposes the heap's registry for unified snapshots.
+func (h *Heap) Metrics() *metrics.Registry { return h.reg }
 
 // ProcAlloc is one proc's bump allocator over its current nursery chunk.
 type ProcAlloc struct {
 	h          *Heap
+	idx        int // allocator index: the proc's metrics shard
 	cur, limit uint64
 	share      int // chunks this proc may take before refills count as steals
 	taken      int
@@ -157,6 +199,7 @@ func (h *Heap) NewProcAlloc() *ProcAlloc {
 	}
 	pa := &ProcAlloc{
 		h:     h,
+		idx:   len(h.allocs),
 		share: h.cfg.NurseryWords / h.cfg.ChunkWords / h.cfg.Procs,
 	}
 	h.allocs = append(h.allocs, pa)
@@ -182,7 +225,7 @@ func (pa *ProcAlloc) refill(need int) bool {
 	h.nextChunk += chunk
 	pa.taken++
 	if pa.taken > pa.share {
-		h.stats.Steals++
+		h.m.steals.Inc(pa.idx)
 	}
 	return true
 }
@@ -205,9 +248,8 @@ func (pa *ProcAlloc) AllocRecord(slots ...Value) (Value, error) {
 	for i, s := range slots {
 		h.words[idx+1+uint64(i)] = uint64(s)
 	}
-	h.mu.Lock()
-	h.stats.AllocatedWords += int64(need)
-	h.mu.Unlock()
+	h.m.allocWords.Add(pa.idx, int64(need))
+	h.m.recordSlots.Observe(pa.idx, int64(len(slots)))
 	return ptrTo(idx), nil
 }
 
@@ -239,9 +281,7 @@ func (pa *ProcAlloc) AllocBytes(data []byte) (Value, error) {
 		}
 		h.words[idx+2+uint64(i)] = w
 	}
-	h.mu.Lock()
-	h.stats.AllocatedWords += int64(need)
-	h.mu.Unlock()
+	h.m.allocWords.Add(pa.idx, int64(need))
 	return ptrTo(idx), nil
 }
 
@@ -329,7 +369,7 @@ func (h *Heap) Collect(roots []*Value) {
 		h.major(roots)
 	}
 	h.mu.Lock()
-	h.stats.LiveWords = int64(h.oldTop - h.fromLo)
+	h.liveWords = int64(h.oldTop - h.fromLo)
 	h.mu.Unlock()
 }
 
@@ -363,7 +403,7 @@ func (h *Heap) minor(roots []*Value) {
 	for _, pa := range h.allocs {
 		pa.cur, pa.limit, pa.taken = 0, 0, 0
 	}
-	h.stats.MinorGCs++
+	h.m.minorGCs.Inc(0)
 }
 
 // forwardMinor copies a nursery object to the old generation, leaving a
@@ -386,7 +426,7 @@ func (h *Heap) forwardMinor(v Value) Value {
 	copy(h.words[dst+1:dst+1+n], h.words[a+1:a+1+n])
 	h.oldTop = dst + 1 + n
 	h.words[a] = dst<<2 | hdrForward
-	h.stats.CopiedWords += int64(1 + n)
+	h.m.copiedWords.Add(0, int64(1+n))
 	return ptrTo(dst)
 }
 
@@ -411,7 +451,7 @@ func (h *Heap) major(roots []*Value) {
 		copy(h.words[dst+1:dst+1+n], h.words[a+1:a+1+n])
 		top = dst + 1 + n
 		h.words[a] = dst<<2 | hdrForward
-		h.stats.CopiedWords += int64(1 + n)
+		h.m.copiedWords.Add(0, int64(1+n))
 		return ptrTo(dst)
 	}
 	scan := dstLo
@@ -432,7 +472,7 @@ func (h *Heap) major(roots []*Value) {
 	h.fromLo, h.toLo = dstLo, h.fromLo
 	h.fromHi = h.fromLo + uint64(h.cfg.SemiWords)
 	h.oldTop = top
-	h.stats.MajorGCs++
+	h.m.majorGCs.Inc(0)
 }
 
 // isOldFrom reports whether a lies in the current old from-space region

@@ -32,6 +32,8 @@ import (
 
 	"repro/internal/cont"
 	"repro/internal/gls"
+	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // ErrNoMoreProcs is the paper's exception No_More_Procs: the proc limit
@@ -51,6 +53,16 @@ type Proc struct {
 // ID returns the proc's small dense identifier (0 is the root proc).
 func (p *Proc) ID() int { return p.id }
 
+// Datum returns the proc's private datum.  Like GetDatum it is only
+// safe on the goroutine currently holding the proc; clients that
+// already hold a Current() result use it to avoid a second
+// goroutine-local lookup.
+func (p *Proc) Datum() any { return p.datum }
+
+// SetDatum overwrites the proc's private datum; same holder-only
+// contract as Datum.
+func (p *Proc) SetDatum(d any) { p.datum = d }
+
 // PS is the paper's proc_state: the continuation a newly acquired proc
 // starts executing, plus the initial per-proc datum.
 type PS struct {
@@ -59,13 +71,23 @@ type PS struct {
 }
 
 // Stats counts platform activity; useful for tests and the evaluation
-// harness.
+// harness.  It is a merged view of the platform's metrics registry.
 type Stats struct {
 	Created  int // distinct proc tokens ever created
 	Acquired int // successful Acquire calls (including re-use)
 	Reused   int // Acquires satisfied from the free list
 	Refused  int // Acquires that returned ErrNoMoreProcs
 	Released int // Release calls
+}
+
+// platformMetrics caches the platform's counter handles so the
+// registry's name lookup never appears on the acquire/release path.
+type platformMetrics struct {
+	created  *metrics.Counter
+	acquired *metrics.Counter
+	reused   *metrics.Counter
+	refused  *metrics.Counter
+	released *metrics.Counter
 }
 
 // Platform is the MP processor manager.
@@ -75,9 +97,16 @@ type Platform struct {
 	free    []*Proc
 	created int
 	limit   int // current physical-processor allowance (≤ max)
-	stats   Stats
 	live    sync.WaitGroup
 	running atomic.Bool
+
+	reg *metrics.Registry
+	m   platformMetrics
+
+	tracer    *trace.Tracer
+	evAcquire trace.EventID
+	evRelease trace.EventID
+	evRefuse  trace.EventID
 }
 
 // New returns a platform that will provide at most maxProcs procs, the
@@ -87,7 +116,15 @@ func New(maxProcs int) *Platform {
 	if maxProcs < 1 {
 		panic("proc: platform needs at least one proc")
 	}
-	return &Platform{max: maxProcs, limit: maxProcs}
+	pl := &Platform{max: maxProcs, limit: maxProcs, reg: metrics.NewRegistry(maxProcs)}
+	pl.m = platformMetrics{
+		created:  pl.reg.Counter("proc.created"),
+		acquired: pl.reg.Counter("proc.acquired"),
+		reused:   pl.reg.Counter("proc.reused"),
+		refused:  pl.reg.Counter("proc.refused"),
+		released: pl.reg.Counter("proc.released"),
+	}
+	return pl
 }
 
 // MaxProcs reports the platform's proc limit.
@@ -137,11 +174,32 @@ func (pl *Platform) Revoked() bool {
 	return pl.created-len(pl.free) > pl.limit
 }
 
-// Stats returns a snapshot of platform counters.
+// Stats returns a merged snapshot of the platform counters.  The read
+// is lock-free — per-shard atomic loads, never the platform mutex — so
+// sampling stats mid-benchmark cannot perturb Acquire/Release timing.
 func (pl *Platform) Stats() Stats {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	return pl.stats
+	return Stats{
+		Created:  int(pl.m.created.Value()),
+		Acquired: int(pl.m.acquired.Value()),
+		Reused:   int(pl.m.reused.Value()),
+		Refused:  int(pl.m.refused.Value()),
+		Released: int(pl.m.released.Value()),
+	}
+}
+
+// Metrics exposes the platform's registry so harnesses can fold proc
+// counters into a unified snapshot.
+func (pl *Platform) Metrics() *metrics.Registry { return pl.reg }
+
+// SetTracer attaches an event tracer; acquire, release and refused
+// acquires are emitted on the affected proc's ring.  Call before Run.
+func (pl *Platform) SetTracer(t *trace.Tracer) {
+	pl.tracer = t
+	if t != nil {
+		pl.evAcquire = t.Define("proc.acquire")
+		pl.evRelease = t.Define("proc.release")
+		pl.evRefuse = t.Define("proc.refuse")
+	}
 }
 
 // Acquire starts a new proc executing the continuation in ps, with ps.Datum
@@ -155,31 +213,39 @@ func (pl *Platform) Acquire(ps PS) error {
 	pl.mu.Lock()
 	if pl.created-len(pl.free) >= pl.limit {
 		// Within capacity but beyond the OS's current allowance.
-		pl.stats.Refused++
 		pl.mu.Unlock()
+		pl.m.refused.Inc(0)
+		pl.tracer.Emit(0, pl.evRefuse, 0)
 		return ErrNoMoreProcs
 	}
 	var p *Proc
+	reused := false
 	switch {
 	case len(pl.free) > 0:
 		p = pl.free[len(pl.free)-1]
 		pl.free = pl.free[:len(pl.free)-1]
-		pl.stats.Reused++
+		reused = true
 	case pl.created < pl.max:
 		p = &Proc{id: pl.created, pl: pl}
 		pl.created++
-		pl.stats.Created++
 	default:
-		pl.stats.Refused++
 		pl.mu.Unlock()
+		pl.m.refused.Inc(0)
+		pl.tracer.Emit(0, pl.evRefuse, 0)
 		return ErrNoMoreProcs
 	}
-	pl.stats.Acquired++
 	// Safe: Acquire is only callable from code running on a live proc, so
 	// the live counter is nonzero here.
 	pl.live.Add(1)
 	pl.mu.Unlock()
 
+	if reused {
+		pl.m.reused.Inc(p.id)
+	} else {
+		pl.m.created.Inc(p.id)
+	}
+	pl.m.acquired.Inc(p.id)
+	pl.tracer.Emit(p.id, pl.evAcquire, int64(p.id))
 	p.released.Store(false)
 	p.datum = ps.Datum
 	cont.Start(ps.K, cont.Unit{}, p)
@@ -205,8 +271,9 @@ func (pl *Platform) release(p *Proc) {
 	p.datum = nil
 	pl.mu.Lock()
 	pl.free = append(pl.free, p)
-	pl.stats.Released++
 	pl.mu.Unlock()
+	pl.m.released.Inc(p.id)
+	pl.tracer.Emit(p.id, pl.evRelease, int64(p.id))
 	pl.live.Done()
 }
 
@@ -251,10 +318,11 @@ func (pl *Platform) Run(root func(), initialDatum any) {
 	}
 	p := &Proc{id: 0, pl: pl}
 	pl.created = 1
-	pl.stats.Created++
-	pl.stats.Acquired++
 	pl.live.Add(1)
 	pl.mu.Unlock()
+	pl.m.created.Inc(0)
+	pl.m.acquired.Inc(0)
+	pl.tracer.Emit(0, pl.evAcquire, 0)
 	p.datum = initialDatum
 
 	go func() {

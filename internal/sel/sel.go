@@ -22,7 +22,20 @@ import (
 
 	"repro/internal/cont"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/queue"
+)
+
+// Protocol counters, sharded by the calling thread's id on the default
+// registry: channels are ownerless values, so there is no per-instance
+// registry to hang them on.  aborted_polls counts committed-lock races
+// lost — a dequeued partner that some other channel's protocol already
+// resumed.
+var (
+	mSends   = metrics.Default.Counter("sel.sends")
+	mRecvs   = metrics.Default.Counter("sel.receives")
+	mCommits = metrics.Default.Counter("sel.commits")
+	mAborts  = metrics.Default.Counter("sel.aborted_polls")
 )
 
 // Scheduler is the slice of the thread package that the protocol needs:
@@ -75,6 +88,8 @@ func NewChan[T any](s Scheduler) *Chan[T] {
 // Send sends v to the channel, blocking until a receiver takes it
 // (Fig. 4/5: send).
 func (c *Chan[T]) Send(v T) {
+	self := c.sched.ID()
+	mSends.Inc(self)
 	c.chLock.Lock()
 	for {
 		r, err := c.rcvrs.Deq()
@@ -82,7 +97,7 @@ func (c *Chan[T]) Send(v T) {
 			// No receiver available: park this sender on the channel and
 			// give the proc to another thread.
 			cont.Callcc(func(k *core.UnitCont) core.Unit {
-				c.sndrs.Enq(sndr[T]{kont: k, id: c.sched.ID(), val: v})
+				c.sndrs.Enq(sndr[T]{kont: k, id: self, val: v})
 				c.chLock.Unlock()
 				c.sched.Dispatch()
 				return core.Unit{} // unreachable
@@ -91,6 +106,7 @@ func (c *Chan[T]) Send(v T) {
 		}
 		if r.committed.TryLock() {
 			c.chLock.Unlock()
+			mCommits.Inc(self)
 			// Effect the communication: reschedule the receiver's
 			// continuation with the value bound in (the paper's
 			// reschedule_thread converts the 'a cont plus value to a
@@ -101,6 +117,7 @@ func (c *Chan[T]) Send(v T) {
 		}
 		// This receiver was already resumed by another sender; discard its
 		// stale entry and look for another.
+		mAborts.Inc(self)
 	}
 }
 
@@ -112,8 +129,10 @@ func Receive[T any](chans ...*Chan[T]) T {
 		panic("sel: Receive with no channels")
 	}
 	sched := chans[0].sched
+	self := sched.ID()
+	mRecvs.Inc(self)
 	return cont.Callcc(func(k *cont.Cont[T]) T {
-		r := rcvr[T]{kont: k, id: sched.ID(), committed: core.NewMutexLock()}
+		r := rcvr[T]{kont: k, id: self, committed: core.NewMutexLock()}
 		for _, c := range randomize(chans) {
 			c.chLock.Lock()
 			s, err := c.sndrs.Deq()
@@ -126,12 +145,14 @@ func Receive[T any](chans ...*Chan[T]) T {
 			}
 			if r.committed.TryLock() {
 				c.chLock.Unlock()
+				mCommits.Inc(self)
 				sched.Reschedule(func() { cont.Throw(s.kont, core.Unit{}) }, s.id)
 				return s.val // implicit throw to k: the receive completes
 			}
 			// Some sender already committed to us via another channel;
 			// restore the dequeued sender (repairing Fig. 5) and abandon
 			// this invocation — our continuation is already scheduled.
+			mAborts.Inc(self)
 			c.sndrs.Enq(s)
 			c.chLock.Unlock()
 			sched.Dispatch()

@@ -37,6 +37,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/metrics"
 )
 
 // Stage is one phase of a program: Tasks equal tasks, each WorkInstr
@@ -201,7 +202,9 @@ func ByName(name string) (Program, bool) {
 	return Program{}, false
 }
 
-// Result is one simulated run.
+// Result is one simulated run.  Metrics is the machine registry's
+// unified snapshot; Totals and PerProc are the legacy struct views of
+// the same counters.
 type Result struct {
 	Program  string
 	Machine  string
@@ -210,6 +213,7 @@ type Result struct {
 	GCs      int
 	GCNS     int64
 	BusBytes int64
+	Metrics  metrics.Snapshot
 	Totals   machine.ProcStats
 	PerProc  []machine.ProcStats
 }
@@ -222,22 +226,25 @@ func (r Result) BusMBps() float64 {
 	return float64(r.BusBytes) / (float64(r.Makespan) / 1e9) / 1e6
 }
 
-// IdleFrac is the fraction of total proc time spent idle (no ready task).
+// IdleFrac is the fraction of total proc time spent idle (no ready task),
+// read from the unified snapshot.
 func (r Result) IdleFrac() float64 {
 	total := int64(r.Procs) * r.Makespan
 	if total == 0 {
 		return 0
 	}
-	return float64(r.Totals.IdleNS+r.Totals.GCStallNS) / float64(total)
+	idle := r.Metrics.Get("machine.idle_ns") + r.Metrics.Get("machine.gcstall_ns")
+	return float64(idle) / float64(total)
 }
 
-// LockFrac is the fraction of total proc time spent waiting on locks.
+// LockFrac is the fraction of total proc time spent waiting on locks,
+// read from the unified snapshot.
 func (r Result) LockFrac() float64 {
 	total := int64(r.Procs) * r.Makespan
 	if total == 0 {
 		return 0
 	}
-	return float64(r.Totals.LockWaitNS) / float64(total)
+	return float64(r.Metrics.Get("machine.lockwait_ns")) / float64(total)
 }
 
 // Run executes a program on procs processors of the given machine model.
@@ -312,6 +319,7 @@ func Run(pr Program, cfg machine.Config, procs int, seed int64) Result {
 		GCs:      gcs,
 		GCNS:     gcNS,
 		BusBytes: m.BusBytes(),
+		Metrics:  m.Metrics().Snapshot(),
 		Totals:   m.Totals(),
 		PerProc:  m.Stats(),
 	}

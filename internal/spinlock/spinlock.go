@@ -46,6 +46,22 @@ type Factory func() Lock
 // calls runtime.Gosched periodically.
 const yieldEvery = 64
 
+// OnContention, when non-nil, is called at the end of every contended
+// Lock with the number of failed acquisition attempts the caller spun
+// through.  The observability layer installs a sharded counter here;
+// the nil default keeps the uncontended path to a single predictable
+// branch, so this package stays free of metrics dependencies.  Install
+// before any lock is shared between procs; the hook must not itself
+// take a lock from this package.
+var OnContention func(spins int64)
+
+// contended reports a contended acquisition to the hook, if any.
+func contended(spins int64) {
+	if h := OnContention; h != nil && spins > 0 {
+		h(spins)
+	}
+}
+
 // TAS is the naive test-and-set lock: every acquisition attempt is a
 // read-modify-write, generating coherence traffic on each spin.
 type TAS struct {
@@ -58,11 +74,14 @@ func NewTAS() Lock { return new(TAS) }
 func (l *TAS) TryLock() bool { return !l.v.Swap(true) }
 
 func (l *TAS) Lock() {
+	var spins int64
 	for i := 1; !l.TryLock(); i++ {
+		spins++
 		if i%yieldEvery == 0 {
 			runtime.Gosched()
 		}
 	}
+	contended(spins)
 }
 
 func (l *TAS) Unlock() {
@@ -83,10 +102,13 @@ func NewTTAS() Lock { return new(TTAS) }
 func (l *TTAS) TryLock() bool { return !l.v.Load() && !l.v.Swap(true) }
 
 func (l *TTAS) Lock() {
+	var spins int64
 	for i := 1; ; i++ {
 		if !l.v.Load() && !l.v.Swap(true) {
+			contended(spins)
 			return
 		}
+		spins++
 		if i%yieldEvery == 0 {
 			runtime.Gosched()
 		}
@@ -113,10 +135,13 @@ func (l *Backoff) TryLock() bool { return !l.v.Load() && !l.v.Swap(true) }
 
 func (l *Backoff) Lock() {
 	limit := 4
+	var spins int64
 	for {
 		if !l.v.Load() && !l.v.Swap(true) {
+			contended(spins)
 			return
 		}
+		spins++
 		for i, n := 0, rand.Intn(limit); i < n; i++ {
 			if l.v.Load() {
 				// Keep waiting; the read keeps the delay loop from
@@ -155,11 +180,14 @@ func (l *Ticket) TryLock() bool {
 
 func (l *Ticket) Lock() {
 	t := l.next.Add(1) - 1
+	var spins int64
 	for i := 1; l.serving.Load() != t; i++ {
+		spins++
 		if i%yieldEvery == 0 {
 			runtime.Gosched()
 		}
 	}
+	contended(spins)
 }
 
 func (l *Ticket) Unlock() {
@@ -205,13 +233,16 @@ func (l *Anderson) TryLock() bool {
 func (l *Anderson) Lock() {
 	t := l.next.Add(1) - 1
 	slot := &l.slots[t%andersonSlots]
+	var spins int64
 	for i := 1; !slot.flag.Load(); i++ {
+		spins++
 		if i%yieldEvery == 0 {
 			runtime.Gosched()
 		}
 	}
 	slot.flag.Store(false)
 	l.serving.Store(t)
+	contended(spins)
 }
 
 func (l *Anderson) Unlock() {

@@ -1,7 +1,9 @@
 package spinlock
 
 import (
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -137,6 +139,48 @@ func TestQuickLockSequences(t *testing.T) {
 		}
 		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 			t.Error(err)
+		}
+	})
+}
+
+// TestOnContentionHook checks that every variant reports contended
+// acquisitions through the hook and stays silent when uncontended.
+func TestOnContentionHook(t *testing.T) {
+	forEachVariant(t, func(t *testing.T, name string, mk Factory) {
+		var calls, spins atomic.Int64
+		OnContention = func(n int64) {
+			calls.Add(1)
+			spins.Add(n)
+		}
+		defer func() { OnContention = nil }()
+
+		l := mk()
+		l.Lock()
+		l.Unlock()
+		if calls.Load() != 0 {
+			t.Fatalf("hook fired %d times on uncontended lock", calls.Load())
+		}
+
+		// Retry until the waiter demonstrably spun: the goroutine may win
+		// the race and acquire without contention on any given attempt.
+		for attempt := 0; attempt < 100 && calls.Load() == 0; attempt++ {
+			l.Lock()
+			started := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				close(started)
+				l.Lock()
+				l.Unlock()
+				close(done)
+			}()
+			<-started
+			runtime.Gosched() // let the waiter reach its spin loop
+			l.Unlock()
+			<-done
+		}
+		if calls.Load() == 0 || spins.Load() == 0 {
+			t.Fatalf("hook not called for contended lock (calls=%d spins=%d)",
+				calls.Load(), spins.Load())
 		}
 	})
 }

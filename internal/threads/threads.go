@@ -24,9 +24,11 @@ import (
 
 	"repro/internal/cont"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/proc"
 	"repro/internal/queue"
 	"repro/internal/spinlock"
+	"repro/internal/trace"
 )
 
 // Entry is a ready thread: Run throws the thread's continuation and never
@@ -52,9 +54,13 @@ type Options struct {
 	// signals; Go cannot interrupt a goroutine, so this is the
 	// timer-driven-polling simulation the paper itself suggests (§3.4).
 	Quantum time.Duration
+	// Tracer, if non-nil, receives fork/yield/dispatch/steal/preempt
+	// events on the acting proc's ring.
+	Tracer *trace.Tracer
 }
 
-// Stats counts scheduler activity.
+// Stats counts scheduler activity.  It is a merged view of the
+// system's per-proc metrics shards.
 type Stats struct {
 	Forks      int64
 	Yields     int64
@@ -66,7 +72,21 @@ type Stats struct {
 type runQueue struct {
 	lock spinlock.Lock
 	q    queue.Queue[Entry]
-	_    [32]byte // keep per-proc queues off each other's cache lines
+	_    [metrics.CacheLineBytes - 32]byte // pad to a full cache line (128 B covers
+	// 64/128-byte lines and adjacent-line prefetch) so per-proc queues
+	// never share a line
+}
+
+// sysMetrics caches the scheduler's counter handles; every counter is
+// sharded per proc, so the hot paths touch no shared cache line — the
+// shared-atomic Stats struct this replaces bounced its lines across all
+// 16 procs on exactly the operations the evaluation counts.
+type sysMetrics struct {
+	forks      *metrics.Counter
+	yields     *metrics.Counter
+	dispatches *metrics.Counter
+	steals     *metrics.Counter
+	preempts   *metrics.Counter
 }
 
 // System is a multiprocessor thread package over the MP platform (Fig. 3).
@@ -81,9 +101,15 @@ type System struct {
 	quantum time.Duration
 	preempt []atomic.Bool
 
-	stats struct {
-		forks, yields, dispatches, steals, preempts atomic.Int64
-	}
+	reg *metrics.Registry
+	m   sysMetrics
+
+	tracer     *trace.Tracer
+	evFork     trace.EventID
+	evYield    trace.EventID
+	evDispatch trace.EventID
+	evSteal    trace.EventID
+	evPreempt  trace.EventID
 }
 
 // New applies the thread functor to a platform and options.
@@ -105,6 +131,23 @@ func New(pl *proc.Platform, opts Options) *System {
 		nextIDLock:  opts.NewLock(),
 		quantum:     opts.Quantum,
 		preempt:     make([]atomic.Bool, pl.MaxProcs()),
+		reg:         pl.Metrics(),
+		tracer:      opts.Tracer,
+	}
+	s.m = sysMetrics{
+		forks:      s.reg.Counter("threads.forks"),
+		yields:     s.reg.Counter("threads.yields"),
+		dispatches: s.reg.Counter("threads.dispatches"),
+		steals:     s.reg.Counter("threads.steals"),
+		preempts:   s.reg.Counter("threads.preempts"),
+	}
+	if s.tracer != nil {
+		s.evFork = s.tracer.Define("threads.fork")
+		s.evYield = s.tracer.Define("threads.yield")
+		s.evDispatch = s.tracer.Define("threads.dispatch")
+		s.evSteal = s.tracer.Define("threads.steal")
+		s.evPreempt = s.tracer.Define("threads.preempt")
+		pl.SetTracer(s.tracer)
 	}
 	for i := range s.queues {
 		s.queues[i].lock = opts.NewLock()
@@ -116,16 +159,21 @@ func New(pl *proc.Platform, opts Options) *System {
 // Platform returns the underlying MP platform.
 func (s *System) Platform() *proc.Platform { return s.pl }
 
-// Stats returns a snapshot of scheduler counters.
+// Stats returns a snapshot of scheduler counters, merged across the
+// per-proc shards on this (cold) read side.
 func (s *System) Stats() Stats {
 	return Stats{
-		Forks:      s.stats.forks.Load(),
-		Yields:     s.stats.yields.Load(),
-		Dispatches: s.stats.dispatches.Load(),
-		Steals:     s.stats.steals.Load(),
-		Preempts:   s.stats.preempts.Load(),
+		Forks:      s.m.forks.Value(),
+		Yields:     s.m.yields.Value(),
+		Dispatches: s.m.dispatches.Value(),
+		Steals:     s.m.steals.Value(),
+		Preempts:   s.m.preempts.Value(),
 	}
 }
+
+// Metrics exposes the registry shared with the underlying platform, so
+// harnesses read scheduler and proc counters in one unified snapshot.
+func (s *System) Metrics() *metrics.Registry { return s.reg }
 
 // Run bootstraps the platform with root as thread 0 and blocks until the
 // computation quiesces (every proc released).  This is how client programs
@@ -165,8 +213,11 @@ func (s *System) ticker(stop chan struct{}) {
 // ID returns the identifier of the thread executing on the calling proc
 // (Fig. 1/3: id).  Thread ids live in the per-proc datum, as §3.2
 // prescribes.
-func (s *System) ID() int {
-	d := proc.GetDatum()
+func (s *System) ID() int { return threadID(proc.Current()) }
+
+// threadID reads the thread id out of a proc's datum.
+func threadID(p *proc.Proc) int {
+	d := p.Datum()
 	id, ok := d.(int)
 	if !ok {
 		panic(fmt.Sprintf("threads: proc datum is %T, not a thread id", d))
@@ -185,9 +236,19 @@ func (s *System) newID() int {
 // Reschedule makes a ready thread runnable (Fig. 3: reschedule).  In
 // distributed mode the entry is pushed on the calling proc's own queue.
 func (s *System) Reschedule(run func(), id int) {
+	self := 0
+	if s.distributed {
+		self = proc.Self()
+	}
+	s.reschedule(self, run, id)
+}
+
+// reschedule queues an entry on the given proc's queue (queue 0 in
+// central mode); self is the caller's proc id, resolved once upstream.
+func (s *System) reschedule(self int, run func(), id int) {
 	qi := 0
 	if s.distributed {
-		qi = proc.Self() % len(s.queues)
+		qi = self % len(s.queues)
 	}
 	rq := &s.queues[qi]
 	rq.lock.Lock()
@@ -205,14 +266,21 @@ func (s *System) RescheduleCont(k *core.UnitCont, id int) {
 // Dispatch is also a revocation safe point: if the OS has reduced the
 // physical-processor allowance (§3.1), the proc is released here and the
 // queued work is left for the survivors.
-func (s *System) Dispatch() {
-	s.stats.dispatches.Add(1)
+func (s *System) Dispatch() { s.dispatch(proc.Current()) }
+
+// dispatch is Dispatch with the calling proc already resolved: every
+// per-proc counter and queue below shards by its id, so the (goroutine-
+// local) lookup happens exactly once per scheduler operation.
+func (s *System) dispatch(p *proc.Proc) {
+	self := p.ID()
+	s.m.dispatches.Inc(self)
 	if s.pl.Revoked() {
 		s.pl.Release()
 		panic("threads: Release returned")
 	}
-	if e, ok := s.pop(); ok {
-		proc.SetDatum(e.ID)
+	if e, ok := s.pop(self); ok {
+		p.SetDatum(e.ID)
+		s.tracer.Emit(self, s.evDispatch, int64(e.ID))
 		e.Run()
 		panic("threads: Entry.Run returned")
 	}
@@ -222,10 +290,11 @@ func (s *System) Dispatch() {
 
 // pop takes the next ready entry: the local queue first, then — in
 // distributed mode — a sweep of the other procs' queues (work stealing).
-func (s *System) pop() (Entry, bool) {
-	self := 0
+func (s *System) pop(self int) (Entry, bool) {
 	if s.distributed {
-		self = proc.Self() % len(s.queues)
+		self %= len(s.queues)
+	} else {
+		self = 0
 	}
 	n := len(s.queues)
 	for i := 0; i < n; i++ {
@@ -235,7 +304,8 @@ func (s *System) pop() (Entry, bool) {
 		rq.lock.Unlock()
 		if err == nil {
 			if i != 0 {
-				s.stats.steals.Add(1)
+				s.m.steals.Inc(self)
+				s.tracer.Emit(self, s.evSteal, int64((self+i)%n))
 			}
 			return e, true
 		}
@@ -248,18 +318,24 @@ func (s *System) pop() (Entry, bool) {
 // parent; only if this fails is the parent blocked on the ready queue.
 // The child runs on the current proc under a fresh thread id.
 func (s *System) Fork(child func()) {
-	s.stats.forks.Add(1)
+	p := proc.Current()
+	self := p.ID()
+	s.m.forks.Inc(self)
 	cont.Callcc(func(parent *core.UnitCont) core.Unit {
-		parentID := s.ID()
+		parentID := threadID(p)
 		if err := s.pl.Acquire(proc.PS{K: parent, Datum: parentID}); err != nil {
 			if err != proc.ErrNoMoreProcs {
 				panic(err)
 			}
-			s.RescheduleCont(parent, parentID)
+			s.reschedule(self, func() { cont.Throw(parent, core.Unit{}) }, parentID)
 		}
-		proc.SetDatum(s.newID())
+		childID := s.newID()
+		p.SetDatum(childID)
+		s.tracer.Emit(self, s.evFork, int64(childID))
 		child()
-		s.Dispatch()
+		// child may have yielded and been resumed on a different proc, so
+		// the proc captured above can be stale here: re-resolve it.
+		s.dispatch(proc.Current())
 		return core.Unit{} // unreachable
 	})
 }
@@ -267,10 +343,13 @@ func (s *System) Fork(child func()) {
 // Yield temporarily gives up the processor to another ready thread
 // (Fig. 3: yield).
 func (s *System) Yield() {
-	s.stats.yields.Add(1)
+	p := proc.Current()
+	self := p.ID()
+	s.m.yields.Inc(self)
+	s.tracer.Emit(self, s.evYield, 0)
 	cont.Callcc(func(k *core.UnitCont) core.Unit {
-		s.RescheduleCont(k, s.ID())
-		s.Dispatch()
+		s.reschedule(self, func() { cont.Throw(k, core.Unit{}) }, threadID(p))
+		s.dispatch(p)
 		return core.Unit{} // unreachable
 	})
 }
@@ -297,7 +376,8 @@ func (s *System) CheckPreempt() {
 	}
 	i := proc.Self()
 	if i < len(s.preempt) && s.preempt[i].CompareAndSwap(true, false) {
-		s.stats.preempts.Add(1)
+		s.m.preempts.Inc(i)
+		s.tracer.Emit(i, s.evPreempt, 0)
 		s.Yield()
 	}
 }

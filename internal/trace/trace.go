@@ -1,0 +1,244 @@
+// Package trace is the event half of the observability spine: per-proc
+// fixed-size ring buffers of timestamped events, drained on the cold
+// side into a merged, deterministic event list or a Chrome trace-event
+// JSON file loadable by chrome://tracing (or https://ui.perfetto.dev).
+//
+// The hot path, Emit/Begin/End, is a single bounds-masked store into
+// the calling proc's private ring — no locks, no allocation, no shared
+// cache line — so tracing can stay wired into the scheduler and GC
+// without perturbing the timings it records.  Rings overwrite their
+// oldest entries when full, bounding memory for arbitrarily long runs.
+//
+// Timestamps default to wall-clock nanoseconds since the tracer's
+// creation; simulated clients (internal/machine) install the desim
+// virtual clock with SetClock, which together with single-threaded ring
+// writes makes traces fully deterministic: same seed, same trace —
+// DESIGN.md invariant §5, guarded by a test in internal/machine.
+//
+// All methods are nil-receiver safe, so instrumented packages carry an
+// optional *Tracer and call it unconditionally; a nil or disabled
+// tracer costs one predictable branch.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventID names an event kind registered with Define.
+type EventID uint16
+
+// Phase is the Chrome trace-event phase of an emitted event.
+type Phase byte
+
+// The supported Chrome trace phases.
+const (
+	PhaseInstant Phase = 'i' // a point event
+	PhaseBegin   Phase = 'B' // opens a duration span on the proc's track
+	PhaseEnd     Phase = 'E' // closes the innermost open span
+)
+
+// event is one ring entry: 24 bytes, plain stores only.
+type event struct {
+	ts    int64
+	arg   int64
+	id    EventID
+	phase Phase
+}
+
+// ring is one proc's event buffer.  pos is monotone and written only by
+// the proc owning the ring; padding keeps neighboring rings' write
+// cursors off each other's cache lines.
+type ring struct {
+	buf []event
+	pos uint64
+	_   [96]byte
+}
+
+// Tracer owns per-proc rings and the event-name table.
+type Tracer struct {
+	enabled atomic.Bool
+	clock   func() int64
+	rings   []ring
+	mask    uint32
+
+	mu    sync.Mutex
+	names []string
+}
+
+// New returns a tracer with one ring per proc, each holding ringSize
+// events (rounded up to a power of two).  Proc ids are masked into the
+// ring count, so any non-negative id is safe; ids should be dense in
+// [0, procs) for exclusive rings.
+func New(procs, ringSize int) *Tracer {
+	if procs < 1 {
+		procs = 1
+	}
+	n := 1
+	for n < procs {
+		n <<= 1
+	}
+	sz := 1
+	for sz < ringSize {
+		sz <<= 1
+	}
+	t := &Tracer{rings: make([]ring, n), mask: uint32(n - 1)}
+	for i := range t.rings {
+		t.rings[i].buf = make([]event, sz)
+	}
+	epoch := time.Now()
+	t.clock = func() int64 { return int64(time.Since(epoch)) }
+	return t
+}
+
+// Define registers an event name and returns its id.  Call at setup
+// time, before Enable; Emit carries only the id.
+func (t *Tracer) Define(name string) EventID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, n := range t.names {
+		if n == name {
+			return EventID(i)
+		}
+	}
+	t.names = append(t.names, name)
+	return EventID(len(t.names) - 1)
+}
+
+// SetClock replaces the timestamp source (e.g. with a desim virtual
+// clock).  Call at setup time, before Enable.
+func (t *Tracer) SetClock(now func() int64) { t.clock = now }
+
+// Enable turns event recording on.
+func (t *Tracer) Enable() {
+	if t != nil {
+		t.enabled.Store(true)
+	}
+}
+
+// Disable turns event recording off; rings retain their contents.
+func (t *Tracer) Disable() {
+	if t != nil {
+		t.enabled.Store(false)
+	}
+}
+
+// Enabled reports whether the tracer is recording.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Emit records an instant event with an argument on proc's ring.
+func (t *Tracer) Emit(proc int, id EventID, arg int64) { t.emit(proc, id, PhaseInstant, arg) }
+
+// Begin opens a duration span on proc's track.
+func (t *Tracer) Begin(proc int, id EventID) { t.emit(proc, id, PhaseBegin, 0) }
+
+// End closes the innermost open span on proc's track.
+func (t *Tracer) End(proc int, id EventID) { t.emit(proc, id, PhaseEnd, 0) }
+
+func (t *Tracer) emit(proc int, id EventID, ph Phase, arg int64) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	r := &t.rings[uint32(proc)&t.mask]
+	r.buf[r.pos&uint64(len(r.buf)-1)] = event{ts: t.clock(), arg: arg, id: id, phase: ph}
+	r.pos++
+}
+
+// Event is one recorded event, resolved and merged across rings.
+type Event struct {
+	Proc  int
+	Name  string
+	Phase Phase
+	TS    int64 // nanoseconds on the tracer's clock
+	Arg   int64
+}
+
+// Events drains every ring into one list ordered by (TS, Proc, ring
+// order).  The order is a pure function of ring contents, so a
+// deterministic clock yields a deterministic list.  Call only while
+// emitters are quiescent (after a run).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	names := append([]string(nil), t.names...)
+	t.mu.Unlock()
+	var out []Event
+	for pi := range t.rings {
+		r := &t.rings[pi]
+		n := uint64(len(r.buf))
+		start := uint64(0)
+		if r.pos > n {
+			start = r.pos - n
+		}
+		for i := start; i < r.pos; i++ {
+			e := r.buf[i&(n-1)]
+			name := "?"
+			if int(e.id) < len(names) {
+				name = names[e.id]
+			}
+			out = append(out, Event{Proc: pi, Name: name, Phase: e.phase, TS: e.ts, Arg: e.arg})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TS != out[j].TS {
+			return out[i].TS < out[j].TS
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	return out
+}
+
+// Dropped reports how many events were overwritten by ring wrap-around,
+// so exporters can say what a trace is missing instead of silently
+// presenting a truncated run as complete.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	var d int64
+	for i := range t.rings {
+		if n := uint64(len(t.rings[i].buf)); t.rings[i].pos > n {
+			d += int64(t.rings[i].pos - n)
+		}
+	}
+	return d
+}
+
+// WriteChromeJSON writes the trace in the Chrome trace-event format:
+// one JSON object with a traceEvents array, timestamps in microseconds,
+// pid 0, and one tid per proc.  Load the file in chrome://tracing or
+// ui.perfetto.dev.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	events := t.Events()
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		var err error
+		switch e.Phase {
+		case PhaseBegin, PhaseEnd:
+			_, err = fmt.Fprintf(w,
+				"{\"name\":%q,\"ph\":%q,\"ts\":%.3f,\"pid\":0,\"tid\":%d}%s\n",
+				e.Name, string(e.Phase), float64(e.TS)/1e3, e.Proc, sep)
+		default:
+			_, err = fmt.Fprintf(w,
+				"{\"name\":%q,\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"v\":%d}}%s\n",
+				e.Name, float64(e.TS)/1e3, e.Proc, e.Arg, sep)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

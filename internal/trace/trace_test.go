@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fixed installs a deterministic clock counting call order.
+func fixed(t *Tracer) *int64 {
+	var tick int64
+	t.SetClock(func() int64 { tick++; return tick })
+	return &tick
+}
+
+func TestEmitCollectOrder(t *testing.T) {
+	tr := New(2, 8)
+	fixed(tr)
+	gc := tr.Define("gc")
+	yield := tr.Define("yield")
+	tr.Enable()
+	tr.Begin(0, gc)      // ts 1
+	tr.Emit(1, yield, 7) // ts 2
+	tr.End(0, gc)        // ts 3
+	tr.Disable()
+	tr.Emit(0, yield, 9) // dropped: disabled
+
+	evs := tr.Events()
+	want := []Event{
+		{Proc: 0, Name: "gc", Phase: PhaseBegin, TS: 1},
+		{Proc: 1, Name: "yield", Phase: PhaseInstant, TS: 2, Arg: 7},
+		{Proc: 0, Name: "gc", Phase: PhaseEnd, TS: 3},
+	}
+	if !reflect.DeepEqual(evs, want) {
+		t.Fatalf("events = %+v, want %+v", evs, want)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	tr := New(1, 4)
+	fixed(tr)
+	e := tr.Define("e")
+	tr.Enable()
+	for i := 0; i < 10; i++ {
+		tr.Emit(0, e, int64(i))
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	if evs[0].Arg != 6 || evs[3].Arg != 9 {
+		t.Fatalf("ring kept %+v, want newest args 6..9", evs)
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+}
+
+func TestDefineIdempotent(t *testing.T) {
+	tr := New(1, 4)
+	if tr.Define("a") != tr.Define("a") {
+		t.Fatal("same name got two ids")
+	}
+	if tr.Define("a") == tr.Define("b") {
+		t.Fatal("distinct names share an id")
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(0, 0, 1)
+	tr.Begin(0, 0)
+	tr.End(0, 0)
+	tr.Enable()
+	tr.Disable()
+	if tr.Enabled() || tr.Events() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+// The acceptance criterion: an enabled Emit allocates nothing, with
+// both the default wall clock and an installed virtual clock.
+func TestEmitZeroAlloc(t *testing.T) {
+	tr := New(4, 64)
+	e := tr.Define("hot")
+	tr.Enable()
+	if n := testing.AllocsPerRun(1000, func() { tr.Emit(1, e, 42) }); n != 0 {
+		t.Fatalf("Emit (wall clock) allocates %v per op, want 0", n)
+	}
+	fixed(tr)
+	if n := testing.AllocsPerRun(1000, func() { tr.Emit(1, e, 42) }); n != 0 {
+		t.Fatalf("Emit (virtual clock) allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { tr.Begin(2, e); tr.End(2, e) }); n != 0 {
+		t.Fatalf("Begin/End allocates %v per op, want 0", n)
+	}
+	var nilTr *Tracer
+	if n := testing.AllocsPerRun(1000, func() { nilTr.Emit(0, e, 1) }); n != 0 {
+		t.Fatalf("nil Emit allocates %v per op, want 0", n)
+	}
+}
+
+func TestChromeJSON(t *testing.T) {
+	tr := New(2, 8)
+	fixed(tr)
+	gc := tr.Define("gc")
+	ev := tr.Define(`quote"name`)
+	tr.Enable()
+	tr.Begin(0, gc)
+	tr.Emit(1, ev, 5)
+	tr.End(0, gc)
+
+	var b strings.Builder
+	if err := tr.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("traceEvents = %d entries, want 3", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0]["ph"] != "B" || doc.TraceEvents[0]["name"] != "gc" {
+		t.Fatalf("first event = %v", doc.TraceEvents[0])
+	}
+	inst := doc.TraceEvents[1]
+	if inst["ph"] != "i" || inst["s"] != "t" {
+		t.Fatalf("instant event = %v", inst)
+	}
+	if args, ok := inst["args"].(map[string]any); !ok || args["v"] != float64(5) {
+		t.Fatalf("instant args = %v", inst["args"])
+	}
+	// Empty tracer still writes a loadable document.
+	var empty strings.Builder
+	if err := New(1, 4).WriteChromeJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(empty.String()), &doc); err != nil {
+		t.Fatalf("empty trace not valid JSON: %v", err)
+	}
+}
