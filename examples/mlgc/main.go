@@ -36,7 +36,9 @@ func main() {
 	}
 
 	build := func(me int) {
-		a := world.Attach()
+		// Attach under the platform proc id so a shared tracer would put
+		// GC spans on this proc's track.
+		a := world.AttachProc(proc.Self())
 		defer a.Detach()
 		for i := 0; i < *cells; i++ {
 			// cons(i, heads[me]) — both the int and the tail pointer are

@@ -61,6 +61,13 @@ func (w *World) Heap() *mlheap.Heap { return w.heap }
 // SetTracer attaches an event tracer; each collection appears as a
 // "gc.collect" span on the collecting proc's ring.  Call before the
 // first allocation.
+//
+// The ring/tid an Alloc emits on is the proc id recorded at attach
+// time.  When the tracer is shared with other instrumented layers
+// (proc.Platform, threads.System), attach with AttachProc(proc.Self())
+// so GC spans land on the same track as that proc's scheduler events;
+// plain Attach uses attach order, a private id domain that only lines
+// up with platform proc ids by accident.
 func (w *World) SetTracer(t *trace.Tracer) {
 	w.tracer = t
 	if t != nil {
@@ -102,16 +109,31 @@ func (w *World) GCs() int {
 type Alloc struct {
 	w       *World
 	pa      *mlheap.ProcAlloc
-	idx     int // attach order: the proc's trace ring
+	tid     int // proc id recorded at attach time: the trace ring/track
 	roots   []*mlheap.Value
 	pending []*mlheap.Value // in-flight Record slots, roots during a GC
 }
 
-// Attach registers a new allocating proc with the world.
+// Attach registers a new allocating proc with the world, using attach
+// order as its trace proc id — fine for a tracer private to this world,
+// but see SetTracer when the tracer is shared across layers.
 func (w *World) Attach() *Alloc {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	a := &Alloc{w: w, pa: w.heap.NewProcAlloc(), idx: len(w.procs)}
+	return w.attachLocked(len(w.procs))
+}
+
+// AttachProc registers a new allocating proc recording procID as its
+// trace proc id, so GC spans merge onto the right track when the tracer
+// is shared with the MP platform (pass proc.Self()).
+func (w *World) AttachProc(procID int) *Alloc {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.attachLocked(procID)
+}
+
+func (w *World) attachLocked(procID int) *Alloc {
+	a := &Alloc{w: w, pa: w.heap.NewProcAlloc(), tid: procID}
 	w.procs = append(w.procs, a)
 	return a
 }
@@ -129,9 +151,10 @@ func (a *Alloc) Detach() {
 			break
 		}
 	}
-	// A pending collection may now have everyone it is waiting for.
+	// A pending collection may now have everyone it is waiting for; the
+	// detaching proc performs it, so the span goes on its own ring.
 	if w.gcNeeded && w.arrived == len(w.procs) {
-		w.collectLocked(nil)
+		w.collectLocked(a)
 	}
 	w.mu.Unlock()
 }
@@ -232,20 +255,19 @@ func (a *Alloc) waitForGCLocked(extra []*mlheap.Value) {
 }
 
 // collectLocked performs the sequential collection over every registered
-// root and releases the barrier.  Called with w.mu held.
+// root and releases the barrier.  Called with w.mu held; collector is
+// the Alloc of the goroutine actually performing the collection, so the
+// span is emitted on a ring that goroutine owns (trace rings are
+// single-writer).
 func (w *World) collectLocked(collector *Alloc) {
-	shard := 0
-	if collector != nil {
-		shard = collector.idx
-	}
-	w.tracer.Begin(shard, w.evGC)
+	w.tracer.Begin(collector.tid, w.evGC)
 	roots := append([]*mlheap.Value(nil), w.global...)
 	for _, p := range w.procs {
 		roots = append(roots, p.roots...)
 		roots = append(roots, p.pending...)
 	}
 	w.heap.Collect(roots)
-	w.tracer.End(shard, w.evGC)
+	w.tracer.End(collector.tid, w.evGC)
 	w.gcs++
 	w.gcNeeded = false
 	w.gcFlag.Store(false)

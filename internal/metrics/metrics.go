@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // CacheLineBytes is the padding unit for per-proc shards.  128 covers
@@ -74,7 +75,9 @@ func (c *Counter) PerShard() []int64 {
 
 // Histogram is a fixed-bucket histogram sharded per proc.  A value v
 // falls in bucket i when v <= Bounds[i]; the last bucket is overflow.
-// Observe is the zero-allocation hot path.
+// Observe is the zero-allocation hot path.  At most MaxHistogramBounds
+// bounds per histogram, so each shard's buckets live inside the shard's
+// own padded cache lines.
 type Histogram struct {
 	name   string
 	bounds []int64
@@ -82,11 +85,26 @@ type Histogram struct {
 	shards []histShard
 }
 
+// MaxHistogramBounds is the most bucket bounds a histogram may carry:
+// bounds+1 bucket counters plus the running sum fill exactly one
+// CacheLineBytes padding unit, keeping the buckets — not just the shard
+// header — off every other shard's cache lines.
+const MaxHistogramBounds = 14
+
+// histShard embeds its bucket array so the whole shard is one padded
+// block; a separately heap-allocated bucket slice would let adjacent
+// shards' buckets share cache lines.
 type histShard struct {
-	counts []atomic.Int64 // len(bounds)+1, separately allocated per shard
+	counts [MaxHistogramBounds + 1]atomic.Int64
 	sum    atomic.Int64
-	_      [CacheLineBytes - 8 - 24]byte
 }
+
+// Compile-time check that a shard spans exactly one padding unit; both
+// declarations have negative length if the size drifts either way.
+var (
+	_ [CacheLineBytes - unsafe.Sizeof(histShard{})]byte
+	_ [unsafe.Sizeof(histShard{}) - CacheLineBytes]byte
+)
 
 // Name returns the histogram's registered name.
 func (h *Histogram) Name() string { return h.name }
@@ -119,7 +137,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		Counts: make([]int64, len(h.bounds)+1),
 	}
 	for i := range h.shards {
-		for b := range h.shards[i].counts {
+		for b := range s.Counts {
 			n := h.shards[i].counts[b].Load()
 			s.Counts[b] += n
 			s.Count += n
@@ -173,9 +191,12 @@ func (r *Registry) Counter(name string) *Counter {
 }
 
 // Histogram returns the named histogram with the given bucket bounds
-// (ascending), creating it on first use.  Bounds on an existing
-// histogram must match its registration.
+// (ascending, at most MaxHistogramBounds of them), creating it on first
+// use.  Bounds on an existing histogram must match its registration.
 func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if len(bounds) > MaxHistogramBounds {
+		panic(fmt.Sprintf("metrics: histogram %q has %d bounds, max %d", name, len(bounds), MaxHistogramBounds))
+	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
 			panic(fmt.Sprintf("metrics: histogram %q bounds not ascending", name))
@@ -191,9 +212,6 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 		bounds: append([]int64(nil), bounds...),
 		mask:   uint32(r.shards - 1),
 		shards: make([]histShard, r.shards),
-	}
-	for i := range h.shards {
-		h.shards[i].counts = make([]atomic.Int64, len(bounds)+1)
 	}
 	r.hists[name] = h
 	return h

@@ -191,8 +191,15 @@ func (pl *Platform) Stats() Stats {
 // counters into a unified snapshot.
 func (pl *Platform) Metrics() *metrics.Registry { return pl.reg }
 
-// SetTracer attaches an event tracer; acquire, release and refused
-// acquires are emitted on the affected proc's ring.  Call before Run.
+// SetTracer attaches an event tracer.  Call before Run.
+//
+// Ring discipline (trace rings are single-writer): acquire is emitted on
+// the acquired proc's ring by the acquirer, which owns the token
+// exclusively between popping it from the free list and handing it to
+// cont.Start; release is emitted by the releasing holder before the
+// token re-enters the free list; a refused acquire is emitted on the
+// *calling* proc's ring (there is no affected proc), and not at all when
+// Acquire is called from outside the platform.
 func (pl *Platform) SetTracer(t *trace.Tracer) {
 	pl.tracer = t
 	if t != nil {
@@ -214,8 +221,7 @@ func (pl *Platform) Acquire(ps PS) error {
 	if pl.created-len(pl.free) >= pl.limit {
 		// Within capacity but beyond the OS's current allowance.
 		pl.mu.Unlock()
-		pl.m.refused.Inc(0)
-		pl.tracer.Emit(0, pl.evRefuse, 0)
+		pl.refuse()
 		return ErrNoMoreProcs
 	}
 	var p *Proc
@@ -230,8 +236,7 @@ func (pl *Platform) Acquire(ps PS) error {
 		pl.created++
 	default:
 		pl.mu.Unlock()
-		pl.m.refused.Inc(0)
-		pl.tracer.Emit(0, pl.evRefuse, 0)
+		pl.refuse()
 		return ErrNoMoreProcs
 	}
 	// Safe: Acquire is only callable from code running on a live proc, so
@@ -245,11 +250,41 @@ func (pl *Platform) Acquire(ps PS) error {
 		pl.m.created.Inc(p.id)
 	}
 	pl.m.acquired.Inc(p.id)
+	// Emitting on ring p.id from the acquirer's goroutine is race-free:
+	// the previous holder's release emit happens-before the free-list
+	// append (see release), the pop above orders it before this write
+	// under pl.mu, and cont.Start's goroutine creation orders this write
+	// before anything the started proc emits.  One writer at a time.
 	pl.tracer.Emit(p.id, pl.evAcquire, int64(p.id))
 	p.released.Store(false)
 	p.datum = ps.Datum
 	cont.Start(ps.K, cont.Unit{}, p)
 	return nil
+}
+
+// refuse accounts a failed Acquire on the calling proc's shard and ring.
+// Refusal is the common Fork path once procs saturate, so hard-coding
+// shard 0 here would bounce one cache line across every forking proc —
+// exactly the contention the sharded registry exists to avoid.  Off-proc
+// callers (setup code, tests) fall back to shard 0 for the counter and
+// skip the trace emit, preserving the rings' single-writer invariant.
+func (pl *Platform) refuse() {
+	self, onProc := callerID()
+	pl.m.refused.Inc(self)
+	if onProc {
+		pl.tracer.Emit(self, pl.evRefuse, 0)
+	}
+}
+
+// callerID returns the id of the proc held by the calling goroutine, or
+// (0, false) when the goroutine holds none.
+func callerID() (int, bool) {
+	if v, ok := gls.Get(); ok {
+		if p, ok := v.(*Proc); ok {
+			return p.id, true
+		}
+	}
+	return 0, false
 }
 
 // Release stops the calling proc and returns it to the pool (paper:
@@ -269,11 +304,15 @@ func (pl *Platform) release(p *Proc) {
 		return
 	}
 	p.datum = nil
+	pl.m.released.Inc(p.id)
+	// Emit before the token re-enters the free list: once the append below
+	// publishes it, a concurrent Acquire may pop the token and write ring
+	// p.id, and the rings are single-writer.  The mutex hand-off is the
+	// happens-before edge between this emit and the acquirer's.
+	pl.tracer.Emit(p.id, pl.evRelease, int64(p.id))
 	pl.mu.Lock()
 	pl.free = append(pl.free, p)
 	pl.mu.Unlock()
-	pl.m.released.Inc(p.id)
-	pl.tracer.Emit(p.id, pl.evRelease, int64(p.id))
 	pl.live.Done()
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/queue"
 	"repro/internal/spinlock"
+	"repro/internal/trace"
 )
 
 func newSys(maxProcs int, opts Options) *System {
@@ -343,5 +344,39 @@ func TestRevocationThenRegrow(t *testing.T) {
 	// again (at least able to: on a 1-CPU host concurrency may be 1).
 	if pl.Stats().Refused == 0 {
 		t.Log("note: no refusals observed; limit mechanics exercised via SetLimit")
+	}
+}
+
+// TestTracedSystemNoRace runs a saturating fork/yield workload with a
+// tracer attached, exercising every platform emit path concurrently:
+// acquire on recycled tokens, release, and refused acquires.  Its job is
+// to fail under `go test -race` if any trace ring ever has two writers
+// (the rings are single-writer by contract; see package trace).
+func TestTracedSystemNoRace(t *testing.T) {
+	const maxProcs = 4
+	tr := trace.New(maxProcs, 512)
+	tr.Enable()
+	pl := proc.New(maxProcs)
+	s := New(pl, Options{Distributed: true, Tracer: tr})
+	var ran atomic.Int32
+	s.Run(func() {
+		for i := 0; i < 200; i++ {
+			s.Fork(func() {
+				ran.Add(1)
+				s.Yield()
+			})
+		}
+	})
+	if ran.Load() != 200 {
+		t.Fatalf("ran = %d, want 200", ran.Load())
+	}
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events recorded with tracing enabled")
+	}
+	for _, e := range evs {
+		if e.Proc < 0 || e.Proc >= maxProcs {
+			t.Fatalf("event %q on ring %d, want [0,%d)", e.Name, e.Proc, maxProcs)
+		}
 	}
 }

@@ -9,6 +9,15 @@
 // without perturbing the timings it records.  Rings overwrite their
 // oldest entries when full, bounding memory for arbitrarily long runs.
 //
+// Rings are strictly single-writer: at any instant at most one goroutine
+// may emit on a given proc's ring, and handing a ring to another writer
+// (e.g. when a proc token is recycled) requires a happens-before edge
+// between the old writer's last emit and the new writer's first — the
+// proc platform gets this from its free-list mutex.  Emitting on a ring
+// the calling goroutine does not own is a data race; events about
+// another proc belong on the *caller's* ring, with the other proc's id
+// as the argument.
+//
 // Timestamps default to wall-clock nanoseconds since the tracer's
 // creation; simulated clients (internal/machine) install the desim
 // virtual clock with SetClock, which together with single-threaded ring
@@ -130,7 +139,9 @@ func (t *Tracer) Disable() {
 // Enabled reports whether the tracer is recording.
 func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
 
-// Emit records an instant event with an argument on proc's ring.
+// Emit records an instant event with an argument on proc's ring.  The
+// calling goroutine must be the ring's current (sole) writer; see the
+// package comment for the ownership rule.
 func (t *Tracer) Emit(proc int, id EventID, arg int64) { t.emit(proc, id, PhaseInstant, arg) }
 
 // Begin opens a duration span on proc's track.
