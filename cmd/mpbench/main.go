@@ -7,10 +7,11 @@
 //
 //	mpbench [-bench all|allpairs|mst|abisort|simple|mm|seq]
 //	        [-maxp N] [-reps N] [-seed N] [-distributed] [-quantum d]
-//	        [-metrics] [-trace out.json]
+//	        [-metrics] [-trace out.json] [-json out.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,7 @@ func main() {
 	quantum := flag.Duration("quantum", 0, "preemption quantum (0 = none)")
 	showMetrics := flag.Bool("metrics", false, "print unified metrics snapshots per point")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the last run to this file")
+	jsonPath := flag.String("json", "", "write machine-readable results as JSON to this file")
 	flag.Parse()
 
 	if *showMetrics {
@@ -54,6 +56,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
 		os.Exit(1)
 	}
+
+	// point is one (bench, procs) measurement in the -json report.
+	type point struct {
+		Bench    string  `json:"bench"`
+		Procs    int     `json:"procs"`
+		TimeNS   int64   `json:"time_ns"` // best of -reps
+		Speedup  float64 `json:"speedup"` // self-relative
+		Checksum int64   `json:"checksum"`
+	}
+	var points []point
 
 	fmt.Printf("native MP benchmarks on %d-CPU host (GOMAXPROCS=%d)\n",
 		runtime.NumCPU(), runtime.GOMAXPROCS(0))
@@ -90,6 +102,13 @@ func main() {
 			sp := stats.SelfRelative(times)
 			fmt.Printf("%-10s %6d %12s %9.2f   (checksum %d)\n",
 				spec.Name, p, best.Round(time.Microsecond), sp[p-1], sum)
+			points = append(points, point{
+				Bench:    spec.Name,
+				Procs:    p,
+				TimeNS:   best.Nanoseconds(),
+				Speedup:  sp[p-1],
+				Checksum: sum,
+			})
 			if *showMetrics {
 				fmt.Printf("  platform registry (last rep):\n")
 				fmt.Print(lastSys.Metrics().Snapshot().Format())
@@ -100,6 +119,27 @@ func main() {
 			}
 		}
 		fmt.Println()
+	}
+
+	if *jsonPath != "" {
+		report := struct {
+			CPUs       int     `json:"cpus"`
+			GOMAXPROCS int     `json:"gomaxprocs"`
+			Reps       int     `json:"reps"`
+			Seed       int64   `json:"seed"`
+			Points     []point `json:"points"`
+		}{runtime.NumCPU(), runtime.GOMAXPROCS(0), *reps, *seed, points}
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 
 	if *tracePath != "" && lastTracer != nil {

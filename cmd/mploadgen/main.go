@@ -1,0 +1,228 @@
+// Command mploadgen drives load at an mpserved instance and reports
+// throughput and latency quantiles.  It is deliberately a plain Go
+// program — the client side of the wire is not the system under test —
+// with two modes:
+//
+//   - closed-loop (default): -conns workers each issue requests
+//     back-to-back, so offered load tracks service capacity;
+//   - open-loop: -rate R issues requests on a fixed schedule regardless
+//     of completions, the mode that actually exposes queueing collapse
+//     and admission-control behavior under overload.
+//
+// Every response is classified (2xx / shed 503 / expired 504 / error),
+// and -json writes the full summary machine-readably for benchmark
+// archiving (BENCH_serve.json).
+//
+// Usage:
+//
+//	mploadgen [-addr host:port] [-path /echo?msg=hi] [-conns N]
+//	          [-rate req/s] [-duration d] [-timeout d] [-json out.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type result struct {
+	status  int
+	latency time.Duration
+}
+
+// Summary is the machine-readable report; field names are the JSON
+// contract consumed by benchmark archives.
+type Summary struct {
+	Addr       string  `json:"addr"`
+	Path       string  `json:"path"`
+	Mode       string  `json:"mode"` // "closed" or "open"
+	Conns      int     `json:"conns"`
+	RatePerSec float64 `json:"rate_per_sec,omitempty"` // offered, open-loop only
+	DurationMS int64   `json:"duration_ms"`
+
+	Sent       int64   `json:"sent"`
+	OK         int64   `json:"ok"`             // 2xx
+	Shed       int64   `json:"shed"`           // 503
+	Expired    int64   `json:"expired"`        // 504
+	OtherHTTP  int64   `json:"other_http"`     // any other status
+	Errors     int64   `json:"errors"`         // dial/IO failures
+	Throughput float64 `json:"throughput_rps"` // OK responses per second
+
+	LatencyMS struct {
+		P50 float64 `json:"p50"`
+		P90 float64 `json:"p90"`
+		P99 float64 `json:"p99"`
+		Max float64 `json:"max"`
+	} `json:"latency_ms"` // over OK responses
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "server address")
+	path := flag.String("path", "/echo?msg=hi", "request path")
+	conns := flag.Int("conns", 8, "closed-loop concurrent workers")
+	rate := flag.Float64("rate", 0, "open-loop offered rate in req/s (0 = closed-loop)")
+	duration := flag.Duration("duration", 5*time.Second, "test duration")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	jsonPath := flag.String("json", "", "write the summary as JSON to this file")
+	flag.Parse()
+
+	var (
+		mu      sync.Mutex
+		results []result
+		sent    atomic.Int64
+		errs    atomic.Int64
+	)
+	record := func(st int, lat time.Duration) {
+		mu.Lock()
+		results = append(results, result{st, lat})
+		mu.Unlock()
+	}
+	one := func() {
+		sent.Add(1)
+		start := time.Now()
+		st, err := doReq(*addr, *path, *timeout)
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		record(st, time.Since(start))
+	}
+
+	begin := time.Now()
+	stop := begin.Add(*duration)
+	var wg sync.WaitGroup
+	mode := "closed"
+	if *rate > 0 {
+		mode = "open"
+		// Open loop: a ticker schedules sends independent of completions.
+		interval := time.Duration(float64(time.Second) / *rate)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for time.Now().Before(stop) {
+			<-tick.C
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				one()
+			}()
+		}
+	} else {
+		for i := 0; i < *conns; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					one()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	s := Summary{
+		Addr:       *addr,
+		Path:       *path,
+		Mode:       mode,
+		Conns:      *conns,
+		DurationMS: elapsed.Milliseconds(),
+		Sent:       sent.Load(),
+		Errors:     errs.Load(),
+	}
+	if mode == "open" {
+		s.RatePerSec = *rate
+	}
+	var okLats []float64
+	for _, r := range results {
+		switch {
+		case r.status >= 200 && r.status < 300:
+			s.OK++
+			okLats = append(okLats, float64(r.latency.Microseconds())/1000)
+		case r.status == 503:
+			s.Shed++
+		case r.status == 504:
+			s.Expired++
+		default:
+			s.OtherHTTP++
+		}
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		s.Throughput = float64(s.OK) / secs
+	}
+	sort.Float64s(okLats)
+	s.LatencyMS.P50 = quantile(okLats, 0.50)
+	s.LatencyMS.P90 = quantile(okLats, 0.90)
+	s.LatencyMS.P99 = quantile(okLats, 0.99)
+	if n := len(okLats); n > 0 {
+		s.LatencyMS.Max = okLats[n-1]
+	}
+
+	fmt.Printf("%s %s (%s-loop", s.Addr, s.Path, s.Mode)
+	if mode == "open" {
+		fmt.Printf(", %.0f req/s offered", *rate)
+	} else {
+		fmt.Printf(", %d conns", *conns)
+	}
+	fmt.Printf(") over %s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  sent %d: ok %d, shed %d, expired %d, other %d, errors %d\n",
+		s.Sent, s.OK, s.Shed, s.Expired, s.OtherHTTP, s.Errors)
+	fmt.Printf("  throughput %.1f req/s  latency ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
+		s.Throughput, s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(&s, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// quantile returns the q-th quantile of sorted xs (nearest-rank).
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(xs)-1))
+	return xs[i]
+}
+
+// doReq issues one GET with Connection: close and returns the status.
+func doReq(addr, path string, timeout time.Duration) (int, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n", path)
+	raw, err := io.ReadAll(conn)
+	if err != nil && len(raw) == 0 {
+		return 0, err
+	}
+	line, _, ok := bytes.Cut(raw, []byte("\r\n"))
+	if !ok {
+		return 0, fmt.Errorf("no status line in %q", raw)
+	}
+	parts := strings.SplitN(string(line), " ", 3)
+	if len(parts) < 2 {
+		return 0, fmt.Errorf("bad status line %q", line)
+	}
+	return strconv.Atoi(parts[1])
+}

@@ -1,0 +1,109 @@
+// Command mpserved runs the MP serving subsystem as a standalone daemon:
+// a TCP/HTTP server whose entire request path — accept, admission,
+// queueing, dispatch, handling — is scheduled as MP threads over procs
+// and locks, never raw goroutines.  It serves the five evaluation
+// kernels (/work/<name>), /echo, /compute, and the observability
+// endpoints /metrics, /trace, /log.
+//
+// SIGINT/SIGTERM triggers a graceful drain: the processor allowance is
+// shrunk via proc.SetLimit, procs release themselves at safe points,
+// in-flight requests finish, queued-but-unstarted ones are shed, and
+// the process exits after printing a final metrics snapshot.
+//
+// Usage:
+//
+//	mpserved [-addr host:port] [-procs N] [-inflight N] [-queue N]
+//	         [-deadline ticks] [-tick d] [-quantum d] [-distributed]
+//	         [-ring N] [-trace out.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/serve"
+	"repro/internal/threads"
+	"repro/internal/trace"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "TCP listen address")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "processor allowance (max procs)")
+	inflight := flag.Int("inflight", 64, "max concurrently-handled requests")
+	queueDepth := flag.Int("queue", 128, "accept queue depth (beyond this, shed with 503)")
+	deadline := flag.Int64("deadline", 2000, "per-request deadline in clock ticks")
+	tick := flag.Duration("tick", time.Millisecond, "wall duration of one clock tick")
+	quantum := flag.Duration("quantum", 0, "preemption quantum (0 = cooperative only)")
+	distributed := flag.Bool("distributed", false, "use distributed run queues")
+	ring := flag.Int("ring", 1<<14, "trace ring size per proc (0 = no tracer)")
+	tracePath := flag.String("trace", "", "also write the trace to this file at exit")
+	flag.Parse()
+
+	pl := proc.New(*procs)
+	sys := threads.New(pl, threads.Options{
+		Distributed: *distributed,
+		Quantum:     *quantum,
+	})
+
+	// The tracer is private to the server (see serve.Options.Tracer): the
+	// /trace endpoint's stop-the-world snapshot quiesces serve's own
+	// emitters only.
+	var tr *trace.Tracer
+	if *ring > 0 {
+		tr = trace.New(*procs, *ring)
+	}
+
+	srv, err := serve.New(sys, serve.Options{
+		Addr:          *addr,
+		MaxInFlight:   *inflight,
+		QueueDepth:    *queueDepth,
+		DeadlineTicks: *deadline,
+		Tick:          *tick,
+		Tracer:        tr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if tr != nil {
+		tr.Enable()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "mpserved: %v, draining\n", s)
+		srv.Drain()
+	}()
+
+	fmt.Printf("mpserved listening on %s (procs=%d inflight=%d queue=%d deadline=%d ticks)\n",
+		srv.Addr(), *procs, *inflight, *queueDepth, *deadline)
+	start := time.Now()
+	sys.Run(func() { srv.Serve() })
+	fmt.Printf("mpserved drained after %s; final metrics:\n", time.Since(start).Round(time.Millisecond))
+	fmt.Print(sys.Metrics().Snapshot().Format())
+
+	if *tracePath != "" && tr != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s: %d events (%d dropped)\n", *tracePath, len(tr.Events()), tr.Dropped())
+	}
+}

@@ -100,6 +100,65 @@ func TestPerStreamAllowsParallelStreams(t *testing.T) {
 	}
 }
 
+// TestPerStreamConcurrentWritersNoTornLines is the serving-path variant
+// of the atomicity check: two MP threads write *variable-length* records
+// to the same stream (the access-log shape — every line a different
+// width), released simultaneously through a barrier so their write
+// windows genuinely overlap, yielding between every record to force
+// interleaving at the scheduler level.  Under the per-stream lock every
+// line must still come out whole: correct prefix, correct
+// length-for-sequence-number, correct terminator.
+func TestPerStreamConcurrentWritersNoTornLines(t *testing.T) {
+	const perWriter = 200
+	rt := NewRuntime()
+	pol := NewPerStream()
+	s := threads.New(proc.New(4), threads.Options{})
+	s.Run(func() {
+		st := rt.Open("access")
+		start := syncx.NewBarrier(s, 2)
+		wg := syncx.NewWaitGroup(s, 2)
+		for w := 0; w < 2; w++ {
+			w := w
+			s.Fork(func() {
+				start.Await()
+				for i := 0; i < perWriter; i++ {
+					// Record length varies with the sequence number.
+					rec := fmt.Sprintf("w%d|%s|%04d", w, bytes.Repeat([]byte{'x'}, i%37), i)
+					pol.Write(st, []byte(rec))
+					s.Yield()
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+	})
+
+	lines := bytes.Split(bytes.TrimSuffix(rt.Contents("access"), []byte("\n")), []byte("\n"))
+	if len(lines) != 2*perWriter {
+		t.Fatalf("%d lines, want %d", len(lines), 2*perWriter)
+	}
+	seen := map[string]int{}
+	for _, l := range lines {
+		parts := bytes.Split(l, []byte("|"))
+		if len(parts) != 3 || len(parts[0]) != 2 || parts[0][0] != 'w' {
+			t.Fatalf("torn line %q", l)
+		}
+		var seq int
+		if _, err := fmt.Sscanf(string(parts[2]), "%04d", &seq); err != nil {
+			t.Fatalf("torn line %q: bad sequence field: %v", l, err)
+		}
+		if want := seq % 37; len(parts[1]) != want || bytes.Count(parts[1], []byte{'x'}) != want {
+			t.Fatalf("torn line %q: body %d bytes, want %d", l, len(parts[1]), want)
+		}
+		seen[string(l)]++
+	}
+	for rec, c := range seen {
+		if c != 1 {
+			t.Errorf("record %q appears %d times", rec, c)
+		}
+	}
+}
+
 func TestOpenIsIdempotent(t *testing.T) {
 	rt := NewRuntime()
 	pl := proc.New(1)

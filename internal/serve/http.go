@@ -1,0 +1,312 @@
+package serve
+
+// A minimal HTTP/1.1 subset implemented directly over net.Conn: one
+// request per connection, Connection: close on every response.  net/http
+// is deliberately not used — its server spawns goroutines per
+// connection, which would route traffic around the MP scheduler.  All
+// socket I/O here is cooperative: each blocking call is capped by a
+// short poll window, and on timeout the thread parks on the CML clock
+// until the next tick instead of holding its proc.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/threads"
+)
+
+const (
+	maxHeaderBytes = 8 << 10
+	maxBodyBytes   = 1 << 20
+)
+
+var (
+	errDeadline   = errors.New("serve: request deadline exceeded")
+	errTooLarge   = errors.New("serve: request too large")
+	errBadRequest = errors.New("serve: malformed request")
+)
+
+// Request is one parsed HTTP request, plus the deadline bookkeeping
+// handlers use to cancel themselves at safe points.
+type Request struct {
+	Method   string
+	Path     string
+	RawQuery string
+	Proto    string
+	Body     []byte
+	Arrival  int64 // clock tick at accept
+	Deadline int64 // clock tick after which the request is cancelled
+
+	srv *Server
+}
+
+// Expired reports whether the request's deadline has passed; handlers
+// call it at safe points and return early (the caller answers 504).
+func (r *Request) Expired() bool { return r.srv.clock.Now() >= r.Deadline }
+
+// Remaining returns the ticks left before the deadline (possibly
+// negative).
+func (r *Request) Remaining() int64 { return r.Deadline - r.srv.clock.Now() }
+
+// Park suspends the handling thread for the given number of clock
+// ticks; a cooperative sleep on the CML clock.
+func (r *Request) Park(ticks int64) { r.srv.park(ticks) }
+
+// CheckPreempt is a scheduling safe point: long-running handlers call it
+// periodically so preemption and processor revocation stay honored.
+func (r *Request) CheckPreempt() { r.srv.sys.CheckPreempt() }
+
+// System returns the thread system, letting handlers fork parallel MP
+// work (the /work kernels do).
+func (r *Request) System() *threads.System { return r.srv.sys }
+
+// Query returns the first value of the named query parameter, or "".
+func (r *Request) Query(key string) string {
+	q := r.RawQuery
+	for len(q) > 0 {
+		pair := q
+		if i := strings.IndexByte(q, '&'); i >= 0 {
+			pair, q = q[:i], q[i+1:]
+		} else {
+			q = ""
+		}
+		k, v := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			k, v = pair[:i], pair[i+1:]
+		}
+		if k == key {
+			return v
+		}
+	}
+	return ""
+}
+
+// QueryInt returns the named query parameter as an int, or def when
+// absent or malformed.
+func (r *Request) QueryInt(key string, def int) int {
+	if s := r.Query(key); s != "" {
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Response is a handler's reply.
+type Response struct {
+	Status      int
+	ContentType string // default "text/plain; charset=utf-8"
+	Body        []byte
+	RetryAfter  int // seconds; emitted as Retry-After when nonzero
+}
+
+// Handler serves one request.  Handlers run on MP threads; they may
+// fork, park, and synchronize freely, and should poll req.Expired() at
+// safe points during long computations.
+type Handler func(req *Request) Response
+
+type route struct {
+	pattern string // exact path, or a prefix when it ends in "/"
+	h       Handler
+}
+
+// Handle registers a handler.  A pattern ending in "/" matches by
+// prefix; otherwise it matches exactly.  The longest pattern wins.
+// Register before Serve; the route table is read without locks on the
+// request path.
+func (srv *Server) Handle(pattern string, h Handler) {
+	srv.routes = append(srv.routes, route{pattern: pattern, h: h})
+}
+
+func (srv *Server) route(path string) Handler {
+	var best Handler
+	bestLen := -1
+	for i := range srv.routes {
+		rt := &srv.routes[i]
+		ok := rt.pattern == path ||
+			(strings.HasSuffix(rt.pattern, "/") && strings.HasPrefix(path, rt.pattern))
+		if ok && len(rt.pattern) > bestLen {
+			best, bestLen = rt.h, len(rt.pattern)
+		}
+	}
+	return best
+}
+
+// readRequest reads and parses one request cooperatively: every blocked
+// read is capped at the poll window, then the thread parks on the clock
+// for a tick; the loop fails with errDeadline once the request deadline
+// passes.
+func (srv *Server) readRequest(p pending, deadline int64) (*Request, error) {
+	var acc []byte
+	buf := make([]byte, 4096)
+	// Phase 1: accumulate until the end of the header block.
+	headerEnd := -1
+	for headerEnd < 0 {
+		if srv.clock.Now() >= deadline {
+			return nil, errDeadline
+		}
+		p.conn.SetReadDeadline(time.Now().Add(srv.opts.PollWindow))
+		n, err := p.conn.Read(buf)
+		if n > 0 {
+			acc = append(acc, buf[:n]...)
+			headerEnd = bytes.Index(acc, []byte("\r\n\r\n"))
+			if headerEnd >= 0 {
+				break
+			}
+			if len(acc) > maxHeaderBytes {
+				return nil, errTooLarge
+			}
+		}
+		if err != nil {
+			if isTimeout(err) {
+				srv.m.readParks.Inc(proc.Self())
+				srv.park(1)
+				continue
+			}
+			return nil, err
+		}
+	}
+	req, contentLength, err := parseHeader(acc[:headerEnd])
+	if err != nil {
+		return nil, err
+	}
+	if contentLength > maxBodyBytes {
+		return nil, errTooLarge
+	}
+	body := acc[headerEnd+4:]
+	// Phase 2: accumulate the declared body.
+	for len(body) < contentLength {
+		if srv.clock.Now() >= deadline {
+			return nil, errDeadline
+		}
+		p.conn.SetReadDeadline(time.Now().Add(srv.opts.PollWindow))
+		n, err := p.conn.Read(buf)
+		if n > 0 {
+			body = append(body, buf[:n]...)
+		}
+		if err != nil {
+			if isTimeout(err) {
+				srv.m.readParks.Inc(proc.Self())
+				srv.park(1)
+				continue
+			}
+			return nil, err
+		}
+	}
+	req.Body = body[:contentLength]
+	req.Arrival = p.arrival
+	req.Deadline = deadline
+	req.srv = srv
+	return req, nil
+}
+
+// parseHeader parses the request line and the headers serve cares about
+// (Content-Length); header is the block up to, not including, the blank
+// line.
+func parseHeader(header []byte) (*Request, int, error) {
+	lines := strings.Split(string(header), "\r\n")
+	if len(lines) == 0 {
+		return nil, 0, errBadRequest
+	}
+	parts := strings.Split(lines[0], " ")
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
+		return nil, 0, errBadRequest
+	}
+	req := &Request{Method: parts[0], Proto: parts[2]}
+	target := parts[1]
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		req.Path, req.RawQuery = target[:i], target[i+1:]
+	} else {
+		req.Path = target
+	}
+	if req.Path == "" || req.Path[0] != '/' {
+		return nil, 0, errBadRequest
+	}
+	contentLength := 0
+	for _, ln := range lines[1:] {
+		i := strings.IndexByte(ln, ':')
+		if i < 0 {
+			continue
+		}
+		if strings.EqualFold(strings.TrimSpace(ln[:i]), "Content-Length") {
+			n, err := strconv.Atoi(strings.TrimSpace(ln[i+1:]))
+			if err != nil || n < 0 {
+				return nil, 0, errBadRequest
+			}
+			contentLength = n
+		}
+	}
+	return req, contentLength, nil
+}
+
+// statusText covers the statuses serve emits.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 409:
+		return "Conflict"
+	case 413:
+		return "Content Too Large"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	case 504:
+		return "Gateway Timeout"
+	default:
+		return "Status"
+	}
+}
+
+// writeResponse renders and writes a response cooperatively.  The write
+// is capped at capTick on the virtual clock so a stalled client cannot
+// hold the writing thread past the request's useful lifetime.
+func (srv *Server) writeResponse(conn net.Conn, resp Response, capTick int64) error {
+	ctype := resp.ContentType
+	if ctype == "" {
+		ctype = "text/plain; charset=utf-8"
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", resp.Status, statusText(resp.Status))
+	fmt.Fprintf(&b, "Content-Type: %s\r\n", ctype)
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(resp.Body))
+	if resp.RetryAfter > 0 {
+		fmt.Fprintf(&b, "Retry-After: %d\r\n", resp.RetryAfter)
+	}
+	b.WriteString("Connection: close\r\n\r\n")
+	b.Write(resp.Body)
+	return srv.writeAll(conn, b.Bytes(), capTick)
+}
+
+// writeAll writes buf with the same poll-window-then-park discipline as
+// readRequest, giving up at capTick.
+func (srv *Server) writeAll(conn net.Conn, buf []byte, capTick int64) error {
+	off := 0
+	for off < len(buf) {
+		if srv.clock.Now() >= capTick {
+			return errDeadline
+		}
+		conn.SetWriteDeadline(time.Now().Add(srv.opts.PollWindow))
+		n, err := conn.Write(buf[off:])
+		off += n
+		if err != nil {
+			if isTimeout(err) && off < len(buf) {
+				srv.park(1)
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}

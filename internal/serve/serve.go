@@ -1,0 +1,576 @@
+// Package serve is a network request-serving subsystem built strictly on
+// the MP public surface: every stage of the request path — accept,
+// admission, queueing, dispatch, handling, response — runs as MP threads
+// (threads.Fork) synchronized with syncx semaphores, mutex locks, and the
+// CML virtual clock; there is not a single raw goroutine, Go channel,
+// receive expression or select statement in this package (a go/scanner
+// test enforces it).  Serving is therefore a sixth, externally-driven
+// workload for the platform: the paper's claim that procs + locks +
+// continuations suffice for real concurrent clients, now taking traffic
+// from outside the process.
+//
+// Pipeline (each arrow is an MP construct, not a Go one):
+//
+//		acceptor ──enqueue──▶ bounded accept queue ──items semaphore──▶
+//		dispatcher ──slots semaphore──▶ forked worker ──respond──▶ client
+//
+//	  - The acceptor polls the TCP listener with short deadlines so it
+//	    remains a cooperative thread (yield/preempt/drain at every loop).
+//	  - Admission control is a bounded accept queue plus a bounded
+//	    in-flight slot semaphore; when the queue is full the acceptor sheds
+//	    the connection immediately with 503 + Retry-After instead of
+//	    queueing unboundedly.
+//	  - Per-request deadlines ride on the CML clock (package cml): ticks
+//	    are pumped from wall time by a dedicated thread, blocked reads and
+//	    writes park on clock events instead of spinning, and handlers
+//	    cancel at safe points when the deadline passes (504).
+//	  - Graceful drain is wired to the platform's dynamic processor
+//	    allowance: Drain marks the server draining and shrinks the
+//	    allowance with proc.SetLimit, so procs release themselves at safe
+//	    points (threads.Dispatch honors Revoked), in-flight requests finish
+//	    on the survivors, queued-but-unstarted requests are shed, and the
+//	    platform quiesces — zero in-flight requests dropped.
+//	  - Every stage emits to the unified observability spine
+//	    (internal/metrics counters/histograms on the platform registry,
+//	    internal/trace events on the acting proc's ring), exposed over HTTP
+//	    via /metrics and /trace; the access log is written through
+//	    internal/mlio under the per-stream locking policy.
+//
+// The HTTP layer is a deliberately small HTTP/1.1 subset (one request
+// per connection, Connection: close) implemented directly over net.Conn
+// in this package; net/http is not used because its server spawns
+// goroutines, which would bypass the MP scheduler.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cml"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mlio"
+	"repro/internal/proc"
+	"repro/internal/queue"
+	"repro/internal/syncx"
+	"repro/internal/threads"
+	"repro/internal/trace"
+)
+
+// Options parameterize a Server.
+type Options struct {
+	// Addr is the TCP listen address; empty means "127.0.0.1:0".
+	Addr string
+	// MaxInFlight bounds concurrently-handled requests (default 64).
+	MaxInFlight int
+	// QueueDepth bounds the accept queue; a connection arriving with the
+	// queue full is shed with 503 (default 128).
+	QueueDepth int
+	// DeadlineTicks is the per-request deadline in clock ticks, measured
+	// from accept (default 2000).
+	DeadlineTicks int64
+	// Tick is the wall duration of one clock tick (default 1ms).
+	Tick time.Duration
+	// PollWindow is how long a single blocking accept/read/write may hold
+	// a proc before the thread parks on the clock (default 1ms).
+	PollWindow time.Duration
+	// RetryAfter is the Retry-After hint, in seconds, on shed responses
+	// (default 1).
+	RetryAfter int
+	// Tracer, if non-nil, receives per-stage events; /trace serves its
+	// contents via a stop-the-world snapshot.  It must be private to the
+	// server — do not share it with threads.Options.Tracer: the snapshot
+	// protocol quiesces serve's own emitters only, and scheduler emits
+	// (dispatch/yield on every operation) would race with the ring
+	// reads.  For a whole-system trace, attach a second tracer to the
+	// scheduler and export it after Run returns, as cmd/mpbench does.
+	Tracer *trace.Tracer
+}
+
+func (o *Options) fill() {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 128
+	}
+	if o.DeadlineTicks <= 0 {
+		o.DeadlineTicks = 2000
+	}
+	if o.Tick <= 0 {
+		o.Tick = time.Millisecond
+	}
+	if o.PollWindow <= 0 {
+		o.PollWindow = time.Millisecond
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 1
+	}
+}
+
+// pending is one accepted connection waiting for dispatch.
+type pending struct {
+	conn    net.Conn
+	arrival int64 // clock tick at accept
+}
+
+// serveMetrics caches the server's instrument handles; all are sharded
+// on the platform registry so the request path never takes the registry
+// lock.
+type serveMetrics struct {
+	accepted     *metrics.Counter
+	acceptErrs   *metrics.Counter
+	queued       *metrics.Counter
+	shedQueue    *metrics.Counter
+	shedDrain    *metrics.Counter
+	dispatched   *metrics.Counter
+	expired      *metrics.Counter
+	handled      *metrics.Counter
+	responded    *metrics.Counter
+	readErrs     *metrics.Counter
+	readParks    *metrics.Counter
+	latencyTicks *metrics.Histogram
+	queueTicks   *metrics.Histogram
+}
+
+// Server is the serving subsystem; create with New, start with Serve
+// from inside System.Run, stop with Drain.
+type Server struct {
+	sys  *threads.System
+	pl   *proc.Platform
+	opts Options
+	ln   *net.TCPListener
+
+	clock *cml.Clock
+	items *syncx.Semaphore // accept-queue occupancy (V by acceptor, P by dispatcher)
+	slots *syncx.Semaphore // in-flight request capacity
+
+	state          core.Lock // guards all fields below
+	acceptQ        queue.Queue[pending]
+	active         int // dispatched requests not yet responded
+	draining       bool
+	acceptorDone   bool
+	dispatcherDone bool
+	acceptorIdle   bool // parked by the trace-snapshot barrier
+	dispatcherIdle bool // parked on the items semaphore
+	tracePause     bool // a /trace snapshot is stopping the world
+
+	routes []route
+
+	m      serveMetrics
+	tracer *trace.Tracer
+	evAccept, evEnqueue, evShed, evDispatch,
+	evHandle, evRespond, evDrain trace.EventID
+
+	logrt  *mlio.Runtime
+	logpol mlio.Policy
+}
+
+// New opens the listener and prepares a server over the given thread
+// system.  The system is not started here; call Serve from the root
+// thread inside sys.Run.
+func New(sys *threads.System, opts Options) (*Server, error) {
+	opts.fill()
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	tln, ok := ln.(*net.TCPListener)
+	if !ok {
+		ln.Close()
+		return nil, fmt.Errorf("serve: listener %T is not a *net.TCPListener", ln)
+	}
+	srv := &Server{
+		sys:     sys,
+		pl:      sys.Platform(),
+		opts:    opts,
+		ln:      tln,
+		clock:   cml.NewClock(),
+		items:   syncx.NewSemaphore(sys, 0),
+		slots:   syncx.NewSemaphore(sys, opts.MaxInFlight),
+		state:   core.NewMutexLock(),
+		acceptQ: queue.NewFifo[pending](),
+		tracer:  opts.Tracer,
+		logrt:   mlio.NewRuntime(),
+		logpol:  mlio.NewPerStream(),
+	}
+	reg := sys.Metrics()
+	bounds := []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+	srv.m = serveMetrics{
+		accepted:     reg.Counter("serve.accepted"),
+		acceptErrs:   reg.Counter("serve.accept_errors"),
+		queued:       reg.Counter("serve.queued"),
+		shedQueue:    reg.Counter("serve.shed_queue_full"),
+		shedDrain:    reg.Counter("serve.shed_draining"),
+		dispatched:   reg.Counter("serve.dispatched"),
+		expired:      reg.Counter("serve.deadline_expired"),
+		handled:      reg.Counter("serve.handled"),
+		responded:    reg.Counter("serve.responded"),
+		readErrs:     reg.Counter("serve.read_errors"),
+		readParks:    reg.Counter("serve.read_parks"),
+		latencyTicks: reg.Histogram("serve.latency_ticks", bounds),
+		queueTicks:   reg.Histogram("serve.queue_ticks", bounds),
+	}
+	if srv.tracer != nil {
+		srv.evAccept = srv.tracer.Define("serve.accept")
+		srv.evEnqueue = srv.tracer.Define("serve.enqueue")
+		srv.evShed = srv.tracer.Define("serve.shed")
+		srv.evDispatch = srv.tracer.Define("serve.dispatch")
+		srv.evHandle = srv.tracer.Define("serve.handle")
+		srv.evRespond = srv.tracer.Define("serve.respond")
+		srv.evDrain = srv.tracer.Define("serve.drain")
+	}
+	srv.installBuiltins()
+	return srv, nil
+}
+
+// Addr returns the listener's address (useful with ":0").
+func (srv *Server) Addr() net.Addr { return srv.ln.Addr() }
+
+// Clock returns the server's CML clock; one tick is Options.Tick of
+// wall time once Serve's pump thread is running.
+func (srv *Server) Clock() *cml.Clock { return srv.clock }
+
+// System returns the thread system the server schedules on.
+func (srv *Server) System() *threads.System { return srv.sys }
+
+// InFlight reports the number of dispatched, not-yet-responded requests.
+func (srv *Server) InFlight() int {
+	srv.state.Lock()
+	defer srv.state.Unlock()
+	return srv.active
+}
+
+// QueueLen reports the current accept-queue depth.
+func (srv *Server) QueueLen() int {
+	srv.state.Lock()
+	defer srv.state.Unlock()
+	return srv.acceptQ.Len()
+}
+
+// Draining reports whether Drain has been called.
+func (srv *Server) Draining() bool {
+	srv.state.Lock()
+	defer srv.state.Unlock()
+	return srv.draining
+}
+
+// AccessLog snapshots the access log (one line per response, written
+// through mlio's per-stream locking policy).
+func (srv *Server) AccessLog() []byte { return srv.logrt.Contents("access") }
+
+// Serve starts the serving threads — clock pump, dispatcher, acceptor —
+// and returns; it must be called from an MP thread (inside System.Run).
+// The system quiesces, and Run returns, after Drain completes.
+func (srv *Server) Serve() {
+	srv.sys.Fork(func() { srv.pump() })
+	srv.sys.Fork(func() { srv.dispatcher() })
+	srv.sys.Fork(func() { srv.acceptor() })
+}
+
+// Drain initiates graceful shutdown: new connections are shed, queued
+// requests are refused, in-flight requests run to completion, and the
+// physical-processor allowance is shrunk to one so procs release
+// themselves at their next safe point (§3.1's revocation, reused as the
+// drain mechanism).  Safe to call from any goroutine, including a signal
+// handler outside the MP world; idempotent.
+func (srv *Server) Drain() {
+	srv.state.Lock()
+	already := srv.draining
+	srv.draining = true
+	srv.state.Unlock()
+	if already {
+		return
+	}
+	// Procs discover the shrunken allowance at dispatch safe points and
+	// release; in-flight work finishes on the survivor.
+	srv.pl.SetLimit(1)
+}
+
+// park suspends the calling thread for the given number of clock ticks
+// by synchronizing on the CML clock; the pump thread's Advance wakes it.
+func (srv *Server) park(ticks int64) {
+	cml.Sync(srv.sys, srv.clock.AfterEvt(ticks))
+}
+
+// emit records a trace event on the calling proc's own ring (the rings
+// are single-writer; every serve emit is by the acting thread).
+func (srv *Server) emit(ev trace.EventID, arg int64) {
+	srv.tracer.Emit(proc.Self(), ev, arg)
+}
+
+// ------------------------------------------------------------------ pump
+
+// pump advances the CML clock from wall time: one tick per Options.Tick
+// elapsed.  It is the server's only time source — read/write waits and
+// deadline checks all observe the virtual clock, so tests may substitute
+// a hand-driven clock by never starting the pump.  The pump exits last,
+// once drain has completed and every other serving thread is gone.
+func (srv *Server) pump() {
+	start := time.Now()
+	var emitted int64
+	for {
+		target := int64(time.Since(start) / srv.opts.Tick)
+		if d := target - emitted; d > 0 {
+			srv.clock.Advance(srv.sys, d)
+			emitted = target
+		}
+		srv.state.Lock()
+		done := srv.draining && srv.acceptorDone && srv.dispatcherDone && srv.active == 0
+		srv.state.Unlock()
+		if done {
+			return
+		}
+		srv.sys.CheckPreempt()
+		// Bound the busy-wait: sleep a fraction of a tick (briefly holding
+		// this proc), then yield so co-resident threads run.
+		time.Sleep(srv.opts.Tick / 4)
+		srv.sys.Yield()
+	}
+}
+
+// -------------------------------------------------------------- acceptor
+
+// acceptor polls the listener cooperatively: a short accept deadline per
+// attempt, then a yield, so the thread honors preemption, revocation,
+// drain, and the trace-snapshot barrier at every iteration.
+func (srv *Server) acceptor() {
+	self := func() int { return proc.Self() }
+	for {
+		srv.acceptorBarrier()
+		srv.state.Lock()
+		stop := srv.draining
+		srv.state.Unlock()
+		if stop {
+			break
+		}
+		srv.ln.SetDeadline(time.Now().Add(srv.opts.PollWindow))
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			if isTimeout(err) {
+				srv.sys.CheckPreempt()
+				srv.sys.Yield()
+				continue
+			}
+			srv.m.acceptErrs.Inc(self())
+			srv.sys.Yield()
+			continue
+		}
+		now := srv.clock.Now()
+		srv.m.accepted.Inc(self())
+		srv.emit(srv.evAccept, now)
+
+		srv.state.Lock()
+		if srv.draining {
+			srv.state.Unlock()
+			srv.shed(pending{conn: conn, arrival: now}, srv.m.shedDrain, "draining")
+			break
+		}
+		if srv.acceptQ.Len() >= srv.opts.QueueDepth {
+			srv.state.Unlock()
+			srv.shed(pending{conn: conn, arrival: now}, srv.m.shedQueue, "accept queue full")
+			continue
+		}
+		srv.acceptQ.Enq(pending{conn: conn, arrival: now})
+		srv.state.Unlock()
+		srv.m.queued.Inc(self())
+		srv.emit(srv.evEnqueue, now)
+		srv.items.Release()
+	}
+	srv.ln.Close()
+	srv.emit(srv.evDrain, 0)
+	srv.state.Lock()
+	srv.acceptorDone = true
+	srv.state.Unlock()
+	// Poison: wake the dispatcher so it can observe drain and exit.
+	srv.items.Release()
+}
+
+// acceptorBarrier parks the acceptor while a /trace snapshot is in
+// progress.  The state-lock handoff here is also the happens-before edge
+// that orders the acceptor's last ring emit before the snapshot's reads.
+func (srv *Server) acceptorBarrier() {
+	srv.state.Lock()
+	if !srv.tracePause {
+		srv.state.Unlock()
+		return
+	}
+	srv.acceptorIdle = true
+	srv.state.Unlock()
+	for {
+		srv.park(1)
+		srv.state.Lock()
+		if !srv.tracePause {
+			srv.acceptorIdle = false
+			srv.state.Unlock()
+			return
+		}
+		srv.state.Unlock()
+	}
+}
+
+// shed refuses a connection with 503 + Retry-After, best-effort: the
+// write is capped to a few ticks so a dead client cannot stall the
+// shedding thread.
+func (srv *Server) shed(p pending, counter *metrics.Counter, why string) {
+	counter.Inc(proc.Self())
+	srv.emit(srv.evShed, p.arrival)
+	resp := Response{
+		Status:     503,
+		Body:       []byte("shedding load: " + why + "\n"),
+		RetryAfter: srv.opts.RetryAfter,
+	}
+	srv.writeResponse(p.conn, resp, srv.clock.Now()+20)
+	p.conn.Close()
+	srv.logAccess(resp.Status, p.arrival, "-", "-")
+}
+
+// ------------------------------------------------------------ dispatcher
+
+// dispatcher moves requests from the accept queue into workers: a P on
+// the items semaphore per queued connection (parking when the queue is
+// empty), a P on the slots semaphore per dispatch (parking at the
+// in-flight bound), then a forked worker thread per request.
+func (srv *Server) dispatcher() {
+	for {
+		srv.state.Lock()
+		srv.dispatcherIdle = true
+		srv.state.Unlock()
+		srv.items.Acquire()
+		srv.state.Lock()
+		srv.dispatcherIdle = false
+		p, err := srv.acceptQ.Deq()
+		if err != nil {
+			// Empty queue on a positive items count is the acceptor's
+			// drain poison.
+			if srv.draining && srv.acceptorDone {
+				srv.dispatcherDone = true
+				srv.state.Unlock()
+				return
+			}
+			srv.state.Unlock()
+			continue
+		}
+		draining := srv.draining
+		srv.state.Unlock()
+
+		self := proc.Self()
+		if draining {
+			srv.shed(p, srv.m.shedDrain, "draining")
+			continue
+		}
+		deadline := p.arrival + srv.opts.DeadlineTicks
+		if now := srv.clock.Now(); now >= deadline {
+			// Expired while queued: answer 504 without consuming a slot.
+			srv.m.expired.Inc(self)
+			resp := Response{Status: 504, Body: []byte("deadline exceeded in accept queue\n")}
+			srv.writeResponse(p.conn, resp, now+20)
+			p.conn.Close()
+			srv.logAccess(504, p.arrival, "-", "-")
+			continue
+		}
+		srv.slots.Acquire()
+		srv.m.dispatched.Inc(self)
+		srv.m.queueTicks.Observe(self, srv.clock.Now()-p.arrival)
+		srv.emit(srv.evDispatch, p.arrival)
+		srv.state.Lock()
+		srv.active++
+		srv.state.Unlock()
+		srv.sys.Fork(func() { srv.worker(p) })
+	}
+}
+
+// ---------------------------------------------------------------- worker
+
+// errDrop marks connections that cannot be answered at all (unreadable
+// request); everything else gets a response.
+var errDrop = errors.New("serve: connection unusable")
+
+// worker handles one request end to end, then returns its in-flight
+// slot.  All blocking inside (reads, writes, handler parks) is
+// cooperative: short poll windows plus CML clock parks.
+func (srv *Server) worker(p pending) {
+	deadline := p.arrival + srv.opts.DeadlineTicks
+	req, err := srv.readRequest(p, deadline)
+	var resp Response
+	switch {
+	case err == nil:
+		resp = srv.dispatchRequest(req)
+		if resp.Status == 200 && srv.clock.Now() >= deadline {
+			// Backstop: the handler finished past the deadline without
+			// cancelling itself; the client has been told 504.
+			resp = Response{Status: 504, Body: []byte("deadline exceeded\n")}
+		}
+		if resp.Status == 504 {
+			// Covers both the backstop and handlers that cancelled
+			// themselves at a safe point.
+			srv.m.expired.Inc(proc.Self())
+		}
+	case errors.Is(err, errDeadline):
+		srv.m.expired.Inc(proc.Self())
+		resp = Response{Status: 504, Body: []byte("deadline exceeded reading request\n")}
+	case errors.Is(err, errTooLarge):
+		resp = Response{Status: 413, Body: []byte("request too large\n")}
+	case errors.Is(err, errBadRequest):
+		resp = Response{Status: 400, Body: []byte("malformed request\n")}
+	default:
+		// Unreadable connection (reset, EOF mid-request): nothing to say.
+		srv.m.readErrs.Inc(proc.Self())
+		err = errDrop
+	}
+
+	method, path := "-", "-"
+	if req != nil {
+		method, path = req.Method, req.Path
+	}
+	if err != errDrop {
+		srv.writeResponse(p.conn, resp, deadline+20)
+		self := proc.Self()
+		srv.m.responded.Inc(self)
+		srv.m.latencyTicks.Observe(self, srv.clock.Now()-p.arrival)
+		srv.emit(srv.evRespond, int64(resp.Status))
+	}
+	p.conn.Close()
+	srv.logAccess(resp.Status, p.arrival, method, path)
+
+	// Last serve-side action: leave the in-flight set under the state
+	// lock (ordering every emit above before a /trace snapshot's reads),
+	// then free the slot so the dispatcher can admit the next request.
+	srv.state.Lock()
+	srv.active--
+	srv.state.Unlock()
+	srv.slots.Release()
+}
+
+// dispatchRequest routes and runs the handler for a parsed request.
+func (srv *Server) dispatchRequest(req *Request) Response {
+	h := srv.route(req.Path)
+	if h == nil {
+		return Response{Status: 404, Body: []byte("no handler for " + req.Path + "\n")}
+	}
+	self := proc.Self()
+	srv.m.handled.Inc(self)
+	srv.emit(srv.evHandle, req.Arrival)
+	return h(req)
+}
+
+// logAccess writes one access-log line through mlio's per-stream policy:
+// "tick proc status latency method path".
+func (srv *Server) logAccess(status int, arrival int64, method, path string) {
+	now := srv.clock.Now()
+	rec := fmt.Sprintf("%d %d %d %d %s %s", now, proc.Self(), status, now-arrival, method, path)
+	srv.logpol.Write(srv.logrt.Open("access"), []byte(rec))
+}
+
+// ----------------------------------------------------------------- misc
+
+// isTimeout reports whether err is a network timeout (deadline expiry).
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

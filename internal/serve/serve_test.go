@@ -1,0 +1,502 @@
+package serve
+
+// End-to-end tests for the serving subsystem.  Test files are the
+// *client* side of the wire (plus the harness that hosts System.Run), so
+// raw goroutines and channels are fine here; the purity test only scans
+// non-test sources.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/threads"
+	"repro/internal/trace"
+)
+
+// doReq performs one request with Connection: close semantics and
+// returns status, headers, body.
+func doReq(addr, method, path string, body []byte, timeout time.Duration) (int, map[string]string, []byte, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	fmt.Fprintf(conn, "%s %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nConnection: close\r\n\r\n",
+		method, path, len(body))
+	if len(body) > 0 {
+		if _, err := conn.Write(body); err != nil {
+			return 0, nil, nil, err
+		}
+	}
+	raw, err := io.ReadAll(conn)
+	if err != nil && len(raw) == 0 {
+		return 0, nil, nil, err
+	}
+	head, rest, ok := bytes.Cut(raw, []byte("\r\n\r\n"))
+	if !ok {
+		return 0, nil, nil, fmt.Errorf("no header terminator in %q", raw)
+	}
+	lines := strings.Split(string(head), "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) < 2 {
+		return 0, nil, nil, fmt.Errorf("bad status line %q", lines[0])
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	hdr := map[string]string{}
+	for _, ln := range lines[1:] {
+		if k, v, ok := strings.Cut(ln, ":"); ok {
+			hdr[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+		}
+	}
+	return status, hdr, rest, nil
+}
+
+type testServer struct {
+	srv  *Server
+	sys  *threads.System
+	pl   *proc.Platform
+	done chan struct{}
+}
+
+func (ts *testServer) addr() string { return ts.srv.Addr().String() }
+
+// startServer hosts a server on its own thread system and registers a
+// cleanup that drains it and waits for quiescence.
+func startServer(t *testing.T, procs int, opts Options, register func(*Server)) *testServer {
+	t.Helper()
+	pl := proc.New(procs)
+	sys := threads.New(pl, threads.Options{})
+	opts.Addr = "127.0.0.1:0"
+	srv, err := New(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if register != nil {
+		register(srv)
+	}
+	ts := &testServer{srv: srv, sys: sys, pl: pl, done: make(chan struct{})}
+	go func() {
+		sys.Run(func() { srv.Serve() })
+		close(ts.done)
+	}()
+	healthy := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if st, _, _, err := doReq(ts.addr(), "GET", "/healthz", nil, time.Second); err == nil && st == 200 {
+			healthy = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatal("server did not become healthy")
+	}
+	t.Cleanup(func() {
+		srv.Drain()
+		select {
+		case <-ts.done:
+		case <-time.After(30 * time.Second):
+			t.Error("server did not quiesce after drain")
+		}
+	})
+	return ts
+}
+
+// slowHandler parks for ?ticks= clock ticks, cancelling at safe points.
+func slowHandler(req *Request) Response {
+	target := req.srv.clock.Now() + int64(req.QueryInt("ticks", 10))
+	for req.srv.clock.Now() < target {
+		if req.Expired() {
+			return Response{Status: 504, Body: []byte("cancelled\n")}
+		}
+		req.Park(1)
+	}
+	return Response{Status: 200, Body: []byte("slept\n")}
+}
+
+func TestEchoEndToEnd(t *testing.T) {
+	ts := startServer(t, 4, Options{}, nil)
+	st, _, body, err := doReq(ts.addr(), "POST", "/echo", []byte("hello mp"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 200 || string(body) != "hello mp" {
+		t.Fatalf("got %d %q", st, body)
+	}
+	st, _, body, err = doReq(ts.addr(), "GET", "/echo?msg=query", nil, 5*time.Second)
+	if err != nil || st != 200 || string(body) != "query" {
+		t.Fatalf("query echo: %d %q %v", st, body, err)
+	}
+	if st, _, _, _ := doReq(ts.addr(), "GET", "/nosuch", nil, 5*time.Second); st != 404 {
+		t.Fatalf("missing route: got %d, want 404", st)
+	}
+}
+
+func TestWorkKernelsServeParallelJobs(t *testing.T) {
+	ts := startServer(t, 4, Options{}, nil)
+	for _, k := range []string{"mm", "allpairs", "abisort"} {
+		st, _, body, err := doReq(ts.addr(), "GET", "/work/"+k+"?n=32&workers=2", nil, 15*time.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if st != 200 || !bytes.Contains(body, []byte("checksum")) {
+			t.Fatalf("%s: got %d %q", k, st, body)
+		}
+	}
+	if st, _, _, _ := doReq(ts.addr(), "GET", "/work/nosuch", nil, 5*time.Second); st != 404 {
+		t.Fatalf("unknown kernel: got %d, want 404", st)
+	}
+}
+
+func TestBoundedInFlightAndLoadShedding(t *testing.T) {
+	const maxInFlight, queueDepth, clients = 2, 2, 16
+	var cur, peak atomic.Int32
+	ts := startServer(t, 4, Options{MaxInFlight: maxInFlight, QueueDepth: queueDepth},
+		func(srv *Server) {
+			srv.Handle("/slow", func(req *Request) Response {
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				defer cur.Add(-1)
+				return slowHandler(req)
+			})
+		})
+
+	var wg sync.WaitGroup
+	var ok200, shed503, other atomic.Int32
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, hdr, _, err := doReq(ts.addr(), "GET", "/slow?ticks=30", nil, 20*time.Second)
+			if err != nil {
+				other.Add(1)
+				return
+			}
+			switch st {
+			case 200:
+				ok200.Add(1)
+			case 503:
+				shed503.Add(1)
+				if hdr["retry-after"] == "" {
+					t.Error("503 without Retry-After header")
+				}
+			default:
+				other.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := ok200.Load() + shed503.Load() + other.Load(); got != clients {
+		t.Fatalf("accounted %d of %d clients", got, clients)
+	}
+	if other.Load() != 0 {
+		t.Errorf("%d clients got neither 200 nor 503", other.Load())
+	}
+	if peak.Load() > maxInFlight {
+		t.Errorf("peak concurrent handlers = %d, want <= %d (bounded in-flight violated)", peak.Load(), maxInFlight)
+	}
+	if shed503.Load() == 0 {
+		t.Error("no requests shed: overload did not trigger admission control")
+	}
+	if ok200.Load() == 0 {
+		t.Error("no requests served under overload")
+	}
+	snap := ts.sys.Metrics().Snapshot()
+	if snap.Get("serve.shed_queue_full") == 0 {
+		t.Error("serve.shed_queue_full counter is zero despite 503s")
+	}
+	if snap.Get("serve.responded") != int64(clients)+1 { // +1 for /healthz
+		t.Logf("responded = %d (healthz included)", snap.Get("serve.responded"))
+	}
+}
+
+func TestDrainFinishesInFlightZeroDropped(t *testing.T) {
+	const inFlight = 3
+	ts := startServer(t, 4, Options{MaxInFlight: 8}, func(srv *Server) {
+		srv.Handle("/slow", slowHandler)
+	})
+
+	results := make(chan int, inFlight)
+	for i := 0; i < inFlight; i++ {
+		go func() {
+			st, _, _, err := doReq(ts.addr(), "GET", "/slow?ticks=80", nil, 30*time.Second)
+			if err != nil {
+				st = -1
+			}
+			results <- st
+		}()
+	}
+	// Wait until all three are dispatched and handling.
+	for deadline := time.Now().Add(10 * time.Second); ts.srv.InFlight() < inFlight; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d requests in flight", ts.srv.InFlight())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	ts.srv.Drain()
+
+	// New arrivals during drain are shed (503) or refused outright once
+	// the listener closes; both are acceptable, losing the connection to
+	// a stall is not.
+	if st, _, _, err := doReq(ts.addr(), "GET", "/slow?ticks=1", nil, 5*time.Second); err == nil && st != 503 {
+		t.Errorf("request during drain: got %d, want 503 or connection error", st)
+	}
+
+	for i := 0; i < inFlight; i++ {
+		select {
+		case st := <-results:
+			if st != 200 {
+				t.Errorf("in-flight request got %d during drain, want 200 (zero dropped)", st)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("in-flight request never completed")
+		}
+	}
+
+	select {
+	case <-ts.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("platform did not quiesce after drain")
+	}
+	if live := ts.pl.Live(); live != 0 {
+		t.Errorf("live procs after drain = %d, want 0", live)
+	}
+	snap := ts.sys.Metrics().Snapshot()
+	if got := snap.Get("serve.dispatched"); got < inFlight {
+		t.Errorf("dispatched = %d, want >= %d", got, inFlight)
+	}
+	if exp := snap.Get("serve.deadline_expired"); exp != 0 {
+		t.Errorf("deadline_expired = %d during drain, want 0", exp)
+	}
+}
+
+func TestDeadlineCancelsAtSafePoint(t *testing.T) {
+	ts := startServer(t, 4, Options{DeadlineTicks: 15}, func(srv *Server) {
+		srv.Handle("/slow", slowHandler)
+	})
+	st, _, body, err := doReq(ts.addr(), "GET", "/slow?ticks=5000", nil, 20*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 504 {
+		t.Fatalf("got %d %q, want 504", st, body)
+	}
+	if got := ts.sys.Metrics().Snapshot().Get("serve.deadline_expired"); got == 0 {
+		t.Error("serve.deadline_expired counter is zero")
+	}
+}
+
+func TestSilentClientTimesOut(t *testing.T) {
+	ts := startServer(t, 4, Options{DeadlineTicks: 20}, nil)
+	conn, err := net.Dial("tcp", ts.addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(20 * time.Second))
+	// Send nothing; the server should answer 504 once the request
+	// deadline passes, rather than holding the connection forever.
+	raw, _ := io.ReadAll(conn)
+	if !bytes.Contains(raw, []byte("504")) {
+		t.Fatalf("silent client got %q, want a 504 response", raw)
+	}
+}
+
+func TestMetricsAndAccessLogEndpoints(t *testing.T) {
+	ts := startServer(t, 4, Options{}, nil)
+	for i := 0; i < 5; i++ {
+		if st, _, _, err := doReq(ts.addr(), "GET", "/echo?msg=x", nil, 5*time.Second); err != nil || st != 200 {
+			t.Fatalf("warmup: %d %v", st, err)
+		}
+	}
+	st, _, body, err := doReq(ts.addr(), "GET", "/metrics", nil, 5*time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("/metrics: %d %v", st, err)
+	}
+	for _, want := range []string{"serve.accepted", "serve.dispatched", "serve.latency_ticks", "proc.acquired", "threads.dispatches"} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	st, _, body, err = doReq(ts.addr(), "GET", "/log", nil, 5*time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("/log: %d %v", st, err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) < 5 {
+		t.Fatalf("access log has %d lines, want >= 5", len(lines))
+	}
+	for _, ln := range lines {
+		if f := bytes.Fields(ln); len(f) != 6 {
+			t.Errorf("torn or malformed access-log line %q", ln)
+		}
+	}
+}
+
+func TestTraceSnapshotUnderLoad(t *testing.T) {
+	tr := trace.New(4, 1<<12)
+	ts := startServer(t, 4, Options{Tracer: tr}, func(srv *Server) {
+		srv.Handle("/slow", slowHandler)
+	})
+	tr.Enable()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				doReq(ts.addr(), "GET", "/slow?ticks=3", nil, 10*time.Second)
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	st, hdr, body, err := doReq(ts.addr(), "GET", "/trace", nil, 30*time.Second)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != 200 {
+		t.Fatalf("/trace: got %d %q", st, body)
+	}
+	if hdr["content-type"] != "application/json" {
+		t.Errorf("content-type = %q", hdr["content-type"])
+	}
+	if !bytes.HasPrefix(body, []byte("{\"displayTimeUnit\"")) {
+		t.Errorf("trace body does not look like Chrome JSON: %.60q", body)
+	}
+	if !bytes.Contains(body, []byte("serve.accept")) {
+		t.Error("trace has no serve.accept events")
+	}
+	// The world restarts after the snapshot.
+	if st, _, _, err := doReq(ts.addr(), "GET", "/echo?msg=alive", nil, 10*time.Second); err != nil || st != 200 {
+		t.Fatalf("server did not resume after /trace: %d %v", st, err)
+	}
+}
+
+// TestSoakOverloadDrainRecovery drives the server through the full
+// lifecycle the subsystem exists for: saturating overload (admission
+// control sheds), recovery to normal service, processor revocation and
+// regrow mid-traffic, then graceful drain with zero dropped in-flight
+// requests.  CI runs this under -race.
+func TestSoakOverloadDrainRecovery(t *testing.T) {
+	ts := startServer(t, 4, Options{MaxInFlight: 2, QueueDepth: 2}, func(srv *Server) {
+		srv.Handle("/slow", slowHandler)
+	})
+
+	// Phase 1: overload.
+	var wg sync.WaitGroup
+	var ok200, shed, failed atomic.Int32
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			path := "/slow?ticks=10"
+			if i%3 == 0 {
+				path = "/compute?n=200000"
+			}
+			st, _, _, err := doReq(ts.addr(), "GET", path, nil, 20*time.Second)
+			switch {
+			case err != nil:
+				failed.Add(1)
+			case st == 200:
+				ok200.Add(1)
+			case st == 503:
+				shed.Add(1)
+			default:
+				failed.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Errorf("%d requests failed outright during overload", failed.Load())
+	}
+	if shed.Load() == 0 {
+		t.Error("overload produced no sheds")
+	}
+	if ok200.Load() == 0 {
+		t.Error("overload produced no successes")
+	}
+
+	// Phase 2: the OS withdraws processors mid-service and returns them;
+	// traffic keeps flowing on the survivors (§3.1 revocation).
+	ts.pl.SetLimit(1)
+	for i := 0; i < 5; i++ {
+		if st, _, _, err := doReq(ts.addr(), "GET", "/echo?msg=squeezed", nil, 15*time.Second); err != nil || st != 200 {
+			t.Fatalf("request %d under shrunken allowance: %d %v", i, st, err)
+		}
+	}
+	ts.pl.SetLimit(4)
+
+	// Phase 3: recovery — sequential requests all succeed.
+	for i := 0; i < 10; i++ {
+		if st, _, _, err := doReq(ts.addr(), "GET", "/echo?msg=back", nil, 15*time.Second); err != nil || st != 200 {
+			t.Fatalf("recovery request %d: %d %v", i, st, err)
+		}
+	}
+
+	// Phase 4: drain with requests in flight; all must complete.
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			st, _, _, err := doReq(ts.addr(), "GET", "/slow?ticks=60", nil, 30*time.Second)
+			if err != nil {
+				st = -1
+			}
+			results <- st
+		}()
+	}
+	for deadline := time.Now().Add(10 * time.Second); ts.srv.InFlight() < 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("in flight = %d, want 2", ts.srv.InFlight())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ts.srv.Drain()
+	for i := 0; i < 2; i++ {
+		if st := <-results; st != 200 {
+			t.Errorf("in-flight request during drain got %d, want 200", st)
+		}
+	}
+	select {
+	case <-ts.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no quiescence after drain")
+	}
+
+	snap := ts.sys.Metrics().Snapshot()
+	if snap.Get("serve.accepted") == 0 || snap.Get("serve.responded") == 0 {
+		t.Error("serve counters empty after soak")
+	}
+	t.Logf("soak: accepted=%d responded=%d shed=%d expired=%d",
+		snap.Get("serve.accepted"), snap.Get("serve.responded"),
+		snap.Get("serve.shed_queue_full"), snap.Get("serve.deadline_expired"))
+}

@@ -315,6 +315,62 @@ func TestRevocationShrinksRunningProcs(t *testing.T) {
 	}
 }
 
+// TestSetLimitShrinkWhileBusyReleasesAtSafePoints sharpens the
+// revocation test above: it observes the shrink actually *happen*
+// mid-run.  After SetLimit(1) lands under a fork storm, the live proc
+// count must fall to the new allowance at Dispatch safe points while
+// most of the work is still outstanding — processors leave with work
+// queued, they do not linger until the queue empties — and every thread
+// must still complete on the survivor.
+func TestSetLimitShrinkWhileBusyReleasesAtSafePoints(t *testing.T) {
+	const nThreads = 32
+	pl := proc.New(4)
+	s := New(pl, Options{})
+	var completed atomic.Int32
+	var peakBefore atomic.Int32
+	var leftBehind atomic.Int32 // threads unfinished when Live() first hit the new limit
+	s.Run(func() {
+		for i := 0; i < nThreads; i++ {
+			s.Fork(func() {
+				for j := 0; j < 300; j++ {
+					s.CheckPreempt()
+					s.Yield()
+				}
+				completed.Add(1)
+			})
+		}
+		s.Fork(func() {
+			// Let the storm spread across the full allowance first.
+			for pl.Live() < 4 && completed.Load() < nThreads/4 {
+				s.Yield()
+			}
+			peakBefore.Store(int32(pl.Live()))
+			pl.SetLimit(1)
+			for completed.Load() < nThreads {
+				if pl.Live() <= 1 {
+					leftBehind.Store(nThreads - completed.Load())
+					return
+				}
+				s.Yield()
+			}
+		})
+	})
+	if completed.Load() != nThreads {
+		t.Fatalf("completed = %d, want %d", completed.Load(), nThreads)
+	}
+	if peakBefore.Load() < 2 {
+		t.Errorf("peak live before shrink = %d; storm never spread, shrink not exercised", peakBefore.Load())
+	}
+	if leftBehind.Load() == 0 {
+		t.Error("live procs never dropped to the shrunken allowance while work remained: revocation did not release at safe points")
+	} else {
+		t.Logf("shrink 4→1 observed with %d/%d threads still outstanding", leftBehind.Load(), nThreads)
+	}
+	if live := pl.Live(); live != 0 {
+		t.Fatalf("live procs after quiescence = %d", live)
+	}
+}
+
 func TestRevocationThenRegrow(t *testing.T) {
 	pl := proc.New(4)
 	s := New(pl, Options{})
