@@ -9,13 +9,21 @@
 //     of completions, the mode that actually exposes queueing collapse
 //     and admission-control behavior under overload.
 //
+// Closed-loop workers speak persistent HTTP/1.1 with -keepalive: each
+// worker holds one connection and issues up to -reqs requests on it
+// (framing responses by Content-Length) before redialing, and the
+// summary reports the reused-connection ratio actually achieved.
+// Extra request headers (-header "X-Shard-Key: hot") steer the sharded
+// fabric's sticky router, the lever for forcing load skew.
+//
 // Every response is classified (2xx / shed 503 / expired 504 / error),
 // and -json writes the full summary machine-readably for benchmark
-// archiving (BENCH_serve.json).
+// archiving (BENCH_serve.json, BENCH_shard.json).
 //
 // Usage:
 //
 //	mploadgen [-addr host:port] [-path /echo?msg=hi] [-conns N]
+//	          [-keepalive] [-reqs N] [-header "K: V"]
 //	          [-rate req/s] [-duration d] [-timeout d] [-json out.json]
 package main
 
@@ -47,16 +55,19 @@ type Summary struct {
 	Path       string  `json:"path"`
 	Mode       string  `json:"mode"` // "closed" or "open"
 	Conns      int     `json:"conns"`
+	KeepAlive  bool    `json:"keepalive"`
 	RatePerSec float64 `json:"rate_per_sec,omitempty"` // offered, open-loop only
 	DurationMS int64   `json:"duration_ms"`
 
-	Sent       int64   `json:"sent"`
-	OK         int64   `json:"ok"`             // 2xx
-	Shed       int64   `json:"shed"`           // 503
-	Expired    int64   `json:"expired"`        // 504
-	OtherHTTP  int64   `json:"other_http"`     // any other status
-	Errors     int64   `json:"errors"`         // dial/IO failures
-	Throughput float64 `json:"throughput_rps"` // OK responses per second
+	Sent        int64   `json:"sent"`
+	OK          int64   `json:"ok"`             // 2xx
+	Shed        int64   `json:"shed"`           // 503
+	Expired     int64   `json:"expired"`        // 504
+	OtherHTTP   int64   `json:"other_http"`     // any other status
+	Errors      int64   `json:"errors"`         // dial/IO failures
+	ConnsDialed int64   `json:"conns_dialed"`   // TCP connections opened
+	ReusedRatio float64 `json:"reused_ratio"`   // responses on an already-used conn / responses
+	Throughput  float64 `json:"throughput_rps"` // OK responses per second
 
 	LatencyMS struct {
 		P50 float64 `json:"p50"`
@@ -66,14 +77,30 @@ type Summary struct {
 	} `json:"latency_ms"` // over OK responses
 }
 
+// headerList collects repeated -header flags.
+type headerList []string
+
+func (h *headerList) String() string { return strings.Join(*h, "; ") }
+func (h *headerList) Set(v string) error {
+	if !strings.Contains(v, ":") {
+		return fmt.Errorf("header %q is not of the form \"Name: value\"", v)
+	}
+	*h = append(*h, v)
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "server address")
 	path := flag.String("path", "/echo?msg=hi", "request path")
 	conns := flag.Int("conns", 8, "closed-loop concurrent workers")
+	keepalive := flag.Bool("keepalive", false, "closed-loop: reuse connections (persistent HTTP/1.1)")
+	reqsPerConn := flag.Int("reqs", 100, "keep-alive: max requests per connection before redialing")
 	rate := flag.Float64("rate", 0, "open-loop offered rate in req/s (0 = closed-loop)")
 	duration := flag.Duration("duration", 5*time.Second, "test duration")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	jsonPath := flag.String("json", "", "write the summary as JSON to this file")
+	var headers headerList
+	flag.Var(&headers, "header", "extra request header \"Name: value\" (repeatable)")
 	flag.Parse()
 
 	var (
@@ -81,6 +108,8 @@ func main() {
 		results []result
 		sent    atomic.Int64
 		errs    atomic.Int64
+		dialed  atomic.Int64
+		reused  atomic.Int64
 	)
 	record := func(st int, lat time.Duration) {
 		mu.Lock()
@@ -90,7 +119,8 @@ func main() {
 	one := func() {
 		sent.Add(1)
 		start := time.Now()
-		st, err := doReq(*addr, *path, *timeout)
+		dialed.Add(1)
+		st, _, err := doReq(*addr, *path, headers, *timeout)
 		if err != nil {
 			errs.Add(1)
 			return
@@ -116,6 +146,49 @@ func main() {
 				one()
 			}()
 		}
+	} else if *keepalive {
+		for i := 0; i < *conns; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				var kc *kaClient
+				onConn := 0
+				for time.Now().Before(stop) {
+					if kc == nil {
+						c, err := net.DialTimeout("tcp", *addr, *timeout)
+						if err != nil {
+							errs.Add(1)
+							sent.Add(1)
+							continue
+						}
+						kc = &kaClient{nc: c}
+						dialed.Add(1)
+						onConn = 0
+					}
+					sent.Add(1)
+					start := time.Now()
+					st, close, err := kc.do(*path, headers, *timeout)
+					if err != nil {
+						errs.Add(1)
+						kc.nc.Close()
+						kc = nil
+						continue
+					}
+					record(st, time.Since(start))
+					if onConn > 0 {
+						reused.Add(1)
+					}
+					onConn++
+					if close || onConn >= *reqsPerConn {
+						kc.nc.Close()
+						kc = nil
+					}
+				}
+				if kc != nil {
+					kc.nc.Close()
+				}
+			}()
+		}
 	} else {
 		for i := 0; i < *conns; i++ {
 			wg.Add(1)
@@ -131,13 +204,15 @@ func main() {
 	elapsed := time.Since(begin)
 
 	s := Summary{
-		Addr:       *addr,
-		Path:       *path,
-		Mode:       mode,
-		Conns:      *conns,
-		DurationMS: elapsed.Milliseconds(),
-		Sent:       sent.Load(),
-		Errors:     errs.Load(),
+		Addr:        *addr,
+		Path:        *path,
+		Mode:        mode,
+		Conns:       *conns,
+		KeepAlive:   mode == "closed" && *keepalive,
+		DurationMS:  elapsed.Milliseconds(),
+		Sent:        sent.Load(),
+		Errors:      errs.Load(),
+		ConnsDialed: dialed.Load(),
 	}
 	if mode == "open" {
 		s.RatePerSec = *rate
@@ -156,6 +231,9 @@ func main() {
 			s.OtherHTTP++
 		}
 	}
+	if responses := int64(len(results)); responses > 0 {
+		s.ReusedRatio = float64(reused.Load()) / float64(responses)
+	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		s.Throughput = float64(s.OK) / secs
 	}
@@ -172,10 +250,16 @@ func main() {
 		fmt.Printf(", %.0f req/s offered", *rate)
 	} else {
 		fmt.Printf(", %d conns", *conns)
+		if s.KeepAlive {
+			fmt.Printf(", keep-alive")
+		}
 	}
 	fmt.Printf(") over %s\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  sent %d: ok %d, shed %d, expired %d, other %d, errors %d\n",
 		s.Sent, s.OK, s.Shed, s.Expired, s.OtherHTTP, s.Errors)
+	if s.KeepAlive {
+		fmt.Printf("  conns dialed %d, reused-conn ratio %.3f\n", s.ConnsDialed, s.ReusedRatio)
+	}
 	fmt.Printf("  throughput %.1f req/s  latency ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
 		s.Throughput, s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
 
@@ -203,26 +287,106 @@ func quantile(xs []float64, q float64) float64 {
 	return xs[i]
 }
 
+// kaClient is one persistent connection, framing responses by
+// Content-Length so the connection survives across requests.
+type kaClient struct {
+	nc  net.Conn
+	acc []byte
+}
+
+// do issues one request and reads one framed response, returning the
+// status and whether the server asked to close the connection.
+func (k *kaClient) do(path string, headers []string, timeout time.Duration) (int, bool, error) {
+	k.nc.SetDeadline(time.Now().Add(timeout))
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "GET %s HTTP/1.1\r\nHost: loadgen\r\nContent-Length: 0\r\n", path)
+	for _, h := range headers {
+		b.WriteString(h + "\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := k.nc.Write(b.Bytes()); err != nil {
+		return 0, false, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		if head, rest, ok := bytes.Cut(k.acc, []byte("\r\n\r\n")); ok {
+			lines := strings.Split(string(head), "\r\n")
+			parts := strings.SplitN(lines[0], " ", 3)
+			if len(parts) < 2 {
+				return 0, false, fmt.Errorf("bad status line %q", lines[0])
+			}
+			status, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return 0, false, err
+			}
+			clen, close := -1, false
+			for _, ln := range lines[1:] {
+				kk, v, ok := strings.Cut(ln, ":")
+				if !ok {
+					continue
+				}
+				switch strings.ToLower(strings.TrimSpace(kk)) {
+				case "content-length":
+					clen, err = strconv.Atoi(strings.TrimSpace(v))
+					if err != nil {
+						return 0, false, err
+					}
+				case "connection":
+					close = strings.EqualFold(strings.TrimSpace(v), "close")
+				}
+			}
+			if clen < 0 {
+				return 0, false, fmt.Errorf("no Content-Length in %q", head)
+			}
+			for len(rest) < clen {
+				n, err := k.nc.Read(buf)
+				if n > 0 {
+					rest = append(rest, buf[:n]...)
+				} else if err != nil {
+					return 0, false, err
+				}
+			}
+			k.acc = append([]byte(nil), rest[clen:]...)
+			return status, close, nil
+		}
+		n, err := k.nc.Read(buf)
+		if n > 0 {
+			k.acc = append(k.acc, buf[:n]...)
+		} else if err != nil {
+			return 0, false, err
+		}
+	}
+}
+
 // doReq issues one GET with Connection: close and returns the status.
-func doReq(addr, path string, timeout time.Duration) (int, error) {
+func doReq(addr, path string, headers []string, timeout time.Duration) (int, bool, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	defer conn.Close()
 	conn.SetDeadline(time.Now().Add(timeout))
-	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n", path)
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "GET %s HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n", path)
+	for _, h := range headers {
+		b.WriteString(h + "\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := conn.Write(b.Bytes()); err != nil {
+		return 0, false, err
+	}
 	raw, err := io.ReadAll(conn)
 	if err != nil && len(raw) == 0 {
-		return 0, err
+		return 0, false, err
 	}
 	line, _, ok := bytes.Cut(raw, []byte("\r\n"))
 	if !ok {
-		return 0, fmt.Errorf("no status line in %q", raw)
+		return 0, false, fmt.Errorf("no status line in %q", raw)
 	}
 	parts := strings.SplitN(string(line), " ", 3)
 	if len(parts) < 2 {
-		return 0, fmt.Errorf("bad status line %q", line)
+		return 0, false, fmt.Errorf("bad status line %q", line)
 	}
-	return strconv.Atoi(parts[1])
+	st, err := strconv.Atoi(parts[1])
+	return st, true, err
 }

@@ -5,16 +5,25 @@
 // kernels (/work/<name>), /echo, /compute, and the observability
 // endpoints /metrics, /trace, /log.
 //
-// SIGINT/SIGTERM triggers a graceful drain: the processor allowance is
-// shrunk via proc.SetLimit, procs release themselves at safe points,
-// in-flight requests finish, queued-but-unstarted ones are shed, and
-// the process exits after printing a final metrics snapshot.
+// With -shards N (N > 1) it instead runs the sharded serving fabric:
+// N independent backend shards — each its own proc platform, thread
+// system, and metrics registry — behind one keep-alive front acceptor,
+// with a rebalancer shifting proc allowance toward loaded shards every
+// -rebalance front-clock ticks (see internal/shard).  The process hosts
+// one goroutine per fabric runner, exactly the System.Run host role.
+//
+// SIGINT/SIGTERM triggers a graceful drain: single-server mode shrinks
+// the processor allowance via proc.SetLimit so procs release themselves
+// at safe points; fabric mode cascades front → shards with zero dropped
+// in-flight requests.  Either way the process exits after printing a
+// final metrics snapshot.
 //
 // Usage:
 //
 //	mpserved [-addr host:port] [-procs N] [-inflight N] [-queue N]
 //	         [-deadline ticks] [-tick d] [-quantum d] [-distributed]
 //	         [-ring N] [-trace out.json]
+//	         [-shards N] [-rebalance ticks] [-route-header name]
 package main
 
 import (
@@ -23,19 +32,21 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/proc"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/threads"
 	"repro/internal/trace"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "TCP listen address")
-	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "processor allowance (max procs)")
-	inflight := flag.Int("inflight", 64, "max concurrently-handled requests")
+	procs := flag.Int("procs", runtime.GOMAXPROCS(0), "processor allowance (max procs; fabric: per shard)")
+	inflight := flag.Int("inflight", 64, "max concurrently-handled requests (fabric: per shard)")
 	queueDepth := flag.Int("queue", 128, "accept queue depth (beyond this, shed with 503)")
 	deadline := flag.Int64("deadline", 2000, "per-request deadline in clock ticks")
 	tick := flag.Duration("tick", time.Millisecond, "wall duration of one clock tick")
@@ -43,7 +54,16 @@ func main() {
 	distributed := flag.Bool("distributed", false, "use distributed run queues")
 	ring := flag.Int("ring", 1<<14, "trace ring size per proc (0 = no tracer)")
 	tracePath := flag.String("trace", "", "also write the trace to this file at exit")
+	shards := flag.Int("shards", 1, "backend shard count (>1 runs the sharded fabric)")
+	rebalance := flag.Int64("rebalance", 50, "fabric: rebalancer period in front ticks (0 disables)")
+	routeHeader := flag.String("route-header", "X-Shard-Key", "fabric: sticky consistent-hash routing header")
 	flag.Parse()
+
+	if *shards > 1 {
+		runFabric(*addr, *shards, *procs, *inflight, *queueDepth, *deadline,
+			*rebalance, *routeHeader, *tick)
+		return
+	}
 
 	pl := proc.New(*procs)
 	sys := threads.New(pl, threads.Options{
@@ -105,5 +125,58 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s: %d events (%d dropped)\n", *tracePath, len(tr.Events()), tr.Dropped())
+	}
+}
+
+// runFabric hosts the sharded serving fabric: one goroutine per runner
+// (the front world plus each backend world), SIGTERM cascading the
+// drain, and the merged metrics of every registry printed at exit.
+func runFabric(addr string, shards, procsPerShard, inflight, queueDepth int,
+	deadline, rebalance int64, routeHeader string, tick time.Duration) {
+	if rebalance <= 0 {
+		rebalance = shard.NoRebalance
+	}
+	fab, err := shard.New(shard.Options{
+		Addr:           addr,
+		Shards:         shards,
+		BackendProcs:   procsPerShard,
+		MaxInFlight:    inflight,
+		QueueDepth:     queueDepth,
+		DeadlineTicks:  deadline,
+		RebalanceTicks: rebalance,
+		RouteHeader:    routeHeader,
+		Tick:           tick,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigs
+		fmt.Fprintf(os.Stderr, "mpserved: %v, draining fabric\n", s)
+		fab.Drain()
+	}()
+
+	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks)\n",
+		fab.Addr(), shards, procsPerShard, inflight, rebalance)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, r := range fab.Runners() {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r()
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("mpserved fabric drained after %s; final metrics:\n", time.Since(start).Round(time.Millisecond))
+	fmt.Println("# front registry")
+	fmt.Print(fab.FrontMetrics().Snapshot().Format())
+	for i := 0; i < fab.Shards(); i++ {
+		fmt.Printf("# shard %d registry\n", i)
+		fmt.Print(fab.Shard(i).System().Metrics().Snapshot().Format())
 	}
 }

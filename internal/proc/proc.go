@@ -339,6 +339,12 @@ func SetDatum(d any) { Current().datum = d }
 // interface, used by the evaluation harness and the distributed scheduler.
 func Self() int { return Current().id }
 
+// TrySelf returns the calling proc's id, or (0, false) when the calling
+// goroutine holds no proc — code running outside Platform.Run, such as a
+// host bootstrap goroutine.  Callers use it to pick a sharded-structure
+// slot without requiring the MP world.
+func TrySelf() (int, bool) { return callerID() }
+
 // Run bootstraps the root proc executing root with the given initial
 // datum (paper: initial_datum) and blocks until the platform quiesces —
 // i.e. until every proc, including the root, has been released.  If root

@@ -1,0 +1,299 @@
+package serve
+
+// Conn is the reusable HTTP/1.1 connection state machine, extracted from
+// the one-request-per-connection worker so that both the server's own
+// direct path and the sharded front acceptor (internal/shard) drive
+// persistent keep-alive connections through one implementation.
+//
+// The state the machine carries across requests is the residual read
+// buffer: bytes that arrived beyond the previous request's body — the
+// head of a pipelined next request — are retained and consumed before
+// the socket is read again, so a client that writes several requests
+// back-to-back has them answered back-to-back, in order.  All socket I/O
+// is cooperative: each blocking call is capped by a short poll window,
+// and on timeout the owning thread parks on its CML clock for a tick
+// instead of holding its proc.
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cml"
+	"repro/internal/metrics"
+	"repro/internal/proc"
+)
+
+var (
+	// ErrDeadline reports that the request (or idle keep-alive) deadline
+	// passed before a full request arrived or a response was written.
+	ErrDeadline = errors.New("serve: request deadline exceeded")
+	// ErrTooLarge reports a header block or declared body over the limits.
+	ErrTooLarge = errors.New("serve: request too large")
+	// ErrBadRequest reports an unparseable request head.
+	ErrBadRequest = errors.New("serve: malformed request")
+	// ErrAborted reports that the config's Aborted hook (drain) fired
+	// while waiting for a request.
+	ErrAborted = errors.New("serve: read aborted")
+)
+
+// ConnConfig wires a Conn to its owner's scheduling world.  Every field
+// except Clock and Park is optional.
+type ConnConfig struct {
+	// Clock is the owner's virtual clock; deadlines are ticks on it.
+	Clock *cml.Clock
+	// Park suspends the calling thread for the given number of ticks.
+	Park func(ticks int64)
+	// PollWindow caps each blocking socket call (default 1ms).
+	PollWindow time.Duration
+	// Pool supplies response render buffers; nil allocates per response.
+	Pool *BufPool
+	// OnReadPark is called each time a blocked read parks (metrics hook).
+	OnReadPark func()
+	// Aborted, when non-nil and returning true, aborts an in-progress
+	// ReadRequest with ErrAborted — the drain hook.
+	Aborted func() bool
+}
+
+// Conn drives one client connection.
+type Conn struct {
+	cfg ConnConfig
+	nc  net.Conn
+	acc []byte // unconsumed input: partial or pipelined next request
+	buf []byte // scratch read block
+}
+
+// NewConn wraps an accepted connection.
+func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
+	if cfg.PollWindow <= 0 {
+		cfg.PollWindow = time.Millisecond
+	}
+	return &Conn{cfg: cfg, nc: nc, buf: make([]byte, 4096)}
+}
+
+// Partial reports whether unconsumed request bytes are buffered — used
+// by callers to distinguish an idle keep-alive deadline (close silently)
+// from a mid-request stall (answer 504).
+func (c *Conn) Partial() bool { return len(c.acc) > 0 }
+
+var crlf2 = []byte("\r\n\r\n")
+
+// ReadRequest reads and parses one request.  Until the first byte of the
+// request is buffered the wait is bounded by headDeadline (the keep-alive
+// idle budget); once the request has started arriving — including via
+// residual pipelined bytes — the whole head+body must complete within
+// budget ticks of that start.  On success the returned request carries
+// Arrival (start tick) and Deadline (start + budget).
+func (c *Conn) ReadRequest(headDeadline, budget int64) (*Request, error) {
+	started := len(c.acc) > 0
+	var deadline int64
+	if started {
+		deadline = c.cfg.Clock.Now() + budget
+	}
+	arrival := c.cfg.Clock.Now()
+
+	headerEnd := bytes.Index(c.acc, crlf2)
+	for headerEnd < 0 {
+		if len(c.acc) > maxHeaderBytes {
+			return nil, ErrTooLarge
+		}
+		dl := headDeadline
+		if started {
+			dl = deadline
+		}
+		if c.cfg.Clock.Now() >= dl {
+			return nil, ErrDeadline
+		}
+		if c.cfg.Aborted != nil && c.cfg.Aborted() {
+			return nil, ErrAborted
+		}
+		n, err := c.read()
+		if n > 0 {
+			if !started {
+				started = true
+				arrival = c.cfg.Clock.Now()
+				deadline = arrival + budget
+			}
+			headerEnd = bytes.Index(c.acc, crlf2)
+			if headerEnd >= 0 {
+				break
+			}
+		}
+		if err != nil {
+			if isTimeout(err) {
+				if c.cfg.OnReadPark != nil {
+					c.cfg.OnReadPark()
+				}
+				c.cfg.Park(1)
+				continue
+			}
+			return nil, err
+		}
+	}
+	if !started { // whole head was already buffered
+		deadline = arrival + budget
+	}
+	req, contentLength, err := parseHeader(c.acc[:headerEnd])
+	if err != nil {
+		return nil, err
+	}
+	if contentLength > maxBodyBytes {
+		return nil, ErrTooLarge
+	}
+	total := headerEnd + 4 + contentLength
+	for len(c.acc) < total {
+		if c.cfg.Clock.Now() >= deadline {
+			return nil, ErrDeadline
+		}
+		n, err := c.read()
+		if n == 0 && err != nil {
+			if isTimeout(err) {
+				if c.cfg.OnReadPark != nil {
+					c.cfg.OnReadPark()
+				}
+				c.cfg.Park(1)
+				continue
+			}
+			return nil, err
+		}
+	}
+	// The body must be copied out: acc slides left to expose the next
+	// pipelined request.
+	req.Body = append([]byte(nil), c.acc[headerEnd+4:total]...)
+	c.acc = c.acc[:copy(c.acc, c.acc[total:])]
+	req.Arrival = arrival
+	req.Deadline = deadline
+	return req, nil
+}
+
+// read performs one poll-window-capped socket read into the residual
+// buffer, returning the byte count and any error.
+func (c *Conn) read() (int, error) {
+	c.nc.SetReadDeadline(time.Now().Add(c.cfg.PollWindow))
+	n, err := c.nc.Read(c.buf)
+	if n > 0 {
+		c.acc = append(c.acc, c.buf[:n]...)
+	}
+	return n, err
+}
+
+// WriteResponse renders resp — with correct Content-Length and a
+// Connection header matching keepAlive — into a pooled buffer and writes
+// it cooperatively, giving up at capTick on the virtual clock so a
+// stalled client cannot hold the writing thread past the request's
+// useful lifetime.
+func (c *Conn) WriteResponse(resp Response, capTick int64, keepAlive bool) error {
+	shard, _ := proc.TrySelf()
+	rb := c.cfg.Pool.get(shard)
+	renderResponse(rb, resp, keepAlive)
+	err := c.writeAll(rb.b.Bytes(), capTick)
+	c.cfg.Pool.put(shard, rb)
+	return err
+}
+
+// writeAll writes buf with the same poll-window-then-park discipline as
+// ReadRequest, giving up at capTick.
+func (c *Conn) writeAll(buf []byte, capTick int64) error {
+	off := 0
+	for off < len(buf) {
+		if c.cfg.Clock.Now() >= capTick {
+			return ErrDeadline
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(c.cfg.PollWindow))
+		n, err := c.nc.Write(buf[off:])
+		off += n
+		if err != nil {
+			if isTimeout(err) && off < len(buf) {
+				c.cfg.Park(1)
+				continue
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// renderResponse builds the wire form of resp.  It is alloc-free in the
+// steady state: ints are formatted through the respBuf's own scratch
+// array and everything lands in its reused bytes.Buffer.
+func renderResponse(rb *respBuf, resp Response, keepAlive bool) {
+	ctype := resp.ContentType
+	if ctype == "" {
+		ctype = "text/plain; charset=utf-8"
+	}
+	b := &rb.b
+	b.WriteString("HTTP/1.1 ")
+	b.Write(strconv.AppendInt(rb.scratch[:0], int64(resp.Status), 10))
+	b.WriteByte(' ')
+	b.WriteString(statusText(resp.Status))
+	b.WriteString("\r\nContent-Type: ")
+	b.WriteString(ctype)
+	b.WriteString("\r\nContent-Length: ")
+	b.Write(strconv.AppendInt(rb.scratch[:0], int64(len(resp.Body)), 10))
+	if resp.RetryAfter > 0 {
+		b.WriteString("\r\nRetry-After: ")
+		b.Write(strconv.AppendInt(rb.scratch[:0], int64(resp.RetryAfter), 10))
+	}
+	if keepAlive {
+		b.WriteString("\r\nConnection: keep-alive\r\n\r\n")
+	} else {
+		b.WriteString("\r\nConnection: close\r\n\r\n")
+	}
+	b.Write(resp.Body)
+}
+
+// respBuf is one pooled response render buffer; scratch backs integer
+// formatting so the render path never reaches for the heap.
+type respBuf struct {
+	b       bytes.Buffer
+	scratch [24]byte
+}
+
+// bufShard holds one proc's cached buffer alone on its cache line, the
+// metrics-shard padding pattern: Get/Put are single uncontended atomic
+// swaps on a line private to the calling proc.
+type bufShard struct {
+	p atomic.Pointer[respBuf]
+	_ [metrics.CacheLineBytes - 8]byte
+}
+
+// BufPool is a per-proc pool of response render buffers.  A nil pool is
+// valid and allocates per call.
+type BufPool struct {
+	mask   uint32
+	shards []bufShard
+}
+
+// NewBufPool returns a pool with one shard per proc (rounded up to a
+// power of two so any id masks to a valid shard).
+func NewBufPool(procs int) *BufPool {
+	n := 1
+	for n < procs {
+		n <<= 1
+	}
+	return &BufPool{mask: uint32(n - 1), shards: make([]bufShard, n)}
+}
+
+// get takes the shard's cached buffer (reset), or allocates one.
+func (p *BufPool) get(shard int) *respBuf {
+	if p == nil {
+		return &respBuf{}
+	}
+	if rb := p.shards[uint32(shard)&p.mask].p.Swap(nil); rb != nil {
+		rb.b.Reset()
+		return rb
+	}
+	return &respBuf{}
+}
+
+// put caches the buffer on the shard the calling proc now occupies (a
+// thread may have migrated since get; either shard is a valid home).
+func (p *BufPool) put(shard int, rb *respBuf) {
+	if p == nil {
+		return
+	}
+	p.shards[uint32(shard)&p.mask].p.Store(rb)
+}

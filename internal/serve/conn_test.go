@@ -1,0 +1,229 @@
+package serve
+
+// Keep-alive and connection state machine tests: persistent connections,
+// pipelining, idle-budget closes, and the zero-alloc respond path.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// keepAliveConn is the client side of a persistent connection: it frames
+// responses by Content-Length instead of reading to EOF.
+type keepAliveConn struct {
+	nc  net.Conn
+	acc []byte
+}
+
+func dialKeepAlive(t *testing.T, addr string) *keepAliveConn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &keepAliveConn{nc: nc}
+}
+
+func (k *keepAliveConn) send(method, path string, body []byte) error {
+	_, err := fmt.Fprintf(k.nc, "%s %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n",
+		method, path, len(body))
+	if err == nil && len(body) > 0 {
+		_, err = k.nc.Write(body)
+	}
+	return err
+}
+
+// recv reads exactly one framed response off the connection.
+func (k *keepAliveConn) recv(timeout time.Duration) (int, map[string]string, []byte, error) {
+	deadline := time.Now().Add(timeout)
+	buf := make([]byte, 4096)
+	for {
+		if head, rest, ok := bytes.Cut(k.acc, []byte("\r\n\r\n")); ok {
+			lines := strings.Split(string(head), "\r\n")
+			parts := strings.SplitN(lines[0], " ", 3)
+			if len(parts) < 2 {
+				return 0, nil, nil, fmt.Errorf("bad status line %q", lines[0])
+			}
+			status, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			hdr := map[string]string{}
+			for _, ln := range lines[1:] {
+				if kk, v, ok := strings.Cut(ln, ":"); ok {
+					hdr[strings.ToLower(strings.TrimSpace(kk))] = strings.TrimSpace(v)
+				}
+			}
+			clen, err := strconv.Atoi(hdr["content-length"])
+			if err != nil {
+				return 0, nil, nil, fmt.Errorf("missing Content-Length in %q", head)
+			}
+			for len(rest) < clen {
+				k.nc.SetReadDeadline(deadline)
+				n, err := k.nc.Read(buf)
+				if n > 0 {
+					rest = append(rest, buf[:n]...)
+				} else if err != nil {
+					return 0, nil, nil, err
+				}
+			}
+			k.acc = append([]byte(nil), rest[clen:]...)
+			return status, hdr, append([]byte(nil), rest[:clen]...), nil
+		}
+		k.nc.SetReadDeadline(deadline)
+		n, err := k.nc.Read(buf)
+		if n > 0 {
+			k.acc = append(k.acc, buf[:n]...)
+		} else if err != nil {
+			return 0, nil, nil, err
+		}
+	}
+}
+
+// TestKeepAliveServesSequentialRequests reuses one connection for many
+// requests and checks both the wire semantics (Connection: keep-alive on
+// each response) and the serve.keepalive_reqs counter.
+func TestKeepAliveServesSequentialRequests(t *testing.T) {
+	ts := startServer(t, 4, Options{}, nil)
+	kc := dialKeepAlive(t, ts.addr())
+	const reqs = 8
+	for i := 0; i < reqs; i++ {
+		msg := fmt.Sprintf("msg-%d", i)
+		if err := kc.send("GET", "/echo?msg="+msg, nil); err != nil {
+			t.Fatal(err)
+		}
+		st, hdr, body, err := kc.recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if st != 200 || string(body) != msg {
+			t.Fatalf("request %d: status %d body %q", i, st, body)
+		}
+		if hdr["connection"] != "keep-alive" {
+			t.Fatalf("request %d: Connection = %q, want keep-alive", i, hdr["connection"])
+		}
+	}
+	snap := ts.sys.Metrics().Snapshot()
+	if got := snap.Get("serve.keepalive_reqs"); got < reqs-1 {
+		t.Errorf("serve.keepalive_reqs = %d, want >= %d", got, reqs-1)
+	}
+	// The whole exchange is one connection, hence one accept and at most
+	// one in-flight slot ever held for it.
+	if got := snap.Get("serve.accepted"); got < 1 {
+		t.Errorf("serve.accepted = %d", got)
+	}
+}
+
+// TestPipelinedRequestsAnsweredInOrder writes several requests back to
+// back before reading anything; the residual-buffer state machine must
+// answer them all, in order.
+func TestPipelinedRequestsAnsweredInOrder(t *testing.T) {
+	ts := startServer(t, 4, Options{}, nil)
+	kc := dialKeepAlive(t, ts.addr())
+	const reqs = 5
+	var batch bytes.Buffer
+	for i := 0; i < reqs; i++ {
+		fmt.Fprintf(&batch, "GET /echo?msg=p%d HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n", i)
+	}
+	if _, err := kc.nc.Write(batch.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reqs; i++ {
+		st, _, body, err := kc.recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		want := fmt.Sprintf("p%d", i)
+		if st != 200 || string(body) != want {
+			t.Fatalf("response %d: status %d body %q, want 200 %q", i, st, body, want)
+		}
+	}
+}
+
+// TestConnectionCloseHonored checks both opt-out paths: an explicit
+// Connection: close request, and HTTP/1.0's close-by-default.
+func TestConnectionCloseHonored(t *testing.T) {
+	ts := startServer(t, 2, Options{}, nil)
+	st, hdr, _, err := doReq(ts.addr(), "GET", "/healthz", nil, 5*time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("status %d err %v", st, err)
+	}
+	if hdr["connection"] != "close" {
+		t.Errorf("Connection = %q, want close for a Connection: close request", hdr["connection"])
+	}
+
+	kc := dialKeepAlive(t, ts.addr())
+	fmt.Fprintf(kc.nc, "GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n")
+	st, hdr, _, err = kc.recv(5 * time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("HTTP/1.0: status %d err %v", st, err)
+	}
+	if hdr["connection"] != "close" {
+		t.Errorf("Connection = %q, want close for HTTP/1.0", hdr["connection"])
+	}
+	// The server must actually close: the next read hits EOF.
+	kc.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := kc.nc.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("read after HTTP/1.0 response: %v, want EOF", err)
+	}
+}
+
+// TestIdleKeepAliveConnClosedSilently parks a connection past the idle
+// budget after one successful request; the server must close it without
+// writing anything (no spurious 504 on an idle conn).
+func TestIdleKeepAliveConnClosedSilently(t *testing.T) {
+	ts := startServer(t, 2, Options{KeepAliveIdleTicks: 40}, nil)
+	kc := dialKeepAlive(t, ts.addr())
+	if err := kc.send("GET", "/healthz", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st, _, _, err := kc.recv(5 * time.Second); err != nil || st != 200 {
+		t.Fatalf("status %d err %v", st, err)
+	}
+	kc.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	n, err := kc.nc.Read(make([]byte, 64))
+	if n != 0 || err != io.EOF {
+		t.Errorf("idle conn: read %d bytes err %v, want 0 and EOF", n, err)
+	}
+}
+
+// TestRespondPathSteadyStateAllocs measures the pooled render path: after
+// warm-up, rendering an echo-sized response into a pooled buffer must not
+// allocate.
+func TestRespondPathSteadyStateAllocs(t *testing.T) {
+	pool := NewBufPool(4)
+	resp := Response{Status: 200, Body: []byte("hello, allocation-free world\n")}
+	render := func() {
+		rb := pool.get(1)
+		renderResponse(rb, resp, true)
+		pool.put(1, rb)
+	}
+	render() // warm the shard's cached buffer past the needed capacity
+	if n := testing.AllocsPerRun(200, render); n != 0 {
+		t.Errorf("steady-state respond path allocates %.1f times per response, want 0", n)
+	}
+}
+
+// TestBufPoolPerProcReuse checks the swap discipline: a buffer put back
+// on a shard is handed out again by the next get on that shard.
+func TestBufPoolPerProcReuse(t *testing.T) {
+	pool := NewBufPool(2)
+	a := pool.get(0)
+	pool.put(0, a)
+	if b := pool.get(0); b != a {
+		t.Error("pool did not reuse the shard's cached buffer")
+	}
+	// Nil pools are valid and simply allocate.
+	var nilPool *BufPool
+	if rb := nilPool.get(0); rb == nil {
+		t.Error("nil pool returned nil buffer")
+	}
+	nilPool.put(0, &respBuf{})
+}

@@ -1,23 +1,19 @@
 package serve
 
-// A minimal HTTP/1.1 subset implemented directly over net.Conn: one
-// request per connection, Connection: close on every response.  net/http
-// is deliberately not used — its server spawns goroutines per
-// connection, which would route traffic around the MP scheduler.  All
-// socket I/O here is cooperative: each blocking call is capped by a
-// short poll window, and on timeout the thread parks on the CML clock
-// until the next tick instead of holding its proc.
+// The HTTP/1.1 request/response model: a deliberately small subset
+// implemented directly over net.Conn (the connection state machine lives
+// in conn.go).  net/http is deliberately not used — its server spawns
+// goroutines per connection, which would route traffic around the MP
+// scheduler.  Persistent connections follow the standard rules: HTTP/1.1
+// requests keep the connection alive unless the client sends
+// `Connection: close`; HTTP/1.0 requests close it unless the client
+// sends `Connection: keep-alive`; responses always declare
+// Content-Length and answer with an explicit Connection header.
 
 import (
-	"bytes"
-	"errors"
-	"fmt"
-	"net"
 	"strconv"
 	"strings"
-	"time"
 
-	"repro/internal/proc"
 	"repro/internal/threads"
 )
 
@@ -26,11 +22,10 @@ const (
 	maxBodyBytes   = 1 << 20
 )
 
-var (
-	errDeadline   = errors.New("serve: request deadline exceeded")
-	errTooLarge   = errors.New("serve: request too large")
-	errBadRequest = errors.New("serve: malformed request")
-)
+// hdrKV is one parsed header field.
+type hdrKV struct {
+	k, v string
+}
 
 // Request is one parsed HTTP request, plus the deadline bookkeeping
 // handlers use to cancel themselves at safe points.
@@ -40,10 +35,23 @@ type Request struct {
 	RawQuery string
 	Proto    string
 	Body     []byte
-	Arrival  int64 // clock tick at accept
+	Close    bool  // client asked for Connection: close (or HTTP/1.0 default)
+	Arrival  int64 // clock tick at which the request started arriving
 	Deadline int64 // clock tick after which the request is cancelled
 
-	srv *Server
+	hdrs []hdrKV
+	srv  *Server
+}
+
+// Header returns the first value of the named header, matched
+// case-insensitively, or "".
+func (r *Request) Header(name string) string {
+	for i := range r.hdrs {
+		if strings.EqualFold(r.hdrs[i].k, name) {
+			return r.hdrs[i].v
+		}
+	}
+	return ""
 }
 
 // Expired reports whether the request's deadline has passed; handlers
@@ -138,85 +146,18 @@ func (srv *Server) route(path string) Handler {
 	return best
 }
 
-// readRequest reads and parses one request cooperatively: every blocked
-// read is capped at the poll window, then the thread parks on the clock
-// for a tick; the loop fails with errDeadline once the request deadline
-// passes.
-func (srv *Server) readRequest(p pending, deadline int64) (*Request, error) {
-	var acc []byte
-	buf := make([]byte, 4096)
-	// Phase 1: accumulate until the end of the header block.
-	headerEnd := -1
-	for headerEnd < 0 {
-		if srv.clock.Now() >= deadline {
-			return nil, errDeadline
-		}
-		p.conn.SetReadDeadline(time.Now().Add(srv.opts.PollWindow))
-		n, err := p.conn.Read(buf)
-		if n > 0 {
-			acc = append(acc, buf[:n]...)
-			headerEnd = bytes.Index(acc, []byte("\r\n\r\n"))
-			if headerEnd >= 0 {
-				break
-			}
-			if len(acc) > maxHeaderBytes {
-				return nil, errTooLarge
-			}
-		}
-		if err != nil {
-			if isTimeout(err) {
-				srv.m.readParks.Inc(proc.Self())
-				srv.park(1)
-				continue
-			}
-			return nil, err
-		}
-	}
-	req, contentLength, err := parseHeader(acc[:headerEnd])
-	if err != nil {
-		return nil, err
-	}
-	if contentLength > maxBodyBytes {
-		return nil, errTooLarge
-	}
-	body := acc[headerEnd+4:]
-	// Phase 2: accumulate the declared body.
-	for len(body) < contentLength {
-		if srv.clock.Now() >= deadline {
-			return nil, errDeadline
-		}
-		p.conn.SetReadDeadline(time.Now().Add(srv.opts.PollWindow))
-		n, err := p.conn.Read(buf)
-		if n > 0 {
-			body = append(body, buf[:n]...)
-		}
-		if err != nil {
-			if isTimeout(err) {
-				srv.m.readParks.Inc(proc.Self())
-				srv.park(1)
-				continue
-			}
-			return nil, err
-		}
-	}
-	req.Body = body[:contentLength]
-	req.Arrival = p.arrival
-	req.Deadline = deadline
-	req.srv = srv
-	return req, nil
-}
-
-// parseHeader parses the request line and the headers serve cares about
-// (Content-Length); header is the block up to, not including, the blank
-// line.
+// parseHeader parses the request line and headers; header is the block
+// up to, not including, the blank line.  It resolves Content-Length and
+// the keep-alive decision (Close) from the Connection header and
+// protocol version.
 func parseHeader(header []byte) (*Request, int, error) {
 	lines := strings.Split(string(header), "\r\n")
 	if len(lines) == 0 {
-		return nil, 0, errBadRequest
+		return nil, 0, ErrBadRequest
 	}
 	parts := strings.Split(lines[0], " ")
 	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/1.") {
-		return nil, 0, errBadRequest
+		return nil, 0, ErrBadRequest
 	}
 	req := &Request{Method: parts[0], Proto: parts[2]}
 	target := parts[1]
@@ -226,7 +167,7 @@ func parseHeader(header []byte) (*Request, int, error) {
 		req.Path = target
 	}
 	if req.Path == "" || req.Path[0] != '/' {
-		return nil, 0, errBadRequest
+		return nil, 0, ErrBadRequest
 	}
 	contentLength := 0
 	for _, ln := range lines[1:] {
@@ -234,12 +175,26 @@ func parseHeader(header []byte) (*Request, int, error) {
 		if i < 0 {
 			continue
 		}
-		if strings.EqualFold(strings.TrimSpace(ln[:i]), "Content-Length") {
-			n, err := strconv.Atoi(strings.TrimSpace(ln[i+1:]))
+		k := strings.TrimSpace(ln[:i])
+		v := strings.TrimSpace(ln[i+1:])
+		req.hdrs = append(req.hdrs, hdrKV{k: k, v: v})
+		if strings.EqualFold(k, "Content-Length") {
+			n, err := strconv.Atoi(v)
 			if err != nil || n < 0 {
-				return nil, 0, errBadRequest
+				return nil, 0, ErrBadRequest
 			}
 			contentLength = n
+		}
+	}
+	// Keep-alive decision: HTTP/1.1 persists unless the client opts out;
+	// HTTP/1.0 closes unless the client opts in.
+	req.Close = req.Proto == "HTTP/1.0"
+	for _, tok := range strings.Split(req.Header("Connection"), ",") {
+		switch strings.ToLower(strings.TrimSpace(tok)) {
+		case "close":
+			req.Close = true
+		case "keep-alive":
+			req.Close = false
 		}
 	}
 	return req, contentLength, nil
@@ -267,46 +222,4 @@ func statusText(code int) string {
 	default:
 		return "Status"
 	}
-}
-
-// writeResponse renders and writes a response cooperatively.  The write
-// is capped at capTick on the virtual clock so a stalled client cannot
-// hold the writing thread past the request's useful lifetime.
-func (srv *Server) writeResponse(conn net.Conn, resp Response, capTick int64) error {
-	ctype := resp.ContentType
-	if ctype == "" {
-		ctype = "text/plain; charset=utf-8"
-	}
-	var b bytes.Buffer
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", resp.Status, statusText(resp.Status))
-	fmt.Fprintf(&b, "Content-Type: %s\r\n", ctype)
-	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(resp.Body))
-	if resp.RetryAfter > 0 {
-		fmt.Fprintf(&b, "Retry-After: %d\r\n", resp.RetryAfter)
-	}
-	b.WriteString("Connection: close\r\n\r\n")
-	b.Write(resp.Body)
-	return srv.writeAll(conn, b.Bytes(), capTick)
-}
-
-// writeAll writes buf with the same poll-window-then-park discipline as
-// readRequest, giving up at capTick.
-func (srv *Server) writeAll(conn net.Conn, buf []byte, capTick int64) error {
-	off := 0
-	for off < len(buf) {
-		if srv.clock.Now() >= capTick {
-			return errDeadline
-		}
-		conn.SetWriteDeadline(time.Now().Add(srv.opts.PollWindow))
-		n, err := conn.Write(buf[off:])
-		off += n
-		if err != nil {
-			if isTimeout(err) && off < len(buf) {
-				srv.park(1)
-				continue
-			}
-			return err
-		}
-	}
-	return nil
 }

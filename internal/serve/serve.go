@@ -20,6 +20,10 @@
 //	    in-flight slot semaphore; when the queue is full the acceptor sheds
 //	    the connection immediately with 503 + Retry-After instead of
 //	    queueing unboundedly.
+//	  - Connections are persistent (HTTP/1.1 keep-alive, see conn.go): a
+//	    worker owns its connection for the connection's lifetime, serving
+//	    pipelined requests in order, and the in-flight slot bounds
+//	    concurrently-served connections.
 //	  - Per-request deadlines ride on the CML clock (package cml): ticks
 //	    are pumped from wall time by a dedicated thread, blocked reads and
 //	    writes park on clock events instead of spinning, and handlers
@@ -28,18 +32,20 @@
 //	    allowance: Drain marks the server draining and shrinks the
 //	    allowance with proc.SetLimit, so procs release themselves at safe
 //	    points (threads.Dispatch honors Revoked), in-flight requests finish
-//	    on the survivors, queued-but-unstarted requests are shed, and the
-//	    platform quiesces — zero in-flight requests dropped.
+//	    on the survivors, queued-but-unstarted requests are shed, idle
+//	    keep-alive connections close, and the platform quiesces — zero
+//	    in-flight requests dropped.
 //	  - Every stage emits to the unified observability spine
 //	    (internal/metrics counters/histograms on the platform registry,
 //	    internal/trace events on the acting proc's ring), exposed over HTTP
 //	    via /metrics and /trace; the access log is written through
-//	    internal/mlio under the per-stream locking policy.
+//	    internal/mlio under the per-stream locking policy and carries the
+//	    server's shard id so fabric logs stay attributable.
 //
-// The HTTP layer is a deliberately small HTTP/1.1 subset (one request
-// per connection, Connection: close) implemented directly over net.Conn
-// in this package; net/http is not used because its server spawns
-// goroutines, which would bypass the MP scheduler.
+// Beyond its own listener, a Server also serves as one *shard* of the
+// internal/shard fabric: Options.NoListener suppresses the acceptor and
+// Submit injects already-parsed requests (forwarded by the fabric's
+// front acceptor over per-shard rings) into the same admission pipeline.
 package serve
 
 import (
@@ -63,14 +69,27 @@ import (
 type Options struct {
 	// Addr is the TCP listen address; empty means "127.0.0.1:0".
 	Addr string
-	// MaxInFlight bounds concurrently-handled requests (default 64).
+	// NoListener suppresses the listener and acceptor thread entirely:
+	// the server takes requests only via Submit — the shard-backend mode
+	// used by internal/shard.
+	NoListener bool
+	// ShardID labels this server's access-log lines; fabric shards get
+	// distinct ids (default 0).
+	ShardID int
+	// MaxInFlight bounds concurrently-served connections (default 64).
 	MaxInFlight int
 	// QueueDepth bounds the accept queue; a connection arriving with the
 	// queue full is shed with 503 (default 128).
 	QueueDepth int
 	// DeadlineTicks is the per-request deadline in clock ticks, measured
-	// from accept (default 2000).
+	// from the request's first byte (default 2000).
 	DeadlineTicks int64
+	// KeepAliveIdleTicks bounds how long a persistent connection may sit
+	// idle between requests before it is closed (default DeadlineTicks).
+	KeepAliveIdleTicks int64
+	// DisableKeepAlive forces Connection: close on every response, the
+	// pre-fabric one-request-per-connection behavior (benchmark baseline).
+	DisableKeepAlive bool
 	// Tick is the wall duration of one clock tick (default 1ms).
 	Tick time.Duration
 	// PollWindow is how long a single blocking accept/read/write may hold
@@ -79,6 +98,14 @@ type Options struct {
 	// RetryAfter is the Retry-After hint, in seconds, on shed responses
 	// (default 1).
 	RetryAfter int
+	// Log, when non-nil, is a shared mlio runtime for the access log; the
+	// fabric passes one runtime to every shard so their lines interleave
+	// in a single stream.  Pair with LogPolicy.  Default: a private
+	// runtime under a per-stream lock.
+	Log *mlio.Runtime
+	// LogPolicy is the locking policy for access-log writes; must be set
+	// when Log is shared (all writers need the same policy instance).
+	LogPolicy mlio.Policy
 	// Tracer, if non-nil, receives per-stage events; /trace serves its
 	// contents via a stop-the-world snapshot.  It must be private to the
 	// server — do not share it with threads.Options.Tracer: the snapshot
@@ -102,6 +129,9 @@ func (o *Options) fill() {
 	if o.DeadlineTicks <= 0 {
 		o.DeadlineTicks = 2000
 	}
+	if o.KeepAliveIdleTicks <= 0 {
+		o.KeepAliveIdleTicks = o.DeadlineTicks
+	}
 	if o.Tick <= 0 {
 		o.Tick = time.Millisecond
 	}
@@ -113,10 +143,18 @@ func (o *Options) fill() {
 	}
 }
 
-// pending is one accepted connection waiting for dispatch.
+// job is one injected (fabric-forwarded) request awaiting dispatch.
+type job struct {
+	req     *Request
+	deliver func(Response)
+}
+
+// pending is one unit of admitted work waiting for dispatch: an accepted
+// connection (direct path) or an injected request (Submit path).
 type pending struct {
 	conn    net.Conn
-	arrival int64 // clock tick at accept
+	job     *job
+	arrival int64 // clock tick at admission
 }
 
 // serveMetrics caches the server's instrument handles; all are sharded
@@ -126,12 +164,16 @@ type serveMetrics struct {
 	accepted     *metrics.Counter
 	acceptErrs   *metrics.Counter
 	queued       *metrics.Counter
+	queueDepth   *metrics.Counter // gauge: +1 enqueue, -1 dequeue
+	inflight     *metrics.Counter // gauge: +1 dispatch, -1 done
+	submitted    *metrics.Counter
 	shedQueue    *metrics.Counter
 	shedDrain    *metrics.Counter
 	dispatched   *metrics.Counter
 	expired      *metrics.Counter
 	handled      *metrics.Counter
 	responded    *metrics.Counter
+	keepalive    *metrics.Counter // requests served beyond a conn's first
 	readErrs     *metrics.Counter
 	readParks    *metrics.Counter
 	latencyTicks *metrics.Histogram
@@ -148,11 +190,13 @@ type Server struct {
 
 	clock *cml.Clock
 	items *syncx.Semaphore // accept-queue occupancy (V by acceptor, P by dispatcher)
-	slots *syncx.Semaphore // in-flight request capacity
+	slots *syncx.Semaphore // in-flight connection capacity
+	pool  *BufPool
+	ccfg  ConnConfig
 
 	state          core.Lock // guards all fields below
 	acceptQ        queue.Queue[pending]
-	active         int // dispatched requests not yet responded
+	active         int // dispatched work units not yet finished
 	draining       bool
 	acceptorDone   bool
 	dispatcherDone bool
@@ -171,19 +215,23 @@ type Server struct {
 	logpol mlio.Policy
 }
 
-// New opens the listener and prepares a server over the given thread
-// system.  The system is not started here; call Serve from the root
-// thread inside sys.Run.
+// New opens the listener (unless Options.NoListener) and prepares a
+// server over the given thread system.  The system is not started here;
+// call Serve from the root thread inside sys.Run.
 func New(sys *threads.System, opts Options) (*Server, error) {
 	opts.fill()
-	ln, err := net.Listen("tcp", opts.Addr)
-	if err != nil {
-		return nil, err
-	}
-	tln, ok := ln.(*net.TCPListener)
-	if !ok {
-		ln.Close()
-		return nil, fmt.Errorf("serve: listener %T is not a *net.TCPListener", ln)
+	var tln *net.TCPListener
+	if !opts.NoListener {
+		ln, err := net.Listen("tcp", opts.Addr)
+		if err != nil {
+			return nil, err
+		}
+		var ok bool
+		tln, ok = ln.(*net.TCPListener)
+		if !ok {
+			ln.Close()
+			return nil, fmt.Errorf("serve: listener %T is not a *net.TCPListener", ln)
+		}
 	}
 	srv := &Server{
 		sys:     sys,
@@ -193,11 +241,21 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 		clock:   cml.NewClock(),
 		items:   syncx.NewSemaphore(sys, 0),
 		slots:   syncx.NewSemaphore(sys, opts.MaxInFlight),
+		pool:    NewBufPool(sys.Platform().MaxProcs()),
 		state:   core.NewMutexLock(),
 		acceptQ: queue.NewFifo[pending](),
 		tracer:  opts.Tracer,
-		logrt:   mlio.NewRuntime(),
-		logpol:  mlio.NewPerStream(),
+		logrt:   opts.Log,
+		logpol:  opts.LogPolicy,
+	}
+	if srv.logrt == nil {
+		srv.logrt = mlio.NewRuntime()
+	}
+	if srv.logpol == nil {
+		srv.logpol = mlio.NewPerStream()
+	}
+	if opts.NoListener {
+		srv.acceptorDone = true
 	}
 	reg := sys.Metrics()
 	bounds := []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
@@ -205,12 +263,16 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 		accepted:     reg.Counter("serve.accepted"),
 		acceptErrs:   reg.Counter("serve.accept_errors"),
 		queued:       reg.Counter("serve.queued"),
+		queueDepth:   reg.Counter("serve.queue_depth"),
+		inflight:     reg.Counter("serve.inflight"),
+		submitted:    reg.Counter("serve.submitted"),
 		shedQueue:    reg.Counter("serve.shed_queue_full"),
 		shedDrain:    reg.Counter("serve.shed_draining"),
 		dispatched:   reg.Counter("serve.dispatched"),
 		expired:      reg.Counter("serve.deadline_expired"),
 		handled:      reg.Counter("serve.handled"),
 		responded:    reg.Counter("serve.responded"),
+		keepalive:    reg.Counter("serve.keepalive_reqs"),
 		readErrs:     reg.Counter("serve.read_errors"),
 		readParks:    reg.Counter("serve.read_parks"),
 		latencyTicks: reg.Histogram("serve.latency_ticks", bounds),
@@ -225,12 +287,26 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 		srv.evRespond = srv.tracer.Define("serve.respond")
 		srv.evDrain = srv.tracer.Define("serve.drain")
 	}
+	srv.ccfg = ConnConfig{
+		Clock:      srv.clock,
+		Park:       srv.park,
+		PollWindow: srv.opts.PollWindow,
+		Pool:       srv.pool,
+		OnReadPark: func() { srv.m.readParks.Inc(proc.Self()) },
+		Aborted:    srv.Draining,
+	}
 	srv.installBuiltins()
 	return srv, nil
 }
 
-// Addr returns the listener's address (useful with ":0").
-func (srv *Server) Addr() net.Addr { return srv.ln.Addr() }
+// Addr returns the listener's address (useful with ":0"); nil in
+// NoListener mode.
+func (srv *Server) Addr() net.Addr {
+	if srv.ln == nil {
+		return nil
+	}
+	return srv.ln.Addr()
+}
 
 // Clock returns the server's CML clock; one tick is Options.Tick of
 // wall time once Serve's pump thread is running.
@@ -239,7 +315,8 @@ func (srv *Server) Clock() *cml.Clock { return srv.clock }
 // System returns the thread system the server schedules on.
 func (srv *Server) System() *threads.System { return srv.sys }
 
-// InFlight reports the number of dispatched, not-yet-responded requests.
+// InFlight reports the number of dispatched, not-yet-finished work units
+// (connections being served plus injected requests).
 func (srv *Server) InFlight() int {
 	srv.state.Lock()
 	defer srv.state.Unlock()
@@ -264,17 +341,21 @@ func (srv *Server) Draining() bool {
 // through mlio's per-stream locking policy).
 func (srv *Server) AccessLog() []byte { return srv.logrt.Contents("access") }
 
-// Serve starts the serving threads — clock pump, dispatcher, acceptor —
-// and returns; it must be called from an MP thread (inside System.Run).
-// The system quiesces, and Run returns, after Drain completes.
+// Serve starts the serving threads — clock pump, dispatcher, and (with a
+// listener) acceptor — and returns; it must be called from an MP thread
+// (inside System.Run).  The system quiesces, and Run returns, after
+// Drain completes.
 func (srv *Server) Serve() {
 	srv.sys.Fork(func() { srv.pump() })
 	srv.sys.Fork(func() { srv.dispatcher() })
-	srv.sys.Fork(func() { srv.acceptor() })
+	if srv.ln != nil {
+		srv.sys.Fork(func() { srv.acceptor() })
+	}
 }
 
 // Drain initiates graceful shutdown: new connections are shed, queued
-// requests are refused, in-flight requests run to completion, and the
+// requests are refused, in-flight requests run to completion, idle
+// keep-alive connections close at their next safe point, and the
 // physical-processor allowance is shrunk to one so procs release
 // themselves at their next safe point (§3.1's revocation, reused as the
 // drain mechanism).  Safe to call from any goroutine, including a signal
@@ -290,6 +371,10 @@ func (srv *Server) Drain() {
 	// Procs discover the shrunken allowance at dispatch safe points and
 	// release; in-flight work finishes on the survivor.
 	srv.pl.SetLimit(1)
+	if srv.opts.NoListener {
+		// No acceptor to poison the dispatcher; do it here.
+		srv.items.Release()
+	}
 }
 
 // park suspends the calling thread for the given number of clock ticks
@@ -368,17 +453,18 @@ func (srv *Server) acceptor() {
 		srv.state.Lock()
 		if srv.draining {
 			srv.state.Unlock()
-			srv.shed(pending{conn: conn, arrival: now}, srv.m.shedDrain, "draining")
+			srv.shedConn(conn, now, srv.m.shedDrain, "draining")
 			break
 		}
 		if srv.acceptQ.Len() >= srv.opts.QueueDepth {
 			srv.state.Unlock()
-			srv.shed(pending{conn: conn, arrival: now}, srv.m.shedQueue, "accept queue full")
+			srv.shedConn(conn, now, srv.m.shedQueue, "accept queue full")
 			continue
 		}
 		srv.acceptQ.Enq(pending{conn: conn, arrival: now})
 		srv.state.Unlock()
 		srv.m.queued.Inc(self())
+		srv.m.queueDepth.Inc(self())
 		srv.emit(srv.evEnqueue, now)
 		srv.items.Release()
 	}
@@ -414,28 +500,70 @@ func (srv *Server) acceptorBarrier() {
 	}
 }
 
-// shed refuses a connection with 503 + Retry-After, best-effort: the
+// shedConn refuses a connection with 503 + Retry-After, best-effort: the
 // write is capped to a few ticks so a dead client cannot stall the
 // shedding thread.
-func (srv *Server) shed(p pending, counter *metrics.Counter, why string) {
+func (srv *Server) shedConn(conn net.Conn, arrival int64, counter *metrics.Counter, why string) {
 	counter.Inc(proc.Self())
-	srv.emit(srv.evShed, p.arrival)
+	srv.emit(srv.evShed, arrival)
 	resp := Response{
 		Status:     503,
 		Body:       []byte("shedding load: " + why + "\n"),
 		RetryAfter: srv.opts.RetryAfter,
 	}
-	srv.writeResponse(p.conn, resp, srv.clock.Now()+20)
-	p.conn.Close()
-	srv.logAccess(resp.Status, p.arrival, "-", "-")
+	c := NewConn(conn, srv.ccfg)
+	c.WriteResponse(resp, srv.clock.Now()+20, false)
+	conn.Close()
+	srv.logAccess(resp.Status, arrival, "-", "-")
+}
+
+// ---------------------------------------------------------------- submit
+
+// Submit injects an already-parsed request into the admission pipeline —
+// the shard-backend entry point used by internal/shard's forwarders.
+// The request's deadline is rebased onto this server's clock from the
+// caller-supplied remaining tick budget (front and shard clocks are
+// independent).  deliver is called exactly once, from a worker MP thread
+// of this server's system, with the response — unless Submit returns
+// false (queue full or draining), in which case deliver is never called
+// and the caller owns the shed response.  Submit must be called from an
+// MP thread of this server's system.
+func (srv *Server) Submit(req *Request, remaining int64, deliver func(Response)) bool {
+	now := srv.clock.Now()
+	if remaining < 1 {
+		remaining = 1
+	}
+	req.srv = srv
+	req.Arrival = now
+	req.Deadline = now + remaining
+	self := proc.Self()
+	srv.state.Lock()
+	if srv.draining {
+		srv.state.Unlock()
+		srv.m.shedDrain.Inc(self)
+		return false
+	}
+	if srv.acceptQ.Len() >= srv.opts.QueueDepth {
+		srv.state.Unlock()
+		srv.m.shedQueue.Inc(self)
+		return false
+	}
+	srv.acceptQ.Enq(pending{job: &job{req: req, deliver: deliver}, arrival: now})
+	srv.state.Unlock()
+	srv.m.queued.Inc(self)
+	srv.m.queueDepth.Inc(self)
+	srv.m.submitted.Inc(self)
+	srv.emit(srv.evEnqueue, now)
+	srv.items.Release()
+	return true
 }
 
 // ------------------------------------------------------------ dispatcher
 
-// dispatcher moves requests from the accept queue into workers: a P on
-// the items semaphore per queued connection (parking when the queue is
+// dispatcher moves admitted work from the accept queue into workers: a P
+// on the items semaphore per queued unit (parking when the queue is
 // empty), a P on the slots semaphore per dispatch (parking at the
-// in-flight bound), then a forked worker thread per request.
+// in-flight bound), then a forked worker thread per unit.
 func (srv *Server) dispatcher() {
 	for {
 		srv.state.Lock()
@@ -446,8 +574,7 @@ func (srv *Server) dispatcher() {
 		srv.dispatcherIdle = false
 		p, err := srv.acceptQ.Deq()
 		if err != nil {
-			// Empty queue on a positive items count is the acceptor's
-			// drain poison.
+			// Empty queue on a positive items count is the drain poison.
 			if srv.draining && srv.acceptorDone {
 				srv.dispatcherDone = true
 				srv.state.Unlock()
@@ -460,22 +587,32 @@ func (srv *Server) dispatcher() {
 		srv.state.Unlock()
 
 		self := proc.Self()
+		srv.m.queueDepth.Add(self, -1)
 		if draining {
-			srv.shed(p, srv.m.shedDrain, "draining")
+			srv.shedPending(p)
 			continue
 		}
 		deadline := p.arrival + srv.opts.DeadlineTicks
+		if p.job != nil {
+			deadline = p.job.req.Deadline
+		}
 		if now := srv.clock.Now(); now >= deadline {
 			// Expired while queued: answer 504 without consuming a slot.
 			srv.m.expired.Inc(self)
 			resp := Response{Status: 504, Body: []byte("deadline exceeded in accept queue\n")}
-			srv.writeResponse(p.conn, resp, now+20)
-			p.conn.Close()
+			if p.job != nil {
+				p.job.deliver(resp)
+			} else {
+				c := NewConn(p.conn, srv.ccfg)
+				c.WriteResponse(resp, now+20, false)
+				p.conn.Close()
+			}
 			srv.logAccess(504, p.arrival, "-", "-")
 			continue
 		}
 		srv.slots.Acquire()
 		srv.m.dispatched.Inc(self)
+		srv.m.inflight.Inc(self)
 		srv.m.queueTicks.Observe(self, srv.clock.Now()-p.arrival)
 		srv.emit(srv.evDispatch, p.arrival)
 		srv.state.Lock()
@@ -485,62 +622,150 @@ func (srv *Server) dispatcher() {
 	}
 }
 
+// shedPending refuses queued-but-unstarted work during drain.
+func (srv *Server) shedPending(p pending) {
+	resp := Response{
+		Status:     503,
+		Body:       []byte("shedding load: draining\n"),
+		RetryAfter: srv.opts.RetryAfter,
+	}
+	if p.job != nil {
+		srv.m.shedDrain.Inc(proc.Self())
+		srv.emit(srv.evShed, p.arrival)
+		p.job.deliver(resp)
+		srv.logAccess(503, p.arrival, "-", "-")
+		return
+	}
+	srv.shedConn(p.conn, p.arrival, srv.m.shedDrain, "draining")
+}
+
 // ---------------------------------------------------------------- worker
 
-// errDrop marks connections that cannot be answered at all (unreadable
-// request); everything else gets a response.
-var errDrop = errors.New("serve: connection unusable")
-
-// worker handles one request end to end, then returns its in-flight
-// slot.  All blocking inside (reads, writes, handler parks) is
-// cooperative: short poll windows plus CML clock parks.
+// worker serves one admitted unit, then returns its in-flight slot.  For
+// a direct connection that means the connection's whole keep-alive
+// lifetime: requests are read and answered in order until the client
+// closes, opts out of keep-alive, errs, goes idle past the keep-alive
+// budget, or the server drains.  All blocking inside (reads, writes,
+// handler parks) is cooperative: short poll windows plus CML clock
+// parks.
 func (srv *Server) worker(p pending) {
-	deadline := p.arrival + srv.opts.DeadlineTicks
-	req, err := srv.readRequest(p, deadline)
-	var resp Response
-	switch {
-	case err == nil:
-		resp = srv.dispatchRequest(req)
-		if resp.Status == 200 && srv.clock.Now() >= deadline {
-			// Backstop: the handler finished past the deadline without
-			// cancelling itself; the client has been told 504.
-			resp = Response{Status: 504, Body: []byte("deadline exceeded\n")}
+	if p.job != nil {
+		srv.jobWorker(p.job)
+		return
+	}
+	c := NewConn(p.conn, srv.ccfg)
+	arrival := p.arrival
+	served := 0
+	for {
+		headBudget := srv.opts.DeadlineTicks
+		if served > 0 {
+			headBudget = srv.opts.KeepAliveIdleTicks
 		}
-		if resp.Status == 504 {
-			// Covers both the backstop and handlers that cancelled
-			// themselves at a safe point.
+		req, err := c.ReadRequest(arrival+headBudget, srv.opts.DeadlineTicks)
+		var resp Response
+		silent := false
+		switch {
+		case err == nil:
+			resp = srv.dispatchRequest(req)
+			if resp.Status == 200 && srv.clock.Now() >= req.Deadline {
+				// Backstop: the handler finished past the deadline without
+				// cancelling itself; the client has been told 504.
+				resp = Response{Status: 504, Body: []byte("deadline exceeded\n")}
+			}
+			if resp.Status == 504 {
+				// Covers both the backstop and handlers that cancelled
+				// themselves at a safe point.
+				srv.m.expired.Inc(proc.Self())
+			}
+		case errors.Is(err, ErrDeadline):
+			if served > 0 && !c.Partial() {
+				// Idle keep-alive connection ran out its budget: close
+				// without a response — nothing was asked.
+				silent = true
+				break
+			}
 			srv.m.expired.Inc(proc.Self())
+			resp = Response{Status: 504, Body: []byte("deadline exceeded reading request\n")}
+		case errors.Is(err, ErrAborted):
+			if !c.Partial() {
+				silent = true // draining; no request in progress
+				break
+			}
+			resp = Response{
+				Status:     503,
+				Body:       []byte("shedding load: draining\n"),
+				RetryAfter: srv.opts.RetryAfter,
+			}
+		case errors.Is(err, ErrTooLarge):
+			resp = Response{Status: 413, Body: []byte("request too large\n")}
+		case errors.Is(err, ErrBadRequest):
+			resp = Response{Status: 400, Body: []byte("malformed request\n")}
+		default:
+			// Unreadable connection: clean close between requests, or a
+			// reset / EOF mid-request — nothing to say either way.
+			if c.Partial() || served == 0 {
+				srv.m.readErrs.Inc(proc.Self())
+			}
+			silent = true
 		}
-	case errors.Is(err, errDeadline):
-		srv.m.expired.Inc(proc.Self())
-		resp = Response{Status: 504, Body: []byte("deadline exceeded reading request\n")}
-	case errors.Is(err, errTooLarge):
-		resp = Response{Status: 413, Body: []byte("request too large\n")}
-	case errors.Is(err, errBadRequest):
-		resp = Response{Status: 400, Body: []byte("malformed request\n")}
-	default:
-		// Unreadable connection (reset, EOF mid-request): nothing to say.
-		srv.m.readErrs.Inc(proc.Self())
-		err = errDrop
-	}
+		if silent {
+			break
+		}
 
-	method, path := "-", "-"
-	if req != nil {
-		method, path = req.Method, req.Path
-	}
-	if err != errDrop {
-		srv.writeResponse(p.conn, resp, deadline+20)
+		method, path, reqArrival := "-", "-", arrival
+		keepAlive := false
+		capTick := srv.clock.Now() + 20
+		if req != nil {
+			method, path, reqArrival = req.Method, req.Path, req.Arrival
+			keepAlive = err == nil && !req.Close && !srv.opts.DisableKeepAlive && !srv.Draining()
+			capTick = req.Deadline + 20
+		}
+		werr := c.WriteResponse(resp, capTick, keepAlive)
 		self := proc.Self()
 		srv.m.responded.Inc(self)
-		srv.m.latencyTicks.Observe(self, srv.clock.Now()-p.arrival)
+		srv.m.latencyTicks.Observe(self, srv.clock.Now()-reqArrival)
 		srv.emit(srv.evRespond, int64(resp.Status))
+		srv.logAccess(resp.Status, reqArrival, method, path)
+		if served > 0 {
+			srv.m.keepalive.Inc(self)
+		}
+		served++
+		if werr != nil || !keepAlive {
+			break
+		}
+		arrival = srv.clock.Now()
 	}
 	p.conn.Close()
-	srv.logAccess(resp.Status, p.arrival, method, path)
 
 	// Last serve-side action: leave the in-flight set under the state
 	// lock (ordering every emit above before a /trace snapshot's reads),
-	// then free the slot so the dispatcher can admit the next request.
+	// then free the slot so the dispatcher can admit the next unit.
+	srv.finish()
+}
+
+// jobWorker handles one injected request end to end and delivers the
+// response to the fabric's completion cell.
+func (srv *Server) jobWorker(j *job) {
+	req := j.req
+	resp := srv.dispatchRequest(req)
+	if resp.Status == 200 && srv.clock.Now() >= req.Deadline {
+		resp = Response{Status: 504, Body: []byte("deadline exceeded\n")}
+	}
+	self := proc.Self()
+	if resp.Status == 504 {
+		srv.m.expired.Inc(self)
+	}
+	srv.m.responded.Inc(self)
+	srv.m.latencyTicks.Observe(self, srv.clock.Now()-req.Arrival)
+	srv.emit(srv.evRespond, int64(resp.Status))
+	srv.logAccess(resp.Status, req.Arrival, req.Method, req.Path)
+	j.deliver(resp)
+	srv.finish()
+}
+
+// finish retires one in-flight work unit.
+func (srv *Server) finish() {
+	srv.m.inflight.Add(proc.Self(), -1)
 	srv.state.Lock()
 	srv.active--
 	srv.state.Unlock()
@@ -549,6 +774,7 @@ func (srv *Server) worker(p pending) {
 
 // dispatchRequest routes and runs the handler for a parsed request.
 func (srv *Server) dispatchRequest(req *Request) Response {
+	req.srv = srv // Conn parses without a server; bind for Expired/Park/System
 	h := srv.route(req.Path)
 	if h == nil {
 		return Response{Status: 404, Body: []byte("no handler for " + req.Path + "\n")}
@@ -559,11 +785,13 @@ func (srv *Server) dispatchRequest(req *Request) Response {
 	return h(req)
 }
 
-// logAccess writes one access-log line through mlio's per-stream policy:
-// "tick proc status latency method path".
+// logAccess writes one access-log line through mlio's locking policy:
+// "shard tick proc status latency method path".  The shard id keeps
+// lines attributable when fabric shards share one log stream.
 func (srv *Server) logAccess(status int, arrival int64, method, path string) {
 	now := srv.clock.Now()
-	rec := fmt.Sprintf("%d %d %d %d %s %s", now, proc.Self(), status, now-arrival, method, path)
+	rec := fmt.Sprintf("%d %d %d %d %d %s %s",
+		srv.opts.ShardID, now, proc.Self(), status, now-arrival, method, path)
 	srv.logpol.Write(srv.logrt.Open("access"), []byte(rec))
 }
 

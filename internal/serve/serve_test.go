@@ -346,7 +346,7 @@ func TestMetricsAndAccessLogEndpoints(t *testing.T) {
 		t.Fatalf("access log has %d lines, want >= 5", len(lines))
 	}
 	for _, ln := range lines {
-		if f := bytes.Fields(ln); len(f) != 6 {
+		if f := bytes.Fields(ln); len(f) != 7 {
 			t.Errorf("torn or malformed access-log line %q", ln)
 		}
 	}

@@ -1,0 +1,51 @@
+package shard
+
+// Guard on the committed benchmark artifact: the sharded keep-alive
+// fabric must beat the single-shard Connection: close baseline it
+// replaced, and the keep-alive load generator must actually have reused
+// connections when producing it.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+type benchSummary struct {
+	KeepAlive   bool    `json:"keepalive"`
+	OK          int64   `json:"ok"`
+	ConnsDialed int64   `json:"conns_dialed"`
+	ReusedRatio float64 `json:"reused_ratio"`
+	Throughput  float64 `json:"throughput_rps"`
+}
+
+func TestBenchArtifactShardBeatsBaseline(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_shard.json")
+	if err != nil {
+		t.Fatalf("missing benchmark artifact: %v", err)
+	}
+	var bench struct {
+		Before benchSummary `json:"before"`
+		After  benchSummary `json:"after"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if bench.Before.Throughput <= 0 || bench.After.Throughput <= 0 {
+		t.Fatal("benchmark artifact has non-positive throughput")
+	}
+	if bench.After.Throughput <= bench.Before.Throughput {
+		t.Errorf("4-shard keep-alive throughput %.1f not strictly above single-shard baseline %.1f",
+			bench.After.Throughput, bench.Before.Throughput)
+	}
+	if !bench.After.KeepAlive || bench.Before.KeepAlive {
+		t.Error("artifact modes inverted: after must be keep-alive, before must not be")
+	}
+	if bench.After.ReusedRatio < 0.5 {
+		t.Errorf("keep-alive run reused-conn ratio %.3f, want >= 0.5", bench.After.ReusedRatio)
+	}
+	if bench.After.ConnsDialed >= bench.After.OK {
+		t.Errorf("keep-alive run dialed %d conns for %d responses — connections were not reused",
+			bench.After.ConnsDialed, bench.After.OK)
+	}
+}

@@ -1,0 +1,268 @@
+package shard
+
+// The front world: the fabric's own MP threads.  frontMain is the root
+// thread of the front system; it forks the clock pump, the rebalancer,
+// and the acceptor, then becomes the drain supervisor.  The acceptor
+// forks one connection thread per admitted client; a connection thread
+// owns its socket for the connection's keep-alive lifetime, reading
+// pipelined requests through serve.Conn and forwarding each to its
+// routed shard.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/serve"
+)
+
+func (fab *Fabric) frontMain() {
+	fab.frontSys.Fork(func() { fab.pump() })
+	if fab.opts.RebalanceTicks > 0 {
+		fab.frontSys.Fork(func() { fab.rebalancer() })
+	} else {
+		fab.state.Lock()
+		fab.rebalDone = true
+		fab.state.Unlock()
+	}
+	fab.frontSys.Fork(func() { fab.acceptor() })
+	fab.supervise()
+}
+
+// pump advances the front clock from wall time, exactly as the serve
+// pump does; every front park (reply waits, supervisor, rebalancer)
+// wakes through it.  It exits last, once the supervisor has drained the
+// backends and the rebalancer has stopped.
+func (fab *Fabric) pump() {
+	start := time.Now()
+	var emitted int64
+	for {
+		target := int64(time.Since(start) / fab.opts.Tick)
+		if d := target - emitted; d > 0 {
+			fab.clock.Advance(fab.frontSys, d)
+			emitted = target
+		}
+		fab.state.Lock()
+		done := fab.cascadeDone && fab.rebalDone
+		fab.state.Unlock()
+		if done {
+			return
+		}
+		fab.frontSys.CheckPreempt()
+		time.Sleep(fab.opts.Tick / 4)
+		fab.frontSys.Yield()
+	}
+}
+
+// supervise is the drain cascade's ordering point: it waits (parking on
+// the front clock) until the fabric is draining, the acceptor has
+// stopped, and the last connection thread has closed — at which moment
+// every forwarded request has been answered and every ring is empty —
+// and only then drains the backends.  Zero in-flight requests dropped,
+// by construction.
+func (fab *Fabric) supervise() {
+	for {
+		fab.state.Lock()
+		ready := fab.draining && fab.acceptorDone && fab.activeConns == 0
+		fab.state.Unlock()
+		if ready {
+			break
+		}
+		fab.park(1)
+	}
+	fab.emit(fab.evDrain, 0)
+	for _, b := range fab.backends {
+		b.srv.Drain()
+	}
+	// Shrink the front's own allowance too: the paper's drain discipline.
+	fab.frontPl.SetLimit(1)
+	fab.state.Lock()
+	fab.cascadeDone = true
+	fab.state.Unlock()
+}
+
+// acceptor admits connections with the cooperative poll-accept loop and
+// forks a connection thread per client, shedding with 503 when the
+// front's connection bound is reached.
+func (fab *Fabric) acceptor() {
+	for {
+		fab.state.Lock()
+		stop := fab.draining
+		fab.state.Unlock()
+		if stop {
+			break
+		}
+		fab.ln.SetDeadline(time.Now().Add(fab.opts.PollWindow))
+		nc, err := fab.ln.Accept()
+		if err != nil {
+			if isTimeout(err) {
+				fab.frontSys.CheckPreempt()
+				fab.frontSys.Yield()
+				continue
+			}
+			fab.m.acceptErrs.Inc(proc.Self())
+			fab.frontSys.Yield()
+			continue
+		}
+		self := proc.Self()
+		fab.m.accepted.Inc(self)
+		fab.emit(fab.evAccept, fab.clock.Now())
+
+		fab.state.Lock()
+		if fab.draining || fab.activeConns >= fab.opts.MaxConns {
+			draining := fab.draining
+			fab.state.Unlock()
+			fab.shedConn(nc, draining)
+			if draining {
+				break
+			}
+			continue
+		}
+		fab.activeConns++
+		fab.state.Unlock()
+		fab.m.conns.Inc(self)
+		fab.frontSys.Fork(func() { fab.connThread(nc) })
+	}
+	fab.ln.Close()
+	fab.state.Lock()
+	fab.acceptorDone = true
+	fab.state.Unlock()
+}
+
+// shedConn refuses a connection at the front with 503 + Retry-After.
+func (fab *Fabric) shedConn(nc net.Conn, draining bool) {
+	fab.m.shedConns.Inc(proc.Self())
+	why := "front connection limit"
+	if draining {
+		why = "draining"
+	}
+	c := serve.NewConn(nc, fab.ccfg)
+	c.WriteResponse(serve.Response{
+		Status:     503,
+		Body:       []byte("shedding load: " + why + "\n"),
+		RetryAfter: fab.opts.RetryAfter,
+	}, fab.clock.Now()+20, false)
+	nc.Close()
+}
+
+// connThread serves one client connection for its keep-alive lifetime:
+// read a request, route it, forward it over the shard's ring, park until
+// the reply cell fills, write the response, repeat.
+func (fab *Fabric) connThread(nc net.Conn) {
+	c := serve.NewConn(nc, fab.ccfg)
+	home := connShard(nc.RemoteAddr().String(), len(fab.backends))
+	served := 0
+	for {
+		headBudget := fab.opts.DeadlineTicks
+		if served > 0 {
+			headBudget = fab.opts.IdleTicks
+		}
+		req, err := c.ReadRequest(fab.clock.Now()+headBudget, fab.opts.DeadlineTicks)
+		var resp serve.Response
+		silent := false
+		switch {
+		case err == nil:
+			resp = fab.dispatch(req, home)
+		case errors.Is(err, serve.ErrDeadline):
+			if served > 0 && !c.Partial() {
+				silent = true
+				break
+			}
+			resp = serve.Response{Status: 504, Body: []byte("deadline exceeded reading request\n")}
+		case errors.Is(err, serve.ErrAborted):
+			if !c.Partial() {
+				silent = true
+				break
+			}
+			resp = serve.Response{
+				Status:     503,
+				Body:       []byte("shedding load: draining\n"),
+				RetryAfter: fab.opts.RetryAfter,
+			}
+		case errors.Is(err, serve.ErrTooLarge):
+			resp = serve.Response{Status: 413, Body: []byte("request too large\n")}
+		case errors.Is(err, serve.ErrBadRequest):
+			resp = serve.Response{Status: 400, Body: []byte("malformed request\n")}
+		default:
+			silent = true
+		}
+		if silent {
+			break
+		}
+		keepAlive := false
+		capTick := fab.clock.Now() + 20
+		if req != nil {
+			keepAlive = err == nil && !req.Close && !fab.Draining()
+			capTick = req.Deadline + 20
+		}
+		werr := c.WriteResponse(resp, capTick, keepAlive)
+		served++
+		if werr != nil || !keepAlive {
+			break
+		}
+	}
+	nc.Close()
+	fab.m.conns.Add(proc.Self(), -1)
+	fab.state.Lock()
+	fab.activeConns--
+	fab.state.Unlock()
+}
+
+// dispatch routes one parsed request and forwards it, parking until the
+// shard replies.  /fabricz is answered at the front itself — the
+// fabric's own status endpoint.
+func (fab *Fabric) dispatch(req *serve.Request, home int) serve.Response {
+	if req.Path == "/fabricz" {
+		return fab.statusResponse()
+	}
+	self := proc.Self()
+	target := home
+	if key := req.Header(fab.opts.RouteHeader); key != "" {
+		target = fab.sticky.lookup(key)
+		fab.m.routedKey.Inc(self)
+	} else {
+		fab.m.routedHash.Inc(self)
+	}
+	fab.emit(fab.evRoute, int64(target))
+	remaining := req.Deadline - fab.clock.Now()
+	rep := &reply{}
+	if !fab.backends[target].ring.push(job{req: req, remaining: remaining, rep: rep}) {
+		fab.m.ringFull.Inc(self)
+		return serve.Response{
+			Status:     503,
+			Body:       []byte("shedding load: shard ring full\n"),
+			RetryAfter: fab.opts.RetryAfter,
+		}
+	}
+	fab.m.forwarded[target].Inc(self)
+	fab.emit(fab.evForward, int64(target))
+	t0 := fab.clock.Now()
+	resp := rep.wait(fab.frontSys.Yield, fab.park)
+	fab.m.replies.Inc(self)
+	fab.m.waitTicks.Observe(self, fab.clock.Now()-t0)
+	fab.emit(fab.evReply, int64(resp.Status))
+	return resp
+}
+
+// statusResponse renders /fabricz: per-shard allowance and load.
+func (fab *Fabric) statusResponse() serve.Response {
+	loads := fab.shardLoads()
+	limits := fab.Limits()
+	body := fmt.Sprintf("shards %d\n", len(fab.backends))
+	for i := range fab.backends {
+		body += fmt.Sprintf("shard %d limit %d load %d ring %d\n",
+			i, limits[i], loads[i], fab.backends[i].ring.depth())
+	}
+	snap := fab.frontSys.Metrics().Snapshot()
+	body += fmt.Sprintf("conns %d rebalances %d\n",
+		snap.Get("shard.conns"), snap.Get("shard.rebalances"))
+	return serve.Response{Status: 200, Body: []byte(body)}
+}
+
+// isTimeout reports whether err is a network timeout.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

@@ -1,0 +1,105 @@
+package shard
+
+// Load-driven proc rebalancing: scheduling policy written in the
+// language, across shards.  The rebalancer is an ordinary MP thread of
+// the front system; every RebalanceTicks it reads each shard's load off
+// the metrics spine — the serve.queue_depth and serve.inflight gauges
+// that shard's own pipeline maintains, plus the forward ring's
+// occupancy — and proposes moving one proc of allowance from the
+// least-loaded shard that is above its floor to the most-loaded shard
+// with headroom.  A proposal is applied only after HysteresisRounds
+// consecutive periods agree on the same donor and recipient, so a
+// transient spike cannot thrash allowance back and forth.  Application
+// is two proc.SetLimit calls whose deltas cancel: the global total is
+// conserved by construction, and the donor's procs release themselves at
+// their next safe point — the paper's §3.1 revocation protocol doing
+// live load balancing.
+
+import (
+	"repro/internal/proc"
+)
+
+// planShift is the pure policy kernel: given per-shard loads and
+// current allowances, it proposes moving one proc from shard `from` to
+// shard `to`, or reports ok=false when the fleet is balanced enough.
+// Constraints: the donor stays at or above floor, the recipient stays at
+// or below cap, and the load imbalance must exceed slack.
+func planShift(loads, limits []int, floor, cap, slack int) (from, to int, ok bool) {
+	if len(loads) < 2 || len(loads) != len(limits) {
+		return 0, 0, false
+	}
+	from, to = -1, -1
+	for i := range loads {
+		if limits[i] > floor && (from < 0 || loads[i] < loads[from]) {
+			from = i
+		}
+		if limits[i] < cap && (to < 0 || loads[i] > loads[to]) {
+			to = i
+		}
+	}
+	if from < 0 || to < 0 || from == to || loads[to]-loads[from] <= slack {
+		return 0, 0, false
+	}
+	return from, to, true
+}
+
+// shardLoads reads every shard's current load from its metrics registry
+// plus its forward ring.
+func (fab *Fabric) shardLoads() []int {
+	loads := make([]int, len(fab.backends))
+	for i, b := range fab.backends {
+		snap := b.sys.Metrics().Snapshot()
+		loads[i] = int(snap.Get("serve.queue_depth")) +
+			int(snap.Get("serve.inflight")) +
+			b.ring.depth()
+	}
+	return loads
+}
+
+// rebalancer is the policy thread; it exits when the fabric drains.
+func (fab *Fabric) rebalancer() {
+	capacity := fab.opts.Shards * fab.opts.BackendProcs
+	agreeing := 0
+	prevFrom, prevTo := -1, -1
+	for {
+		fab.park(fab.opts.RebalanceTicks)
+		if fab.Draining() {
+			break
+		}
+		self := proc.Self()
+		fab.m.checks.Inc(self)
+		loads := fab.shardLoads()
+		limits := fab.Limits()
+		from, to, ok := planShift(loads, limits, fab.opts.ProcFloor, capacity, fab.opts.RebalanceSlack)
+		if !ok {
+			agreeing, prevFrom, prevTo = 0, -1, -1
+			continue
+		}
+		if from != prevFrom || to != prevTo {
+			agreeing, prevFrom, prevTo = 1, from, to
+		} else {
+			agreeing++
+		}
+		if agreeing < fab.opts.HysteresisRounds {
+			continue
+		}
+		agreeing, prevFrom, prevTo = 0, -1, -1
+
+		fab.state.Lock()
+		fab.limits[from]--
+		fab.limits[to]++
+		newFrom, newTo := fab.limits[from], fab.limits[to]
+		fab.lastShift = fab.clock.Now()
+		fab.state.Unlock()
+		// The donor's shrink takes effect at its procs' next safe points;
+		// the recipient's growth is immediate headroom.  The two deltas
+		// cancel: sum(limits) is invariant.
+		fab.backends[from].pl.SetLimit(newFrom)
+		fab.backends[to].pl.SetLimit(newTo)
+		fab.m.rebalances.Inc(self)
+		fab.emit(fab.evRebalance, int64(from)<<8|int64(to))
+	}
+	fab.state.Lock()
+	fab.rebalDone = true
+	fab.state.Unlock()
+}

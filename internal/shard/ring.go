@@ -1,0 +1,106 @@
+package shard
+
+// The forward path's data structures: a bounded MPSC ring per shard
+// (many front connection threads push, one backend intake thread pops)
+// and the single-assignment reply cell a forwarding thread parks on.
+//
+// The ring is guarded by a core mutex lock — the paper's spinlock — not
+// a semaphore, precisely because its two sides live in different thread
+// systems: a spinlock never parks a thread on a foreign scheduler, so
+// pushing from the front world into a backend's ring is safe by
+// construction.  The reply cell crosses the same boundary the other way
+// with a single release/acquire flag: the backend worker stores the
+// response then sets done; the front thread polls done (parking on its
+// own clock between polls) and only then reads the response.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+// reply is the single-assignment completion cell for one forwarded
+// request.
+type reply struct {
+	resp serve.Response
+	done atomic.Bool
+}
+
+// deliver publishes the response; the done flag's store is the release
+// edge that makes resp visible to the front thread's acquire load.
+func (r *reply) deliver(resp serve.Response) {
+	r.resp = resp
+	r.done.Store(true)
+}
+
+// wait suspends the calling front thread until the response is
+// published: it yields first — shard replies usually land within
+// microseconds, far inside one clock tick — and falls back to parking
+// on the clock once the reply is clearly not imminent.
+func (r *reply) wait(yield func(), park func(int64)) serve.Response {
+	for i := 0; !r.done.Load(); i++ {
+		if i < 64 {
+			yield()
+		} else {
+			park(1)
+		}
+	}
+	return r.resp
+}
+
+// job is one forwarded request: the parsed request, its remaining
+// deadline budget in ticks (rebased onto the shard's clock at Submit),
+// and the reply cell.
+type job struct {
+	req       *serve.Request
+	remaining int64
+	rep       *reply
+}
+
+// ring is the bounded MPSC forward ring.
+type ring struct {
+	lock  core.Lock
+	buf   []job
+	head  int // next pop
+	count int
+}
+
+func newRing(depth int) *ring {
+	return &ring{lock: core.NewMutexLock(), buf: make([]job, depth)}
+}
+
+// push appends a job; false when full (the caller sheds with 503).
+func (r *ring) push(j job) bool {
+	r.lock.Lock()
+	if r.count == len(r.buf) {
+		r.lock.Unlock()
+		return false
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = j
+	r.count++
+	r.lock.Unlock()
+	return true
+}
+
+// pop removes the oldest job; false when empty.
+func (r *ring) pop() (job, bool) {
+	r.lock.Lock()
+	if r.count == 0 {
+		r.lock.Unlock()
+		return job{}, false
+	}
+	j := r.buf[r.head]
+	r.buf[r.head] = job{} // drop references for the collector
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.lock.Unlock()
+	return j, true
+}
+
+// depth reports the current occupancy (a rebalancer load input).
+func (r *ring) depth() int {
+	r.lock.Lock()
+	defer r.lock.Unlock()
+	return r.count
+}

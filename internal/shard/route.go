@@ -1,0 +1,66 @@
+package shard
+
+// Request routing.  The default discipline hashes the client's remote
+// address once per connection, so a connection's requests all land on
+// one shard (cheap, cache-friendly, no coordination).  Requests carrying
+// the routing header instead consult a consistent-hash ring keyed on the
+// header's value: sticky routing that survives reconfiguration — when
+// the shard count changes, only ~1/N of the key space moves, the
+// classic consistent-hashing property.
+
+import (
+	"fmt"
+	"sort"
+)
+
+// fnv1a is the 32-bit FNV-1a hash; written out here (it is four lines)
+// so the routing layer carries no dependencies.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// connShard routes a connection by remote-address hash.
+func connShard(remote string, shards int) int {
+	return int(fnv1a(remote) % uint32(shards))
+}
+
+// chashRing is a consistent-hash ring: vnodes virtual points per shard,
+// sorted by hash; a key routes to the owner of the first point at or
+// after the key's hash, wrapping at the top.
+type chashRing struct {
+	points []chashPoint
+}
+
+type chashPoint struct {
+	hash  uint32
+	shard int
+}
+
+func newChashRing(shards, vnodes int) *chashRing {
+	r := &chashRing{points: make([]chashPoint, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, chashPoint{
+				hash:  fnv1a(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// lookup returns the shard owning key.
+func (r *chashRing) lookup(key string) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}

@@ -1,0 +1,429 @@
+// Package shard is the sharded serving fabric: N independent
+// serve.Server shards — each with its own proc platform, thread system,
+// metrics registry, and trace rings — behind one front acceptor that
+// demultiplexes persistent HTTP/1.1 keep-alive connections onto them.
+//
+// The front is itself a small MP world (its own platform + system): an
+// acceptor thread admits connections, a connection thread per client
+// reads pipelined requests through serve.Conn, routes each to a shard
+// (connection hash by default, consistent hashing on a routing header
+// for sticky workloads), and forwards it over that shard's MPSC ring; a
+// per-shard intake thread — an MP thread of the *backend's* system —
+// pops the ring and injects the request into the shard's admission
+// pipeline with serve.Server.Submit.  Replies travel back through a
+// single-assignment cell the forwarding thread parks on.  The packages'
+// purity rule extends here: no go statements, no channels, no select, no
+// net/http, no sync (the go/scanner test in purity_test.go enforces it);
+// the only OS-level concurrency is the host calling each element of
+// Runners in its own goroutine, exactly as every System.Run host already
+// must.
+//
+// A rebalancer thread on the front system implements scheduling policy
+// in the language, the paper's thesis applied across shards: every
+// RebalanceTicks it reads each shard's queue-depth and in-flight gauges
+// from the metrics spine, and when load skews past a slack threshold for
+// HysteresisRounds consecutive readings it shifts one proc of allowance
+// from the least- to the most-loaded shard via proc.SetLimit — global
+// total conserved, no shard below its floor, and the donor's procs
+// release themselves only at safe points (§3.1 revocation).
+//
+// Drain cascades: the front stops accepting, connection threads finish
+// the request in flight (forwarded requests are always answered — the
+// reply cell is single-assignment and the backend delivers exactly
+// once), idle connections close, and only when the front counts zero
+// active connections are the backends drained, so no in-flight request
+// is ever dropped.
+package shard
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cml"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/mlio"
+	"repro/internal/proc"
+	"repro/internal/serve"
+	"repro/internal/threads"
+	"repro/internal/trace"
+)
+
+// Options parameterize a Fabric.
+type Options struct {
+	// Addr is the front listener's address; empty means "127.0.0.1:0".
+	Addr string
+	// Shards is the number of backend serve.Server shards (default 2).
+	Shards int
+	// FrontProcs is the front platform's processor allowance (default 2).
+	FrontProcs int
+	// BackendProcs is each shard's initial allowance (default 2).  Each
+	// backend platform's capacity is Shards*BackendProcs so rebalancing
+	// can grow any one shard toward the global budget.
+	BackendProcs int
+	// RingDepth bounds each shard's forward ring; a full ring sheds the
+	// request with 503 at the front (default 256).
+	RingDepth int
+	// MaxConns bounds concurrently-served front connections (default 256).
+	MaxConns int
+	// RouteHeader, when a request carries it, switches that request from
+	// connection hashing to consistent hashing on the header's value —
+	// sticky routing for keyed workloads (default "X-Shard-Key").
+	RouteHeader string
+	// RebalanceTicks is the rebalancer's period in front clock ticks;
+	// 0 disables rebalancing (default 50).
+	RebalanceTicks int64
+	// RebalanceSlack is the load difference (queued + in-flight + ring)
+	// between the most- and least-loaded shards below which no shift is
+	// proposed (default 4).
+	RebalanceSlack int
+	// ProcFloor is the allowance no shard is shrunk below (default 1).
+	ProcFloor int
+	// HysteresisRounds is how many consecutive periods must propose the
+	// same donor→recipient shift before it is applied (default 2).
+	HysteresisRounds int
+	// DeadlineTicks is the per-request deadline (front clock ticks from
+	// first byte; forwarded with the request, default 2000).
+	DeadlineTicks int64
+	// IdleTicks bounds a keep-alive connection's wait between requests
+	// (default DeadlineTicks).
+	IdleTicks int64
+	// QueueDepth and MaxInFlight configure each backend shard (defaults
+	// as in serve.Options).
+	QueueDepth  int
+	MaxInFlight int
+	// Tick is one clock tick of wall time, for the front and every shard
+	// (default 1ms).
+	Tick time.Duration
+	// PollWindow caps blocking socket calls (default 1ms).
+	PollWindow time.Duration
+	// RetryAfter is the Retry-After hint on front sheds (default 1).
+	RetryAfter int
+	// Tracer, if non-nil, receives front fabric events (accept, route,
+	// forward, reply, rebalance, drain).
+	Tracer *trace.Tracer
+}
+
+func (o *Options) fill() {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.FrontProcs <= 0 {
+		o.FrontProcs = 2
+	}
+	if o.BackendProcs <= 0 {
+		o.BackendProcs = 2
+	}
+	if o.RingDepth <= 0 {
+		o.RingDepth = 256
+	}
+	if o.MaxConns <= 0 {
+		o.MaxConns = 256
+	}
+	if o.RouteHeader == "" {
+		o.RouteHeader = "X-Shard-Key"
+	}
+	if o.RebalanceTicks < 0 {
+		o.RebalanceTicks = 0
+	} else if o.RebalanceTicks == 0 {
+		o.RebalanceTicks = 50
+	}
+	if o.RebalanceSlack <= 0 {
+		o.RebalanceSlack = 4
+	}
+	if o.ProcFloor <= 0 {
+		o.ProcFloor = 1
+	}
+	if o.HysteresisRounds <= 0 {
+		o.HysteresisRounds = 2
+	}
+	if o.DeadlineTicks <= 0 {
+		o.DeadlineTicks = 2000
+	}
+	if o.IdleTicks <= 0 {
+		o.IdleTicks = o.DeadlineTicks
+	}
+	if o.Tick <= 0 {
+		o.Tick = time.Millisecond
+	}
+	if o.PollWindow <= 0 {
+		o.PollWindow = time.Millisecond
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 1
+	}
+}
+
+// NoRebalance is the Options.RebalanceTicks value that disables the
+// rebalancer (0 means "default period").
+const NoRebalance = -1
+
+// backend is one shard: its own MP world plus the forward ring into it.
+type backend struct {
+	id   int
+	pl   *proc.Platform
+	sys  *threads.System
+	srv  *serve.Server
+	ring *ring
+}
+
+// fabricMetrics caches the front registry's instrument handles.
+type fabricMetrics struct {
+	accepted   *metrics.Counter
+	acceptErrs *metrics.Counter
+	conns      *metrics.Counter // gauge: active front connections
+	shedConns  *metrics.Counter
+	routedHash *metrics.Counter
+	routedKey  *metrics.Counter
+	forwarded  []*metrics.Counter // per shard
+	ringFull   *metrics.Counter
+	replies    *metrics.Counter
+	checks     *metrics.Counter // rebalancer periods evaluated
+	rebalances *metrics.Counter // shifts applied
+	waitTicks  *metrics.Histogram
+}
+
+// Fabric is the sharded serving fabric; create with New, start each of
+// Runners in its own goroutine, stop with Drain.
+type Fabric struct {
+	opts Options
+	ln   *net.TCPListener
+
+	frontPl  *proc.Platform
+	frontSys *threads.System
+	clock    *cml.Clock
+	pool     *serve.BufPool
+	ccfg     serve.ConnConfig
+	backends []*backend
+	sticky   *chashRing
+
+	state        core.Lock // guards the fields below
+	draining     bool
+	acceptorDone bool
+	activeConns  int
+	cascadeDone  bool // backends drained (supervisor finished)
+	rebalDone    bool
+	limits       []int // rebalancer-tracked per-shard allowance
+	lastShift    int64 // front tick of the last applied shift
+
+	logrt  *mlio.Runtime
+	logpol mlio.Policy
+
+	m      fabricMetrics
+	tracer *trace.Tracer
+	evAccept, evRoute, evForward, evReply,
+	evRebalance, evDrain trace.EventID
+}
+
+// New builds the fabric: front listener + platform, and Shards backend
+// serve.Servers in NoListener mode sharing one access-log runtime under
+// one per-stream lock (so concurrent shards' lines interleave un-torn,
+// each carrying its shard id).  Nothing runs until the host starts the
+// Runners.
+func New(opts Options) (*Fabric, error) {
+	opts.fill()
+	ln, err := net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	tln, ok := ln.(*net.TCPListener)
+	if !ok {
+		ln.Close()
+		return nil, fmt.Errorf("shard: listener %T is not a *net.TCPListener", ln)
+	}
+	frontPl := proc.New(opts.FrontProcs)
+	fab := &Fabric{
+		opts:     opts,
+		ln:       tln,
+		frontPl:  frontPl,
+		frontSys: threads.New(frontPl, threads.Options{}),
+		clock:    cml.NewClock(),
+		pool:     serve.NewBufPool(opts.FrontProcs),
+		sticky:   newChashRing(opts.Shards, 64),
+		state:    core.NewMutexLock(),
+		limits:   make([]int, opts.Shards),
+		logrt:    mlio.NewRuntime(),
+		logpol:   mlio.NewPerStream(),
+		tracer:   opts.Tracer,
+	}
+	capacity := opts.Shards * opts.BackendProcs
+	for i := 0; i < opts.Shards; i++ {
+		pl := proc.New(capacity)
+		pl.SetLimit(opts.BackendProcs)
+		sys := threads.New(pl, threads.Options{})
+		srv, err := serve.New(sys, serve.Options{
+			NoListener:         true,
+			ShardID:            i,
+			MaxInFlight:        opts.MaxInFlight,
+			QueueDepth:         opts.QueueDepth,
+			DeadlineTicks:      opts.DeadlineTicks,
+			KeepAliveIdleTicks: opts.IdleTicks,
+			Tick:               opts.Tick,
+			PollWindow:         opts.PollWindow,
+			RetryAfter:         opts.RetryAfter,
+			Log:                fab.logrt,
+			LogPolicy:          fab.logpol,
+		})
+		if err != nil {
+			tln.Close()
+			return nil, err
+		}
+		fab.backends = append(fab.backends, &backend{
+			id: i, pl: pl, sys: sys, srv: srv, ring: newRing(opts.RingDepth),
+		})
+		fab.limits[i] = opts.BackendProcs
+	}
+	reg := fab.frontSys.Metrics()
+	bounds := []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+	fab.m = fabricMetrics{
+		accepted:   reg.Counter("shard.accepted"),
+		acceptErrs: reg.Counter("shard.accept_errors"),
+		conns:      reg.Counter("shard.conns"),
+		shedConns:  reg.Counter("shard.shed_conns"),
+		routedHash: reg.Counter("shard.routed_hash"),
+		routedKey:  reg.Counter("shard.routed_sticky"),
+		ringFull:   reg.Counter("shard.ring_full"),
+		replies:    reg.Counter("shard.replies"),
+		checks:     reg.Counter("shard.rebalance_checks"),
+		rebalances: reg.Counter("shard.rebalances"),
+		waitTicks:  reg.Histogram("shard.reply_wait_ticks", bounds),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		fab.m.forwarded = append(fab.m.forwarded,
+			reg.Counter(fmt.Sprintf("shard.forwarded_%d", i)))
+	}
+	if fab.tracer != nil {
+		fab.evAccept = fab.tracer.Define("shard.accept")
+		fab.evRoute = fab.tracer.Define("shard.route")
+		fab.evForward = fab.tracer.Define("shard.forward")
+		fab.evReply = fab.tracer.Define("shard.reply")
+		fab.evRebalance = fab.tracer.Define("shard.rebalance")
+		fab.evDrain = fab.tracer.Define("shard.drain")
+	}
+	fab.ccfg = serve.ConnConfig{
+		Clock:      fab.clock,
+		Park:       fab.park,
+		PollWindow: opts.PollWindow,
+		Pool:       fab.pool,
+		Aborted:    fab.Draining,
+	}
+	return fab, nil
+}
+
+// Addr returns the front listener's address.
+func (fab *Fabric) Addr() net.Addr { return fab.ln.Addr() }
+
+// Shard returns shard i's server (its metrics registry, access to
+// Handle, etc.).
+func (fab *Fabric) Shard(i int) *serve.Server { return fab.backends[i].srv }
+
+// Shards returns the shard count.
+func (fab *Fabric) Shards() int { return len(fab.backends) }
+
+// FrontMetrics returns the front system's registry (shard.* counters).
+func (fab *Fabric) FrontMetrics() *metrics.Registry { return fab.frontSys.Metrics() }
+
+// Handle registers a handler on every shard (they must agree on routes;
+// register before starting the Runners).
+func (fab *Fabric) Handle(pattern string, h serve.Handler) {
+	for _, b := range fab.backends {
+		b.srv.Handle(pattern, h)
+	}
+}
+
+// Limits returns the rebalancer's current per-shard allowance view.
+func (fab *Fabric) Limits() []int {
+	fab.state.Lock()
+	defer fab.state.Unlock()
+	return append([]int(nil), fab.limits...)
+}
+
+// AccessLog snapshots the fabric-wide access log: every shard writes
+// through the same mlio runtime and per-stream lock, so lines from
+// concurrent shards interleave whole, prefixed by their shard id.
+func (fab *Fabric) AccessLog() []byte { return fab.logrt.Contents("access") }
+
+// Draining reports whether Drain has been called.
+func (fab *Fabric) Draining() bool {
+	fab.state.Lock()
+	defer fab.state.Unlock()
+	return fab.draining
+}
+
+// Drain initiates the cascaded shutdown; safe from any goroutine
+// (signal handlers included), idempotent.  The cascade: front acceptor
+// stops → connection threads finish their in-flight request and close →
+// when the front counts zero connections the supervisor drains every
+// backend → backends finish queued work, their systems quiesce, and the
+// front system exits last.
+func (fab *Fabric) Drain() {
+	fab.state.Lock()
+	fab.draining = true
+	fab.state.Unlock()
+}
+
+// Runners returns one entry point per OS-level host goroutine the fabric
+// needs: element 0 is the front world (acceptor, connection threads,
+// rebalancer, supervisor, clock pump), elements 1..Shards are the
+// backend worlds (serve pipeline + ring intake).  The host must call
+// each in its own goroutine — this package starts none itself — and all
+// of them return after Drain completes.
+func (fab *Fabric) Runners() []func() {
+	rs := []func(){func() { fab.frontSys.Run(func() { fab.frontMain() }) }}
+	for _, b := range fab.backends {
+		b := b
+		rs = append(rs, func() {
+			b.sys.Run(func() {
+				b.srv.Serve()
+				fab.intake(b) // the root thread becomes the ring intake
+			})
+		})
+	}
+	return rs
+}
+
+// park suspends the calling front thread for ticks on the front clock.
+func (fab *Fabric) park(ticks int64) {
+	cml.Sync(fab.frontSys, fab.clock.AfterEvt(ticks))
+}
+
+// emit records a front trace event on the calling proc's ring.
+func (fab *Fabric) emit(ev trace.EventID, arg int64) {
+	fab.tracer.Emit(proc.Self(), ev, arg)
+}
+
+// intake is shard b's ring consumer: an MP thread of the backend's own
+// system, so Submit's injected requests enter the shard's admission
+// pipeline from inside its scheduling world.  It exits once the shard is
+// draining and the ring is empty (the front guarantees no more pushes by
+// then: backends drain only after the last front connection closed).
+func (fab *Fabric) intake(b *backend) {
+	for {
+		j, ok := b.ring.pop()
+		if !ok {
+			if b.srv.Draining() {
+				return
+			}
+			// Idle-wait by sleeping a fraction of a tick then yielding (the
+			// clock pump's own discipline) rather than parking on the shard
+			// clock: the pump may exit during drain before a parked intake's
+			// wakeup, and nothing would advance the clock again.
+			time.Sleep(fab.opts.Tick / 4)
+			b.sys.Yield()
+			continue
+		}
+		rep := j.rep
+		if !b.srv.Submit(j.req, j.remaining, func(resp serve.Response) { rep.deliver(resp) }) {
+			rep.deliver(serve.Response{
+				Status:     503,
+				Body:       []byte("shedding load: shard saturated\n"),
+				RetryAfter: fab.opts.RetryAfter,
+			})
+		}
+		b.sys.CheckPreempt()
+	}
+}

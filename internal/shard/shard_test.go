@@ -1,0 +1,568 @@
+package shard
+
+// Fabric end-to-end tests.  Test files are the client side of the wire
+// plus the host that runs each Runners entry in a goroutine — exactly
+// the role cmd/mpserved plays — so raw goroutines and channels are fine
+// here; the purity test scans only non-test sources.
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// kaConn is a keep-alive test client framing responses by Content-Length.
+type kaConn struct {
+	nc  net.Conn
+	acc []byte
+}
+
+func dialKA(t *testing.T, addr string) *kaConn {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	return &kaConn{nc: nc}
+}
+
+func (k *kaConn) send(path string, hdrs ...string) error {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "GET %s HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n", path)
+	for _, h := range hdrs {
+		b.WriteString(h + "\r\n")
+	}
+	b.WriteString("\r\n")
+	_, err := k.nc.Write(b.Bytes())
+	return err
+}
+
+func (k *kaConn) recv(timeout time.Duration) (int, []byte, error) {
+	deadline := time.Now().Add(timeout)
+	buf := make([]byte, 4096)
+	for {
+		if head, rest, ok := bytes.Cut(k.acc, []byte("\r\n\r\n")); ok {
+			lines := strings.Split(string(head), "\r\n")
+			parts := strings.SplitN(lines[0], " ", 3)
+			if len(parts) < 2 {
+				return 0, nil, fmt.Errorf("bad status line %q", lines[0])
+			}
+			status, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return 0, nil, err
+			}
+			clen := -1
+			for _, ln := range lines[1:] {
+				if kk, v, ok := strings.Cut(ln, ":"); ok &&
+					strings.EqualFold(strings.TrimSpace(kk), "Content-Length") {
+					clen, err = strconv.Atoi(strings.TrimSpace(v))
+					if err != nil {
+						return 0, nil, err
+					}
+				}
+			}
+			if clen < 0 {
+				return 0, nil, fmt.Errorf("no Content-Length in %q", head)
+			}
+			for len(rest) < clen {
+				k.nc.SetReadDeadline(deadline)
+				n, err := k.nc.Read(buf)
+				if n > 0 {
+					rest = append(rest, buf[:n]...)
+				} else if err != nil {
+					return 0, nil, err
+				}
+			}
+			k.acc = append([]byte(nil), rest[clen:]...)
+			return status, append([]byte(nil), rest[:clen]...), nil
+		}
+		k.nc.SetReadDeadline(deadline)
+		n, err := k.nc.Read(buf)
+		if n > 0 {
+			k.acc = append(k.acc, buf[:n]...)
+		} else if err != nil {
+			return 0, nil, err
+		}
+	}
+}
+
+type testFabric struct {
+	fab  *Fabric
+	done chan struct{}
+}
+
+func (tf *testFabric) addr() string { return tf.fab.Addr().String() }
+
+// drainAndWait cascades the drain and blocks until every runner has
+// returned; idempotent so tests may call it before the cleanup does.
+func (tf *testFabric) drainAndWait(t *testing.T) {
+	t.Helper()
+	tf.fab.Drain()
+	select {
+	case <-tf.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("fabric did not quiesce after drain")
+	}
+}
+
+// startFabric hosts a fabric: each Runners entry in its own goroutine,
+// health-checked through the front, drained at cleanup.
+func startFabric(t *testing.T, opts Options, register func(*Fabric)) *testFabric {
+	t.Helper()
+	opts.Addr = "127.0.0.1:0"
+	fab, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if register != nil {
+		register(fab)
+	}
+	tf := &testFabric{fab: fab, done: make(chan struct{})}
+	runners := fab.Runners()
+	joined := make(chan struct{}, len(runners))
+	for _, r := range runners {
+		r := r
+		go func() {
+			r()
+			joined <- struct{}{}
+		}()
+	}
+	go func() {
+		for range runners {
+			<-joined
+		}
+		close(tf.done)
+	}()
+	healthy := false
+	for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); {
+		kc, err := net.DialTimeout("tcp", tf.addr(), time.Second)
+		if err == nil {
+			c := &kaConn{nc: kc}
+			if err := c.send("/healthz", "Connection: close"); err == nil {
+				if st, _, err := c.recv(2 * time.Second); err == nil && st == 200 {
+					healthy = true
+				}
+			}
+			kc.Close()
+		}
+		if healthy {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatal("fabric did not become healthy")
+	}
+	t.Cleanup(func() { tf.drainAndWait(t) })
+	return tf
+}
+
+// parkHandler parks the handling thread ?ticks= shard-clock ticks.
+func parkHandler(req *serve.Request) serve.Response {
+	target := int64(req.QueryInt("ticks", 10))
+	for elapsed := int64(0); elapsed < target; elapsed++ {
+		if req.Expired() {
+			return serve.Response{Status: 504, Body: []byte("cancelled\n")}
+		}
+		req.Park(1)
+	}
+	return serve.Response{Status: 200, Body: []byte("parked\n")}
+}
+
+func TestFabricKeepAliveEndToEnd(t *testing.T) {
+	tf := startFabric(t, Options{Shards: 2}, nil)
+	base := tf.fab.FrontMetrics().Snapshot() // startup health checks count too
+	kc := dialKA(t, tf.addr())
+	const reqs = 6
+	for i := 0; i < reqs; i++ {
+		msg := fmt.Sprintf("m%d", i)
+		if err := kc.send("/echo?msg=" + msg); err != nil {
+			t.Fatal(err)
+		}
+		st, body, err := kc.recv(10 * time.Second)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if st != 200 || string(body) != msg {
+			t.Fatalf("request %d: status %d body %q", i, st, body)
+		}
+	}
+	snap := tf.fab.FrontMetrics().Snapshot()
+	if got := snap.Get("shard.replies") - base.Get("shard.replies"); got < reqs {
+		t.Errorf("shard.replies = %d, want >= %d", got, reqs)
+	}
+	var forwarded int64
+	for i := 0; i < tf.fab.Shards(); i++ {
+		name := fmt.Sprintf("shard.forwarded_%d", i)
+		forwarded += snap.Get(name) - base.Get(name)
+	}
+	if forwarded < reqs {
+		t.Errorf("total forwarded = %d, want >= %d", forwarded, reqs)
+	}
+	if got := snap.Get("shard.accepted") - base.Get("shard.accepted"); got != 1 {
+		t.Errorf("shard.accepted = %d, want 1 (one keep-alive conn)", got)
+	}
+}
+
+func TestStickyRoutingByHeader(t *testing.T) {
+	tf := startFabric(t, Options{Shards: 4}, nil)
+	base := tf.fab.FrontMetrics().Snapshot()
+	want := tf.fab.sticky.lookup("alpha")
+	const reqs = 8
+	for i := 0; i < reqs; i++ { // fresh conn each time: routing must follow the key, not the conn
+		kc := dialKA(t, tf.addr())
+		if err := kc.send("/healthz", "X-Shard-Key: alpha", "Connection: close"); err != nil {
+			t.Fatal(err)
+		}
+		if st, _, err := kc.recv(10 * time.Second); err != nil || st != 200 {
+			t.Fatalf("request %d: status %d err %v", i, st, err)
+		}
+		kc.nc.Close()
+	}
+	snap := tf.fab.FrontMetrics().Snapshot()
+	name := fmt.Sprintf("shard.forwarded_%d", want)
+	if got := snap.Get(name) - base.Get(name); got != reqs {
+		t.Errorf("sticky shard %d forwarded = %d, want %d", want, got, reqs)
+	}
+	if got := snap.Get("shard.routed_sticky") - base.Get("shard.routed_sticky"); got != reqs {
+		t.Errorf("shard.routed_sticky = %d, want %d", got, reqs)
+	}
+}
+
+func TestChashRingStableAndCovering(t *testing.T) {
+	r := newChashRing(4, 64)
+	hit := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		s := r.lookup(key)
+		if s2 := r.lookup(key); s2 != s {
+			t.Fatalf("lookup(%q) unstable: %d then %d", key, s, s2)
+		}
+		hit[s]++
+	}
+	for s := 0; s < 4; s++ {
+		if hit[s] == 0 {
+			t.Errorf("shard %d receives no keys", s)
+		}
+	}
+}
+
+func TestRingPushPopOrderAndBounds(t *testing.T) {
+	r := newRing(3)
+	for i := 0; i < 3; i++ {
+		if !r.push(job{remaining: int64(i)}) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if r.push(job{}) {
+		t.Error("push succeeded on a full ring")
+	}
+	if r.depth() != 3 {
+		t.Errorf("depth = %d, want 3", r.depth())
+	}
+	for i := 0; i < 3; i++ {
+		j, ok := r.pop()
+		if !ok || j.remaining != int64(i) {
+			t.Fatalf("pop %d: ok=%v remaining=%d", i, ok, j.remaining)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Error("pop succeeded on an empty ring")
+	}
+}
+
+func TestPlanShift(t *testing.T) {
+	cases := []struct {
+		name         string
+		loads, lims  []int
+		floor, cap   int
+		slack        int
+		from, to     int
+		ok           bool
+	}{
+		{"balanced", []int{3, 3}, []int{2, 2}, 1, 4, 4, 0, 0, false},
+		{"skew", []int{0, 9}, []int{2, 2}, 1, 4, 4, 0, 1, true},
+		{"donor at floor", []int{0, 9}, []int{1, 3}, 1, 4, 4, 0, 0, false},
+		{"recipient at cap", []int{0, 9}, []int{0, 4}, 0, 4, 4, 0, 0, false},
+		{"below slack", []int{2, 5}, []int{2, 2}, 1, 4, 4, 0, 0, false},
+		{"three way", []int{5, 0, 20}, []int{2, 2, 2}, 1, 6, 4, 1, 2, true},
+		{"single shard", []int{9}, []int{2}, 1, 4, 1, 0, 0, false},
+	}
+	for _, c := range cases {
+		from, to, ok := planShift(c.loads, c.lims, c.floor, c.cap, c.slack)
+		if ok != c.ok || (ok && (from != c.from || to != c.to)) {
+			t.Errorf("%s: planShift = (%d,%d,%v), want (%d,%d,%v)",
+				c.name, from, to, ok, c.from, c.to, c.ok)
+		}
+	}
+}
+
+// TestRebalanceConservesTotalAllowance forces a load skew (every request
+// carries the same sticky key), waits for at least one applied SetLimit
+// shift, and asserts the invariants the whole time: the global allowance
+// total never changes and no shard drops below its floor.
+func TestRebalanceConservesTotalAllowance(t *testing.T) {
+	const shards, perShard = 2, 2
+	tf := startFabric(t, Options{
+		Shards:           shards,
+		BackendProcs:     perShard,
+		RebalanceTicks:   10,
+		RebalanceSlack:   1,
+		HysteresisRounds: 2,
+	}, func(fab *Fabric) {
+		fab.Handle("/park", parkHandler)
+	})
+
+	hot := tf.fab.sticky.lookup("hot")
+	stop := make(chan struct{})
+	const clients = 6
+	for i := 0; i < clients; i++ {
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				kc, err := net.DialTimeout("tcp", tf.addr(), time.Second)
+				if err != nil {
+					continue
+				}
+				c := &kaConn{nc: kc}
+				for r := 0; r < 50; r++ {
+					if c.send("/park?ticks=30", "X-Shard-Key: hot") != nil {
+						break
+					}
+					if _, _, err := c.recv(10 * time.Second); err != nil {
+						break
+					}
+				}
+				kc.Close()
+			}
+		}()
+	}
+	defer close(stop)
+
+	total := shards * perShard
+	deadline := time.Now().Add(30 * time.Second)
+	sawShift := false
+	for time.Now().Before(deadline) {
+		limits := tf.fab.Limits()
+		sum := 0
+		for i, l := range limits {
+			sum += l
+			if l < 1 {
+				t.Fatalf("shard %d allowance %d below floor", i, l)
+			}
+		}
+		if sum != total {
+			t.Fatalf("allowance total %d, want %d (limits %v)", sum, total, limits)
+		}
+		if tf.fab.FrontMetrics().Snapshot().Get("shard.rebalances") >= 1 {
+			sawShift = true
+			// The shift must have moved allowance toward the hot shard.
+			if limits[hot] <= perShard {
+				// Re-read: the shift may have landed between our two reads.
+				limits = tf.fab.Limits()
+			}
+			if limits[hot] <= perShard {
+				t.Errorf("hot shard %d allowance %d not grown past %d (limits %v)",
+					hot, limits[hot], perShard, limits)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !sawShift {
+		t.Fatal("no rebalance observed under forced skew")
+	}
+}
+
+// TestShrinkWhileBusyReleasesProcsAtSafePoints shrinks a busy shard's
+// allowance mid-flight: every in-flight request still completes (procs
+// release only at safe points, never mid-handler) and the shard's live
+// proc count then settles at the new limit.
+func TestShrinkWhileBusyReleasesProcsAtSafePoints(t *testing.T) {
+	tf := startFabric(t, Options{
+		Shards:         2,
+		BackendProcs:   2,
+		RebalanceTicks: NoRebalance,
+	}, func(fab *Fabric) {
+		fab.Handle("/park", parkHandler)
+	})
+	hot := tf.fab.sticky.lookup("busykey")
+	b := tf.fab.backends[hot]
+
+	const clients = 4
+	results := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			kc, err := net.DialTimeout("tcp", tf.addr(), 2*time.Second)
+			if err != nil {
+				results <- err
+				return
+			}
+			defer kc.Close()
+			c := &kaConn{nc: kc}
+			if err := c.send("/park?ticks=150", "X-Shard-Key: busykey", "Connection: close"); err != nil {
+				results <- err
+				return
+			}
+			st, _, err := c.recv(20 * time.Second)
+			if err == nil && st != 200 {
+				err = fmt.Errorf("status %d", st)
+			}
+			results <- err
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // let the parks get in flight
+	b.pl.SetLimit(1)
+	for i := 0; i < clients; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("in-flight request dropped by shrink: %v", err)
+		}
+	}
+	settled := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if b.pl.Live() <= 1 {
+			settled = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !settled {
+		t.Errorf("shard %d live procs = %d, want <= 1 after shrink", hot, b.pl.Live())
+	}
+}
+
+// TestDrainCascadeZeroDropped calls Drain with requests in flight: each
+// must complete (the cascade waits for the front's connections before
+// draining backends), new connections must be refused, and every runner
+// must return.
+func TestDrainCascadeZeroDropped(t *testing.T) {
+	tf := startFabric(t, Options{Shards: 2, RebalanceTicks: NoRebalance},
+		func(fab *Fabric) { fab.Handle("/park", parkHandler) })
+
+	const clients = 3
+	results := make(chan int, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			kc, err := net.DialTimeout("tcp", tf.addr(), 2*time.Second)
+			if err != nil {
+				results <- -1
+				return
+			}
+			defer kc.Close()
+			c := &kaConn{nc: kc}
+			if c.send("/park?ticks=80", "Connection: close") != nil {
+				results <- -1
+				return
+			}
+			st, _, err := c.recv(30 * time.Second)
+			if err != nil {
+				st = -1
+			}
+			results <- st
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // requests reach the shards
+	tf.drainAndWait(t)
+	for i := 0; i < clients; i++ {
+		if st := <-results; st != 200 {
+			t.Errorf("in-flight request got %d during drain, want 200", st)
+		}
+	}
+	if _, err := net.DialTimeout("tcp", tf.addr(), 500*time.Millisecond); err == nil {
+		t.Error("fabric still accepting connections after drain")
+	}
+}
+
+// TestMultiShardAccessLogUnTorn drives traffic through every shard into
+// the shared access log and checks each line is whole — exactly the
+// seven "shard tick proc status latency method path" fields — with at
+// least two distinct shard ids present.
+func TestMultiShardAccessLogUnTorn(t *testing.T) {
+	tf := startFabric(t, Options{Shards: 2, RebalanceTicks: NoRebalance}, nil)
+	// Pick sticky keys that provably cover both shards.
+	var keys []string
+	perShard := map[int]int{}
+	for i := 0; len(keys) < 8; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if s := tf.fab.sticky.lookup(key); perShard[s] < 4 {
+			perShard[s]++
+			keys = append(keys, key)
+		}
+	}
+	done := make(chan error, len(keys))
+	for _, key := range keys {
+		key := key
+		go func() {
+			kc, err := net.DialTimeout("tcp", tf.addr(), 2*time.Second)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer kc.Close()
+			c := &kaConn{nc: kc}
+			for i := 0; i < 10; i++ {
+				if err := c.send("/echo?msg=x", "X-Shard-Key: "+key); err != nil {
+					done <- err
+					return
+				}
+				if st, _, err := c.recv(10 * time.Second); err != nil || st != 200 {
+					done <- fmt.Errorf("status %d err %v", st, err)
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for range keys {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	tf.drainAndWait(t)
+
+	log := tf.fab.AccessLog()
+	lines := bytes.Split(bytes.TrimSpace(log), []byte("\n"))
+	if len(lines) < len(keys)*10 {
+		t.Fatalf("access log has %d lines, want >= %d", len(lines), len(keys)*10)
+	}
+	shardsSeen := map[string]bool{}
+	for _, ln := range lines {
+		f := bytes.Fields(ln)
+		if len(f) != 7 {
+			t.Errorf("torn or malformed access-log line %q", ln)
+			continue
+		}
+		shardsSeen[string(f[0])] = true
+	}
+	if len(shardsSeen) < 2 {
+		t.Errorf("access log lines carry %d distinct shard ids, want >= 2 (%v)",
+			len(shardsSeen), shardsSeen)
+	}
+}
+
+// TestFabriczStatusEndpoint sanity-checks the front's own endpoint.
+func TestFabriczStatusEndpoint(t *testing.T) {
+	tf := startFabric(t, Options{Shards: 2, RebalanceTicks: NoRebalance}, nil)
+	kc := dialKA(t, tf.addr())
+	if err := kc.send("/fabricz", "Connection: close"); err != nil {
+		t.Fatal(err)
+	}
+	st, body, err := kc.recv(10 * time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("status %d err %v", st, err)
+	}
+	if !bytes.Contains(body, []byte("shards 2")) || !bytes.Contains(body, []byte("shard 0 limit")) {
+		t.Errorf("unexpected /fabricz body: %q", body)
+	}
+}

@@ -329,10 +329,15 @@ func TestSetLimitShrinkWhileBusyReleasesAtSafePoints(t *testing.T) {
 	var completed atomic.Int32
 	var peakBefore atomic.Int32
 	var leftBehind atomic.Int32 // threads unfinished when Live() first hit the new limit
+	var shrunk atomic.Bool      // monitor observed Live() at the new limit
 	s.Run(func() {
 		for i := 0; i < nThreads; i++ {
 			s.Fork(func() {
-				for j := 0; j < 300; j++ {
+				// Keep yielding until the monitor has observed the shrink, so
+				// the observation window cannot close early on a slow or
+				// heavily-loaded host; the generous bound turns a broken
+				// revocation into a test failure instead of a hang.
+				for j := 0; j < 300 || (!shrunk.Load() && j < 1_000_000); j++ {
 					s.CheckPreempt()
 					s.Yield()
 				}
@@ -349,10 +354,12 @@ func TestSetLimitShrinkWhileBusyReleasesAtSafePoints(t *testing.T) {
 			for completed.Load() < nThreads {
 				if pl.Live() <= 1 {
 					leftBehind.Store(nThreads - completed.Load())
+					shrunk.Store(true)
 					return
 				}
 				s.Yield()
 			}
+			shrunk.Store(true)
 		})
 	})
 	if completed.Load() != nThreads {
