@@ -16,14 +16,27 @@
 // Extra request headers (-header "X-Shard-Key: hot") steer the sharded
 // fabric's sticky router, the lever for forcing load skew.
 //
+// Keep-alive workers can also pipeline: -pipeline K writes K requests
+// back-to-back before reading the K framed responses, which is what
+// makes the server's batched forward path (multi-push rings, batched
+// dispatch) observable from a closed loop — without pipelining a worker
+// never has more than one request in flight per connection.
+//
+// Two load-shape levers exercise the fabric's stealing and rebalancing:
+// -skew F sends the sticky hot key (-skew-header) on fraction F of
+// requests, concentrating that share on one shard while the rest spread
+// by connection hash; -burst on:off gates all workers through an on/off
+// duty cycle, producing arrival bursts shorter than any rebalance period.
+//
 // Every response is classified (2xx / shed 503 / expired 504 / error),
 // and -json writes the full summary machine-readably for benchmark
-// archiving (BENCH_serve.json, BENCH_shard.json).
+// archiving (BENCH_serve.json, BENCH_shard.json, BENCH_batch.json).
 //
 // Usage:
 //
 //	mploadgen [-addr host:port] [-path /echo?msg=hi] [-conns N]
-//	          [-keepalive] [-reqs N] [-header "K: V"]
+//	          [-keepalive] [-reqs N] [-pipeline K] [-header "K: V"]
+//	          [-skew F] [-skew-header name] [-burst on:off]
 //	          [-rate req/s] [-duration d] [-timeout d] [-json out.json]
 package main
 
@@ -33,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"sort"
@@ -56,8 +70,14 @@ type Summary struct {
 	Mode       string  `json:"mode"` // "closed" or "open"
 	Conns      int     `json:"conns"`
 	KeepAlive  bool    `json:"keepalive"`
+	Pipeline   int     `json:"pipeline,omitempty"`     // requests in flight per conn
 	RatePerSec float64 `json:"rate_per_sec,omitempty"` // offered, open-loop only
 	DurationMS int64   `json:"duration_ms"`
+
+	SkewHotFraction float64 `json:"skew_hot_fraction,omitempty"`
+	SkewHotSent     int64   `json:"skew_hot_sent,omitempty"`
+	BurstOnMS       int64   `json:"burst_on_ms,omitempty"`
+	BurstOffMS      int64   `json:"burst_off_ms,omitempty"`
 
 	Sent        int64   `json:"sent"`
 	OK          int64   `json:"ok"`             // 2xx
@@ -99,9 +119,30 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "test duration")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	jsonPath := flag.String("json", "", "write the summary as JSON to this file")
+	pipeline := flag.Int("pipeline", 1, "keep-alive: requests written back-to-back before reading responses")
+	skew := flag.Float64("skew", 0, "fraction of requests carrying the sticky hot key (0 disables)")
+	skewHeader := flag.String("skew-header", "X-Shard-Key", "routing header the hot key rides on")
+	burst := flag.String("burst", "", "on/off duty cycle \"on:off\" (e.g. 200ms:300ms; empty disables)")
 	var headers headerList
 	flag.Var(&headers, "header", "extra request header \"Name: value\" (repeatable)")
 	flag.Parse()
+
+	if *pipeline < 1 {
+		*pipeline = 1
+	}
+	var burstOn, burstOff time.Duration
+	if *burst != "" {
+		onS, offS, ok := strings.Cut(*burst, ":")
+		var err1, err2 error
+		burstOn, err1 = time.ParseDuration(onS)
+		if ok {
+			burstOff, err2 = time.ParseDuration(offS)
+		}
+		if !ok || err1 != nil || err2 != nil || burstOn <= 0 || burstOff < 0 {
+			fmt.Fprintf(os.Stderr, "bad -burst %q: want \"on:off\" durations\n", *burst)
+			os.Exit(2)
+		}
+	}
 
 	var (
 		mu      sync.Mutex
@@ -110,17 +151,42 @@ func main() {
 		errs    atomic.Int64
 		dialed  atomic.Int64
 		reused  atomic.Int64
+		hotSent atomic.Int64
 	)
 	record := func(st int, lat time.Duration) {
 		mu.Lock()
 		results = append(results, result{st, lat})
 		mu.Unlock()
 	}
-	one := func() {
+	// reqHeaders decides one request's headers under -skew: with
+	// probability skew the sticky hot key is attached (all hot requests
+	// land on one shard); otherwise the base headers ride alone and the
+	// request routes by connection hash.
+	reqHeaders := func(rng *rand.Rand) []string {
+		if *skew <= 0 || rng.Float64() >= *skew {
+			return headers
+		}
+		hotSent.Add(1)
+		return append(append([]string(nil), headers...), *skewHeader+": hot")
+	}
+	begin := time.Now()
+	// burstWait blocks through the off phase of the duty cycle; all
+	// workers share the phase (keyed to begin), so load arrives in
+	// synchronized bursts.
+	burstWait := func() {
+		if burstOff <= 0 {
+			return
+		}
+		cycle := burstOn + burstOff
+		if e := time.Since(begin) % cycle; e >= burstOn {
+			time.Sleep(cycle - e)
+		}
+	}
+	one := func(rng *rand.Rand) {
 		sent.Add(1)
 		start := time.Now()
 		dialed.Add(1)
-		st, _, err := doReq(*addr, *path, headers, *timeout)
+		st, _, err := doReq(*addr, *path, reqHeaders(rng), *timeout)
 		if err != nil {
 			errs.Add(1)
 			return
@@ -128,32 +194,46 @@ func main() {
 		record(st, time.Since(start))
 	}
 
-	begin := time.Now()
 	stop := begin.Add(*duration)
 	var wg sync.WaitGroup
 	mode := "closed"
 	if *rate > 0 {
 		mode = "open"
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 		// Open loop: a ticker schedules sends independent of completions.
 		interval := time.Duration(float64(time.Second) / *rate)
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
 		for time.Now().Before(stop) {
 			<-tick.C
+			burstWait()
+			hdrs := reqHeaders(rng)
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				one()
+				sent.Add(1)
+				start := time.Now()
+				dialed.Add(1)
+				st, _, err := doReq(*addr, *path, hdrs, *timeout)
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				record(st, time.Since(start))
 			}()
 		}
-	} else if *keepalive {
+	} else if *keepalive || *pipeline > 1 {
 		for i := 0; i < *conns; i++ {
+			i := i
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(i)*7919 + time.Now().UnixNano()))
 				var kc *kaClient
 				onConn := 0
+				perReq := make([][]string, 0, *pipeline)
 				for time.Now().Before(stop) {
+					burstWait()
 					if kc == nil {
 						c, err := net.DialTimeout("tcp", *addr, *timeout)
 						if err != nil {
@@ -165,20 +245,34 @@ func main() {
 						dialed.Add(1)
 						onConn = 0
 					}
-					sent.Add(1)
+					depth := *pipeline
+					if left := *reqsPerConn - onConn; depth > left {
+						depth = left
+					}
+					if depth < 1 {
+						depth = 1
+					}
+					perReq = perReq[:0]
+					for j := 0; j < depth; j++ {
+						perReq = append(perReq, reqHeaders(rng))
+					}
+					sent.Add(int64(depth))
 					start := time.Now()
-					st, close, err := kc.do(*path, headers, *timeout)
+					got := 0
+					close, err := kc.doN(*path, perReq, *timeout, func(st int) {
+						record(st, time.Since(start))
+						if onConn > 0 {
+							reused.Add(1)
+						}
+						onConn++
+						got++
+					})
 					if err != nil {
-						errs.Add(1)
+						errs.Add(int64(depth - got))
 						kc.nc.Close()
 						kc = nil
 						continue
 					}
-					record(st, time.Since(start))
-					if onConn > 0 {
-						reused.Add(1)
-					}
-					onConn++
 					if close || onConn >= *reqsPerConn {
 						kc.nc.Close()
 						kc = nil
@@ -191,11 +285,14 @@ func main() {
 		}
 	} else {
 		for i := 0; i < *conns; i++ {
+			i := i
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(i)*6121 + time.Now().UnixNano()))
 				for time.Now().Before(stop) {
-					one()
+					burstWait()
+					one(rng)
 				}
 			}()
 		}
@@ -204,15 +301,22 @@ func main() {
 	elapsed := time.Since(begin)
 
 	s := Summary{
-		Addr:        *addr,
-		Path:        *path,
-		Mode:        mode,
-		Conns:       *conns,
-		KeepAlive:   mode == "closed" && *keepalive,
-		DurationMS:  elapsed.Milliseconds(),
-		Sent:        sent.Load(),
-		Errors:      errs.Load(),
-		ConnsDialed: dialed.Load(),
+		Addr:            *addr,
+		Path:            *path,
+		Mode:            mode,
+		Conns:           *conns,
+		KeepAlive:       mode == "closed" && (*keepalive || *pipeline > 1),
+		DurationMS:      elapsed.Milliseconds(),
+		Sent:            sent.Load(),
+		Errors:          errs.Load(),
+		ConnsDialed:     dialed.Load(),
+		SkewHotFraction: *skew,
+		SkewHotSent:     hotSent.Load(),
+		BurstOnMS:       burstOn.Milliseconds(),
+		BurstOffMS:      burstOff.Milliseconds(),
+	}
+	if s.KeepAlive && *pipeline > 1 {
+		s.Pipeline = *pipeline
 	}
 	if mode == "open" {
 		s.RatePerSec = *rate
@@ -253,6 +357,15 @@ func main() {
 		if s.KeepAlive {
 			fmt.Printf(", keep-alive")
 		}
+		if s.Pipeline > 1 {
+			fmt.Printf(", pipeline %d", s.Pipeline)
+		}
+	}
+	if *skew > 0 {
+		fmt.Printf(", skew %.2f", *skew)
+	}
+	if burstOff > 0 {
+		fmt.Printf(", burst %s:%s", burstOn, burstOff)
 	}
 	fmt.Printf(") over %s\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  sent %d: ok %d, shed %d, expired %d, other %d, errors %d\n",
@@ -294,19 +407,40 @@ type kaClient struct {
 	acc []byte
 }
 
-// do issues one request and reads one framed response, returning the
-// status and whether the server asked to close the connection.
-func (k *kaClient) do(path string, headers []string, timeout time.Duration) (int, bool, error) {
+// doN issues len(perReq) pipelined requests in a single write — the
+// per-request headers come from perReq — then reads that many framed
+// responses in order, invoking got for each.  It returns whether the
+// server asked to close the connection (a Connection: close on any
+// response ends the read loop: nothing after it will be answered).
+func (k *kaClient) doN(path string, perReq [][]string, timeout time.Duration, got func(status int)) (bool, error) {
 	k.nc.SetDeadline(time.Now().Add(timeout))
 	var b bytes.Buffer
-	fmt.Fprintf(&b, "GET %s HTTP/1.1\r\nHost: loadgen\r\nContent-Length: 0\r\n", path)
-	for _, h := range headers {
-		b.WriteString(h + "\r\n")
+	for _, hdrs := range perReq {
+		fmt.Fprintf(&b, "GET %s HTTP/1.1\r\nHost: loadgen\r\nContent-Length: 0\r\n", path)
+		for _, h := range hdrs {
+			b.WriteString(h + "\r\n")
+		}
+		b.WriteString("\r\n")
 	}
-	b.WriteString("\r\n")
 	if _, err := k.nc.Write(b.Bytes()); err != nil {
-		return 0, false, err
+		return false, err
 	}
+	for range perReq {
+		status, close, err := k.readResp()
+		if err != nil {
+			return false, err
+		}
+		got(status)
+		if close {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// readResp reads one Content-Length-framed response off the connection,
+// returning its status and whether it carried Connection: close.
+func (k *kaClient) readResp() (int, bool, error) {
 	buf := make([]byte, 4096)
 	for {
 		if head, rest, ok := bytes.Cut(k.acc, []byte("\r\n\r\n")); ok {

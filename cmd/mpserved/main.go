@@ -22,8 +22,8 @@
 //
 //	mpserved [-addr host:port] [-procs N] [-inflight N] [-queue N]
 //	         [-deadline ticks] [-tick d] [-quantum d] [-distributed]
-//	         [-ring N] [-trace out.json]
-//	         [-shards N] [-rebalance ticks] [-route-header name]
+//	         [-ring N] [-trace out.json] [-batch N]
+//	         [-shards N] [-rebalance ticks] [-route-header name] [-steal N]
 package main
 
 import (
@@ -54,14 +54,16 @@ func main() {
 	distributed := flag.Bool("distributed", false, "use distributed run queues")
 	ring := flag.Int("ring", 1<<14, "trace ring size per proc (0 = no tracer)")
 	tracePath := flag.String("trace", "", "also write the trace to this file at exit")
+	batch := flag.Int("batch", 16, "max units per batched transfer (dispatch drain, multi-push, steal claim); 1 disables batching")
 	shards := flag.Int("shards", 1, "backend shard count (>1 runs the sharded fabric)")
 	rebalance := flag.Int64("rebalance", 50, "fabric: rebalancer period in front ticks (0 disables)")
 	routeHeader := flag.String("route-header", "X-Shard-Key", "fabric: sticky consistent-hash routing header")
+	steal := flag.Int("steal", 2, "fabric: min sibling ring occupancy before an idle shard steals (0 disables)")
 	flag.Parse()
 
 	if *shards > 1 {
 		runFabric(*addr, *shards, *procs, *inflight, *queueDepth, *deadline,
-			*rebalance, *routeHeader, *tick)
+			*rebalance, *routeHeader, *tick, *batch, *steal)
 		return
 	}
 
@@ -84,6 +86,7 @@ func main() {
 		MaxInFlight:   *inflight,
 		QueueDepth:    *queueDepth,
 		DeadlineTicks: *deadline,
+		DispatchBatch: *batch,
 		Tick:          *tick,
 		Tracer:        tr,
 	})
@@ -132,9 +135,13 @@ func main() {
 // (the front world plus each backend world), SIGTERM cascading the
 // drain, and the merged metrics of every registry printed at exit.
 func runFabric(addr string, shards, procsPerShard, inflight, queueDepth int,
-	deadline, rebalance int64, routeHeader string, tick time.Duration) {
+	deadline, rebalance int64, routeHeader string, tick time.Duration,
+	batch, steal int) {
 	if rebalance <= 0 {
 		rebalance = shard.NoRebalance
+	}
+	if steal <= 0 {
+		steal = shard.NoSteal
 	}
 	fab, err := shard.New(shard.Options{
 		Addr:           addr,
@@ -143,6 +150,8 @@ func runFabric(addr string, shards, procsPerShard, inflight, queueDepth int,
 		MaxInFlight:    inflight,
 		QueueDepth:     queueDepth,
 		DeadlineTicks:  deadline,
+		BatchMax:       batch,
+		StealMin:       steal,
 		RebalanceTicks: rebalance,
 		RouteHeader:    routeHeader,
 		Tick:           tick,
@@ -160,8 +169,8 @@ func runFabric(addr string, shards, procsPerShard, inflight, queueDepth int,
 		fab.Drain()
 	}()
 
-	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks)\n",
-		fab.Addr(), shards, procsPerShard, inflight, rebalance)
+	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks batch=%d steal=%d)\n",
+		fab.Addr(), shards, procsPerShard, inflight, rebalance, batch, steal)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, r := range fab.Runners() {

@@ -1,6 +1,8 @@
 package cml
 
 import (
+	"math"
+
 	"repro/internal/core"
 	"repro/internal/spinlock"
 )
@@ -11,9 +13,16 @@ import (
 // asynchronously — so time is advanced explicitly by the program (for
 // instance from a scheduler tick or a driver loop), keeping every test
 // and simulation deterministic.
+//
+// Advance is the serving pumps' per-tick hot path, so wakeups are
+// coalesced: the clock tracks the earliest parked deadline, an Advance
+// that reaches no deadline is a single O(1) spinlock critical section
+// (no waiter scan), and an Advance that does cross deadlines fires every
+// due waiter in one scan — N expiring deadlines cost one Advance, not N.
 type Clock struct {
 	lk      spinlock.Lock
 	now     int64
+	next    int64 // earliest parked deadline (may be stale low, never high)
 	waiters []clockWaiter
 }
 
@@ -24,7 +33,7 @@ type clockWaiter struct {
 
 // NewClock returns a clock at time zero.
 func NewClock() *Clock {
-	return &Clock{lk: core.NewMutexLock()}
+	return &Clock{lk: core.NewMutexLock(), next: math.MaxInt64}
 }
 
 // Now returns the current virtual time.
@@ -44,7 +53,14 @@ func (c *Clock) Advance(s Scheduler, d int64) {
 	c.lk.Lock()
 	c.now += d
 	now := c.now
+	if now < c.next {
+		// Nothing is due (next may be stale low after committed-elsewhere
+		// drops, but never high): the common per-tick Advance is O(1).
+		c.lk.Unlock()
+		return
+	}
 	var due []crcvr[int64]
+	next := int64(math.MaxInt64)
 	remaining := c.waiters[:0]
 	for _, cw := range c.waiters {
 		if cw.deadline <= now {
@@ -53,10 +69,14 @@ func (c *Clock) Advance(s Scheduler, d int64) {
 			}
 			// Committed-elsewhere waiters are dropped either way.
 		} else {
+			if cw.deadline < next {
+				next = cw.deadline
+			}
 			remaining = append(remaining, cw)
 		}
 	}
 	c.waiters = remaining
+	c.next = next
 	c.lk.Unlock()
 	for _, w := range due {
 		w.resume(now)
@@ -104,6 +124,9 @@ func (e atEvt) block(s Scheduler, w commitRef[int64]) blockRes[int64] {
 		deadline: e.deadline,
 		w:        crcvr[int64]{committed: w.committed, resume: w.resume, id: w.id},
 	})
+	if e.deadline < c.next {
+		c.next = e.deadline
+	}
 	c.lk.Unlock()
 	return blockRes[int64]{kind: parked}
 }

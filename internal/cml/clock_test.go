@@ -94,6 +94,44 @@ func TestManyTimersFireInOneAdvance(t *testing.T) {
 	}
 }
 
+// TestClockNextTrackingAcrossPartialFires exercises the coalesced-wakeup
+// bookkeeping: after a scan fires only the due waiters, the recomputed
+// earliest deadline must still fire the survivors, and a waiter parked
+// after the scan must pull the horizon back in.  One proc keeps the
+// interleaving deterministic: each Yield runs the forked waiters to
+// their park points before the main thread resumes.
+func TestClockNextTrackingAcrossPartialFires(t *testing.T) {
+	s := newSys(1)
+	var at5, at10, at7 int64
+	s.Run(func() {
+		c := NewClock()
+		s.Fork(func() { at5 = Sync(s, c.AtEvt(5)) })
+		s.Fork(func() { at10 = Sync(s, c.AtEvt(10)) })
+		s.Yield()
+		c.Advance(s, 3) // 3: nothing due, O(1) early return
+		c.Advance(s, 3) // 6: fires the 5-deadline, next becomes 10
+		s.Yield()
+		if at5 != 6 || at10 != 0 {
+			t.Errorf("after t=6: at5=%d at10=%d, want 6 and 0", at5, at10)
+		}
+		if v := Sync(s, c.AtEvt(4)); v != 6 { // already past: commits at once
+			t.Errorf("past-deadline sync at t=6 got %d, want 6", v)
+		}
+		s.Fork(func() { at7 = Sync(s, c.AtEvt(8)) }) // parks, pulls next from 10 to 8
+		s.Yield()
+		c.Advance(s, 2) // 8: fires the new waiter, not the 10
+		s.Yield()
+		if at7 != 8 || at10 != 0 {
+			t.Errorf("after t=8: at7=%d at10=%d, want 8 and 0", at7, at10)
+		}
+		c.Advance(s, 2) // 10
+		s.Yield()
+	})
+	if at10 != 10 {
+		t.Fatalf("at10 = %d, want 10", at10)
+	}
+}
+
 func TestAfterEvtDeadlineFixedAtSync(t *testing.T) {
 	s := newSys(2)
 	var a, b int64

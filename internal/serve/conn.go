@@ -169,6 +169,35 @@ func (c *Conn) ReadRequest(headDeadline, budget int64) (*Request, error) {
 	return req, nil
 }
 
+// ReadBuffered parses one more request from the residual buffer without
+// touching the socket: after a blocking ReadRequest returns, the batching
+// front drains any fully-buffered pipelined successors this way, so a
+// client that wrote K requests back-to-back has all K forwarded as one
+// multi-push.  It returns (nil, false) whenever a complete well-formed
+// request is not already buffered — including on parse errors, which are
+// deliberately left in the buffer for the next blocking ReadRequest to
+// surface with its full error taxonomy.
+func (c *Conn) ReadBuffered(budget int64) (*Request, bool) {
+	headerEnd := bytes.Index(c.acc, crlf2)
+	if headerEnd < 0 {
+		return nil, false
+	}
+	req, contentLength, err := parseHeader(c.acc[:headerEnd])
+	if err != nil || contentLength > maxBodyBytes {
+		return nil, false
+	}
+	total := headerEnd + 4 + contentLength
+	if len(c.acc) < total {
+		return nil, false
+	}
+	arrival := c.cfg.Clock.Now()
+	req.Body = append([]byte(nil), c.acc[headerEnd+4:total]...)
+	c.acc = c.acc[:copy(c.acc, c.acc[total:])]
+	req.Arrival = arrival
+	req.Deadline = arrival + budget
+	return req, true
+}
+
 // read performs one poll-window-capped socket read into the residual
 // buffer, returning the byte count and any error.
 func (c *Conn) read() (int, error) {

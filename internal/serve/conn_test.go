@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/cml"
 )
 
 // keepAliveConn is the client side of a persistent connection: it frames
@@ -191,6 +193,50 @@ func TestIdleKeepAliveConnClosedSilently(t *testing.T) {
 	n, err := kc.nc.Read(make([]byte, 64))
 	if n != 0 || err != io.EOF {
 		t.Errorf("idle conn: read %d bytes err %v, want 0 and EOF", n, err)
+	}
+}
+
+// TestReadBufferedDrainsResidualPipelined feeds a Conn's residual buffer
+// two complete pipelined requests plus a partial third: ReadBuffered must
+// parse the complete ones in order — bodies copied out, deadlines set
+// from the budget — without touching the socket, then report false and
+// leave the partial head buffered for the next blocking ReadRequest.
+func TestReadBufferedDrainsResidualPipelined(t *testing.T) {
+	c := &Conn{cfg: ConnConfig{Clock: cml.NewClock()}}
+	c.acc = []byte("POST /a HTTP/1.1\r\nHost: t\r\nContent-Length: 3\r\n\r\nabc" +
+		"GET /b?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n" +
+		"GET /c HTTP/1.1\r\nHo")
+	req, ok := c.ReadBuffered(50)
+	if !ok || req.Method != "POST" || req.Path != "/a" || string(req.Body) != "abc" {
+		t.Fatalf("first buffered request: ok=%v %+v", ok, req)
+	}
+	if req.Deadline != req.Arrival+50 {
+		t.Errorf("deadline = %d, want arrival %d + budget 50", req.Deadline, req.Arrival)
+	}
+	req, ok = c.ReadBuffered(50)
+	if !ok || req.Method != "GET" || req.Path != "/b" || req.Query("x") != "1" {
+		t.Fatalf("second buffered request: ok=%v %+v", ok, req)
+	}
+	if req, ok := c.ReadBuffered(50); ok {
+		t.Fatalf("parsed %+v from an incomplete head", req)
+	}
+	if !c.Partial() {
+		t.Error("partial third head was consumed; it must wait for the socket")
+	}
+}
+
+// TestReadBufferedLeavesMalformedHeadAlone: a complete but unparseable
+// head must not be consumed — ReadBuffered steps aside so the next
+// blocking ReadRequest surfaces the 400 with its full error taxonomy.
+func TestReadBufferedLeavesMalformedHeadAlone(t *testing.T) {
+	c := &Conn{cfg: ConnConfig{Clock: cml.NewClock()}}
+	bad := []byte("NONSENSE\r\n\r\n")
+	c.acc = append([]byte(nil), bad...)
+	if req, ok := c.ReadBuffered(50); ok {
+		t.Fatalf("parsed %+v from a malformed head", req)
+	}
+	if !bytes.Equal(c.acc, bad) {
+		t.Errorf("malformed head consumed (acc=%q); ReadRequest must see it", c.acc)
 	}
 }
 

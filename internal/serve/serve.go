@@ -84,6 +84,12 @@ type Options struct {
 	// DeadlineTicks is the per-request deadline in clock ticks, measured
 	// from the request's first byte (default 2000).
 	DeadlineTicks int64
+	// DispatchBatch bounds how many queued units the dispatcher drains per
+	// items-semaphore wakeup: one blocking P, then up to DispatchBatch-1
+	// more credits taken without blocking, all dequeued under a single
+	// state-lock critical section (default 16; 1 restores the pre-batching
+	// one-wakeup-per-unit behavior).
+	DispatchBatch int
 	// KeepAliveIdleTicks bounds how long a persistent connection may sit
 	// idle between requests before it is closed (default DeadlineTicks).
 	KeepAliveIdleTicks int64
@@ -129,6 +135,9 @@ func (o *Options) fill() {
 	if o.DeadlineTicks <= 0 {
 		o.DeadlineTicks = 2000
 	}
+	if o.DispatchBatch <= 0 {
+		o.DispatchBatch = 16
+	}
 	if o.KeepAliveIdleTicks <= 0 {
 		o.KeepAliveIdleTicks = o.DeadlineTicks
 	}
@@ -161,23 +170,24 @@ type pending struct {
 // on the platform registry so the request path never takes the registry
 // lock.
 type serveMetrics struct {
-	accepted     *metrics.Counter
-	acceptErrs   *metrics.Counter
-	queued       *metrics.Counter
-	queueDepth   *metrics.Counter // gauge: +1 enqueue, -1 dequeue
-	inflight     *metrics.Counter // gauge: +1 dispatch, -1 done
-	submitted    *metrics.Counter
-	shedQueue    *metrics.Counter
-	shedDrain    *metrics.Counter
-	dispatched   *metrics.Counter
-	expired      *metrics.Counter
-	handled      *metrics.Counter
-	responded    *metrics.Counter
-	keepalive    *metrics.Counter // requests served beyond a conn's first
-	readErrs     *metrics.Counter
-	readParks    *metrics.Counter
-	latencyTicks *metrics.Histogram
-	queueTicks   *metrics.Histogram
+	accepted      *metrics.Counter
+	acceptErrs    *metrics.Counter
+	queued        *metrics.Counter
+	queueDepth    *metrics.Counter // gauge: +1 enqueue, -1 dequeue
+	inflight      *metrics.Counter // gauge: +1 dispatch, -1 done
+	submitted     *metrics.Counter
+	shedQueue     *metrics.Counter
+	shedDrain     *metrics.Counter
+	dispatched    *metrics.Counter
+	expired       *metrics.Counter
+	handled       *metrics.Counter
+	responded     *metrics.Counter
+	keepalive     *metrics.Counter // requests served beyond a conn's first
+	readErrs      *metrics.Counter
+	readParks     *metrics.Counter
+	latencyTicks  *metrics.Histogram
+	queueTicks    *metrics.Histogram
+	dispatchBatch *metrics.Histogram // units drained per items wakeup
 }
 
 // Server is the serving subsystem; create with New, start with Serve
@@ -277,6 +287,8 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 		readParks:    reg.Counter("serve.read_parks"),
 		latencyTicks: reg.Histogram("serve.latency_ticks", bounds),
 		queueTicks:   reg.Histogram("serve.queue_ticks", bounds),
+		dispatchBatch: reg.Histogram("serve.dispatch_batch",
+			[]int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
 	}
 	if srv.tracer != nil {
 		srv.evAccept = srv.tracer.Define("serve.accept")
@@ -558,67 +570,194 @@ func (srv *Server) Submit(req *Request, remaining int64, deliver func(Response))
 	return true
 }
 
+// SubmitJob is one request in a SubmitMany batch.
+type SubmitJob struct {
+	Req       *Request
+	Remaining int64 // deadline budget in ticks, rebased onto this clock
+	Deliver   func(Response)
+}
+
+// SubmitMany injects a batch of already-parsed requests under a single
+// admission critical section and a single batched V on the items
+// semaphore — the fabric's multi-push intake path.  It admits a prefix
+// of jobs bounded by queue headroom and returns its length; the caller
+// owns shed responses for the rejected suffix (and for everything when
+// the server is draining, in which case 0 is returned).
+func (srv *Server) SubmitMany(jobs []SubmitJob) int {
+	if len(jobs) == 0 {
+		return 0
+	}
+	now := srv.clock.Now()
+	self := proc.Self()
+	srv.state.Lock()
+	if srv.draining {
+		srv.state.Unlock()
+		srv.m.shedDrain.Add(self, int64(len(jobs)))
+		return 0
+	}
+	n := srv.opts.QueueDepth - srv.acceptQ.Len()
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n < 0 {
+		n = 0
+	}
+	for i := 0; i < n; i++ {
+		sj := jobs[i]
+		rem := sj.Remaining
+		if rem < 1 {
+			rem = 1
+		}
+		sj.Req.srv = srv
+		sj.Req.Arrival = now
+		sj.Req.Deadline = now + rem
+		srv.acceptQ.Enq(pending{job: &job{req: sj.Req, deliver: sj.Deliver}, arrival: now})
+	}
+	srv.state.Unlock()
+	if n > 0 {
+		srv.m.queued.Add(self, int64(n))
+		srv.m.queueDepth.Add(self, int64(n))
+		srv.m.submitted.Add(self, int64(n))
+		srv.emit(srv.evEnqueue, now)
+		srv.items.ReleaseN(n)
+	}
+	if n < len(jobs) {
+		srv.m.shedQueue.Add(self, int64(len(jobs)-n))
+	}
+	return n
+}
+
+// QueueHeadroom reports how many more units the accept queue can take
+// right now (0 while draining).  The fabric's intake uses it to bound a
+// batched pop from the forward ring: work beyond the headroom stays in
+// the ring, where an idle sibling shard can steal it.
+func (srv *Server) QueueHeadroom() int {
+	srv.state.Lock()
+	defer srv.state.Unlock()
+	if srv.draining {
+		return 0
+	}
+	n := srv.opts.QueueDepth - srv.acceptQ.Len()
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
 // ------------------------------------------------------------ dispatcher
 
-// dispatcher moves admitted work from the accept queue into workers: a P
-// on the items semaphore per queued unit (parking when the queue is
-// empty), a P on the slots semaphore per dispatch (parking at the
-// in-flight bound), then a forked worker thread per unit.
+// dispatcher moves admitted work from the accept queue into workers in
+// batches: one blocking P on the items semaphore, then up to
+// DispatchBatch-1 further credits taken without blocking, then a single
+// state-lock critical section that marks the dispatcher busy and
+// dequeues the whole batch — so a producer's batched V of N credits is
+// answered by one wakeup, not N, and the idle flag can never read true
+// while credits are in hand (the flag is only raised after a failed
+// non-blocking drain, and lowered together with the dequeue).  In-flight
+// slots are reserved for the live batch with one TryAcquireN, falling
+// back to a blocking P only for the shortfall.
 func (srv *Server) dispatcher() {
+	batchMax := srv.opts.DispatchBatch
+	batch := make([]pending, batchMax)
 	for {
-		srv.state.Lock()
-		srv.dispatcherIdle = true
-		srv.state.Unlock()
-		srv.items.Acquire()
-		srv.state.Lock()
-		srv.dispatcherIdle = false
-		p, err := srv.acceptQ.Deq()
-		if err != nil {
-			// Empty queue on a positive items count is the drain poison.
-			if srv.draining && srv.acceptorDone {
-				srv.dispatcherDone = true
-				srv.state.Unlock()
-				return
-			}
+		credits := srv.items.TryAcquireN(batchMax)
+		if credits == 0 {
+			// Genuinely nothing queued: advertise idle (the /trace
+			// quiesce barrier reads it), park, un-advertise.
+			srv.state.Lock()
+			srv.dispatcherIdle = true
 			srv.state.Unlock()
-			continue
+			srv.items.Acquire()
+			srv.state.Lock()
+			srv.dispatcherIdle = false
+			srv.state.Unlock()
+			credits = 1 + srv.items.TryAcquireN(batchMax-1)
+		}
+
+		srv.state.Lock()
+		n := 0
+		for n < credits {
+			p, err := srv.acceptQ.Deq()
+			if err != nil {
+				break
+			}
+			batch[n] = p
+			n++
 		}
 		draining := srv.draining
+		// Enq always precedes Release under the state lock, so the queue
+		// holds at least one unit per non-poison credit: a shortfall means
+		// the drain poison was among the credits, and this batch is the
+		// dispatcher's last.
+		poisoned := n < credits && draining && srv.acceptorDone
+		if poisoned && n == 0 {
+			srv.dispatcherDone = true
+			srv.state.Unlock()
+			return
+		}
 		srv.state.Unlock()
+		if n == 0 {
+			continue
+		}
 
 		self := proc.Self()
-		srv.m.queueDepth.Add(self, -1)
-		if draining {
-			srv.shedPending(p)
-			continue
-		}
-		deadline := p.arrival + srv.opts.DeadlineTicks
-		if p.job != nil {
-			deadline = p.job.req.Deadline
-		}
-		if now := srv.clock.Now(); now >= deadline {
-			// Expired while queued: answer 504 without consuming a slot.
-			srv.m.expired.Inc(self)
-			resp := Response{Status: 504, Body: []byte("deadline exceeded in accept queue\n")}
-			if p.job != nil {
-				p.job.deliver(resp)
-			} else {
-				c := NewConn(p.conn, srv.ccfg)
-				c.WriteResponse(resp, now+20, false)
-				p.conn.Close()
+		srv.m.queueDepth.Add(self, -int64(n))
+		srv.m.dispatchBatch.Observe(self, int64(n))
+		now := srv.clock.Now()
+		live := 0
+		for i := 0; i < n; i++ {
+			p := batch[i]
+			if draining {
+				srv.shedPending(p)
+				continue
 			}
-			srv.logAccess(504, p.arrival, "-", "-")
-			continue
+			deadline := p.arrival + srv.opts.DeadlineTicks
+			if p.job != nil {
+				deadline = p.job.req.Deadline
+			}
+			if now >= deadline {
+				// Expired while queued: answer 504 without consuming a slot.
+				srv.m.expired.Inc(self)
+				resp := Response{Status: 504, Body: []byte("deadline exceeded in accept queue\n")}
+				if p.job != nil {
+					p.job.deliver(resp)
+				} else {
+					c := NewConn(p.conn, srv.ccfg)
+					c.WriteResponse(resp, now+20, false)
+					p.conn.Close()
+				}
+				srv.logAccess(504, p.arrival, "-", "-")
+				continue
+			}
+			batch[live] = p
+			live++
 		}
-		srv.slots.Acquire()
-		srv.m.dispatched.Inc(self)
-		srv.m.inflight.Inc(self)
-		srv.m.queueTicks.Observe(self, srv.clock.Now()-p.arrival)
-		srv.emit(srv.evDispatch, p.arrival)
-		srv.state.Lock()
-		srv.active++
-		srv.state.Unlock()
-		srv.sys.Fork(func() { srv.worker(p) })
+		reserved := srv.slots.TryAcquireN(live)
+		for i := 0; i < live; i++ {
+			p := batch[i]
+			if reserved > 0 {
+				reserved--
+			} else {
+				srv.slots.Acquire()
+			}
+			srv.m.dispatched.Inc(self)
+			srv.m.inflight.Inc(self)
+			srv.m.queueTicks.Observe(self, srv.clock.Now()-p.arrival)
+			srv.emit(srv.evDispatch, p.arrival)
+			srv.state.Lock()
+			srv.active++
+			srv.state.Unlock()
+			srv.sys.Fork(func() { srv.worker(p) })
+		}
+		for i := range batch {
+			batch[i] = pending{} // drop conn/job references
+		}
+		if poisoned {
+			srv.state.Lock()
+			srv.dispatcherDone = true
+			srv.state.Unlock()
+			return
+		}
 	}
 }
 

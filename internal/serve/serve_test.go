@@ -401,6 +401,87 @@ func TestTraceSnapshotUnderLoad(t *testing.T) {
 	}
 }
 
+// TestDispatcherBatchedWakeupNoLoss is the regression test for the
+// batched dispatcher's idle accounting: concurrent producers release
+// batched credits (SubmitMany's single ReleaseN) while the dispatcher is
+// mid-drain, and every submitted request must still be delivered exactly
+// once.  Before the TryAcquireN-first rewrite the idle flag could read
+// true while credits were in hand, so a batched V landing mid-drain was
+// answered by no wakeup and the tail of the batch sat in the queue
+// forever — this test deadlocks (and fails on the count) in that world.
+// CI runs it under -race.
+func TestDispatcherBatchedWakeupNoLoss(t *testing.T) {
+	pl := proc.New(4)
+	sys := threads.New(pl, threads.Options{})
+	srv, err := New(sys, Options{
+		NoListener:    true,
+		DispatchBatch: 8,
+		MaxInFlight:   4,
+		QueueDepth:    4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Handle("/t", func(*Request) Response { return Response{Status: 200} })
+
+	const producers, batches, batchSize = 4, 40, 8
+	const total = producers * batches * batchSize
+	var delivered atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		sys.Run(func() {
+			srv.Serve()
+			for p := 0; p < producers; p++ {
+				sys.Fork(func() {
+					jobs := make([]SubmitJob, batchSize)
+					for b := 0; b < batches; b++ {
+						for i := range jobs {
+							jobs[i] = SubmitJob{
+								Req:       &Request{Method: "GET", Path: "/t", Proto: "HTTP/1.1"},
+								Remaining: 100000,
+								Deliver:   func(Response) { delivered.Add(1) },
+							}
+						}
+						if n := srv.SubmitMany(jobs); n != batchSize {
+							// The queue depth is far above the whole test's
+							// volume; a shortfall is an admission bug.  Count
+							// the missing ones so the wait below still ends.
+							t.Errorf("SubmitMany admitted %d of %d", n, batchSize)
+							delivered.Add(int64(batchSize - n))
+						}
+						sys.Yield()
+					}
+				})
+			}
+		})
+		close(done)
+	}()
+
+	for deadline := time.Now().Add(60 * time.Second); delivered.Load() < total; {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d responses — the dispatcher lost a wakeup",
+				delivered.Load(), total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv.Drain()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no quiescence after drain")
+	}
+	if got := delivered.Load(); got != total {
+		t.Errorf("delivered %d responses, want exactly %d", got, total)
+	}
+	snap := sys.Metrics().Snapshot()
+	if got := snap.Get("serve.submitted"); got != total {
+		t.Errorf("serve.submitted = %d, want %d", got, total)
+	}
+	if got := snap.Get("serve.dispatched"); got != total {
+		t.Errorf("serve.dispatched = %d, want %d", got, total)
+	}
+}
+
 // TestSoakOverloadDrainRecovery drives the server through the full
 // lifecycle the subsystem exists for: saturating overload (admission
 // control sheds), recovery to normal service, processor revocation and

@@ -13,10 +13,19 @@ import (
 
 type benchSummary struct {
 	KeepAlive   bool    `json:"keepalive"`
+	Pipeline    int     `json:"pipeline"`
 	OK          int64   `json:"ok"`
 	ConnsDialed int64   `json:"conns_dialed"`
 	ReusedRatio float64 `json:"reused_ratio"`
 	Throughput  float64 `json:"throughput_rps"`
+}
+
+type stealCounters struct {
+	Steals        int64 `json:"steals"`
+	Stolen        int64 `json:"stolen"`
+	StealAttempts int64 `json:"steal_attempts"`
+	StealAborts   int64 `json:"steal_aborts"`
+	RingExpired   int64 `json:"ring_expired"`
 }
 
 func TestBenchArtifactShardBeatsBaseline(t *testing.T) {
@@ -47,5 +56,61 @@ func TestBenchArtifactShardBeatsBaseline(t *testing.T) {
 	if bench.After.ConnsDialed >= bench.After.OK {
 		t.Errorf("keep-alive run dialed %d conns for %d responses — connections were not reused",
 			bench.After.ConnsDialed, bench.After.OK)
+	}
+}
+
+// TestBenchArtifactBatchingBeatsSingleDequeue guards the PR-4 artifact:
+// the batched + stealing fabric must beat the single-dequeue configuration
+// of the *same* binary by at least 10% on an identical pipelined keep-alive
+// workload, the skewed run must actually exercise the steal path, and the
+// uniform run must show zero aborted claims (no steal livelock when load is
+// balanced).
+func TestBenchArtifactBatchingBeatsSingleDequeue(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_batch.json")
+	if err != nil {
+		t.Fatalf("missing benchmark artifact: %v", err)
+	}
+	var bench struct {
+		Before      benchSummary  `json:"before"`
+		After       benchSummary  `json:"after"`
+		AfterServer stealCounters `json:"after_server_counters"`
+		Skew        benchSummary  `json:"skew"`
+		SkewServer  stealCounters `json:"skew_server_counters"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if bench.Before.Throughput <= 0 || bench.After.Throughput <= 0 {
+		t.Fatal("benchmark artifact has non-positive throughput")
+	}
+	if got := bench.After.Throughput / bench.Before.Throughput; got < 1.10 {
+		t.Errorf("batched throughput %.1f is only %.2fx the single-dequeue baseline %.1f, want >= 1.10x",
+			bench.After.Throughput, got, bench.Before.Throughput)
+	}
+	// Both legs must be the workload that can form batches at all: keep-alive
+	// connections writing pipelined runs of >= 2 requests.
+	for name, leg := range map[string]benchSummary{"before": bench.Before, "after": bench.After} {
+		if !leg.KeepAlive {
+			t.Errorf("%s leg is not keep-alive; the comparison must hold the client fixed", name)
+		}
+		if leg.Pipeline < 2 {
+			t.Errorf("%s leg pipeline = %d, want >= 2 so multi-push batches can form", name, leg.Pipeline)
+		}
+	}
+	// The skewed run drives one hot shard: siblings must have stolen work.
+	if bench.SkewServer.Steals < 1 {
+		t.Errorf("skewed run recorded %d successful steals, want >= 1", bench.SkewServer.Steals)
+	}
+	if bench.SkewServer.Stolen < bench.SkewServer.Steals {
+		t.Errorf("skewed run stolen %d < steals %d — each claim must move at least one job",
+			bench.SkewServer.Stolen, bench.SkewServer.Steals)
+	}
+	// Uniform load must not devolve into claim/abort churn.
+	if bench.AfterServer.StealAborts != 0 {
+		t.Errorf("uniform run recorded %d aborted steal claims, want 0", bench.AfterServer.StealAborts)
+	}
+	if bench.AfterServer.RingExpired != 0 || bench.SkewServer.RingExpired != 0 {
+		t.Errorf("ring-dwell expiries (after=%d skew=%d) in runs sized to avoid shedding, want 0",
+			bench.AfterServer.RingExpired, bench.SkewServer.RingExpired)
 	}
 }

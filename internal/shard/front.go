@@ -148,12 +148,17 @@ func (fab *Fabric) shedConn(nc net.Conn, draining bool) {
 }
 
 // connThread serves one client connection for its keep-alive lifetime:
-// read a request, route it, forward it over the shard's ring, park until
-// the reply cell fills, write the response, repeat.
+// read a head request, drain every fully-buffered pipelined successor
+// behind it, forward the whole batch shard-by-shard as multi-pushes,
+// park until the reply cells fill, write the responses in order, repeat.
 func (fab *Fabric) connThread(nc net.Conn) {
 	c := serve.NewConn(nc, fab.ccfg)
 	home := connShard(nc.RemoteAddr().String(), len(fab.backends))
 	served := 0
+	reqs := make([]*serve.Request, 0, fab.opts.BatchMax)
+	resps := make([]serve.Response, 0, fab.opts.BatchMax)
+	pend := make([]pendingReply, fab.opts.BatchMax)
+	jbuf := make([]job, fab.opts.BatchMax)
 	for {
 		headBudget := fab.opts.DeadlineTicks
 		if served > 0 {
@@ -164,7 +169,36 @@ func (fab *Fabric) connThread(nc net.Conn) {
 		silent := false
 		switch {
 		case err == nil:
-			resp = fab.dispatch(req, home)
+			// The blocking read cost is paid; everything the client
+			// pipelined behind this request is already buffered and parses
+			// for free.  A Close request ends the batch — nothing after it
+			// will be answered.
+			reqs = append(reqs[:0], req)
+			for len(reqs) < fab.opts.BatchMax && !reqs[len(reqs)-1].Close {
+				nxt, ok := c.ReadBuffered(fab.opts.DeadlineTicks)
+				if !ok {
+					break
+				}
+				reqs = append(reqs, nxt)
+			}
+			resps = fab.dispatchBatch(reqs, home, pend, jbuf, resps[:0])
+			// Write all but the last response here (always keep-alive: more
+			// of the batch follows); the last flows through the common
+			// write path below with the real keep-alive decision.
+			werr := false
+			for i := 0; i < len(reqs)-1; i++ {
+				if c.WriteResponse(resps[i], reqs[i].Deadline+20, true) != nil {
+					werr = true
+					break
+				}
+				served++
+			}
+			if werr {
+				silent = true
+				break
+			}
+			req = reqs[len(reqs)-1]
+			resp = resps[len(reqs)-1]
 		case errors.Is(err, serve.ErrDeadline):
 			if served > 0 && !c.Partial() {
 				silent = true
@@ -210,40 +244,94 @@ func (fab *Fabric) connThread(nc net.Conn) {
 	fab.state.Unlock()
 }
 
-// dispatch routes one parsed request and forwards it, parking until the
-// shard replies.  /fabricz is answered at the front itself — the
-// fabric's own status endpoint.
-func (fab *Fabric) dispatch(req *serve.Request, home int) serve.Response {
-	if req.Path == "/fabricz" {
-		return fab.statusResponse()
-	}
+// pendingReply is one slot of a dispatch batch: either a reply cell to
+// await (rep non-nil, bound for target) or an immediately-known response
+// (/fabricz answered at the front, ring-full sheds).
+type pendingReply struct {
+	rep    *reply
+	target int
+	resp   serve.Response
+}
+
+// dispatchBatch routes a batch of pipelined requests, forwards each run
+// of consecutive same-shard requests as one multi-push (one spinlock
+// acquisition per run instead of per request), then awaits the reply
+// cells and appends the responses to resps in request order.  /fabricz
+// is answered at the front itself — the fabric's own status endpoint.
+// pend and jbuf are caller-owned scratch (≥ len(reqs) each).
+func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
+	pend []pendingReply, jbuf []job, resps []serve.Response) []serve.Response {
 	self := proc.Self()
-	target := home
-	if key := req.Header(fab.opts.RouteHeader); key != "" {
-		target = fab.sticky.lookup(key)
-		fab.m.routedKey.Inc(self)
-	} else {
-		fab.m.routedHash.Inc(self)
-	}
-	fab.emit(fab.evRoute, int64(target))
-	remaining := req.Deadline - fab.clock.Now()
-	rep := &reply{}
-	if !fab.backends[target].ring.push(job{req: req, remaining: remaining, rep: rep}) {
-		fab.m.ringFull.Inc(self)
-		return serve.Response{
-			Status:     503,
-			Body:       []byte("shedding load: shard ring full\n"),
-			RetryAfter: fab.opts.RetryAfter,
+	// Route every request first so run grouping sees final targets.
+	for i, req := range reqs {
+		if req.Path == "/fabricz" {
+			pend[i] = pendingReply{resp: fab.statusResponse()}
+			continue
 		}
+		target := home
+		if key := req.Header(fab.opts.RouteHeader); key != "" {
+			target = fab.sticky.lookup(key)
+			fab.m.routedKey.Inc(self)
+		} else {
+			fab.m.routedHash.Inc(self)
+		}
+		fab.emit(fab.evRoute, int64(target))
+		pend[i] = pendingReply{rep: &reply{}, target: target}
 	}
-	fab.m.forwarded[target].Inc(self)
-	fab.emit(fab.evForward, int64(target))
-	t0 := fab.clock.Now()
-	resp := rep.wait(fab.frontSys.Yield, fab.park)
-	fab.m.replies.Inc(self)
-	fab.m.waitTicks.Observe(self, fab.clock.Now()-t0)
-	fab.emit(fab.evReply, int64(resp.Status))
-	return resp
+	// Forward: consecutive same-target requests become one pushN.
+	now := fab.clock.Now()
+	for i := 0; i < len(reqs); {
+		if pend[i].rep == nil {
+			i++
+			continue
+		}
+		target := pend[i].target
+		n := 0
+		j := i
+		for ; j < len(reqs) && pend[j].rep != nil && pend[j].target == target; j++ {
+			jbuf[n] = job{
+				req:       reqs[j],
+				remaining: reqs[j].Deadline - now,
+				pushed:    now,
+				rep:       pend[j].rep,
+			}
+			n++
+		}
+		pushed := fab.backends[target].ring.pushN(jbuf[:n])
+		if pushed > 0 {
+			fab.m.pushBatch.Observe(self, int64(pushed))
+			fab.m.forwarded[target].Add(self, int64(pushed))
+			fab.emit(fab.evForward, int64(target))
+		}
+		for k := pushed; k < n; k++ {
+			fab.m.ringFull.Inc(self)
+			pend[i+k] = pendingReply{resp: serve.Response{
+				Status:     503,
+				Body:       []byte("shedding load: shard ring full\n"),
+				RetryAfter: fab.opts.RetryAfter,
+			}}
+		}
+		i = j
+	}
+	for n := range jbuf {
+		jbuf[n] = job{} // drop request references
+	}
+	// Collect in request order; later cells usually fill while earlier
+	// ones are awaited, so the batch pays roughly one park round-trip.
+	for i := range reqs {
+		if pend[i].rep == nil {
+			resps = append(resps, pend[i].resp)
+		} else {
+			t0 := fab.clock.Now()
+			resp := pend[i].rep.wait(fab.frontSys.Yield, fab.park)
+			fab.m.replies.Inc(self)
+			fab.m.waitTicks.Observe(self, fab.clock.Now()-t0)
+			fab.emit(fab.evReply, int64(resp.Status))
+			resps = append(resps, resp)
+		}
+		pend[i] = pendingReply{}
+	}
+	return resps
 }
 
 // statusResponse renders /fabricz: per-shard allowance and load.
@@ -258,6 +346,10 @@ func (fab *Fabric) statusResponse() serve.Response {
 	snap := fab.frontSys.Metrics().Snapshot()
 	body += fmt.Sprintf("conns %d rebalances %d\n",
 		snap.Get("shard.conns"), snap.Get("shard.rebalances"))
+	body += fmt.Sprintf("steals %d stolen %d attempts %d aborts %d ring_expired %d\n",
+		snap.Get("shard.steals"), snap.Get("shard.stolen"),
+		snap.Get("shard.steal_attempts"), snap.Get("shard.steal_aborts"),
+		snap.Get("shard.ring_expired"))
 	return serve.Response{Status: 200, Body: []byte(body)}
 }
 

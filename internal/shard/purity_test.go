@@ -64,6 +64,23 @@ func TestFabricUsesOnlyMPPrimitives(t *testing.T) {
 	}
 }
 
+// TestPurityScanCoversHotPathFiles pins the scan's coverage: the files
+// carrying the forward, batching, and stealing hot paths must all be
+// present in the directory listing the scanners iterate, so a rename or
+// split cannot silently drop one from the purity rule.
+func TestPurityScanCoversHotPathFiles(t *testing.T) {
+	required := []string{"shard.go", "front.go", "ring.go", "steal.go", "rebalance.go", "route.go"}
+	have := map[string]bool{}
+	for _, f := range shardSources(t) {
+		have[f] = true
+	}
+	for _, want := range required {
+		if !have[want] {
+			t.Errorf("purity scan does not cover %s — file missing or renamed", want)
+		}
+	}
+}
+
 func TestFabricForbiddenImports(t *testing.T) {
 	banned := map[string]string{
 		"net/http": "spawns goroutines per connection, bypassing the MP scheduler",

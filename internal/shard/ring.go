@@ -51,19 +51,24 @@ func (r *reply) wait(yield func(), park func(int64)) serve.Response {
 
 // job is one forwarded request: the parsed request, its remaining
 // deadline budget in ticks (rebased onto the shard's clock at Submit),
-// and the reply cell.
+// the front-clock tick it entered the ring (so intake can charge ring
+// dwell against the budget), and the reply cell.
 type job struct {
 	req       *serve.Request
 	remaining int64
+	pushed    int64 // front-clock tick at push
 	rep       *reply
 }
 
-// ring is the bounded MPSC forward ring.
+// ring is the bounded MPSC forward ring.  Occupancy is mirrored in an
+// atomic so load probes (rebalancer, steal victim selection) read depth
+// without touching the spinlock the hot path contends on.
 type ring struct {
 	lock  core.Lock
 	buf   []job
 	head  int // next pop
 	count int
+	occ   atomic.Int64 // == count, updated inside the critical sections
 }
 
 func newRing(depth int) *ring {
@@ -79,8 +84,32 @@ func (r *ring) push(j job) bool {
 	}
 	r.buf[(r.head+r.count)%len(r.buf)] = j
 	r.count++
+	r.occ.Store(int64(r.count))
 	r.lock.Unlock()
 	return true
+}
+
+// pushN appends up to len(js) jobs under one lock acquisition and
+// returns how many fit — the multi-push a front connection thread uses
+// to forward a whole pipelined batch for the price of one spinlock
+// round-trip.  The admitted jobs are a prefix of js; the caller sheds
+// the rest with 503.
+func (r *ring) pushN(js []job) int {
+	if len(js) == 0 {
+		return 0
+	}
+	r.lock.Lock()
+	n := len(r.buf) - r.count
+	if n > len(js) {
+		n = len(js)
+	}
+	for i := 0; i < n; i++ {
+		r.buf[(r.head+r.count+i)%len(r.buf)] = js[i]
+	}
+	r.count += n
+	r.occ.Store(int64(r.count))
+	r.lock.Unlock()
+	return n
 }
 
 // pop removes the oldest job; false when empty.
@@ -94,13 +123,63 @@ func (r *ring) pop() (job, bool) {
 	r.buf[r.head] = job{} // drop references for the collector
 	r.head = (r.head + 1) % len(r.buf)
 	r.count--
+	r.occ.Store(int64(r.count))
 	r.lock.Unlock()
 	return j, true
 }
 
-// depth reports the current occupancy (a rebalancer load input).
-func (r *ring) depth() int {
+// popN removes up to len(dst) oldest jobs under one lock acquisition and
+// returns how many it moved — the batched dequeue the shard's intake
+// thread drains its ring with.
+func (r *ring) popN(dst []job) int {
+	if len(dst) == 0 {
+		return 0
+	}
 	r.lock.Lock()
-	defer r.lock.Unlock()
-	return r.count
+	n := r.count
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[r.head]
+		r.buf[r.head] = job{}
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.count -= n
+	r.occ.Store(int64(r.count))
+	r.lock.Unlock()
+	return n
+}
+
+// stealN claims up to half the victim's queued jobs (oldest first, so a
+// stolen request never overtakes one left behind) for an idle sibling.
+// It uses TryLock — the claim/release handoff: a thief that meets
+// contention aborts immediately (-1) rather than spinning on a foreign
+// shard's hot lock, since the owner being inside the critical section
+// means the ring is being drained anyway.  Returns 0 when the ring is
+// uncontended but empty.
+func (r *ring) stealN(dst []job) int {
+	if !r.lock.TryLock() {
+		return -1
+	}
+	n := (r.count + 1) / 2
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r.buf[r.head]
+		r.buf[r.head] = job{}
+		r.head = (r.head + 1) % len(r.buf)
+	}
+	r.count -= n
+	r.occ.Store(int64(r.count))
+	r.lock.Unlock()
+	return n
+}
+
+// depth reports the current occupancy (a rebalancer load input and the
+// steal victim-selection key) from the atomic mirror — no lock, so
+// probing N sibling rings does not disturb their hot paths.
+func (r *ring) depth() int {
+	return int(r.occ.Load())
 }

@@ -65,6 +65,16 @@ type Options struct {
 	// RingDepth bounds each shard's forward ring; a full ring sheds the
 	// request with 503 at the front (default 256).
 	RingDepth int
+	// BatchMax bounds every batched transfer on the request path: pipelined
+	// requests forwarded per multi-push, jobs drained per intake pass, jobs
+	// claimed per steal, and each backend dispatcher's items batch
+	// (default 16; 1 restores the per-unit PR 3 hot path).
+	BatchMax int
+	// StealMin is the minimum ring occupancy a sibling must show before an
+	// idle shard's intake claims a batch from it — the anti-livelock
+	// threshold: below it a steal could not move enough work to pay for
+	// the claim.  NoSteal disables stealing (default 2).
+	StealMin int
 	// MaxConns bounds concurrently-served front connections (default 256).
 	MaxConns int
 	// RouteHeader, when a request carries it, switches that request from
@@ -121,6 +131,14 @@ func (o *Options) fill() {
 	if o.RingDepth <= 0 {
 		o.RingDepth = 256
 	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 16
+	}
+	if o.StealMin < 0 {
+		o.StealMin = 0 // NoSteal
+	} else if o.StealMin == 0 {
+		o.StealMin = 2
+	}
 	if o.MaxConns <= 0 {
 		o.MaxConns = 256
 	}
@@ -162,6 +180,10 @@ func (o *Options) fill() {
 // rebalancer (0 means "default period").
 const NoRebalance = -1
 
+// NoSteal is the Options.StealMin value that disables cross-shard
+// stealing (0 means "default threshold").
+const NoSteal = -1
+
 // backend is one shard: its own MP world plus the forward ring into it.
 type backend struct {
 	id   int
@@ -185,6 +207,17 @@ type fabricMetrics struct {
 	checks     *metrics.Counter // rebalancer periods evaluated
 	rebalances *metrics.Counter // shifts applied
 	waitTicks  *metrics.Histogram
+
+	// Batching & stealing instruments (intake-side counters are bumped
+	// from backend procs; Counter masks the shard index, so cross-world
+	// increments on the front registry are safe).
+	pushBatch     *metrics.Histogram // jobs moved per front multi-push
+	ringExpired   *metrics.Counter   // 504s for deadline expiry inside a ring
+	stealAttempts *metrics.Counter
+	steals        *metrics.Counter // successful claims
+	stealAborts   *metrics.Counter // TryLock met contention
+	stolen        *metrics.Counter // jobs moved by successful claims
+	stealBatch    *metrics.Histogram
 }
 
 // Fabric is the sharded serving fabric; create with New, start each of
@@ -216,7 +249,7 @@ type Fabric struct {
 	m      fabricMetrics
 	tracer *trace.Tracer
 	evAccept, evRoute, evForward, evReply,
-	evRebalance, evDrain trace.EventID
+	evRebalance, evSteal, evDrain trace.EventID
 }
 
 // New builds the fabric: front listener + platform, and Shards backend
@@ -261,6 +294,7 @@ func New(opts Options) (*Fabric, error) {
 			MaxInFlight:        opts.MaxInFlight,
 			QueueDepth:         opts.QueueDepth,
 			DeadlineTicks:      opts.DeadlineTicks,
+			DispatchBatch:      opts.BatchMax,
 			KeepAliveIdleTicks: opts.IdleTicks,
 			Tick:               opts.Tick,
 			PollWindow:         opts.PollWindow,
@@ -291,6 +325,15 @@ func New(opts Options) (*Fabric, error) {
 		checks:     reg.Counter("shard.rebalance_checks"),
 		rebalances: reg.Counter("shard.rebalances"),
 		waitTicks:  reg.Histogram("shard.reply_wait_ticks", bounds),
+		pushBatch: reg.Histogram("shard.push_batch",
+			[]int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+		ringExpired:   reg.Counter("shard.ring_expired"),
+		stealAttempts: reg.Counter("shard.steal_attempts"),
+		steals:        reg.Counter("shard.steals"),
+		stealAborts:   reg.Counter("shard.steal_aborts"),
+		stolen:        reg.Counter("shard.stolen"),
+		stealBatch: reg.Histogram("shard.steal_batch",
+			[]int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
 	}
 	for i := 0; i < opts.Shards; i++ {
 		fab.m.forwarded = append(fab.m.forwarded,
@@ -302,6 +345,7 @@ func New(opts Options) (*Fabric, error) {
 		fab.evForward = fab.tracer.Define("shard.forward")
 		fab.evReply = fab.tracer.Define("shard.reply")
 		fab.evRebalance = fab.tracer.Define("shard.rebalance")
+		fab.evSteal = fab.tracer.Define("shard.steal")
 		fab.evDrain = fab.tracer.Define("shard.drain")
 	}
 	fab.ccfg = serve.ConnConfig{
@@ -397,14 +441,36 @@ func (fab *Fabric) emit(ev trace.EventID, arg int64) {
 }
 
 // intake is shard b's ring consumer: an MP thread of the backend's own
-// system, so Submit's injected requests enter the shard's admission
-// pipeline from inside its scheduling world.  It exits once the shard is
-// draining and the ring is empty (the front guarantees no more pushes by
-// then: backends drain only after the last front connection closed).
+// system, so injected requests enter the shard's admission pipeline from
+// inside its scheduling world.  Each pass drains a batch from the ring —
+// one spinlock acquisition for up to BatchMax jobs — bounded by the
+// shard's queue headroom: when the shard is saturated, jobs deliberately
+// stay in the ring where an idle sibling's intake can steal them.  When
+// its own ring is empty the intake tries exactly that against the most
+// loaded sibling.  Every drained job's deadline budget is charged with
+// its front-clock ring dwell before SubmitMany rebases it onto this
+// shard's clock; jobs whose budget died in the ring are answered 504
+// here without ever entering the queue.  The thread exits once the shard
+// is draining and the ring is empty (the front guarantees no more pushes
+// by then: backends drain only after the last front connection closed,
+// and a job stolen into this ring keeps its forwarding connection open
+// until the reply is delivered).
 func (fab *Fabric) intake(b *backend) {
+	jobs := make([]job, fab.opts.BatchMax)
+	subs := make([]serve.SubmitJob, fab.opts.BatchMax)
 	for {
-		j, ok := b.ring.pop()
-		if !ok {
+		limit := b.srv.QueueHeadroom()
+		if limit > len(jobs) {
+			limit = len(jobs)
+		}
+		n := 0
+		if limit > 0 {
+			n = b.ring.popN(jobs[:limit])
+			if n == 0 && fab.opts.StealMin > 0 && !b.srv.Draining() {
+				n = fab.steal(b, jobs[:limit])
+			}
+		}
+		if n == 0 {
 			if b.srv.Draining() {
 				return
 			}
@@ -416,13 +482,38 @@ func (fab *Fabric) intake(b *backend) {
 			b.sys.Yield()
 			continue
 		}
-		rep := j.rep
-		if !b.srv.Submit(j.req, j.remaining, func(resp serve.Response) { rep.deliver(resp) }) {
-			rep.deliver(serve.Response{
+		now := fab.clock.Now()
+		m := 0
+		for i := 0; i < n; i++ {
+			j := jobs[i]
+			jobs[i] = job{}
+			remaining := j.remaining - (now - j.pushed)
+			if remaining < 1 {
+				fab.m.ringExpired.Inc(proc.Self())
+				j.rep.deliver(serve.Response{
+					Status: 504,
+					Body:   []byte("deadline exceeded in forward ring\n"),
+				})
+				continue
+			}
+			rep := j.rep
+			subs[m] = serve.SubmitJob{
+				Req:       j.req,
+				Remaining: remaining,
+				Deliver:   func(resp serve.Response) { rep.deliver(resp) },
+			}
+			m++
+		}
+		admitted := b.srv.SubmitMany(subs[:m])
+		for i := admitted; i < m; i++ {
+			subs[i].Deliver(serve.Response{
 				Status:     503,
 				Body:       []byte("shedding load: shard saturated\n"),
 				RetryAfter: fab.opts.RetryAfter,
 			})
+		}
+		for i := 0; i < m; i++ {
+			subs[i] = serve.SubmitJob{}
 		}
 		b.sys.CheckPreempt()
 	}

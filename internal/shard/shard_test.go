@@ -9,8 +9,10 @@ import (
 	"bytes"
 	"fmt"
 	"net"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -209,6 +211,12 @@ func TestFabricKeepAliveEndToEnd(t *testing.T) {
 	if got := snap.Get("shard.accepted") - base.Get("shard.accepted"); got != 1 {
 		t.Errorf("shard.accepted = %d, want 1 (one keep-alive conn)", got)
 	}
+	// Uniform light load: sequential requests never leave two jobs in any
+	// ring, so no shard ever qualifies as a steal victim — the claim
+	// protocol must stay entirely quiet (no aborted-claim churn).
+	if got := snap.Get("shard.steal_aborts"); got != 0 {
+		t.Errorf("shard.steal_aborts = %d under uniform light load, want 0", got)
+	}
 }
 
 func TestStickyRoutingByHeader(t *testing.T) {
@@ -278,14 +286,244 @@ func TestRingPushPopOrderAndBounds(t *testing.T) {
 	}
 }
 
+// TestRingBatchPushPopWraparound drives pushN/popN across the buffer
+// seam with a partial batch at capacity: pushN admits exactly the prefix
+// that fits, popN drains in FIFO order across the wrap, and both are
+// no-ops on empty inputs.
+func TestRingBatchPushPopWraparound(t *testing.T) {
+	r := newRing(4)
+	// Advance head off zero so the batch ops must wrap.
+	if !r.push(job{remaining: 100}) || !r.push(job{remaining: 101}) {
+		t.Fatal("seed pushes refused below capacity")
+	}
+	if j, ok := r.pop(); !ok || j.remaining != 100 {
+		t.Fatalf("seed pop: ok=%v remaining=%d, want 100", ok, j.remaining)
+	}
+	// head=1, count=1: four offered, three fit; the admitted jobs are a
+	// prefix and the last slot wraps to index 0.
+	in := []job{{remaining: 0}, {remaining: 1}, {remaining: 2}, {remaining: 3}}
+	if n := r.pushN(in); n != 3 {
+		t.Fatalf("pushN at capacity = %d, want 3 (admitted prefix)", n)
+	}
+	if got := r.depth(); got != 4 {
+		t.Fatalf("depth = %d, want 4", got)
+	}
+	if n := r.pushN(in); n != 0 {
+		t.Errorf("pushN on a full ring = %d, want 0", n)
+	}
+	if n := r.pushN(nil); n != 0 {
+		t.Errorf("pushN(nil) = %d, want 0", n)
+	}
+	dst := make([]job, 8)
+	n := r.popN(dst)
+	if n != 4 {
+		t.Fatalf("popN = %d, want 4", n)
+	}
+	for i, want := range []int64{101, 0, 1, 2} {
+		if dst[i].remaining != want {
+			t.Errorf("popN[%d].remaining = %d, want %d (FIFO across the seam)",
+				i, dst[i].remaining, want)
+		}
+	}
+	if n := r.popN(dst); n != 0 {
+		t.Errorf("popN on an empty ring = %d, want 0", n)
+	}
+	if n := r.popN(nil); n != 0 {
+		t.Errorf("popN(nil) = %d, want 0", n)
+	}
+	// A bounded dst takes a partial batch and leaves the rest queued.
+	if n := r.pushN(in); n != 4 {
+		t.Fatalf("refill pushN = %d, want 4", n)
+	}
+	if n := r.popN(dst[:3]); n != 3 {
+		t.Fatalf("bounded popN = %d, want 3", n)
+	}
+	if j, ok := r.pop(); !ok || j.remaining != 3 {
+		t.Errorf("leftover after bounded popN: ok=%v remaining=%d, want 3", ok, j.remaining)
+	}
+}
+
+// TestRingStealClaimsOldestHalf pins the claim protocol's semantics: a
+// steal takes the oldest half (rounded up) bounded by dst, leaves the
+// newer jobs for the owner, returns 0 on an empty uncontended ring, and
+// aborts with -1 — without blocking — when the lock is held.
+func TestRingStealClaimsOldestHalf(t *testing.T) {
+	r := newRing(8)
+	for i := 0; i < 5; i++ {
+		r.push(job{remaining: int64(i)})
+	}
+	dst := make([]job, 8)
+	if n := r.stealN(dst); n != 3 {
+		t.Fatalf("stealN = %d, want 3 ((5+1)/2 oldest)", n)
+	}
+	for i := 0; i < 3; i++ {
+		if dst[i].remaining != int64(i) {
+			t.Errorf("stolen[%d].remaining = %d, want %d (oldest first)", i, dst[i].remaining, i)
+		}
+	}
+	// The owner keeps the newest two, still in order.
+	for _, want := range []int64{3, 4} {
+		if j, ok := r.pop(); !ok || j.remaining != want {
+			t.Fatalf("owner pop after steal: ok=%v remaining=%d, want %d", ok, j.remaining, want)
+		}
+	}
+	if n := r.stealN(dst); n != 0 {
+		t.Errorf("stealN on an empty ring = %d, want 0", n)
+	}
+	// dst bounds the claim below the half.
+	for i := 0; i < 6; i++ {
+		r.push(job{remaining: int64(10 + i)})
+	}
+	if n := r.stealN(dst[:2]); n != 2 {
+		t.Errorf("bounded stealN = %d, want 2", n)
+	}
+	// Contention: with the spinlock held, the thief must abort, not spin.
+	r.lock.Lock()
+	abortDone := make(chan int, 1)
+	go func() { abortDone <- r.stealN(dst) }()
+	select {
+	case n := <-abortDone:
+		if n != -1 {
+			t.Errorf("stealN under contention = %d, want -1 (abort)", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("stealN blocked on a held lock; the claim must abort")
+	}
+	r.lock.Unlock()
+}
+
+// TestRingStealVsPopRace races the owner's batched popN against a
+// thief's stealN (and a pushing producer) under -race: every job must be
+// claimed by exactly one side, abort returns (-1) must never be counted
+// as progress, and nothing may be lost or duplicated.
+func TestRingStealVsPopRace(t *testing.T) {
+	const total = 4000
+	r := newRing(64)
+	seen := make([]atomic.Int32, total)
+	var got, aborts atomic.Int64
+	go func() { // producer: front multi-pushes of up to 8
+		batch := make([]job, 8)
+		next := 0
+		for next < total {
+			n := 0
+			for ; n < len(batch) && next+n < total; n++ {
+				batch[n] = job{remaining: int64(next + n)}
+			}
+			pushed := r.pushN(batch[:n])
+			next += pushed
+			if pushed < n {
+				runtime.Gosched()
+			}
+		}
+	}()
+	collect := func(dst []job, n int) {
+		for i := 0; i < n; i++ {
+			seen[dst[i].remaining].Add(1)
+		}
+		got.Add(int64(n))
+	}
+	go func() { // owner: batched dequeue
+		dst := make([]job, 16)
+		for got.Load() < total {
+			if n := r.popN(dst); n > 0 {
+				collect(dst, n)
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() { // thief: claim-or-abort
+		dst := make([]job, 16)
+		for got.Load() < total {
+			switch n := r.stealN(dst); {
+			case n > 0:
+				collect(dst, n)
+			case n < 0:
+				aborts.Add(1)
+				runtime.Gosched()
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+	for deadline := time.Now().Add(30 * time.Second); got.Load() < total; {
+		if time.Now().After(deadline) {
+			t.Fatalf("claimed %d of %d jobs — work lost between popN and stealN", got.Load(), total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("job %d claimed %d times, want exactly 1", i, n)
+		}
+	}
+	t.Logf("steal-vs-pop race: %d jobs, %d thief aborts", total, aborts.Load())
+}
+
+// TestStealMovesQueuedWorkToIdleShard saturates one shard (one slot, one
+// queue seat) with a pipelined batch of sticky-keyed parks: the excess
+// backs up in its forward ring, where the idle sibling's intake must
+// claim it — nonzero steal counters and every request still answered.
+func TestStealMovesQueuedWorkToIdleShard(t *testing.T) {
+	tf := startFabric(t, Options{
+		Shards:         2,
+		BackendProcs:   1,
+		MaxInFlight:    1,
+		QueueDepth:     1,
+		RebalanceTicks: NoRebalance,
+	}, func(fab *Fabric) { fab.Handle("/park", parkHandler) })
+	base := tf.fab.FrontMetrics().Snapshot()
+
+	const reqs = 12
+	deadline := time.Now().Add(30 * time.Second)
+	for round := 0; ; round++ {
+		kc := dialKA(t, tf.addr())
+		var batch bytes.Buffer
+		for i := 0; i < reqs; i++ {
+			batch.WriteString("GET /park?ticks=20 HTTP/1.1\r\nHost: t\r\n" +
+				"Content-Length: 0\r\nX-Shard-Key: hot\r\n\r\n")
+		}
+		if _, err := kc.nc.Write(batch.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < reqs; i++ {
+			st, _, err := kc.recv(20 * time.Second)
+			if err != nil {
+				t.Fatalf("round %d response %d: %v", round, i, err)
+			}
+			if st != 200 {
+				t.Fatalf("round %d response %d: status %d, want 200 (nothing sheds at this load)",
+					round, i, st)
+			}
+		}
+		kc.nc.Close()
+		snap := tf.fab.FrontMetrics().Snapshot()
+		if steals := snap.Get("shard.steals") - base.Get("shard.steals"); steals >= 1 {
+			if stolen := snap.Get("shard.stolen") - base.Get("shard.stolen"); stolen < steals {
+				t.Errorf("shard.stolen = %d with %d steals; every claim must move >= 1 job",
+					stolen, steals)
+			}
+			if attempts := snap.Get("shard.steal_attempts") - base.Get("shard.steal_attempts"); attempts < steals {
+				t.Errorf("shard.steal_attempts = %d < steals %d", attempts, steals)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no steal observed under forced saturation (attempts=%d aborts=%d)",
+				snap.Get("shard.steal_attempts")-base.Get("shard.steal_attempts"),
+				snap.Get("shard.steal_aborts")-base.Get("shard.steal_aborts"))
+		}
+	}
+}
+
 func TestPlanShift(t *testing.T) {
 	cases := []struct {
-		name         string
-		loads, lims  []int
-		floor, cap   int
-		slack        int
-		from, to     int
-		ok           bool
+		name        string
+		loads, lims []int
+		floor, cap  int
+		slack       int
+		from, to    int
+		ok          bool
 	}{
 		{"balanced", []int{3, 3}, []int{2, 2}, 1, 4, 4, 0, 0, false},
 		{"skew", []int{0, 9}, []int{2, 2}, 1, 4, 4, 0, 1, true},

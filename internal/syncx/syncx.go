@@ -82,6 +82,25 @@ func (m *Semaphore) TryAcquire() bool {
 	return ok
 }
 
+// TryAcquireN takes up to max credits without blocking and returns how
+// many it took (possibly zero).  One lock acquisition regardless of the
+// count — the batched P the serving dispatcher drains its queue with: a
+// single blocking Acquire, then one TryAcquireN for the rest of the
+// batch, instead of a lock round-trip per unit.
+func (m *Semaphore) TryAcquireN(max int) int {
+	if max <= 0 {
+		return 0
+	}
+	m.lk.Lock()
+	n := m.count
+	if n > max {
+		n = max
+	}
+	m.count -= n
+	m.lk.Unlock()
+	return n
+}
+
 // Release increments the semaphore, waking one waiter if any (Dijkstra's
 // V).  A waiter woken by Release absorbs the increment.
 func (m *Semaphore) Release() {
@@ -93,6 +112,34 @@ func (m *Semaphore) Release() {
 	}
 	m.count++
 	m.lk.Unlock()
+}
+
+// ReleaseN performs n Vs under a single lock acquisition: up to n parked
+// waiters are dequeued (each absorbs one increment) and the remainder is
+// added to the count, all before the lock is released.  The batched
+// wakeup lets one producer admit a whole batch of work without n lock
+// round-trips, and because waiter handoff and count update are one
+// critical section, no concurrent Acquire can observe an intermediate
+// state where a credit exists but its wakeup is lost.
+func (m *Semaphore) ReleaseN(n int) {
+	if n <= 0 {
+		return
+	}
+	var wake []waiter
+	m.lk.Lock()
+	for len(wake) < n {
+		w, err := m.wait.Deq()
+		if err != nil {
+			break
+		}
+		wake = append(wake, w)
+	}
+	m.count += n - len(wake)
+	m.lk.Unlock()
+	for _, w := range wake {
+		w := w
+		m.s.Reschedule(func() { cont.Throw(w.k, core.Unit{}) }, w.id)
+	}
 }
 
 // RWLock is a readers/writer lock: any number of concurrent readers, or

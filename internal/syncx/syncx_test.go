@@ -78,6 +78,111 @@ func TestTryAcquire(t *testing.T) {
 	})
 }
 
+func TestTryAcquireN(t *testing.T) {
+	s := newSys(1)
+	s.Run(func() {
+		sem := NewSemaphore(s, 5)
+		if n := sem.TryAcquireN(3); n != 3 {
+			t.Errorf("TryAcquireN(3) on count 5 = %d, want 3", n)
+		}
+		if n := sem.TryAcquireN(10); n != 2 {
+			t.Errorf("TryAcquireN(10) on count 2 = %d, want 2", n)
+		}
+		if n := sem.TryAcquireN(4); n != 0 {
+			t.Errorf("TryAcquireN(4) on count 0 = %d, want 0", n)
+		}
+		if n := sem.TryAcquireN(0); n != 0 {
+			t.Errorf("TryAcquireN(0) = %d, want 0", n)
+		}
+		sem.Release()
+		if n := sem.TryAcquireN(4); n != 1 {
+			t.Errorf("TryAcquireN(4) after one Release = %d, want 1", n)
+		}
+	})
+}
+
+func TestReleaseNWakesParkedWaiters(t *testing.T) {
+	s := newSys(4)
+	var woke atomic.Int32
+	s.Run(func() {
+		sem := NewSemaphore(s, 0)
+		wg := NewWaitGroup(s, 7)
+		for i := 0; i < 7; i++ {
+			s.Fork(func() {
+				sem.Acquire()
+				woke.Add(1)
+				wg.Done()
+			})
+		}
+		for i := 0; i < 5; i++ {
+			s.Yield() // let waiters park
+		}
+		sem.ReleaseN(4) // wakes 4 of the parked waiters in one V
+		sem.ReleaseN(0) // no-op
+		sem.ReleaseN(3) // wakes the rest
+		wg.Wait()
+	})
+	if woke.Load() != 7 {
+		t.Fatalf("woke = %d, want 7", woke.Load())
+	}
+}
+
+func TestReleaseNSurplusBecomesCount(t *testing.T) {
+	s := newSys(2)
+	s.Run(func() {
+		sem := NewSemaphore(s, 0)
+		wg := NewWaitGroup(s, 1)
+		s.Fork(func() {
+			sem.Acquire()
+			wg.Done()
+		})
+		for i := 0; i < 3; i++ {
+			s.Yield()
+		}
+		sem.ReleaseN(5) // one waiter absorbs a credit, 4 land in the count
+		wg.Wait()
+		if n := sem.TryAcquireN(10); n != 4 {
+			t.Fatalf("surplus count = %d, want 4", n)
+		}
+	})
+}
+
+// TestBatchedHandoffNoLostWakeup hammers the batched P/V pair: producers
+// ReleaseN batches while consumers drain with Acquire+TryAcquireN, the
+// exact shape of the serving dispatcher.  Every produced credit must be
+// consumed — a lost wakeup deadlocks the run (caught by test timeout).
+func TestBatchedHandoffNoLostWakeup(t *testing.T) {
+	s := newSys(4)
+	const producers, batches, batch = 4, 25, 8
+	var consumed atomic.Int32
+	total := int32(producers * batches * batch)
+	s.Run(func() {
+		sem := NewSemaphore(s, 0)
+		wg := NewWaitGroup(s, producers+1)
+		for p := 0; p < producers; p++ {
+			s.Fork(func() {
+				for b := 0; b < batches; b++ {
+					sem.ReleaseN(batch)
+					s.Yield()
+				}
+				wg.Done()
+			})
+		}
+		s.Fork(func() {
+			for consumed.Load() < total {
+				sem.Acquire()
+				n := 1 + sem.TryAcquireN(batch-1)
+				consumed.Add(int32(n))
+			}
+			wg.Done()
+		})
+		wg.Wait()
+	})
+	if consumed.Load() != total {
+		t.Fatalf("consumed = %d, want %d", consumed.Load(), total)
+	}
+}
+
 func TestMutexExclusion(t *testing.T) {
 	s := newSys(4)
 	mu := NewMutex(s)
