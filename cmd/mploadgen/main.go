@@ -89,6 +89,14 @@ type Summary struct {
 	ReusedRatio float64 `json:"reused_ratio"`   // responses on an already-used conn / responses
 	Throughput  float64 `json:"throughput_rps"` // OK responses per second
 
+	// Keep-alive runs also report the server's write coalescing as seen
+	// from the wire: how many socket reads it took to collect all framed
+	// responses.  A server writing one response per syscall pins
+	// responses_per_read near 1; batched rendering pushes it toward the
+	// pipeline depth.
+	SocketReads int64   `json:"socket_reads,omitempty"`
+	RespPerRead float64 `json:"responses_per_read,omitempty"`
+
 	LatencyMS struct {
 		P50 float64 `json:"p50"`
 		P90 float64 `json:"p90"`
@@ -152,6 +160,7 @@ func main() {
 		dialed  atomic.Int64
 		reused  atomic.Int64
 		hotSent atomic.Int64
+		sreads  atomic.Int64
 	)
 	record := func(st int, lat time.Duration) {
 		mu.Lock()
@@ -241,7 +250,7 @@ func main() {
 							sent.Add(1)
 							continue
 						}
-						kc = &kaClient{nc: c}
+						kc = &kaClient{nc: c, reads: &sreads}
 						dialed.Add(1)
 						onConn = 0
 					}
@@ -337,6 +346,12 @@ func main() {
 	}
 	if responses := int64(len(results)); responses > 0 {
 		s.ReusedRatio = float64(reused.Load()) / float64(responses)
+		if s.KeepAlive {
+			s.SocketReads = sreads.Load()
+			if s.SocketReads > 0 {
+				s.RespPerRead = float64(responses) / float64(s.SocketReads)
+			}
+		}
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		s.Throughput = float64(s.OK) / secs
@@ -372,6 +387,9 @@ func main() {
 		s.Sent, s.OK, s.Shed, s.Expired, s.OtherHTTP, s.Errors)
 	if s.KeepAlive {
 		fmt.Printf("  conns dialed %d, reused-conn ratio %.3f\n", s.ConnsDialed, s.ReusedRatio)
+		if s.SocketReads > 0 {
+			fmt.Printf("  socket reads %d, responses/read %.2f\n", s.SocketReads, s.RespPerRead)
+		}
 	}
 	fmt.Printf("  throughput %.1f req/s  latency ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
 		s.Throughput, s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
@@ -403,8 +421,9 @@ func quantile(xs []float64, q float64) float64 {
 // kaClient is one persistent connection, framing responses by
 // Content-Length so the connection survives across requests.
 type kaClient struct {
-	nc  net.Conn
-	acc []byte
+	nc    net.Conn
+	acc   []byte
+	reads *atomic.Int64 // data-bearing socket reads, for responses/read
 }
 
 // doN issues len(perReq) pipelined requests in a single write — the
@@ -475,6 +494,7 @@ func (k *kaClient) readResp() (int, bool, error) {
 			for len(rest) < clen {
 				n, err := k.nc.Read(buf)
 				if n > 0 {
+					k.reads.Add(1)
 					rest = append(rest, buf[:n]...)
 				} else if err != nil {
 					return 0, false, err
@@ -485,6 +505,7 @@ func (k *kaClient) readResp() (int, bool, error) {
 		}
 		n, err := k.nc.Read(buf)
 		if n > 0 {
+			k.reads.Add(1)
 			k.acc = append(k.acc, buf[:n]...)
 		} else if err != nil {
 			return 0, false, err

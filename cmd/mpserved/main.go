@@ -24,6 +24,7 @@
 //	         [-deadline ticks] [-tick d] [-quantum d] [-distributed]
 //	         [-ring N] [-trace out.json] [-batch N]
 //	         [-shards N] [-rebalance ticks] [-route-header name] [-steal N]
+//	         [-reply-coalesce=bool] [-reply-spin N]
 package main
 
 import (
@@ -59,11 +60,13 @@ func main() {
 	rebalance := flag.Int64("rebalance", 50, "fabric: rebalancer period in front ticks (0 disables)")
 	routeHeader := flag.String("route-header", "X-Shard-Key", "fabric: sticky consistent-hash routing header")
 	steal := flag.Int("steal", 2, "fabric: min sibling ring occupancy before an idle shard steals (0 disables)")
+	replyCoalesce := flag.Bool("reply-coalesce", true, "fabric: batch reply completion + coalesced response writes (false restores per-cell waits and per-response writes)")
+	replySpin := flag.Int("reply-spin", 64, "fabric: adaptive reply spin budget cap, in yields before parking")
 	flag.Parse()
 
 	if *shards > 1 {
 		runFabric(*addr, *shards, *procs, *inflight, *queueDepth, *deadline,
-			*rebalance, *routeHeader, *tick, *batch, *steal)
+			*rebalance, *routeHeader, *tick, *batch, *steal, *replySpin, !*replyCoalesce)
 		return
 	}
 
@@ -136,7 +139,7 @@ func main() {
 // drain, and the merged metrics of every registry printed at exit.
 func runFabric(addr string, shards, procsPerShard, inflight, queueDepth int,
 	deadline, rebalance int64, routeHeader string, tick time.Duration,
-	batch, steal int) {
+	batch, steal, replySpin int, perCellReplies bool) {
 	if rebalance <= 0 {
 		rebalance = shard.NoRebalance
 	}
@@ -152,6 +155,8 @@ func runFabric(addr string, shards, procsPerShard, inflight, queueDepth int,
 		DeadlineTicks:  deadline,
 		BatchMax:       batch,
 		StealMin:       steal,
+		ReplySpin:      replySpin,
+		PerCellReplies: perCellReplies,
 		RebalanceTicks: rebalance,
 		RouteHeader:    routeHeader,
 		Tick:           tick,
@@ -169,8 +174,8 @@ func runFabric(addr string, shards, procsPerShard, inflight, queueDepth int,
 		fab.Drain()
 	}()
 
-	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks batch=%d steal=%d)\n",
-		fab.Addr(), shards, procsPerShard, inflight, rebalance, batch, steal)
+	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks batch=%d steal=%d reply-coalesce=%v reply-spin=%d)\n",
+		fab.Addr(), shards, procsPerShard, inflight, rebalance, batch, steal, !perCellReplies, replySpin)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, r := range fab.Runners() {

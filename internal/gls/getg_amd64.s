@@ -1,0 +1,13 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func getg() uintptr
+//
+// The runtime keeps the current g in thread-local storage on amd64; the
+// assembler's TLS pseudo-register resolves to it under both internal and
+// external linking.
+TEXT ·getg(SB), NOSPLIT, $0-8
+	MOVQ (TLS), AX
+	MOVQ AX, ret+0(FP)
+	RET

@@ -1,0 +1,12 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// func getg() uintptr
+//
+// arm64 dedicates a register (R28, spelled "g" in Go assembly) to the
+// current goroutine.
+TEXT ·getg(SB), NOSPLIT, $0-8
+	MOVD g, R0
+	MOVD R0, ret+0(FP)
+	RET

@@ -103,3 +103,58 @@ func BenchmarkGet(b *testing.B) {
 		Get()
 	}
 }
+
+// TestIDStableAcrossStackGrowth pins the register path's contract: the
+// identity must survive stack growth and moves (g structs never move even
+// when their stacks are copied).
+func TestIDStableAcrossStackGrowth(t *testing.T) {
+	id := ID()
+	var grow func(n int) uint64
+	grow = func(n int) uint64 {
+		var pad [1 << 10]byte
+		pad[0] = byte(n)
+		if n == 0 {
+			return ID()
+		}
+		deep := grow(n - 1)
+		_ = pad
+		return deep
+	}
+	// ~256KB of frames forces several stack copies.
+	if deep := grow(256); deep != id {
+		t.Fatalf("ID changed across stack growth: %#x -> %#x", id, deep)
+	}
+	if after := ID(); after != id {
+		t.Fatalf("ID changed after stack shrink: %#x -> %#x", id, after)
+	}
+}
+
+// TestIDDistinctAmongLiveGoroutines: identities of concurrently-live
+// goroutines never collide (dead goroutines may donate theirs onward, so
+// all must be held live while compared).
+func TestIDDistinctAmongLiveGoroutines(t *testing.T) {
+	const n = 256
+	ids := make([]uint64, n)
+	var wg, ready sync.WaitGroup
+	release := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = ID()
+			ready.Done()
+			<-release
+		}(i)
+	}
+	ready.Wait()
+	seen := make(map[uint64]int, n)
+	for i, id := range ids {
+		if j, dup := seen[id]; dup {
+			t.Fatalf("goroutines %d and %d share id %#x", i, j, id)
+		}
+		seen[id] = i
+	}
+	close(release)
+	wg.Wait()
+}

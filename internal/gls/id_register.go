@@ -1,0 +1,14 @@
+//go:build amd64 || arm64
+
+package gls
+
+// getg returns the runtime's current-goroutine pointer, read from the
+// platform's goroutine register (TLS on amd64, the dedicated g register on
+// arm64).  The value is used strictly as an opaque identity key — it is
+// held as an integer, never dereferenced, and never kept alive past the
+// goroutine's own Del — so it does not pin runtime memory or depend on any
+// g struct layout.
+func getg() uintptr
+
+// gKey returns the current goroutine's identity key.
+func gKey() uint64 { return uint64(getg()) }

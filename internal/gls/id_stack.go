@@ -1,0 +1,44 @@
+//go:build !amd64 && !arm64
+
+package gls
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Architectures without a getg stub fall back to parsing the goroutine id
+// from the header line of runtime.Stack.  Correct everywhere, but orders
+// of magnitude slower than the register path: runtime.Stack symbolizes the
+// caller's whole stack to print it, and MP stacks are continuation-deep.
+
+// stackBufs recycles the header buffers gKey hands to runtime.Stack: the
+// slice escapes through the runtime call, so a plain stack array would
+// cost one 64-byte heap allocation per lookup — on every proc.Self(),
+// i.e. on the hottest paths in the system.
+var stackBufs = sync.Pool{New: func() any { return new([64]byte) }}
+
+// gKey returns the current goroutine's identity key.
+func gKey() uint64 {
+	bp := stackBufs.Get().(*[64]byte)
+	buf := bp[:]
+	n := runtime.Stack(buf, false)
+	// The header looks like "goroutine 123 [running]:".
+	const prefix = len("goroutine ")
+	if n <= prefix {
+		panic(fmt.Sprintf("gls: malformed stack header %q", buf[:n]))
+	}
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	if id == 0 {
+		panic(fmt.Sprintf("gls: malformed stack header %q", buf[:n]))
+	}
+	stackBufs.Put(bp)
+	return id
+}

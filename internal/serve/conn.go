@@ -53,6 +53,9 @@ type ConnConfig struct {
 	Pool *BufPool
 	// OnReadPark is called each time a blocked read parks (metrics hook).
 	OnReadPark func()
+	// OnWriteBatch is called with the number of responses coalesced into
+	// each WriteResponses socket-write batch (metrics hook).
+	OnWriteBatch func(n int)
 	// Aborted, when non-nil and returning true, aborts an in-progress
 	// ReadRequest with ErrAborted — the drain hook.
 	Aborted func() bool
@@ -60,10 +63,11 @@ type ConnConfig struct {
 
 // Conn drives one client connection.
 type Conn struct {
-	cfg ConnConfig
-	nc  net.Conn
-	acc []byte // unconsumed input: partial or pipelined next request
-	buf []byte // scratch read block
+	cfg   ConnConfig
+	nc    net.Conn
+	acc   []byte // unconsumed input: partial or pipelined next request
+	buf   []byte // scratch read block
+	arena []byte // request-body arena, reset at each blocking ReadRequest
 }
 
 // NewConn wraps an accepted connection.
@@ -88,6 +92,10 @@ var crlf2 = []byte("\r\n\r\n")
 // budget ticks of that start.  On success the returned request carries
 // Arrival (start tick) and Deadline (start + budget).
 func (c *Conn) ReadRequest(headDeadline, budget int64) (*Request, error) {
+	// A blocking read starts a new batch: every request of the previous
+	// one has been handled and its response written, so the arena slices
+	// handed out as bodies are dead and the space can be reused.
+	c.arena = c.arena[:0]
 	started := len(c.acc) > 0
 	var deadline int64
 	if started {
@@ -160,10 +168,7 @@ func (c *Conn) ReadRequest(headDeadline, budget int64) (*Request, error) {
 			return nil, err
 		}
 	}
-	// The body must be copied out: acc slides left to expose the next
-	// pipelined request.
-	req.Body = append([]byte(nil), c.acc[headerEnd+4:total]...)
-	c.acc = c.acc[:copy(c.acc, c.acc[total:])]
+	req.Body = c.takeBody(headerEnd+4, total)
 	req.Arrival = arrival
 	req.Deadline = deadline
 	return req, nil
@@ -173,29 +178,47 @@ func (c *Conn) ReadRequest(headDeadline, budget int64) (*Request, error) {
 // touching the socket: after a blocking ReadRequest returns, the batching
 // front drains any fully-buffered pipelined successors this way, so a
 // client that wrote K requests back-to-back has all K forwarded as one
-// multi-push.  It returns (nil, false) whenever a complete well-formed
-// request is not already buffered — including on parse errors, which are
-// deliberately left in the buffer for the next blocking ReadRequest to
-// surface with its full error taxonomy.
-func (c *Conn) ReadBuffered(budget int64) (*Request, bool) {
+// multi-push.  It returns (nil, false, nil) when a complete request is
+// not yet buffered — the partial head waits for the next blocking
+// ReadRequest.  A head that is complete but malformed (or declares an
+// oversized body) is surfaced immediately as ErrBadRequest/ErrTooLarge:
+// the caller must answer it and close, because a poisoned pipeline would
+// otherwise be re-parsed forever — the bytes can never become a valid
+// request, and more reads only pile garbage behind them.
+func (c *Conn) ReadBuffered(budget int64) (*Request, bool, error) {
 	headerEnd := bytes.Index(c.acc, crlf2)
 	if headerEnd < 0 {
-		return nil, false
+		return nil, false, nil
 	}
 	req, contentLength, err := parseHeader(c.acc[:headerEnd])
-	if err != nil || contentLength > maxBodyBytes {
-		return nil, false
+	if err != nil {
+		return nil, false, err
+	}
+	if contentLength > maxBodyBytes {
+		return nil, false, ErrTooLarge
 	}
 	total := headerEnd + 4 + contentLength
 	if len(c.acc) < total {
-		return nil, false
+		return nil, false, nil
 	}
 	arrival := c.cfg.Clock.Now()
-	req.Body = append([]byte(nil), c.acc[headerEnd+4:total]...)
-	c.acc = c.acc[:copy(c.acc, c.acc[total:])]
+	req.Body = c.takeBody(headerEnd+4, total)
 	req.Arrival = arrival
 	req.Deadline = arrival + budget
-	return req, true
+	return req, true, nil
+}
+
+// takeBody moves acc[from:to] into the connection's arena and slides acc
+// left to expose the next pipelined request, returning the body as a
+// capacity-clipped arena slice.  The arena is reset at each blocking
+// ReadRequest, so in the steady state (arena grown to the largest batch
+// seen) the copy allocates nothing; a mid-batch arena growth leaves
+// earlier bodies pointing into the old backing array, which stays valid.
+func (c *Conn) takeBody(from, to int) []byte {
+	off := len(c.arena)
+	c.arena = append(c.arena, c.acc[from:to]...)
+	c.acc = c.acc[:copy(c.acc, c.acc[to:])]
+	return c.arena[off:len(c.arena):len(c.arena)]
 }
 
 // read performs one poll-window-capped socket read into the residual
@@ -221,6 +244,90 @@ func (c *Conn) WriteResponse(resp Response, capTick int64, keepAlive bool) error
 	err := c.writeAll(rb.b.Bytes(), capTick)
 	c.cfg.Pool.put(shard, rb)
 	return err
+}
+
+// vectoredWriteBytes is the batch body volume above which WriteResponses
+// stops flattening bodies into the render buffer and hands the kernel an
+// iovec instead: past this point copying costs more than the writev
+// setup, and the render buffer would balloon to the payload size.
+const vectoredWriteBytes = 64 << 10
+
+// WriteResponses writes a whole batch of responses with one deadline-set
+// and one socket write in the common case — the reply-path complement of
+// the request side's multi-push.  Every response except the last carries
+// Connection: keep-alive (more of the batch follows by construction);
+// the last takes the caller's keepAlive decision.  Small batches render
+// into one pooled multi-response buffer; batches with large bodies
+// render only the headers and ride a net.Buffers vectored write, so
+// bodies are never copied.  Either way the socket write follows the same
+// poll-window-then-park discipline as writeAll, giving up at capTick.
+func (c *Conn) WriteResponses(resps []Response, capTick int64, keepAlive bool) error {
+	if len(resps) == 0 {
+		return nil
+	}
+	if c.cfg.OnWriteBatch != nil {
+		c.cfg.OnWriteBatch(len(resps))
+	}
+	shard, _ := proc.TrySelf()
+	rb := c.cfg.Pool.get(shard)
+	defer c.cfg.Pool.put(shard, rb)
+	total := 0
+	for i := range resps {
+		total += len(resps[i].Body)
+	}
+	last := len(resps) - 1
+	if total <= vectoredWriteBytes {
+		for i := range resps {
+			renderResponse(rb, resps[i], i < last || keepAlive)
+		}
+		return c.writeAll(rb.b.Bytes(), capTick)
+	}
+	// Vectored path: headers land contiguously in the pooled buffer (the
+	// offsets are recorded first, because the buffer may move while it
+	// grows), bodies are referenced in place.
+	rb.offs = rb.offs[:0]
+	for i := range resps {
+		rb.offs = append(rb.offs, rb.b.Len())
+		renderHeader(rb, resps[i], i < last || keepAlive, len(resps[i].Body))
+	}
+	hdrs := rb.b.Bytes()
+	rb.iov = rb.iov[:0]
+	for i := range resps {
+		end := len(hdrs)
+		if i < last {
+			end = rb.offs[i+1]
+		}
+		rb.iov = append(rb.iov, hdrs[rb.offs[i]:end], resps[i].Body)
+	}
+	// writeBuffers consumes its argument, so hand it a window over the
+	// assembly rather than the assembly itself; the window lives on the
+	// pooled buffer (not the stack) so the escaping pointer costs nothing.
+	rb.iovw = rb.iov
+	err := c.writeBuffers(&rb.iovw, capTick)
+	clear(rb.iov) // drop header/body references for the collector
+	rb.iov, rb.iovw = rb.iov[:0], nil
+	return err
+}
+
+// writeBuffers writes an iovec batch with the same poll-window-then-park
+// discipline as writeAll, giving up at capTick.  net.Buffers consumes
+// its consumed prefix across calls, so a partial vectored write resumes
+// exactly where the socket stalled.
+func (c *Conn) writeBuffers(bufs *net.Buffers, capTick int64) error {
+	for len(*bufs) > 0 {
+		if c.cfg.Clock.Now() >= capTick {
+			return ErrDeadline
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(c.cfg.PollWindow))
+		if _, err := bufs.WriteTo(c.nc); err != nil {
+			if isTimeout(err) && len(*bufs) > 0 {
+				c.cfg.Park(1)
+				continue
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // writeAll writes buf with the same poll-window-then-park discipline as
@@ -249,6 +356,14 @@ func (c *Conn) writeAll(buf []byte, capTick int64) error {
 // steady state: ints are formatted through the respBuf's own scratch
 // array and everything lands in its reused bytes.Buffer.
 func renderResponse(rb *respBuf, resp Response, keepAlive bool) {
+	renderHeader(rb, resp, keepAlive, len(resp.Body))
+	rb.b.Write(resp.Body)
+}
+
+// renderHeader renders the status line and headers (through the blank
+// line) for a response whose body is clen bytes — the shared front half
+// of the flat and vectored render paths.
+func renderHeader(rb *respBuf, resp Response, keepAlive bool, clen int) {
 	ctype := resp.ContentType
 	if ctype == "" {
 		ctype = "text/plain; charset=utf-8"
@@ -261,7 +376,7 @@ func renderResponse(rb *respBuf, resp Response, keepAlive bool) {
 	b.WriteString("\r\nContent-Type: ")
 	b.WriteString(ctype)
 	b.WriteString("\r\nContent-Length: ")
-	b.Write(strconv.AppendInt(rb.scratch[:0], int64(len(resp.Body)), 10))
+	b.Write(strconv.AppendInt(rb.scratch[:0], int64(clen), 10))
 	if resp.RetryAfter > 0 {
 		b.WriteString("\r\nRetry-After: ")
 		b.Write(strconv.AppendInt(rb.scratch[:0], int64(resp.RetryAfter), 10))
@@ -271,14 +386,17 @@ func renderResponse(rb *respBuf, resp Response, keepAlive bool) {
 	} else {
 		b.WriteString("\r\nConnection: close\r\n\r\n")
 	}
-	b.Write(resp.Body)
 }
 
 // respBuf is one pooled response render buffer; scratch backs integer
-// formatting so the render path never reaches for the heap.
+// formatting, offs and iov back the vectored batch path, so the render
+// path never reaches for the heap.
 type respBuf struct {
 	b       bytes.Buffer
 	scratch [24]byte
+	offs    []int       // per-response header offsets into b (vectored path)
+	iov     net.Buffers // reused iovec assembly (vectored path)
+	iovw    net.Buffers // consumable window over iov handed to writeBuffers
 }
 
 // bufShard holds one proc's cached buffer alone on its cache line, the

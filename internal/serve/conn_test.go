@@ -206,37 +206,40 @@ func TestReadBufferedDrainsResidualPipelined(t *testing.T) {
 	c.acc = []byte("POST /a HTTP/1.1\r\nHost: t\r\nContent-Length: 3\r\n\r\nabc" +
 		"GET /b?x=1 HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n" +
 		"GET /c HTTP/1.1\r\nHo")
-	req, ok := c.ReadBuffered(50)
-	if !ok || req.Method != "POST" || req.Path != "/a" || string(req.Body) != "abc" {
-		t.Fatalf("first buffered request: ok=%v %+v", ok, req)
+	req, ok, err := c.ReadBuffered(50)
+	if err != nil || !ok || req.Method != "POST" || req.Path != "/a" || string(req.Body) != "abc" {
+		t.Fatalf("first buffered request: ok=%v err=%v %+v", ok, err, req)
 	}
 	if req.Deadline != req.Arrival+50 {
 		t.Errorf("deadline = %d, want arrival %d + budget 50", req.Deadline, req.Arrival)
 	}
-	req, ok = c.ReadBuffered(50)
-	if !ok || req.Method != "GET" || req.Path != "/b" || req.Query("x") != "1" {
-		t.Fatalf("second buffered request: ok=%v %+v", ok, req)
+	req, ok, err = c.ReadBuffered(50)
+	if err != nil || !ok || req.Method != "GET" || req.Path != "/b" || req.Query("x") != "1" {
+		t.Fatalf("second buffered request: ok=%v err=%v %+v", ok, err, req)
 	}
-	if req, ok := c.ReadBuffered(50); ok {
-		t.Fatalf("parsed %+v from an incomplete head", req)
+	if req, ok, err := c.ReadBuffered(50); ok || err != nil {
+		t.Fatalf("incomplete head: ok=%v err=%v %+v", ok, err, req)
 	}
 	if !c.Partial() {
 		t.Error("partial third head was consumed; it must wait for the socket")
 	}
 }
 
-// TestReadBufferedLeavesMalformedHeadAlone: a complete but unparseable
-// head must not be consumed — ReadBuffered steps aside so the next
-// blocking ReadRequest surfaces the 400 with its full error taxonomy.
-func TestReadBufferedLeavesMalformedHeadAlone(t *testing.T) {
+// TestReadBufferedSurfacesPoisonedPipeline: a complete but unparseable
+// (or oversized) head mid-pipeline can never become a valid request, so
+// ReadBuffered must surface the error immediately — the caller answers
+// 400/413 and closes — instead of stepping aside and letting the same
+// garbage be re-parsed forever.
+func TestReadBufferedSurfacesPoisonedPipeline(t *testing.T) {
 	c := &Conn{cfg: ConnConfig{Clock: cml.NewClock()}}
-	bad := []byte("NONSENSE\r\n\r\n")
-	c.acc = append([]byte(nil), bad...)
-	if req, ok := c.ReadBuffered(50); ok {
-		t.Fatalf("parsed %+v from a malformed head", req)
+	c.acc = []byte("NONSENSE\r\n\r\n")
+	if req, ok, err := c.ReadBuffered(50); err != ErrBadRequest {
+		t.Fatalf("malformed head: ok=%v err=%v %+v, want ErrBadRequest", ok, err, req)
 	}
-	if !bytes.Equal(c.acc, bad) {
-		t.Errorf("malformed head consumed (acc=%q); ReadRequest must see it", c.acc)
+	c = &Conn{cfg: ConnConfig{Clock: cml.NewClock()}}
+	c.acc = []byte("POST /a HTTP/1.1\r\nHost: t\r\nContent-Length: 99999999\r\n\r\n")
+	if req, ok, err := c.ReadBuffered(50); err != ErrTooLarge {
+		t.Fatalf("oversized body: ok=%v err=%v %+v, want ErrTooLarge", ok, err, req)
 	}
 }
 

@@ -188,6 +188,7 @@ type serveMetrics struct {
 	latencyTicks  *metrics.Histogram
 	queueTicks    *metrics.Histogram
 	dispatchBatch *metrics.Histogram // units drained per items wakeup
+	writeBatch    *metrics.Histogram // responses coalesced per socket-write batch
 }
 
 // Server is the serving subsystem; create with New, start with Serve
@@ -289,6 +290,8 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 		queueTicks:   reg.Histogram("serve.queue_ticks", bounds),
 		dispatchBatch: reg.Histogram("serve.dispatch_batch",
 			[]int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+		writeBatch: reg.Histogram("serve.write_batch",
+			[]int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
 	}
 	if srv.tracer != nil {
 		srv.evAccept = srv.tracer.Define("serve.accept")
@@ -304,8 +307,9 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 		Park:       srv.park,
 		PollWindow: srv.opts.PollWindow,
 		Pool:       srv.pool,
-		OnReadPark: func() { srv.m.readParks.Inc(proc.Self()) },
-		Aborted:    srv.Draining,
+		OnReadPark:   func() { srv.m.readParks.Inc(proc.Self()) },
+		OnWriteBatch: func(n int) { srv.m.writeBatch.Observe(proc.Self(), int64(n)) },
+		Aborted:      srv.Draining,
 	}
 	srv.installBuiltins()
 	return srv, nil
@@ -784,7 +788,10 @@ func (srv *Server) shedPending(p pending) {
 // a direct connection that means the connection's whole keep-alive
 // lifetime: requests are read and answered in order until the client
 // closes, opts out of keep-alive, errs, goes idle past the keep-alive
-// budget, or the server drains.  All blocking inside (reads, writes,
+// budget, or the server drains.  A pipelined run is answered as a batch:
+// after the blocking read delivers a request, every complete successor
+// already buffered is handled too, and the whole run's responses go out
+// through one WriteResponses.  All blocking inside (reads, writes,
 // handler parks) is cooperative: short poll windows plus CML clock
 // parks.
 func (srv *Server) worker(p pending) {
@@ -795,6 +802,7 @@ func (srv *Server) worker(p pending) {
 	c := NewConn(p.conn, srv.ccfg)
 	arrival := p.arrival
 	served := 0
+	var resps []Response
 	for {
 		headBudget := srv.opts.DeadlineTicks
 		if served > 0 {
@@ -805,17 +813,7 @@ func (srv *Server) worker(p pending) {
 		silent := false
 		switch {
 		case err == nil:
-			resp = srv.dispatchRequest(req)
-			if resp.Status == 200 && srv.clock.Now() >= req.Deadline {
-				// Backstop: the handler finished past the deadline without
-				// cancelling itself; the client has been told 504.
-				resp = Response{Status: 504, Body: []byte("deadline exceeded\n")}
-			}
-			if resp.Status == 504 {
-				// Covers both the backstop and handlers that cancelled
-				// themselves at a safe point.
-				srv.m.expired.Inc(proc.Self())
-			}
+			resp = srv.handle(req)
 		case errors.Is(err, ErrDeadline):
 			if served > 0 && !c.Partial() {
 				// Idle keep-alive connection ran out its budget: close
@@ -851,24 +849,45 @@ func (srv *Server) worker(p pending) {
 			break
 		}
 
-		method, path, reqArrival := "-", "-", arrival
 		keepAlive := false
 		capTick := srv.clock.Now() + 20
 		if req != nil {
-			method, path, reqArrival = req.Method, req.Path, req.Arrival
 			keepAlive = err == nil && !req.Close && !srv.opts.DisableKeepAlive && !srv.Draining()
 			capTick = req.Deadline + 20
 		}
-		werr := c.WriteResponse(resp, capTick, keepAlive)
-		self := proc.Self()
-		srv.m.responded.Inc(self)
-		srv.m.latencyTicks.Observe(self, srv.clock.Now()-reqArrival)
-		srv.emit(srv.evRespond, int64(resp.Status))
-		srv.logAccess(resp.Status, reqArrival, method, path)
-		if served > 0 {
-			srv.m.keepalive.Inc(self)
-		}
+		resps = append(resps[:0], resp)
+		srv.accountResponse(req, resp, arrival, served)
 		served++
+
+		// Drain the residual pipelined run: every complete successor
+		// already buffered joins this write batch.
+		for keepAlive {
+			more, ok, rerr := c.ReadBuffered(srv.opts.DeadlineTicks)
+			if rerr != nil {
+				// Poisoned pipeline: the buffered bytes can never become a
+				// valid request, so answer once and close the connection.
+				bresp := Response{Status: 400, Body: []byte("malformed request\n")}
+				if errors.Is(rerr, ErrTooLarge) {
+					bresp = Response{Status: 413, Body: []byte("request too large\n")}
+				}
+				resps = append(resps, bresp)
+				srv.accountResponse(nil, bresp, srv.clock.Now(), served)
+				served++
+				keepAlive = false
+				break
+			}
+			if !ok {
+				break
+			}
+			mresp := srv.handle(more)
+			keepAlive = !more.Close && !srv.opts.DisableKeepAlive && !srv.Draining()
+			capTick = more.Deadline + 20
+			resps = append(resps, mresp)
+			srv.accountResponse(more, mresp, more.Arrival, served)
+			served++
+		}
+
+		werr := c.WriteResponses(resps, capTick, keepAlive)
 		if werr != nil || !keepAlive {
 			break
 		}
@@ -880,6 +899,40 @@ func (srv *Server) worker(p pending) {
 	// lock (ordering every emit above before a /trace snapshot's reads),
 	// then free the slot so the dispatcher can admit the next unit.
 	srv.finish()
+}
+
+// handle runs the handler for one parsed request and applies the
+// deadline backstop: a 200 finishing past the deadline becomes the 504
+// the client was promised.
+func (srv *Server) handle(req *Request) Response {
+	resp := srv.dispatchRequest(req)
+	if resp.Status == 200 && srv.clock.Now() >= req.Deadline {
+		resp = Response{Status: 504, Body: []byte("deadline exceeded\n")}
+	}
+	if resp.Status == 504 {
+		// Covers both the backstop and handlers that cancelled
+		// themselves at a safe point.
+		srv.m.expired.Inc(proc.Self())
+	}
+	return resp
+}
+
+// accountResponse emits the per-response metrics, trace event, and
+// access-log line for one request of a write batch.  req may be nil
+// (read-error responses); fallbackArrival stands in for its arrival.
+func (srv *Server) accountResponse(req *Request, resp Response, fallbackArrival int64, served int) {
+	method, path, reqArrival := "-", "-", fallbackArrival
+	if req != nil {
+		method, path, reqArrival = req.Method, req.Path, req.Arrival
+	}
+	self := proc.Self()
+	srv.m.responded.Inc(self)
+	srv.m.latencyTicks.Observe(self, srv.clock.Now()-reqArrival)
+	srv.emit(srv.evRespond, int64(resp.Status))
+	srv.logAccess(resp.Status, reqArrival, method, path)
+	if served > 0 {
+		srv.m.keepalive.Inc(self)
+	}
 }
 
 // jobWorker handles one injected request end to end and delivers the

@@ -18,6 +18,8 @@ type benchSummary struct {
 	ConnsDialed int64   `json:"conns_dialed"`
 	ReusedRatio float64 `json:"reused_ratio"`
 	Throughput  float64 `json:"throughput_rps"`
+	SocketReads int64   `json:"socket_reads"`
+	RespPerRead float64 `json:"responses_per_read"`
 }
 
 type stealCounters struct {
@@ -112,5 +114,52 @@ func TestBenchArtifactBatchingBeatsSingleDequeue(t *testing.T) {
 	if bench.AfterServer.RingExpired != 0 || bench.SkewServer.RingExpired != 0 {
 		t.Errorf("ring-dwell expiries (after=%d skew=%d) in runs sized to avoid shedding, want 0",
 			bench.AfterServer.RingExpired, bench.SkewServer.RingExpired)
+	}
+}
+
+// TestBenchArtifactReplyCoalescing guards the PR-5 artifact: group reply
+// completion plus batched response rendering must beat the per-cell
+// wait / per-response write configuration of the *same* binary by at
+// least 15% on an identical pipelined keep-alive workload.  Both legs
+// must be a workload where reply batches can form at all (keep-alive,
+// pipeline >= 2), and the coalesced leg must actually have coalesced:
+// the client's framed reads should each carry more than one response.
+func TestBenchArtifactReplyCoalescing(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_reply.json")
+	if err != nil {
+		t.Fatalf("missing benchmark artifact: %v", err)
+	}
+	var bench struct {
+		Before benchSummary `json:"before"`
+		After  benchSummary `json:"after"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if bench.Before.Throughput <= 0 || bench.After.Throughput <= 0 {
+		t.Fatal("benchmark artifact has non-positive throughput")
+	}
+	if got := bench.After.Throughput / bench.Before.Throughput; got < 1.15 {
+		t.Errorf("coalesced-reply throughput %.1f is only %.2fx the per-cell baseline %.1f, want >= 1.15x",
+			bench.After.Throughput, got, bench.Before.Throughput)
+	}
+	for name, leg := range map[string]benchSummary{"before": bench.Before, "after": bench.After} {
+		if !leg.KeepAlive {
+			t.Errorf("%s leg is not keep-alive; the comparison must hold the client fixed", name)
+		}
+		if leg.Pipeline < 2 {
+			t.Errorf("%s leg pipeline = %d, want >= 2 so reply batches can form", name, leg.Pipeline)
+		}
+	}
+	// The coalesced leg's wire must show batching: strictly more
+	// responses per data-bearing client read than the per-cell leg, and
+	// comfortably more than one.
+	if bench.After.RespPerRead <= 1.2 {
+		t.Errorf("coalesced leg responses/read = %.2f, want > 1.2 — writes were not coalesced",
+			bench.After.RespPerRead)
+	}
+	if bench.After.RespPerRead <= bench.Before.RespPerRead {
+		t.Errorf("coalesced leg responses/read %.2f not above per-cell leg %.2f",
+			bench.After.RespPerRead, bench.Before.RespPerRead)
 	}
 }

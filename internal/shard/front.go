@@ -150,7 +150,8 @@ func (fab *Fabric) shedConn(nc net.Conn, draining bool) {
 // connThread serves one client connection for its keep-alive lifetime:
 // read a head request, drain every fully-buffered pipelined successor
 // behind it, forward the whole batch shard-by-shard as multi-pushes,
-// park until the reply cells fill, write the responses in order, repeat.
+// park once until the batch's reply group completes, then write the
+// whole run of responses with one coalesced (or vectored) socket write.
 func (fab *Fabric) connThread(nc net.Conn) {
 	c := serve.NewConn(nc, fab.ccfg)
 	home := connShard(nc.RemoteAddr().String(), len(fab.backends))
@@ -159,46 +160,69 @@ func (fab *Fabric) connThread(nc net.Conn) {
 	resps := make([]serve.Response, 0, fab.opts.BatchMax)
 	pend := make([]pendingReply, fab.opts.BatchMax)
 	jbuf := make([]job, fab.opts.BatchMax)
+	cells := make([]reply, fab.opts.BatchMax)
+	grp := &replyGroup{}
+	sp := newSpinState(fab.opts.ReplySpin)
 	for {
 		headBudget := fab.opts.DeadlineTicks
 		if served > 0 {
 			headBudget = fab.opts.IdleTicks
 		}
 		req, err := c.ReadRequest(fab.clock.Now()+headBudget, fab.opts.DeadlineTicks)
-		var resp serve.Response
-		silent := false
-		switch {
-		case err == nil:
+		if err == nil {
 			// The blocking read cost is paid; everything the client
 			// pipelined behind this request is already buffered and parses
 			// for free.  A Close request ends the batch — nothing after it
 			// will be answered.
 			reqs = append(reqs[:0], req)
+			var rerr error
 			for len(reqs) < fab.opts.BatchMax && !reqs[len(reqs)-1].Close {
-				nxt, ok := c.ReadBuffered(fab.opts.DeadlineTicks)
+				nxt, ok, e := c.ReadBuffered(fab.opts.DeadlineTicks)
+				if e != nil {
+					rerr = e
+					break
+				}
 				if !ok {
 					break
 				}
 				reqs = append(reqs, nxt)
 			}
-			resps = fab.dispatchBatch(reqs, home, pend, jbuf, resps[:0])
-			// Write all but the last response here (always keep-alive: more
-			// of the batch follows); the last flows through the common
-			// write path below with the real keep-alive decision.
-			werr := false
-			for i := 0; i < len(reqs)-1; i++ {
-				if c.WriteResponse(resps[i], reqs[i].Deadline+20, true) != nil {
-					werr = true
-					break
+			resps = fab.dispatchBatch(reqs, home, pend, jbuf, cells, grp, &sp, resps[:0])
+			last := reqs[len(reqs)-1]
+			keepAlive := rerr == nil && !last.Close && !fab.Draining()
+			capTick := last.Deadline + 20
+			if rerr != nil {
+				// Poisoned pipeline: the buffered bytes can never become a
+				// valid request, so answer the malformed successor too and
+				// close instead of re-parsing the same garbage forever.
+				bresp := serve.Response{Status: 400, Body: []byte("malformed request\n")}
+				if errors.Is(rerr, serve.ErrTooLarge) {
+					bresp = serve.Response{Status: 413, Body: []byte("request too large\n")}
 				}
-				served++
+				resps = append(resps, bresp)
 			}
-			if werr {
-				silent = true
+			var werr error
+			if fab.opts.PerCellReplies {
+				// Benchmark baseline: the pre-coalescing write path, one
+				// render and one socket write per response.
+				for i := range resps {
+					werr = c.WriteResponse(resps[i], capTick, i < len(resps)-1 || keepAlive)
+					if werr != nil {
+						break
+					}
+				}
+			} else {
+				werr = c.WriteResponses(resps, capTick, keepAlive)
+			}
+			served += len(resps)
+			if werr != nil || !keepAlive {
 				break
 			}
-			req = reqs[len(reqs)-1]
-			resp = resps[len(reqs)-1]
+			continue
+		}
+		var resp serve.Response
+		silent := false
+		switch {
 		case errors.Is(err, serve.ErrDeadline):
 			if served > 0 && !c.Partial() {
 				silent = true
@@ -225,17 +249,8 @@ func (fab *Fabric) connThread(nc net.Conn) {
 		if silent {
 			break
 		}
-		keepAlive := false
-		capTick := fab.clock.Now() + 20
-		if req != nil {
-			keepAlive = err == nil && !req.Close && !fab.Draining()
-			capTick = req.Deadline + 20
-		}
-		werr := c.WriteResponse(resp, capTick, keepAlive)
-		served++
-		if werr != nil || !keepAlive {
-			break
-		}
+		c.WriteResponse(resp, fab.clock.Now()+20, false)
+		break
 	}
 	nc.Close()
 	fab.m.conns.Add(proc.Self(), -1)
@@ -255,13 +270,25 @@ type pendingReply struct {
 
 // dispatchBatch routes a batch of pipelined requests, forwards each run
 // of consecutive same-shard requests as one multi-push (one spinlock
-// acquisition per run instead of per request), then awaits the reply
-// cells and appends the responses to resps in request order.  /fabricz
-// is answered at the front itself — the fabric's own status endpoint.
-// pend and jbuf are caller-owned scratch (≥ len(reqs) each).
+// acquisition per run instead of per request), awaits the batch's reply
+// group — one adaptive-spin wait for the whole batch, since the last
+// delivery publishes it — and appends the responses to resps in request
+// order.  In Options.PerCellReplies mode the group is bypassed and each
+// cell is awaited in order (the benchmark baseline), through the same
+// adaptive spin budget.  /fabricz is answered at the front itself — the
+// fabric's own status endpoint.  pend, jbuf, and cells are caller-owned
+// scratch (≥ len(reqs) each); cells and grp are reusable because a wait
+// only returns once every pushed cell's delivery has fully completed.
 func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
-	pend []pendingReply, jbuf []job, resps []serve.Response) []serve.Response {
+	pend []pendingReply, jbuf []job, cells []reply, grp *replyGroup,
+	sp *spinState, resps []serve.Response) []serve.Response {
 	self := proc.Self()
+	g := grp
+	if fab.opts.PerCellReplies {
+		g = nil
+	} else {
+		grp.open()
+	}
 	// Route every request first so run grouping sees final targets.
 	for i, req := range reqs {
 		if req.Path == "/fabricz" {
@@ -276,10 +303,12 @@ func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
 			fab.m.routedHash.Inc(self)
 		}
 		fab.emit(fab.evRoute, int64(target))
-		pend[i] = pendingReply{rep: &reply{}, target: target}
+		cells[i] = reply{grp: g}
+		pend[i] = pendingReply{rep: &cells[i], target: target}
 	}
 	// Forward: consecutive same-target requests become one pushN.
 	now := fab.clock.Now()
+	members := 0
 	for i := 0; i < len(reqs); {
 		if pend[i].rep == nil {
 			i++
@@ -298,6 +327,7 @@ func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
 			n++
 		}
 		pushed := fab.backends[target].ring.pushN(jbuf[:n])
+		members += pushed
 		if pushed > 0 {
 			fab.m.pushBatch.Observe(self, int64(pushed))
 			fab.m.forwarded[target].Add(self, int64(pushed))
@@ -316,22 +346,47 @@ func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
 	for n := range jbuf {
 		jbuf[n] = job{} // drop request references
 	}
-	// Collect in request order; later cells usually fill while earlier
-	// ones are awaited, so the batch pays roughly one park round-trip.
+	if g != nil {
+		// Cells shed on a full ring never reach a backend: retire them
+		// from the membership before waiting.
+		g.seal(members)
+		if members > 0 {
+			fab.waitReply(g.done, sp)
+		}
+	}
+	// Collect in request order; after a group wait every cell is already
+	// filled, so this loop is pure reads.
 	for i := range reqs {
 		if pend[i].rep == nil {
 			resps = append(resps, pend[i].resp)
 		} else {
-			t0 := fab.clock.Now()
-			resp := pend[i].rep.wait(fab.frontSys.Yield, fab.park)
+			rep := pend[i].rep
+			if g == nil {
+				fab.waitReply(rep.done.Load, sp)
+			}
 			fab.m.replies.Inc(self)
-			fab.m.waitTicks.Observe(self, fab.clock.Now()-t0)
-			fab.emit(fab.evReply, int64(resp.Status))
-			resps = append(resps, resp)
+			fab.emit(fab.evReply, int64(rep.resp.Status))
+			resps = append(resps, rep.resp)
 		}
 		pend[i] = pendingReply{}
 	}
 	return resps
+}
+
+// waitReply blocks the calling front thread until cond holds — a reply
+// cell's done flag or a group's countdown — through the connection's
+// adaptive spin budget, charging the reply-wait instruments.
+func (fab *Fabric) waitReply(cond func() bool, sp *spinState) {
+	t0 := fab.clock.Now()
+	spins, parks := spinWait(cond, sp, fab.frontSys.Yield, fab.park)
+	self := proc.Self()
+	if spins > 0 {
+		fab.m.replySpins.Add(self, int64(spins))
+	}
+	if parks > 0 {
+		fab.m.replyParks.Add(self, int64(parks))
+	}
+	fab.m.waitTicks.Observe(self, fab.clock.Now()-t0)
 }
 
 // statusResponse renders /fabricz: per-shard allowance and load.

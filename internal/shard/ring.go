@@ -1,17 +1,15 @@
 package shard
 
-// The forward path's data structures: a bounded MPSC ring per shard
-// (many front connection threads push, one backend intake thread pops)
-// and the single-assignment reply cell a forwarding thread parks on.
+// The forward path's data structure: a bounded MPSC ring per shard
+// (many front connection threads push, one backend intake thread pops).
+// The reply cells and batch-completion groups travelling the other way
+// live in reply.go.
 //
 // The ring is guarded by a core mutex lock — the paper's spinlock — not
 // a semaphore, precisely because its two sides live in different thread
 // systems: a spinlock never parks a thread on a foreign scheduler, so
 // pushing from the front world into a backend's ring is safe by
-// construction.  The reply cell crosses the same boundary the other way
-// with a single release/acquire flag: the backend worker stores the
-// response then sets done; the front thread polls done (parking on its
-// own clock between polls) and only then reads the response.
+// construction.
 
 import (
 	"sync/atomic"
@@ -19,35 +17,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/serve"
 )
-
-// reply is the single-assignment completion cell for one forwarded
-// request.
-type reply struct {
-	resp serve.Response
-	done atomic.Bool
-}
-
-// deliver publishes the response; the done flag's store is the release
-// edge that makes resp visible to the front thread's acquire load.
-func (r *reply) deliver(resp serve.Response) {
-	r.resp = resp
-	r.done.Store(true)
-}
-
-// wait suspends the calling front thread until the response is
-// published: it yields first — shard replies usually land within
-// microseconds, far inside one clock tick — and falls back to parking
-// on the clock once the reply is clearly not imminent.
-func (r *reply) wait(yield func(), park func(int64)) serve.Response {
-	for i := 0; !r.done.Load(); i++ {
-		if i < 64 {
-			yield()
-		} else {
-			park(1)
-		}
-	}
-	return r.resp
-}
 
 // job is one forwarded request: the parsed request, its remaining
 // deadline budget in ticks (rebased onto the shard's clock at Submit),

@@ -93,6 +93,15 @@ type Options struct {
 	// HysteresisRounds is how many consecutive periods must propose the
 	// same donor→recipient shift before it is applied (default 2).
 	HysteresisRounds int
+	// ReplySpin caps the adaptive spin budget — yields a connection
+	// thread pays waiting on a reply batch before parking on the clock.
+	// The live budget halves whenever a wait overruns it into a park and
+	// doubles back toward this cap when the spin phase wins (default 64).
+	ReplySpin int
+	// PerCellReplies restores the pre-coalescing reply path — per-cell
+	// in-order reply waits and one render + socket write per response —
+	// as the benchmark baseline for the batched reply path.
+	PerCellReplies bool
 	// DeadlineTicks is the per-request deadline (front clock ticks from
 	// first byte; forwarded with the request, default 2000).
 	DeadlineTicks int64
@@ -159,6 +168,9 @@ func (o *Options) fill() {
 	if o.HysteresisRounds <= 0 {
 		o.HysteresisRounds = 2
 	}
+	if o.ReplySpin <= 0 {
+		o.ReplySpin = 64
+	}
 	if o.DeadlineTicks <= 0 {
 		o.DeadlineTicks = 2000
 	}
@@ -207,6 +219,12 @@ type fabricMetrics struct {
 	checks     *metrics.Counter // rebalancer periods evaluated
 	rebalances *metrics.Counter // shifts applied
 	waitTicks  *metrics.Histogram
+
+	// Reply-path instruments: the adaptive spin discipline's outcomes and
+	// the coalesced write batch sizes.
+	replySpins *metrics.Counter   // yields spent inside reply spin phases
+	replyParks *metrics.Counter   // clock parks after a spin budget ran out
+	writeBatch *metrics.Histogram // responses coalesced per front socket write
 
 	// Batching & stealing instruments (intake-side counters are bumped
 	// from backend procs; Counter masks the shard index, so cross-world
@@ -325,6 +343,10 @@ func New(opts Options) (*Fabric, error) {
 		checks:     reg.Counter("shard.rebalance_checks"),
 		rebalances: reg.Counter("shard.rebalances"),
 		waitTicks:  reg.Histogram("shard.reply_wait_ticks", bounds),
+		replySpins: reg.Counter("shard.reply_spin"),
+		replyParks: reg.Counter("shard.reply_park"),
+		writeBatch: reg.Histogram("shard.write_batch",
+			[]int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
 		pushBatch: reg.Histogram("shard.push_batch",
 			[]int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
 		ringExpired:   reg.Counter("shard.ring_expired"),
@@ -349,11 +371,12 @@ func New(opts Options) (*Fabric, error) {
 		fab.evDrain = fab.tracer.Define("shard.drain")
 	}
 	fab.ccfg = serve.ConnConfig{
-		Clock:      fab.clock,
-		Park:       fab.park,
-		PollWindow: opts.PollWindow,
-		Pool:       fab.pool,
-		Aborted:    fab.Draining,
+		Clock:        fab.clock,
+		Park:         fab.park,
+		PollWindow:   opts.PollWindow,
+		Pool:         fab.pool,
+		OnWriteBatch: func(n int) { fab.m.writeBatch.Observe(proc.Self(), int64(n)) },
+		Aborted:      fab.Draining,
 	}
 	return fab, nil
 }
