@@ -28,15 +28,26 @@
 // by connection hash; -burst on:off gates all workers through an on/off
 // duty cycle, producing arrival bursts shorter than any rebalance period.
 //
+// A third, additive mode targets the event-multiplexed front:
+// -idle-conns N holds N mostly-idle keep-alive connections alongside
+// whatever active load is configured, each sending one request every
+// -idle-every to prove liveness.  Idle pings are counted separately
+// (idle_sent / idle_ok / idle_drops) and excluded from the latency
+// quantiles, so the active subset's p50/p99 measure the server's
+// behavior with a large parked-connection population, not the pings
+// themselves.  Dials ramp over -idle-ramp to avoid a SYN flood.
+//
 // Every response is classified (2xx / shed 503 / expired 504 / error),
 // and -json writes the full summary machine-readably for benchmark
-// archiving (BENCH_serve.json, BENCH_shard.json, BENCH_batch.json).
+// archiving (BENCH_serve.json, BENCH_shard.json, BENCH_batch.json,
+// BENCH_mux.json).
 //
 // Usage:
 //
 //	mploadgen [-addr host:port] [-path /echo?msg=hi] [-conns N]
 //	          [-keepalive] [-reqs N] [-pipeline K] [-header "K: V"]
 //	          [-skew F] [-skew-header name] [-burst on:off]
+//	          [-idle-conns N] [-idle-every d] [-idle-ramp d]
 //	          [-rate req/s] [-duration d] [-timeout d] [-json out.json]
 package main
 
@@ -78,6 +89,16 @@ type Summary struct {
 	SkewHotSent     int64   `json:"skew_hot_sent,omitempty"`
 	BurstOnMS       int64   `json:"burst_on_ms,omitempty"`
 	BurstOffMS      int64   `json:"burst_off_ms,omitempty"`
+
+	// Idle-connection population (-idle-conns): peak connections held
+	// open concurrently, liveness pings sent/answered, and connections
+	// dropped (dial failure, ping failure, or server close).  Pings are
+	// excluded from the latency quantiles.
+	IdleConns int64 `json:"idle_conns,omitempty"` // requested
+	IdleHeld  int64 `json:"idle_held,omitempty"`  // peak held concurrently
+	IdleSent  int64 `json:"idle_sent,omitempty"`
+	IdleOK    int64 `json:"idle_ok,omitempty"`
+	IdleDrops int64 `json:"idle_drops,omitempty"`
 
 	Sent        int64   `json:"sent"`
 	OK          int64   `json:"ok"`             // 2xx
@@ -131,6 +152,9 @@ func main() {
 	skew := flag.Float64("skew", 0, "fraction of requests carrying the sticky hot key (0 disables)")
 	skewHeader := flag.String("skew-header", "X-Shard-Key", "routing header the hot key rides on")
 	burst := flag.String("burst", "", "on/off duty cycle \"on:off\" (e.g. 200ms:300ms; empty disables)")
+	idleConns := flag.Int("idle-conns", 0, "mostly-idle keep-alive connections to hold open alongside the active load")
+	idleEvery := flag.Duration("idle-every", 10*time.Second, "idle connections: liveness ping interval")
+	idleRamp := flag.Duration("idle-ramp", 5*time.Second, "idle connections: window the initial dials are spread over")
 	var headers headerList
 	flag.Var(&headers, "header", "extra request header \"Name: value\" (repeatable)")
 	flag.Parse()
@@ -161,6 +185,13 @@ func main() {
 		reused  atomic.Int64
 		hotSent atomic.Int64
 		sreads  atomic.Int64
+
+		idleSent  atomic.Int64
+		idleOK    atomic.Int64
+		idleDrops atomic.Int64
+		idleHeld  atomic.Int64
+		idlePeak  atomic.Int64
+		idleReads atomic.Int64 // kept out of sreads so responses/read stays an active-load figure
 	)
 	record := func(st int, lat time.Duration) {
 		mu.Lock()
@@ -206,6 +237,79 @@ func main() {
 	stop := begin.Add(*duration)
 	var wg sync.WaitGroup
 	mode := "closed"
+	// The idle population rides alongside any active mode: each holder
+	// dials once (staggered over -idle-ramp), then sleeps between
+	// liveness pings.  A ping error or non-2xx drops the connection; a
+	// clean server-side Connection: close is redialed without counting
+	// as a drop.
+	for i := 0; i < *idleConns; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(time.Duration(int64(*idleRamp) * int64(i) / int64(*idleConns)))
+			var kc *kaClient
+			defer func() {
+				if kc != nil {
+					kc.nc.Close()
+				}
+			}()
+			var next time.Time
+			for time.Now().Before(stop) {
+				if kc == nil {
+					c, err := net.DialTimeout("tcp", *addr, *timeout)
+					if err != nil {
+						idleDrops.Add(1)
+						time.Sleep(250 * time.Millisecond)
+						continue
+					}
+					kc = &kaClient{nc: c, reads: &idleReads}
+					h := idleHeld.Add(1)
+					for {
+						p := idlePeak.Load()
+						if h <= p || idlePeak.CompareAndSwap(p, h) {
+							break
+						}
+					}
+					// Ping immediately: a connection that never issues a
+					// request is not keep-alive yet, and the server's
+					// fresh-connection head deadline would 504 it.  The
+					// idle budget only applies between requests.
+					next = time.Now()
+				}
+				if now := time.Now(); now.Before(next) {
+					d := next.Sub(now)
+					if rem := stop.Sub(now); rem < d {
+						d = rem
+					}
+					time.Sleep(d)
+					continue
+				}
+				idleSent.Add(1)
+				st := 0
+				srvClose, err := kc.doN(*path, [][]string{headers}, *timeout, func(s int) { st = s })
+				// Schedule from completion, not from the previous slot: an
+				// absolute schedule turns one slow ping into a back-to-back
+				// catch-up burst from every holder at once, and the
+				// resulting retry storm keeps an overloaded server down.
+				next = time.Now().Add(*idleEvery)
+				if err != nil || st < 200 || st >= 300 {
+					idleDrops.Add(1)
+					kc.nc.Close()
+					kc = nil
+					idleHeld.Add(-1)
+					time.Sleep(time.Second) // back off before the redial
+					continue
+				}
+				idleOK.Add(1)
+				if srvClose {
+					kc.nc.Close()
+					kc = nil
+					idleHeld.Add(-1)
+				}
+			}
+		}()
+	}
 	if *rate > 0 {
 		mode = "open"
 		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
@@ -323,6 +427,11 @@ func main() {
 		SkewHotSent:     hotSent.Load(),
 		BurstOnMS:       burstOn.Milliseconds(),
 		BurstOffMS:      burstOff.Milliseconds(),
+		IdleConns:       int64(*idleConns),
+		IdleHeld:        idlePeak.Load(),
+		IdleSent:        idleSent.Load(),
+		IdleOK:          idleOK.Load(),
+		IdleDrops:       idleDrops.Load(),
 	}
 	if s.KeepAlive && *pipeline > 1 {
 		s.Pipeline = *pipeline
@@ -390,6 +499,10 @@ func main() {
 		if s.SocketReads > 0 {
 			fmt.Printf("  socket reads %d, responses/read %.2f\n", s.SocketReads, s.RespPerRead)
 		}
+	}
+	if s.IdleConns > 0 {
+		fmt.Printf("  idle conns %d: peak held %d, pings %d ok %d, drops %d\n",
+			s.IdleConns, s.IdleHeld, s.IdleSent, s.IdleOK, s.IdleDrops)
 	}
 	fmt.Printf("  throughput %.1f req/s  latency ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
 		s.Throughput, s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)

@@ -5,12 +5,16 @@
 // kernels (/work/<name>), /echo, /compute, and the observability
 // endpoints /metrics, /trace, /log.
 //
-// With -shards N (N > 1) it instead runs the sharded serving fabric:
-// N independent backend shards — each its own proc platform, thread
-// system, and metrics registry — behind one keep-alive front acceptor,
-// with a rebalancer shifting proc allowance toward loaded shards every
-// -rebalance front-clock ticks (see internal/shard).  The process hosts
-// one goroutine per fabric runner, exactly the System.Run host role.
+// With -shards N (N > 1) or -mux it instead runs the sharded serving
+// fabric: N independent backend shards — each its own proc platform,
+// thread system, and metrics registry — behind one keep-alive front
+// acceptor, with a rebalancer shifting proc allowance toward loaded
+// shards every -rebalance front-clock ticks (see internal/shard).  The
+// process hosts one goroutine per fabric runner, exactly the
+// System.Run host role.  -mux swaps the per-connection front threads
+// for a fixed pool of -pollers event-multiplexed poller threads
+// (internal/netpoll), letting the front hold tens of thousands of
+// mostly-idle keep-alive connections in parked state-machine form.
 //
 // SIGINT/SIGTERM triggers a graceful drain: single-server mode shrinks
 // the processor allowance via proc.SetLimit so procs release themselves
@@ -25,6 +29,7 @@
 //	         [-ring N] [-trace out.json] [-batch N]
 //	         [-shards N] [-rebalance ticks] [-route-header name] [-steal N]
 //	         [-reply-coalesce=bool] [-reply-spin N]
+//	         [-mux] [-pollers N] [-maxconns N] [-idle ticks]
 package main
 
 import (
@@ -62,11 +67,38 @@ func main() {
 	steal := flag.Int("steal", 2, "fabric: min sibling ring occupancy before an idle shard steals (0 disables)")
 	replyCoalesce := flag.Bool("reply-coalesce", true, "fabric: batch reply completion + coalesced response writes (false restores per-cell waits and per-response writes)")
 	replySpin := flag.Int("reply-spin", 64, "fabric: adaptive reply spin budget cap, in yields before parking")
+	mux := flag.Bool("mux", false, "fabric: event-multiplexed front (poller pool instead of a thread per connection)")
+	pollers := flag.Int("pollers", 2, "fabric: poller thread count in -mux mode")
+	maxConns := flag.Int("maxconns", 0, "fabric: max concurrently-held front connections (0 = fabric default)")
+	idle := flag.Int64("idle", 0, "fabric: keep-alive idle budget between requests, in front ticks (0 = deadline)")
 	flag.Parse()
 
-	if *shards > 1 {
-		runFabric(*addr, *shards, *procs, *inflight, *queueDepth, *deadline,
-			*rebalance, *routeHeader, *tick, *batch, *steal, *replySpin, !*replyCoalesce)
+	if *shards > 1 || *mux {
+		if *rebalance <= 0 {
+			*rebalance = shard.NoRebalance
+		}
+		if *steal <= 0 {
+			*steal = shard.NoSteal
+		}
+		runFabric(shard.Options{
+			Addr:           *addr,
+			Shards:         *shards,
+			BackendProcs:   *procs,
+			MaxInFlight:    *inflight,
+			QueueDepth:     *queueDepth,
+			DeadlineTicks:  *deadline,
+			IdleTicks:      *idle,
+			BatchMax:       *batch,
+			StealMin:       *steal,
+			ReplySpin:      *replySpin,
+			PerCellReplies: !*replyCoalesce,
+			RebalanceTicks: *rebalance,
+			RouteHeader:    *routeHeader,
+			Tick:           *tick,
+			MaxConns:       *maxConns,
+			Mux:            *mux,
+			Pollers:        *pollers,
+		})
 		return
 	}
 
@@ -137,30 +169,8 @@ func main() {
 // runFabric hosts the sharded serving fabric: one goroutine per runner
 // (the front world plus each backend world), SIGTERM cascading the
 // drain, and the merged metrics of every registry printed at exit.
-func runFabric(addr string, shards, procsPerShard, inflight, queueDepth int,
-	deadline, rebalance int64, routeHeader string, tick time.Duration,
-	batch, steal, replySpin int, perCellReplies bool) {
-	if rebalance <= 0 {
-		rebalance = shard.NoRebalance
-	}
-	if steal <= 0 {
-		steal = shard.NoSteal
-	}
-	fab, err := shard.New(shard.Options{
-		Addr:           addr,
-		Shards:         shards,
-		BackendProcs:   procsPerShard,
-		MaxInFlight:    inflight,
-		QueueDepth:     queueDepth,
-		DeadlineTicks:  deadline,
-		BatchMax:       batch,
-		StealMin:       steal,
-		ReplySpin:      replySpin,
-		PerCellReplies: perCellReplies,
-		RebalanceTicks: rebalance,
-		RouteHeader:    routeHeader,
-		Tick:           tick,
-	})
+func runFabric(opts shard.Options) {
+	fab, err := shard.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -174,8 +184,13 @@ func runFabric(addr string, shards, procsPerShard, inflight, queueDepth int,
 		fab.Drain()
 	}()
 
-	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks batch=%d steal=%d reply-coalesce=%v reply-spin=%d)\n",
-		fab.Addr(), shards, procsPerShard, inflight, rebalance, batch, steal, !perCellReplies, replySpin)
+	front := "conn-threads"
+	if opts.Mux {
+		front = fmt.Sprintf("mux/pollers=%d", opts.Pollers)
+	}
+	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks batch=%d steal=%d reply-coalesce=%v reply-spin=%d front=%s)\n",
+		fab.Addr(), opts.Shards, opts.BackendProcs, opts.MaxInFlight, opts.RebalanceTicks,
+		opts.BatchMax, opts.StealMin, !opts.PerCellReplies, opts.ReplySpin, front)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for _, r := range fab.Runners() {

@@ -1,0 +1,33 @@
+// Package netpoll is a minimal level-triggered readiness notifier for
+// the event-multiplexed serving front: register socket file descriptors,
+// then ask which are readable or writable.  On Linux it is a thin layer
+// over raw epoll syscalls (netpoll_linux.go); elsewhere a portable
+// degenerate poll stands in (netpoll_fallback.go) that reports every
+// registered descriptor ready each wait — allowed by the level-triggered
+// contract, since callers must read until EWOULDBLOCK anyway.
+//
+// The package follows the serving stack's purity rule: no goroutines, no
+// channels, no select, and no net/http or sync — nothing but raw
+// syscalls and plain data (the go/scanner test in purity_test.go
+// enforces it).  Go's own runtime netpoller is deliberately not involved:
+// the descriptors watched here are read and written with raw
+// syscall.Read/Write by the poller MP threads, so readiness, scheduling,
+// and I/O all stay inside the MP world.
+//
+// A Poller is intentionally single-owner: one poller MP thread creates
+// it, registers and removes descriptors, and waits on it.  Nothing is
+// locked, because nothing is shared — the front gives every poller
+// thread its own Poller and partitions connections across them, which
+// also sidesteps the thundering-herd ambiguity of multiple waiters on
+// one epoll instance.
+package netpoll
+
+// Event is one readiness notification.  Closed reports a peer hangup or
+// socket error; it is delivered with Readable set so the owner performs
+// the read that observes EOF/ECONNRESET and runs its normal error path.
+type Event struct {
+	FD       int
+	Readable bool
+	Writable bool
+	Closed   bool
+}

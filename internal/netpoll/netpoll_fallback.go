@@ -1,0 +1,88 @@
+//go:build !linux
+
+package netpoll
+
+// Portable fallback: a degenerate level-triggered poller that reports
+// every registered descriptor as ready on each Wait.  This is a legal —
+// if maximally pessimistic — implementation of the level-triggered
+// contract: owners read until EWOULDBLOCK and re-park, so a spurious
+// "ready" costs one syscall that returns EAGAIN, never a correctness
+// failure.  It exists so the tree builds and the state-machine tests
+// run on non-Linux hosts; production deployments are Linux and use the
+// epoll backend.  No kernel poll syscall is used because the portable
+// ones (poll, select, kqueue) differ across the non-Linux platforms the
+// fallback must cover.
+
+import "time"
+
+// Poller tracks the registered descriptor set.  Single-owner, like the
+// Linux backend; see the package comment.
+type Poller struct {
+	fds    []int
+	writes []bool
+}
+
+// New creates an empty poller.
+func New() (*Poller, error) {
+	return &Poller{}, nil
+}
+
+// Add registers fd.
+func (p *Poller) Add(fd int, write bool) error {
+	p.fds = append(p.fds, fd)
+	p.writes = append(p.writes, write)
+	return nil
+}
+
+// Modify switches fd's write interest.
+func (p *Poller) Modify(fd int, write bool) error {
+	for i, f := range p.fds {
+		if f == fd {
+			p.writes[i] = write
+		}
+	}
+	return nil
+}
+
+// Remove deregisters fd.
+func (p *Poller) Remove(fd int) error {
+	for i, f := range p.fds {
+		if f == fd {
+			p.fds = append(p.fds[:i], p.fds[i+1:]...)
+			p.writes = append(p.writes[:i], p.writes[i+1:]...)
+			return nil
+		}
+	}
+	return nil
+}
+
+// Wait reports every registered descriptor ready.  When nothing is
+// registered it sleeps out the timeout so an idle poller does not
+// busy-spin; with registrations it returns immediately — the owners'
+// EWOULDBLOCK reads are the backpressure.
+func (p *Poller) Wait(evs []Event, timeoutMS int) (int, error) {
+	if len(p.fds) == 0 {
+		if timeoutMS > 0 {
+			time.Sleep(time.Duration(timeoutMS) * time.Millisecond)
+		} else if timeoutMS < 0 {
+			// Blocking wait with nothing registered would hang forever;
+			// nap a tick instead and let the caller loop.
+			time.Sleep(time.Millisecond)
+		}
+		return 0, nil
+	}
+	n := len(p.fds)
+	if n > len(evs) {
+		n = len(evs)
+	}
+	for i := 0; i < n; i++ {
+		evs[i] = Event{FD: p.fds[i], Readable: true, Writable: p.writes[i]}
+	}
+	return n, nil
+}
+
+// Close releases the poller.
+func (p *Poller) Close() error {
+	p.fds, p.writes = nil, nil
+	return nil
+}

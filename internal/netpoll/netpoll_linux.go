@@ -1,0 +1,102 @@
+//go:build linux
+
+package netpoll
+
+// Linux backend: one epoll instance per Poller, level-triggered, raw
+// syscalls only.  Level-triggered is the deliberate choice over
+// edge-triggered: a spurious or repeated notification is harmless (the
+// owner reads until EWOULDBLOCK and re-parks), whereas a lost edge would
+// strand a connection forever.  The kernel's 8-byte epoll user data
+// carries just the fd; the poller thread owns the fd→connection table,
+// so no pointers cross the syscall boundary.
+
+import "syscall"
+
+// Poller is a single-owner epoll instance.  See the package comment for
+// the ownership rules.
+type Poller struct {
+	epfd int
+	evs  []syscall.EpollEvent // scratch for Wait, sized to the caller's batch
+}
+
+// New creates the epoll instance.  EPOLL_CLOEXEC keeps the fd out of any
+// child the host process might exec.
+func New() (*Poller, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	return &Poller{epfd: epfd}, nil
+}
+
+// events builds the epoll interest mask.  EPOLLRDHUP distinguishes a
+// half-closed peer from plain readability so idle sweeps can reap dead
+// keep-alive connections without a read syscall per sweep.
+func events(write bool) uint32 {
+	ev := uint32(syscall.EPOLLIN | syscall.EPOLLRDHUP)
+	if write {
+		ev |= syscall.EPOLLOUT
+	}
+	return ev
+}
+
+// Add registers fd; write additionally asks for writability (a
+// connection parked mid-write).  The fd must be non-blocking — the
+// poller's owner reads it raw and relies on EWOULDBLOCK to re-park.
+func (p *Poller) Add(fd int, write bool) error {
+	ev := syscall.EpollEvent{Events: events(write), Fd: int32(fd)}
+	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_ADD, fd, &ev)
+}
+
+// Modify switches fd's interest set between read-only and read+write.
+func (p *Poller) Modify(fd int, write bool) error {
+	ev := syscall.EpollEvent{Events: events(write), Fd: int32(fd)}
+	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_MOD, fd, &ev)
+}
+
+// Remove deregisters fd.  Callers must Remove before closing the fd:
+// close drops the epoll registration implicitly, but only once every
+// duplicate of the descriptor is gone, and relying on that invites
+// stale events for a recycled fd number.
+func (p *Poller) Remove(fd int) error {
+	return syscall.EpollCtl(p.epfd, syscall.EPOLL_CTL_DEL, fd, nil)
+}
+
+// Wait fills evs with ready descriptors and returns the count.
+// timeoutMS < 0 blocks; 0 polls; positive values are a cap in
+// milliseconds.  EINTR reports as 0 events so the caller's loop
+// re-evaluates its own deadline logic rather than resuming a blind
+// block.
+func (p *Poller) Wait(evs []Event, timeoutMS int) (int, error) {
+	if len(evs) == 0 {
+		return 0, nil
+	}
+	if len(p.evs) < len(evs) {
+		p.evs = make([]syscall.EpollEvent, len(evs))
+	}
+	n, err := syscall.EpollWait(p.epfd, p.evs[:len(evs)], timeoutMS)
+	if err != nil {
+		if err == syscall.EINTR {
+			return 0, nil
+		}
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		raw := &p.evs[i]
+		closed := raw.Events&(syscall.EPOLLHUP|syscall.EPOLLRDHUP|syscall.EPOLLERR) != 0
+		evs[i] = Event{
+			FD: int(raw.Fd),
+			// A closed peer is surfaced as readable too: the owner's
+			// read observes EOF/ECONNRESET and runs its error path.
+			Readable: raw.Events&syscall.EPOLLIN != 0 || closed,
+			Writable: raw.Events&syscall.EPOLLOUT != 0,
+			Closed:   closed,
+		}
+	}
+	return n, nil
+}
+
+// Close releases the epoll instance.
+func (p *Poller) Close() error {
+	return syscall.Close(p.epfd)
+}

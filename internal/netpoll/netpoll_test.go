@@ -1,0 +1,154 @@
+//go:build linux
+
+package netpoll
+
+// Behavioral checks for the epoll backend against a socketpair: data
+// waiting means readable, a drained socket means silent, a closed peer
+// reports Closed (and Readable, so the owner's read sees EOF), and
+// write interest toggles with Modify.  The fallback backend's contract
+// ("everything is ready") needs no test beyond compiling.
+
+import (
+	"syscall"
+	"testing"
+)
+
+func pair(t *testing.T) (int, int) {
+	t.Helper()
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_STREAM|syscall.SOCK_NONBLOCK|syscall.SOCK_CLOEXEC, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fds[0], fds[1]
+}
+
+func waitOne(t *testing.T, p *Poller, timeoutMS int) (Event, bool) {
+	t.Helper()
+	evs := make([]Event, 8)
+	n, err := p.Wait(evs, timeoutMS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		return Event{}, false
+	}
+	return evs[0], true
+}
+
+func TestReadReadiness(t *testing.T) {
+	a, b := pair(t)
+	defer syscall.Close(a)
+	defer syscall.Close(b)
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Add(a, false); err != nil {
+		t.Fatal(err)
+	}
+
+	if ev, ok := waitOne(t, p, 0); ok {
+		t.Fatalf("idle socket reported ready: %+v", ev)
+	}
+
+	if _, err := syscall.Write(b, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := waitOne(t, p, 1000)
+	if !ok {
+		t.Fatal("no event for pending data")
+	}
+	if ev.FD != a || !ev.Readable || ev.Closed {
+		t.Fatalf("want readable fd %d, got %+v", a, ev)
+	}
+
+	// Level-triggered: still ready until drained.
+	if _, ok := waitOne(t, p, 0); !ok {
+		t.Fatal("level-triggered poller went silent with data pending")
+	}
+	buf := make([]byte, 16)
+	if _, err := syscall.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if ev, ok := waitOne(t, p, 0); ok {
+		t.Fatalf("drained socket reported ready: %+v", ev)
+	}
+}
+
+func TestPeerCloseReportsClosed(t *testing.T) {
+	a, b := pair(t)
+	defer syscall.Close(a)
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Add(a, false); err != nil {
+		t.Fatal(err)
+	}
+	syscall.Close(b)
+	ev, ok := waitOne(t, p, 1000)
+	if !ok {
+		t.Fatal("no event for closed peer")
+	}
+	if !ev.Closed || !ev.Readable {
+		t.Fatalf("want Closed+Readable, got %+v", ev)
+	}
+}
+
+func TestWriteInterestToggles(t *testing.T) {
+	a, b := pair(t)
+	defer syscall.Close(a)
+	defer syscall.Close(b)
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Add(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if ev, ok := waitOne(t, p, 0); ok {
+		t.Fatalf("read-only interest reported ready: %+v", ev)
+	}
+	if err := p.Modify(a, true); err != nil {
+		t.Fatal(err)
+	}
+	ev, ok := waitOne(t, p, 1000)
+	if !ok {
+		t.Fatal("no writable event on an empty send buffer")
+	}
+	if !ev.Writable {
+		t.Fatalf("want writable, got %+v", ev)
+	}
+	if err := p.Modify(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if ev, ok := waitOne(t, p, 0); ok {
+		t.Fatalf("after dropping write interest, got %+v", ev)
+	}
+}
+
+func TestRemoveStopsEvents(t *testing.T) {
+	a, b := pair(t)
+	defer syscall.Close(a)
+	defer syscall.Close(b)
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Add(a, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syscall.Write(b, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Remove(a); err != nil {
+		t.Fatal(err)
+	}
+	if ev, ok := waitOne(t, p, 0); ok {
+		t.Fatalf("removed fd still reports events: %+v", ev)
+	}
+}

@@ -49,6 +49,11 @@ type ConnConfig struct {
 	Park func(ticks int64)
 	// PollWindow caps each blocking socket call (default 1ms).
 	PollWindow time.Duration
+	// Tick is the wall-clock length of one virtual-clock tick (default:
+	// PollWindow).  It anchors the wall backstop the blocking I/O paths
+	// derive from their tick deadlines, so a stalled clock pump bounds —
+	// rather than extends — every idle and write budget.
+	Tick time.Duration
 	// Pool supplies response render buffers; nil allocates per response.
 	Pool *BufPool
 	// OnReadPark is called each time a blocked read parks (metrics hook).
@@ -61,21 +66,37 @@ type ConnConfig struct {
 	Aborted func() bool
 }
 
-// Conn drives one client connection.
+// Conn drives one client connection.  The first field group is shared
+// by both faces of the machine; the second is the resumable path's
+// parked state (resume.go) — deliberately small, because at the
+// multiplexed front's scale it is the per-idle-connection cost.
 type Conn struct {
 	cfg   ConnConfig
 	nc    net.Conn
 	acc   []byte // unconsumed input: partial or pipelined next request
-	buf   []byte // scratch read block
-	arena []byte // request-body arena, reset at each blocking ReadRequest
+	buf   []byte // scratch read block (blocking path only; lazily allocated)
+	arena []byte // request-body arena, reset at each batch start
+
+	fd         int       // raw descriptor for the resumable path; -1 when unused
+	state      ConnState // explicit phase (resumable path)
+	rdStarted  bool      // current request has begun arriving
+	rdArrival  int64     // tick the current request started
+	rdDeadline int64     // tick the current request must complete by
+	wbuf       []byte    // staged response bytes (StateWriting)
+	woff       int       // staged bytes already written
 }
 
-// NewConn wraps an accepted connection.
+// NewConn wraps an accepted connection.  The blocking path's read block
+// is allocated on first use, so a multiplexed connection — which reads
+// through its owner's shared scratch instead — never pays for one.
 func NewConn(nc net.Conn, cfg ConnConfig) *Conn {
 	if cfg.PollWindow <= 0 {
 		cfg.PollWindow = time.Millisecond
 	}
-	return &Conn{cfg: cfg, nc: nc, buf: make([]byte, 4096)}
+	if cfg.Tick <= 0 {
+		cfg.Tick = cfg.PollWindow
+	}
+	return &Conn{cfg: cfg, nc: nc, fd: -1}
 }
 
 // Partial reports whether unconsumed request bytes are buffered — used
@@ -103,27 +124,31 @@ func (c *Conn) ReadRequest(headDeadline, budget int64) (*Request, error) {
 	}
 	arrival := c.cfg.Clock.Now()
 
+	dl := headDeadline
+	if started {
+		dl = deadline
+	}
+	wall := c.wallCap(dl)
+
 	headerEnd := bytes.Index(c.acc, crlf2)
 	for headerEnd < 0 {
 		if len(c.acc) > maxHeaderBytes {
 			return nil, ErrTooLarge
 		}
-		dl := headDeadline
-		if started {
-			dl = deadline
-		}
-		if c.cfg.Clock.Now() >= dl {
+		if c.cfg.Clock.Now() >= dl || !time.Now().Before(wall) {
 			return nil, ErrDeadline
 		}
 		if c.cfg.Aborted != nil && c.cfg.Aborted() {
 			return nil, ErrAborted
 		}
-		n, err := c.read()
+		n, err := c.read(wall)
 		if n > 0 {
 			if !started {
 				started = true
 				arrival = c.cfg.Clock.Now()
 				deadline = arrival + budget
+				dl = deadline
+				wall = c.wallCap(dl)
 			}
 			headerEnd = bytes.Index(c.acc, crlf2)
 			if headerEnd >= 0 {
@@ -134,6 +159,12 @@ func (c *Conn) ReadRequest(headDeadline, budget int64) (*Request, error) {
 			if isTimeout(err) {
 				if c.cfg.OnReadPark != nil {
 					c.cfg.OnReadPark()
+				}
+				// Pre-park backstop: Park rides the same clock the pump
+				// drives, so an expired wall budget must return before
+				// parking or a stalled pump strands the thread.
+				if !time.Now().Before(wall) {
+					return nil, ErrDeadline
 				}
 				c.cfg.Park(1)
 				continue
@@ -153,14 +184,17 @@ func (c *Conn) ReadRequest(headDeadline, budget int64) (*Request, error) {
 	}
 	total := headerEnd + 4 + contentLength
 	for len(c.acc) < total {
-		if c.cfg.Clock.Now() >= deadline {
+		if c.cfg.Clock.Now() >= deadline || !time.Now().Before(wall) {
 			return nil, ErrDeadline
 		}
-		n, err := c.read()
+		n, err := c.read(wall)
 		if n == 0 && err != nil {
 			if isTimeout(err) {
 				if c.cfg.OnReadPark != nil {
 					c.cfg.OnReadPark()
+				}
+				if !time.Now().Before(wall) {
+					return nil, ErrDeadline
 				}
 				c.cfg.Park(1)
 				continue
@@ -221,10 +255,32 @@ func (c *Conn) takeBody(from, to int) []byte {
 	return c.arena[off:len(c.arena):len(c.arena)]
 }
 
+// wallCap converts a tick-domain deadline into a wall-clock backstop,
+// anchored at the moment the deadline is armed: now plus the remaining
+// tick budget times the tick's wall length.  Socket deadlines and the
+// pre-park expiry checks use this instant, so both time domains agree
+// while the pump runs — and when the pump stalls, the wall anchor keeps
+// counting, so a stall can only leave the budget at its armed length,
+// never extend it.  (A stall before arming still over-reports the
+// remaining ticks — Clock.Now() is stale — but the error is bounded by
+// the stall, where the unanchored form was unbounded.)
+func (c *Conn) wallCap(dl int64) time.Time {
+	return time.Now().Add(time.Duration(dl-c.cfg.Clock.Now()) * c.cfg.Tick)
+}
+
 // read performs one poll-window-capped socket read into the residual
-// buffer, returning the byte count and any error.
-func (c *Conn) read() (int, error) {
-	c.nc.SetReadDeadline(time.Now().Add(c.cfg.PollWindow))
+// buffer, returning the byte count and any error.  The socket deadline
+// is the poll window clipped to the tick-derived wall backstop, so the
+// read wakes no later than the budget it is serving.
+func (c *Conn) read(wall time.Time) (int, error) {
+	if c.buf == nil {
+		c.buf = make([]byte, 4096)
+	}
+	window := time.Now().Add(c.cfg.PollWindow)
+	if !wall.IsZero() && wall.Before(window) {
+		window = wall
+	}
+	c.nc.SetReadDeadline(window)
 	n, err := c.nc.Read(c.buf)
 	if n > 0 {
 		c.acc = append(c.acc, c.buf[:n]...)
@@ -241,7 +297,7 @@ func (c *Conn) WriteResponse(resp Response, capTick int64, keepAlive bool) error
 	shard, _ := proc.TrySelf()
 	rb := c.cfg.Pool.get(shard)
 	renderResponse(rb, resp, keepAlive)
-	err := c.writeAll(rb.b.Bytes(), capTick)
+	err := c.writeAll(rb.b.Bytes(), capTick, c.wallCap(capTick))
 	c.cfg.Pool.put(shard, rb)
 	return err
 }
@@ -276,11 +332,12 @@ func (c *Conn) WriteResponses(resps []Response, capTick int64, keepAlive bool) e
 		total += len(resps[i].Body)
 	}
 	last := len(resps) - 1
+	wall := c.wallCap(capTick)
 	if total <= vectoredWriteBytes {
 		for i := range resps {
 			renderResponse(rb, resps[i], i < last || keepAlive)
 		}
-		return c.writeAll(rb.b.Bytes(), capTick)
+		return c.writeAll(rb.b.Bytes(), capTick, wall)
 	}
 	// Vectored path: headers land contiguously in the pooled buffer (the
 	// offsets are recorded first, because the buffer may move while it
@@ -303,7 +360,7 @@ func (c *Conn) WriteResponses(resps []Response, capTick int64, keepAlive bool) e
 	// assembly rather than the assembly itself; the window lives on the
 	// pooled buffer (not the stack) so the escaping pointer costs nothing.
 	rb.iovw = rb.iov
-	err := c.writeBuffers(&rb.iovw, capTick)
+	err := c.writeBuffers(&rb.iovw, capTick, wall)
 	clear(rb.iov) // drop header/body references for the collector
 	rb.iov, rb.iovw = rb.iov[:0], nil
 	return err
@@ -313,14 +370,17 @@ func (c *Conn) WriteResponses(resps []Response, capTick int64, keepAlive bool) e
 // discipline as writeAll, giving up at capTick.  net.Buffers consumes
 // its consumed prefix across calls, so a partial vectored write resumes
 // exactly where the socket stalled.
-func (c *Conn) writeBuffers(bufs *net.Buffers, capTick int64) error {
+func (c *Conn) writeBuffers(bufs *net.Buffers, capTick int64, wall time.Time) error {
 	for len(*bufs) > 0 {
-		if c.cfg.Clock.Now() >= capTick {
+		if c.cfg.Clock.Now() >= capTick || !time.Now().Before(wall) {
 			return ErrDeadline
 		}
-		c.nc.SetWriteDeadline(time.Now().Add(c.cfg.PollWindow))
+		c.nc.SetWriteDeadline(c.writeWindow(wall))
 		if _, err := bufs.WriteTo(c.nc); err != nil {
 			if isTimeout(err) && len(*bufs) > 0 {
+				if !time.Now().Before(wall) {
+					return ErrDeadline
+				}
 				c.cfg.Park(1)
 				continue
 			}
@@ -331,18 +391,21 @@ func (c *Conn) writeBuffers(bufs *net.Buffers, capTick int64) error {
 }
 
 // writeAll writes buf with the same poll-window-then-park discipline as
-// ReadRequest, giving up at capTick.
-func (c *Conn) writeAll(buf []byte, capTick int64) error {
+// ReadRequest, giving up at capTick (or its wall backstop).
+func (c *Conn) writeAll(buf []byte, capTick int64, wall time.Time) error {
 	off := 0
 	for off < len(buf) {
-		if c.cfg.Clock.Now() >= capTick {
+		if c.cfg.Clock.Now() >= capTick || !time.Now().Before(wall) {
 			return ErrDeadline
 		}
-		c.nc.SetWriteDeadline(time.Now().Add(c.cfg.PollWindow))
+		c.nc.SetWriteDeadline(c.writeWindow(wall))
 		n, err := c.nc.Write(buf[off:])
 		off += n
 		if err != nil {
 			if isTimeout(err) && off < len(buf) {
+				if !time.Now().Before(wall) {
+					return ErrDeadline
+				}
 				c.cfg.Park(1)
 				continue
 			}
@@ -350,6 +413,16 @@ func (c *Conn) writeAll(buf []byte, capTick int64) error {
 		}
 	}
 	return nil
+}
+
+// writeWindow is the per-call socket write deadline: the poll window
+// clipped to the tick-derived wall backstop.
+func (c *Conn) writeWindow(wall time.Time) time.Time {
+	window := time.Now().Add(c.cfg.PollWindow)
+	if !wall.IsZero() && wall.Before(window) {
+		window = wall
+	}
+	return window
 }
 
 // renderResponse builds the wire form of resp.  It is alloc-free in the

@@ -1,0 +1,15 @@
+//go:build !unix
+
+package serve
+
+// Stub fd I/O for platforms without the unix syscall read/write shape.
+// The multiplexed front is unix-only (the netpoll fallback still
+// compiles everywhere, but raw fd I/O does not); the blocking
+// per-connection-thread path remains fully portable.
+
+import "errors"
+
+var errNoRawFD = errors.New("serve: raw fd I/O unsupported on this platform")
+
+func readFD(fd int, buf []byte) (int, error)  { return 0, errNoRawFD }
+func writeFD(fd int, buf []byte) (int, error) { return 0, errNoRawFD }

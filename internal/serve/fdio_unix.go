@@ -1,0 +1,49 @@
+//go:build unix
+
+package serve
+
+// Raw non-blocking fd I/O for the resumable path.  Accepted sockets are
+// already O_NONBLOCK (the Go runtime sets it), so a drained read or a
+// full send buffer surfaces as EAGAIN — normalized here to
+// ErrWouldBlock, the state machine's park signal.  EINTR retries
+// in place; a 0-byte read with no error is the peer's EOF.
+
+import (
+	"io"
+	"syscall"
+)
+
+func readFD(fd int, buf []byte) (int, error) {
+	for {
+		n, err := syscall.Read(fd, buf)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK {
+			return 0, ErrWouldBlock
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n == 0 && err == nil {
+			return 0, io.EOF
+		}
+		return n, err
+	}
+}
+
+func writeFD(fd int, buf []byte) (int, error) {
+	for {
+		n, err := syscall.Write(fd, buf)
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN || err == syscall.EWOULDBLOCK {
+			return 0, ErrWouldBlock
+		}
+		if n < 0 {
+			n = 0
+		}
+		return n, err
+	}
+}

@@ -132,14 +132,22 @@ func (srv *Server) handleWork(req *Request) Response {
 }
 
 // handleMetrics serves the unified metrics spine: the platform registry
-// (proc, threads, serve) and the process-wide default registry
-// (sel/cml/spinlock).
+// (proc, threads, serve), the process-wide default registry
+// (sel/cml/spinlock), and any extra named registries the host wired in
+// (the fabric front's, in sharded mode).
 func (srv *Server) handleMetrics(req *Request) Response {
 	var b bytes.Buffer
 	b.WriteString("# platform registry\n")
 	b.WriteString(srv.sys.Metrics().Snapshot().Format())
 	b.WriteString("# default registry\n")
 	b.WriteString(metrics.Default.Snapshot().Format())
+	for _, nr := range srv.opts.ExtraMetrics {
+		if nr.Reg == nil {
+			continue
+		}
+		b.WriteString("# " + nr.Name + " registry\n")
+		b.WriteString(nr.Reg.Snapshot().Format())
+	}
 	return Response{Status: 200, Body: b.Bytes()}
 }
 

@@ -1,0 +1,241 @@
+package serve
+
+// The resumable face of the connection state machine, used by the
+// event-multiplexed front (internal/shard's poller threads).  Where the
+// blocking path (ReadRequest/WriteResponses) owns its thread and parks
+// on the CML clock whenever the socket stalls, the resumable path
+// returns ErrWouldBlock the moment the socket drains and expects the
+// owner to re-enter it when the poller reports readiness again.  All
+// progress lives on the Conn itself — the residual buffer, the
+// read-deadline latch, and the staged write buffer — so a connection
+// costs only that parked state while idle, not a thread.
+//
+// Socket I/O on this path is raw: the owner hands the Conn its file
+// descriptor (SetFD) and a shared scratch block, and reads/writes go
+// through readFD/writeFD (fdio_unix.go) rather than net.Conn, keeping
+// the Go runtime's own netpoller out of the loop entirely.
+
+import (
+	"bytes"
+	"errors"
+	"net"
+
+	"repro/internal/proc"
+)
+
+// ErrWouldBlock reports that the socket drained (read) or filled
+// (write) before the state machine could finish its step; the owner
+// should park the connection until the poller reports it ready again.
+var ErrWouldBlock = errors.New("serve: operation would block")
+
+// ConnState is the explicit phase of a resumable connection.
+type ConnState uint8
+
+const (
+	// StateIdle: between requests; only parked state is held.
+	StateIdle ConnState = iota
+	// StateReading: a request head or body is partially buffered.
+	StateReading
+	// StateDispatched: a parsed batch is in flight to a backend; the
+	// connection must not be closed or recycled until the reply group
+	// completes, or late deliveries would write into reused cells.
+	StateDispatched
+	// StateWriting: a rendered response batch is partially written.
+	StateWriting
+)
+
+// State reports the connection's current phase.
+func (c *Conn) State() ConnState { return c.state }
+
+// SetState moves the machine to s.  The dispatch phase is driven by the
+// owner (the poller thread), not by Conn itself, so the transition into
+// and out of StateDispatched is the owner's to make.
+func (c *Conn) SetState(s ConnState) { c.state = s }
+
+// SetFD hands the Conn its raw file descriptor for the resumable I/O
+// path.  The caller keeps the fd non-blocking and open for the Conn's
+// lifetime; PollRead/PollWrite use it directly.
+func (c *Conn) SetFD(fd int) { c.fd = fd }
+
+// ReadDeadline reports the armed request deadline: (deadline, true)
+// once the current request has started arriving, else (0, false) — the
+// idle keep-alive budget before first byte is the owner's to track.
+func (c *Conn) ReadDeadline() (int64, bool) { return c.rdDeadline, c.rdStarted }
+
+// maxParkedBytes caps each per-connection buffer retained across an
+// idle park.  A batch can transiently grow the residual buffer, arena,
+// or staged write buffer well past this; trimming on park is what keeps
+// the per-idle-connection footprint bounded at tens-of-thousands of
+// connections.
+const maxParkedBytes = 16 << 10
+
+// PollRead is the resumable ReadRequest: it parses one request from the
+// residual buffer plus whatever the socket yields without blocking,
+// returning ErrWouldBlock when the socket drains mid-head or mid-body.
+// Progress (partial bytes, the arrival tick, the armed deadline)
+// persists on the Conn, so the next call resumes exactly where this one
+// stopped.  scratch is the owner's read block — shared across all the
+// connections a poller thread drives, which is what keeps an idle
+// connection from owning a read buffer.  Deadline semantics match
+// ReadRequest: headDeadline bounds the wait for the first byte, and the
+// whole request must complete within budget ticks of that byte.
+func (c *Conn) PollRead(scratch []byte, headDeadline, budget int64) (*Request, error) {
+	if c.state != StateReading {
+		// Fresh request wait: the previous batch is fully answered, so
+		// the arena bodies are dead and the space can be reused.
+		c.arena = c.arena[:0]
+		c.state = StateReading
+		c.rdStarted = len(c.acc) > 0
+		c.rdArrival = c.cfg.Clock.Now()
+		if c.rdStarted {
+			c.rdDeadline = c.rdArrival + budget
+		}
+	}
+	for {
+		if headerEnd := bytes.Index(c.acc, crlf2); headerEnd >= 0 {
+			return c.pollBody(scratch, headerEnd)
+		}
+		if len(c.acc) > maxHeaderBytes {
+			return nil, ErrTooLarge
+		}
+		dl := headDeadline
+		if c.rdStarted {
+			dl = c.rdDeadline
+		}
+		if c.cfg.Clock.Now() >= dl {
+			return nil, ErrDeadline
+		}
+		if c.cfg.Aborted != nil && c.cfg.Aborted() {
+			return nil, ErrAborted
+		}
+		n, err := c.fill(scratch)
+		if n > 0 && !c.rdStarted {
+			c.rdStarted = true
+			c.rdArrival = c.cfg.Clock.Now()
+			c.rdDeadline = c.rdArrival + budget
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// pollBody finishes a request whose head is fully buffered: parse, then
+// pull the declared body without blocking.  The head is re-parsed on
+// each resume — parsing is a scan over bytes already in cache, and
+// keeping no parsed-but-unfinished state means ErrWouldBlock can be
+// returned from anywhere without a half-built Request to carry.
+func (c *Conn) pollBody(scratch []byte, headerEnd int) (*Request, error) {
+	req, contentLength, err := parseHeader(c.acc[:headerEnd])
+	if err != nil {
+		return nil, err
+	}
+	if contentLength > maxBodyBytes {
+		return nil, ErrTooLarge
+	}
+	total := headerEnd + 4 + contentLength
+	for len(c.acc) < total {
+		if c.cfg.Clock.Now() >= c.rdDeadline {
+			return nil, ErrDeadline
+		}
+		if _, err := c.fill(scratch); err != nil {
+			return nil, err
+		}
+	}
+	req.Body = c.takeBody(headerEnd+4, total)
+	req.Arrival = c.rdArrival
+	req.Deadline = c.rdDeadline
+	return req, nil
+}
+
+// fill performs one raw non-blocking read into scratch and appends the
+// yield to the residual buffer.  A drained socket reports ErrWouldBlock,
+// a closed peer io.EOF.
+func (c *Conn) fill(scratch []byte) (int, error) {
+	n, err := readFD(c.fd, scratch)
+	if n > 0 {
+		c.acc = append(c.acc, scratch[:n]...)
+	}
+	return n, err
+}
+
+// StageResponses renders a response batch into the connection's staged
+// write buffer and arms StateWriting; PollWrite then drains it.  Every
+// response except the last carries Connection: keep-alive (more of the
+// batch follows by construction); the last takes keepAlive.  Rendering
+// goes through a pooled respBuf and is copied out, so no pooled buffer
+// is pinned while the connection parks mid-write.
+func (c *Conn) StageResponses(resps []Response, keepAlive bool) {
+	if len(resps) == 0 {
+		return
+	}
+	if c.cfg.OnWriteBatch != nil {
+		c.cfg.OnWriteBatch(len(resps))
+	}
+	shard, _ := proc.TrySelf()
+	rb := c.cfg.Pool.get(shard)
+	last := len(resps) - 1
+	for i := range resps {
+		renderResponse(rb, resps[i], i < last || keepAlive)
+	}
+	c.wbuf = append(c.wbuf[:0], rb.b.Bytes()...)
+	c.woff = 0
+	c.cfg.Pool.put(shard, rb)
+	c.state = StateWriting
+}
+
+// PollWrite pushes the staged bytes at the socket without blocking.  It
+// returns (true, nil) when the batch is fully written, (false, nil)
+// when the socket filled — park for writability and call again — and a
+// real socket error otherwise.
+func (c *Conn) PollWrite() (bool, error) {
+	for c.woff < len(c.wbuf) {
+		n, err := writeFD(c.fd, c.wbuf[c.woff:])
+		c.woff += n
+		if err != nil {
+			if err == ErrWouldBlock {
+				return false, nil
+			}
+			return false, err
+		}
+	}
+	c.wbuf = c.wbuf[:0]
+	c.woff = 0
+	return true, nil
+}
+
+// ParkIdle returns the machine to StateIdle between requests, trimming
+// any batch-inflated buffer past maxParkedBytes so a parked idle
+// connection holds only its small steady-state footprint.  The residual
+// buffer is only trimmed when empty — buffered pipelined bytes are the
+// next request.
+func (c *Conn) ParkIdle() {
+	c.state = StateIdle
+	c.rdStarted = false
+	c.rdDeadline = 0
+	if cap(c.wbuf) > maxParkedBytes {
+		c.wbuf = nil
+	}
+	if cap(c.arena) > maxParkedBytes {
+		c.arena = nil
+	}
+	if len(c.acc) == 0 && cap(c.acc) > maxParkedBytes {
+		c.acc = nil
+	}
+}
+
+// Reset rebinds a pooled Conn to a freshly accepted connection, keeping
+// its allocated buffers — the conn-object recycling the multiplexed
+// front uses so connection churn does not allocate.
+func (c *Conn) Reset(nc net.Conn, fd int) {
+	c.nc = nc
+	c.fd = fd
+	c.acc = c.acc[:0]
+	c.arena = c.arena[:0]
+	c.wbuf = c.wbuf[:0]
+	c.woff = 0
+	c.state = StateIdle
+	c.rdStarted = false
+	c.rdArrival = 0
+	c.rdDeadline = 0
+}

@@ -120,6 +120,17 @@ type Options struct {
 	// reads.  For a whole-system trace, attach a second tracer to the
 	// scheduler and export it after Run returns, as cmd/mpbench does.
 	Tracer *trace.Tracer
+	// ExtraMetrics are additional named registries /metrics renders after
+	// the platform and default registries — the fabric front hands its
+	// own registry to every backend shard this way, so the front's
+	// park/wakeup/resume counters show up on any shard's /metrics.
+	ExtraMetrics []NamedRegistry
+}
+
+// NamedRegistry labels a metrics registry for /metrics rendering.
+type NamedRegistry struct {
+	Name string
+	Reg  *metrics.Registry
 }
 
 func (o *Options) fill() {
@@ -306,6 +317,7 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 		Clock:      srv.clock,
 		Park:       srv.park,
 		PollWindow: srv.opts.PollWindow,
+		Tick:       srv.opts.Tick,
 		Pool:       srv.pool,
 		OnReadPark:   func() { srv.m.readParks.Inc(proc.Self()) },
 		OnWriteBatch: func(n int) { srv.m.writeBatch.Observe(proc.Self(), int64(n)) },

@@ -12,6 +12,8 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/proc"
@@ -26,6 +28,10 @@ func (fab *Fabric) frontMain() {
 		fab.state.Lock()
 		fab.rebalDone = true
 		fab.state.Unlock()
+	}
+	for _, p := range fab.pollers {
+		p := p
+		fab.frontSys.Fork(func() { fab.pollerMain(p) })
 	}
 	fab.frontSys.Fork(func() { fab.acceptor() })
 	fab.supervise()
@@ -87,6 +93,7 @@ func (fab *Fabric) supervise() {
 // forks a connection thread per client, shedding with 503 when the
 // front's connection bound is reached.
 func (fab *Fabric) acceptor() {
+	nextPoller := 0
 	for {
 		fab.state.Lock()
 		stop := fab.draining
@@ -123,6 +130,13 @@ func (fab *Fabric) acceptor() {
 		fab.activeConns++
 		fab.state.Unlock()
 		fab.m.conns.Inc(self)
+		if len(fab.pollers) > 0 {
+			// Multiplexed front: hand the socket to the next poller
+			// round-robin instead of forking a connection thread.
+			fab.pollers[nextPoller%len(fab.pollers)].enqueueConn(nc)
+			nextPoller++
+			continue
+		}
 		fab.frontSys.Fork(func() { fab.connThread(nc) })
 	}
 	fab.ln.Close()
@@ -282,13 +296,35 @@ type pendingReply struct {
 func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
 	pend []pendingReply, jbuf []job, cells []reply, grp *replyGroup,
 	sp *spinState, resps []serve.Response) []serve.Response {
-	self := proc.Self()
 	g := grp
 	if fab.opts.PerCellReplies {
 		g = nil
 	} else {
 		grp.open()
 	}
+	members := fab.forwardBatch(reqs, home, pend, jbuf, cells, g)
+	if g != nil {
+		// Cells shed on a full ring never reach a backend: retire them
+		// from the membership before waiting.
+		g.seal(members)
+		if members > 0 {
+			fab.waitReply(g.done, sp)
+		}
+		sp = nil // group already waited; collect is pure reads
+	}
+	return fab.collectBatch(reqs, pend, sp, resps)
+}
+
+// forwardBatch is the non-waiting front half of a dispatch: route every
+// request (answering /fabricz inline and enrolling the rest in cells
+// bound to g), then forward each run of consecutive same-target requests
+// as one multi-push, shedding with 503 where a ring is full.  It returns
+// the number of cells actually pushed — the group membership the caller
+// seals.  The multiplexed front calls this directly and polls the group
+// instead of blocking.
+func (fab *Fabric) forwardBatch(reqs []*serve.Request, home int,
+	pend []pendingReply, jbuf []job, cells []reply, g *replyGroup) int {
+	self := proc.Self()
 	// Route every request first so run grouping sees final targets.
 	for i, req := range reqs {
 		if req.Path == "/fabricz" {
@@ -346,22 +382,23 @@ func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
 	for n := range jbuf {
 		jbuf[n] = job{} // drop request references
 	}
-	if g != nil {
-		// Cells shed on a full ring never reach a backend: retire them
-		// from the membership before waiting.
-		g.seal(members)
-		if members > 0 {
-			fab.waitReply(g.done, sp)
-		}
-	}
-	// Collect in request order; after a group wait every cell is already
-	// filled, so this loop is pure reads.
+	return members
+}
+
+// collectBatch appends the batch's responses to resps in request order,
+// clearing pend as it goes.  With sp non-nil each cell is awaited in
+// order (the per-cell baseline); with sp nil every cell must already be
+// delivered — after a group wait, or a poller's grp.done() — so the
+// loop is pure reads.
+func (fab *Fabric) collectBatch(reqs []*serve.Request, pend []pendingReply,
+	sp *spinState, resps []serve.Response) []serve.Response {
+	self := proc.Self()
 	for i := range reqs {
 		if pend[i].rep == nil {
 			resps = append(resps, pend[i].resp)
 		} else {
 			rep := pend[i].rep
-			if g == nil {
+			if sp != nil {
 				fab.waitReply(rep.done.Load, sp)
 			}
 			fab.m.replies.Inc(self)
@@ -405,6 +442,13 @@ func (fab *Fabric) statusResponse() serve.Response {
 		snap.Get("shard.steals"), snap.Get("shard.stolen"),
 		snap.Get("shard.steal_attempts"), snap.Get("shard.steal_aborts"),
 		snap.Get("shard.ring_expired"))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	body += fmt.Sprintf("pollers %d conns_parked %d poll_wakeups %d resume_batches %d\n",
+		len(fab.pollers), snap.Get("serve.conns_parked"),
+		snap.Get("serve.poll_wakeups"), snap.Histograms["serve.resume_batch"].Count)
+	body += fmt.Sprintf("goroutines %d threads %d heap_alloc %d\n",
+		runtime.NumGoroutine(), pprof.Lookup("threadcreate").Count(), ms.HeapAlloc)
 	return serve.Response{Status: 200, Body: []byte(body)}
 }
 

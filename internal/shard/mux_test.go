@@ -1,0 +1,255 @@
+//go:build linux
+
+package shard
+
+// End-to-end tests of the event-multiplexed front: the same wire
+// behavior the per-connection-thread front guarantees (keep-alive,
+// pipelined ordering, silent idle closes, zero-drop drain) must hold
+// when a fixed poller pool drives the connections, plus the mux-only
+// properties — many idle connections held concurrently and the parked /
+// wakeup / resume-batch instruments.  Linux-only because the resumable
+// path reads raw fds (the netpoll fallback never reports idle conns
+// quiet, so these assertions are only meaningful on epoll).
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+func muxOpts(extra func(*Options)) Options {
+	opts := Options{
+		Shards:         2,
+		Mux:            true,
+		Pollers:        2,
+		RebalanceTicks: NoRebalance,
+	}
+	if extra != nil {
+		extra(&opts)
+	}
+	return opts
+}
+
+// TestMuxKeepAliveSequential reuses one connection for many requests
+// through the poller-driven front and checks the poller instruments
+// actually moved.
+func TestMuxKeepAliveSequential(t *testing.T) {
+	tf := startFabric(t, muxOpts(nil), nil)
+	kc := dialKA(t, tf.addr())
+	const reqs = 8
+	for i := 0; i < reqs; i++ {
+		msg := fmt.Sprintf("m%d", i)
+		if err := kc.send("/echo?msg=" + msg); err != nil {
+			t.Fatal(err)
+		}
+		st, body, err := kc.recv(10 * time.Second)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if st != 200 || string(body) != msg {
+			t.Fatalf("request %d: status %d body %q", i, st, body)
+		}
+	}
+	snap := tf.fab.FrontMetrics().Snapshot()
+	if got := snap.Get("serve.poll_wakeups"); got < 1 {
+		t.Errorf("serve.poll_wakeups = %d after %d served requests, want >= 1", got, reqs)
+	}
+	if h, ok := snap.Histograms["serve.resume_batch"]; !ok || h.Count < 1 {
+		t.Errorf("serve.resume_batch histogram = %+v, want >= 1 observation", h)
+	}
+}
+
+// TestMuxPipelinedRequestsAnsweredInOrder writes a back-to-back burst
+// before reading anything; the resumable read phase must batch what is
+// buffered and answer in order.
+func TestMuxPipelinedRequestsAnsweredInOrder(t *testing.T) {
+	tf := startFabric(t, muxOpts(nil), nil)
+	kc := dialKA(t, tf.addr())
+	const reqs = 5
+	var batch []byte
+	for i := 0; i < reqs; i++ {
+		batch = append(batch, []byte(fmt.Sprintf(
+			"GET /echo?msg=p%d HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n", i))...)
+	}
+	if _, err := kc.nc.Write(batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < reqs; i++ {
+		st, body, err := kc.recv(10 * time.Second)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		want := fmt.Sprintf("p%d", i)
+		if st != 200 || string(body) != want {
+			t.Fatalf("response %d: status %d body %q, want 200 %q", i, st, body, want)
+		}
+	}
+}
+
+// TestMuxIdleConnClosedSilently parks a served keep-alive connection
+// past the idle budget: the deadline sweep must close it without
+// writing a byte.
+func TestMuxIdleConnClosedSilently(t *testing.T) {
+	tf := startFabric(t, muxOpts(func(o *Options) {
+		o.IdleTicks = 40
+		o.IdleScanTicks = 10
+	}), nil)
+	kc := dialKA(t, tf.addr())
+	if err := kc.send("/echo?msg=x"); err != nil {
+		t.Fatal(err)
+	}
+	if st, _, err := kc.recv(10 * time.Second); err != nil || st != 200 {
+		t.Fatalf("status %d err %v", st, err)
+	}
+	kc.nc.SetReadDeadline(time.Now().Add(15 * time.Second))
+	n, err := kc.nc.Read(make([]byte, 64))
+	if n != 0 || err != io.EOF {
+		t.Errorf("idle conn: read %d bytes err %v, want 0 and EOF", n, err)
+	}
+}
+
+// TestMuxConnectionCloseHonored: a Connection: close request is
+// answered and the connection actually closes.
+func TestMuxConnectionCloseHonored(t *testing.T) {
+	tf := startFabric(t, muxOpts(nil), nil)
+	kc := dialKA(t, tf.addr())
+	if err := kc.send("/echo?msg=bye", "Connection: close"); err != nil {
+		t.Fatal(err)
+	}
+	st, body, err := kc.recv(10 * time.Second)
+	if err != nil || st != 200 || string(body) != "bye" {
+		t.Fatalf("status %d body %q err %v", st, body, err)
+	}
+	kc.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := kc.nc.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("read after Connection: close response: %v, want EOF", err)
+	}
+}
+
+// TestMuxMalformedRequestAnswered400: garbage on the wire gets a 400
+// and a close, via the staged-error write path.
+func TestMuxMalformedRequestAnswered400(t *testing.T) {
+	tf := startFabric(t, muxOpts(nil), nil)
+	kc := dialKA(t, tf.addr())
+	if _, err := kc.nc.Write([]byte("NONSENSE\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := kc.recv(10 * time.Second)
+	if err != nil || st != 400 {
+		t.Fatalf("status %d err %v, want 400", st, err)
+	}
+	kc.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := kc.nc.Read(make([]byte, 1)); err != io.EOF {
+		t.Errorf("read after 400: %v, want EOF", err)
+	}
+}
+
+// TestMuxManyIdleConnsStayLive holds a population of idle keep-alive
+// connections while active traffic runs, then proves every idle
+// connection still answers — the tentpole property, scaled down to a
+// -race-friendly population.  conns_parked must have observed the
+// population.
+func TestMuxManyIdleConnsStayLive(t *testing.T) {
+	const idle = 128
+	tf := startFabric(t, muxOpts(func(o *Options) {
+		o.MaxConns = idle + 32
+	}), nil)
+
+	idles := make([]*kaConn, idle)
+	for i := range idles {
+		kc := dialKA(t, tf.addr())
+		if err := kc.send("/echo?msg=warm"); err != nil {
+			t.Fatal(err)
+		}
+		if st, _, err := kc.recv(10 * time.Second); err != nil || st != 200 {
+			t.Fatalf("idle conn %d warmup: status %d err %v", i, st, err)
+		}
+		idles[i] = kc
+	}
+
+	// Active traffic on separate connections while the population parks.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kc, err := net.DialTimeout("tcp", tf.addr(), 5*time.Second)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer kc.Close()
+			c := &kaConn{nc: kc}
+			for i := 0; i < 25; i++ {
+				if err := c.send("/echo?msg=a"); err != nil {
+					t.Error(err)
+					return
+				}
+				if st, _, err := c.recv(10 * time.Second); err != nil || st != 200 {
+					t.Errorf("active: status %d err %v", st, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := tf.fab.FrontMetrics().Snapshot()
+	if got := snap.Get("serve.conns_parked"); got < idle {
+		t.Errorf("serve.conns_parked = %d with %d idle conns held, want >= %d", got, idle, idle)
+	}
+
+	// Every parked connection must still be live.
+	for i, kc := range idles {
+		if err := kc.send("/echo?msg=still"); err != nil {
+			t.Fatalf("idle conn %d went dead: %v", i, err)
+		}
+		if st, body, err := kc.recv(10 * time.Second); err != nil || st != 200 || string(body) != "still" {
+			t.Fatalf("idle conn %d: status %d body %q err %v", i, st, body, err)
+		}
+	}
+}
+
+// TestMuxDrainZeroDropped mirrors the conn-thread drain guarantee: a
+// drain with dispatched requests in flight answers them all, refuses
+// new connections, and quiesces every runner (pollers included).
+func TestMuxDrainZeroDropped(t *testing.T) {
+	tf := startFabric(t, muxOpts(nil),
+		func(fab *Fabric) { fab.Handle("/park", parkHandler) })
+
+	const clients = 3
+	results := make(chan int, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			kc, err := net.DialTimeout("tcp", tf.addr(), 2*time.Second)
+			if err != nil {
+				results <- -1
+				return
+			}
+			defer kc.Close()
+			c := &kaConn{nc: kc}
+			if c.send("/park?ticks=80", "Connection: close") != nil {
+				results <- -1
+				return
+			}
+			st, _, err := c.recv(30 * time.Second)
+			if err != nil {
+				st = -1
+			}
+			results <- st
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // requests reach the shards
+	tf.drainAndWait(t)
+	for i := 0; i < clients; i++ {
+		if st := <-results; st != 200 {
+			t.Errorf("in-flight request got %d during drain, want 200", st)
+		}
+	}
+	if _, err := net.DialTimeout("tcp", tf.addr(), 500*time.Millisecond); err == nil {
+		t.Error("fabric still accepting connections after drain")
+	}
+}

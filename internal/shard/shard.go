@@ -77,6 +77,17 @@ type Options struct {
 	StealMin int
 	// MaxConns bounds concurrently-served front connections (default 256).
 	MaxConns int
+	// Mux replaces the per-connection front threads with a fixed pool of
+	// poller threads driving resumable connection state machines off
+	// readiness events (internal/netpoll).  Off by default — the
+	// per-connection-thread front stays available as the ablation
+	// baseline.
+	Mux bool
+	// Pollers is the poller-thread count in Mux mode (default 2).
+	Pollers int
+	// IdleScanTicks is how often, in front clock ticks, each poller
+	// sweeps its connections for idle and deadline expiry (default 50).
+	IdleScanTicks int64
 	// RouteHeader, when a request carries it, switches that request from
 	// connection hashing to consistent hashing on the header's value —
 	// sticky routing for keyed workloads (default "X-Shard-Key").
@@ -150,6 +161,12 @@ func (o *Options) fill() {
 	}
 	if o.MaxConns <= 0 {
 		o.MaxConns = 256
+	}
+	if o.Pollers <= 0 {
+		o.Pollers = 2
+	}
+	if o.IdleScanTicks <= 0 {
+		o.IdleScanTicks = 50
 	}
 	if o.RouteHeader == "" {
 		o.RouteHeader = "X-Shard-Key"
@@ -236,6 +253,13 @@ type fabricMetrics struct {
 	stealAborts   *metrics.Counter // TryLock met contention
 	stolen        *metrics.Counter // jobs moved by successful claims
 	stealBatch    *metrics.Histogram
+
+	// Multiplexed-front instruments: connections parked awaiting
+	// readiness, poller waits that returned events, and connections
+	// resumed per wakeup.
+	connsParked *metrics.Counter // gauge: owned conns not in a dispatch
+	pollWakeups *metrics.Counter
+	resumeBatch *metrics.Histogram
 }
 
 // Fabric is the sharded serving fabric; create with New, start each of
@@ -251,6 +275,7 @@ type Fabric struct {
 	ccfg     serve.ConnConfig
 	backends []*backend
 	sticky   *chashRing
+	pollers  []*poller // multiplexed front (Options.Mux); nil otherwise
 
 	state        core.Lock // guards the fields below
 	draining     bool
@@ -301,6 +326,7 @@ func New(opts Options) (*Fabric, error) {
 		logpol:   mlio.NewPerStream(),
 		tracer:   opts.Tracer,
 	}
+	reg := fab.frontSys.Metrics()
 	capacity := opts.Shards * opts.BackendProcs
 	for i := 0; i < opts.Shards; i++ {
 		pl := proc.New(capacity)
@@ -319,6 +345,7 @@ func New(opts Options) (*Fabric, error) {
 			RetryAfter:         opts.RetryAfter,
 			Log:                fab.logrt,
 			LogPolicy:          fab.logpol,
+			ExtraMetrics:       []serve.NamedRegistry{{Name: "front", Reg: reg}},
 		})
 		if err != nil {
 			tln.Close()
@@ -329,7 +356,16 @@ func New(opts Options) (*Fabric, error) {
 		})
 		fab.limits[i] = opts.BackendProcs
 	}
-	reg := fab.frontSys.Metrics()
+	if opts.Mux {
+		for i := 0; i < opts.Pollers; i++ {
+			p, err := newPoller(i)
+			if err != nil {
+				tln.Close()
+				return nil, err
+			}
+			fab.pollers = append(fab.pollers, p)
+		}
+	}
 	bounds := []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
 	fab.m = fabricMetrics{
 		accepted:   reg.Counter("shard.accepted"),
@@ -356,6 +392,10 @@ func New(opts Options) (*Fabric, error) {
 		stolen:        reg.Counter("shard.stolen"),
 		stealBatch: reg.Histogram("shard.steal_batch",
 			[]int64{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}),
+		connsParked: reg.Counter("serve.conns_parked"),
+		pollWakeups: reg.Counter("serve.poll_wakeups"),
+		resumeBatch: reg.Histogram("serve.resume_batch",
+			[]int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
 	}
 	for i := 0; i < opts.Shards; i++ {
 		fab.m.forwarded = append(fab.m.forwarded,
@@ -374,6 +414,7 @@ func New(opts Options) (*Fabric, error) {
 		Clock:        fab.clock,
 		Park:         fab.park,
 		PollWindow:   opts.PollWindow,
+		Tick:         opts.Tick,
 		Pool:         fab.pool,
 		OnWriteBatch: func(n int) { fab.m.writeBatch.Observe(proc.Self(), int64(n)) },
 		Aborted:      fab.Draining,
