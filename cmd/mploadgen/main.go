@@ -37,10 +37,26 @@
 // behavior with a large parked-connection population, not the pings
 // themselves.  Dials ramp over -idle-ramp to avoid a SYN flood.
 //
+// A fourth, exclusive mode drives the pub/sub subsystem: -subscribers N
+// holds N chunked streaming subscriptions (GET /subscribe?topic=) spread
+// round-robin over -topics, while -publishers P post frames
+// ("<tenant> <seq> <unixnano>") at -pub-rate per publisher, drawing each
+// publish's tenant from the -tenants weight list (the -tenant-header
+// header).  Publishers gate on every subscriber having received its
+// "id:" frame, so the zero-loss ledger is sound: each acked publish
+// (200) increments its topic's acked count, each subscriber counts the
+// data frames it received, and a subscriber whose stream ends with the
+// chunked terminator (a drain close) charges
+// max(0, acked(topic) − delivered) to missing_acked — which a clean
+// drain must leave at zero.  -sub-churn makes subscribers resubscribe on
+// a cycle (alternating clean /unsubscribe and abrupt close) and excludes
+// them from the ledger; delivery lag quantiles (publish stamp → receipt)
+// and per-tenant breakdowns land in -json (BENCH_pubsub.json).
+//
 // Every response is classified (2xx / shed 503 / expired 504 / error),
 // and -json writes the full summary machine-readably for benchmark
 // archiving (BENCH_serve.json, BENCH_shard.json, BENCH_batch.json,
-// BENCH_mux.json).
+// BENCH_mux.json, BENCH_pubsub.json).
 //
 // Usage:
 //
@@ -48,10 +64,14 @@
 //	          [-keepalive] [-reqs N] [-pipeline K] [-header "K: V"]
 //	          [-skew F] [-skew-header name] [-burst on:off]
 //	          [-idle-conns N] [-idle-every d] [-idle-ramp d]
+//	          [-subscribers N] [-publishers N] [-topics N]
+//	          [-tenants "name:weight,..."] [-tenant-header name]
+//	          [-pub-rate R] [-sub-churn d]
 //	          [-rate req/s] [-duration d] [-timeout d] [-json out.json]
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -124,6 +144,53 @@ type Summary struct {
 		P99 float64 `json:"p99"`
 		Max float64 `json:"max"`
 	} `json:"latency_ms"` // over OK responses
+
+	// Pub/sub mode: the publish ledger, delivery counts, and the
+	// zero-loss assertion.  latency_ms above measures publish RTT (the
+	// ack); delivery_lag_ms measures publish stamp → subscriber receipt.
+	Topics         int                       `json:"topics,omitempty"`
+	Publishers     int                       `json:"publishers,omitempty"`
+	Subscribers    int                       `json:"subscribers,omitempty"`
+	PubAcked       int64                     `json:"pub_acked,omitempty"`
+	PubQuotaDenied int64                     `json:"pub_quota_denied,omitempty"`
+	PubRejected    int64                     `json:"pub_rejected,omitempty"`
+	Delivered      int64                     `json:"delivered,omitempty"`
+	Heartbeats     int64                     `json:"heartbeats,omitempty"`
+	SubCleanClosed int64                     `json:"sub_clean_closed,omitempty"`
+	SubDrops       int64                     `json:"sub_drops,omitempty"`
+	MissingAcked   int64                     `json:"missing_acked,omitempty"`
+	DeliveryLagMS  *Quantiles                `json:"delivery_lag_ms,omitempty"`
+	Tenants        map[string]*TenantSummary `json:"tenants,omitempty"`
+}
+
+// Quantiles is a latency distribution in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// TenantSummary is one tenant's slice of a pub/sub run.
+type TenantSummary struct {
+	Acked       int64      `json:"acked"`
+	QuotaDenied int64      `json:"quota_denied"`
+	Rejected    int64      `json:"rejected"`
+	Delivered   int64      `json:"delivered"`
+	LagMS       *Quantiles `json:"lag_ms,omitempty"`
+}
+
+// newQuantiles summarizes sorted samples (nearest-rank).
+func newQuantiles(sorted []float64) *Quantiles {
+	if len(sorted) == 0 {
+		return nil
+	}
+	return &Quantiles{
+		P50: quantile(sorted, 0.50),
+		P90: quantile(sorted, 0.90),
+		P99: quantile(sorted, 0.99),
+		Max: sorted[len(sorted)-1],
+	}
 }
 
 // headerList collects repeated -header flags.
@@ -155,6 +222,14 @@ func main() {
 	idleConns := flag.Int("idle-conns", 0, "mostly-idle keep-alive connections to hold open alongside the active load")
 	idleEvery := flag.Duration("idle-every", 10*time.Second, "idle connections: liveness ping interval")
 	idleRamp := flag.Duration("idle-ramp", 5*time.Second, "idle connections: window the initial dials are spread over")
+	subscribers := flag.Int("subscribers", 0, "pubsub: streaming subscriptions to hold (enables pub/sub mode)")
+	publishers := flag.Int("publishers", 0, "pubsub: publisher workers (enables pub/sub mode)")
+	topicN := flag.Int("topics", 1, "pubsub: topic count (t0..t{N-1}, round-robin)")
+	tenants := flag.String("tenants", "", "pubsub: publish tenant weights \"name:w,name:w\" (empty = anonymous)")
+	tenantHeader := flag.String("tenant-header", "X-Tenant", "pubsub: tenant-id request header")
+	pubRate := flag.Float64("pub-rate", 0, "pubsub: publishes/sec per publisher (0 = back-to-back)")
+	subChurn := flag.Duration("sub-churn", 0, "pubsub: resubscribe cycle; churning subscribers leave the zero-loss ledger (0 = hold)")
+	subRamp := flag.Duration("sub-ramp", 2*time.Second, "pubsub: window the initial subscribes are spread over")
 	var headers headerList
 	flag.Var(&headers, "header", "extra request header \"Name: value\" (repeatable)")
 	flag.Parse()
@@ -310,7 +385,37 @@ func main() {
 			}
 		}()
 	}
-	if *rate > 0 {
+	var ps *pubsubState
+	if *subscribers > 0 || *publishers > 0 {
+		mode = "pubsub"
+		ps = newPubsubState(*topicN, *tenants, *subChurn > 0)
+		cfg := pubsubConfig{
+			addr: *addr, headers: headers, tenantHeader: *tenantHeader,
+			timeout: *timeout, stop: stop, churn: *subChurn, ramp: *subRamp,
+			pubRate: *pubRate,
+		}
+		// Publishers gate on the initial subscriber cohort being live (id
+		// frame received), so every acked publish is owed to every ledger
+		// subscriber.
+		ready := &sync.WaitGroup{}
+		ready.Add(*subscribers)
+		for i := 0; i < *subscribers; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ps.subscriberLoop(cfg, i, *subscribers, ready)
+			}()
+		}
+		for i := 0; i < *publishers; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ps.publisherLoop(cfg, i, ready, record, &sent, &errs, &dialed)
+			}()
+		}
+	} else if *rate > 0 {
 		mode = "open"
 		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 		// Open loop: a ticker schedules sends independent of completions.
@@ -472,6 +577,42 @@ func main() {
 	if n := len(okLats); n > 0 {
 		s.LatencyMS.Max = okLats[n-1]
 	}
+	if ps != nil {
+		s.Topics = *topicN
+		s.Publishers = *publishers
+		s.Subscribers = *subscribers
+		for i := range ps.acked {
+			s.PubAcked += ps.acked[i].Load()
+		}
+		s.PubQuotaDenied = ps.denied.Load()
+		s.PubRejected = ps.rejected.Load()
+		s.Delivered = ps.delivered.Load()
+		s.Heartbeats = ps.heartbeats.Load()
+		s.SubCleanClosed = ps.cleanClosed.Load()
+		s.SubDrops = ps.subDrops.Load()
+		s.MissingAcked = ps.missing.Load()
+		ps.mu.Lock()
+		lags := append([]float64(nil), ps.lags...)
+		ps.mu.Unlock()
+		sort.Float64s(lags)
+		s.DeliveryLagMS = newQuantiles(lags)
+		if len(ps.aggs) > 0 {
+			s.Tenants = make(map[string]*TenantSummary, len(ps.aggs))
+			for name, a := range ps.aggs {
+				a.mu.Lock()
+				tl := append([]float64(nil), a.lags...)
+				a.mu.Unlock()
+				sort.Float64s(tl)
+				s.Tenants[name] = &TenantSummary{
+					Acked:       a.acked.Load(),
+					QuotaDenied: a.denied.Load(),
+					Rejected:    a.rejected.Load(),
+					Delivered:   a.delivered.Load(),
+					LagMS:       newQuantiles(tl),
+				}
+			}
+		}
+	}
 
 	fmt.Printf("%s %s (%s-loop", s.Addr, s.Path, s.Mode)
 	if mode == "open" {
@@ -503,6 +644,26 @@ func main() {
 	if s.IdleConns > 0 {
 		fmt.Printf("  idle conns %d: peak held %d, pings %d ok %d, drops %d\n",
 			s.IdleConns, s.IdleHeld, s.IdleSent, s.IdleOK, s.IdleDrops)
+	}
+	if ps != nil {
+		fmt.Printf("  pubsub: topics %d publishers %d subscribers %d\n",
+			s.Topics, s.Publishers, s.Subscribers)
+		fmt.Printf("  publish acked %d quota-denied %d rejected %d\n",
+			s.PubAcked, s.PubQuotaDenied, s.PubRejected)
+		fmt.Printf("  delivered %d heartbeats %d clean-closed %d drops %d missing-acked %d\n",
+			s.Delivered, s.Heartbeats, s.SubCleanClosed, s.SubDrops, s.MissingAcked)
+		if s.DeliveryLagMS != nil {
+			fmt.Printf("  delivery lag ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
+				s.DeliveryLagMS.P50, s.DeliveryLagMS.P90, s.DeliveryLagMS.P99, s.DeliveryLagMS.Max)
+		}
+		for name, t := range s.Tenants {
+			fmt.Printf("  tenant %s: acked %d denied %d delivered %d",
+				name, t.Acked, t.QuotaDenied, t.Delivered)
+			if t.LagMS != nil {
+				fmt.Printf(" lag p50 %.2f p99 %.2f", t.LagMS.P50, t.LagMS.P99)
+			}
+			fmt.Println()
+		}
 	}
 	fmt.Printf("  throughput %.1f req/s  latency ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
 		s.Throughput, s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
@@ -624,6 +785,426 @@ func (k *kaClient) readResp() (int, bool, error) {
 			return 0, false, err
 		}
 	}
+}
+
+// ------------------------------------------------------------- pub/sub
+
+// pubsubConfig is the shared wiring every pub/sub worker needs.
+type pubsubConfig struct {
+	addr         string
+	headers      headerList
+	tenantHeader string
+	timeout      time.Duration
+	stop         time.Time
+	churn        time.Duration
+	ramp         time.Duration
+	pubRate      float64
+}
+
+// tenantAgg is one tenant's slice of the run's counters and lag samples.
+type tenantAgg struct {
+	acked     atomic.Int64
+	denied    atomic.Int64
+	rejected  atomic.Int64
+	delivered atomic.Int64
+	mu        sync.Mutex
+	lags      []float64
+}
+
+// tenantWeight is one -tenants entry with its cumulative draw weight.
+type tenantWeight struct {
+	name string
+	cum  float64
+}
+
+// pubsubState is the run-wide pub/sub ledger: per-topic acked counts
+// (the zero-loss baseline), delivery counters, lag samples, and the
+// per-tenant breakdown.
+type pubsubState struct {
+	topics  []string
+	acked   []atomic.Int64 // per topic: publishes the server acked with 200
+	weights []tenantWeight
+	aggs    map[string]*tenantAgg
+	churn   bool // churning subscribers stay out of the missing-acked ledger
+
+	denied      atomic.Int64
+	rejected    atomic.Int64
+	delivered   atomic.Int64
+	heartbeats  atomic.Int64
+	cleanClosed atomic.Int64
+	subDrops    atomic.Int64
+	missing     atomic.Int64
+
+	mu   sync.Mutex
+	lags []float64
+}
+
+func newPubsubState(topics int, tenants string, churn bool) *pubsubState {
+	if topics < 1 {
+		topics = 1
+	}
+	ps := &pubsubState{
+		topics: make([]string, topics),
+		acked:  make([]atomic.Int64, topics),
+		aggs:   map[string]*tenantAgg{},
+		churn:  churn,
+	}
+	for i := range ps.topics {
+		ps.topics[i] = fmt.Sprintf("t%d", i)
+	}
+	cum := 0.0
+	if tenants != "" {
+		for _, ent := range strings.Split(tenants, ",") {
+			name, ws, _ := strings.Cut(strings.TrimSpace(ent), ":")
+			w := 1.0
+			if ws != "" {
+				if v, err := strconv.ParseFloat(ws, 64); err == nil && v > 0 {
+					w = v
+				}
+			}
+			cum += w
+			ps.weights = append(ps.weights, tenantWeight{name: name, cum: cum})
+			ps.aggs[name] = &tenantAgg{}
+		}
+	}
+	return ps
+}
+
+// drawTenant picks a publish's tenant by weight; "" means anonymous.
+func (ps *pubsubState) drawTenant(rng *rand.Rand) string {
+	if len(ps.weights) == 0 {
+		return ""
+	}
+	x := rng.Float64() * ps.weights[len(ps.weights)-1].cum
+	for _, w := range ps.weights {
+		if x < w.cum {
+			return w.name
+		}
+	}
+	return ps.weights[len(ps.weights)-1].name
+}
+
+// agg returns the tenant's aggregate, creating one for tenants first
+// seen in a delivered frame (another process's publishers).
+func (ps *pubsubState) agg(name string) *tenantAgg {
+	ps.mu.Lock()
+	a := ps.aggs[name]
+	if a == nil {
+		a = &tenantAgg{}
+		ps.aggs[name] = a
+	}
+	ps.mu.Unlock()
+	return a
+}
+
+// subscriberLoop holds one streaming subscription (resubscribing on
+// churn or failure) until the run ends or the server's drain close.
+func (ps *pubsubState) subscriberLoop(cfg pubsubConfig, i, total int, ready *sync.WaitGroup) {
+	if total > 0 && cfg.ramp > 0 {
+		time.Sleep(time.Duration(int64(cfg.ramp) * int64(i) / int64(total)))
+	}
+	var once sync.Once
+	onReady := func() { once.Do(ready.Done) }
+	defer onReady() // never leave publishers gated on a dead subscriber
+	rng := rand.New(rand.NewSource(int64(i)*9973 + time.Now().UnixNano()))
+	topicIdx := i % len(ps.topics)
+	iter := 0
+	for time.Now().Before(cfg.stop) {
+		drained := ps.subscribeOnce(cfg, topicIdx, rng, onReady, iter)
+		if drained {
+			return // server drain closed the stream; nothing will reopen
+		}
+		iter++
+		if !time.Now().Before(cfg.stop) {
+			return
+		}
+		time.Sleep(100 * time.Millisecond) // back off before resubscribing
+	}
+}
+
+// subscribeOnce runs one subscription to its end.  It returns true when
+// the stream ended with the chunked terminator and the subscriber should
+// not resubscribe (server drain), false to try again (errors, churn).
+// Ledger accounting (missing-acked) happens only for non-churning
+// subscribers on a terminator close: every publish acked before the
+// close must have been delivered.
+func (ps *pubsubState) subscribeOnce(cfg pubsubConfig, topicIdx int, rng *rand.Rand, onReady func(), iter int) bool {
+	topic := ps.topics[topicIdx]
+	nc, err := net.DialTimeout("tcp", cfg.addr, cfg.timeout)
+	if err != nil {
+		ps.subDrops.Add(1)
+		return false
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(cfg.timeout))
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "GET /subscribe?topic=%s HTTP/1.1\r\nHost: loadgen\r\nContent-Length: 0\r\n", topic)
+	for _, h := range cfg.headers {
+		b.WriteString(h + "\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := nc.Write(b.Bytes()); err != nil {
+		ps.subDrops.Add(1)
+		return false
+	}
+	br := bufio.NewReader(nc)
+	status, chunked, err := readStreamHead(br)
+	if err != nil || status != 200 || !chunked {
+		if status == 503 {
+			return true // draining: resubscribing would only spin on 503s
+		}
+		ps.subDrops.Add(1)
+		return false
+	}
+	var lifeEnd time.Time
+	if cfg.churn > 0 {
+		life := cfg.churn/2 + time.Duration(rng.Int63n(int64(cfg.churn)))
+		lifeEnd = time.Now().Add(life)
+	}
+	subID := ""
+	unsubbed := false
+	delivered := int64(0)
+	for {
+		now := time.Now()
+		if !now.Before(cfg.stop) {
+			return true // run over; this close is ours — no ledger check
+		}
+		rd := now.Add(cfg.timeout)
+		if grace := cfg.stop.Add(100 * time.Millisecond); grace.Before(rd) {
+			rd = grace
+		}
+		nc.SetReadDeadline(rd)
+		frame, term, err := readChunk(br)
+		if err != nil {
+			if !time.Now().Before(cfg.stop) {
+				return true // run over; the close is ours, not a drop
+			}
+			ps.subDrops.Add(1)
+			return false
+		}
+		if term {
+			ps.cleanClosed.Add(1)
+			if !ps.churn {
+				// The zero-loss assertion: everything acked to this topic
+				// before the stream's clean close must be in our count.
+				if miss := ps.acked[topicIdx].Load() - delivered; miss > 0 {
+					ps.missing.Add(miss)
+				}
+			}
+			return !unsubbed // an unsubscribe close is churn, not drain
+		}
+		s := string(frame)
+		switch {
+		case strings.HasPrefix(s, "id:"):
+			subID = s[3:]
+			onReady()
+		case s == "\n":
+			ps.heartbeats.Add(1)
+		default:
+			delivered++
+			ps.delivered.Add(1)
+			if f := strings.Fields(s); len(f) == 3 {
+				if nano, err := strconv.ParseInt(f[2], 10, 64); err == nil {
+					lag := float64(time.Now().UnixNano()-nano) / 1e6
+					ps.mu.Lock()
+					ps.lags = append(ps.lags, lag)
+					ps.mu.Unlock()
+					a := ps.agg(f[0])
+					a.delivered.Add(1)
+					a.mu.Lock()
+					a.lags = append(a.lags, lag)
+					a.mu.Unlock()
+				}
+			}
+		}
+		if cfg.churn > 0 && !unsubbed && time.Now().After(lifeEnd) {
+			if iter%2 == 1 || subID == "" {
+				return false // abrupt churn: just close
+			}
+			// Clean churn: unsubscribe out of band, then drain this stream
+			// to its terminator.
+			doPostOnce(cfg.addr, "/unsubscribe?topic="+topic+"&id="+subID,
+				cfg.headers, cfg.timeout)
+			unsubbed = true
+		}
+	}
+}
+
+// publisherLoop posts frames at the configured pace, drawing a tenant
+// per publish, keeping the connection alive, and feeding the ledger.
+func (ps *pubsubState) publisherLoop(cfg pubsubConfig, i int, ready *sync.WaitGroup,
+	record func(int, time.Duration), sent, errs, dialed *atomic.Int64) {
+	ready.Wait()
+	rng := rand.New(rand.NewSource(int64(i)*7717 + time.Now().UnixNano()))
+	var interval time.Duration
+	if cfg.pubRate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.pubRate)
+	}
+	next := time.Now()
+	var kc *kaClient
+	var fake atomic.Int64 // publish reads don't belong in responses/read
+	defer func() {
+		if kc != nil {
+			kc.nc.Close()
+		}
+	}()
+	seq := 0
+	consecDrain := 0
+	for time.Now().Before(cfg.stop) {
+		if interval > 0 {
+			if now := time.Now(); now.Before(next) {
+				time.Sleep(next.Sub(now))
+			}
+			next = next.Add(interval)
+		}
+		if consecDrain >= 100 {
+			return // the server is draining or gone; stop hammering it
+		}
+		topicIdx := seq % len(ps.topics)
+		tenant := ps.drawTenant(rng)
+		name := tenant
+		if name == "" {
+			name = "anon"
+		}
+		body := fmt.Sprintf("%s %d %d", name, seq, time.Now().UnixNano())
+		if kc == nil {
+			c, err := net.DialTimeout("tcp", cfg.addr, cfg.timeout)
+			if err != nil {
+				errs.Add(1)
+				consecDrain++
+				time.Sleep(100 * time.Millisecond)
+				continue
+			}
+			kc = &kaClient{nc: c, reads: &fake}
+			dialed.Add(1)
+		}
+		hdrs := cfg.headers
+		if tenant != "" {
+			hdrs = append(append(headerList(nil), cfg.headers...),
+				cfg.tenantHeader+": "+tenant)
+		}
+		sent.Add(1)
+		start := time.Now()
+		st, srvClose, err := kc.doBody("POST", "/publish?topic="+ps.topics[topicIdx], hdrs, body, cfg.timeout)
+		if err != nil {
+			errs.Add(1)
+			kc.nc.Close()
+			kc = nil
+			continue
+		}
+		record(st, time.Since(start))
+		switch st {
+		case 200:
+			ps.acked[topicIdx].Add(1)
+			consecDrain = 0
+			ps.agg(name).acked.Add(1)
+		case 429:
+			ps.denied.Add(1)
+			consecDrain = 0
+			ps.agg(name).denied.Add(1)
+		case 503:
+			ps.rejected.Add(1)
+			consecDrain++
+			ps.agg(name).rejected.Add(1)
+		}
+		if srvClose {
+			kc.nc.Close()
+			kc = nil
+		}
+		seq++
+	}
+}
+
+// doBody issues one request with a body on the persistent connection
+// and reads its framed response.
+func (k *kaClient) doBody(method, path string, hdrs []string, body string, timeout time.Duration) (int, bool, error) {
+	k.nc.SetDeadline(time.Now().Add(timeout))
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: loadgen\r\nContent-Length: %d\r\n", method, path, len(body))
+	for _, h := range hdrs {
+		b.WriteString(h + "\r\n")
+	}
+	b.WriteString("\r\n")
+	b.WriteString(body)
+	if _, err := k.nc.Write(b.Bytes()); err != nil {
+		return 0, false, err
+	}
+	return k.readResp()
+}
+
+// readStreamHead parses a response's status line and headers, reporting
+// whether the body is chunked (a live stream).
+func readStreamHead(br *bufio.Reader) (status int, chunked bool, err error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, false, err
+	}
+	parts := strings.SplitN(strings.TrimSpace(line), " ", 3)
+	if len(parts) < 2 {
+		return 0, false, fmt.Errorf("bad status line %q", line)
+	}
+	status, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, false, err
+	}
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			return 0, false, err
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			return status, chunked, nil
+		}
+		if k, v, ok := strings.Cut(h, ":"); ok &&
+			strings.EqualFold(strings.TrimSpace(k), "transfer-encoding") &&
+			strings.Contains(strings.ToLower(v), "chunked") {
+			chunked = true
+		}
+	}
+}
+
+// readChunk reads one chunked-encoding frame; term reports the
+// zero-length terminator (clean end of stream).
+func readChunk(br *bufio.Reader) (frame []byte, term bool, err error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, false, err
+	}
+	size, err := strconv.ParseInt(strings.TrimSpace(line), 16, 32)
+	if err != nil || size < 0 {
+		return nil, false, fmt.Errorf("bad chunk size %q", line)
+	}
+	if size == 0 {
+		br.ReadString('\n') // trailing CRLF; the conn closes after
+		return nil, true, nil
+	}
+	buf := make([]byte, size+2) // frame + CRLF
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, false, err
+	}
+	return buf[:size], false, nil
+}
+
+// doPostOnce issues one POST on a one-shot connection, ignoring the
+// response body (used for out-of-band /unsubscribe).
+func doPostOnce(addr, path string, hdrs []string, timeout time.Duration) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "POST %s HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\nContent-Length: 0\r\n", path)
+	for _, h := range hdrs {
+		b.WriteString(h + "\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := conn.Write(b.Bytes()); err != nil {
+		return
+	}
+	io.Copy(io.Discard, conn)
 }
 
 // doReq issues one GET with Connection: close and returns the status.

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/proc"
+	"repro/internal/pubsub"
 	"repro/internal/serve"
 	"repro/internal/shard"
 	"repro/internal/threads"
@@ -71,6 +72,11 @@ func main() {
 	pollers := flag.Int("pollers", 2, "fabric: poller thread count in -mux mode")
 	maxConns := flag.Int("maxconns", 0, "fabric: max concurrently-held front connections (0 = fabric default)")
 	idle := flag.Int64("idle", 0, "fabric: keep-alive idle budget between requests, in front ticks (0 = deadline)")
+	pubsubOn := flag.Bool("pubsub", false, "install the pub/sub broker (/publish, /subscribe, /unsubscribe)")
+	tenantQuota := flag.Int("tenant-quota", 0, "pubsub: per-tenant publish admission rate, publishes/sec (0 = unlimited)")
+	tenantHeader := flag.String("tenant-header", "X-Tenant", "pubsub: tenant-id request header")
+	streamDepth := flag.Int("stream-depth", 0, "pubsub: per-subscriber frame ring depth (0 = default 256)")
+	hb := flag.Int64("hb", 0, "pubsub: streaming heartbeat quiet budget in ticks (0 = default 2500, <0 disables)")
 	flag.Parse()
 
 	if *shards > 1 || *mux {
@@ -98,6 +104,11 @@ func main() {
 			MaxConns:       *maxConns,
 			Mux:            *mux,
 			Pollers:        *pollers,
+			PubSub:         *pubsubOn,
+			TenantQuota:    *tenantQuota,
+			TenantHeader:   *tenantHeader,
+			StreamDepth:    *streamDepth,
+			HeartbeatTicks: *hb,
 		})
 		return
 	}
@@ -124,6 +135,8 @@ func main() {
 		DispatchBatch: *batch,
 		Tick:          *tick,
 		Tracer:        tr,
+
+		StreamHeartbeatTicks: *hb,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -131,6 +144,22 @@ func main() {
 	}
 	if tr != nil {
 		tr.Enable()
+	}
+
+	var wg sync.WaitGroup
+	if *pubsubOn {
+		broker := pubsub.New(sys, srv.Clock(), sys.Metrics(), pubsub.Options{
+			TenantHeader: *tenantHeader,
+			StreamDepth:  *streamDepth,
+			QuotaPerSec:  *tenantQuota,
+			Tick:         *tick,
+		})
+		pubsub.Install(srv, broker)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			broker.Runner()()
+		}()
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -141,10 +170,11 @@ func main() {
 		srv.Drain()
 	}()
 
-	fmt.Printf("mpserved listening on %s (procs=%d inflight=%d queue=%d deadline=%d ticks)\n",
-		srv.Addr(), *procs, *inflight, *queueDepth, *deadline)
+	fmt.Printf("mpserved listening on %s (procs=%d inflight=%d queue=%d deadline=%d ticks pubsub=%v)\n",
+		srv.Addr(), *procs, *inflight, *queueDepth, *deadline, *pubsubOn)
 	start := time.Now()
 	sys.Run(func() { srv.Serve() })
+	wg.Wait()
 	fmt.Printf("mpserved drained after %s; final metrics:\n", time.Since(start).Round(time.Millisecond))
 	fmt.Print(sys.Metrics().Snapshot().Format())
 

@@ -1,0 +1,132 @@
+package pubsub
+
+// Guard on the committed pub/sub benchmark artifact: the multi-tenant
+// QoS legs must show the quiet tenant's delivery-lag p99 holding within
+// 2x its solo baseline while a concurrent unpaced noisy tenant is
+// quota-limited, and the fan-out leg must show >= 1k concurrent
+// subscribers on the mux front losing zero acked deliveries through a
+// SIGTERM drain.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+type benchQuantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+type benchTenant struct {
+	Acked       int64           `json:"acked"`
+	QuotaDenied int64           `json:"quota_denied"`
+	Rejected    int64           `json:"rejected"`
+	Delivered   int64           `json:"delivered"`
+	Lag         *benchQuantiles `json:"lag_ms"`
+}
+
+type benchLeg struct {
+	Topics      int                     `json:"topics"`
+	Publishers  int                     `json:"publishers"`
+	Subscribers int                     `json:"subscribers"`
+	PubAcked    int64                   `json:"pub_acked"`
+	QuotaDenied int64                   `json:"pub_quota_denied"`
+	Rejected    int64                   `json:"pub_rejected"`
+	Delivered   int64                   `json:"delivered"`
+	CleanClosed int64                   `json:"sub_clean_closed"`
+	SubDrops    int64                   `json:"sub_drops"`
+	Missing     int64                   `json:"missing_acked"`
+	Lag         *benchQuantiles         `json:"delivery_lag_ms"`
+	Tenants     map[string]*benchTenant `json:"tenants"`
+}
+
+func loadPubsubBench(t *testing.T) (qosSolo, qosQuiet, qosNoisy, fanout benchLeg) {
+	t.Helper()
+	raw, err := os.ReadFile("../../BENCH_pubsub.json")
+	if err != nil {
+		t.Fatalf("missing benchmark artifact: %v", err)
+	}
+	var bench struct {
+		QoS struct {
+			Solo      benchLeg `json:"solo"`
+			SkewQuiet benchLeg `json:"skew_quiet"`
+			SkewNoisy benchLeg `json:"skew_noisy"`
+		} `json:"qos"`
+		Fanout struct {
+			Run benchLeg `json:"run"`
+		} `json:"fanout"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatal(err)
+	}
+	return bench.QoS.Solo, bench.QoS.SkewQuiet, bench.QoS.SkewNoisy, bench.Fanout.Run
+}
+
+// TestBenchArtifactQuietTenantIsolated: under a concurrent unpaced
+// noisy storm the quiet tenant's delivery p99 stays within 2x its solo
+// baseline, and the noisy tenant is actually quota-limited (denials
+// observed, but still making capped progress).
+func TestBenchArtifactQuietTenantIsolated(t *testing.T) {
+	solo, quiet, noisy, _ := loadPubsubBench(t)
+	sq := solo.Tenants["quiet"]
+	kq := quiet.Tenants["quiet"]
+	if sq == nil || sq.Lag == nil || kq == nil || kq.Lag == nil {
+		t.Fatal("artifact missing quiet-tenant lag quantiles")
+	}
+	if sq.Lag.P99 <= 0 || sq.Delivered == 0 {
+		t.Fatal("solo leg has no quiet deliveries")
+	}
+	if ratio := kq.Lag.P99 / sq.Lag.P99; ratio > 2.0 {
+		t.Errorf("quiet tenant p99 under skew %.2fms is %.2fx its solo baseline %.2fms, want <= 2x",
+			kq.Lag.P99, ratio, sq.Lag.P99)
+	}
+	if kq.QuotaDenied != 0 {
+		t.Errorf("quiet tenant was quota-denied %d times; its paced rate must fit the quota", kq.QuotaDenied)
+	}
+	nt := noisy.Tenants["noisy"]
+	if nt == nil {
+		t.Fatal("artifact missing noisy tenant")
+	}
+	if nt.QuotaDenied < 1 {
+		t.Error("noisy tenant saw zero quota denials — the storm was not admission-limited")
+	}
+	if nt.Acked == 0 {
+		t.Error("noisy tenant was starved outright; the quota should cap, not block")
+	}
+	if nt.QuotaDenied <= nt.Acked {
+		t.Errorf("noisy denials %d <= acks %d — the offered load did not meaningfully exceed the quota",
+			nt.QuotaDenied, nt.Acked)
+	}
+}
+
+// TestBenchArtifactFanoutZeroLossDrain: the mux front held >= 1k
+// concurrent subscribers, every one of them read the chunked terminator
+// (so the zero-loss ledger ran), and no acked publish went undelivered
+// through the SIGTERM drain.
+func TestBenchArtifactFanoutZeroLossDrain(t *testing.T) {
+	_, _, _, fan := loadPubsubBench(t)
+	if fan.Subscribers < 1000 {
+		t.Errorf("fanout leg ran %d subscribers, want >= 1000", fan.Subscribers)
+	}
+	if fan.CleanClosed < int64(fan.Subscribers) {
+		t.Errorf("only %d of %d subscriptions ended with the chunked terminator — the drain did not close cleanly",
+			fan.CleanClosed, fan.Subscribers)
+	}
+	if fan.Missing != 0 {
+		t.Errorf("%d acked deliveries missing at stream close — drain lost acked publishes", fan.Missing)
+	}
+	if fan.SubDrops != 0 {
+		t.Errorf("%d subscriber streams dropped mid-run", fan.SubDrops)
+	}
+	if fan.PubAcked == 0 || fan.Delivered == 0 {
+		t.Fatal("fanout leg recorded no traffic")
+	}
+	perTopic := int64(fan.Subscribers / fan.Topics)
+	if fan.Delivered < fan.PubAcked*perTopic {
+		t.Errorf("delivered %d < acked %d x %d subscribers/topic — fan-out under-delivered",
+			fan.Delivered, fan.PubAcked, perTopic)
+	}
+}

@@ -1,0 +1,408 @@
+package pubsub
+
+// Broker tests.  Test files are the host and the client side of the
+// wire — raw goroutines and channels are fine here; the purity test
+// scans only non-test sources.  The end-to-end tests run a real
+// serve.Server with the broker installed, exactly as cmd/mpserved
+// wires it; the unit tests drive the SubStream ring directly.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/serve"
+	"repro/internal/threads"
+)
+
+type testBroker struct {
+	srv   *serve.Server
+	b     *Broker
+	done  chan struct{}
+	wdone chan struct{}
+}
+
+func (tb *testBroker) addr() string { return tb.srv.Addr().String() }
+
+// startBroker hosts a server with the broker installed: the server's
+// threads on their own system, the delivery world on its own goroutine,
+// both drained and awaited at cleanup.
+func startBroker(t *testing.T, procs int, sopts serve.Options, popts Options) *testBroker {
+	t.Helper()
+	pl := proc.New(procs)
+	sys := threads.New(pl, threads.Options{})
+	sopts.Addr = "127.0.0.1:0"
+	srv, err := serve.New(sys, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := New(sys, srv.Clock(), sys.Metrics(), popts)
+	Install(srv, b)
+	tb := &testBroker{srv: srv, b: b, done: make(chan struct{}), wdone: make(chan struct{})}
+	go func() {
+		b.Runner()()
+		close(tb.wdone)
+	}()
+	go func() {
+		sys.Run(func() { srv.Serve() })
+		close(tb.done)
+	}()
+	healthy := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if st, _, _, err := psReq(tb.addr(), "GET", "/healthz", nil, nil, time.Second); err == nil && st == 200 {
+			healthy = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatal("server did not become healthy")
+	}
+	t.Cleanup(func() {
+		srv.Drain()
+		for _, ch := range []chan struct{}{tb.done, tb.wdone} {
+			select {
+			case <-ch:
+			case <-time.After(30 * time.Second):
+				t.Error("broker host did not quiesce after drain")
+			}
+		}
+	})
+	return tb
+}
+
+// psReq is a one-shot HTTP client: Connection: close, Content-Length
+// framed response body.
+func psReq(addr, method, path string, hdrs []string, body []byte, timeout time.Duration) (int, map[string]string, []byte, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(timeout))
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: %d\r\n", method, path, len(body))
+	for _, h := range hdrs {
+		b.WriteString(h + "\r\n")
+	}
+	b.WriteString("\r\n")
+	b.Write(body)
+	if _, err := nc.Write(b.Bytes()); err != nil {
+		return 0, nil, nil, err
+	}
+	br := bufio.NewReader(nc)
+	status, hdr, err := readHead(br)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	clen, _ := strconv.Atoi(hdr["content-length"])
+	respBody := make([]byte, clen)
+	if _, err := ioReadFull(br, respBody); err != nil {
+		return 0, nil, nil, err
+	}
+	return status, hdr, respBody, nil
+}
+
+func ioReadFull(br *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := br.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func readHead(br *bufio.Reader) (int, map[string]string, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, nil, err
+	}
+	parts := strings.SplitN(strings.TrimSpace(line), " ", 3)
+	if len(parts) < 2 {
+		return 0, nil, fmt.Errorf("bad status line %q", line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, nil, err
+	}
+	hdr := map[string]string{}
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			return 0, nil, err
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			return status, hdr, nil
+		}
+		if k, v, ok := strings.Cut(h, ":"); ok {
+			hdr[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+		}
+	}
+}
+
+// subClient is a live subscription: the chunked stream and its id.
+type subClient struct {
+	nc net.Conn
+	br *bufio.Reader
+	id string
+}
+
+func subscribe(t *testing.T, addr, topic string, hdrs ...string) *subClient {
+	t.Helper()
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	nc.SetDeadline(time.Now().Add(30 * time.Second))
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "GET /subscribe?topic=%s HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n", topic)
+	for _, h := range hdrs {
+		b.WriteString(h + "\r\n")
+	}
+	b.WriteString("\r\n")
+	if _, err := nc.Write(b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	status, hdr, err := readHead(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != 200 {
+		t.Fatalf("subscribe status = %d", status)
+	}
+	if !strings.Contains(strings.ToLower(hdr["transfer-encoding"]), "chunked") {
+		t.Fatalf("subscribe response not chunked: %v", hdr)
+	}
+	sc := &subClient{nc: nc, br: br}
+	frame, term := sc.next(t, 10*time.Second)
+	if term || !strings.HasPrefix(frame, "id:") {
+		t.Fatalf("first frame = %q (term=%v), want id:<n>", frame, term)
+	}
+	sc.id = frame[3:]
+	return sc
+}
+
+// next reads one chunked frame, skipping heartbeat padding.
+func (sc *subClient) next(t *testing.T, timeout time.Duration) (string, bool) {
+	t.Helper()
+	for {
+		sc.nc.SetReadDeadline(time.Now().Add(timeout))
+		line, err := sc.br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream read: %v", err)
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(line), 16, 32)
+		if err != nil {
+			t.Fatalf("bad chunk size %q", line)
+		}
+		if size == 0 {
+			sc.br.ReadString('\n')
+			return "", true
+		}
+		buf := make([]byte, size+2)
+		if _, err := ioReadFull(sc.br, buf); err != nil {
+			t.Fatal(err)
+		}
+		if f := string(buf[:size]); f != "\n" {
+			return f, false
+		}
+	}
+}
+
+// ------------------------------------------------------------ end to end
+
+func TestPublishSubscribeDeliverEndToEnd(t *testing.T) {
+	tb := startBroker(t, 2, serve.Options{}, Options{})
+	sc := subscribe(t, tb.addr(), "a")
+
+	st, _, body, err := psReq(tb.addr(), "POST", "/publish?topic=a", nil, []byte("hello subs"), 10*time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("publish: %d %q %v", st, body, err)
+	}
+	if frame, term := sc.next(t, 10*time.Second); term || frame != "hello subs" {
+		t.Fatalf("delivered frame = %q (term=%v)", frame, term)
+	}
+
+	// Unsubscribe closes the stream cleanly: terminator after pending
+	// frames.
+	st, _, _, err = psReq(tb.addr(), "POST", "/unsubscribe?topic=a&id="+sc.id, nil, nil, 10*time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("unsubscribe: %d %v", st, err)
+	}
+	if _, term := sc.next(t, 10*time.Second); !term {
+		t.Fatal("stream did not end with the chunked terminator after unsubscribe")
+	}
+
+	s := tb.b.Stats()
+	if s.Published != 1 || s.Delivered != 1 {
+		t.Errorf("stats = %+v, want published 1 delivered 1", s)
+	}
+	if s.DroppedSlow != 0 {
+		t.Errorf("dropped_slow = %d, want 0", s.DroppedSlow)
+	}
+}
+
+func TestPublishFanoutToManySubscribers(t *testing.T) {
+	tb := startBroker(t, 2, serve.Options{}, Options{})
+	const n = 8
+	subs := make([]*subClient, n)
+	for i := range subs {
+		subs[i] = subscribe(t, tb.addr(), "fan")
+	}
+	st, _, _, err := psReq(tb.addr(), "POST", "/publish?topic=fan", nil, []byte("boom"), 10*time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("publish: %d %v", st, err)
+	}
+	for i, sc := range subs {
+		if frame, term := sc.next(t, 10*time.Second); term || frame != "boom" {
+			t.Fatalf("sub %d: frame = %q (term=%v)", i, frame, term)
+		}
+	}
+	if d := tb.b.Stats().Delivered; d != n {
+		t.Errorf("delivered = %d, want %d", d, n)
+	}
+}
+
+func TestPublishQuotaDenied429(t *testing.T) {
+	tb := startBroker(t, 2, serve.Options{}, Options{QuotaPerSec: 1, QuotaBurst: 2})
+	var ok200, denied429 int
+	var retryAfter string
+	for i := 0; i < 10; i++ {
+		st, hdr, _, err := psReq(tb.addr(), "POST", "/publish?topic=q",
+			[]string{"X-Tenant: noisy"}, []byte("x"), 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st {
+		case 200:
+			ok200++
+		case 429:
+			denied429++
+			retryAfter = hdr["retry-after"]
+		default:
+			t.Fatalf("publish %d: status %d", i, st)
+		}
+	}
+	if ok200 == 0 || denied429 == 0 {
+		t.Fatalf("ok=%d denied=%d, want both the burst admitted and the excess denied", ok200, denied429)
+	}
+	if retryAfter == "" {
+		t.Error("429 carried no Retry-After")
+	}
+	if q := tb.b.Stats().QuotaDenied; q != int64(denied429) {
+		t.Errorf("quota_denied counter = %d, want %d", q, denied429)
+	}
+}
+
+func TestUnsubscribeUnknown(t *testing.T) {
+	tb := startBroker(t, 2, serve.Options{}, Options{})
+	if st, _, _, _ := psReq(tb.addr(), "POST", "/unsubscribe?topic=missing&id=1", nil, nil, 10*time.Second); st != 404 {
+		t.Fatalf("unknown topic: status %d, want 404", st)
+	}
+	subscribe(t, tb.addr(), "u")
+	if st, _, _, _ := psReq(tb.addr(), "POST", "/unsubscribe?topic=u&id=999", nil, nil, 10*time.Second); st != 404 {
+		t.Fatalf("unknown id: status %d, want 404", st)
+	}
+}
+
+// TestDrainZeroLostAckedDeliveries is the zero-loss guarantee end to
+// end: every publish acked with 200 before the drain must reach every
+// live subscriber before its stream's terminator.
+func TestDrainZeroLostAckedDeliveries(t *testing.T) {
+	tb := startBroker(t, 2, serve.Options{}, Options{})
+	const nsubs, npubs = 3, 5
+	subs := make([]*subClient, nsubs)
+	for i := range subs {
+		subs[i] = subscribe(t, tb.addr(), "z")
+	}
+	for i := 0; i < npubs; i++ {
+		st, _, _, err := psReq(tb.addr(), "POST", "/publish?topic=z", nil,
+			[]byte(fmt.Sprintf("m%d", i)), 10*time.Second)
+		if err != nil || st != 200 {
+			t.Fatalf("publish %d: %d %v", i, st, err)
+		}
+	}
+
+	tb.srv.Drain()
+
+	for i, sc := range subs {
+		got := 0
+		for {
+			frame, term := sc.next(t, 20*time.Second)
+			if term {
+				break
+			}
+			if want := fmt.Sprintf("m%d", got); frame != want {
+				t.Fatalf("sub %d frame %d = %q, want %q (in order)", i, got, frame, want)
+			}
+			got++
+		}
+		if got != npubs {
+			t.Errorf("sub %d saw %d of %d acked publishes before the terminator", i, got, npubs)
+		}
+	}
+
+	// Post-drain operations reject.
+	if st, _, _, err := psReq(tb.addr(), "POST", "/publish?topic=z", nil, []byte("late"), 10*time.Second); err == nil && st != 503 {
+		t.Errorf("publish after drain: status %d, want 503 (or refused)", st)
+	}
+}
+
+// --------------------------------------------------------------- the ring
+
+func TestSubStreamOrderOverflowAndClose(t *testing.T) {
+	st := newSubStream(4)
+	for i := 0; i < 4; i++ {
+		if r := st.push([]byte{byte('a' + i)}, int64(i)); r != pushOK {
+			t.Fatalf("push %d = %d, want pushOK", i, r)
+		}
+	}
+	if r := st.push([]byte("x"), 9); r != pushFull {
+		t.Fatalf("overflow push = %d, want pushFull", r)
+	}
+	st.close()
+	// Pending frames drain in FIFO order before the close surfaces.
+	for i := 0; i < 4; i++ {
+		data, tick, ok, open := st.pullTick()
+		if !ok || !open || string(data) != string(byte('a'+i)) || tick != int64(i) {
+			t.Fatalf("pull %d = %q tick=%d ok=%v open=%v", i, data, tick, ok, open)
+		}
+	}
+	if _, ok, open := st.Pull(); ok || open {
+		t.Fatalf("drained closed ring: ok=%v open=%v, want false/false", ok, open)
+	}
+	if r := st.push([]byte("y"), 1); r != pushGone {
+		t.Fatalf("push after close = %d, want pushGone", r)
+	}
+}
+
+func TestSubStreamCancelDropsPendingAndReadsDead(t *testing.T) {
+	st := newSubStream(4)
+	st.push([]byte("a"), 1)
+	if st.dead() {
+		t.Fatal("fresh ring reads dead")
+	}
+	st.Cancel()
+	st.Cancel() // idempotent
+	if !st.dead() {
+		t.Fatal("canceled ring must read dead")
+	}
+	if _, ok, open := st.Pull(); ok || open {
+		t.Fatalf("canceled ring Pull: ok=%v open=%v, want false/false", ok, open)
+	}
+	if r := st.push([]byte("b"), 2); r != pushGone {
+		t.Fatalf("push after cancel = %d, want pushGone", r)
+	}
+}

@@ -1,0 +1,154 @@
+package pubsub
+
+// SubStream is one subscriber's delivery buffer: a fixed-capacity ring
+// of frames pushed by the broker's delivery world and pulled by
+// whatever owns the subscriber's connection — a serve worker thread, a
+// fabric connection thread, or a mux poller, all in *other* scheduling
+// worlds than the pusher.  A plain spinlock is the only primitive both
+// sides can share; holders do O(1) work so the lock never convoys.
+//
+// The ring is where the zero-loss guarantee lives: a publish is acked
+// only after its frame is in every live subscriber's ring, and Pull
+// drains pending frames before surfacing a close, so an acked frame can
+// be lost only by the subscriber's own death (or by eviction when its
+// ring overflows — the slow-consumer policy, counted, never silent).
+
+import (
+	"repro/internal/core"
+)
+
+// sframe is one buffered frame plus the broker-clock tick it was
+// published at, for delivery-lag accounting at the consumer.
+type sframe struct {
+	data []byte
+	tick int64
+}
+
+// push results.
+const (
+	pushOK   = iota
+	pushFull // ring at capacity: slow consumer, caller evicts
+	pushGone // closed or canceled: no delivery owed
+)
+
+// SubStream implements the producer/consumer ring behind one Sub.
+type SubStream struct {
+	lock     core.Lock
+	buf      []sframe
+	head     int
+	n        int
+	closed   bool // producer ended (unsubscribe / broker drain)
+	canceled bool // consumer gone (connection died or refused)
+}
+
+func newSubStream(depth int) *SubStream {
+	if depth < 2 {
+		depth = 2
+	}
+	return &SubStream{lock: core.NewMutexLock(), buf: make([]sframe, depth)}
+}
+
+// push appends a frame from the delivery world.
+func (st *SubStream) push(data []byte, tick int64) int {
+	st.lock.Lock()
+	if st.closed || st.canceled {
+		st.lock.Unlock()
+		return pushGone
+	}
+	if st.n == len(st.buf) {
+		st.lock.Unlock()
+		return pushFull
+	}
+	st.buf[(st.head+st.n)%len(st.buf)] = sframe{data: data, tick: tick}
+	st.n++
+	st.lock.Unlock()
+	return pushOK
+}
+
+// Pull implements serve.Streamer's frame source: pending frames drain
+// before a close is surfaced, so an acked publish is never lost to a
+// racing drain.
+func (st *SubStream) Pull() (data []byte, ok, open bool) {
+	st.lock.Lock()
+	if st.n > 0 {
+		f := st.buf[st.head]
+		st.buf[st.head] = sframe{}
+		st.head = (st.head + 1) % len(st.buf)
+		st.n--
+		st.lock.Unlock()
+		return f.data, true, true
+	}
+	open = !st.closed && !st.canceled
+	st.lock.Unlock()
+	return nil, false, open
+}
+
+// pullTick is Pull plus the frame's publish tick — the form consumers
+// that track delivery lag (tests) use.
+func (st *SubStream) pullTick() (data []byte, tick int64, ok, open bool) {
+	st.lock.Lock()
+	if st.n > 0 {
+		f := st.buf[st.head]
+		st.buf[st.head] = sframe{}
+		st.head = (st.head + 1) % len(st.buf)
+		st.n--
+		st.lock.Unlock()
+		return f.data, f.tick, true, true
+	}
+	open = !st.closed && !st.canceled
+	st.lock.Unlock()
+	return nil, 0, false, open
+}
+
+// Cancel implements serve.Streamer: the consumer is gone, buffered
+// frames are undeliverable.  Idempotent; the topic thread prunes the
+// subscriber at its next tick.
+func (st *SubStream) Cancel() {
+	st.lock.Lock()
+	st.canceled = true
+	for st.n > 0 {
+		st.buf[st.head] = sframe{}
+		st.head = (st.head + 1) % len(st.buf)
+		st.n--
+	}
+	st.lock.Unlock()
+}
+
+// close ends the producer side; buffered frames still drain through
+// Pull before open goes false.
+func (st *SubStream) close() {
+	st.lock.Lock()
+	st.closed = true
+	st.lock.Unlock()
+}
+
+// dead reports whether the consumer canceled.
+func (st *SubStream) dead() bool {
+	st.lock.Lock()
+	d := st.canceled
+	st.lock.Unlock()
+	return d
+}
+
+// Sub is one live subscription: the value a /subscribe response carries
+// to the connection owner as its serve.Streamer, and the handle the
+// topic thread fans out to.
+type Sub struct {
+	id     int64
+	topic  string
+	tenant *tenant
+	st     *SubStream
+}
+
+// ID returns the subscription id (the first frame announces it to the
+// client as "id:<n>", the handle /unsubscribe takes).
+func (s *Sub) ID() int64 { return s.id }
+
+// Pull implements serve.Streamer.
+func (s *Sub) Pull() ([]byte, bool, bool) { return s.st.Pull() }
+
+// Cancel implements serve.Streamer.
+func (s *Sub) Cancel() { s.st.Cancel() }
+
+// Stream exposes the underlying ring (tests).
+func (s *Sub) Stream() *SubStream { return s.st }

@@ -112,6 +112,14 @@ type Response struct {
 	ContentType string // default "text/plain; charset=utf-8"
 	Body        []byte
 	RetryAfter  int // seconds; emitted as Retry-After when nonzero
+
+	// Stream, when non-nil, switches the reply to chunked streaming
+	// delivery (stream.go): the header goes out with Transfer-Encoding:
+	// chunked and Connection: close, then frames pulled from the
+	// Streamer flow as chunks until it closes.  Body is ignored and the
+	// connection always closes when the stream ends.  Any owner that
+	// drops a stream response unwritten must Cancel it.
+	Stream Streamer
 }
 
 // Handler serves one request.  Handlers run on MP threads; they may
@@ -213,6 +221,8 @@ func statusText(code int) string {
 		return "Conflict"
 	case 413:
 		return "Content Too Large"
+	case 429:
+		return "Too Many Requests"
 	case 500:
 		return "Internal Server Error"
 	case 503:

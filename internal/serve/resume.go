@@ -209,10 +209,22 @@ func (c *Conn) PollWrite() (bool, error) {
 // connection holds only its small steady-state footprint.  The residual
 // buffer is only trimmed when empty — buffered pipelined bytes are the
 // next request.
+//
+// Staged-but-unflushed write bytes are never discarded: if the write
+// buffer still holds bytes the socket hasn't taken (a chunk flush
+// parked on EPOLLOUT mid-stream), the machine stays in StateWriting and
+// only the read-side latches reset.  Silently dropping a partial flush
+// would desynchronize the wire — the client already saw a prefix of the
+// staged bytes — so the caller must finish or kill the connection, not
+// park it idle.
 func (c *Conn) ParkIdle() {
-	c.state = StateIdle
 	c.rdStarted = false
 	c.rdDeadline = 0
+	if c.woff < len(c.wbuf) {
+		c.state = StateWriting
+		return
+	}
+	c.state = StateIdle
 	if cap(c.wbuf) > maxParkedBytes {
 		c.wbuf = nil
 	}
@@ -226,7 +238,10 @@ func (c *Conn) ParkIdle() {
 
 // Reset rebinds a pooled Conn to a freshly accepted connection, keeping
 // its allocated buffers — the conn-object recycling the multiplexed
-// front uses so connection churn does not allocate.
+// front uses so connection churn does not allocate.  Unlike ParkIdle,
+// Reset deliberately truncates any staged bytes: they belonged to the
+// previous (now closed) connection and must never leak into the fresh
+// one's response stream.
 func (c *Conn) Reset(nc net.Conn, fd int) {
 	c.nc = nc
 	c.fd = fd

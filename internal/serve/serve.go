@@ -104,6 +104,11 @@ type Options struct {
 	// RetryAfter is the Retry-After hint, in seconds, on shed responses
 	// (default 1).
 	RetryAfter int
+	// StreamHeartbeatTicks is how long a chunked streaming response may
+	// stay quiet before the worker writes a heartbeat chunk — both a
+	// keep-alive and the dead-subscriber detector (default 2500; a
+	// negative value disables heartbeats).
+	StreamHeartbeatTicks int64
 	// Log, when non-nil, is a shared mlio runtime for the access log; the
 	// fabric passes one runtime to every shard so their lines interleave
 	// in a single stream.  Pair with LogPolicy.  Default: a private
@@ -160,6 +165,11 @@ func (o *Options) fill() {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 1
+	}
+	if o.StreamHeartbeatTicks == 0 {
+		o.StreamHeartbeatTicks = 2500
+	} else if o.StreamHeartbeatTicks < 0 {
+		o.StreamHeartbeatTicks = 0
 	}
 }
 
@@ -219,6 +229,8 @@ type Server struct {
 	state          core.Lock // guards all fields below
 	acceptQ        queue.Queue[pending]
 	active         int // dispatched work units not yet finished
+	holds          int // outstanding Hold()s keeping the pumps alive
+	drainHooks     []func()
 	draining       bool
 	acceptorDone   bool
 	dispatcherDone bool
@@ -392,9 +404,17 @@ func (srv *Server) Drain() {
 	srv.state.Lock()
 	already := srv.draining
 	srv.draining = true
+	hooks := srv.drainHooks
+	srv.drainHooks = nil
 	srv.state.Unlock()
 	if already {
 		return
+	}
+	// Drain hooks fire exactly once, outside the state lock — subsystems
+	// riding on this server (the pubsub broker) begin their own shutdown
+	// here and release their Hold when done.
+	for _, h := range hooks {
+		h()
 	}
 	// Procs discover the shrunken allowance at dispatch safe points and
 	// release; in-flight work finishes on the survivor.
@@ -402,6 +422,41 @@ func (srv *Server) Drain() {
 	if srv.opts.NoListener {
 		// No acceptor to poison the dispatcher; do it here.
 		srv.items.Release()
+	}
+}
+
+// OnDrain registers a hook run exactly once when Drain first fires (on
+// the draining caller, before the allowance shrinks).  If the server is
+// already draining the hook runs immediately.  Register before Serve or
+// from any goroutine.
+func (srv *Server) OnDrain(f func()) {
+	srv.state.Lock()
+	if srv.draining {
+		srv.state.Unlock()
+		f()
+		return
+	}
+	srv.drainHooks = append(srv.drainHooks, f)
+	srv.state.Unlock()
+}
+
+// Hold keeps the server's pumps (clock, scheduler occupancy) alive past
+// the normal drain quiescence point until the returned release is
+// called — how a subsystem with its own shutdown choreography (the
+// pubsub broker flushing streams) extends the server's lifetime.  The
+// release is idempotent and callable from any goroutine.
+func (srv *Server) Hold() (release func()) {
+	srv.state.Lock()
+	srv.holds++
+	srv.state.Unlock()
+	released := false
+	return func() {
+		srv.state.Lock()
+		if !released {
+			released = true
+			srv.holds--
+		}
+		srv.state.Unlock()
 	}
 }
 
@@ -434,7 +489,8 @@ func (srv *Server) pump() {
 			emitted = target
 		}
 		srv.state.Lock()
-		done := srv.draining && srv.acceptorDone && srv.dispatcherDone && srv.active == 0
+		done := srv.draining && srv.acceptorDone && srv.dispatcherDone &&
+			srv.active == 0 && srv.holds == 0
 		srv.state.Unlock()
 		if done {
 			return
@@ -867,13 +923,23 @@ func (srv *Server) worker(p pending) {
 			keepAlive = err == nil && !req.Close && !srv.opts.DisableKeepAlive && !srv.Draining()
 			capTick = req.Deadline + 20
 		}
-		resps = append(resps[:0], resp)
+		// A streaming response takes the connection for the rest of its
+		// life: responses batched ahead of it flush first (keep-alive —
+		// the stream header follows on the same socket), then the chunk
+		// pump runs until the stream closes or the client dies.
+		var sresp Response
+		resps = resps[:0]
+		if resp.Stream != nil {
+			sresp = resp
+		} else {
+			resps = append(resps, resp)
+		}
 		srv.accountResponse(req, resp, arrival, served)
 		served++
 
 		// Drain the residual pipelined run: every complete successor
 		// already buffered joins this write batch.
-		for keepAlive {
+		for keepAlive && sresp.Stream == nil {
 			more, ok, rerr := c.ReadBuffered(srv.opts.DeadlineTicks)
 			if rerr != nil {
 				// Poisoned pipeline: the buffered bytes can never become a
@@ -894,12 +960,25 @@ func (srv *Server) worker(p pending) {
 			mresp := srv.handle(more)
 			keepAlive = !more.Close && !srv.opts.DisableKeepAlive && !srv.Draining()
 			capTick = more.Deadline + 20
-			resps = append(resps, mresp)
 			srv.accountResponse(more, mresp, more.Arrival, served)
 			served++
+			if mresp.Stream != nil {
+				sresp = mresp
+				break
+			}
+			resps = append(resps, mresp)
 		}
 
-		werr := c.WriteResponses(resps, capTick, keepAlive)
+		streaming := sresp.Stream != nil
+		werr := c.WriteResponses(resps, capTick, keepAlive || streaming)
+		if streaming {
+			if werr != nil {
+				sresp.Stream.Cancel()
+			} else {
+				c.StreamResponse(sresp, srv.opts.StreamHeartbeatTicks, srv.opts.DeadlineTicks)
+			}
+			break
+		}
 		if werr != nil || !keepAlive {
 			break
 		}
@@ -919,6 +998,9 @@ func (srv *Server) worker(p pending) {
 func (srv *Server) handle(req *Request) Response {
 	resp := srv.dispatchRequest(req)
 	if resp.Status == 200 && srv.clock.Now() >= req.Deadline {
+		if resp.Stream != nil {
+			resp.Stream.Cancel() // the stream response is dropped unwritten
+		}
 		resp = Response{Status: 504, Body: []byte("deadline exceeded\n")}
 	}
 	if resp.Status == 504 {
@@ -953,6 +1035,9 @@ func (srv *Server) jobWorker(j *job) {
 	req := j.req
 	resp := srv.dispatchRequest(req)
 	if resp.Status == 200 && srv.clock.Now() >= req.Deadline {
+		if resp.Stream != nil {
+			resp.Stream.Cancel() // the stream response is dropped unwritten
+		}
 		resp = Response{Status: 504, Body: []byte("deadline exceeded\n")}
 	}
 	self := proc.Self()

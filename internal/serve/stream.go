@@ -1,0 +1,217 @@
+package serve
+
+// Chunked streaming responses: the long-lived complement to the
+// one-shot request/response path.  A handler that returns a Response
+// with Stream set hands the connection to a frame source for the rest
+// of the connection's life: the header goes out with
+// Transfer-Encoding: chunked and Connection: close, then frames pulled
+// from the Streamer flow as chunks until the source reports closed and
+// the zero-length terminator ends the body.
+//
+// Both faces of the Conn machine carry it.  The blocking face
+// (StreamResponse) owns its thread and parks on the CML clock between
+// frames, exactly like ReadRequest's discipline.  The resumable face
+// stages incrementally: StageStream arms the header (plus any
+// responses batched ahead of the stream), StageChunks appends each
+// frame burst, and the owner cycles the machine
+// StateStreaming → StateWriting → StateStreaming so a subscriber
+// connection parks on EPOLLOUT between events — at fan-out scale a
+// quiet subscriber costs only its parked Conn, not a thread.
+
+import (
+	"io"
+	"strconv"
+
+	"repro/internal/proc"
+)
+
+// StateStreaming: a chunked streaming response owns the connection.
+// The owner pulls frames from the response's Streamer, stages them with
+// StageChunks (which re-arms StateWriting), and returns here when the
+// flush drains.  Declared outside resume.go's iota block so the
+// existing state numbering is untouched.
+const StateStreaming ConnState = 4
+
+// Streamer is a source of stream frames — the handler side of a
+// chunked streaming response.  Pull is non-blocking: ok reports a frame
+// was returned; open reports the stream still lives (ok=false,
+// open=true means "nothing right now"; open=false means the source
+// ended — drain pending frames, then write the terminator).  Cancel
+// tells the source its consumer is gone (dead or refused connection)
+// and must be idempotent.  Implementations must tolerate a puller and a
+// producer in different scheduling worlds: the pubsub broker's delivery
+// threads push while a front poller pulls.
+type Streamer interface {
+	Pull() (frame []byte, ok bool, open bool)
+	Cancel()
+}
+
+// streamTerm is the chunked-encoding terminator: a zero-length chunk,
+// no trailers.
+var streamTerm = []byte("0\r\n\r\n")
+
+// hbChunk is a one-byte heartbeat chunk ("\n"): it keeps a quiet
+// stream's socket verifiably alive and lets the writer detect a dead
+// subscriber between events.  Consumers treat bare-newline frames as
+// padding.
+var hbChunk = []byte("1\r\n\n\r\n")
+
+// streamFlushFrames caps how many frames one flush coalesces, bounding
+// the bytes a slow subscriber can pin in a staged buffer while parked
+// on EPOLLOUT.
+const streamFlushFrames = 32
+
+// appendChunk appends one chunked-encoding frame — hex size, CRLF,
+// data, CRLF — to dst.
+func appendChunk(dst, frame []byte) []byte {
+	var tmp [16]byte
+	dst = append(dst, strconv.AppendInt(tmp[:0], int64(len(frame)), 16)...)
+	dst = append(dst, '\r', '\n')
+	dst = append(dst, frame...)
+	return append(dst, '\r', '\n')
+}
+
+// renderStreamHeader renders the status line and headers for a chunked
+// streaming response: no Content-Length, Transfer-Encoding: chunked,
+// Connection: close — a stream takes the connection to its end, so
+// keep-alive never applies.
+func renderStreamHeader(rb *respBuf, resp Response) {
+	ctype := resp.ContentType
+	if ctype == "" {
+		ctype = "text/plain; charset=utf-8"
+	}
+	b := &rb.b
+	b.WriteString("HTTP/1.1 ")
+	b.Write(strconv.AppendInt(rb.scratch[:0], int64(resp.Status), 10))
+	b.WriteByte(' ')
+	b.WriteString(statusText(resp.Status))
+	b.WriteString("\r\nContent-Type: ")
+	b.WriteString(ctype)
+	b.WriteString("\r\nTransfer-Encoding: chunked")
+	b.WriteString("\r\nConnection: close\r\n\r\n")
+}
+
+// StreamResponse is the blocking face of streaming delivery: write the
+// chunked header, then pump frames until the source closes or the
+// client dies, parking on the clock whenever the stream goes quiet.
+// Each flush coalesces up to streamFlushFrames frames and is capped at
+// flushTicks so a stalled client cannot pin the thread; hbTicks > 0
+// sends a heartbeat chunk after that much quiet, which is also how a
+// silently dead client is detected between events.  The Streamer is
+// always left settled: Cancel on any write failure, fully drained on a
+// clean close.  The caller closes the connection after.
+func (c *Conn) StreamResponse(resp Response, hbTicks, flushTicks int64) error {
+	s := resp.Stream
+	shard, _ := proc.TrySelf()
+	rb := c.cfg.Pool.get(shard)
+	renderStreamHeader(rb, resp)
+	capTick := c.cfg.Clock.Now() + flushTicks
+	err := c.writeAll(rb.b.Bytes(), capTick, c.wallCap(capTick))
+	c.cfg.Pool.put(shard, rb)
+	if err != nil {
+		s.Cancel()
+		return err
+	}
+	lastWrite := c.cfg.Clock.Now()
+	var buf []byte
+	for {
+		buf = buf[:0]
+		final := false
+		n := 0
+		for n < streamFlushFrames {
+			f, ok, open := s.Pull()
+			if ok {
+				buf = appendChunk(buf, f)
+				n++
+				continue
+			}
+			final = !open
+			break
+		}
+		if final {
+			buf = append(buf, streamTerm...)
+		}
+		if len(buf) > 0 {
+			capTick = c.cfg.Clock.Now() + flushTicks
+			if err := c.writeAll(buf, capTick, c.wallCap(capTick)); err != nil {
+				s.Cancel()
+				return err
+			}
+			lastWrite = c.cfg.Clock.Now()
+		}
+		if final {
+			return nil
+		}
+		if n > 0 {
+			continue // a burst drained; look again before parking
+		}
+		if hbTicks > 0 && c.cfg.Clock.Now()-lastWrite >= hbTicks {
+			capTick = c.cfg.Clock.Now() + flushTicks
+			if err := c.writeAll(hbChunk, capTick, c.wallCap(capTick)); err != nil {
+				s.Cancel()
+				return err
+			}
+			lastWrite = c.cfg.Clock.Now()
+			continue
+		}
+		c.cfg.Park(1)
+	}
+}
+
+// StageStream is the resumable entry into streaming: render any
+// responses batched ahead of the stream (keep-alive — the stream
+// header follows on the same socket) plus the stream's chunked header
+// into the staged write buffer, and arm StateWriting.  When the flush
+// drains the owner moves the machine to StateStreaming and pumps
+// frames through StageChunks.
+func (c *Conn) StageStream(prev []Response, resp Response) {
+	shard, _ := proc.TrySelf()
+	rb := c.cfg.Pool.get(shard)
+	for i := range prev {
+		renderResponse(rb, prev[i], true)
+	}
+	renderStreamHeader(rb, resp)
+	c.wbuf = append(c.wbuf[:0], rb.b.Bytes()...)
+	c.woff = 0
+	c.cfg.Pool.put(shard, rb)
+	c.state = StateWriting
+}
+
+// StageChunks appends frames (and, when final, the terminator) to the
+// staged write buffer as chunked-encoding chunks and arms StateWriting.
+// Unlike StageResponses it never resets the buffer while unflushed
+// bytes remain: a subscriber parked on EPOLLOUT mid-flush accumulates
+// new frames behind its backlog — bounded by the owner's pull batching
+// — and loses nothing.
+func (c *Conn) StageChunks(frames [][]byte, final bool) {
+	if c.woff >= len(c.wbuf) {
+		c.wbuf = c.wbuf[:0]
+		c.woff = 0
+	}
+	for _, f := range frames {
+		c.wbuf = appendChunk(c.wbuf, f)
+	}
+	if final {
+		c.wbuf = append(c.wbuf, streamTerm...)
+	}
+	c.state = StateWriting
+}
+
+// ProbeDiscard reads and discards whatever the client sent — the
+// streaming owner's liveness probe.  A subscriber has nothing left to
+// say once its stream starts, so bytes are dropped; EOF or a reset
+// surfaces as the error that tells the owner to close.
+func (c *Conn) ProbeDiscard(scratch []byte) error {
+	for {
+		n, err := readFD(c.fd, scratch)
+		if err != nil {
+			if err == ErrWouldBlock {
+				return nil
+			}
+			return err
+		}
+		if n == 0 {
+			return io.EOF
+		}
+	}
+}

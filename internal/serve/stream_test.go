@@ -1,0 +1,273 @@
+//go:build linux
+
+package serve
+
+// Streaming-path tests: the chunked wire format both faces produce, the
+// blocking pump's heartbeat and cancel-on-dead-client behavior, the
+// resumable StageStream/StageChunks cycle, and the regression that a
+// connection parked mid-stream keeps its staged-but-unflushed bytes
+// (ParkIdle) while a recycled conn object truncates them (Reset).
+
+import (
+	"bytes"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/cml"
+)
+
+// scriptStream is a deterministic Streamer: it hands out its frames,
+// then stays open for `quiet` additional pulls, then reports closed.
+type scriptStream struct {
+	frames   [][]byte
+	quiet    int
+	pulls    int
+	canceled bool
+}
+
+func (s *scriptStream) Pull() ([]byte, bool, bool) {
+	s.pulls++
+	if len(s.frames) > 0 {
+		f := s.frames[0]
+		s.frames = s.frames[1:]
+		return f, true, true
+	}
+	if s.quiet > 0 {
+		s.quiet--
+		return nil, false, true
+	}
+	return nil, false, false
+}
+
+func (s *scriptStream) Cancel() { s.canceled = true }
+
+func frames(ss ...string) [][]byte {
+	var out [][]byte
+	for _, s := range ss {
+		out = append(out, []byte(s))
+	}
+	return out
+}
+
+func TestStreamResponseChunkedWire(t *testing.T) {
+	tc := &throttledConn{}
+	c, _ := testConn(tc)
+	s := &scriptStream{frames: frames("hello", "world!!")}
+	if err := c.StreamResponse(Response{Status: 200, Stream: s}, 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := tc.buf.String()
+	head, body, ok := strings.Cut(got, "\r\n\r\n")
+	if !ok {
+		t.Fatalf("no header terminator in %q", got)
+	}
+	for _, want := range []string{
+		"HTTP/1.1 200 OK",
+		"Transfer-Encoding: chunked",
+		"Connection: close",
+	} {
+		if !strings.Contains(head, want) {
+			t.Errorf("header %q missing %q", head, want)
+		}
+	}
+	if strings.Contains(head, "Content-Length") {
+		t.Errorf("streaming header %q must not carry Content-Length", head)
+	}
+	if want := "5\r\nhello\r\n7\r\nworld!!\r\n0\r\n\r\n"; body != want {
+		t.Errorf("body = %q, want %q", body, want)
+	}
+	if s.canceled {
+		t.Error("clean close must not Cancel the source")
+	}
+}
+
+func TestStreamResponseHeartbeatAfterQuiet(t *testing.T) {
+	tc := &throttledConn{}
+	c, _ := testConn(tc)
+	// One frame, then a long quiet stretch, then close.  Each empty pull
+	// parks one tick (testConn's Park advances the clock), so with
+	// hbTicks=3 the quiet stretch must produce at least one heartbeat.
+	s := &scriptStream{frames: frames("evt"), quiet: 10}
+	if err := c.StreamResponse(Response{Status: 200, Stream: s}, 3, 1000); err != nil {
+		t.Fatal(err)
+	}
+	_, body, _ := strings.Cut(tc.buf.String(), "\r\n\r\n")
+	if !strings.Contains(body, "1\r\n\n\r\n") {
+		t.Errorf("quiet stream body %q carries no heartbeat chunk", body)
+	}
+	if !strings.HasSuffix(body, "0\r\n\r\n") {
+		t.Errorf("body %q does not end with the chunked terminator", body)
+	}
+}
+
+func TestStreamResponseCancelsOnDeadClient(t *testing.T) {
+	tc := &throttledConn{stall: true}
+	c, clk := testConn(tc)
+	_ = clk
+	s := &scriptStream{frames: frames("x")}
+	// The stalled socket never accepts the header; the write deadline
+	// (flushTicks=5 on the parking clock) must surface an error and the
+	// source must learn its consumer is gone.
+	if err := c.StreamResponse(Response{Status: 200, Stream: s}, 0, 5); err == nil {
+		t.Fatal("stalled client: want error, got nil")
+	}
+	if !s.canceled {
+		t.Error("write failure must Cancel the stream source")
+	}
+}
+
+// readAllAvailable drains whatever the peer end of a socketpair holds
+// right now (the fd is flipped non-blocking so the drain terminates).
+func readAllAvailable(t *testing.T, fd int) []byte {
+	t.Helper()
+	if err := syscall.SetNonblock(fd, true); err != nil {
+		t.Fatal(err)
+	}
+	var out []byte
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := syscall.Read(fd, buf)
+		if n > 0 {
+			out = append(out, buf[:n]...)
+			continue
+		}
+		if err == nil || err == syscall.EAGAIN {
+			return out
+		}
+		t.Fatal(err)
+		return out
+	}
+}
+
+func TestStageStreamThenChunksWireFormat(t *testing.T) {
+	c, peer := resumePair(t)
+
+	prev := []Response{{Status: 200, Body: []byte("pre")}}
+	c.StageStream(prev, Response{Status: 200, Stream: nil, ContentType: "text/event-stream"})
+	if c.State() != StateWriting {
+		t.Fatalf("state = %d, want StateWriting", c.State())
+	}
+	if done, err := c.PollWrite(); err != nil || !done {
+		t.Fatalf("header flush: done=%v err=%v", done, err)
+	}
+	c.SetState(StateStreaming)
+
+	c.StageChunks(frames("a", "bc"), false)
+	if done, err := c.PollWrite(); err != nil || !done {
+		t.Fatalf("chunk flush: done=%v err=%v", done, err)
+	}
+	c.SetState(StateStreaming)
+	c.StageChunks(nil, true)
+	if done, err := c.PollWrite(); err != nil || !done {
+		t.Fatalf("terminator flush: done=%v err=%v", done, err)
+	}
+
+	got := string(readAllAvailable(t, peer))
+	// The batched response precedes the stream header on the same socket.
+	if !strings.Contains(got, "Content-Length: 3\r\n") || !strings.Contains(got, "pre") {
+		t.Errorf("prior batched response missing from %q", got)
+	}
+	if !strings.Contains(got, "Transfer-Encoding: chunked") ||
+		!strings.Contains(got, "text/event-stream") {
+		t.Errorf("stream header missing from %q", got)
+	}
+	if !strings.Contains(got, "1\r\na\r\n2\r\nbc\r\n0\r\n\r\n") {
+		t.Errorf("chunked body missing from %q", got)
+	}
+}
+
+// TestParkIdlePreservesUnflushedStreamBytes is the regression for the
+// recycle bug: a subscriber parked on EPOLLOUT mid-flush must keep its
+// staged bytes and stay in StateWriting — ParkIdle silently dropping
+// the partial flush would desynchronize the chunked wire.
+func TestParkIdlePreservesUnflushedStreamBytes(t *testing.T) {
+	c, peer := resumePair(t)
+	c.StageChunks(frames("staged-mid-stream"), false)
+
+	// Nothing flushed yet: the staged bytes are wholly unwritten.
+	c.ParkIdle()
+	if c.State() != StateWriting {
+		t.Fatalf("ParkIdle with unflushed bytes: state = %d, want StateWriting", c.State())
+	}
+	if done, err := c.PollWrite(); err != nil || !done {
+		t.Fatalf("flush after park: done=%v err=%v", done, err)
+	}
+	if got := string(readAllAvailable(t, peer)); !strings.Contains(got, "staged-mid-stream") {
+		t.Errorf("staged frame lost across ParkIdle: wire = %q", got)
+	}
+
+	// Once drained, ParkIdle may park for real.
+	c.ParkIdle()
+	if c.State() != StateIdle {
+		t.Fatalf("ParkIdle with empty buffer: state = %d, want StateIdle", c.State())
+	}
+}
+
+// TestParkIdlePreservesPartialFlush drives a real partial write: the
+// socket takes a prefix, the rest stays staged, and ParkIdle must not
+// recycle it away.
+func TestParkIdlePreservesPartialFlush(t *testing.T) {
+	tc := &throttledConn{chunk: 8}
+	clk := cml.NewClock()
+	c := NewConn(tc, ConnConfig{Clock: clk, Park: func(int64) {}, Pool: NewBufPool(1)})
+	// Route staged writes through the fake conn's fd-less path is not
+	// possible — PollWrite uses the raw fd — so model the partial flush
+	// directly: stage, then mark a prefix consumed.
+	c.StageChunks(frames("0123456789abcdef"), false)
+	c.woff = 8 // the socket took 8 bytes; the wire saw a chunk prefix
+
+	c.ParkIdle()
+	if c.State() != StateWriting {
+		t.Fatalf("state = %d, want StateWriting with a partial flush staged", c.State())
+	}
+	if c.woff != 8 || len(c.wbuf) <= 8 {
+		t.Fatalf("staged suffix lost: woff=%d len=%d", c.woff, len(c.wbuf))
+	}
+	// New frames accumulate behind the backlog, never clobbering it.
+	before := string(c.wbuf)
+	c.StageChunks(frames("next"), false)
+	if !strings.HasPrefix(string(c.wbuf), before) {
+		t.Error("StageChunks reset a buffer holding unflushed bytes")
+	}
+}
+
+// TestResetTruncatesStagedStreamBytes: conn-object recycling must drop
+// the previous connection's staged bytes — they must never leak into a
+// fresh connection's response stream.
+func TestResetTruncatesStagedStreamBytes(t *testing.T) {
+	c, _ := resumePair(t)
+	c.StageChunks(frames("stale"), false)
+	c.woff = 2
+	c.Reset(nil, -1)
+	if len(c.wbuf) != 0 || c.woff != 0 {
+		t.Fatalf("Reset kept staged bytes: len=%d woff=%d", len(c.wbuf), c.woff)
+	}
+	if c.State() != StateIdle {
+		t.Fatalf("state = %d, want StateIdle", c.State())
+	}
+}
+
+// TestStageChunksAppendsBehindBacklog: with unflushed bytes staged,
+// StageChunks must append, and with a drained buffer it must reset to
+// the front rather than grow without bound.
+func TestStageChunksAppendsBehindBacklog(t *testing.T) {
+	c, peer := resumePair(t)
+	c.StageChunks(frames("one"), false)
+	c.StageChunks(frames("two"), false)
+	if done, err := c.PollWrite(); err != nil || !done {
+		t.Fatalf("flush: done=%v err=%v", done, err)
+	}
+	got := string(readAllAvailable(t, peer))
+	if want := "3\r\none\r\n3\r\ntwo\r\n"; got != want {
+		t.Fatalf("wire = %q, want %q", got, want)
+	}
+	// Drained: the next stage reuses the buffer from offset zero.
+	c.StageChunks(frames("three"), true)
+	if c.woff != 0 {
+		t.Fatalf("woff = %d after drained restage, want 0", c.woff)
+	}
+	if !bytes.HasSuffix(c.wbuf, []byte("0\r\n\r\n")) {
+		t.Fatalf("final stage %q missing terminator", c.wbuf)
+	}
+}

@@ -16,7 +16,9 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/proc"
+	"repro/internal/pubsub"
 	"repro/internal/serve"
 )
 
@@ -202,6 +204,10 @@ func (fab *Fabric) connThread(nc net.Conn) {
 				reqs = append(reqs, nxt)
 			}
 			resps = fab.dispatchBatch(reqs, home, pend, jbuf, cells, grp, &sp, resps[:0])
+			if si := streamIndex(resps); si >= 0 {
+				fab.streamConn(c, resps, si, reqs[len(reqs)-1].Deadline+20)
+				break
+			}
 			last := reqs[len(reqs)-1]
 			keepAlive := rerr == nil && !last.Close && !fab.Draining()
 			capTick := last.Deadline + 20
@@ -273,6 +279,72 @@ func (fab *Fabric) connThread(nc net.Conn) {
 	fab.state.Unlock()
 }
 
+// topicKey returns the routing key for a pub/sub request — its topic —
+// or "" for everything else.  Routing by topic is what makes a topic
+// live on exactly one shard.
+func (fab *Fabric) topicKey(req *serve.Request) string {
+	if !fab.opts.PubSub {
+		return ""
+	}
+	switch req.Path {
+	case "/publish", "/subscribe", "/unsubscribe":
+		return req.Query("topic")
+	}
+	return ""
+}
+
+// streamIndex finds the first streaming response in a batch, -1 if none.
+func streamIndex(resps []serve.Response) int {
+	for i := range resps {
+		if resps[i].Stream != nil {
+			return i
+		}
+	}
+	return -1
+}
+
+// streamConn hands a connection thread to a streaming response: flush
+// the responses batched ahead of it (keep-alive — the stream header
+// follows on the same socket), then pump frames until the stream closes
+// or the client dies.  Responses pipelined behind the stream are
+// dropped — a stream takes the connection to its end — with their own
+// streams, if any, canceled rather than leaked.
+func (fab *Fabric) streamConn(c *serve.Conn, resps []serve.Response, si int, capTick int64) {
+	self := proc.Self()
+	sresp := resps[si]
+	for _, r := range resps[si+1:] {
+		if r.Stream != nil {
+			r.Stream.Cancel()
+		}
+	}
+	if err := c.WriteResponses(resps[:si], capTick, true); err != nil {
+		sresp.Stream.Cancel()
+		return
+	}
+	fab.m.streamConns.Inc(self)
+	sresp.Stream = &countedStream{s: sresp.Stream, n: fab.m.streamFrames}
+	c.StreamResponse(sresp, fab.opts.HeartbeatTicks, fab.opts.DeadlineTicks)
+	fab.m.streamConns.Add(self, -1)
+}
+
+// countedStream charges shard.stream_frames for every frame the
+// connection-thread front pulls (the mux front counts at its own pull
+// site in pumpStreams).
+type countedStream struct {
+	s serve.Streamer
+	n *metrics.Counter
+}
+
+func (cs *countedStream) Pull() ([]byte, bool, bool) {
+	f, ok, open := cs.s.Pull()
+	if ok {
+		cs.n.Inc(proc.Self())
+	}
+	return f, ok, open
+}
+
+func (cs *countedStream) Cancel() { cs.s.Cancel() }
+
 // pendingReply is one slot of a dispatch batch: either a reply cell to
 // await (rep non-nil, bound for target) or an immediately-known response
 // (/fabricz answered at the front, ring-full sheds).
@@ -332,7 +404,13 @@ func (fab *Fabric) forwardBatch(reqs []*serve.Request, home int,
 			continue
 		}
 		target := home
-		if key := req.Header(fab.opts.RouteHeader); key != "" {
+		if t := fab.topicKey(req); t != "" {
+			// Pub/sub requests route by topic through the same consistent
+			// ring as sticky keys: one shard's broker owns each topic, so a
+			// publish always meets the topic thread holding its subscribers.
+			target = fab.sticky.lookup(t)
+			fab.m.routedTopic.Inc(self)
+		} else if key := req.Header(fab.opts.RouteHeader); key != "" {
 			target = fab.sticky.lookup(key)
 			fab.m.routedKey.Inc(self)
 		} else {
@@ -447,6 +525,23 @@ func (fab *Fabric) statusResponse() serve.Response {
 	body += fmt.Sprintf("pollers %d conns_parked %d poll_wakeups %d resume_batches %d\n",
 		len(fab.pollers), snap.Get("serve.conns_parked"),
 		snap.Get("serve.poll_wakeups"), snap.Histograms["serve.resume_batch"].Count)
+	if fab.opts.PubSub {
+		var ps pubsub.Stats
+		for _, b := range fab.backends {
+			s := b.broker.Stats()
+			ps.Topics += s.Topics
+			ps.Subs += s.Subs
+			ps.Published += s.Published
+			ps.Delivered += s.Delivered
+			ps.QuotaDenied += s.QuotaDenied
+			ps.DroppedSlow += s.DroppedSlow
+		}
+		body += fmt.Sprintf("pubsub topics %d subs %d published %d delivered %d quota_denied %d dropped_slow %d\n",
+			ps.Topics, ps.Subs, ps.Published, ps.Delivered, ps.QuotaDenied, ps.DroppedSlow)
+		body += fmt.Sprintf("stream_conns %d stream_frames %d routed_topic %d\n",
+			snap.Get("shard.stream_conns"), snap.Get("shard.stream_frames"),
+			snap.Get("shard.routed_topic"))
+	}
 	body += fmt.Sprintf("goroutines %d threads %d heap_alloc %d\n",
 		runtime.NumGoroutine(), pprof.Lookup("threadcreate").Count(), ms.HeapAlloc)
 	return serve.Response{Status: 200, Body: []byte(body)}

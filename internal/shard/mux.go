@@ -79,7 +79,18 @@ type muxConn struct {
 	closing   bool // close after the staged write drains
 	wantWrite bool // current poller interest includes writability
 	queued    bool // already on this pass's ready list
-	next      *muxConn // free list
+
+	// Streaming subscriber state: the response's frame source, whether
+	// the connection is in a stream's grip, the last tick bytes went out
+	// (heartbeat accounting), and list membership for pumpStreams.  A
+	// muxConn may be recycled while still on the stream list —
+	// inStreamList survives Reset and the next pump pass reconciles it.
+	stream       serve.Streamer
+	streaming    bool
+	streamLast   int64
+	inStreamList bool
+
+	next *muxConn // free list
 }
 
 // poller is one poller thread's world: its netpoll instance, inbox, fd
@@ -89,15 +100,18 @@ type poller struct {
 	np    *netpoll.Poller
 	inbox muxInbox
 
-	conns      []*muxConn // fd-indexed ownership table
-	owned      int
-	dispatched []*muxConn // conns parked in StateDispatched
-	dispNext   []*muxConn // double buffer for the completion sweep
-	ready      []*muxConn
-	evs        []netpoll.Event
-	scratch    []byte     // shared read block for every owned conn
-	take       []net.Conn // inbox drain scratch
-	one        [1]serve.Response
+	conns       []*muxConn // fd-indexed ownership table
+	owned       int
+	dispatched  []*muxConn // conns parked in StateDispatched
+	dispNext    []*muxConn // double buffer for the completion sweep
+	ready       []*muxConn
+	streams     []*muxConn // conns held by a streaming response
+	streamsNext []*muxConn // double buffer for the stream pump's compaction
+	chunk       [][]byte   // frame burst scratch for StageChunks
+	evs         []netpoll.Event
+	scratch     []byte     // shared read block for every owned conn
+	take        []net.Conn // inbox drain scratch
+	one         [1]serve.Response
 
 	freeConns  *muxConn
 	freeFrames *frame
@@ -198,6 +212,16 @@ func (fab *Fabric) pollerMain(p *poller) {
 			switch mc.c.State() {
 			case serve.StateDispatched:
 				continue
+			case serve.StateStreaming:
+				// A streaming conn never joins the ready list — the stream
+				// pump owns its writes.  Events only matter as liveness: a
+				// dead peer closes it, client bytes are discarded.
+				if ev.Closed {
+					fab.closeMuxConn(p, mc)
+				} else if ev.Readable && mc.c.ProbeDiscard(p.scratch) != nil {
+					fab.closeMuxConn(p, mc)
+				}
+				continue
 			case serve.StateWriting:
 				if !ev.Writable && !ev.Closed {
 					continue
@@ -233,10 +257,17 @@ func (fab *Fabric) pollerMain(p *poller) {
 		}
 		p.dispNext = work[:0]
 
+		// Stream pump: advance every streaming subscriber whose staged
+		// bytes have drained — pull a frame burst, stage it as chunks,
+		// drive the write inline.
+		now := fab.clock.Now()
+		if fab.pumpStreams(p, now) {
+			progress = true
+		}
+
 		// Deadline sweep: cheap and periodic.  Under drain it runs every
 		// pass — parked connections get no events, so the sweep is what
 		// pushes them through their abort/close paths.
-		now := fab.clock.Now()
 		draining := fab.Draining()
 		if draining || now-p.lastScan >= fab.opts.IdleScanTicks {
 			p.lastScan = now
@@ -320,6 +351,9 @@ func (fab *Fabric) adoptConn(p *poller, nc net.Conn) {
 	mc.closing = false
 	mc.wantWrite = false
 	mc.queued = false
+	mc.stream = nil
+	mc.streaming = false
+	mc.streamLast = 0 // inStreamList stays: the pump pass reconciles it
 	for fd >= len(p.conns) {
 		p.conns = append(p.conns, nil)
 	}
@@ -336,6 +370,8 @@ func (fab *Fabric) resumeConn(p *poller, mc *muxConn) {
 		switch mc.c.State() {
 		case serve.StateDispatched:
 			return // completion sweep owns this transition
+		case serve.StateStreaming:
+			return // the stream pump owns this transition
 		case serve.StateWriting:
 			if !fab.muxWrite(p, mc) {
 				return
@@ -452,11 +488,120 @@ func (fab *Fabric) finishDispatch(p *poller, mc *muxConn) {
 		resps = append(resps, fr.badTail)
 		mc.closing = true
 	}
-	mc.c.StageResponses(resps, mc.keepAlive)
+	if si := streamIndex(resps); si >= 0 && !mc.closing {
+		fab.startMuxStream(p, mc, resps, si)
+	} else {
+		for i := range resps {
+			if resps[i].Stream != nil { // poisoned batch: never stream, never leak
+				resps[i].Stream.Cancel()
+			}
+		}
+		mc.c.StageResponses(resps, mc.keepAlive)
+	}
 	mc.served += len(resps)
 	fr.resps = resps // keep the (possibly grown) backing array with the frame
 	mc.fr = nil
 	p.putFrame(fr)
+}
+
+// muxStreamBatch caps frames staged per stream per pump pass, bounding
+// the staged bytes a parked subscriber can pin (serve's own flush bound
+// is the same figure).
+const muxStreamBatch = 32
+
+// muxHB is the heartbeat frame: StageChunks renders it as the same
+// 1-byte chunk the blocking face writes.
+var muxHB = [][]byte{[]byte("\n")}
+
+// startMuxStream converts a completed dispatch carrying a streaming
+// response into a parked subscriber: responses ahead of the stream plus
+// the chunked header are staged in one write, the connection joins the
+// poller's stream list, and keep-alive ends — a stream takes the
+// connection to its close.  Streams pipelined behind the first are
+// canceled, exactly as the blocking fronts do.
+func (fab *Fabric) startMuxStream(p *poller, mc *muxConn, resps []serve.Response, si int) {
+	sresp := resps[si]
+	for _, r := range resps[si+1:] {
+		if r.Stream != nil {
+			r.Stream.Cancel()
+		}
+	}
+	mc.c.StageStream(resps[:si], sresp)
+	mc.stream = sresp.Stream
+	mc.streaming = true
+	mc.streamLast = fab.clock.Now()
+	mc.keepAlive = false
+	mc.wrCap = mc.streamLast + fab.opts.DeadlineTicks
+	fab.m.streamConns.Inc(proc.Self())
+	if !mc.inStreamList {
+		mc.inStreamList = true
+		p.streams = append(p.streams, mc)
+	}
+}
+
+// pumpStreams advances every streaming connection whose staged bytes
+// have drained (machine parked in StateStreaming): pull a bounded frame
+// burst, stage it as chunks — the terminator too, when the source
+// closed — and drive the write inline.  Quiet streams past the
+// heartbeat budget get the 1-byte chunk that doubles as dead-peer
+// detection.  The list compacts as connections leave streaming (closed
+// peers, recycled muxConns); membership is reconciled here and nowhere
+// else.
+func (fab *Fabric) pumpStreams(p *poller, now int64) bool {
+	if len(p.streams) == 0 {
+		return false
+	}
+	self := proc.Self()
+	progress := false
+	keep := p.streamsNext[:0]
+	for i, mc := range p.streams {
+		p.streams[i] = nil
+		if !mc.streaming {
+			mc.inStreamList = false
+			continue
+		}
+		keep = append(keep, mc)
+		if mc.c.State() != serve.StateStreaming {
+			continue // staged burst still draining; muxWrite re-parks it here
+		}
+		p.chunk = p.chunk[:0]
+		final := false
+		for len(p.chunk) < muxStreamBatch {
+			f, ok, open := mc.stream.Pull()
+			if ok {
+				p.chunk = append(p.chunk, f)
+				continue
+			}
+			final = !open
+			break
+		}
+		switch {
+		case len(p.chunk) > 0 || final:
+			progress = true
+			if len(p.chunk) > 0 {
+				fab.m.streamFrames.Add(self, int64(len(p.chunk)))
+			}
+			mc.c.StageChunks(p.chunk, final)
+			if final {
+				mc.closing = true
+				mc.stream = nil // fully drained; nothing left to cancel
+			}
+			mc.streamLast = now
+			mc.wrCap = now + fab.opts.DeadlineTicks
+			fab.muxWrite(p, mc)
+		case fab.opts.HeartbeatTicks > 0 && now-mc.streamLast >= fab.opts.HeartbeatTicks:
+			mc.c.StageChunks(muxHB, false)
+			mc.streamLast = now
+			mc.wrCap = now + fab.opts.DeadlineTicks
+			fab.muxWrite(p, mc)
+		}
+	}
+	for i := range p.chunk {
+		p.chunk[i] = nil
+	}
+	p.streamsNext = p.streams[:0]
+	p.streams = keep
+	return progress
 }
 
 // muxWrite drains the staged write.  True means "keep driving" — the
@@ -473,6 +618,12 @@ func (fab *Fabric) muxWrite(p *poller, mc *muxConn) bool {
 		return false
 	}
 	fab.setWriteInterest(p, mc, false)
+	if mc.streaming && !mc.closing {
+		// The staged burst drained; the machine parks in StateStreaming
+		// until the pump stages the next one.
+		mc.c.SetState(serve.StateStreaming)
+		return false
+	}
 	if mc.closing || !mc.keepAlive {
 		fab.closeMuxConn(p, mc)
 		return false
@@ -510,6 +661,8 @@ func (fab *Fabric) sweepConns(p *poller, now int64) {
 		switch mc.c.State() {
 		case serve.StateDispatched:
 			continue // the backend always answers; completion sweep finishes it
+		case serve.StateStreaming:
+			continue // liveness is the heartbeat's job; drain closes the source
 		case serve.StateWriting:
 			if now >= mc.wrCap {
 				fab.closeMuxConn(p, mc)
@@ -551,6 +704,14 @@ func (fab *Fabric) closeMuxConn(p *poller, mc *muxConn) {
 	if mc.fr != nil { // staged-error paths never hold one; belt and braces
 		p.putFrame(mc.fr)
 		mc.fr = nil
+	}
+	if mc.streaming {
+		if mc.stream != nil {
+			mc.stream.Cancel()
+			mc.stream = nil
+		}
+		mc.streaming = false // pumpStreams drops the list entry next pass
+		fab.m.streamConns.Add(proc.Self(), -1)
 	}
 	mc.c.Reset(nil, -1)
 	mc.nc = nil

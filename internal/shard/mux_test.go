@@ -156,6 +156,11 @@ func TestMuxManyIdleConnsStayLive(t *testing.T) {
 	const idle = 128
 	tf := startFabric(t, muxOpts(func(o *Options) {
 		o.MaxConns = idle + 32
+		// The population must outlive the active phase: the default
+		// idle budget is 2s and a loaded host can stretch the phase
+		// past it, turning legitimate idle expiry into a flake.  The
+		// silent-close sweep has its own test.
+		o.IdleTicks = 120000
 	}), nil)
 
 	idles := make([]*kaConn, idle)
@@ -242,7 +247,24 @@ func TestMuxDrainZeroDropped(t *testing.T) {
 			results <- st
 		}()
 	}
-	time.Sleep(30 * time.Millisecond) // requests reach the shards
+	// Wait until every client's request is actually dispatched on a
+	// shard before draining — a fixed sleep races the client
+	// goroutines on a loaded host and turns dial/read failures into
+	// spurious non-200s.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		dispatched := 0
+		for i := 0; i < tf.fab.Shards(); i++ {
+			dispatched += tf.fab.Shard(i).InFlight()
+		}
+		if dispatched >= clients {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests dispatched before drain", dispatched, clients)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 	tf.drainAndWait(t)
 	for i := 0; i < clients; i++ {
 		if st := <-results; st != 200 {

@@ -44,16 +44,27 @@ func planShift(loads, limits []int, floor, cap, slack int) (from, to int, ok boo
 }
 
 // shardLoads reads every shard's current load from its metrics registry
-// plus its forward ring.
+// plus its forward ring.  The gauges are counters summed over per-proc
+// slots, so a snapshot racing an inc on one slot and the matching dec
+// on another can transiently read negative — clamp each component, or a
+// busy shard can look less loaded than an idle one and the rebalancer
+// shifts allowance the wrong way.
 func (fab *Fabric) shardLoads() []int {
 	loads := make([]int, len(fab.backends))
 	for i, b := range fab.backends {
 		snap := b.sys.Metrics().Snapshot()
-		loads[i] = int(snap.Get("serve.queue_depth")) +
-			int(snap.Get("serve.inflight")) +
+		loads[i] = clampNonNeg(snap.Get("serve.queue_depth")) +
+			clampNonNeg(snap.Get("serve.inflight")) +
 			b.ring.depth()
 	}
 	return loads
+}
+
+func clampNonNeg(v int64) int {
+	if v < 0 {
+		return 0
+	}
+	return int(v)
 }
 
 // rebalancer is the policy thread; it exits when the fabric drains.

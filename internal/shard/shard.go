@@ -45,6 +45,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mlio"
 	"repro/internal/proc"
+	"repro/internal/pubsub"
 	"repro/internal/serve"
 	"repro/internal/threads"
 	"repro/internal/trace"
@@ -130,6 +131,23 @@ type Options struct {
 	PollWindow time.Duration
 	// RetryAfter is the Retry-After hint on front sheds (default 1).
 	RetryAfter int
+	// PubSub installs a pubsub.Broker on every shard: /publish,
+	// /subscribe, /unsubscribe endpoints, topic-keyed routing through the
+	// consistent-hash ring (a topic lives on one shard), and streaming
+	// subscriber connections on both fronts.  Off by default.
+	PubSub bool
+	// TenantQuota is each tenant's publish admission rate in
+	// publishes/second; 0 means unlimited (pubsub.Options.QuotaPerSec).
+	TenantQuota int
+	// TenantHeader names the tenant-id request header (default "X-Tenant").
+	TenantHeader string
+	// StreamDepth is each subscriber's buffered frame ring (default
+	// pubsub's, 256).
+	StreamDepth int
+	// HeartbeatTicks is how long a streaming subscriber connection may sit
+	// with no frames before the front writes a 1-byte heartbeat chunk to
+	// surface dead peers (front clock ticks; default 2500, < 0 disables).
+	HeartbeatTicks int64
 	// Tracer, if non-nil, receives front fabric events (accept, route,
 	// forward, reply, rebalance, drain).
 	Tracer *trace.Tracer
@@ -203,6 +221,14 @@ func (o *Options) fill() {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 1
 	}
+	if o.TenantHeader == "" {
+		o.TenantHeader = "X-Tenant"
+	}
+	if o.HeartbeatTicks == 0 {
+		o.HeartbeatTicks = 2500
+	} else if o.HeartbeatTicks < 0 {
+		o.HeartbeatTicks = 0
+	}
 }
 
 // NoRebalance is the Options.RebalanceTicks value that disables the
@@ -215,11 +241,12 @@ const NoSteal = -1
 
 // backend is one shard: its own MP world plus the forward ring into it.
 type backend struct {
-	id   int
-	pl   *proc.Platform
-	sys  *threads.System
-	srv  *serve.Server
-	ring *ring
+	id     int
+	pl     *proc.Platform
+	sys    *threads.System
+	srv    *serve.Server
+	ring   *ring
+	broker *pubsub.Broker // Options.PubSub; nil otherwise
 }
 
 // fabricMetrics caches the front registry's instrument handles.
@@ -260,6 +287,12 @@ type fabricMetrics struct {
 	connsParked *metrics.Counter // gauge: owned conns not in a dispatch
 	pollWakeups *metrics.Counter
 	resumeBatch *metrics.Histogram
+
+	// Pub/sub instruments: requests routed by topic key, subscriber
+	// connections currently streaming, and frames flushed to them.
+	routedTopic  *metrics.Counter
+	streamConns  *metrics.Counter // gauge
+	streamFrames *metrics.Counter
 }
 
 // Fabric is the sharded serving fabric; create with New, start each of
@@ -351,8 +384,19 @@ func New(opts Options) (*Fabric, error) {
 			tln.Close()
 			return nil, err
 		}
+		var broker *pubsub.Broker
+		if opts.PubSub {
+			broker = pubsub.New(sys, srv.Clock(), sys.Metrics(), pubsub.Options{
+				TenantHeader: opts.TenantHeader,
+				StreamDepth:  opts.StreamDepth,
+				QuotaPerSec:  opts.TenantQuota,
+				Tick:         opts.Tick,
+			})
+			pubsub.Install(srv, broker)
+		}
 		fab.backends = append(fab.backends, &backend{
 			id: i, pl: pl, sys: sys, srv: srv, ring: newRing(opts.RingDepth),
+			broker: broker,
 		})
 		fab.limits[i] = opts.BackendProcs
 	}
@@ -396,6 +440,9 @@ func New(opts Options) (*Fabric, error) {
 		pollWakeups: reg.Counter("serve.poll_wakeups"),
 		resumeBatch: reg.Histogram("serve.resume_batch",
 			[]int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		routedTopic:  reg.Counter("shard.routed_topic"),
+		streamConns:  reg.Counter("shard.stream_conns"),
+		streamFrames: reg.Counter("shard.stream_frames"),
 	}
 	for i := 0; i < opts.Shards; i++ {
 		fab.m.forwarded = append(fab.m.forwarded,
@@ -472,12 +519,25 @@ func (fab *Fabric) Drain() {
 	fab.state.Lock()
 	fab.draining = true
 	fab.state.Unlock()
+	// Brokers must begin draining now, not when the backends do: a
+	// streaming subscriber connection stays open (and counted) until its
+	// stream closes, and the supervisor waits for zero connections before
+	// it ever reaches srv.Drain.  Broker.Close settles every pending
+	// fan-out, then closes the subscriber rings; the fronts see each
+	// stream's close, write the chunked terminator, and release the
+	// connection — which is what lets the cascade proceed.
+	for _, b := range fab.backends {
+		if b.broker != nil {
+			b.broker.Close()
+		}
+	}
 }
 
 // Runners returns one entry point per OS-level host goroutine the fabric
 // needs: element 0 is the front world (acceptor, connection threads,
-// rebalancer, supervisor, clock pump), elements 1..Shards are the
-// backend worlds (serve pipeline + ring intake).  The host must call
+// rebalancer, supervisor, clock pump), then each shard contributes its
+// backend world (serve pipeline + ring intake) and, under Options.PubSub,
+// its broker's delivery world.  The host must call
 // each in its own goroutine — this package starts none itself — and all
 // of them return after Drain completes.
 func (fab *Fabric) Runners() []func() {
@@ -490,6 +550,9 @@ func (fab *Fabric) Runners() []func() {
 				fab.intake(b) // the root thread becomes the ring intake
 			})
 		})
+		if b.broker != nil {
+			rs = append(rs, b.broker.Runner())
+		}
 	}
 	return rs
 }

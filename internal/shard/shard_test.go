@@ -554,6 +554,11 @@ func TestRebalanceConservesTotalAllowance(t *testing.T) {
 		RebalanceTicks:   10,
 		RebalanceSlack:   1,
 		HysteresisRounds: 2,
+		// Stealing off: an idle sibling stealing the hot shard's queue
+		// moves real load to the cold shard, and the rebalancer then
+		// (correctly) shifts allowance toward the thief — which this
+		// test would misread as a wrong-direction shift.
+		StealMin: NoSteal,
 	}, func(fab *Fabric) {
 		fab.Handle("/park", parkHandler)
 	})
