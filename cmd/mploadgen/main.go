@@ -56,7 +56,13 @@
 // Every response is classified (2xx / shed 503 / expired 504 / error),
 // and -json writes the full summary machine-readably for benchmark
 // archiving (BENCH_serve.json, BENCH_shard.json, BENCH_batch.json,
-// BENCH_mux.json, BENCH_pubsub.json).
+// BENCH_mux.json, BENCH_pubsub.json, BENCH_elastic.json).
+//
+// -bucket slices the run into fixed-width time buckets by completion
+// timestamp, each with its own ok/shed/expired/error counts and p50/p99
+// — the per-phase breakdown that correlates a client-observed dip with
+// a server-side membership change (scale-up, drain-out) at a known
+// offset.
 //
 // Usage:
 //
@@ -89,8 +95,9 @@ import (
 )
 
 type result struct {
-	status  int
+	status  int // 0 = dial/IO error (no HTTP status)
 	latency time.Duration
+	off     time.Duration // completion offset from run start, for -bucket
 }
 
 // Summary is the machine-readable report; field names are the JSON
@@ -161,6 +168,27 @@ type Summary struct {
 	MissingAcked   int64                     `json:"missing_acked,omitempty"`
 	DeliveryLagMS  *Quantiles                `json:"delivery_lag_ms,omitempty"`
 	Tenants        map[string]*TenantSummary `json:"tenants,omitempty"`
+
+	// -bucket: the run sliced into fixed-width time buckets (by response
+	// completion time), so client-observed errors and latency can be
+	// correlated with server-side phase boundaries — a scale-up, a
+	// drain-out — by timestamp.
+	BucketMS int64            `json:"bucket_ms,omitempty"`
+	Buckets  []*BucketSummary `json:"buckets,omitempty"`
+}
+
+// BucketSummary is one -bucket wide slice of the run.
+type BucketSummary struct {
+	StartMS int64   `json:"start_ms"` // bucket start, offset from run start
+	Reqs    int64   `json:"reqs"`     // responses + errors completing here
+	OK      int64   `json:"ok"`
+	Shed    int64   `json:"shed"`
+	Expired int64   `json:"expired"`
+	Other   int64   `json:"other_http"`
+	Errors  int64   `json:"errors"`
+	RPS     float64 `json:"rps"` // OK completions per second of bucket width
+	P50     float64 `json:"p50_ms,omitempty"`
+	P99     float64 `json:"p99_ms,omitempty"`
 }
 
 // Quantiles is a latency distribution in milliseconds.
@@ -230,6 +258,7 @@ func main() {
 	pubRate := flag.Float64("pub-rate", 0, "pubsub: publishes/sec per publisher (0 = back-to-back)")
 	subChurn := flag.Duration("sub-churn", 0, "pubsub: resubscribe cycle; churning subscribers leave the zero-loss ledger (0 = hold)")
 	subRamp := flag.Duration("sub-ramp", 2*time.Second, "pubsub: window the initial subscribes are spread over")
+	bucket := flag.Duration("bucket", 0, "slice the run into fixed buckets of this width for a per-phase error/latency breakdown (0 disables)")
 	var headers headerList
 	flag.Var(&headers, "header", "extra request header \"Name: value\" (repeatable)")
 	flag.Parse()
@@ -268,9 +297,14 @@ func main() {
 		idlePeak  atomic.Int64
 		idleReads atomic.Int64 // kept out of sreads so responses/read stays an active-load figure
 	)
+	begin := time.Now()
+	// record logs one completion; status 0 marks a dial/IO error so the
+	// bucket breakdown can place errors in time (errors are counted in
+	// errs for the global summary, never as HTTP responses).
 	record := func(st int, lat time.Duration) {
+		off := time.Since(begin)
 		mu.Lock()
-		results = append(results, result{st, lat})
+		results = append(results, result{st, lat, off})
 		mu.Unlock()
 	}
 	// reqHeaders decides one request's headers under -skew: with
@@ -284,7 +318,6 @@ func main() {
 		hotSent.Add(1)
 		return append(append([]string(nil), headers...), *skewHeader+": hot")
 	}
-	begin := time.Now()
 	// burstWait blocks through the off phase of the duty cycle; all
 	// workers share the phase (keyed to begin), so load arrives in
 	// synchronized bursts.
@@ -304,6 +337,7 @@ func main() {
 		st, _, err := doReq(*addr, *path, reqHeaders(rng), *timeout)
 		if err != nil {
 			errs.Add(1)
+			record(0, time.Since(start))
 			return
 		}
 		record(st, time.Since(start))
@@ -435,6 +469,7 @@ func main() {
 				st, _, err := doReq(*addr, *path, hdrs, *timeout)
 				if err != nil {
 					errs.Add(1)
+					record(0, time.Since(start))
 					return
 				}
 				record(st, time.Since(start))
@@ -457,6 +492,7 @@ func main() {
 						if err != nil {
 							errs.Add(1)
 							sent.Add(1)
+							record(0, 0)
 							continue
 						}
 						kc = &kaClient{nc: c, reads: &sreads}
@@ -487,6 +523,9 @@ func main() {
 					})
 					if err != nil {
 						errs.Add(int64(depth - got))
+						for j := got; j < depth; j++ {
+							record(0, time.Since(start))
+						}
 						kc.nc.Close()
 						kc = nil
 						continue
@@ -545,8 +584,11 @@ func main() {
 		s.RatePerSec = *rate
 	}
 	var okLats []float64
+	var errRecords int64
 	for _, r := range results {
 		switch {
+		case r.status == 0:
+			errRecords++ // already counted in Errors; placed here for buckets
 		case r.status >= 200 && r.status < 300:
 			s.OK++
 			okLats = append(okLats, float64(r.latency.Microseconds())/1000)
@@ -558,7 +600,7 @@ func main() {
 			s.OtherHTTP++
 		}
 	}
-	if responses := int64(len(results)); responses > 0 {
+	if responses := int64(len(results)) - errRecords; responses > 0 {
 		s.ReusedRatio = float64(reused.Load()) / float64(responses)
 		if s.KeepAlive {
 			s.SocketReads = sreads.Load()
@@ -576,6 +618,53 @@ func main() {
 	s.LatencyMS.P99 = quantile(okLats, 0.99)
 	if n := len(okLats); n > 0 {
 		s.LatencyMS.Max = okLats[n-1]
+	}
+	if *bucket > 0 {
+		s.BucketMS = bucket.Milliseconds()
+		nb := int(elapsed / *bucket)
+		if time.Duration(nb)*(*bucket) < elapsed {
+			nb++
+		}
+		if nb < 1 {
+			nb = 1
+		}
+		s.Buckets = make([]*BucketSummary, nb)
+		lats := make([][]float64, nb)
+		for i := range s.Buckets {
+			s.Buckets[i] = &BucketSummary{StartMS: (time.Duration(i) * *bucket).Milliseconds()}
+		}
+		for _, r := range results {
+			i := int(r.off / *bucket)
+			if i < 0 {
+				i = 0
+			}
+			if i >= nb {
+				i = nb - 1
+			}
+			b := s.Buckets[i]
+			b.Reqs++
+			switch {
+			case r.status == 0:
+				b.Errors++
+			case r.status >= 200 && r.status < 300:
+				b.OK++
+				lats[i] = append(lats[i], float64(r.latency.Microseconds())/1000)
+			case r.status == 503:
+				b.Shed++
+			case r.status == 504:
+				b.Expired++
+			default:
+				b.Other++
+			}
+		}
+		for i, b := range s.Buckets {
+			sort.Float64s(lats[i])
+			if n := len(lats[i]); n > 0 {
+				b.P50 = quantile(lats[i], 0.50)
+				b.P99 = quantile(lats[i], 0.99)
+			}
+			b.RPS = float64(b.OK) / bucket.Seconds()
+		}
 	}
 	if ps != nil {
 		s.Topics = *topicN
@@ -667,6 +756,10 @@ func main() {
 	}
 	fmt.Printf("  throughput %.1f req/s  latency ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
 		s.Throughput, s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
+	for _, b := range s.Buckets {
+		fmt.Printf("  [%6dms] reqs %5d ok %5d shed %4d expired %3d other %3d errors %3d  %.0f req/s p50 %.2f p99 %.2f\n",
+			b.StartMS, b.Reqs, b.OK, b.Shed, b.Expired, b.Other, b.Errors, b.RPS, b.P50, b.P99)
+	}
 
 	if *jsonPath != "" {
 		buf, err := json.MarshalIndent(&s, "", "  ")
@@ -1071,6 +1164,7 @@ func (ps *pubsubState) publisherLoop(cfg pubsubConfig, i int, ready *sync.WaitGr
 			c, err := net.DialTimeout("tcp", cfg.addr, cfg.timeout)
 			if err != nil {
 				errs.Add(1)
+				record(0, 0)
 				consecDrain++
 				time.Sleep(100 * time.Millisecond)
 				continue
@@ -1088,6 +1182,7 @@ func (ps *pubsubState) publisherLoop(cfg pubsubConfig, i int, ready *sync.WaitGr
 		st, srvClose, err := kc.doBody("POST", "/publish?topic="+ps.topics[topicIdx], hdrs, body, cfg.timeout)
 		if err != nil {
 			errs.Add(1)
+			record(0, time.Since(start))
 			kc.nc.Close()
 			kc = nil
 			continue

@@ -30,6 +30,15 @@
 //	         [-shards N] [-rebalance ticks] [-route-header name] [-steal N]
 //	         [-reply-coalesce=bool] [-reply-spin N]
 //	         [-mux] [-pollers N] [-maxconns N] [-idle ticks]
+//	         [-autoscale] [-min-shards N] [-max-shards N]
+//	         [-scale-up-load N] [-scale-down-load N]
+//
+// In fabric mode the membership is elastic: the admin /scale?shards=N
+// endpoint (and, with -autoscale, a load-driven autoscaler) acquires
+// and releases whole shards at runtime with zero dropped in-flight
+// requests and zero missing acked pub/sub deliveries (see
+// internal/shard/member.go).  /fabricz reports the membership epoch
+// and per-member phase.
 package main
 
 import (
@@ -77,6 +86,11 @@ func main() {
 	tenantHeader := flag.String("tenant-header", "X-Tenant", "pubsub: tenant-id request header")
 	streamDepth := flag.Int("stream-depth", 0, "pubsub: per-subscriber frame ring depth (0 = default 256)")
 	hb := flag.Int64("hb", 0, "pubsub: streaming heartbeat quiet budget in ticks (0 = default 2500, <0 disables)")
+	autoscale := flag.Bool("autoscale", false, "fabric: load-driven whole-shard scale up/down between -min-shards and -max-shards")
+	minShards := flag.Int("min-shards", 0, "fabric: membership floor (0 = 1)")
+	maxShards := flag.Int("max-shards", 0, "fabric: membership ceiling (0 = 2x -shards, capped by the boot proc budget)")
+	scaleUpLoad := flag.Int("scale-up-load", 0, "fabric: mean ring depth per member that votes a shard in (0 = default 8)")
+	scaleDownLoad := flag.Int("scale-down-load", 0, "fabric: mean ring depth per member that votes a shard out (0 = default 2)")
 	flag.Parse()
 
 	if *shards > 1 || *mux {
@@ -109,6 +123,11 @@ func main() {
 			TenantHeader:   *tenantHeader,
 			StreamDepth:    *streamDepth,
 			HeartbeatTicks: *hb,
+			Autoscale:      *autoscale,
+			MinShards:      *minShards,
+			MaxShards:      *maxShards,
+			ScaleUpLoad:    *scaleUpLoad,
+			ScaleDownLoad:  *scaleDownLoad,
 		})
 		return
 	}
@@ -200,6 +219,17 @@ func main() {
 // (the front world plus each backend world), SIGTERM cascading the
 // drain, and the merged metrics of every registry printed at exit.
 func runFabric(opts shard.Options) {
+	// Elastic membership needs a host-goroutine spawner: a shard acquired
+	// at runtime brings its own serve and broker worlds, each a System.Run
+	// host role exactly like the boot members' runners below.
+	var wg sync.WaitGroup
+	opts.Spawn = func(r func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r()
+		}()
+	}
 	fab, err := shard.New(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -218,17 +248,12 @@ func runFabric(opts shard.Options) {
 	if opts.Mux {
 		front = fmt.Sprintf("mux/pollers=%d", opts.Pollers)
 	}
-	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks batch=%d steal=%d reply-coalesce=%v reply-spin=%d front=%s)\n",
+	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks batch=%d steal=%d reply-coalesce=%v reply-spin=%d front=%s autoscale=%v)\n",
 		fab.Addr(), opts.Shards, opts.BackendProcs, opts.MaxInFlight, opts.RebalanceTicks,
-		opts.BatchMax, opts.StealMin, !opts.PerCellReplies, opts.ReplySpin, front)
+		opts.BatchMax, opts.StealMin, !opts.PerCellReplies, opts.ReplySpin, front, opts.Autoscale)
 	start := time.Now()
-	var wg sync.WaitGroup
 	for _, r := range fab.Runners() {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			r()
-		}()
+		opts.Spawn(r)
 	}
 	wg.Wait()
 	fmt.Printf("mpserved fabric drained after %s; final metrics:\n", time.Since(start).Round(time.Millisecond))

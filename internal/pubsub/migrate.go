@@ -1,0 +1,172 @@
+package pubsub
+
+// Topic handoff between brokers: the mechanism behind elastic shard
+// membership (internal/shard/member.go).  A topic — its subscriber set,
+// each subscriber's SubStream still attached to a live client
+// connection in the front world — moves from one broker to another
+// without the clients noticing and without losing one acked frame.
+//
+// The key property making this safe is that every publish is fanned out
+// by exactly one broker (the one whose handler received it), so a
+// subscriber registered with BOTH brokers during the window never sees
+// a duplicate: old-owner fan-outs and new-owner fan-outs push into the
+// same SubStream ring under its own spinlock, and each frame is pushed
+// once.  The coordinator therefore runs make-before-break:
+//
+//  1. BeginMigrate on the old owner: tombstone the topic (new publish/
+//     subscribe/unsubscribe answer 409 "topic moved"), then snapshot
+//     the subscriber list via a control message.  In-flight messages
+//     that passed admission before the tombstone keep fanning out to
+//     the still-registered subscribers.
+//  2. Adopt on the new owner: clear any tombstone there and register
+//     the handed-off subscribers.  From here the subscribers are
+//     reachable from both sides.
+//  3. The coordinator flips the routing ring; new traffic reaches the
+//     new owner.
+//  4. Once the old topic's in-flight control messages have all been
+//     consumed (Quiesced), Detach forgets the subscribers on the old
+//     side WITHOUT closing their streams and retires the topic thread.
+//
+// Ordering across the handoff is preserved per subscriber: a publisher
+// that saw frame F1 acked before submitting F2 had F1 pushed into every
+// ring before F2's fan-out began, whichever broker ran it.
+
+import (
+	"sync/atomic"
+)
+
+// Migration phases (Migration.st).
+const (
+	migPending int32 = iota
+	migPeeked
+	migDetached
+)
+
+// Migration is the coordinator's handle on one topic moving OUT of a
+// broker.  The coordinator lives in a different scheduling world (the
+// fabric's front system), so every wait is a poll — Peeked, Quiesced,
+// Detached — that the coordinator interleaves with parks on its own
+// clock; nothing here blocks on the broker's scheduler.
+type Migration struct {
+	b    *Broker
+	name string
+	tp   *topic // nil: the topic never existed here (tombstone only)
+	st   atomic.Int32
+	subs []*Sub // valid once st >= migPeeked
+}
+
+// TopicNames snapshots the names of the topics this broker currently
+// owns — the work list for migrating a whole shard out.
+func (b *Broker) TopicNames() []string {
+	b.state.Lock()
+	names := make([]string, 0, len(b.topics))
+	for name, tp := range b.topics {
+		if !tp.moved {
+			names = append(names, name)
+		}
+	}
+	b.state.Unlock()
+	return names
+}
+
+// BeginMigrate tombstones the topic on this broker and asks its thread
+// for the live subscriber list.  After this returns, no new control
+// message for the topic can be created here (handlers answer 409), so
+// the topic's queued count can only fall.  Safe to call for a topic
+// that does not exist: the tombstone still guards against a stale
+// publish recreating an orphan after the ring flips.
+func (b *Broker) BeginMigrate(name string) *Migration {
+	m := &Migration{b: b, name: name}
+	b.state.Lock()
+	b.moved[name] = true
+	tp := b.topics[name]
+	if tp != nil && tp.moved {
+		tp = nil // already migrated; nothing live to peek
+	}
+	if tp != nil {
+		tp.queued++
+	}
+	b.state.Unlock()
+	m.tp = tp
+	if tp == nil {
+		m.st.Store(migDetached)
+		return m
+	}
+	tp.ctrl.Send(b.sys, topicMsg{kind: msgPeek, mig: m})
+	return m
+}
+
+// Peeked reports whether the subscriber snapshot is available.
+func (m *Migration) Peeked() bool { return m.st.Load() >= migPeeked }
+
+// Subs returns the snapshot taken at BeginMigrate; call after Peeked.
+func (m *Migration) Subs() []*Sub { return m.subs }
+
+// Quiesced reports whether every control message admitted before the
+// tombstone has been consumed by the topic thread — the point after
+// which no old-owner fan-out for this topic can still be created, and
+// Detach becomes safe.
+func (m *Migration) Quiesced() bool {
+	if m.tp == nil {
+		return true
+	}
+	m.b.state.Lock()
+	q := m.tp.queued
+	m.b.state.Unlock()
+	return q == 0
+}
+
+// Detach forgets the handed-off subscribers on the old owner without
+// closing their streams and retires the topic thread.  Call only after
+// Quiesced (and after the new owner adopted the subscribers).
+func (b *Broker) Detach(m *Migration) {
+	if m.tp == nil {
+		return
+	}
+	b.state.Lock()
+	m.tp.queued++
+	b.state.Unlock()
+	m.tp.ctrl.Send(b.sys, topicMsg{kind: msgDetach, mig: m})
+}
+
+// Detached reports whether the old owner has forgotten the topic.
+func (m *Migration) Detached() bool { return m.st.Load() >= migDetached }
+
+// Handoff is the coordinator's poll handle on an Adopt.
+type Handoff struct{ g gate }
+
+// Done reports whether the adoption settled.
+func (h *Handoff) Done() bool { return h.g.v.Load() != gatePending }
+
+// OK reports whether the adoption succeeded (false: the adopting broker
+// is draining; the subscribers stay owned by the old broker, whose own
+// drain will close them).
+func (h *Handoff) OK() bool { return h.g.v.Load() == gateOK }
+
+// Adopt clears any tombstone for the topic on this broker and registers
+// the handed-off subscribers with its (created-if-needed) topic thread.
+// Call with the subscribers from a Migration.Subs on the old owner,
+// BEFORE the routing flip, so a publish arriving the instant the ring
+// changes already fans out to them.  An empty subs slice still clears
+// the tombstone — required when a topic bounces back to a broker that
+// migrated it away earlier.
+func (b *Broker) Adopt(name string, subs []*Sub) *Handoff {
+	h := &Handoff{}
+	b.state.Lock()
+	delete(b.moved, name)
+	if b.draining {
+		b.state.Unlock()
+		h.g.set(gateRejected)
+		return h
+	}
+	if len(subs) == 0 {
+		b.state.Unlock()
+		h.g.set(gateOK)
+		return h
+	}
+	tp, created, startJanitor := b.topicLocked(name)
+	b.state.Unlock()
+	b.forkTopic(tp, created, startJanitor)
+	tp.ctrl.Send(b.sys, topicMsg{kind: msgAdopt, subs: subs, done: &h.g})
+	return h
+}

@@ -68,6 +68,12 @@ type Options struct {
 	// DeliveryBatch bounds subscriber pushes per dispatch quantum — the
 	// granularity of fair-share interleaving between tenants (default 64).
 	DeliveryBatch int
+	// SubIDs, when non-nil, is a shared subscription-id allocator.  A
+	// fabric hosting several brokers passes one allocator to all of them
+	// so a subscription handed off between brokers (migrate.go) can never
+	// collide with a subscription the adopting broker minted itself; nil
+	// keeps the broker's private counter.
+	SubIDs *atomic.Int64
 }
 
 func (o *Options) fill() {
@@ -109,6 +115,9 @@ const (
 	msgSub
 	msgUnsub
 	msgTick
+	msgPeek   // migration: snapshot the subscriber list (migrate.go)
+	msgAdopt  // migration: absorb subscribers handed off by another broker
+	msgDetach // migration: forget handed-off subscribers without closing them
 )
 
 // topicMsg is one control message to a topic thread.
@@ -118,6 +127,8 @@ type topicMsg struct {
 	tenant *tenant
 	sub    *Sub
 	subID  int64
+	subs   []*Sub // msgAdopt
+	mig    *Migration
 	done   *gate
 }
 
@@ -129,6 +140,7 @@ type topic struct {
 	name   string
 	ctrl   *cml.Mailbox[topicMsg]
 	queued int
+	moved  bool // migrated away: thread exits once queued == 0
 	subs   []*Sub
 }
 
@@ -142,6 +154,7 @@ const (
 	gateOK
 	gateRejected
 	gateNotFound
+	gateMoved
 )
 
 func (g *gate) set(v int32) { g.v.Store(v) }
@@ -159,6 +172,7 @@ type brokerMetrics struct {
 	quotaDenied  *metrics.Counter // 429 admission denials
 	delivered    *metrics.Counter
 	droppedSlow  *metrics.Counter
+	moved        *metrics.Counter // 409s: requests for a migrated topic
 	fanout       *metrics.Histogram
 	deliveryLag  *metrics.Histogram
 }
@@ -179,6 +193,7 @@ type Broker struct {
 	state       core.Lock // guards the fields below + topic.queued + tenant admission
 	topics      map[string]*topic
 	tenants     map[string]*tenant
+	moved       map[string]bool // tombstones: topics migrated to another broker
 	nextSub     int64
 	topicsLive  int
 	started     bool // janitor forked (with the first topic)
@@ -200,6 +215,7 @@ func New(sys *threads.System, clock *cml.Clock, reg *metrics.Registry, opts Opti
 		state:   core.NewMutexLock(),
 		topics:  make(map[string]*topic),
 		tenants: make(map[string]*tenant),
+		moved:   make(map[string]bool),
 	}
 	if opts.QuotaPerSec > 0 {
 		b.ratePerTick = float64(opts.QuotaPerSec) * float64(opts.Tick) / float64(time.Second)
@@ -216,6 +232,7 @@ func New(sys *threads.System, clock *cml.Clock, reg *metrics.Registry, opts Opti
 		quotaDenied:  reg.Counter("pubsub.quota_denied"),
 		delivered:    reg.Counter("pubsub.delivered"),
 		droppedSlow:  reg.Counter("pubsub.dropped_slow"),
+		moved:        reg.Counter("pubsub.moved_rejected"),
 		fanout:       reg.Histogram("pubsub.fanout", bounds),
 		deliveryLag:  reg.Histogram("pubsub.delivery_lag_ticks", bounds),
 	}
@@ -345,6 +362,32 @@ func (b *Broker) drainResp() serve.Response {
 	}
 }
 
+// movedResp is the 409 a tombstoned topic answers: the topic has been
+// handed off to another broker, and accepting the request here would
+// either ack a publish no handed-off subscriber can see or recreate an
+// orphan topic.  Deliberately 4xx, not 5xx: it is the client's stale
+// route, not a broker failure, and a retry re-routes through the
+// current ring to the new owner.
+func (b *Broker) movedResp() serve.Response {
+	b.m.moved.Inc(proc.Self())
+	return serve.Response{
+		Status:     409,
+		Body:       []byte("topic moved\n"),
+		RetryAfter: 1,
+	}
+}
+
+// allocSubID mints a subscription id — from the shared allocator when
+// the host wired one (fabric-wide uniqueness across handoffs), else the
+// broker's private counter; call with the state lock held.
+func (b *Broker) allocSubID() int64 {
+	if b.opts.SubIDs != nil {
+		return b.opts.SubIDs.Add(1)
+	}
+	b.nextSub++
+	return b.nextSub
+}
+
 // tenantLocked returns (creating on first sight) the tenant record;
 // call with the state lock held.
 func (b *Broker) tenantLocked(name string) *tenant {
@@ -389,6 +432,12 @@ func (b *Broker) admitPublish(t *tenant, now int64) bool {
 // after releasing the lock — never fork while holding a spinlock.
 func (b *Broker) topicLocked(name string) (tp *topic, created, startJanitor bool) {
 	tp = b.topics[name]
+	if tp != nil && tp.moved {
+		// A migrated-away topic whose thread has not exited yet counts as
+		// absent: a fresh topic replaces the map entry (the old thread's
+		// exit only deletes the entry if it still points at itself).
+		tp = nil
+	}
 	if tp == nil {
 		tp = &topic{name: name, ctrl: cml.NewMailbox[topicMsg]()}
 		b.topics[name] = tp
@@ -447,6 +496,10 @@ func (b *Broker) HandlePublish(req *serve.Request) serve.Response {
 		b.state.Unlock()
 		return b.drainResp()
 	}
+	if b.moved[name] {
+		b.state.Unlock()
+		return b.movedResp()
+	}
 	t := b.tenantLocked(b.tenantOf(req))
 	if !b.admitPublish(t, now) {
 		b.state.Unlock()
@@ -490,9 +543,12 @@ func (b *Broker) HandleSubscribe(req *serve.Request) serve.Response {
 		b.state.Unlock()
 		return b.drainResp()
 	}
+	if b.moved[name] {
+		b.state.Unlock()
+		return b.movedResp()
+	}
 	t := b.tenantLocked(b.tenantOf(req))
-	b.nextSub++
-	id := b.nextSub
+	id := b.allocSubID()
 	tp, created, startJanitor := b.topicLocked(name)
 	b.state.Unlock()
 	b.forkTopic(tp, created, startJanitor)
@@ -519,6 +575,10 @@ func (b *Broker) HandleUnsubscribe(req *serve.Request) serve.Response {
 	if b.draining {
 		b.state.Unlock()
 		return b.drainResp()
+	}
+	if b.moved[name] {
+		b.state.Unlock()
+		return b.movedResp()
 	}
 	tp := b.topics[name]
 	if tp == nil {
@@ -592,6 +652,59 @@ func (b *Broker) topicThread(tp *topic) {
 				msg.done.set(gateNotFound)
 			}
 
+		case msgPeek:
+			// Migration step 1: the coordinator tombstoned the topic (no
+			// new control messages can be created) and wants the live
+			// subscriber set to hand to the adopting broker.  Messages
+			// already in flight keep fanning out to these subscribers —
+			// they stay registered here until msgDetach.
+			b.consume(tp)
+			b.pruneSubs(tp)
+			msg.mig.subs = append([]*Sub(nil), tp.subs...)
+			msg.mig.st.Store(migPeeked)
+
+		case msgAdopt:
+			if b.consume(tp) {
+				msg.done.set(gateRejected)
+				continue
+			}
+			for _, s := range msg.subs {
+				if s.st.dead() {
+					continue
+				}
+				dup := false
+				for _, e := range tp.subs {
+					if e == s {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					tp.subs = append(tp.subs, s)
+					b.m.subs.Inc(self)
+				}
+			}
+			msg.done.set(gateOK)
+
+		case msgDetach:
+			// Migration final step: every pre-tombstone message has been
+			// consumed (the coordinator waited for queued == 0), so the
+			// handed-off subscribers are forgotten here WITHOUT closing
+			// their streams — the adopting broker owns them now.  moved
+			// makes the thread exit at its next tick.
+			b.consume(tp)
+			if n := len(tp.subs); n > 0 {
+				b.m.subs.Add(self, -int64(n))
+			}
+			for i := range tp.subs {
+				tp.subs[i] = nil
+			}
+			tp.subs = tp.subs[:0]
+			b.state.Lock()
+			tp.moved = true // under the lock: topicLocked reads it
+			b.state.Unlock()
+			msg.mig.st.Store(migDetached)
+
 		case msgPub:
 			if b.consume(tp) {
 				msg.done.set(gateRejected)
@@ -626,15 +739,24 @@ func (b *Broker) consume(tp *topic) bool {
 }
 
 // topicDone checks the exit condition under the same lock that guards
-// queued increments: once draining is set no producer can add another
-// message, so queued == 0 is final.
+// queued increments: once draining (or the topic's moved tombstone) is
+// set no producer can add another message, so queued == 0 is final.  A
+// migrated topic is also deleted from the map so the broker's own drain
+// cannot later close streams that another broker now owns; its
+// tombstone in b.moved stays until an Adopt brings the name back.
 func (b *Broker) topicDone(tp *topic) bool {
 	b.state.Lock()
-	done := b.draining && tp.queued == 0
+	done := (b.draining || tp.moved) && tp.queued == 0
 	if done {
 		b.topicsLive--
+		if tp.moved && b.topics[tp.name] == tp {
+			delete(b.topics, tp.name)
+		}
 	}
 	b.state.Unlock()
+	if done && tp.moved {
+		b.m.topics.Add(proc.Self(), -1)
+	}
 	return done
 }
 

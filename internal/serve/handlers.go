@@ -21,6 +21,7 @@ func (srv *Server) installBuiltins() {
 	srv.Handle("/healthz", handleHealth)
 	srv.Handle("/echo", handleEcho)
 	srv.Handle("/compute", handleCompute)
+	srv.Handle("/park", handlePark)
 	srv.Handle("/work/", srv.handleWork)
 	srv.Handle("/metrics", srv.handleMetrics)
 	srv.Handle("/trace", srv.handleTrace)
@@ -38,6 +39,39 @@ func handleEcho(req *Request) Response {
 		body = []byte(req.Query("msg"))
 	}
 	return Response{Status: 200, Body: body}
+}
+
+// parkChunk bounds each cooperative sleep between safe points, so a
+// long park stays responsive to deadline expiry and drain.
+const parkChunk = 64
+
+// handlePark sleeps ?ticks= on the shard's clock in bounded chunks —
+// the I/O-bound workload: a parked request holds an in-flight seat but
+// no proc, so a shard's throughput on /park is inflight/parktime
+// regardless of its proc allowance.  That makes whole-shard scaling
+// directly observable even on a small host: each member brings its own
+// in-flight seats.
+func handlePark(req *Request) Response {
+	ticks := int64(req.QueryInt("ticks", 50))
+	if ticks < 0 {
+		ticks = 0
+	}
+	for done := int64(0); done < ticks; {
+		step := int64(parkChunk)
+		if rest := ticks - done; rest < step {
+			step = rest
+		}
+		req.Park(step)
+		done += step
+		req.CheckPreempt()
+		if req.Expired() {
+			return Response{
+				Status: 504,
+				Body:   fmt.Appendf(nil, "cancelled at safe point after %d/%d ticks\n", done, ticks),
+			}
+		}
+	}
+	return Response{Status: 200, Body: fmt.Appendf(nil, "parked %d ticks\n", ticks)}
 }
 
 // handleCompute burns ?n=rounds of an integer mixing function, checking

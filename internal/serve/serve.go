@@ -326,11 +326,11 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 		srv.evDrain = srv.tracer.Define("serve.drain")
 	}
 	srv.ccfg = ConnConfig{
-		Clock:      srv.clock,
-		Park:       srv.park,
-		PollWindow: srv.opts.PollWindow,
-		Tick:       srv.opts.Tick,
-		Pool:       srv.pool,
+		Clock:        srv.clock,
+		Park:         srv.park,
+		PollWindow:   srv.opts.PollWindow,
+		Tick:         srv.opts.Tick,
+		Pool:         srv.pool,
 		OnReadPark:   func() { srv.m.readParks.Inc(proc.Self()) },
 		OnWriteBatch: func(n int) { srv.m.writeBatch.Observe(proc.Self(), int64(n)) },
 		Aborted:      srv.Draining,

@@ -287,3 +287,92 @@ func TestBenchArtifactMux(t *testing.T) {
 			a, b)
 	}
 }
+
+// TestBenchArtifactElastic guards the elastic-membership artifact: a
+// runtime 2->4 scale-up must lift the steady keep-alive plateau by at
+// least 1.2x, the drain-out back to 2 shards must drop zero in-flight
+// requests, the concurrent pub/sub load must lose zero acked
+// deliveries across both handoffs, and the transition dip must stay
+// bounded to its two scale buckets.
+func TestBenchArtifactElastic(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_elastic.json")
+	if err != nil {
+		t.Fatalf("missing benchmark artifact: %v", err)
+	}
+	var bench struct {
+		Elastic struct {
+			TwoShardRPS  float64 `json:"two_shard_rps"`
+			FourShardRPS float64 `json:"four_shard_rps"`
+			PostDrainRPS float64 `json:"post_drain_rps"`
+			Dip          struct {
+				MinTransitionRPS float64 `json:"min_transition_rps"`
+				BelowPlateau     int     `json:"buckets_below_two_shard_plateau"`
+				Sheds            int64   `json:"sheds_during_transitions"`
+				Errors           int64   `json:"errors_during_transitions"`
+			} `json:"dip"`
+			Counters struct {
+				ScaleUps      int64 `json:"scale_ups"`
+				ScaleDowns    int64 `json:"scale_downs"`
+				Joins         int64 `json:"member_joins"`
+				Leaves        int64 `json:"member_leaves"`
+				HandoffTopics int64 `json:"handoff_topics"`
+				HandoffSubs   int64 `json:"handoff_subs"`
+			} `json:"membership_counters"`
+			Park struct {
+				OK      int64 `json:"ok"`
+				Errors  int64 `json:"errors"`
+				Expired int64 `json:"expired"`
+			} `json:"park"`
+			PubSub struct {
+				Acked        int64 `json:"pub_acked"`
+				Delivered    int64 `json:"delivered"`
+				MissingAcked int64 `json:"missing_acked"`
+				CleanClosed  int64 `json:"sub_clean_closed"`
+				Subscribers  int64 `json:"subscribers"`
+			} `json:"pubsub"`
+		} `json:"elastic"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatal(err)
+	}
+	e := bench.Elastic
+	if e.TwoShardRPS <= 0 || e.FourShardRPS <= 0 {
+		t.Fatal("artifact has non-positive plateau throughput")
+	}
+	if e.FourShardRPS < 1.2*e.TwoShardRPS {
+		t.Errorf("4-shard steady throughput %.1f below 1.2x the 2-shard plateau %.1f",
+			e.FourShardRPS, e.TwoShardRPS)
+	}
+	if e.PostDrainRPS < 0.8*e.TwoShardRPS {
+		t.Errorf("post-drain throughput %.1f collapsed below the 2-shard plateau %.1f",
+			e.PostDrainRPS, e.TwoShardRPS)
+	}
+	if e.Park.Errors != 0 || e.Park.Expired != 0 {
+		t.Errorf("park load saw %d errors / %d expired across the scale cycle, want 0/0",
+			e.Park.Errors, e.Park.Expired)
+	}
+	if e.Dip.Errors != 0 {
+		t.Errorf("transition buckets saw %d errors, want 0 (sheds are the only allowed dip)", e.Dip.Errors)
+	}
+	if e.Dip.Sheds > 10 {
+		t.Errorf("transition buckets shed %d requests, want a handful at most", e.Dip.Sheds)
+	}
+	if e.Counters.ScaleUps < 1 || e.Counters.ScaleDowns < 1 {
+		t.Errorf("cycle must contain at least one scale-up and one drain-out, got %d/%d",
+			e.Counters.ScaleUps, e.Counters.ScaleDowns)
+	}
+	if e.Counters.Joins < 1 || e.Counters.Leaves < 1 || e.Counters.HandoffTopics < 1 {
+		t.Errorf("membership counters show no real handoff: joins %d leaves %d handoff_topics %d",
+			e.Counters.Joins, e.Counters.Leaves, e.Counters.HandoffTopics)
+	}
+	if e.PubSub.MissingAcked != 0 {
+		t.Errorf("pubsub lost %d acked deliveries across the handoffs, want 0", e.PubSub.MissingAcked)
+	}
+	if e.PubSub.CleanClosed != e.PubSub.Subscribers {
+		t.Errorf("only %d of %d subscriptions closed cleanly (ledger not fully checked)",
+			e.PubSub.CleanClosed, e.PubSub.Subscribers)
+	}
+	if e.PubSub.Acked <= 0 || e.PubSub.Delivered < e.PubSub.Acked {
+		t.Errorf("pubsub artifact inconsistent: acked %d delivered %d", e.PubSub.Acked, e.PubSub.Delivered)
+	}
+}

@@ -1,0 +1,143 @@
+package shard
+
+// Elastic membership unit tests: the consistent-hash movement bound the
+// slot-keyed ring exists to provide, and the autoscaler's pure kernel.
+// The end-to-end scale choreography is exercised in elastic_e2e_test.go.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChashMovementBound pins the property that justifies keying vnodes
+// on slot ids: growing the member set by one moves about 1/N of the key
+// space to the newcomer (bounded here at 1.5/N over a key sample), and
+// shrinking by one moves ONLY the keys the departed slot owned — a
+// surviving member never loses a key to another survivor.
+func TestChashMovementBound(t *testing.T) {
+	const keys = 4000
+	small := []int{0, 1, 2, 3}
+	grown := []int{0, 1, 2, 3, 4}
+	rSmall := newChashRing(small, ringVnodes)
+	rGrown := newChashRing(grown, ringVnodes)
+
+	moved, toNewcomer := 0, 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before := small[rSmall.lookup(k)]
+		after := grown[rGrown.lookup(k)]
+		if before != after {
+			moved++
+			if after == 4 {
+				toNewcomer++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("adding a slot moved no keys; the ring is not spreading")
+	}
+	// ~1/5 of keys should move; 1.5/5 = 30% is the tolerance for vnode
+	// placement variance at 64 vnodes/slot.
+	if max := keys * 3 / 10; moved > max {
+		t.Errorf("adding 1 of 5 slots moved %d/%d keys, want <= %d (~1.5/N)", moved, keys, max)
+	}
+	// Every moved key must have moved TO the newcomer: growth never
+	// shuffles keys between survivors.
+	if moved != toNewcomer {
+		t.Errorf("%d keys moved but only %d to the new slot; %d shuffled between survivors",
+			moved, toNewcomer, moved-toNewcomer)
+	}
+
+	// Removal is the same comparison read the other way: going from the
+	// grown ring back to the small one, only keys owned by slot 4 change
+	// owner.
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before := grown[rGrown.lookup(k)]
+		after := small[rSmall.lookup(k)]
+		if before != 4 && before != after {
+			t.Fatalf("key %q moved from surviving slot %d to %d on removal of slot 4", k, before, after)
+		}
+	}
+}
+
+// TestChashSlotStability: the same slot set always yields the same ring,
+// and reordering the actives array relabels owners without moving any
+// key between slots — the invariant flips depend on.
+func TestChashSlotStability(t *testing.T) {
+	a := newChashRing([]int{0, 1, 2}, ringVnodes)
+	b := newChashRing([]int{2, 0, 1}, ringVnodes)
+	fwd := []int{0, 1, 2}
+	rev := []int{2, 0, 1}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("s-%d", i)
+		if fwd[a.lookup(k)] != rev[b.lookup(k)] {
+			t.Fatalf("key %q maps to slot %d in one ordering, %d in the other",
+				k, fwd[a.lookup(k)], rev[b.lookup(k)])
+		}
+	}
+}
+
+// TestPlanScale covers the autoscaler kernel's decision table.
+func TestPlanScale(t *testing.T) {
+	cases := []struct {
+		name                     string
+		loads                    []int
+		min, max, up, down, want int
+	}{
+		{"hot scales up", []int{10, 10}, 1, 4, 8, 2, 1},
+		{"idle scales down", []int{0, 1}, 1, 4, 8, 2, -1},
+		{"steady holds", []int{5, 5}, 1, 4, 8, 2, 0},
+		{"at max holds", []int{10, 10}, 1, 2, 8, 2, 0},
+		{"at min holds", []int{0, 0}, 2, 4, 8, 2, 0},
+		{"mean not member max", []int{16, 0}, 1, 4, 8, 2, 1},
+		{"empty fleet holds", nil, 1, 4, 8, 2, 0},
+	}
+	for _, c := range cases {
+		if got := planScale(c.loads, c.min, c.max, c.up, c.down); got != c.want {
+			t.Errorf("%s: planScale(%v, min=%d max=%d up=%d down=%d) = %d, want %d",
+				c.name, c.loads, c.min, c.max, c.up, c.down, got, c.want)
+		}
+	}
+}
+
+// TestShares: the proc budget is conserved and spread within one proc of
+// even across any member count.
+func TestShares(t *testing.T) {
+	for budget := 1; budget <= 16; budget++ {
+		for n := 1; n <= budget; n++ {
+			sh := shares(budget, n)
+			sum, min, max := 0, sh[0], sh[0]
+			for _, s := range sh {
+				sum += s
+				if s < min {
+					min = s
+				}
+				if s > max {
+					max = s
+				}
+			}
+			if sum != budget {
+				t.Fatalf("shares(%d, %d) sums to %d", budget, n, sum)
+			}
+			if max-min > 1 || min < 1 {
+				t.Fatalf("shares(%d, %d) = %v: uneven or starved", budget, n, sh)
+			}
+		}
+	}
+}
+
+// TestScaleToRequiresElastic: without a Spawn hook the fabric refuses
+// membership changes rather than wedging.
+func TestScaleToRequiresElastic(t *testing.T) {
+	tf := startFabric(t, Options{Shards: 2}, nil)
+	if err := tf.fab.ScaleTo(3); err == nil {
+		t.Error("ScaleTo on a non-elastic fabric did not error")
+	}
+	if got := tf.fab.ActiveShards(); got != 2 {
+		t.Errorf("ActiveShards = %d, want 2", got)
+	}
+	if got := tf.fab.Epoch(); got != 1 {
+		t.Errorf("Epoch = %d, want 1 (no flips)", got)
+	}
+}

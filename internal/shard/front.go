@@ -24,8 +24,8 @@ import (
 
 func (fab *Fabric) frontMain() {
 	fab.frontSys.Fork(func() { fab.pump() })
-	if fab.opts.RebalanceTicks > 0 {
-		fab.frontSys.Fork(func() { fab.rebalancer() })
+	if fab.opts.RebalanceTicks > 0 || fab.Elastic() {
+		fab.frontSys.Fork(func() { fab.policy() })
 	} else {
 		fab.state.Lock()
 		fab.rebalDone = true
@@ -81,8 +81,11 @@ func (fab *Fabric) supervise() {
 		fab.park(1)
 	}
 	fab.emit(fab.evDrain, 0)
-	for _, b := range fab.backends {
-		b.srv.Drain()
+	fab.state.Lock()
+	bs := append([]*backend(nil), fab.backends...)
+	fab.state.Unlock()
+	for _, b := range bs {
+		b.srv.Drain() // idempotent: released members are already drained
 	}
 	// Shrink the front's own allowance too: the paper's drain discipline.
 	fab.frontPl.SetLimit(1)
@@ -170,7 +173,10 @@ func (fab *Fabric) shedConn(nc net.Conn, draining bool) {
 // whole run of responses with one coalesced (or vectored) socket write.
 func (fab *Fabric) connThread(nc net.Conn) {
 	c := serve.NewConn(nc, fab.ccfg)
-	home := connShard(nc.RemoteAddr().String(), len(fab.backends))
+	// The connection's route hash is fixed; the member it resolves to is
+	// looked up per batch against the current membership, so an elastic
+	// fabric re-spreads long-lived connections as shards come and go.
+	chash := fnv1a(nc.RemoteAddr().String())
 	served := 0
 	reqs := make([]*serve.Request, 0, fab.opts.BatchMax)
 	resps := make([]serve.Response, 0, fab.opts.BatchMax)
@@ -203,14 +209,19 @@ func (fab *Fabric) connThread(nc net.Conn) {
 				}
 				reqs = append(reqs, nxt)
 			}
-			resps = fab.dispatchBatch(reqs, home, pend, jbuf, cells, grp, &sp, resps[:0])
+			// Snapshot the write cap before dispatch: Submit rebases
+			// req.Deadline onto the owning shard's clock (independent of
+			// the front clock, and starting at zero for a shard acquired
+			// at runtime), so after the batch returns the request objects
+			// no longer carry front-domain ticks.
+			last := reqs[len(reqs)-1]
+			capTick := last.Deadline + 20
+			resps = fab.dispatchBatch(reqs, chash, pend, jbuf, cells, grp, &sp, resps[:0])
 			if si := streamIndex(resps); si >= 0 {
-				fab.streamConn(c, resps, si, reqs[len(reqs)-1].Deadline+20)
+				fab.streamConn(c, resps, si, capTick)
 				break
 			}
-			last := reqs[len(reqs)-1]
 			keepAlive := rerr == nil && !last.Close && !fab.Draining()
-			capTick := last.Deadline + 20
 			if rerr != nil {
 				// Poisoned pipeline: the buffered bytes can never become a
 				// valid request, so answer the malformed successor too and
@@ -346,12 +357,15 @@ func (cs *countedStream) Pull() ([]byte, bool, bool) {
 func (cs *countedStream) Cancel() { cs.s.Cancel() }
 
 // pendingReply is one slot of a dispatch batch: either a reply cell to
-// await (rep non-nil, bound for target) or an immediately-known response
-// (/fabricz answered at the front, ring-full sheds).
+// await (rep non-nil, bound for tgt) or an immediately-known response
+// (/fabricz and /scale answered at the front, ring-full sheds).  tgt is
+// the backend itself, not an index: a membership flip mid-batch cannot
+// re-point a pending cell at a different member.
 type pendingReply struct {
-	rep    *reply
-	target int
-	resp   serve.Response
+	rep  *reply
+	tgt  *backend
+	pin  bool // topic-routed: the job must run on tgt, never be stolen
+	resp serve.Response
 }
 
 // dispatchBatch routes a batch of pipelined requests, forwards each run
@@ -365,7 +379,7 @@ type pendingReply struct {
 // fabric's own status endpoint.  pend, jbuf, and cells are caller-owned
 // scratch (≥ len(reqs) each); cells and grp are reusable because a wait
 // only returns once every pushed cell's delivery has fully completed.
-func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
+func (fab *Fabric) dispatchBatch(reqs []*serve.Request, chash uint32,
 	pend []pendingReply, jbuf []job, cells []reply, grp *replyGroup,
 	sp *spinState, resps []serve.Response) []serve.Response {
 	g := grp
@@ -374,7 +388,7 @@ func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
 	} else {
 		grp.open()
 	}
-	members := fab.forwardBatch(reqs, home, pend, jbuf, cells, g)
+	members := fab.forwardBatch(reqs, chash, pend, jbuf, cells, g)
 	if g != nil {
 		// Cells shed on a full ring never reach a backend: retire them
 		// from the membership before waiting.
@@ -394,31 +408,44 @@ func (fab *Fabric) dispatchBatch(reqs []*serve.Request, home int,
 // the number of cells actually pushed — the group membership the caller
 // seals.  The multiplexed front calls this directly and polls the group
 // instead of blocking.
-func (fab *Fabric) forwardBatch(reqs []*serve.Request, home int,
+func (fab *Fabric) forwardBatch(reqs []*serve.Request, chash uint32,
 	pend []pendingReply, jbuf []job, cells []reply, g *replyGroup) int {
 	self := proc.Self()
+	// One membership snapshot per batch: every request in the batch
+	// routes against the same epoch, and the snapshot is immutable, so a
+	// flip landing mid-loop cannot tear the routing.
+	mem := fab.mem.Load()
 	// Route every request first so run grouping sees final targets.
 	for i, req := range reqs {
-		if req.Path == "/fabricz" {
+		switch req.Path {
+		case "/fabricz":
 			pend[i] = pendingReply{resp: fab.statusResponse()}
 			continue
+		case "/scale":
+			pend[i] = pendingReply{resp: fab.scaleResponse(req)}
+			continue
 		}
-		target := home
+		var tgt *backend
+		pin := false
 		if t := fab.topicKey(req); t != "" {
 			// Pub/sub requests route by topic through the same consistent
 			// ring as sticky keys: one shard's broker owns each topic, so a
 			// publish always meets the topic thread holding its subscribers.
-			target = fab.sticky.lookup(t)
+			// The job is pinned: sibling shards must not steal it, because
+			// only the owner's broker holds the topic's subscriber set.
+			tgt = mem.shards[mem.ring.lookup(t)]
+			pin = true
 			fab.m.routedTopic.Inc(self)
 		} else if key := req.Header(fab.opts.RouteHeader); key != "" {
-			target = fab.sticky.lookup(key)
+			tgt = mem.shards[mem.ring.lookup(key)]
 			fab.m.routedKey.Inc(self)
 		} else {
+			tgt = mem.shards[mem.home(chash)]
 			fab.m.routedHash.Inc(self)
 		}
-		fab.emit(fab.evRoute, int64(target))
+		fab.emit(fab.evRoute, int64(tgt.id))
 		cells[i] = reply{grp: g}
-		pend[i] = pendingReply{rep: &cells[i], target: target}
+		pend[i] = pendingReply{rep: &cells[i], tgt: tgt, pin: pin}
 	}
 	// Forward: consecutive same-target requests become one pushN.
 	now := fab.clock.Now()
@@ -428,24 +455,25 @@ func (fab *Fabric) forwardBatch(reqs []*serve.Request, home int,
 			i++
 			continue
 		}
-		target := pend[i].target
+		tgt := pend[i].tgt
 		n := 0
 		j := i
-		for ; j < len(reqs) && pend[j].rep != nil && pend[j].target == target; j++ {
+		for ; j < len(reqs) && pend[j].rep != nil && pend[j].tgt == tgt; j++ {
 			jbuf[n] = job{
 				req:       reqs[j],
 				remaining: reqs[j].Deadline - now,
 				pushed:    now,
 				rep:       pend[j].rep,
+				pinned:    pend[j].pin,
 			}
 			n++
 		}
-		pushed := fab.backends[target].ring.pushN(jbuf[:n])
+		pushed := tgt.ring.pushN(jbuf[:n])
 		members += pushed
 		if pushed > 0 {
 			fab.m.pushBatch.Observe(self, int64(pushed))
-			fab.m.forwarded[target].Add(self, int64(pushed))
-			fab.emit(fab.evForward, int64(target))
+			fab.m.forwarded[tgt.id].Add(self, int64(pushed))
+			fab.emit(fab.evForward, int64(tgt.id))
 		}
 		for k := pushed; k < n; k++ {
 			fab.m.ringFull.Inc(self)
@@ -504,16 +532,41 @@ func (fab *Fabric) waitReply(cond func() bool, sp *spinState) {
 	fab.m.waitTicks.Observe(self, fab.clock.Now()-t0)
 }
 
-// statusResponse renders /fabricz: per-shard allowance and load.
+// statusResponse renders /fabricz: membership state (epoch, per-member
+// lifecycle phase, vnode ownership) plus per-shard allowance and load.
 func (fab *Fabric) statusResponse() serve.Response {
-	loads := fab.shardLoads()
+	mem := fab.mem.Load()
+	loads := fab.shardLoads(mem.shards)
 	limits := fab.Limits()
-	body := fmt.Sprintf("shards %d\n", len(fab.backends))
-	for i := range fab.backends {
+	body := fmt.Sprintf("shards %d\n", len(mem.shards))
+	for i, b := range mem.shards {
 		body += fmt.Sprintf("shard %d limit %d load %d ring %d\n",
-			i, limits[i], loads[i], fab.backends[i].ring.depth())
+			b.id, limits[i], loads[i], b.ring.depth())
 	}
 	snap := fab.frontSys.Metrics().Snapshot()
+	body += fmt.Sprintf("epoch %d active %d min %d max %d elastic %v autoscale %v\n",
+		mem.epoch, len(mem.shards), fab.opts.MinShards, fab.opts.MaxShards,
+		fab.Elastic(), fab.opts.Autoscale)
+	vn := mem.ring.ownerCounts(len(mem.shards))
+	fab.state.Lock()
+	all := append([]*backend(nil), fab.backends...)
+	fab.state.Unlock()
+	for _, b := range all {
+		vnodes := 0
+		for i, a := range mem.shards {
+			if a == b {
+				vnodes = vn[i]
+				break
+			}
+		}
+		body += fmt.Sprintf("member %d phase %s limit %d ring %d vnodes %d\n",
+			b.id, phaseName(b.phase.Load()), fab.limitOf(b.id), b.ring.depth(), vnodes)
+	}
+	body += fmt.Sprintf("scale_ups %d scale_downs %d joins %d leaves %d stale_discarded %d handoff_topics %d handoff_subs %d\n",
+		snap.Get("shard.scale_ups"), snap.Get("shard.scale_downs"),
+		snap.Get("shard.member_joins"), snap.Get("shard.member_leaves"),
+		snap.Get("shard.scale_stale_discarded"),
+		snap.Get("shard.handoff_topics"), snap.Get("shard.handoff_subs"))
 	body += fmt.Sprintf("conns %d rebalances %d\n",
 		snap.Get("shard.conns"), snap.Get("shard.rebalances"))
 	body += fmt.Sprintf("steals %d stolen %d attempts %d aborts %d ring_expired %d\n",
@@ -527,7 +580,7 @@ func (fab *Fabric) statusResponse() serve.Response {
 		snap.Get("serve.poll_wakeups"), snap.Histograms["serve.resume_batch"].Count)
 	if fab.opts.PubSub {
 		var ps pubsub.Stats
-		for _, b := range fab.backends {
+		for _, b := range all {
 			s := b.broker.Stats()
 			ps.Topics += s.Topics
 			ps.Subs += s.Subs

@@ -70,10 +70,10 @@ type muxConn struct {
 	c         *serve.Conn
 	nc        net.Conn
 	fd        int
-	home      int   // connection-hash route target
-	served    int   // responses written on this connection
-	idleAt    int64 // front tick the conn last became idle
-	wrCap     int64 // write deadline (ticks) for the staged batch
+	chash     uint32 // connection route hash, resolved per batch
+	served    int    // responses written on this connection
+	idleAt    int64  // front tick the conn last became idle
+	wrCap     int64  // write deadline (ticks) for the staged batch
 	fr        *frame
 	keepAlive bool
 	closing   bool // close after the staged write drains
@@ -343,7 +343,7 @@ func (fab *Fabric) adoptConn(p *poller, nc net.Conn) {
 	}
 	mc.nc = nc
 	mc.fd = fd
-	mc.home = connShard(nc.RemoteAddr().String(), len(fab.backends))
+	mc.chash = fnv1a(nc.RemoteAddr().String())
 	mc.served = 0
 	mc.idleAt = fab.clock.Now()
 	mc.wrCap = 0
@@ -428,7 +428,7 @@ func (fab *Fabric) muxRead(p *poller, mc *muxConn) bool {
 	mc.keepAlive = rerr == nil && !last.Close && !fab.Draining()
 	mc.wrCap = last.Deadline + 20
 	fr.grp.open()
-	members := fab.forwardBatch(fr.reqs, mc.home, fr.pend, fr.jbuf, fr.cells, &fr.grp)
+	members := fab.forwardBatch(fr.reqs, mc.chash, fr.pend, fr.jbuf, fr.cells, &fr.grp)
 	fr.grp.seal(members)
 	mc.c.SetState(serve.StateDispatched)
 	if fr.grp.done() { // all answered inline (/fabricz, ring-full sheds)

@@ -69,7 +69,7 @@ func TestFabricUsesOnlyMPPrimitives(t *testing.T) {
 // present in the directory listing the scanners iterate, so a rename or
 // split cannot silently drop one from the purity rule.
 func TestPurityScanCoversHotPathFiles(t *testing.T) {
-	required := []string{"shard.go", "front.go", "mux.go", "ring.go", "reply.go", "steal.go", "rebalance.go", "route.go"}
+	required := []string{"shard.go", "front.go", "mux.go", "ring.go", "reply.go", "steal.go", "rebalance.go", "route.go", "member.go"}
 	have := map[string]bool{}
 	for _, f := range shardSources(t) {
 		have[f] = true

@@ -1,29 +1,40 @@
 package shard
 
-// Load-driven proc rebalancing: scheduling policy written in the
-// language, across shards.  The rebalancer is an ordinary MP thread of
-// the front system; every RebalanceTicks it reads each shard's load off
-// the metrics spine — the serve.queue_depth and serve.inflight gauges
-// that shard's own pipeline maintains, plus the forward ring's
-// occupancy — and proposes moving one proc of allowance from the
-// least-loaded shard that is above its floor to the most-loaded shard
-// with headroom.  A proposal is applied only after HysteresisRounds
-// consecutive periods agree on the same donor and recipient, so a
-// transient spike cannot thrash allowance back and forth.  Application
-// is two proc.SetLimit calls whose deltas cancel: the global total is
-// conserved by construction, and the donor's procs release themselves at
-// their next safe point — the paper's §3.1 revocation protocol doing
-// live load balancing.
+// Load-driven scheduling policy written in the language, across shards.
+// The policy thread is an ordinary MP thread of the front system with
+// two instruments at two granularities:
+//
+//   - proc shifts (PR 3): every period it reads each active member's
+//     load off the metrics spine and proposes moving one proc of
+//     allowance from the least-loaded member above its floor to the
+//     most-loaded with headroom — sustained skew correction inside a
+//     fixed membership.
+//
+//   - whole-shard scaling (Options.Autoscale): when the *mean* load per
+//     member stays above ScaleUpLoad, it acquires a shard; when it
+//     stays below ScaleDownLoad, it releases one — member.go's
+//     choreography, bounded by [MinShards, MaxShards].
+//
+// Both run under the same HysteresisRounds agreement discipline, so a
+// transient spike can neither thrash allowance nor membership.  Every
+// decision is stamped with the membership epoch its readings came from:
+// agreement accumulated across a flip is discarded (and counted in
+// shard.scale_stale_discarded) rather than applied — a shift computed
+// against a stale member set could resize a shard that is mid-drain.
+// The thread also serves the manual /scale mailbox; a manual scale
+// event invalidates in-progress agreement the same way.
 
 import (
+	"repro/internal/cml"
 	"repro/internal/proc"
 )
 
-// planShift is the pure policy kernel: given per-shard loads and
-// current allowances, it proposes moving one proc from shard `from` to
-// shard `to`, or reports ok=false when the fleet is balanced enough.
-// Constraints: the donor stays at or above floor, the recipient stays at
-// or below cap, and the load imbalance must exceed slack.
+// planShift is the pure policy kernel: given per-member loads and
+// current allowances, it proposes moving one proc of allowance from
+// member `from` to member `to`, or reports ok=false when the fleet is
+// balanced enough.  Constraints: the donor stays at or above floor, the
+// recipient stays at or below cap, and the load imbalance must exceed
+// slack.
 func planShift(loads, limits []int, floor, cap, slack int) (from, to int, ok bool) {
 	if len(loads) < 2 || len(loads) != len(limits) {
 		return 0, 0, false
@@ -43,15 +54,37 @@ func planShift(loads, limits []int, floor, cap, slack int) (from, to int, ok boo
 	return from, to, true
 }
 
-// shardLoads reads every shard's current load from its metrics registry
-// plus its forward ring.  The gauges are counters summed over per-proc
-// slots, so a snapshot racing an inc on one slot and the matching dec
-// on another can transiently read negative — clamp each component, or a
-// busy shard can look less loaded than an idle one and the rebalancer
-// shifts allowance the wrong way.
-func (fab *Fabric) shardLoads() []int {
-	loads := make([]int, len(fab.backends))
-	for i, b := range fab.backends {
+// planScale is the autoscaler's pure kernel: +1 to acquire a shard when
+// the mean per-member load reaches upLoad, -1 to release one when it is
+// at or below downLoad, 0 otherwise — always within [min, max] members.
+func planScale(loads []int, min, max, upLoad, downLoad int) int {
+	n := len(loads)
+	if n == 0 {
+		return 0
+	}
+	total := 0
+	for _, l := range loads {
+		total += l
+	}
+	avg := total / n
+	if avg >= upLoad && n < max {
+		return 1
+	}
+	if avg <= downLoad && n > min {
+		return -1
+	}
+	return 0
+}
+
+// shardLoads reads each given member's current load from its metrics
+// registry plus its forward ring.  The gauges are counters summed over
+// per-proc slots, so a snapshot racing an inc on one slot and the
+// matching dec on another can transiently read negative — clamp each
+// component, or a busy shard can look less loaded than an idle one and
+// the policy shifts allowance the wrong way.
+func (fab *Fabric) shardLoads(shards []*backend) []int {
+	loads := make([]int, len(shards))
+	for i, b := range shards {
 		snap := b.sys.Metrics().Snapshot()
 		loads[i] = clampNonNeg(snap.Get("serve.queue_depth")) +
 			clampNonNeg(snap.Get("serve.inflight")) +
@@ -67,27 +100,93 @@ func clampNonNeg(v int64) int {
 	return int(v)
 }
 
-// rebalancer is the policy thread; it exits when the fabric drains.
-func (fab *Fabric) rebalancer() {
-	capacity := fab.opts.Shards * fab.opts.BackendProcs
-	agreeing := 0
-	prevFrom, prevTo := -1, -1
+// policy is the policy thread; it exits when the fabric drains.  Each
+// wait selects between the manual-scale mailbox and the period tick, so
+// a /scale request is handled the moment it arrives.
+func (fab *Fabric) policy() {
+	period := fab.opts.RebalanceTicks
+	if period <= 0 {
+		period = 50 // elastic-only mode: ticks still drive the autoscaler exit
+	}
+	shifting := fab.opts.RebalanceTicks > 0
+	agreeing, prevFrom, prevTo := 0, -1, -1
+	scaleAgree, prevDir := 0, 0
+	epoch := fab.mem.Load().epoch
+	// discard throws away in-progress agreement because the membership
+	// changed under it — the epoch-staleness rule.
+	discard := func(self int) {
+		if agreeing > 0 || scaleAgree > 0 {
+			fab.m.scaleStale.Inc(self)
+		}
+		agreeing, prevFrom, prevTo = 0, -1, -1
+		scaleAgree, prevDir = 0, 0
+	}
 	for {
-		fab.park(fab.opts.RebalanceTicks)
+		cmd := cml.Select(fab.frontSys,
+			fab.scaleBox.RecvEvt(),
+			cml.Wrap(fab.clock.AfterEvt(period), func(int64) int { return -1 }))
 		if fab.Draining() {
 			break
 		}
 		self := proc.Self()
+		if cmd >= 0 {
+			// Manual /scale: run it, then invalidate whatever agreement the
+			// periodic readings had built against the old membership.
+			fab.scaleTo(cmd)
+			epoch = fab.mem.Load().epoch
+			discard(self)
+			continue
+		}
 		fab.m.checks.Inc(self)
-		loads := fab.shardLoads()
-		limits := fab.Limits()
-		from, to, ok := planShift(loads, limits, fab.opts.ProcFloor, capacity, fab.opts.RebalanceSlack)
+		mem := fab.mem.Load()
+		if mem.epoch != epoch {
+			epoch = mem.epoch
+			discard(self)
+			continue
+		}
+		loads := fab.shardLoads(mem.shards)
+
+		// Whole-shard scaling first: when a scale step fires, any proc
+		// shift computed from this tick's readings is stale by definition.
+		if fab.opts.Autoscale && fab.Elastic() {
+			dir := planScale(loads, fab.opts.MinShards, fab.opts.MaxShards,
+				fab.opts.ScaleUpLoad, fab.opts.ScaleDownLoad)
+			switch {
+			case dir == 0:
+				scaleAgree, prevDir = 0, 0
+			case dir != prevDir:
+				scaleAgree, prevDir = 1, dir
+			default:
+				scaleAgree++
+			}
+			if scaleAgree >= fab.opts.HysteresisRounds {
+				fab.scaleTo(len(mem.shards) + dir)
+				epoch = fab.mem.Load().epoch
+				discard(self)
+				continue
+			}
+		}
+
+		// Proc shift between the actives (the PR 3 rebalancer, now
+		// membership-aware).  Hysteresis identity uses slot ids, not
+		// positions: positions shuffle on flips, slots never do.
+		if !shifting || len(mem.shards) < 2 {
+			continue
+		}
+		limits := make([]int, len(mem.shards))
+		fab.state.Lock()
+		for i, b := range mem.shards {
+			limits[i] = fab.limits[b.id]
+		}
+		fab.state.Unlock()
+		from, to, ok := planShift(loads, limits, fab.opts.ProcFloor, fab.budget, fab.opts.RebalanceSlack)
 		if !ok {
 			agreeing, prevFrom, prevTo = 0, -1, -1
 			continue
 		}
-		if from != prevFrom || to != prevTo {
-			agreeing, prevFrom, prevTo = 1, from, to
+		fromID, toID := mem.shards[from].id, mem.shards[to].id
+		if fromID != prevFrom || toID != prevTo {
+			agreeing, prevFrom, prevTo = 1, fromID, toID
 		} else {
 			agreeing++
 		}
@@ -95,20 +194,26 @@ func (fab *Fabric) rebalancer() {
 			continue
 		}
 		agreeing, prevFrom, prevTo = 0, -1, -1
-
+		if fab.mem.Load().epoch != epoch {
+			// Belt and braces: flips are this thread's own doing today, but
+			// the apply-time check is the invariant, not the architecture.
+			epoch = fab.mem.Load().epoch
+			fab.m.scaleStale.Inc(self)
+			continue
+		}
 		fab.state.Lock()
-		fab.limits[from]--
-		fab.limits[to]++
-		newFrom, newTo := fab.limits[from], fab.limits[to]
+		fab.limits[fromID]--
+		fab.limits[toID]++
+		newFrom, newTo := fab.limits[fromID], fab.limits[toID]
 		fab.lastShift = fab.clock.Now()
 		fab.state.Unlock()
 		// The donor's shrink takes effect at its procs' next safe points;
 		// the recipient's growth is immediate headroom.  The two deltas
 		// cancel: sum(limits) is invariant.
-		fab.backends[from].pl.SetLimit(newFrom)
-		fab.backends[to].pl.SetLimit(newTo)
+		mem.shards[from].pl.SetLimit(newFrom)
+		mem.shards[to].pl.SetLimit(newTo)
 		fab.m.rebalances.Inc(self)
-		fab.emit(fab.evRebalance, int64(from)<<8|int64(to))
+		fab.emit(fab.evRebalance, int64(fromID)<<8|int64(toID))
 	}
 	fab.state.Lock()
 	fab.rebalDone = true

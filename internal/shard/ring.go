@@ -27,27 +27,38 @@ type job struct {
 	remaining int64
 	pushed    int64 // front-clock tick at push
 	rep       *reply
+	pinned    bool // topic-routed: must run on this ring's owner, never stolen
 }
 
 // ring is the bounded MPSC forward ring.  Occupancy is mirrored in an
 // atomic so load probes (rebalancer, steal victim selection) read depth
 // without touching the spinlock the hot path contends on.
 type ring struct {
-	lock  core.Lock
-	buf   []job
-	head  int // next pop
-	count int
-	occ   atomic.Int64 // == count, updated inside the critical sections
+	lock   core.Lock
+	buf    []job
+	head   int // next pop
+	count  int
+	closed bool         // released member: pushes refuse, pops drain
+	occ    atomic.Int64 // == count, updated inside the critical sections
 }
 
 func newRing(depth int) *ring {
 	return &ring{lock: core.NewMutexLock(), buf: make([]job, depth)}
 }
 
-// push appends a job; false when full (the caller sheds with 503).
+// close permanently refuses new pushes — the released member's ring
+// behaves like a full ring (front sheds 503), while pops keep draining
+// what already landed.  A job in a ring is always answered.
+func (r *ring) close() {
+	r.lock.Lock()
+	r.closed = true
+	r.lock.Unlock()
+}
+
+// push appends a job; false when full or closed (the caller sheds 503).
 func (r *ring) push(j job) bool {
 	r.lock.Lock()
-	if r.count == len(r.buf) {
+	if r.count == len(r.buf) || r.closed {
 		r.lock.Unlock()
 		return false
 	}
@@ -69,6 +80,9 @@ func (r *ring) pushN(js []job) int {
 	}
 	r.lock.Lock()
 	n := len(r.buf) - r.count
+	if r.closed {
+		n = 0
+	}
 	if n > len(js) {
 		n = len(js)
 	}
@@ -122,28 +136,43 @@ func (r *ring) popN(dst []job) int {
 
 // stealN claims up to half the victim's queued jobs (oldest first, so a
 // stolen request never overtakes one left behind) for an idle sibling.
-// It uses TryLock — the claim/release handoff: a thief that meets
-// contention aborts immediately (-1) rather than spinning on a foreign
-// shard's hot lock, since the owner being inside the critical section
-// means the ring is being drained anyway.  Returns 0 when the ring is
-// uncontended but empty.
+// Pinned jobs — pub/sub requests whose topic state lives only on this
+// ring's owner — are never taken: a stolen publish would be acked by a
+// broker holding none of the topic's subscribers, silently dropping the
+// fan-out.  Skipping them keeps both the stolen run and the survivors
+// in their original relative order, at the cost of an O(count) compact
+// under the lock — acceptable on the cold steal path.  It uses TryLock
+// — the claim/release handoff: a thief that meets contention aborts
+// immediately (-1) rather than spinning on a foreign shard's hot lock,
+// since the owner being inside the critical section means the ring is
+// being drained anyway.  Returns 0 when the ring is uncontended but
+// empty (or holds only pinned jobs).
 func (r *ring) stealN(dst []job) int {
 	if !r.lock.TryLock() {
 		return -1
 	}
-	n := (r.count + 1) / 2
-	if n > len(dst) {
-		n = len(dst)
+	limit := (r.count + 1) / 2
+	if limit > len(dst) {
+		limit = len(dst)
 	}
-	for i := 0; i < n; i++ {
-		dst[i] = r.buf[r.head]
-		r.buf[r.head] = job{}
-		r.head = (r.head + 1) % len(r.buf)
+	taken, kept := 0, 0
+	for i := 0; i < r.count; i++ {
+		j := r.buf[(r.head+i)%len(r.buf)]
+		if taken < limit && !j.pinned {
+			dst[taken] = j
+			taken++
+		} else {
+			r.buf[(r.head+kept)%len(r.buf)] = j
+			kept++
+		}
 	}
-	r.count -= n
+	for i := kept; i < r.count; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = job{}
+	}
+	r.count = kept
 	r.occ.Store(int64(r.count))
 	r.lock.Unlock()
-	return n
+	return taken
 }
 
 // depth reports the current occupancy (a rebalancer load input and the

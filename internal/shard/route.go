@@ -1,12 +1,16 @@
 package shard
 
 // Request routing.  The default discipline hashes the client's remote
-// address once per connection, so a connection's requests all land on
-// one shard (cheap, cache-friendly, no coordination).  Requests carrying
-// the routing header instead consult a consistent-hash ring keyed on the
-// header's value: sticky routing that survives reconfiguration — when
-// the shard count changes, only ~1/N of the key space moves, the
-// classic consistent-hashing property.
+// address once per connection; the hash is resolved against the current
+// membership per batch, so a connection follows the active shard set
+// (cheap, cache-friendly, no coordination).  Requests carrying the
+// routing header (and pub/sub requests, by topic) instead consult a
+// consistent-hash ring keyed on the member's *slot id*: sticky routing
+// that survives reconfiguration — when a shard joins or leaves, only
+// ~1/N of the key space moves, the classic consistent-hashing property.
+// Keying vnodes on the slot rather than the active index is what makes
+// the property hold under elasticity: a surviving member's points never
+// move, whatever its position in the actives array.
 
 import (
 	"fmt"
@@ -24,30 +28,31 @@ func fnv1a(s string) uint32 {
 	return h
 }
 
-// connShard routes a connection by remote-address hash.
-func connShard(remote string, shards int) int {
-	return int(fnv1a(remote) % uint32(shards))
-}
-
-// chashRing is a consistent-hash ring: vnodes virtual points per shard,
-// sorted by hash; a key routes to the owner of the first point at or
-// after the key's hash, wrapping at the top.
+// chashRing is a consistent-hash ring: vnodes virtual points per member
+// slot, sorted by hash; a key routes to the owner of the first point at
+// or after the key's hash, wrapping at the top.  owner is an index into
+// the membership's actives array, so a lookup against a snapshot is one
+// sort.Search plus one slice index — no id translation on the hot path.
 type chashRing struct {
 	points []chashPoint
 }
 
 type chashPoint struct {
 	hash  uint32
-	shard int
+	owner int // index into membership.shards
 }
 
-func newChashRing(shards, vnodes int) *chashRing {
-	r := &chashRing{points: make([]chashPoint, 0, shards*vnodes)}
-	for s := 0; s < shards; s++ {
+// newChashRing builds the ring for the given member slots; slots[i] is
+// the slot id of actives[i].  The hash input depends only on the slot
+// id, never on i: a membership change re-labels owners but leaves every
+// surviving slot's points exactly where they were.
+func newChashRing(slots []int, vnodes int) *chashRing {
+	r := &chashRing{points: make([]chashPoint, 0, len(slots)*vnodes)}
+	for owner, s := range slots {
 		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, chashPoint{
 				hash:  fnv1a(fmt.Sprintf("shard-%d-vnode-%d", s, v)),
-				shard: s,
+				owner: owner,
 			})
 		}
 	}
@@ -55,12 +60,24 @@ func newChashRing(shards, vnodes int) *chashRing {
 	return r
 }
 
-// lookup returns the shard owning key.
+// lookup returns the actives index owning key.
 func (r *chashRing) lookup(key string) int {
 	h := fnv1a(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
 	}
-	return r.points[i].shard
+	return r.points[i].owner
+}
+
+// ownerCounts tallies vnode ownership per actives index — the /fabricz
+// observability satellite's data.
+func (r *chashRing) ownerCounts(n int) []int {
+	counts := make([]int, n)
+	for _, p := range r.points {
+		if p.owner >= 0 && p.owner < n {
+			counts[p.owner]++
+		}
+	}
+	return counts
 }

@@ -38,6 +38,7 @@ package shard
 import (
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cml"
@@ -151,6 +152,31 @@ type Options struct {
 	// Tracer, if non-nil, receives front fabric events (accept, route,
 	// forward, reply, rebalance, drain).
 	Tracer *trace.Tracer
+	// Spawn, when non-nil, makes membership elastic: runtime shard
+	// acquire/release needs a host goroutine per new backend world, and
+	// the fabric itself may start none (the purity rule), so the host
+	// passes its own "run f on a fresh goroutine" hook here — mpserved
+	// wires it to its WaitGroup.  Nil pins membership at Shards.
+	Spawn func(func())
+	// Autoscale lets the policy thread acquire/release whole shards on
+	// sustained load, within [MinShards, MaxShards]; manual /scale works
+	// whenever Spawn is set, autoscaled or not.
+	Autoscale bool
+	// MinShards/MaxShards bound the active member count (defaults 1 and
+	// 2×Shards; MaxShards is clamped to the proc budget, since every
+	// member needs at least one proc).
+	MinShards int
+	MaxShards int
+	// ScaleUpLoad and ScaleDownLoad are the mean per-shard load (queued +
+	// in-flight + ring) thresholds the autoscaler acts on, with the same
+	// HysteresisRounds discipline as proc shifts (defaults 8 and 2).
+	ScaleUpLoad   int
+	ScaleDownLoad int
+	// HandoffGraceTicks is how long (front clock ticks) the coordinator
+	// waits after a membership flip before detaching handed-off topics
+	// from their old owners — the window for traffic routed against a
+	// stale snapshot to finish (default 32).
+	HandoffGraceTicks int64
 }
 
 func (o *Options) fill() {
@@ -229,6 +255,33 @@ func (o *Options) fill() {
 	} else if o.HeartbeatTicks < 0 {
 		o.HeartbeatTicks = 0
 	}
+	if o.MinShards <= 0 {
+		o.MinShards = 1
+	}
+	if o.MinShards > o.Shards {
+		o.MinShards = o.Shards
+	}
+	if o.MaxShards <= 0 {
+		o.MaxShards = 2 * o.Shards
+	}
+	if budget := o.Shards * o.BackendProcs; o.MaxShards > budget {
+		o.MaxShards = budget // every member needs ≥ 1 proc of the budget
+	}
+	if o.MaxShards < o.Shards {
+		o.MaxShards = o.Shards
+	}
+	if o.ScaleUpLoad <= 0 {
+		o.ScaleUpLoad = 8
+	}
+	if o.ScaleDownLoad <= 0 {
+		o.ScaleDownLoad = 2
+	}
+	if o.ScaleDownLoad >= o.ScaleUpLoad {
+		o.ScaleDownLoad = o.ScaleUpLoad - 1
+	}
+	if o.HandoffGraceTicks <= 0 {
+		o.HandoffGraceTicks = 32
+	}
 }
 
 // NoRebalance is the Options.RebalanceTicks value that disables the
@@ -240,6 +293,9 @@ const NoRebalance = -1
 const NoSteal = -1
 
 // backend is one shard: its own MP world plus the forward ring into it.
+// id is the member's stable *slot*: the consistent ring's vnodes, the
+// forwarded_<id> counter, and the limits entry are all keyed on it, and
+// it outlives the member's position in the actives array.
 type backend struct {
 	id     int
 	pl     *proc.Platform
@@ -247,6 +303,9 @@ type backend struct {
 	srv    *serve.Server
 	ring   *ring
 	broker *pubsub.Broker // Options.PubSub; nil otherwise
+
+	phase atomic.Int32 // joining → active → draining → gone
+	live  atomic.Int64 // host goroutines currently running this backend's worlds
 }
 
 // fabricMetrics caches the front registry's instrument handles.
@@ -293,6 +352,19 @@ type fabricMetrics struct {
 	routedTopic  *metrics.Counter
 	streamConns  *metrics.Counter // gauge
 	streamFrames *metrics.Counter
+
+	// Elastic-membership instruments: epoch flips (epoch = flips + 1),
+	// shards acquired/released, autoscaler/manual scale steps applied,
+	// policy decisions discarded for epoch staleness, and topics/subs
+	// moved by handoffs.
+	epochFlips    *metrics.Counter // shard.member_epoch
+	memberJoins   *metrics.Counter
+	memberLeaves  *metrics.Counter
+	scaleUps      *metrics.Counter
+	scaleDowns    *metrics.Counter
+	scaleStale    *metrics.Counter // shard.scale_stale_discarded
+	handoffTopics *metrics.Counter
+	handoffSubs   *metrics.Counter
 }
 
 // Fabric is the sharded serving fabric; create with New, start each of
@@ -306,9 +378,16 @@ type Fabric struct {
 	clock    *cml.Clock
 	pool     *serve.BufPool
 	ccfg     serve.ConnConfig
-	backends []*backend
-	sticky   *chashRing
 	pollers  []*poller // multiplexed front (Options.Mux); nil otherwise
+
+	// mem is the versioned membership snapshot every routing decision
+	// resolves against: immutable once published, flipped only by the
+	// policy thread.  backends is the all-ever member list (appends under
+	// the state lock; gone members stay, their registries readable).
+	mem      atomic.Pointer[membership]
+	budget   int // global proc budget: Shards × BackendProcs at boot
+	scaleBox *cml.Mailbox[int]
+	subIDs   atomic.Int64 // shared pub/sub sub-id allocator across brokers
 
 	state        core.Lock // guards the fields below
 	draining     bool
@@ -316,8 +395,10 @@ type Fabric struct {
 	activeConns  int
 	cascadeDone  bool // backends drained (supervisor finished)
 	rebalDone    bool
-	limits       []int // rebalancer-tracked per-shard allowance
-	lastShift    int64 // front tick of the last applied shift
+	backends     []*backend
+	handlers     []handlerEntry // replayed onto runtime-spawned members
+	limits       []int          // per-slot allowance (policy bookkeeping)
+	lastShift    int64          // front tick of the last applied shift
 
 	logrt  *mlio.Runtime
 	logpol mlio.Policy
@@ -326,6 +407,13 @@ type Fabric struct {
 	tracer *trace.Tracer
 	evAccept, evRoute, evForward, evReply,
 	evRebalance, evSteal, evDrain trace.EventID
+}
+
+// handlerEntry records one Fabric.Handle registration for replay onto
+// runtime-spawned members.
+type handlerEntry struct {
+	pattern string
+	h       serve.Handler
 }
 
 // New builds the fabric: front listener + platform, and Shards backend
@@ -352,54 +440,32 @@ func New(opts Options) (*Fabric, error) {
 		frontSys: threads.New(frontPl, threads.Options{}),
 		clock:    cml.NewClock(),
 		pool:     serve.NewBufPool(opts.FrontProcs),
-		sticky:   newChashRing(opts.Shards, 64),
+		budget:   opts.Shards * opts.BackendProcs,
+		scaleBox: cml.NewMailbox[int](),
 		state:    core.NewMutexLock(),
-		limits:   make([]int, opts.Shards),
+		limits:   make([]int, opts.MaxShards),
 		logrt:    mlio.NewRuntime(),
 		logpol:   mlio.NewPerStream(),
 		tracer:   opts.Tracer,
 	}
 	reg := fab.frontSys.Metrics()
-	capacity := opts.Shards * opts.BackendProcs
+	slots := make([]int, opts.Shards)
 	for i := 0; i < opts.Shards; i++ {
-		pl := proc.New(capacity)
-		pl.SetLimit(opts.BackendProcs)
-		sys := threads.New(pl, threads.Options{})
-		srv, err := serve.New(sys, serve.Options{
-			NoListener:         true,
-			ShardID:            i,
-			MaxInFlight:        opts.MaxInFlight,
-			QueueDepth:         opts.QueueDepth,
-			DeadlineTicks:      opts.DeadlineTicks,
-			DispatchBatch:      opts.BatchMax,
-			KeepAliveIdleTicks: opts.IdleTicks,
-			Tick:               opts.Tick,
-			PollWindow:         opts.PollWindow,
-			RetryAfter:         opts.RetryAfter,
-			Log:                fab.logrt,
-			LogPolicy:          fab.logpol,
-			ExtraMetrics:       []serve.NamedRegistry{{Name: "front", Reg: reg}},
-		})
+		b, err := fab.newBackend(i, opts.BackendProcs)
 		if err != nil {
 			tln.Close()
 			return nil, err
 		}
-		var broker *pubsub.Broker
-		if opts.PubSub {
-			broker = pubsub.New(sys, srv.Clock(), sys.Metrics(), pubsub.Options{
-				TenantHeader: opts.TenantHeader,
-				StreamDepth:  opts.StreamDepth,
-				QuotaPerSec:  opts.TenantQuota,
-				Tick:         opts.Tick,
-			})
-			pubsub.Install(srv, broker)
-		}
-		fab.backends = append(fab.backends, &backend{
-			id: i, pl: pl, sys: sys, srv: srv, ring: newRing(opts.RingDepth),
-			broker: broker,
-		})
+		b.phase.Store(phaseActive)
+		fab.backends = append(fab.backends, b)
 		fab.limits[i] = opts.BackendProcs
+		slots[i] = i
 	}
+	fab.mem.Store(&membership{
+		epoch:  1,
+		shards: append([]*backend(nil), fab.backends...),
+		ring:   newChashRing(slots, ringVnodes),
+	})
 	if opts.Mux {
 		for i := 0; i < opts.Pollers; i++ {
 			p, err := newPoller(i)
@@ -444,10 +510,21 @@ func New(opts Options) (*Fabric, error) {
 		streamConns:  reg.Counter("shard.stream_conns"),
 		streamFrames: reg.Counter("shard.stream_frames"),
 	}
-	for i := 0; i < opts.Shards; i++ {
+	// Forwarded counters are slot-indexed and pre-created for every slot
+	// a member could ever hold, so a runtime-spawned shard never races a
+	// registry mutation on the forward hot path.
+	for i := 0; i < opts.MaxShards; i++ {
 		fab.m.forwarded = append(fab.m.forwarded,
 			reg.Counter(fmt.Sprintf("shard.forwarded_%d", i)))
 	}
+	fab.m.epochFlips = reg.Counter("shard.member_epoch")
+	fab.m.memberJoins = reg.Counter("shard.member_joins")
+	fab.m.memberLeaves = reg.Counter("shard.member_leaves")
+	fab.m.scaleUps = reg.Counter("shard.scale_ups")
+	fab.m.scaleDowns = reg.Counter("shard.scale_downs")
+	fab.m.scaleStale = reg.Counter("shard.scale_stale_discarded")
+	fab.m.handoffTopics = reg.Counter("shard.handoff_topics")
+	fab.m.handoffSubs = reg.Counter("shard.handoff_subs")
 	if fab.tracer != nil {
 		fab.evAccept = fab.tracer.Define("shard.accept")
 		fab.evRoute = fab.tracer.Define("shard.route")
@@ -472,29 +549,57 @@ func New(opts Options) (*Fabric, error) {
 // Addr returns the front listener's address.
 func (fab *Fabric) Addr() net.Addr { return fab.ln.Addr() }
 
-// Shard returns shard i's server (its metrics registry, access to
-// Handle, etc.).
-func (fab *Fabric) Shard(i int) *serve.Server { return fab.backends[i].srv }
+// Shard returns member i's server (its metrics registry, access to
+// Handle, etc.).  Indexes the all-ever member list: a released member's
+// registry stays readable after it leaves.
+func (fab *Fabric) Shard(i int) *serve.Server {
+	fab.state.Lock()
+	defer fab.state.Unlock()
+	return fab.backends[i].srv
+}
 
-// Shards returns the shard count.
-func (fab *Fabric) Shards() int { return len(fab.backends) }
+// Shards returns the all-ever member count (actives + joined-then-
+// released); ActiveShards counts the current membership.
+func (fab *Fabric) Shards() int {
+	fab.state.Lock()
+	defer fab.state.Unlock()
+	return len(fab.backends)
+}
 
 // FrontMetrics returns the front system's registry (shard.* counters).
 func (fab *Fabric) FrontMetrics() *metrics.Registry { return fab.frontSys.Metrics() }
 
-// Handle registers a handler on every shard (they must agree on routes;
-// register before starting the Runners).
+// Handle registers a handler on every member (they must agree on
+// routes; register before starting the Runners).  The registration is
+// recorded so members acquired later serve the same routes.
 func (fab *Fabric) Handle(pattern string, h serve.Handler) {
-	for _, b := range fab.backends {
+	fab.state.Lock()
+	fab.handlers = append(fab.handlers, handlerEntry{pattern: pattern, h: h})
+	bs := append([]*backend(nil), fab.backends...)
+	fab.state.Unlock()
+	for _, b := range bs {
 		b.srv.Handle(pattern, h)
 	}
 }
 
-// Limits returns the rebalancer's current per-shard allowance view.
+// Limits returns the current per-active-member allowance view, in
+// membership order.
 func (fab *Fabric) Limits() []int {
+	mem := fab.mem.Load()
 	fab.state.Lock()
 	defer fab.state.Unlock()
-	return append([]int(nil), fab.limits...)
+	out := make([]int, len(mem.shards))
+	for i, b := range mem.shards {
+		out[i] = fab.limits[b.id]
+	}
+	return out
+}
+
+// limitOf returns one slot's current allowance (policy bookkeeping).
+func (fab *Fabric) limitOf(slot int) int {
+	fab.state.Lock()
+	defer fab.state.Unlock()
+	return fab.limits[slot]
 }
 
 // AccessLog snapshots the fabric-wide access log: every shard writes
@@ -526,9 +631,12 @@ func (fab *Fabric) Drain() {
 	// fan-out, then closes the subscriber rings; the fronts see each
 	// stream's close, write the chunked terminator, and release the
 	// connection — which is what lets the cascade proceed.
-	for _, b := range fab.backends {
+	fab.state.Lock()
+	bs := append([]*backend(nil), fab.backends...)
+	fab.state.Unlock()
+	for _, b := range bs {
 		if b.broker != nil {
-			b.broker.Close()
+			b.broker.Close() // idempotent: a released member's is already closed
 		}
 	}
 }
@@ -543,16 +651,7 @@ func (fab *Fabric) Drain() {
 func (fab *Fabric) Runners() []func() {
 	rs := []func(){func() { fab.frontSys.Run(func() { fab.frontMain() }) }}
 	for _, b := range fab.backends {
-		b := b
-		rs = append(rs, func() {
-			b.sys.Run(func() {
-				b.srv.Serve()
-				fab.intake(b) // the root thread becomes the ring intake
-			})
-		})
-		if b.broker != nil {
-			rs = append(rs, b.broker.Runner())
-		}
+		rs = append(rs, fab.backendRunners(b)...)
 	}
 	return rs
 }

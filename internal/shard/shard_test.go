@@ -222,7 +222,7 @@ func TestFabricKeepAliveEndToEnd(t *testing.T) {
 func TestStickyRoutingByHeader(t *testing.T) {
 	tf := startFabric(t, Options{Shards: 4}, nil)
 	base := tf.fab.FrontMetrics().Snapshot()
-	want := tf.fab.sticky.lookup("alpha")
+	want := tf.fab.ownerOf("alpha")
 	const reqs = 8
 	for i := 0; i < reqs; i++ { // fresh conn each time: routing must follow the key, not the conn
 		kc := dialKA(t, tf.addr())
@@ -245,7 +245,7 @@ func TestStickyRoutingByHeader(t *testing.T) {
 }
 
 func TestChashRingStableAndCovering(t *testing.T) {
-	r := newChashRing(4, 64)
+	r := newChashRing([]int{0, 1, 2, 3}, 64)
 	hit := map[int]int{}
 	for i := 0; i < 1000; i++ {
 		key := fmt.Sprintf("key-%d", i)
@@ -563,7 +563,7 @@ func TestRebalanceConservesTotalAllowance(t *testing.T) {
 		fab.Handle("/park", parkHandler)
 	})
 
-	hot := tf.fab.sticky.lookup("hot")
+	hot := tf.fab.ownerOf("hot")
 	stop := make(chan struct{})
 	const clients = 6
 	for i := 0; i < clients; i++ {
@@ -640,7 +640,7 @@ func TestShrinkWhileBusyReleasesProcsAtSafePoints(t *testing.T) {
 	}, func(fab *Fabric) {
 		fab.Handle("/park", parkHandler)
 	})
-	hot := tf.fab.sticky.lookup("busykey")
+	hot := tf.fab.ownerOf("busykey")
 	b := tf.fab.backends[hot]
 
 	const clients = 4
@@ -738,7 +738,7 @@ func TestMultiShardAccessLogUnTorn(t *testing.T) {
 	perShard := map[int]int{}
 	for i := 0; len(keys) < 8; i++ {
 		key := fmt.Sprintf("key-%d", i)
-		if s := tf.fab.sticky.lookup(key); perShard[s] < 4 {
+		if s := tf.fab.ownerOf(key); perShard[s] < 4 {
 			perShard[s]++
 			keys = append(keys, key)
 		}
@@ -807,5 +807,46 @@ func TestFabriczStatusEndpoint(t *testing.T) {
 	}
 	if !bytes.Contains(body, []byte("shards 2")) || !bytes.Contains(body, []byte("shard 0 limit")) {
 		t.Errorf("unexpected /fabricz body: %q", body)
+	}
+}
+
+// TestRingStealSkipsPinned: pinned (topic-routed) jobs never leave
+// their owner's ring — a stolen publish would be acked by a broker
+// holding none of the topic's subscribers.  Unpinned neighbours are
+// still claimable, and both the stolen run and the survivors keep
+// their relative order.
+func TestRingStealSkipsPinned(t *testing.T) {
+	r := newRing(8)
+	for i := 0; i < 6; i++ {
+		r.push(job{remaining: int64(i), pinned: i%2 == 0})
+	}
+	dst := make([]job, 8)
+	n := r.stealN(dst)
+	if n != 3 {
+		t.Fatalf("stealN = %d, want 3 (the unpinned half)", n)
+	}
+	for i, want := range []int64{1, 3, 5} {
+		if dst[i].pinned || dst[i].remaining != want {
+			t.Errorf("stolen[%d] = {remaining %d pinned %v}, want {%d false}",
+				i, dst[i].remaining, dst[i].pinned, want)
+		}
+	}
+	// The owner drains the pinned survivors, oldest first.
+	for _, want := range []int64{0, 2, 4} {
+		j, ok := r.pop()
+		if !ok || j.remaining != want || !j.pinned {
+			t.Fatalf("owner pop = {ok %v remaining %d pinned %v}, want {true %d true}",
+				ok, j.remaining, j.pinned, want)
+		}
+	}
+	// A ring of only pinned jobs yields nothing but is not an error.
+	for i := 0; i < 4; i++ {
+		r.push(job{remaining: int64(i), pinned: true})
+	}
+	if n := r.stealN(dst); n != 0 {
+		t.Errorf("stealN over all-pinned ring = %d, want 0", n)
+	}
+	if r.depth() != 4 {
+		t.Errorf("depth after refused steal = %d, want 4", r.depth())
 	}
 }

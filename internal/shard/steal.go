@@ -33,23 +33,31 @@ import (
 // never park on foreign schedulers), and the front-registry counters
 // mask the proc index.
 func (fab *Fabric) steal(b *backend, dst []job) int {
-	victim := -1
+	// A member that is not active must not pull new work in: a joining
+	// shard has not been probed, and a draining one is trying to empty —
+	// a steal would re-fill the ring the release choreography waits on.
+	if b.phase.Load() != phaseActive {
+		return 0
+	}
+	// Victims come from the current membership: a drained-out member's
+	// closed ring is never scanned.
+	var victim *backend
 	best := fab.opts.StealMin - 1
-	for _, o := range fab.backends {
+	for _, o := range fab.mem.Load().shards {
 		if o == b {
 			continue
 		}
 		if d := o.ring.depth(); d > best {
 			best = d
-			victim = o.id
+			victim = o
 		}
 	}
-	if victim < 0 {
+	if victim == nil {
 		return 0
 	}
 	self := proc.Self()
 	fab.m.stealAttempts.Inc(self)
-	n := fab.backends[victim].ring.stealN(dst)
+	n := victim.ring.stealN(dst)
 	if n < 0 {
 		fab.m.stealAborts.Inc(self)
 		return 0
@@ -61,6 +69,6 @@ func (fab *Fabric) steal(b *backend, dst []job) int {
 	fab.m.steals.Inc(self)
 	fab.m.stolen.Add(self, int64(n))
 	fab.m.stealBatch.Observe(self, int64(n))
-	fab.emit(fab.evSteal, int64(victim))
+	fab.emit(fab.evSteal, int64(victim.id))
 	return n
 }
