@@ -32,6 +32,15 @@
 //	         [-mux] [-pollers N] [-maxconns N] [-idle ticks]
 //	         [-autoscale] [-min-shards N] [-max-shards N]
 //	         [-scale-up-load N] [-scale-down-load N]
+//	         [-mlalloc] [-ml-nursery W] [-ml-semi W] [-ml-chunk W]
+//	         [-ml-region W] [-gc-seq] [-gc-aware=bool]
+//
+// -mlalloc installs the allocating /work/mlalloc kernel backed by the
+// ML heap (internal/mlheap + internal/gcsync): request threads attach
+// as procs, allocate with bump pointers, and collect in parallel at
+// clean-point barriers.  -gc-seq selects the paper's one-collector
+// stop (the BENCH_gc ablation); -gc-aware=false drops the GC-aware
+// spin locks from the admission and forward-ring paths.
 //
 // In fabric mode the membership is elastic: the admin /scale?shards=N
 // endpoint (and, with -autoscale, a load-driven autoscaler) acquires
@@ -51,6 +60,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/gcsync"
+	"repro/internal/mlheap"
 	"repro/internal/proc"
 	"repro/internal/pubsub"
 	"repro/internal/serve"
@@ -91,6 +102,13 @@ func main() {
 	maxShards := flag.Int("max-shards", 0, "fabric: membership ceiling (0 = 2x -shards, capped by the boot proc budget)")
 	scaleUpLoad := flag.Int("scale-up-load", 0, "fabric: mean ring depth per member that votes a shard in (0 = default 8)")
 	scaleDownLoad := flag.Int("scale-down-load", 0, "fabric: mean ring depth per member that votes a shard out (0 = default 2)")
+	mlalloc := flag.Bool("mlalloc", false, "install the allocating /work/mlalloc kernel backed by the ML heap (fabric: one world per member)")
+	mlNursery := flag.Int("ml-nursery", 1<<16, "mlalloc: nursery size in words")
+	mlSemi := flag.Int("ml-semi", 1<<20, "mlalloc: semispace size in words")
+	mlChunk := flag.Int("ml-chunk", 1024, "mlalloc: per-proc allocation chunk in words")
+	mlRegion := flag.Int("ml-region", 512, "mlalloc: per-collector copy region in words")
+	gcSeq := flag.Bool("gc-seq", false, "mlalloc: sequential one-collector stop-the-world (ablation baseline; default parallel)")
+	gcAware := flag.Bool("gc-aware", true, "mlalloc: GC-aware spin locks on the admission/ring paths (false = plain locks ablation)")
 	flag.Parse()
 
 	if *shards > 1 || *mux {
@@ -115,6 +133,7 @@ func main() {
 			RebalanceTicks: *rebalance,
 			RouteHeader:    *routeHeader,
 			Tick:           *tick,
+			Quantum:        *quantum,
 			MaxConns:       *maxConns,
 			Mux:            *mux,
 			Pollers:        *pollers,
@@ -128,6 +147,13 @@ func main() {
 			MaxShards:      *maxShards,
 			ScaleUpLoad:    *scaleUpLoad,
 			ScaleDownLoad:  *scaleDownLoad,
+			MLAlloc:        *mlalloc,
+			MLNursery:      *mlNursery,
+			MLSemi:         *mlSemi,
+			MLChunk:        *mlChunk,
+			MLRegion:       *mlRegion,
+			MLGCSequential: *gcSeq,
+			MLGCPlainLocks: !*gcAware,
 		})
 		return
 	}
@@ -146,6 +172,20 @@ func main() {
 		tr = trace.New(*procs, *ring)
 	}
 
+	// The ML world (if -mlalloc) must cover every concurrently-attached
+	// handler thread, which admission bounds at -inflight.
+	var world *gcsync.World
+	if *mlalloc {
+		world = gcsync.NewWorld(mlheap.Config{
+			NurseryWords: *mlNursery,
+			SemiWords:    *mlSemi,
+			ChunkWords:   *mlChunk,
+			RegionWords:  *mlRegion,
+			Procs:        *inflight,
+		})
+		world.SetSequential(*gcSeq)
+	}
+
 	srv, err := serve.New(sys, serve.Options{
 		Addr:          *addr,
 		MaxInFlight:   *inflight,
@@ -154,6 +194,8 @@ func main() {
 		DispatchBatch: *batch,
 		Tick:          *tick,
 		Tracer:        tr,
+		MLWorld:       world,
+		MLGCAware:     *gcAware,
 
 		StreamHeartbeatTicks: *hb,
 	})
@@ -196,6 +238,13 @@ func main() {
 	wg.Wait()
 	fmt.Printf("mpserved drained after %s; final metrics:\n", time.Since(start).Round(time.Millisecond))
 	fmt.Print(sys.Metrics().Snapshot().Format())
+	if world != nil {
+		p := world.PauseSummary()
+		fmt.Printf("%s\n", srv.MLStatsLine())
+		fmt.Printf("gc_pause_us count=%d p50=%d p99=%d max=%d\n", p.Count, p.P50, p.P99, p.Max)
+		fmt.Println("# mlheap registry")
+		fmt.Print(world.Heap().Metrics().Snapshot().Format())
+	}
 
 	if *tracePath != "" && tr != nil {
 		f, err := os.Create(*tracePath)

@@ -76,6 +76,11 @@ type Config struct {
 	SemiWords    int // each old-generation semispace
 	ChunkWords   int // per-refill chunk carved from the nursery
 	Procs        int // number of allocating procs
+	// RegionWords sizes the private to-space bump regions parallel
+	// collectors grab from the shared top pointer — the collection-time
+	// analogue of the nursery's ChunkWords (default 512, clamped to
+	// SemiWords).  Irrelevant to the sequential collector.
+	RegionWords int
 }
 
 // Stats counts heap activity.  It is a merged view of the heap's
@@ -84,6 +89,7 @@ type Stats struct {
 	AllocatedWords int64 // total words ever allocated
 	MinorGCs       int
 	MajorGCs       int
+	Escalations    int   // minor collections escalated to full
 	CopiedWords    int64 // words copied by collections
 	Steals         int64 // chunk refills beyond a proc's initial share
 	LiveWords      int64 // live words in the old generation after last GC
@@ -100,7 +106,9 @@ type heapMetrics struct {
 	minorGCs    *metrics.Counter
 	majorGCs    *metrics.Counter
 	copiedWords *metrics.Counter
+	escalations *metrics.Counter // minor collections escalated to full
 	recordSlots *metrics.Histogram
+	parCopied   *metrics.Histogram // words copied per collector per parallel collection
 }
 
 // Heap is a two-generation copying heap shared by several procs.
@@ -120,11 +128,19 @@ type Heap struct {
 	mu        sync.Mutex
 	nextChunk uint64 // next unissued nursery chunk
 	allocs    []*ProcAlloc
-	stores    []store // store list: old-object slots assigned since last GC
+	free      []*ProcAlloc // released allocator slots available for reuse
+	stores    []store      // global store list (slow-path Heap.Set fallback)
 
 	reg       *metrics.Registry
 	m         heapMetrics
-	liveWords int64 // gauge, written only by the (single-threaded) collector
+	liveWords int64 // gauge, written only under the collection stop
+	liveAcct  int64 // live words by copy accounting (excludes parallel fillers)
+
+	// plan is the reusable parallel collection scratch (roots, store
+	// list, work pool).  Touched only by the collection coordinator
+	// under the stop; reuse keeps StartCollect allocation-free in
+	// steady state (see parallel.go's package comment).
+	plan *Collection
 }
 
 type store struct {
@@ -136,6 +152,12 @@ type store struct {
 func New(cfg Config) *Heap {
 	if cfg.ChunkWords <= 0 || cfg.NurseryWords < cfg.ChunkWords || cfg.SemiWords <= 0 || cfg.Procs < 1 {
 		panic("mlheap: bad config")
+	}
+	if cfg.RegionWords <= 0 {
+		cfg.RegionWords = 512
+	}
+	if cfg.RegionWords > cfg.SemiWords {
+		cfg.RegionWords = cfg.SemiWords
 	}
 	total := 1 + cfg.NurseryWords + 2*cfg.SemiWords
 	h := &Heap{
@@ -149,7 +171,10 @@ func New(cfg Config) *Heap {
 		minorGCs:    h.reg.Counter("mlheap.minor_gcs"),
 		majorGCs:    h.reg.Counter("mlheap.major_gcs"),
 		copiedWords: h.reg.Counter("mlheap.copied_words"),
+		escalations: h.reg.Counter("mlheap.gc_escalations"),
 		recordSlots: h.reg.Histogram("mlheap.record_slots", []int64{2, 4, 8, 16, 64, 256}),
+		parCopied: h.reg.Histogram("mlheap.par_copied_words",
+			[]int64{64, 256, 1024, 4096, 16384, 65536, 1 << 18, 1 << 20}),
 	}
 	h.nurLo = 1
 	h.nurHi = h.nurLo + uint64(cfg.NurseryWords)
@@ -172,6 +197,7 @@ func (h *Heap) Stats() Stats {
 		AllocatedWords: h.m.allocWords.Value(),
 		MinorGCs:       int(h.m.minorGCs.Value()),
 		MajorGCs:       int(h.m.majorGCs.Value()),
+		Escalations:    int(h.m.escalations.Value()),
 		CopiedWords:    h.m.copiedWords.Value(),
 		Steals:         h.m.steals.Value(),
 		LiveWords:      live,
@@ -181,21 +207,44 @@ func (h *Heap) Stats() Stats {
 // Metrics exposes the heap's registry for unified snapshots.
 func (h *Heap) Metrics() *metrics.Registry { return h.reg }
 
-// ProcAlloc is one proc's bump allocator over its current nursery chunk.
+// ProcAlloc is one proc's bump allocator over its current nursery chunk,
+// plus the proc's private store buffer: the old-to-young write barrier
+// appends here with no synchronization at all — the paper's requirement
+// that the allocation-adjacent fast paths be synchronization-free — and
+// the buffer is drained into the collection's root set at the stop.
 type ProcAlloc struct {
 	h          *Heap
 	idx        int // allocator index: the proc's metrics shard
 	cur, limit uint64
 	share      int // chunks this proc may take before refills count as steals
 	taken      int
+	stores     []store // private store buffer, drained at collection time
 }
 
-// NewProcAlloc registers a per-proc allocator; call once per proc.
+// NewProcAlloc registers a per-proc allocator; call once per proc.  It
+// reuses a slot released by ReleaseProcAlloc before minting a new one,
+// and panics when the configured proc count is exhausted.
 func (h *Heap) NewProcAlloc() *ProcAlloc {
+	pa := h.TryNewProcAlloc()
+	if pa == nil {
+		panic("mlheap: more proc allocators than configured procs")
+	}
+	return pa
+}
+
+// TryNewProcAlloc is NewProcAlloc returning nil instead of panicking
+// when all Config.Procs allocator slots are registered and none are
+// free — the admission form a server uses to park-and-retry.
+func (h *Heap) TryNewProcAlloc() *ProcAlloc {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if n := len(h.free); n > 0 {
+		pa := h.free[n-1]
+		h.free = h.free[:n-1]
+		return pa
+	}
 	if len(h.allocs) >= h.cfg.Procs {
-		panic("mlheap: more proc allocators than configured procs")
+		return nil
 	}
 	pa := &ProcAlloc{
 		h:     h,
@@ -204,6 +253,21 @@ func (h *Heap) NewProcAlloc() *ProcAlloc {
 	}
 	h.allocs = append(h.allocs, pa)
 	return pa
+}
+
+// ReleaseProcAlloc returns an allocator slot to the pool for a later
+// TryNewProcAlloc.  The slot's private store buffer is flushed to the
+// global list so barrier entries recorded by the departing proc are not
+// lost; its unexhausted nursery chunk stays with the slot and is resumed
+// by the next taker (or reclaimed at the next collection's redivide).
+func (h *Heap) ReleaseProcAlloc(pa *ProcAlloc) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(pa.stores) > 0 {
+		h.stores = append(h.stores, pa.stores...)
+		pa.stores = pa.stores[:0]
+	}
+	h.free = append(h.free, pa)
 }
 
 // refill takes the next chunk from the shared region; refills past the
@@ -329,7 +393,21 @@ func (h *Heap) Get(v Value, i int) Value {
 
 // Set writes slot i of record v, applying the store-list write barrier
 // when an old-generation object is made to point into the nursery.
+// This form appends to the global store list under the heap mutex; procs
+// on the hot path use ProcAlloc.Set, whose barrier is a lock-free append
+// to the proc's private buffer.
 func (h *Heap) Set(v Value, i int, x Value) {
+	a := h.setChecked(v, i, x)
+	if h.isOld(a) && x.IsPtr() && h.inNursery(x.addr()) {
+		h.mu.Lock()
+		h.stores = append(h.stores, store{obj: a, slot: i})
+		h.mu.Unlock()
+	}
+}
+
+// setChecked validates and performs the slot write, returning the
+// record's header index for the barrier check.
+func (h *Heap) setChecked(v Value, i int, x Value) uint64 {
 	a := v.addr()
 	if h.words[a]&hdrBytes != 0 {
 		panic("mlheap: Set on byte object")
@@ -339,11 +417,35 @@ func (h *Heap) Set(v Value, i int, x Value) {
 		panic(fmt.Sprintf("mlheap: Set slot %d of %d-slot record", i, n))
 	}
 	h.words[a+1+uint64(i)] = uint64(x)
+	return a
+}
+
+// Set writes slot i of record v through this proc's allocator: the
+// old-to-young barrier appends to the proc's private store buffer with
+// no lock — §5's synchronization-free assignment path.  The buffer is
+// drained into the root set when the world stops to collect.
+func (pa *ProcAlloc) Set(v Value, i int, x Value) {
+	h := pa.h
+	a := h.setChecked(v, i, x)
 	if h.isOld(a) && x.IsPtr() && h.inNursery(x.addr()) {
-		h.mu.Lock()
-		h.stores = append(h.stores, store{obj: a, slot: i})
-		h.mu.Unlock()
+		pa.stores = append(pa.stores, store{obj: a, slot: i})
 	}
+}
+
+// drainStores moves every proc's private store buffer into the global
+// list and returns it.  Called only at a collection stop, when no proc
+// is mutating; the clean-point barrier the caller runs provides the
+// happens-before edge that makes the plain buffer reads safe.
+func (h *Heap) drainStores() []store {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, pa := range h.allocs {
+		if len(pa.stores) > 0 {
+			h.stores = append(h.stores, pa.stores...)
+			pa.stores = pa.stores[:0]
+		}
+	}
+	return h.stores
 }
 
 func (h *Heap) inNursery(a uint64) bool { return a >= h.nurLo && a < h.nurHi }
@@ -357,25 +459,52 @@ func (h *Heap) NurseryFree() int {
 	return int(h.nurHi - h.nextChunk)
 }
 
-// Collect performs a stop-the-world collection.  The caller is
-// responsible for the clean-point protocol: no proc may allocate or touch
-// the heap during the call.  Roots are updated in place.  A minor
-// collection copies live nursery data into the old generation; if the old
-// generation then exceeds half its semispace, a major collection copies
-// it to the other semispace.
+// Collect performs a sequential stop-the-world collection.  The caller
+// is responsible for the clean-point protocol: no proc may allocate or
+// touch the heap during the call.  Roots are updated in place.  A minor
+// collection copies live nursery data into the old generation; if the
+// old generation then exceeds half its semispace, a major collection
+// copies it to the other semispace.  When the old generation lacks room
+// for even the worst-case minor survivor set, the minor collection
+// escalates to a full collection (nursery and old generation copied
+// together into the other semispace) instead of failing.
+//
+// The parallel counterpart is StartCollect/Run in parallel.go; this
+// sequential collector remains the ablation baseline.
 func (h *Heap) Collect(roots []*Value) {
-	h.minor(roots)
-	if h.oldTop-h.fromLo > uint64(h.cfg.SemiWords)/2 {
-		h.major(roots)
+	h.drainStores()
+	if h.minorCapacityShort() {
+		h.full(roots)
+	} else {
+		h.minor(roots)
+		if h.oldTop-h.fromLo > uint64(h.cfg.SemiWords)/2 {
+			h.major(roots)
+		}
 	}
 	h.mu.Lock()
-	h.liveWords = int64(h.oldTop - h.fromLo)
+	h.liveWords = h.liveAcct
 	h.mu.Unlock()
 }
 
+// issuedWords is the number of nursery words handed out to proc chunks —
+// an upper bound on live nursery data.
+func (h *Heap) issuedWords() uint64 { return h.nextChunk - h.nurLo }
+
+// minorCapacityShort reports whether a minor collection could overflow
+// the old generation: survivors are bounded by the issued nursery words,
+// so when those exceed the old generation's remaining room the minor
+// must escalate to a full collection.
+func (h *Heap) minorCapacityShort() bool {
+	return h.issuedWords() > h.fromHi-h.oldTop
+}
+
 // minor copies live nursery objects into the old generation (Cheney scan)
-// and resets the allocation region.
+// and resets the allocation region.  Collect's capacity pre-check
+// guarantees the old generation has room for the worst-case survivor
+// set, so the overflow panic in forwardMinor is an invariant assertion,
+// not a reachable failure.
 func (h *Heap) minor(roots []*Value) {
+	before := h.m.copiedWords.Value()
 	scan := h.oldTop
 	// Roots: client roots plus store-list entries.
 	for _, r := range roots {
@@ -398,12 +527,17 @@ func (h *Heap) minor(roots []*Value) {
 		}
 		scan += 1 + n
 	}
-	// Redivide the allocation region.
+	h.resetNursery()
+	h.liveAcct += h.m.copiedWords.Value() - before
+	h.m.minorGCs.Inc(0)
+}
+
+// resetNursery redivides the allocation region after a collection.
+func (h *Heap) resetNursery() {
 	h.nextChunk = h.nurLo
 	for _, pa := range h.allocs {
 		pa.cur, pa.limit, pa.taken = 0, 0, 0
 	}
-	h.m.minorGCs.Inc(0)
 }
 
 // forwardMinor copies a nursery object to the old generation, leaving a
@@ -419,7 +553,7 @@ func (h *Heap) forwardMinor(v Value) Value {
 	}
 	n := hdr >> 2
 	if h.oldTop+1+n > h.fromHi {
-		panic("mlheap: old generation overflow during minor collection")
+		panic("mlheap: old generation overflow during minor collection (escalation pre-check violated)")
 	}
 	dst := h.oldTop
 	h.words[dst] = hdr
@@ -433,7 +567,9 @@ func (h *Heap) forwardMinor(v Value) Value {
 // major copies the live old generation into the other semispace and swaps
 // spaces.
 func (h *Heap) major(roots []*Value) {
+	before := h.m.copiedWords.Value()
 	dstLo := h.toLo
+	dstHi := dstLo + uint64(h.cfg.SemiWords)
 	top := dstLo
 	var forward func(v Value) Value
 	forward = func(v Value) Value {
@@ -446,6 +582,9 @@ func (h *Heap) major(roots []*Value) {
 			return ptrTo(hdr >> 2)
 		}
 		n := hdr >> 2
+		if top+1+n > dstHi {
+			panic("mlheap: live data exceeds a semispace during major collection")
+		}
 		dst := top
 		h.words[dst] = hdr
 		copy(h.words[dst+1:dst+1+n], h.words[a+1:a+1+n])
@@ -468,11 +607,75 @@ func (h *Heap) major(roots []*Value) {
 		}
 		scan += 1 + n
 	}
-	// Swap semispaces.
-	h.fromLo, h.toLo = dstLo, h.fromLo
+	h.swapSemis(top)
+	h.liveAcct = h.m.copiedWords.Value() - before
+	h.m.majorGCs.Inc(0)
+}
+
+// swapSemis flips from- and to-space after a major or full collection.
+func (h *Heap) swapSemis(top uint64) {
+	h.fromLo, h.toLo = h.toLo, h.fromLo
 	h.fromHi = h.fromLo + uint64(h.cfg.SemiWords)
 	h.oldTop = top
+}
+
+// full is the minor-to-major escalation: when a burst of survivors could
+// overflow the old generation mid-minor, the nursery and the live old
+// generation are collected together into the other semispace.  The store
+// list is simply dropped — the full scan rediscovers every old-to-young
+// edge.  A full collection does both generations' work, so it counts as
+// one minor and one major, plus an escalation.
+func (h *Heap) full(roots []*Value) {
+	before := h.m.copiedWords.Value()
+	dstLo := h.toLo
+	dstHi := dstLo + uint64(h.cfg.SemiWords)
+	top := dstLo
+	var forward func(v Value) Value
+	forward = func(v Value) Value {
+		if !v.IsPtr() {
+			return v
+		}
+		a := v.addr()
+		if !h.inNursery(a) && !h.isOldFrom(a) {
+			return v
+		}
+		hdr := h.words[a]
+		if hdr&hdrForward != 0 {
+			return ptrTo(hdr >> 2)
+		}
+		n := hdr >> 2
+		if top+1+n > dstHi {
+			panic("mlheap: live data exceeds a semispace during full collection")
+		}
+		dst := top
+		h.words[dst] = hdr
+		copy(h.words[dst+1:dst+1+n], h.words[a+1:a+1+n])
+		top = dst + 1 + n
+		h.words[a] = dst<<2 | hdrForward
+		h.m.copiedWords.Add(0, int64(1+n))
+		return ptrTo(dst)
+	}
+	scan := dstLo
+	for _, r := range roots {
+		*r = forward(*r)
+	}
+	for scan < top {
+		hdr := h.words[scan]
+		n := hdr >> 2
+		if hdr&hdrBytes == 0 {
+			for i := uint64(0); i < n; i++ {
+				h.words[scan+1+i] = uint64(forward(Value(h.words[scan+1+i])))
+			}
+		}
+		scan += 1 + n
+	}
+	h.stores = h.stores[:0]
+	h.swapSemis(top)
+	h.resetNursery()
+	h.liveAcct = h.m.copiedWords.Value() - before
+	h.m.minorGCs.Inc(0)
 	h.m.majorGCs.Inc(0)
+	h.m.escalations.Inc(0)
 }
 
 // isOldFrom reports whether a lies in the current old from-space region

@@ -1,0 +1,730 @@
+package mlheap
+
+// Parallel stop-the-world collection: every proc that arrives at the
+// clean-point barrier can become a collector.  The design follows the
+// shape OC4MC gave OCaml's runtime and MPL gives MaPLe's:
+//
+//   - the root set (client root cells plus drained store-list entries)
+//     is partitioned into fixed-size work units;
+//   - each collector copies into a private bump region grabbed from a
+//     shared atomic top-of-to-space pointer (grab-new-region on
+//     overflow, the collection-time analogue of nursery chunks);
+//   - forwarding pointers are installed with a claim-then-copy CAS on
+//     the header word: racing forwards of the same object resolve to
+//     one winner, the losers spin on the header until the winner
+//     publishes the real forwarding pointer, so no object is ever
+//     copied twice;
+//   - the Cheney scan is driven from a shared grey-region queue: when a
+//     collector retires a region with unscanned objects left in it, the
+//     unscanned (object-aligned) tail is published for any collector to
+//     steal;
+//   - a region's unused tail is sealed with a filler byte object so
+//     to-space remains linearly parseable despite per-collector holes;
+//     live-word accounting sums copied words and therefore excludes
+//     fillers;
+//   - when the plan predicts a chained major (worst-case survivors would
+//     push the old generation past half full), the minor-then-major
+//     chain is replaced by one combined evacuation of both generations
+//     into the other semispace, so minor survivors are copied once, not
+//     twice — the sequential ablation keeps the paper-faithful chain.
+//
+// Memory-ordering contract (what keeps this -race clean): from-space
+// header words are touched only through sync/atomic during a parallel
+// phase; payload reads are read-only (mutators are stopped and losers
+// never copy); every root cell has exactly one writer (deduplication at
+// plan build), while store slots — which may appear in the drained list
+// more than once — are read and written through sync/atomic, every
+// racing writer storing the same forwarded value (forwarding is
+// idempotent by the header CAS); and grey-region handoff goes through
+// the work-pool mutex, ordering a publisher's plain to-space writes
+// before any stealer's reads.
+//
+// The plan is scratch reused across collections (Heap.plan): at
+// thousands of collections per second a fresh plan per stop — maps for
+// deduplication, a work pool, unit slices — makes the collector a
+// significant Go-allocation source of its own, and the host runtime's
+// GC pauses then surface as outliers in *our* measured tail pauses.
+// Steady state allocates nothing per collection.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// busyHdr is the claim sentinel a collector CASes into a from-space
+// header before copying: a forwarding header whose target is the
+// reserved index 0, which no real forward can produce.
+const busyHdr = hdrForward
+
+const (
+	rootUnitCells  = 64  // root cells per work unit
+	storeUnitSlots = 256 // store entries per work unit
+	claimSpinYield = 64  // spins on a busy header before yielding the OS thread
+
+	// coordYieldStride is how many work units the coordinating proc
+	// processes between scheduler yields.  On a host with fewer cores
+	// than procs nothing else can run while the coordinator spins
+	// through the copy — Go only preempts a tight loop after
+	// milliseconds — so without the yields no thread could ever arrive
+	// mid-stop to steal work, and "every arriver becomes a collector"
+	// would hold only on paper.  Yielding every few units keeps the
+	// overhead negligible while letting arriving procs reach the helper
+	// path and shorten the stop.
+	coordYieldStride = 8
+)
+
+// phase kinds: which space a collection phase evacuates.  Escalation
+// (nursery + old generation together when the old generation cannot
+// absorb the survivors) always runs the sequential full collector: its
+// pre-check would have to charge parallel region waste against the same
+// semispace budget twice over, which is strictly harder to satisfy than
+// the minor's check — the tightly packing sequential copy is the only
+// sound remedy when capacity is short.  phaseFull, by contrast, is an
+// *elective* combined evacuation chosen when capacity is plentiful; see
+// StartCollect.
+const (
+	phaseMinor = iota // nursery -> old generation
+	phaseMajor        // old from-space -> other semispace
+	phaseFull         // nursery + old from-space -> other semispace, in one pass
+	phaseSeq          // fallback: run the sequential collector under the stop
+)
+
+// Collection is one stop-the-world collection plan.  The proc that
+// completes the clean-point barrier calls StartCollect then Run; any
+// other stopped proc (or a GC-aware lock spinner) may call Help
+// concurrently to steal work.  Run returns with the heap collected and
+// every root cell updated in place.
+type Collection struct {
+	h      *Heap
+	kind   int
+	roots  []*Value // deduplicated root cells
+	stores []store  // drained store-list entries (minor only; duplicates benign)
+
+	cur atomic.Pointer[workState] // active phase's work pool; nil when idle
+
+	top   atomic.Uint64 // shared to-space bump pointer for region grabs
+	limit uint64        // to-space end for the current phase
+
+	work workState // reusable phase work pool (reset per phase)
+
+	finished atomic.Bool
+}
+
+// grey is an object-aligned span of copied-but-unscanned to-space.
+type grey struct{ lo, hi uint64 }
+
+// workState is one phase's work pool: undone units, the busy-collector
+// count that (with empty queues) detects termination, and the pool of
+// collector states so a helper that leaves and returns resumes an
+// already-open region instead of stranding it.
+type workState struct {
+	c    *Collection
+	kind int
+
+	// pending counts queued units (roots, stores, greys).  A zero read
+	// lets an idle helper bail out of step without taking the mutex —
+	// on a saturated host the barrier waiters poll step constantly, and
+	// uncontended polls must not serialize against working collectors.
+	pending atomic.Int64
+
+	mu         sync.Mutex
+	rootUnits  [][]*Value
+	storeUnits [][]store
+	greys      []grey
+	busy       int
+	done       bool
+	pool       []*gcWorker
+	created    int
+}
+
+// gcWorker is one collector's private state: its open to-space region
+// (lo==0 means none; index 0 is reserved so it is never a region start)
+// and the words it has copied this collection.
+type gcWorker struct {
+	ws                    *workState
+	ord                   int
+	lo, scan, bump, limit uint64
+	copied                int64
+}
+
+// workerCap bounds how many collector states a phase creates — and with
+// them the worst-case to-space waste from open regions, which the
+// capacity pre-checks account for.
+func (h *Heap) workerCap() int { return h.cfg.Procs + 2 }
+
+// parNeed is the to-space capacity a parallel phase must reserve to
+// copy at most live words.  A region is only retired when an object
+// smaller than RegionWords/8 fails to fit (larger objects get dedicated
+// exact-size spans and leave the region open), so each retired region
+// wastes under 1/8 of the RegionWords it consumed — total filler waste
+// is bounded by live/7.  On top of that, every collector may hold one
+// open region whose tail goes unused.
+func (h *Heap) parNeed(live uint64) uint64 {
+	return live + (live+6)/7 + uint64(h.workerCap()+1)*uint64(h.cfg.RegionWords)
+}
+
+// StartCollect builds a parallel collection plan under the stop: drains
+// and deduplicates the store list, deduplicates the root cells (one
+// writer per cell from here on), and picks the phase chain — a parallel
+// minor (optionally chaining a major), or a sequential fallback when
+// the heap is too tight for region-granular parallelism to be safe
+// (including the escalation case, which the sequential collector packs
+// exactly).  The caller then
+// runs the plan with Run; other stopped procs may call Help.
+func (h *Heap) StartCollect(roots []*Value) *Collection {
+	c := h.plan
+	if c == nil {
+		c = &Collection{h: h}
+		c.work.c = c
+		h.plan = c
+	}
+	c.finished.Store(false)
+	c.cur.Store(nil)
+
+	// Deduplicate root cells so each has exactly one writer during the
+	// copy.  The root set is small — one cell per proc root plus the
+	// in-flight pinned refs — so a quadratic scan over reused scratch
+	// beats building a map: the plan must not allocate (see the package
+	// comment on plan reuse).
+	c.roots = c.roots[:0]
+outer:
+	for _, r := range roots {
+		for _, q := range c.roots {
+			if q == r {
+				continue outer
+			}
+		}
+		c.roots = append(c.roots, r)
+	}
+	// Store entries are not deduplicated: duplicate slots are handled
+	// with atomic slot accesses in step, every racing writer storing
+	// the same forwarded value.
+	c.stores = append(c.stores[:0], h.drainStores()...)
+	h.stores = h.stores[:0]
+
+	issued := h.issuedWords()
+	oldLive := h.oldTop - h.fromLo
+	if oldLive+issued > uint64(h.cfg.SemiWords)/2 && h.parNeed(oldLive+issued) <= uint64(h.cfg.SemiWords) {
+		// Predictive combined evacuation: survivors are bounded by the
+		// issued nursery words, so when even the worst case would push
+		// the old generation past half full, a chained major is likely
+		// — and a minor-then-major chain copies every minor survivor
+		// twice.  Evacuate nursery and old generation together into the
+		// other semispace instead: each live object moves exactly once,
+		// and the store list drops entirely (a full scan rediscovers
+		// every old-to-young edge, and the entries would dangle once the
+		// old objects move).  This fires a major at most one collection
+		// earlier than the chain trigger would, in exchange for removing
+		// the double copy from exactly the collections that set the
+		// pause tail.
+		c.kind = phaseFull
+		c.stores = c.stores[:0]
+		c.top.Store(h.toLo)
+		c.limit = h.toLo + uint64(h.cfg.SemiWords)
+		c.cur.Store(c.work.reset(phaseFull))
+		return c
+	}
+	if h.parNeed(issued) > h.fromHi-h.oldTop {
+		// The old generation cannot absorb the worst-case survivor set
+		// plus parallel region waste: run the sequential collector,
+		// whose minor needs no waste budget and whose escalation packs
+		// both generations tightly into the other semispace.
+		c.kind = phaseSeq
+		return c
+	}
+	c.kind = phaseMinor
+	c.top.Store(h.oldTop)
+	c.limit = h.fromHi
+	c.cur.Store(c.work.reset(phaseMinor))
+	return c
+}
+
+// reset re-arms the reusable work pool for a phase: units are rebuilt
+// over the plan's scratch slices and pooled collector states are wiped,
+// but the pool itself (and its created count) carries over, so steady
+// state re-arms without allocating.  A stale helper still holding the
+// previous collection's pointer transparently becomes a helper of the
+// new phase — the pool is valid work either way.
+func (ws *workState) reset(kind int) *workState {
+	c := ws.c
+	ws.mu.Lock()
+	ws.kind = kind
+	ws.done = false
+	ws.rootUnits = ws.rootUnits[:0]
+	ws.storeUnits = ws.storeUnits[:0]
+	ws.greys = ws.greys[:0]
+	for i := 0; i < len(c.roots); i += rootUnitCells {
+		j := i + rootUnitCells
+		if j > len(c.roots) {
+			j = len(c.roots)
+		}
+		ws.rootUnits = append(ws.rootUnits, c.roots[i:j])
+	}
+	if kind == phaseMinor {
+		for i := 0; i < len(c.stores); i += storeUnitSlots {
+			j := i + storeUnitSlots
+			if j > len(c.stores) {
+				j = len(c.stores)
+			}
+			ws.storeUnits = append(ws.storeUnits, c.stores[i:j])
+		}
+	}
+	for _, wk := range ws.pool {
+		wk.lo, wk.scan, wk.bump, wk.limit, wk.copied = 0, 0, 0, 0, 0
+	}
+	ws.pending.Store(int64(len(ws.rootUnits) + len(ws.storeUnits)))
+	ws.mu.Unlock()
+	return ws
+}
+
+// Run executes the plan to completion: the caller collects alongside
+// any helpers, waits for the phase to drain, chains a major phase when
+// the minor leaves the old generation past half full, and finalizes
+// heap state.  wait is called between participation rounds while other
+// collectors are still busy; nil means runtime.Gosched.
+func (c *Collection) Run(wait func()) {
+	h := c.h
+	if c.kind == phaseSeq {
+		// Too tight for parallel regions: the whole collection runs
+		// sequentially under the stop.  Re-seed the global store list the
+		// plan drained so Collect's minor sees the barrier entries.
+		h.mu.Lock()
+		h.stores = append(h.stores[:0], c.stores...)
+		h.mu.Unlock()
+		h.Collect(c.roots)
+		c.finished.Store(true)
+		return
+	}
+
+	ws := c.cur.Load()
+	c.runPhase(ws, wait)
+	copied := ws.finish()
+	h.m.copiedWords.Add(0, copied)
+
+	if c.kind == phaseFull {
+		// Combined evacuation: both generations moved in one pass.  It
+		// does a minor's and a major's work, so it counts as both —
+		// mirroring the sequential escalation's accounting, minus the
+		// escalation counter (this path is elective, not a capacity
+		// emergency).
+		c.cur.Store(nil)
+		h.swapSemis(c.top.Load())
+		h.mu.Lock()
+		h.resetNursery()
+		h.mu.Unlock()
+		h.liveAcct = copied
+		h.m.minorGCs.Inc(0)
+		h.m.majorGCs.Inc(0)
+	} else {
+		h.oldTop = c.top.Load()
+		h.mu.Lock()
+		h.resetNursery()
+		h.mu.Unlock()
+		h.liveAcct += copied
+		h.m.minorGCs.Inc(0)
+		if h.oldTop-h.fromLo > uint64(h.cfg.SemiWords)/2 {
+			c.runMajor(wait)
+		} else {
+			c.cur.Store(nil)
+		}
+	}
+
+	h.mu.Lock()
+	h.liveWords = h.liveAcct
+	h.mu.Unlock()
+	c.finished.Store(true)
+}
+
+// runMajor chains the major phase after a minor: live old-generation
+// data moves to the other semispace.  If region waste could make the
+// parallel copy overflow a semispace the sequential major runs instead
+// (it packs tightly and panics only when live data truly exceeds a
+// semispace).
+func (c *Collection) runMajor(wait func()) {
+	h := c.h
+	live := h.oldTop - h.fromLo
+	if h.parNeed(live) > uint64(h.cfg.SemiWords) {
+		c.cur.Store(nil)
+		h.major(c.roots)
+		return
+	}
+	c.top.Store(h.toLo)
+	c.limit = h.toLo + uint64(h.cfg.SemiWords)
+	ws := c.work.reset(phaseMajor)
+	c.cur.Store(ws)
+	c.runPhase(ws, wait)
+	copied := ws.finish()
+	c.cur.Store(nil)
+	h.m.copiedWords.Add(0, copied)
+	h.swapSemis(c.top.Load())
+	h.liveAcct = copied
+	h.m.majorGCs.Inc(0)
+}
+
+// runPhase participates in a phase until it is fully drained: no unit
+// queued and no collector busy.
+func (c *Collection) runPhase(ws *workState, wait func()) {
+	for {
+		n := 0
+		for ws.step() {
+			if n++; n%coordYieldStride == 0 {
+				// Yield between units so threads arriving mid-stop get
+				// scheduled, fail their attach, and reach the helper
+				// path — see coordYieldStride.
+				runtime.Gosched()
+			}
+		}
+		if ws.quiescent() {
+			return
+		}
+		if wait != nil {
+			wait()
+		} else {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Help lets any stopped proc — a barrier waiter, or a GC-aware lock
+// spinner passing its clean point mid-spin — steal work from the active
+// phase.  It returns when no work is momentarily available (more may
+// appear later; callers poll), reporting whether it processed at least
+// one unit so callers can yield only on empty polls.  Safe to call at
+// any time, including after the collection finished, when it is a
+// no-op.
+func (c *Collection) Help() bool {
+	any := false
+	for {
+		ws := c.cur.Load()
+		if ws == nil || !ws.step() {
+			return any
+		}
+		any = true
+	}
+}
+
+// Finished reports whether Run has completed.
+func (c *Collection) Finished() bool { return c.finished.Load() }
+
+// step claims one work unit, processes it, and drains the collector's
+// own region.  False when no unit is available right now.
+func (ws *workState) step() bool {
+	if ws.pending.Load() == 0 {
+		// Nothing queued: don't serialize an idle poll against working
+		// collectors.  More work may appear (busy collectors publish
+		// greys); callers poll.
+		return false
+	}
+	ws.mu.Lock()
+	if ws.done {
+		ws.mu.Unlock()
+		return false
+	}
+	wk := ws.workerLocked()
+	if wk == nil {
+		ws.mu.Unlock()
+		return false
+	}
+	kind, ri, si, g, ok := ws.takeLocked()
+	if !ok {
+		ws.pool = append(ws.pool, wk)
+		ws.mu.Unlock()
+		return false
+	}
+	ws.busy++
+	ws.mu.Unlock()
+
+	switch kind {
+	case 0:
+		for _, r := range ri {
+			*r = ws.forward(wk, *r)
+		}
+	case 1:
+		// Store slots may appear in more than one unit (the drained list
+		// is not deduplicated): racing collectors each load, forward, and
+		// store — forwarding is idempotent, so both store the identical
+		// to-space value, and the atomics keep the benign race -race
+		// clean.
+		h := ws.c.h
+		for _, s := range si {
+			slot := s.obj + 1 + uint64(s.slot)
+			v := Value(atomic.LoadUint64(&h.words[slot]))
+			atomic.StoreUint64(&h.words[slot], uint64(ws.forward(wk, v)))
+		}
+	case 2:
+		ws.scanSpan(wk, g.lo, g.hi)
+	}
+	ws.scanOwn(wk)
+
+	ws.mu.Lock()
+	ws.busy--
+	ws.pool = append(ws.pool, wk)
+	ws.mu.Unlock()
+	return true
+}
+
+// workerLocked reuses a pooled collector state or creates one, up to
+// the worker cap the capacity pre-checks budgeted for.
+func (ws *workState) workerLocked() *gcWorker {
+	if n := len(ws.pool); n > 0 {
+		wk := ws.pool[n-1]
+		ws.pool = ws.pool[:n-1]
+		return wk
+	}
+	if ws.created >= ws.c.h.workerCap() {
+		return nil
+	}
+	wk := &gcWorker{ws: ws, ord: ws.created}
+	ws.created++
+	return wk
+}
+
+// takeLocked pops one unit, preferring grey spans (hot in cache, and
+// draining them bounds queue growth) over root and store units.
+func (ws *workState) takeLocked() (kind int, ri []*Value, si []store, g grey, ok bool) {
+	if n := len(ws.greys); n > 0 {
+		g = ws.greys[n-1]
+		ws.greys = ws.greys[:n-1]
+		ws.pending.Add(-1)
+		return 2, nil, nil, g, true
+	}
+	if n := len(ws.rootUnits); n > 0 {
+		ri = ws.rootUnits[n-1]
+		ws.rootUnits = ws.rootUnits[:n-1]
+		ws.pending.Add(-1)
+		return 0, ri, nil, grey{}, true
+	}
+	if n := len(ws.storeUnits); n > 0 {
+		si = ws.storeUnits[n-1]
+		ws.storeUnits = ws.storeUnits[:n-1]
+		ws.pending.Add(-1)
+		return 1, nil, si, grey{}, true
+	}
+	return 0, nil, nil, grey{}, false
+}
+
+// quiescent reports phase termination: nothing queued, nobody busy.
+// Units are only ever added by busy collectors, so the state is stable.
+func (ws *workState) quiescent() bool {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	return ws.busy == 0 && len(ws.greys) == 0 && len(ws.rootUnits) == 0 && len(ws.storeUnits) == 0
+}
+
+// finish closes the phase: marks it done (step refuses new claims),
+// seals every pooled collector's open region tail, and accounts copied
+// words.  Called by Run after quiescent; every collector state is back
+// in the pool by then.
+func (ws *workState) finish() int64 {
+	h := ws.c.h
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.done = true
+	var total int64
+	for _, wk := range ws.pool {
+		wk.seal()
+		if wk.copied > 0 {
+			h.m.parCopied.Observe(wk.ord%h.cfg.Procs, wk.copied)
+			total += wk.copied
+		}
+	}
+	return total
+}
+
+// inFrom reports whether address a lies in the space this phase
+// evacuates.
+func (ws *workState) inFrom(a uint64) bool {
+	h := ws.c.h
+	switch ws.kind {
+	case phaseMinor:
+		return h.inNursery(a)
+	case phaseFull:
+		return h.inNursery(a) || h.isOldFrom(a)
+	default:
+		return h.isOldFrom(a)
+	}
+}
+
+// forward returns v's to-space address, copying the object if this
+// collector wins the publication race.  Two protocols by object size:
+//
+// Small objects (under the dedicated-span threshold, so always
+// region-allocated) use copy-then-CAS: copy the payload into the
+// collector's private region first, then publish with a single CAS of
+// the forwarding header.  The forward pointer is the only path to dst
+// and the CAS orders the plain payload writes before any reader that
+// observes it, so no collector ever sees a partial copy; a lost race
+// retracts the private bump exactly (nothing else touched the region
+// since alloc), so the waste is zero and the capacity pre-check is
+// unchanged.  One CAS per object — against claim-then-copy this drops
+// the separate full-barrier publication store and all loser spins,
+// which is most of the parallel collector's constant-factor tax over
+// the sequential copy on a small host.
+//
+// Large objects (dedicated exact-size spans from the shared top, which
+// cannot be retracted) keep claim-then-copy: CAS the header to
+// busyHdr, copy, publish with an atomic store; losers spin until the
+// forward appears.  Exactly one copy of each object is ever made
+// either way.
+func (ws *workState) forward(wk *gcWorker, v Value) Value {
+	if !v.IsPtr() {
+		return v
+	}
+	a := v.addr()
+	if !ws.inFrom(a) {
+		return v
+	}
+	h := ws.c.h
+	region := uint64(h.cfg.RegionWords)
+	for spins := 1; ; spins++ {
+		hdr := atomic.LoadUint64(&h.words[a])
+		if hdr&hdrForward != 0 {
+			if hdr != busyHdr {
+				return ptrTo(hdr >> 2)
+			}
+			// Claimed: a winner is copying a large object.  Wait for the
+			// real forwarding pointer, yielding the OS thread
+			// occasionally in case the winner's goroutine is descheduled.
+			if spins%claimSpinYield == 0 {
+				runtime.Gosched()
+			}
+			continue
+		}
+		n := hdr >> 2
+		if 1+n < region/8 {
+			// Small object: copy first, publish with one CAS.  alloc can
+			// never return a dedicated span below the threshold, so dst
+			// is region memory and retraction on a lost race is exact.
+			dst, _ := wk.alloc(1 + n)
+			h.words[dst] = hdr
+			copy(h.words[dst+1:dst+1+n], h.words[a+1:a+1+n])
+			if atomic.CompareAndSwapUint64(&h.words[a], hdr, dst<<2|hdrForward) {
+				wk.copied += int64(1 + n)
+				return ptrTo(dst)
+			}
+			wk.bump = dst // lost: retract and reload the winner's pointer
+			continue
+		}
+		if atomic.CompareAndSwapUint64(&h.words[a], hdr, busyHdr) {
+			dst, dedicated := wk.alloc(1 + n)
+			h.words[dst] = hdr
+			copy(h.words[dst+1:dst+1+n], h.words[a+1:a+1+n])
+			atomic.StoreUint64(&h.words[a], dst<<2|hdrForward)
+			wk.copied += int64(1 + n)
+			if dedicated && hdr&hdrBytes == 0 {
+				// A dedicated span is outside this collector's region, so
+				// its own Cheney loop will never reach it: publish the
+				// single-object span as grey work.  The mutex orders the
+				// payload writes above before any stealer's reads.
+				ws.mu.Lock()
+				ws.greys = append(ws.greys, grey{dst, dst + 1 + n})
+				ws.pending.Add(1)
+				ws.mu.Unlock()
+			}
+			return ptrTo(dst)
+		}
+	}
+}
+
+// scanOwn is the collector's private Cheney loop: scan objects its own
+// region holds between scan and bump.  The scan pointer is advanced
+// past an object before its slots are forwarded, so if a forward
+// switches regions mid-object (publishing [scan, bump) as grey), the
+// published span is object-aligned and excludes the object in progress
+// — whose remaining slots this collector alone finishes.
+func (ws *workState) scanOwn(wk *gcWorker) {
+	h := ws.c.h
+	for wk.scan < wk.bump {
+		obj := wk.scan
+		hdr := h.words[obj]
+		n := hdr >> 2
+		wk.scan = obj + 1 + n
+		if hdr&hdrBytes == 0 {
+			for i := uint64(0); i < n; i++ {
+				h.words[obj+1+i] = uint64(ws.forward(wk, Value(h.words[obj+1+i])))
+			}
+		}
+	}
+}
+
+// scanSpan scans a stolen grey span: a fixed object-aligned range of
+// to-space copied by another collector.
+func (ws *workState) scanSpan(wk *gcWorker, lo, hi uint64) {
+	h := ws.c.h
+	for pos := lo; pos < hi; {
+		hdr := h.words[pos]
+		n := hdr >> 2
+		if hdr&hdrBytes == 0 {
+			for i := uint64(0); i < n; i++ {
+				h.words[pos+1+i] = uint64(ws.forward(wk, Value(h.words[pos+1+i])))
+			}
+		}
+		pos += 1 + n
+	}
+}
+
+// alloc bumps n words out of the collector's region.  The second
+// result reports a dedicated out-of-region span (the caller must
+// publish it for scanning).
+func (wk *gcWorker) alloc(n uint64) (uint64, bool) {
+	if wk.lo != 0 && wk.bump+n <= wk.limit {
+		d := wk.bump
+		wk.bump += n
+		return d, false
+	}
+	return wk.allocSlow(n)
+}
+
+// allocSlow handles an object that does not fit the open region.  A
+// large object (≥ RegionWords/8) gets a dedicated exact-size span and
+// leaves the region open, so only a small object can force a region
+// switch — capping each sealed hole at RegionWords/8, the bound
+// parNeed's capacity pre-check relies on.  A switch seals the old
+// region's tail and publishes its unscanned object-aligned span as
+// grey work before grabbing a fresh region from the shared top.
+func (wk *gcWorker) allocSlow(n uint64) (uint64, bool) {
+	ws := wk.ws
+	c := ws.c
+	region := uint64(c.h.cfg.RegionWords)
+	if wk.lo != 0 && n >= region/8 {
+		lo := c.top.Add(n) - n
+		if lo+n > c.limit {
+			panic("mlheap: to-space overflow during parallel collection (capacity pre-check violated)")
+		}
+		return lo, true
+	}
+	if wk.lo != 0 {
+		wk.seal()
+		if wk.scan < wk.bump {
+			ws.mu.Lock()
+			ws.greys = append(ws.greys, grey{wk.scan, wk.bump})
+			ws.pending.Add(1)
+			ws.mu.Unlock()
+		}
+	}
+	size := region
+	if n > size {
+		size = n
+	}
+	lo := c.top.Add(size) - size
+	if lo+size > c.limit {
+		panic("mlheap: to-space overflow during parallel collection (capacity pre-check violated)")
+	}
+	wk.lo, wk.scan, wk.limit = lo, lo, lo+size
+	wk.bump = lo + n
+	return lo, false
+}
+
+// seal writes a filler byte object over the region tail [bump, limit)
+// so a linear walk of to-space parses cleanly across the hole.  The
+// filler is unreachable, so it is never forwarded and dies at the next
+// collection of its space.
+func (wk *gcWorker) seal() {
+	if wk.lo == 0 {
+		return
+	}
+	if hole := wk.limit - wk.bump; hole > 0 {
+		wk.ws.c.h.words[wk.bump] = (hole-1)<<2 | hdrBytes
+	}
+}

@@ -1,0 +1,380 @@
+package mlheap
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// parHeap is sized so the parallel minor/major paths actually run:
+// parNeed(issued nursery) must fit the old generation with room for
+// live data to accumulate (see parallel.go's capacity pre-checks).
+func parHeap(procs int) *Heap {
+	return New(Config{
+		NurseryWords: 4096,
+		SemiWords:    16384,
+		ChunkWords:   128,
+		RegionWords:  64,
+		Procs:        procs,
+	})
+}
+
+// buildShared grows a deterministic heap graph with heavy sharing: cons
+// cells whose third slot points back at a pseudo-random earlier cell,
+// plus interleaved byte objects.  Returns the list head; rng makes runs
+// reproducible across the two heaps being compared.
+func buildShared(t *testing.T, h *Heap, pa *ProcAlloc, rng *rand.Rand, cells int, root *Value) {
+	t.Helper()
+	recent := make([]Value, 0, 64)
+	for i := 0; i < cells; i++ {
+		back := *root
+		if len(recent) > 0 {
+			back = recent[rng.Intn(len(recent))]
+		}
+		cell, err := pa.AllocRecord(Int(int64(i)), *root, back)
+		if err != nil {
+			t.Fatalf("cell %d: %v", i, err)
+		}
+		if len(recent) == cap(recent) {
+			copy(recent, recent[1:])
+			recent = recent[:len(recent)-1]
+		}
+		recent = append(recent, cell)
+		*root = cell
+		if i%17 == 0 {
+			if _, err := pa.AllocBytes([]byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Fatalf("bytes %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// graphSig walks the reachable graph from root and produces a canonical
+// signature: values in DFS order, with back-edges encoded as
+// first-visit ordinals.  Two isomorphic graphs on different heaps (or
+// the same heap before/after collection) produce identical signatures.
+func graphSig(h *Heap, root Value) []uint64 {
+	seen := make(map[uint64]uint64)
+	var out []uint64
+	var walk func(v Value)
+	walk = func(v Value) {
+		if !v.IsPtr() {
+			out = append(out, uint64(v))
+			return
+		}
+		a := v.addr()
+		if id, ok := seen[a]; ok {
+			out = append(out, 1<<62|id)
+			return
+		}
+		seen[a] = uint64(len(seen))
+		if h.IsBytes(v) {
+			b := h.Bytes(v)
+			out = append(out, 1<<61|uint64(len(b)))
+			for _, x := range b {
+				out = append(out, uint64(x))
+			}
+			return
+		}
+		n := h.Len(v)
+		out = append(out, 1<<60|uint64(n))
+		for i := 0; i < n; i++ {
+			walk(h.Get(v, i))
+		}
+	}
+	walk(root)
+	return out
+}
+
+func sigsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// collectParallel runs one parallel collection with extra helper
+// goroutines stealing work, the way barrier arrivers and GC-aware lock
+// spinners do in gcsync.
+func collectParallel(h *Heap, roots []*Value, helpers int) {
+	c := h.StartCollect(roots)
+	var wg sync.WaitGroup
+	for i := 0; i < helpers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !c.Finished() {
+				c.Help()
+				runtime.Gosched()
+			}
+		}()
+	}
+	c.Run(nil)
+	wg.Wait()
+}
+
+// TestParallelMatchesSequential grows identical graphs on two heaps,
+// collects one sequentially and one in parallel, and requires identical
+// reachable structure and identical live-word accounting (fillers are
+// excluded from liveWords by construction, so the totals must agree
+// exactly).
+func TestParallelMatchesSequential(t *testing.T) {
+	seqH, parH := parHeap(4), parHeap(4)
+	seqPA, parPA := seqH.NewProcAlloc(), parH.NewProcAlloc()
+	var seqRoot, parRoot Value = Nil, Nil
+
+	buildShared(t, seqH, seqPA, rand.New(rand.NewSource(9)), 900, &seqRoot)
+	buildShared(t, parH, parPA, rand.New(rand.NewSource(9)), 900, &parRoot)
+
+	before := graphSig(seqH, seqRoot)
+	seqH.Collect([]*Value{&seqRoot})
+	collectParallel(parH, []*Value{&parRoot}, 3)
+
+	if got := graphSig(seqH, seqRoot); !sigsEqual(before, got) {
+		t.Fatal("sequential collection altered the reachable graph")
+	}
+	if got := graphSig(parH, parRoot); !sigsEqual(before, got) {
+		t.Fatal("parallel collection altered the reachable graph")
+	}
+	ss, ps := seqH.Stats(), parH.Stats()
+	if ss.LiveWords != ps.LiveWords {
+		t.Fatalf("live words diverge: sequential %d, parallel %d", ss.LiveWords, ps.LiveWords)
+	}
+	if ps.MinorGCs == 0 {
+		t.Fatal("parallel heap recorded no minor collection")
+	}
+}
+
+// TestParallelForwardingTorture drives many collection rounds with the
+// maximum helper count under -race: a heavily shared graph means racing
+// forwards of the same object on every round, exercising the
+// claim-then-copy CAS protocol.  After each round the graph must be
+// intact and match the sequential twin.
+func TestParallelForwardingTorture(t *testing.T) {
+	seqH, parH := parHeap(8), parHeap(8)
+	seqPA, parPA := seqH.NewProcAlloc(), parH.NewProcAlloc()
+	var seqRoot, parRoot Value = Nil, Nil
+
+	for round := 0; round < 12; round++ {
+		seed := int64(100 + round)
+		buildShared(t, seqH, seqPA, rand.New(rand.NewSource(seed)), 250, &seqRoot)
+		buildShared(t, parH, parPA, rand.New(rand.NewSource(seed)), 250, &parRoot)
+
+		seqH.Collect([]*Value{&seqRoot})
+		collectParallel(parH, []*Value{&parRoot}, 7)
+
+		want := graphSig(seqH, seqRoot)
+		got := graphSig(parH, parRoot)
+		if !sigsEqual(want, got) {
+			t.Fatalf("round %d: parallel graph diverged from sequential", round)
+		}
+		if s, p := seqH.Stats().LiveWords, parH.Stats().LiveWords; s != p {
+			t.Fatalf("round %d: live words diverge: sequential %d, parallel %d", round, s, p)
+		}
+	}
+	if parH.Stats().MajorGCs == 0 {
+		t.Fatal("torture rounds never chained a major collection")
+	}
+}
+
+// TestParallelBigObjects forces the dedicated-span path: objects at or
+// above RegionWords/8 leave the open region in place and are published
+// as single-object grey spans.
+func TestParallelBigObjects(t *testing.T) {
+	h := parHeap(4)
+	pa := h.NewProcAlloc()
+	var root Value = Nil
+	big := make([]Value, h.cfg.RegionWords/4)
+	for i := range big {
+		big[i] = Int(int64(i))
+	}
+	for i := 0; i < 40; i++ {
+		wide, err := pa.AllocRecord(big...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cell, err := pa.AllocRecord(Int(int64(i)), root, wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root = cell
+	}
+	before := graphSig(h, root)
+	collectParallel(h, []*Value{&root}, 3)
+	if got := graphSig(h, root); !sigsEqual(before, got) {
+		t.Fatal("collection altered graph containing big objects")
+	}
+	if h.Stats().MinorGCs == 0 {
+		t.Fatal("no minor collection ran")
+	}
+}
+
+// TestParallelStoreBuffers checks the per-proc store buffers: an
+// old-to-young edge written through ProcAlloc.Set (no global lock) must
+// keep the young object alive across a parallel collection.
+func TestParallelStoreBuffers(t *testing.T) {
+	h := parHeap(2)
+	pa := h.NewProcAlloc()
+	old, err := pa.AllocRecord(Nil, Nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := old
+	collectParallel(h, []*Value{&root}, 1) // promote old to the old generation
+
+	young, err := pa.AllocRecord(Int(41), Int(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa.Set(root, 0, young)
+	// No root references young directly: only the store buffer can save it.
+	collectParallel(h, []*Value{&root}, 1)
+	got := h.Get(root, 0)
+	if !got.IsPtr() || h.Get(got, 1).Int() != 42 {
+		t.Fatal("old-to-young edge recorded via ProcAlloc.Set lost across parallel collection")
+	}
+}
+
+// reachableWords sums the header+payload words of every object
+// reachable from root — the exact value LiveWords must equal after a
+// collection that moves everything (major or combined full), since such
+// a collection copies precisely the reachable set.
+func reachableWords(h *Heap, root Value) uint64 {
+	seen := make(map[uint64]bool)
+	var total uint64
+	var walk func(v Value)
+	walk = func(v Value) {
+		if !v.IsPtr() || seen[v.addr()] {
+			return
+		}
+		seen[v.addr()] = true
+		n := h.Len(v)
+		if h.IsBytes(v) {
+			hdr := h.words[v.addr()]
+			total += 1 + hdr>>2
+			return
+		}
+		total += 1 + uint64(n)
+		for i := 0; i < n; i++ {
+			walk(h.Get(v, i))
+		}
+	}
+	walk(root)
+	return total
+}
+
+// TestParallelCombinedEvacuation: once live data holds more than half a
+// semispace, the planner must replace the minor-then-major chain with
+// one combined evacuation of both generations (phaseFull) — each
+// survivor copied once — counted as one minor plus one major with no
+// escalation, preserving the graph and leaving live-word accounting
+// exactly equal to the reachable set.
+func TestParallelCombinedEvacuation(t *testing.T) {
+	h := parHeap(4)
+	pa := h.NewProcAlloc()
+	var root Value = Nil
+	rng := rand.New(rand.NewSource(31))
+	// Grow fully-live data past half a semispace; every cell stays
+	// reachable from root, so collections promote it all.
+	for h.Stats().LiveWords <= int64(h.cfg.SemiWords)/2 {
+		buildShared(t, h, pa, rng, 300, &root)
+		collectParallel(h, []*Value{&root}, 2)
+	}
+	buildShared(t, h, pa, rng, 50, &root)
+
+	before := graphSig(h, root)
+	st := h.Stats()
+	c := h.StartCollect([]*Value{&root})
+	if c.kind != phaseFull {
+		t.Fatalf("planner chose phase %d, want phaseFull with %d live words", c.kind, st.LiveWords)
+	}
+	c.Run(nil)
+	if got := graphSig(h, root); !sigsEqual(before, got) {
+		t.Fatal("combined evacuation altered the reachable graph")
+	}
+	now := h.Stats()
+	if now.MinorGCs != st.MinorGCs+1 || now.MajorGCs != st.MajorGCs+1 {
+		t.Fatalf("combined evacuation counted minor %d->%d major %d->%d, want both +1",
+			st.MinorGCs, now.MinorGCs, st.MajorGCs, now.MajorGCs)
+	}
+	if now.Escalations != st.Escalations {
+		t.Fatal("elective combined evacuation must not count as an escalation")
+	}
+	if want := int64(reachableWords(h, root)); now.LiveWords != want {
+		t.Fatalf("live words %d after combined evacuation, want exactly the reachable %d", now.LiveWords, want)
+	}
+}
+
+// TestParallelSequentialFallback: a heap too tight for region-granular
+// parallelism (parNeed exceeds old-generation room) must fall back to
+// the sequential collector inside the plan and still collect correctly.
+func TestParallelSequentialFallback(t *testing.T) {
+	h := New(Config{NurseryWords: 1024, SemiWords: 4096, ChunkWords: 64, RegionWords: 512, Procs: 2})
+	pa := h.NewProcAlloc()
+	var root Value = Nil
+	buildShared(t, h, pa, rand.New(rand.NewSource(5)), 120, &root)
+	before := graphSig(h, root)
+	c := h.StartCollect([]*Value{&root})
+	c.Help() // must be a harmless no-op on a sequential plan
+	c.Run(nil)
+	if !c.Finished() {
+		t.Fatal("plan did not finish")
+	}
+	if got := graphSig(h, root); !sigsEqual(before, got) {
+		t.Fatal("sequential-fallback collection altered the reachable graph")
+	}
+	if h.Stats().MinorGCs == 0 {
+		t.Fatal("fallback ran no collection")
+	}
+}
+
+// TestEscalationInsteadOfPanic: retaining more data than the old
+// generation can absorb must escalate to a full collection (nursery and
+// old generation repacked into the other semispace) instead of
+// panicking, and must count the escalation.
+func TestEscalationInsteadOfPanic(t *testing.T) {
+	h := New(Config{NurseryWords: 2048, SemiWords: 3072, ChunkWords: 64, RegionWords: 64, Procs: 1})
+	pa := h.NewProcAlloc()
+	var roots []Value
+	rootPtrs := func() []*Value {
+		ps := make([]*Value, len(roots))
+		for i := range roots {
+			ps[i] = &roots[i]
+		}
+		return ps
+	}
+	// Retain about 1300 words (well past the 1024-word threshold where a
+	// full 2048-word nursery can no longer fit the old generation) while
+	// churning garbage, so a minor's survivor bound eventually exceeds
+	// old-generation room and must escalate rather than panic.
+	for i := 0; h.Stats().Escalations == 0; i++ {
+		if i > 20000 {
+			t.Fatal("no escalation after 20000 allocations")
+		}
+		r, err := pa.AllocRecord(Int(int64(len(roots))), Int(7), Int(8), Int(9))
+		if err == ErrNeedGC {
+			c := h.StartCollect(rootPtrs())
+			c.Run(nil)
+			continue
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if i%4 == 0 && len(roots) < 260 {
+			roots = append(roots, r)
+		}
+	}
+	if h.Stats().Escalations == 0 {
+		t.Fatal("no minor-to-full escalation recorded")
+	}
+	for i, r := range roots {
+		if h.Get(r, 0).Int() != int64(i) || h.Get(r, 3).Int() != 9 {
+			t.Fatalf("root %d corrupted after escalation", i)
+		}
+	}
+}

@@ -56,10 +56,13 @@ import (
 
 	"repro/internal/cml"
 	"repro/internal/core"
+	"repro/internal/gcsync"
 	"repro/internal/metrics"
+	"repro/internal/mlheap"
 	"repro/internal/mlio"
 	"repro/internal/proc"
 	"repro/internal/queue"
+	"repro/internal/spinlock"
 	"repro/internal/syncx"
 	"repro/internal/threads"
 	"repro/internal/trace"
@@ -130,6 +133,17 @@ type Options struct {
 	// own registry to every backend shard this way, so the front's
 	// park/wakeup/resume counters show up on any shard's /metrics.
 	ExtraMetrics []NamedRegistry
+	// MLWorld, when non-nil, is a shared gcsync heap world for this
+	// server's procs: the /work/mlalloc allocating kernel is installed,
+	// the world's yield hook is pointed at the thread scheduler, and the
+	// world's registry (pause/copy/section counters) joins /metrics.
+	MLWorld *gcsync.World
+	// MLGCAware guards the server's admission semaphores, state lock and
+	// the mlalloc shared-registry lock with GC-aware locks over MLWorld
+	// (spinlock.GCAware), so a thread spinning on serving-path locks
+	// joins or helps a pending collection instead of convoying it.
+	// Ignored without MLWorld; the off state is the ablation baseline.
+	MLGCAware bool
 }
 
 // NamedRegistry labels a metrics registry for /metrics rendering.
@@ -226,6 +240,10 @@ type Server struct {
 	pool  *BufPool
 	ccfg  ConnConfig
 
+	mlWorld  *gcsync.World // shared ML heap world (Options.MLWorld)
+	mlLock   core.Lock     // guards the mlalloc shared registry record
+	mlShared mlheap.Value  // registry record /work/mlalloc requests publish into
+
 	state          core.Lock // guards all fields below
 	acceptQ        queue.Queue[pending]
 	active         int // dispatched work units not yet finished
@@ -267,16 +285,24 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 			return nil, fmt.Errorf("serve: listener %T is not a *net.TCPListener", ln)
 		}
 	}
+	// With a GC-aware world, the admission semaphores' guards and the
+	// state lock poll the GC section while spinning: these are exactly
+	// the locks a stopped-for-collection worker may hold, and a spinner
+	// that cannot reach a clean point would convoy the whole stop.
+	lockf := core.LockFactory(core.NewMutexLock)
+	if opts.MLWorld != nil && opts.MLGCAware {
+		lockf = spinlock.GCAware(core.NewMutexLock, opts.MLWorld)
+	}
 	srv := &Server{
 		sys:     sys,
 		pl:      sys.Platform(),
 		opts:    opts,
 		ln:      tln,
 		clock:   cml.NewClock(),
-		items:   syncx.NewSemaphore(sys, 0),
-		slots:   syncx.NewSemaphore(sys, opts.MaxInFlight),
+		items:   syncx.NewSemaphoreWith(sys, 0, lockf),
+		slots:   syncx.NewSemaphoreWith(sys, opts.MaxInFlight, lockf),
 		pool:    NewBufPool(sys.Platform().MaxProcs()),
-		state:   core.NewMutexLock(),
+		state:   lockf(),
 		acceptQ: queue.NewFifo[pending](),
 		tracer:  opts.Tracer,
 		logrt:   opts.Log,
@@ -336,6 +362,11 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 		Aborted:      srv.Draining,
 	}
 	srv.installBuiltins()
+	if opts.MLWorld != nil {
+		srv.initMLAlloc()
+		srv.opts.ExtraMetrics = append(srv.opts.ExtraMetrics,
+			NamedRegistry{Name: "mlheap", Reg: opts.MLWorld.Heap().Metrics()})
+	}
 	return srv, nil
 }
 

@@ -561,6 +561,9 @@ func (fab *Fabric) statusResponse() serve.Response {
 		}
 		body += fmt.Sprintf("member %d phase %s limit %d ring %d vnodes %d\n",
 			b.id, phaseName(b.phase.Load()), fab.limitOf(b.id), b.ring.depth(), vnodes)
+		if line := b.srv.MLStatsLine(); line != "" {
+			body += fmt.Sprintf("member %d %s\n", b.id, line)
+		}
 	}
 	body += fmt.Sprintf("scale_ups %d scale_downs %d joins %d leaves %d stale_discarded %d handoff_topics %d handoff_subs %d\n",
 		snap.Get("shard.scale_ups"), snap.Get("shard.scale_downs"),

@@ -42,9 +42,13 @@ package shard
 import (
 	"fmt"
 
+	"repro/internal/core"
+	"repro/internal/gcsync"
+	"repro/internal/mlheap"
 	"repro/internal/proc"
 	"repro/internal/pubsub"
 	"repro/internal/serve"
+	"repro/internal/spinlock"
 	"repro/internal/threads"
 )
 
@@ -169,10 +173,30 @@ func (fab *Fabric) freeSlotLocked() int {
 func (fab *Fabric) newBackend(slot, procs int) (*backend, error) {
 	pl := proc.New(fab.budget)
 	pl.SetLimit(procs)
-	sys := threads.New(pl, threads.Options{})
+	sys := threads.New(pl, threads.Options{Quantum: fab.opts.Quantum})
+	// One ML world per member (Options.MLAlloc): its proc slots must
+	// cover every handler thread that can be attached at once, which
+	// admission bounds at MaxInFlight.
+	var world *gcsync.World
+	if fab.opts.MLAlloc {
+		slots := fab.opts.MaxInFlight
+		if slots <= 0 {
+			slots = 64 // serve's MaxInFlight default
+		}
+		world = gcsync.NewWorld(mlheap.Config{
+			NurseryWords: fab.opts.MLNursery,
+			SemiWords:    fab.opts.MLSemi,
+			ChunkWords:   fab.opts.MLChunk,
+			RegionWords:  fab.opts.MLRegion,
+			Procs:        slots,
+		})
+		world.SetSequential(fab.opts.MLGCSequential)
+	}
 	srv, err := serve.New(sys, serve.Options{
 		NoListener:         true,
 		ShardID:            slot,
+		MLWorld:            world,
+		MLGCAware:          !fab.opts.MLGCPlainLocks,
 		MaxInFlight:        fab.opts.MaxInFlight,
 		QueueDepth:         fab.opts.QueueDepth,
 		DeadlineTicks:      fab.opts.DeadlineTicks,
@@ -201,7 +225,15 @@ func (fab *Fabric) newBackend(slot, procs int) (*backend, error) {
 	}
 	b := &backend{
 		id: slot, pl: pl, sys: sys, srv: srv,
-		ring: newRing(fab.opts.RingDepth), broker: broker,
+		ring: newRing(fab.opts.RingDepth), broker: broker, world: world,
+	}
+	if world != nil && !fab.opts.MLGCPlainLocks {
+		// The ring's two sides live in different worlds: front threads
+		// push while this member's procs pop.  Wrap the ring lock
+		// GC-aware so whichever side spins mid-collection helps the copy
+		// (an attached proc joins the barrier, a front thread runs work
+		// units) instead of convoying the stop — the MPL lockTake move.
+		b.ring.lock = spinlock.GCAware(core.NewMutexLock, world)()
 	}
 	b.phase.Store(phaseJoining)
 	fab.state.Lock()

@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/cml"
 	"repro/internal/core"
+	"repro/internal/gcsync"
 	"repro/internal/metrics"
 	"repro/internal/mlio"
 	"repro/internal/proc"
@@ -128,6 +129,12 @@ type Options struct {
 	// Tick is one clock tick of wall time, for the front and every shard
 	// (default 1ms).
 	Tick time.Duration
+	// Quantum, if nonzero, enables preemptive timeslicing on every
+	// member's thread system (threads.Options.Quantum): compute-heavy
+	// handlers like /work/mlalloc yield at their CheckPreempt safe
+	// points, so requests overlap inside the ML section and stop
+	// barriers gather promptly.
+	Quantum time.Duration
 	// PollWindow caps blocking socket calls (default 1ms).
 	PollWindow time.Duration
 	// RetryAfter is the Retry-After hint on front sheds (default 1).
@@ -177,6 +184,26 @@ type Options struct {
 	// from their old owners — the window for traffic routed against a
 	// stale snapshot to finish (default 32).
 	HandoffGraceTicks int64
+	// MLAlloc installs the allocating /work/mlalloc kernel on every
+	// member: each backend gets its own gcsync.World (ML heap plus the
+	// clean-point collection barrier), handler threads attach to it as
+	// procs per request, and the member's forward-ring lock is wrapped
+	// GC-aware so a front thread spinning on a push helps a pending
+	// collection instead of convoying the stop.  Off by default.
+	MLAlloc bool
+	// MLNursery/MLSemi/MLChunk/MLRegion size each member's ML heap in
+	// words (defaults 1<<16, 1<<20, 1024, 512).
+	MLNursery int
+	MLSemi    int
+	MLChunk   int
+	MLRegion  int
+	// MLGCSequential selects the paper's one-collector stop-the-world
+	// instead of parallel collection — the BENCH_gc ablation baseline.
+	MLGCSequential bool
+	// MLGCPlainLocks drops the GC-aware wrapping from the ring and
+	// admission locks (the second ablation axis): spinners then convoy
+	// any collection raised while they hold or await a lock.
+	MLGCPlainLocks bool
 }
 
 func (o *Options) fill() {
@@ -282,6 +309,20 @@ func (o *Options) fill() {
 	if o.HandoffGraceTicks <= 0 {
 		o.HandoffGraceTicks = 32
 	}
+	if o.MLAlloc {
+		if o.MLNursery <= 0 {
+			o.MLNursery = 1 << 16
+		}
+		if o.MLSemi <= 0 {
+			o.MLSemi = 1 << 20
+		}
+		if o.MLChunk <= 0 {
+			o.MLChunk = 1024
+		}
+		if o.MLRegion <= 0 {
+			o.MLRegion = 512
+		}
+	}
 }
 
 // NoRebalance is the Options.RebalanceTicks value that disables the
@@ -303,6 +344,7 @@ type backend struct {
 	srv    *serve.Server
 	ring   *ring
 	broker *pubsub.Broker // Options.PubSub; nil otherwise
+	world  *gcsync.World  // Options.MLAlloc; nil otherwise
 
 	phase atomic.Int32 // joining → active → draining → gone
 	live  atomic.Int64 // host goroutines currently running this backend's worlds

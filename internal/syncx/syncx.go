@@ -53,10 +53,18 @@ type Semaphore struct {
 
 // NewSemaphore returns a semaphore with the given initial count.
 func NewSemaphore(s Scheduler, initial int) *Semaphore {
+	return NewSemaphoreWith(s, initial, core.NewMutexLock)
+}
+
+// NewSemaphoreWith is NewSemaphore with the guard lock supplied by f —
+// the hook that lets servers sharing a gcsync heap guard their admission
+// semaphores with GC-aware locks (spinlock.GCAware), so a dispatcher
+// spinning for credits cannot convoy a pending collection.
+func NewSemaphoreWith(s Scheduler, initial int, f core.LockFactory) *Semaphore {
 	if initial < 0 {
 		panic("syncx: negative semaphore count")
 	}
-	return &Semaphore{s: s, lk: core.NewMutexLock(), count: initial, wait: queue.NewFifo[waiter]()}
+	return &Semaphore{s: s, lk: f(), count: initial, wait: queue.NewFifo[waiter]()}
 }
 
 // Acquire decrements the semaphore, blocking while the count is zero
