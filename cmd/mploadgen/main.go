@@ -146,10 +146,11 @@ type Summary struct {
 	RespPerRead float64 `json:"responses_per_read,omitempty"`
 
 	LatencyMS struct {
-		P50 float64 `json:"p50"`
-		P90 float64 `json:"p90"`
-		P99 float64 `json:"p99"`
-		Max float64 `json:"max"`
+		P50  float64 `json:"p50"`
+		P90  float64 `json:"p90"`
+		P99  float64 `json:"p99"`
+		P999 float64 `json:"p999"`
+		Max  float64 `json:"max"`
 	} `json:"latency_ms"` // over OK responses
 
 	// Pub/sub mode: the publish ledger, delivery counts, and the
@@ -189,14 +190,18 @@ type BucketSummary struct {
 	RPS     float64 `json:"rps"` // OK completions per second of bucket width
 	P50     float64 `json:"p50_ms,omitempty"`
 	P99     float64 `json:"p99_ms,omitempty"`
+	P999    float64 `json:"p999_ms,omitempty"`
 }
 
-// Quantiles is a latency distribution in milliseconds.
+// Quantiles is a latency distribution in milliseconds.  P999 is the
+// tail the fair-lock ablation flattens — p50/p90/p99 alone cannot show
+// a bounded-wait claim.
 type Quantiles struct {
-	P50 float64 `json:"p50"`
-	P90 float64 `json:"p90"`
-	P99 float64 `json:"p99"`
-	Max float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Max  float64 `json:"max"`
 }
 
 // TenantSummary is one tenant's slice of a pub/sub run.
@@ -214,10 +219,11 @@ func newQuantiles(sorted []float64) *Quantiles {
 		return nil
 	}
 	return &Quantiles{
-		P50: quantile(sorted, 0.50),
-		P90: quantile(sorted, 0.90),
-		P99: quantile(sorted, 0.99),
-		Max: sorted[len(sorted)-1],
+		P50:  quantile(sorted, 0.50),
+		P90:  quantile(sorted, 0.90),
+		P99:  quantile(sorted, 0.99),
+		P999: quantile(sorted, 0.999),
+		Max:  sorted[len(sorted)-1],
 	}
 }
 
@@ -616,6 +622,7 @@ func main() {
 	s.LatencyMS.P50 = quantile(okLats, 0.50)
 	s.LatencyMS.P90 = quantile(okLats, 0.90)
 	s.LatencyMS.P99 = quantile(okLats, 0.99)
+	s.LatencyMS.P999 = quantile(okLats, 0.999)
 	if n := len(okLats); n > 0 {
 		s.LatencyMS.Max = okLats[n-1]
 	}
@@ -662,6 +669,7 @@ func main() {
 			if n := len(lats[i]); n > 0 {
 				b.P50 = quantile(lats[i], 0.50)
 				b.P99 = quantile(lats[i], 0.99)
+				b.P999 = quantile(lats[i], 0.999)
 			}
 			b.RPS = float64(b.OK) / bucket.Seconds()
 		}
@@ -742,8 +750,9 @@ func main() {
 		fmt.Printf("  delivered %d heartbeats %d clean-closed %d drops %d missing-acked %d\n",
 			s.Delivered, s.Heartbeats, s.SubCleanClosed, s.SubDrops, s.MissingAcked)
 		if s.DeliveryLagMS != nil {
-			fmt.Printf("  delivery lag ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
-				s.DeliveryLagMS.P50, s.DeliveryLagMS.P90, s.DeliveryLagMS.P99, s.DeliveryLagMS.Max)
+			fmt.Printf("  delivery lag ms p50 %.2f p90 %.2f p99 %.2f p99.9 %.2f max %.2f\n",
+				s.DeliveryLagMS.P50, s.DeliveryLagMS.P90, s.DeliveryLagMS.P99,
+				s.DeliveryLagMS.P999, s.DeliveryLagMS.Max)
 		}
 		for name, t := range s.Tenants {
 			fmt.Printf("  tenant %s: acked %d denied %d delivered %d",
@@ -754,11 +763,12 @@ func main() {
 			fmt.Println()
 		}
 	}
-	fmt.Printf("  throughput %.1f req/s  latency ms p50 %.2f p90 %.2f p99 %.2f max %.2f\n",
-		s.Throughput, s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
+	fmt.Printf("  throughput %.1f req/s  latency ms p50 %.2f p90 %.2f p99 %.2f p99.9 %.2f max %.2f\n",
+		s.Throughput, s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99,
+		s.LatencyMS.P999, s.LatencyMS.Max)
 	for _, b := range s.Buckets {
-		fmt.Printf("  [%6dms] reqs %5d ok %5d shed %4d expired %3d other %3d errors %3d  %.0f req/s p50 %.2f p99 %.2f\n",
-			b.StartMS, b.Reqs, b.OK, b.Shed, b.Expired, b.Other, b.Errors, b.RPS, b.P50, b.P99)
+		fmt.Printf("  [%6dms] reqs %5d ok %5d shed %4d expired %3d other %3d errors %3d  %.0f req/s p50 %.2f p99 %.2f p99.9 %.2f\n",
+			b.StartMS, b.Reqs, b.OK, b.Shed, b.Expired, b.Other, b.Errors, b.RPS, b.P50, b.P99, b.P999)
 	}
 
 	if *jsonPath != "" {

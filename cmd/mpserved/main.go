@@ -28,7 +28,7 @@
 //	         [-deadline ticks] [-tick d] [-quantum d] [-distributed]
 //	         [-ring N] [-trace out.json] [-batch N]
 //	         [-shards N] [-rebalance ticks] [-route-header name] [-steal N]
-//	         [-reply-coalesce=bool] [-reply-spin N]
+//	         [-reply-coalesce=bool] [-reply-spin N] [-fair-locks]
 //	         [-mux] [-pollers N] [-maxconns N] [-idle ticks]
 //	         [-autoscale] [-min-shards N] [-max-shards N]
 //	         [-scale-up-load N] [-scale-down-load N]
@@ -109,6 +109,7 @@ func main() {
 	mlRegion := flag.Int("ml-region", 512, "mlalloc: per-collector copy region in words")
 	gcSeq := flag.Bool("gc-seq", false, "mlalloc: sequential one-collector stop-the-world (ablation baseline; default parallel)")
 	gcAware := flag.Bool("gc-aware", true, "mlalloc: GC-aware spin locks on the admission/ring paths (false = plain locks ablation)")
+	fairLocks := flag.Bool("fair-locks", false, "FIFO claim/release locks on the hot paths (rings, reply waits, mux inbox, admission guards); false = TAS spin ablation baseline")
 	flag.Parse()
 
 	if *shards > 1 || *mux {
@@ -130,6 +131,7 @@ func main() {
 			StealMin:       *steal,
 			ReplySpin:      *replySpin,
 			PerCellReplies: !*replyCoalesce,
+			FairLocks:      *fairLocks,
 			RebalanceTicks: *rebalance,
 			RouteHeader:    *routeHeader,
 			Tick:           *tick,
@@ -196,6 +198,7 @@ func main() {
 		Tracer:        tr,
 		MLWorld:       world,
 		MLGCAware:     *gcAware,
+		FairLocks:     *fairLocks,
 
 		StreamHeartbeatTicks: *hb,
 	})
@@ -297,9 +300,9 @@ func runFabric(opts shard.Options) {
 	if opts.Mux {
 		front = fmt.Sprintf("mux/pollers=%d", opts.Pollers)
 	}
-	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks batch=%d steal=%d reply-coalesce=%v reply-spin=%d front=%s autoscale=%v)\n",
+	fmt.Printf("mpserved fabric listening on %s (shards=%d procs/shard=%d inflight=%d rebalance=%d ticks batch=%d steal=%d reply-coalesce=%v reply-spin=%d fair-locks=%v front=%s autoscale=%v)\n",
 		fab.Addr(), opts.Shards, opts.BackendProcs, opts.MaxInFlight, opts.RebalanceTicks,
-		opts.BatchMax, opts.StealMin, !opts.PerCellReplies, opts.ReplySpin, front, opts.Autoscale)
+		opts.BatchMax, opts.StealMin, !opts.PerCellReplies, opts.ReplySpin, opts.FairLocks, front, opts.Autoscale)
 	start := time.Now()
 	for _, r := range fab.Runners() {
 		opts.Spawn(r)

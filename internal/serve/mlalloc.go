@@ -20,6 +20,7 @@ import (
 	"repro/internal/gcsync"
 	"repro/internal/mlheap"
 	"repro/internal/spinlock"
+	"repro/internal/syncx"
 )
 
 const (
@@ -36,9 +37,14 @@ const (
 func (srv *Server) initMLAlloc() {
 	w := srv.opts.MLWorld
 	srv.mlWorld = w
-	if srv.opts.MLGCAware {
+	switch {
+	case srv.opts.FairLocks && srv.opts.MLGCAware:
+		srv.mlLock = syncx.FairFactory(w, nil)()
+	case srv.opts.FairLocks:
+		srv.mlLock = syncx.FairFactory(nil, nil)()
+	case srv.opts.MLGCAware:
 		srv.mlLock = spinlock.GCAware(core.NewMutexLock, w)()
-	} else {
+	default:
 		srv.mlLock = core.NewMutexLock()
 	}
 	// Bootstrap the shared registry on the host goroutine: attach a

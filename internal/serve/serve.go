@@ -144,6 +144,14 @@ type Options struct {
 	// joins or helps a pending collection instead of convoying it.
 	// Ignored without MLWorld; the off state is the ablation baseline.
 	MLGCAware bool
+	// FairLocks replaces the TAS spin locks guarding the admission
+	// semaphores, state lock, and mlalloc registry lock with the FIFO
+	// claim/release locks (syncx.FairLock): contenders queue in claim
+	// order and releases hand off instead of re-racing, so under skew no
+	// dispatcher loses the acquisition race repeatedly.  When MLWorld is
+	// set with MLGCAware the fair claim loop also polls the GC section.
+	// Off by default — the spin path is the ablation baseline.
+	FairLocks bool
 }
 
 // NamedRegistry labels a metrics registry for /metrics rendering.
@@ -289,9 +297,18 @@ func New(sys *threads.System, opts Options) (*Server, error) {
 	// state lock poll the GC section while spinning: these are exactly
 	// the locks a stopped-for-collection worker may hold, and a spinner
 	// that cannot reach a clean point would convoy the whole stop.
+	// FairLocks swaps the spin flavors for the FIFO claim/release locks;
+	// their claim loop polls the same GC section, so the two axes compose.
 	lockf := core.LockFactory(core.NewMutexLock)
 	if opts.MLWorld != nil && opts.MLGCAware {
 		lockf = spinlock.GCAware(core.NewMutexLock, opts.MLWorld)
+	}
+	if opts.FairLocks {
+		var gcw spinlock.GCWorld
+		if opts.MLWorld != nil && opts.MLGCAware {
+			gcw = opts.MLWorld
+		}
+		lockf = syncx.FairFactory(gcw, nil)
 	}
 	srv := &Server{
 		sys:     sys,

@@ -288,6 +288,103 @@ func TestBenchArtifactMux(t *testing.T) {
 	}
 }
 
+type fairLeg struct {
+	benchSummary
+	Skew    float64 `json:"skew_hot_fraction"`
+	Latency struct {
+		P999 float64 `json:"p999"`
+	} `json:"latency_ms"`
+}
+
+type fairServer struct {
+	FairLocks     bool             `json:"fair_locks"`
+	RingWaits     int64            `json:"ring_waits"`
+	RingWaitOver  int64            `json:"ring_wait_over"`
+	ReplySpin     int64            `json:"reply_spin"`
+	ReplyPark     int64            `json:"reply_park"`
+	RingWaitHist  map[string]int64 `json:"ring_wait_hist"`
+	ReplyWaitHist map[string]int64 `json:"reply_wait_hist"`
+}
+
+// TestBenchArtifactFairLock guards the PR-10 artifact: the fair FIFO
+// claim/release configuration must hold throughput within 5% of the
+// TAS-spin baseline of the *same* binary under skewed keep-alive load,
+// flatten the client p99.9 (the bounded-wait claim), and show a
+// bounded, non-heavy-tail claim-wait distribution on the instrumented
+// ring histogram.  Both legs must be the workload the claim is about:
+// keep-alive, pipelined, with a sticky hot key.
+func TestBenchArtifactFairLock(t *testing.T) {
+	raw, err := os.ReadFile("../../BENCH_fairlock.json")
+	if err != nil {
+		t.Fatalf("missing benchmark artifact: %v", err)
+	}
+	var bench struct {
+		Spin       fairLeg    `json:"spin"`
+		Fair       fairLeg    `json:"fair"`
+		SpinServer fairServer `json:"spin_server"`
+		FairServer fairServer `json:"fair_server"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatal(err)
+	}
+	if bench.Spin.Throughput <= 0 || bench.Fair.Throughput <= 0 {
+		t.Fatal("benchmark artifact has non-positive throughput")
+	}
+	// Throughput within 5% of the spin baseline (here it is above it, but
+	// the ISSUE's bound is the contract).
+	if got := bench.Fair.Throughput / bench.Spin.Throughput; got < 0.95 {
+		t.Errorf("fair-lock throughput %.1f is only %.3fx the spin baseline %.1f, want >= 0.95x",
+			bench.Fair.Throughput, got, bench.Spin.Throughput)
+	}
+	// The tail-flattening claim: fair p99.9 strictly below the spin
+	// baseline's.
+	if bench.Spin.Latency.P999 <= 0 || bench.Fair.Latency.P999 <= 0 {
+		t.Fatal("artifact is missing p99.9 latency")
+	}
+	if bench.Fair.Latency.P999 >= bench.Spin.Latency.P999 {
+		t.Errorf("fair p99.9 %.2fms not strictly below spin baseline %.2fms",
+			bench.Fair.Latency.P999, bench.Spin.Latency.P999)
+	}
+	// Both legs must be the skewed keep-alive workload, error-free.
+	for name, leg := range map[string]fairLeg{"spin": bench.Spin, "fair": bench.Fair} {
+		if !leg.KeepAlive {
+			t.Errorf("%s leg is not keep-alive; the comparison must hold the client fixed", name)
+		}
+		if leg.Pipeline < 2 {
+			t.Errorf("%s leg pipeline = %d, want >= 2", name, leg.Pipeline)
+		}
+		if leg.Skew < 0.5 {
+			t.Errorf("%s leg hot-key skew %.2f, want >= 0.5 — the claim is about contended rings", name, leg.Skew)
+		}
+	}
+	// The legs must have measured what they say: fair locks on/off.
+	if !bench.FairServer.FairLocks || bench.SpinServer.FairLocks {
+		t.Error("artifact legs inverted: fair_server must report fair_locks true, spin_server false")
+	}
+	// The claim-wait instrument must be live on the fair leg...
+	if bench.FairServer.RingWaits < 1 {
+		t.Error("fair leg recorded no contended ring claims; the wait histogram never fired")
+	}
+	// ...and its distribution bounded: no more than 1% of contended
+	// claims past the largest bucket bound (the heavy tail the protocol
+	// rules out), and the overflow field consistent with the histogram.
+	if over := bench.FairServer.RingWaitHist["inf"]; over != bench.FairServer.RingWaitOver {
+		t.Errorf("ring_wait_over %d disagrees with histogram overflow bucket %d",
+			bench.FairServer.RingWaitOver, over)
+	}
+	if share := float64(bench.FairServer.RingWaitOver) / float64(bench.FairServer.RingWaits); share > 0.01 {
+		t.Errorf("claim-wait overflow share %.3f (over %d of %d), want <= 0.01 — heavy tail",
+			share, bench.FairServer.RingWaitOver, bench.FairServer.RingWaits)
+	}
+	// The bounded-wait mechanism on the reply path: the memoryless fair
+	// wait must not park more than the adaptive spin baseline (park
+	// storms from budget collapse are the spin path's tail pathology).
+	if bench.FairServer.ReplyPark > bench.SpinServer.ReplyPark {
+		t.Errorf("fair leg parked %d reply waits vs %d on the spin baseline — bounded waits should park less",
+			bench.FairServer.ReplyPark, bench.SpinServer.ReplyPark)
+	}
+}
+
 // TestBenchArtifactElastic guards the elastic-membership artifact: a
 // runtime 2->4 scale-up must lift the steady keep-alive plateau by at
 // least 1.2x, the drain-out back to 2 shards must drop zero in-flight

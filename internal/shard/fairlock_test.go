@@ -1,0 +1,106 @@
+package shard
+
+// End-to-end coverage for Options.FairLocks: the fabric serving
+// correctly with every hot-path lock swapped for the FIFO claim/release
+// protocol, on both fronts, and the new wait instruments surfacing on
+// /fabricz.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFabricFairLocksEndToEnd drives concurrent keep-alive clients
+// through a fair-locked fabric: every ring push/pop, steal claim, and
+// reply wait goes through the claim/release path, and every request
+// must still be answered correctly.
+func TestFabricFairLocksEndToEnd(t *testing.T) {
+	tf := startFabric(t, Options{Shards: 2, FairLocks: true}, nil)
+	const clients, reqs = 4, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*reqs)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			kc := dialKA(t, tf.addr())
+			for i := 0; i < reqs; i++ {
+				msg := fmt.Sprintf("c%dm%d", c, i)
+				if err := kc.send("/echo?msg=" + msg); err != nil {
+					errs <- err
+					return
+				}
+				st, body, err := kc.recv(10 * time.Second)
+				if err != nil {
+					errs <- fmt.Errorf("client %d request %d: %w", c, i, err)
+					return
+				}
+				if st != 200 || string(body) != msg {
+					errs <- fmt.Errorf("client %d request %d: status %d body %q", c, i, st, body)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// /fabricz must surface the fair-lock state and wait instruments.
+	kc := dialKA(t, tf.addr())
+	if err := kc.send("/fabricz", "Connection: close"); err != nil {
+		t.Fatal(err)
+	}
+	st, body, err := kc.recv(10 * time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("/fabricz: status %d err %v", st, err)
+	}
+	if !strings.Contains(string(body), "fair_locks true") {
+		t.Errorf("/fabricz does not report fair_locks true:\n%s", body)
+	}
+	if !strings.Contains(string(body), "ring_waits ") {
+		t.Errorf("/fabricz does not report ring_waits:\n%s", body)
+	}
+}
+
+// TestFabricFairLocksMux covers the mux front's fair inbox: the
+// acceptor→poller handoff lock is a FairLock, and the poller pool must
+// still adopt and serve connections.
+func TestFabricFairLocksMux(t *testing.T) {
+	tf := startFabric(t, Options{Shards: 2, Mux: true, Pollers: 2, FairLocks: true}, nil)
+	for i := 0; i < 3; i++ {
+		kc := dialKA(t, tf.addr())
+		msg := fmt.Sprintf("mux%d", i)
+		if err := kc.send("/echo?msg=" + msg); err != nil {
+			t.Fatal(err)
+		}
+		st, body, err := kc.recv(10 * time.Second)
+		if err != nil || st != 200 || string(body) != msg {
+			t.Fatalf("request %d: status %d body %q err %v", i, st, body, err)
+		}
+		kc.nc.Close()
+	}
+}
+
+// TestFabricSpinBaselineReportsFairOff pins the ablation contract: the
+// default (spin) fabric reports fair_locks false on /fabricz, so the
+// CI soak and bench legs can assert which path they measured.
+func TestFabricSpinBaselineReportsFairOff(t *testing.T) {
+	tf := startFabric(t, Options{Shards: 2}, nil)
+	kc := dialKA(t, tf.addr())
+	if err := kc.send("/fabricz", "Connection: close"); err != nil {
+		t.Fatal(err)
+	}
+	st, body, err := kc.recv(10 * time.Second)
+	if err != nil || st != 200 {
+		t.Fatalf("/fabricz: status %d err %v", st, err)
+	}
+	if !strings.Contains(string(body), "fair_locks false") {
+		t.Errorf("/fabricz does not report fair_locks false:\n%s", body)
+	}
+}

@@ -518,10 +518,16 @@ func (fab *Fabric) collectBatch(reqs []*serve.Request, pend []pendingReply,
 
 // waitReply blocks the calling front thread until cond holds — a reply
 // cell's done flag or a group's countdown — through the connection's
-// adaptive spin budget, charging the reply-wait instruments.
+// adaptive spin budget (or, under Options.FairLocks, the memoryless
+// bounded fair wait), charging the reply-wait instruments.
 func (fab *Fabric) waitReply(cond func() bool, sp *spinState) {
 	t0 := fab.clock.Now()
-	spins, parks := spinWait(cond, sp, fab.frontSys.Yield, fab.park)
+	var spins, parks int
+	if fab.opts.FairLocks {
+		spins, parks = fairWait(cond, fab.opts.ReplySpin, fab.frontSys.Yield, fab.park)
+	} else {
+		spins, parks = spinWait(cond, sp, fab.frontSys.Yield, fab.park)
+	}
 	self := proc.Self()
 	if spins > 0 {
 		fab.m.replySpins.Add(self, int64(spins))
@@ -534,6 +540,24 @@ func (fab *Fabric) waitReply(cond func() bool, sp *spinState) {
 
 // statusResponse renders /fabricz: membership state (epoch, per-member
 // lifecycle phase, vnode ownership) plus per-shard allowance and load.
+// histLine renders one histogram snapshot as a single /fabricz line of
+// "le<bound>:<count>" fields with the overflow bucket as "inf:<count>",
+// or nothing when the histogram is empty.
+func histLine(name string, h metrics.HistogramSnapshot) string {
+	if h.Count == 0 {
+		return ""
+	}
+	line := name
+	for i, c := range h.Counts {
+		if i < len(h.Bounds) {
+			line += fmt.Sprintf(" le%d:%d", h.Bounds[i], c)
+		} else {
+			line += fmt.Sprintf(" inf:%d", c)
+		}
+	}
+	return line + "\n"
+}
+
 func (fab *Fabric) statusResponse() serve.Response {
 	mem := fab.mem.Load()
 	loads := fab.shardLoads(mem.shards)
@@ -572,6 +596,19 @@ func (fab *Fabric) statusResponse() serve.Response {
 		snap.Get("shard.handoff_topics"), snap.Get("shard.handoff_subs"))
 	body += fmt.Sprintf("conns %d rebalances %d\n",
 		snap.Get("shard.conns"), snap.Get("shard.rebalances"))
+	rw := snap.Histograms["shard.ring_wait_ticks"]
+	var rwOver int64
+	if n := len(rw.Counts); n > 0 {
+		rwOver = rw.Counts[n-1] // claims past the largest bound: the tail the protocol bounds
+	}
+	body += fmt.Sprintf("fair_locks %v ring_waits %d ring_wait_over %d reply_spin %d reply_park %d\n",
+		fab.opts.FairLocks, rw.Count, rwOver,
+		snap.Get("shard.reply_spin"), snap.Get("shard.reply_park"))
+	// Full wait bucket dumps (bound:count, last bucket = past the largest
+	// bound) so the bench harness can record both distributions: ring
+	// claim waits in claim-loop yields, reply waits in clock ticks.
+	body += histLine("ring_wait_hist", rw)
+	body += histLine("reply_wait_hist", snap.Histograms["shard.reply_wait_ticks"])
 	body += fmt.Sprintf("steals %d stolen %d attempts %d aborts %d ring_expired %d\n",
 		snap.Get("shard.steals"), snap.Get("shard.stolen"),
 		snap.Get("shard.steal_attempts"), snap.Get("shard.steal_aborts"),

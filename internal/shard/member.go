@@ -49,8 +49,24 @@ import (
 	"repro/internal/pubsub"
 	"repro/internal/serve"
 	"repro/internal/spinlock"
+	"repro/internal/syncx"
 	"repro/internal/threads"
 )
+
+// fairLockFactory builds the FIFO claim/release locks Options.FairLocks
+// deploys on the fabric's hot paths, charging every *contended* claim's
+// queue wait (in claim-loop yields) to the shard.ring_wait_ticks
+// histogram.  A non-nil gcw makes each claim-loop iteration a GC safe
+// point.  The observer reads fab.m lazily: backends and pollers are
+// built before New populates the instrument struct, and nothing locks
+// until the host starts the Runners.
+func (fab *Fabric) fairLockFactory(gcw spinlock.GCWorld) core.LockFactory {
+	return syncx.FairFactory(gcw, func(iters int64) {
+		if h := fab.m.ringWaitTicks; h != nil && iters > 0 {
+			h.Observe(proc.Self(), iters)
+		}
+	})
+}
 
 // Backend lifecycle phases (backend.phase).
 const (
@@ -197,6 +213,7 @@ func (fab *Fabric) newBackend(slot, procs int) (*backend, error) {
 		ShardID:            slot,
 		MLWorld:            world,
 		MLGCAware:          !fab.opts.MLGCPlainLocks,
+		FairLocks:          fab.opts.FairLocks,
 		MaxInFlight:        fab.opts.MaxInFlight,
 		QueueDepth:         fab.opts.QueueDepth,
 		DeadlineTicks:      fab.opts.DeadlineTicks,
@@ -227,7 +244,19 @@ func (fab *Fabric) newBackend(slot, procs int) (*backend, error) {
 		id: slot, pl: pl, sys: sys, srv: srv,
 		ring: newRing(fab.opts.RingDepth), broker: broker, world: world,
 	}
+	var gcw spinlock.GCWorld
 	if world != nil && !fab.opts.MLGCPlainLocks {
+		gcw = world
+	}
+	switch {
+	case fab.opts.FairLocks:
+		// Fair claim/release on the forward ring: pushers, the intake, and
+		// thieves queue in claim order and the release hands off, so under
+		// skew no side loses the TAS race repeatedly.  The claim loop polls
+		// the same GC section the GC-aware spin wrap does (gcw nil on a
+		// non-ML member or under the plain-locks ablation).
+		b.ring.lock = fab.fairLockFactory(gcw)()
+	case gcw != nil:
 		// The ring's two sides live in different worlds: front threads
 		// push while this member's procs pop.  Wrap the ring lock
 		// GC-aware so whichever side spins mid-collection helps the copy

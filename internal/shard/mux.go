@@ -119,12 +119,17 @@ type poller struct {
 	parkedRep  int64 // conns_parked contribution already reported
 }
 
-func newPoller(id int) (*poller, error) {
+// newPoller builds one poller thread's world.  The inbox guard comes
+// from the caller: a plain spin lock by default, the FIFO claim/release
+// lock under Options.FairLocks — the accept inbox is the mux front's
+// one cross-thread lock, so under a connection storm it is where an
+// unfair TAS race would starve one side.
+func newPoller(id int, lockf core.LockFactory) (*poller, error) {
 	np, err := netpoll.New()
 	if err != nil {
 		return nil, err
 	}
-	return &poller{id: id, np: np, inbox: muxInbox{lock: core.NewMutexLock()}}, nil
+	return &poller{id: id, np: np, inbox: muxInbox{lock: lockf()}}, nil
 }
 
 // enqueueConn hands an accepted socket to poller p (called by the

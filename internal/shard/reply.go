@@ -96,12 +96,30 @@ func newSpinState(max int) spinState {
 
 // spinWait waits until cond holds: up to budget yields with a check
 // after each, then park(1) rounds.  It returns the yields and parks
-// spent (metrics inputs) and adapts sp for the next wait.
+// spent (metrics inputs) and adapts sp for the next wait.  Both
+// adaptation edges clamp defensively: growth saturates at max (no
+// unbounded doubling, no overflow past a budget that somehow exceeds
+// the cap) and decay floors at min ≥ 1 — so even a degenerate sp (the
+// zero value, whose budget of 0 would otherwise stay 0 forever since
+// 0×2 = 0) converges back into [min, max] on its next win.
 func spinWait(cond func() bool, sp *spinState, yield func(), park func(int64)) (spins, parks int) {
+	if sp.max < 1 {
+		sp.max = 1
+	}
+	if sp.min < 1 {
+		sp.min = 1
+	}
 	for {
 		if cond() {
 			if parks == 0 {
-				sp.budget = min(sp.budget*2, sp.max)
+				switch {
+				case sp.budget < sp.min:
+					sp.budget = sp.min
+				case sp.budget > sp.max/2:
+					sp.budget = sp.max
+				default:
+					sp.budget *= 2
+				}
 			}
 			return spins, parks
 		}
@@ -111,9 +129,34 @@ func spinWait(cond func() bool, sp *spinState, yield func(), park func(int64)) (
 			continue
 		}
 		if parks == 0 {
-			sp.budget = max(sp.budget/2, sp.min)
+			if sp.budget /= 2; sp.budget < sp.min {
+				sp.budget = sp.min
+			}
 		}
 		park(1)
 		parks++
 	}
+}
+
+// fairWait is the reply-wait discipline under Options.FairLocks: a
+// fixed allowance of budget yields, then park(1) rounds until cond
+// holds.  Where spinWait adapts — so one connection's history buys it a
+// longer spin phase than its neighbors get — the fair wait is
+// memoryless: every waiter pays exactly the same bounded spin before
+// parking, the reply-side analogue of the claim queue's bounded-wait
+// guarantee.  Returns the yields and parks spent (metrics inputs).
+func fairWait(cond func() bool, budget int, yield func(), park func(int64)) (spins, parks int) {
+	if budget < 1 {
+		budget = 1
+	}
+	for !cond() {
+		if spins < budget {
+			yield()
+			spins++
+			continue
+		}
+		park(1)
+		parks++
+	}
+	return spins, parks
 }

@@ -150,3 +150,80 @@ func TestSpinWaitChecksAfterEveryYield(t *testing.T) {
 		t.Errorf("spent (%d spins, %d parks), want (3, 0)", spins, parks)
 	}
 }
+
+// TestSpinWaitGrowthClampedAtMax pins the doubling edge: a budget
+// sitting above the cap (the cap can drop between waits when a state is
+// rebuilt with a smaller ReplySpin) must saturate at max on a win, not
+// double past it — and a budget at exactly max must stay there, never
+// growing without bound.
+func TestSpinWaitGrowthClampedAtMax(t *testing.T) {
+	sp := spinState{budget: 1 << 40, min: 1, max: 64}
+	spinWait(func() bool { return true }, &sp, nil, nil)
+	if sp.budget != 64 {
+		t.Errorf("oversized budget after a win = %d, want clamped to 64", sp.budget)
+	}
+	for i := 0; i < 5; i++ {
+		spinWait(func() bool { return true }, &sp, nil, nil)
+	}
+	if sp.budget != 64 {
+		t.Errorf("budget after sustained wins at the cap = %d, want 64", sp.budget)
+	}
+}
+
+// TestSpinWaitRecoversFromZeroBudget pins the decay edge: a budget that
+// reached 0 (the zero-value spinState, or a min of 0) must not stay 0
+// forever — 0×2 = 0, so without the clamp such a wait never spins again
+// and every future wait goes straight to a park.  A degenerate state
+// must converge back into [1, max] and spin on its next waits.
+func TestSpinWaitRecoversFromZeroBudget(t *testing.T) {
+	var sp spinState // zero value: budget 0, min 0, max 0
+	parked := 0
+	spinWait(func() bool { return parked >= 1 }, &sp,
+		func() { t.Fatal("yielded with a zero budget") }, func(int64) { parked++ })
+	if sp.min < 1 || sp.max < 1 {
+		t.Fatalf("degenerate bounds not normalized: %+v", sp)
+	}
+	if sp.budget < 1 {
+		t.Fatalf("budget still %d after a parked wait; the floor must hold it ≥ 1", sp.budget)
+	}
+	// A win from the floor must grow the budget, proving 0 is escaped.
+	spinWait(func() bool { return true }, &sp, nil, nil)
+	if sp.budget < 1 {
+		t.Fatalf("budget %d after a win; doubling from 0 must clamp up to ≥ 1", sp.budget)
+	}
+	yields := 0
+	spins, _ := spinWait(func() bool { return yields >= 1 }, &sp,
+		func() { yields++ }, func(int64) { t.Fatal("parked instead of spinning") })
+	if spins != 1 {
+		t.Errorf("recovered state spun %d, want 1", spins)
+	}
+}
+
+// TestFairWaitIsMemoryless: the fair reply wait spends exactly the same
+// bounded spin phase on every invocation — no adaptation, no history —
+// and overruns into parks only past the fixed budget.
+func TestFairWaitIsMemoryless(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		parked := 0
+		spins, parks := fairWait(func() bool { return parked >= 2 }, 8,
+			func() {}, func(int64) { parked++ })
+		if spins != 8 || parks != 2 {
+			t.Fatalf("round %d spent (%d spins, %d parks), want (8, 2) every round", round, spins, parks)
+		}
+	}
+	// Imminent conditions resolve inside the spin phase, no park.
+	yields := 0
+	spins, parks := fairWait(func() bool { return yields >= 3 }, 8,
+		func() { yields++ }, func(int64) { t.Fatal("parked") })
+	if spins != 3 || parks != 0 {
+		t.Errorf("spent (%d spins, %d parks), want (3, 0)", spins, parks)
+	}
+	// A degenerate budget still spins at least once rather than parking
+	// on every wait forever.
+	yields = 0
+	spins, _ = fairWait(func() bool { return yields >= 1 }, 0,
+		func() { yields++ }, func(int64) { t.Fatal("parked with a clamped budget") })
+	if spins != 1 {
+		t.Errorf("zero budget spun %d, want 1 (clamped)", spins)
+	}
+}

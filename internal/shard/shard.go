@@ -116,6 +116,20 @@ type Options struct {
 	// in-order reply waits and one render + socket write per response —
 	// as the benchmark baseline for the batched reply path.
 	PerCellReplies bool
+	// FairLocks swaps the fabric's hot-path spin locks for the FIFO
+	// claim/release protocol (syncx.FairLock): the forward rings'
+	// push/pop/steal lock, the mux accept inbox, and each backend's
+	// admission guards queue contenders in claim order and hand off on
+	// release instead of re-racing, and reply waits drop the adaptive
+	// spin budget for a fixed bounded one — under skewed load no front
+	// thread can lose the acquisition race unboundedly, flattening the
+	// wait tail.  Claim waits are charged to the shard.ring_wait_ticks
+	// histogram (in claim-loop yields).  On an MLAlloc fabric the fair
+	// claim loop polls the GC section exactly as the GC-aware spin locks
+	// do (unless MLGCPlainLocks), so a saturated claim queue never stalls
+	// a collection.  Off by default — the PR 4/5 spin path remains the
+	// ablation baseline.
+	FairLocks bool
 	// DeadlineTicks is the per-request deadline (front clock ticks from
 	// first byte; forwarded with the request, default 2000).
 	DeadlineTicks int64
@@ -365,6 +379,12 @@ type fabricMetrics struct {
 	rebalances *metrics.Counter // shifts applied
 	waitTicks  *metrics.Histogram
 
+	// Fair claim/release instruments (Options.FairLocks): how long each
+	// contended claim waited in the FIFO queue, in claim-loop yields.
+	// Registered unconditionally so ablation runs diff the same snapshot
+	// shape; stays zero on the spin path.
+	ringWaitTicks *metrics.Histogram
+
 	// Reply-path instruments: the adaptive spin discipline's outcomes and
 	// the coalesced write batch sizes.
 	replySpins *metrics.Counter   // yields spent inside reply spin phases
@@ -509,8 +529,12 @@ func New(opts Options) (*Fabric, error) {
 		ring:   newChashRing(slots, ringVnodes),
 	})
 	if opts.Mux {
+		inboxLock := core.LockFactory(core.NewMutexLock)
+		if opts.FairLocks {
+			inboxLock = fab.fairLockFactory(nil)
+		}
 		for i := 0; i < opts.Pollers; i++ {
-			p, err := newPoller(i)
+			p, err := newPoller(i, inboxLock)
 			if err != nil {
 				tln.Close()
 				return nil, err
@@ -531,6 +555,12 @@ func New(opts Options) (*Fabric, error) {
 		checks:     reg.Counter("shard.rebalance_checks"),
 		rebalances: reg.Counter("shard.rebalances"),
 		waitTicks:  reg.Histogram("shard.reply_wait_ticks", bounds),
+		// Ring claim waits are measured in claim-loop yields, not clock
+		// ticks: a claim that straddles a descheduled holder burns many
+		// cheap yields, so the bounds stretch four decades.  Overflow
+		// (>100k yields) is the heavy tail the fair protocol rules out.
+		ringWaitTicks: reg.Histogram("shard.ring_wait_ticks",
+			[]int64{1, 2, 5, 10, 50, 100, 500, 1000, 5000, 10000, 50000, 100000}),
 		replySpins: reg.Counter("shard.reply_spin"),
 		replyParks: reg.Counter("shard.reply_park"),
 		writeBatch: reg.Histogram("shard.write_batch",

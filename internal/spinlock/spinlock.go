@@ -165,6 +165,14 @@ func (l *Backoff) Unlock() {
 // Ticket is a FIFO lock: acquirers draw a ticket and spin until the
 // now-serving counter reaches it, eliminating the thundering herd at the
 // cost of strict ordering.
+//
+// syncx.FairLock extends this claim/release shape into the fair,
+// spin-free protocol the fabric's Options.FairLocks deploys: the same
+// ticket FIFO, but waiters yield cooperatively on every check instead
+// of spinning a budget, the claim loop doubles as a GC safe point
+// (GCWorld), and TryLock refuses to overtake a queued claim.  This
+// package keeps only the spinning flavors so the A1 ablation stays a
+// pure spin-strategy sweep.
 type Ticket struct {
 	next    atomic.Uint64
 	serving atomic.Uint64
